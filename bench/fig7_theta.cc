@@ -1,0 +1,35 @@
+// Fig. 7 of the paper: OptBSearch runtime as the gradient ratio θ varies
+// over {1.05, ..., 1.30} on WikiTalk and LiveJournal (k = 500).
+// Expected shape: a shallow curve — small θ trades a few more heap updates
+// for fewer exact computations and is slightly best overall.
+
+#include <cstdio>
+
+#include "benchlib/datasets.h"
+#include "benchlib/reporting.h"
+#include "benchlib/workloads.h"
+#include "core/opt_search.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace egobw;
+  PrintExperimentHeader("Fig. 7", "Effect of the gradient ratio θ (k = 500)");
+  for (const char* name : {"WikiTalk", "LiveJournal"}) {
+    Dataset d = StandardDataset(name);
+    std::printf("\n%s\n", DatasetSummary(d).c_str());
+    TablePrinter table(
+        {"theta", "OptBSearch (s)", "exact computations", "heap pushbacks"});
+    for (double theta : PaperThetaGrid()) {
+      SearchStats stats;
+      WallTimer timer;
+      OptBSearch(d.graph, 500, {.theta = theta}, &stats);
+      table.AddRow({TablePrinter::Fmt(theta, 2),
+                    TablePrinter::Fmt(timer.Seconds(), 4),
+                    TablePrinter::Fmt(stats.exact_computations),
+                    TablePrinter::Fmt(stats.heap_pushbacks)});
+    }
+    table.Print();
+  }
+  return 0;
+}

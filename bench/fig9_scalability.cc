@@ -1,0 +1,62 @@
+// Fig. 9 of the paper: scalability of BaseBSearch vs OptBSearch on random
+// 20%-100% subgraphs of the largest dataset (LiveJournal stand-in),
+// (a) sampling edges, (b) sampling vertices (induced). k = 500.
+// Expected shape: OptBSearch grows smoothly; BaseBSearch rises more sharply.
+
+#include <cstdio>
+
+#include "benchlib/datasets.h"
+#include "benchlib/reporting.h"
+#include "core/base_search.h"
+#include "core/opt_search.h"
+#include "graph/sampling.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace egobw;
+  Dataset d = StandardDataset("LiveJournal");
+  PrintExperimentHeader("Fig. 9", "Scalability on subgraphs of " + d.name);
+  std::printf("%s\n", DatasetSummary(d).c_str());
+  const uint32_t k = 500;
+
+  std::printf("\n(a) vary m: random edge subsets\n");
+  TablePrinter edges_table(
+      {"m fraction", "n", "m", "BaseBSearch (s)", "OptBSearch (s)"});
+  for (double frac : {0.2, 0.4, 0.6, 0.8, 1.0}) {
+    Graph sub = frac < 1.0 ? SampleEdges(d.graph, frac, 9901) : d.graph;
+    WallTimer t1;
+    BaseBSearch(sub, k);
+    double base_sec = t1.Seconds();
+    WallTimer t2;
+    OptBSearch(sub, k, {.theta = 1.05});
+    double opt_sec = t2.Seconds();
+    edges_table.AddRow({TablePrinter::Percent(frac, 0),
+                        TablePrinter::Fmt(uint64_t{sub.NumVertices()}),
+                        TablePrinter::Fmt(sub.NumEdges()),
+                        TablePrinter::Fmt(base_sec, 4),
+                        TablePrinter::Fmt(opt_sec, 4)});
+  }
+  edges_table.Print();
+
+  std::printf("\n(b) vary n: random induced subgraphs\n");
+  TablePrinter verts_table(
+      {"n fraction", "n", "m", "BaseBSearch (s)", "OptBSearch (s)"});
+  for (double frac : {0.2, 0.4, 0.6, 0.8, 1.0}) {
+    Graph sub =
+        frac < 1.0 ? SampleVerticesInduced(d.graph, frac, 9902) : d.graph;
+    WallTimer t1;
+    BaseBSearch(sub, k);
+    double base_sec = t1.Seconds();
+    WallTimer t2;
+    OptBSearch(sub, k, {.theta = 1.05});
+    double opt_sec = t2.Seconds();
+    verts_table.AddRow({TablePrinter::Percent(frac, 0),
+                        TablePrinter::Fmt(uint64_t{sub.NumVertices()}),
+                        TablePrinter::Fmt(sub.NumEdges()),
+                        TablePrinter::Fmt(base_sec, 4),
+                        TablePrinter::Fmt(opt_sec, 4)});
+  }
+  verts_table.Print();
+  return 0;
+}

@@ -1,0 +1,136 @@
+// google-benchmark micro-kernels for the data structures and inner loops the
+// searches spend their time in: pair-count map ops, heap churn, common-
+// neighbor intersection, per-vertex local evaluation, one Brandes BFS.
+
+#include <benchmark/benchmark.h>
+
+#include "baseline/brandes.h"
+#include "core/all_ego.h"
+#include "core/naive.h"
+#include "graph/degree_order.h"
+#include "graph/edge_set.h"
+#include "graph/generators.h"
+#include "util/indexed_max_heap.h"
+#include "util/pair_count_map.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace egobw;
+
+const Graph& SharedGraph() {
+  static Graph g = BarabasiAlbert(20000, 6, 4242);
+  return g;
+}
+
+void BM_PairCountMapInsert(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  std::vector<uint64_t> keys;
+  keys.reserve(n);
+  for (int64_t i = 0; i < n; ++i) {
+    keys.push_back(PackPair(static_cast<uint32_t>(rng.NextBounded(1u << 16)),
+                            static_cast<uint32_t>(rng.NextBounded(1u << 16))));
+  }
+  for (auto _ : state) {
+    PairCountMap m;
+    for (uint64_t k : keys) m.AddCount(k, 1);
+    benchmark::DoNotOptimize(m.size());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_PairCountMapInsert)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_PairCountMapLookup(benchmark::State& state) {
+  Rng rng(2);
+  PairCountMap m;
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < 10000; ++i) {
+    uint64_t k = PackPair(static_cast<uint32_t>(rng.NextBounded(1u << 16)),
+                          static_cast<uint32_t>(rng.NextBounded(1u << 16)));
+    keys.push_back(k);
+    m.AddCount(k, 1);
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.GetOr(keys[i++ % keys.size()], 0));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PairCountMapLookup);
+
+void BM_IndexedHeapChurn(benchmark::State& state) {
+  const uint32_t n = 1 << 14;
+  Rng rng(3);
+  for (auto _ : state) {
+    IndexedMaxHeap h(n);
+    for (uint32_t v = 0; v < n; ++v) h.Push(v, rng.NextDouble());
+    for (uint32_t v = 0; v < n / 2; ++v) {
+      h.Update(static_cast<uint32_t>(rng.NextBounded(n)), rng.NextDouble());
+    }
+    while (!h.empty()) benchmark::DoNotOptimize(h.PopMax());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_IndexedHeapChurn);
+
+void BM_CommonNeighbors(benchmark::State& state) {
+  const Graph& g = SharedGraph();
+  std::vector<VertexId> out;
+  size_t e = 0;
+  for (auto _ : state) {
+    auto [u, v] = g.EdgeEndpoints(static_cast<EdgeId>(e++ % g.NumEdges()));
+    g.CommonNeighbors(u, v, &out);
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CommonNeighbors);
+
+void BM_EdgeSetLookup(benchmark::State& state) {
+  const Graph& g = SharedGraph();
+  EdgeSet es(g);
+  Rng rng(4);
+  for (auto _ : state) {
+    VertexId u = static_cast<VertexId>(rng.NextBounded(g.NumVertices()));
+    VertexId v = static_cast<VertexId>(rng.NextBounded(g.NumVertices()));
+    benchmark::DoNotOptimize(es.Contains(u, v));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EdgeSetLookup);
+
+void BM_LocalEgoBetweenness(benchmark::State& state) {
+  const Graph& g = SharedGraph();
+  EgoScratch scratch(g.NumVertices());
+  DegreeOrder order(g);
+  size_t i = 0;
+  for (auto _ : state) {
+    // Cycle through the 256 highest-degree vertices (the expensive ones).
+    VertexId v = order.At(static_cast<uint32_t>(i++ % 256));
+    benchmark::DoNotOptimize(ComputeEgoBetweennessLocal(g, v, &scratch));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LocalEgoBetweenness);
+
+void BM_FullEgoPass(benchmark::State& state) {
+  Graph g = BarabasiAlbert(5000, 5, 4343);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeAllEgoBetweenness(g));
+  }
+  state.SetItemsProcessed(state.iterations() * g.NumEdges());
+}
+BENCHMARK(BM_FullEgoPass);
+
+void BM_BrandesSingleSourceEquivalent(benchmark::State& state) {
+  // One full Brandes pass over a small graph, for the per-BFS cost scale.
+  Graph g = BarabasiAlbert(2000, 4, 4444);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BrandesBetweenness(g, 1));
+  }
+  state.SetItemsProcessed(state.iterations() * g.NumVertices());
+}
+BENCHMARK(BM_BrandesSingleSourceEquivalent);
+
+}  // namespace

@@ -1,0 +1,68 @@
+// Case study: bridge scholars in a co-authorship network (paper Section
+// VI-B, Tables III/IV).
+//
+// Generates a community-structured collaboration graph (papers become
+// author cliques; a few authors publish across communities), then compares
+// the top-10 by ego-betweenness with the top-10 by exact betweenness. The
+// paper's observation — ego-betweenness finds nearly the same bridging
+// scholars at a fraction of the cost — reproduces directly.
+//
+//   ./build/examples/collaboration_bridges
+
+#include <cstdio>
+#include <thread>
+
+#include "baseline/top_bw.h"
+#include "core/opt_search.h"
+#include "graph/generators.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace egobw;
+
+  Graph g = Collaboration(/*num_authors=*/6000, /*num_papers=*/10000,
+                          /*max_authors_per_paper=*/6,
+                          /*num_communities=*/50, /*cross_prob=*/0.07,
+                          /*seed=*/21);
+  std::printf("co-authorship network: n=%u m=%llu dmax=%u (50 communities)\n",
+              g.NumVertices(), static_cast<unsigned long long>(g.NumEdges()),
+              g.MaxDegree());
+
+  const uint32_t k = 10;
+  WallTimer ebw_timer;
+  TopKResult ebw = OptBSearch(g, k, {.theta = 1.05});
+  double ebw_sec = ebw_timer.Seconds();
+
+  size_t threads = std::max(1u, std::thread::hardware_concurrency());
+  WallTimer bw_timer;
+  TopKResult bw = TopBW(g, k, threads);
+  double bw_sec = bw_timer.Seconds();
+
+  std::printf("top-%u ego-betweenness: %.3f s   exact betweenness: %.3f s "
+              "(%.0fx slower)\n\n",
+              k, ebw_sec, bw_sec, bw_sec / ebw_sec);
+
+  auto contains = [](const TopKResult& r, VertexId v) {
+    for (const auto& e : r) {
+      if (e.vertex == v) return true;
+    }
+    return false;
+  };
+  TablePrinter table({"EBW rank", "scholar", "d", "CB", "also in BW top-10"});
+  for (size_t i = 0; i < ebw.size(); ++i) {
+    char name[16];
+    std::snprintf(name, sizeof(name), "A%04u", ebw[i].vertex);
+    table.AddRow({TablePrinter::Fmt(uint64_t{i + 1}), name,
+                  TablePrinter::Fmt(uint64_t{g.Degree(ebw[i].vertex)}),
+                  TablePrinter::Fmt(ebw[i].cb, 1),
+                  contains(bw, ebw[i].vertex) ? "yes" : "no"});
+  }
+  table.Print();
+  std::printf("\ntop-%u overlap (EBW vs exact BW): %s\n", k,
+              TablePrinter::Percent(TopKOverlap(bw, ebw), 0).c_str());
+  std::printf(
+      "These scholars co-author across communities: removing one would\n"
+      "disconnect collaborations that have no alternative route.\n");
+  return 0;
+}

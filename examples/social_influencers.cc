@@ -1,0 +1,73 @@
+// Finding influential bridge users in a social network.
+//
+// The paper's motivating application: a vertex with high ego-betweenness
+// controls the information flow between its neighbors and is hard to route
+// around. This example generates (or loads) a social network, retrieves the
+// top-20 ego-betweenness users, and contrasts the ranking with a plain
+// degree ranking — hubs and bridges overlap but are not the same thing.
+//
+//   ./build/examples/social_influencers [path/to/snap_edge_list.txt]
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "core/opt_search.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace egobw;
+
+  Graph g;
+  if (argc > 1) {
+    Result<Graph> loaded = LoadEdgeList(argv[1]);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "failed to load %s: %s\n", argv[1],
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    g = std::move(loaded).value();
+    std::printf("loaded %s\n", argv[1]);
+  } else {
+    g = BarabasiAlbert(50000, 4, /*seed=*/7);
+    std::printf("generated a Barabasi-Albert social network\n");
+  }
+  std::printf("n=%u m=%llu dmax=%u\n\n", g.NumVertices(),
+              static_cast<unsigned long long>(g.NumEdges()), g.MaxDegree());
+
+  const uint32_t k = 20;
+  WallTimer timer;
+  SearchStats stats;
+  TopKResult top = OptBSearch(g, k, {.theta = 1.05}, &stats);
+  std::printf("top-%u ego-betweenness computed in %.3f s "
+              "(%llu exact computations on %u vertices)\n\n",
+              k, timer.Seconds(),
+              static_cast<unsigned long long>(stats.exact_computations),
+              g.NumVertices());
+
+  // Degree ranking for comparison.
+  std::vector<VertexId> by_degree(g.NumVertices());
+  std::iota(by_degree.begin(), by_degree.end(), 0u);
+  std::sort(by_degree.begin(), by_degree.end(),
+            [&g](VertexId a, VertexId b) { return g.Degree(a) > g.Degree(b); });
+
+  TablePrinter table({"rank", "vertex", "CB (ego-betweenness)", "degree",
+                      "degree rank"});
+  for (size_t i = 0; i < top.size(); ++i) {
+    const auto& e = top[i];
+    auto pos = std::find(by_degree.begin(), by_degree.end(), e.vertex);
+    table.AddRow({TablePrinter::Fmt(uint64_t{i + 1}),
+                  TablePrinter::Fmt(uint64_t{e.vertex}),
+                  TablePrinter::Fmt(e.cb, 1),
+                  TablePrinter::Fmt(uint64_t{g.Degree(e.vertex)}),
+                  TablePrinter::Fmt(uint64_t(pos - by_degree.begin()) + 1)});
+  }
+  table.Print();
+  std::printf(
+      "\nA high CB with a modest degree rank marks a *bridge*: few contacts,\n"
+      "but contacts that would be disconnected without this user.\n");
+  return 0;
+}

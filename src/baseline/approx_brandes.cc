@@ -1,0 +1,91 @@
+#include "baseline/approx_brandes.h"
+
+#include <memory>
+
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/thread_pool.h"
+
+namespace egobw {
+namespace {
+
+// Single-source dependency accumulation (same scheme as brandes.cc, kept
+// local so the two files stay independently readable).
+struct PivotScratch {
+  explicit PivotScratch(uint32_t n)
+      : sigma(n, 0.0), dist(n, -1), delta(n, 0.0), bc(n, 0.0) {
+    order.reserve(n);
+  }
+  std::vector<double> sigma;
+  std::vector<int32_t> dist;
+  std::vector<double> delta;
+  std::vector<double> bc;
+  std::vector<VertexId> order;
+};
+
+void Accumulate(const Graph& g, VertexId s, PivotScratch* ws) {
+  ws->order.clear();
+  ws->dist[s] = 0;
+  ws->sigma[s] = 1.0;
+  ws->order.push_back(s);
+  for (size_t head = 0; head < ws->order.size(); ++head) {
+    VertexId v = ws->order[head];
+    for (VertexId w : g.Neighbors(v)) {
+      if (ws->dist[w] < 0) {
+        ws->dist[w] = ws->dist[v] + 1;
+        ws->order.push_back(w);
+      }
+      if (ws->dist[w] == ws->dist[v] + 1) ws->sigma[w] += ws->sigma[v];
+    }
+  }
+  for (size_t i = ws->order.size(); i-- > 1;) {
+    VertexId w = ws->order[i];
+    double coeff = (1.0 + ws->delta[w]) / ws->sigma[w];
+    for (VertexId v : g.Neighbors(w)) {
+      if (ws->dist[v] == ws->dist[w] - 1) {
+        ws->delta[v] += ws->sigma[v] * coeff;
+      }
+    }
+    ws->bc[w] += ws->delta[w];
+  }
+  for (VertexId v : ws->order) {
+    ws->dist[v] = -1;
+    ws->sigma[v] = 0.0;
+    ws->delta[v] = 0.0;
+  }
+}
+
+}  // namespace
+
+std::vector<double> ApproxBrandesBetweenness(const Graph& g, uint32_t pivots,
+                                             uint64_t seed, size_t threads) {
+  uint32_t n = g.NumVertices();
+  if (n == 0) return {};
+  pivots = std::min(pivots, n);
+  EGOBW_CHECK(pivots > 0);
+  if (threads == 0) threads = 1;
+
+  Rng rng(seed);
+  std::vector<uint64_t> sources = rng.SampleWithoutReplacement(n, pivots);
+
+  std::vector<std::unique_ptr<PivotScratch>> scratch;
+  scratch.reserve(threads);
+  for (size_t t = 0; t < threads; ++t) {
+    scratch.push_back(std::make_unique<PivotScratch>(n));
+  }
+  ParallelForWorker(0, sources.size(), threads, /*grain=*/4,
+                    [&](uint64_t i, size_t worker) {
+                      Accumulate(g, static_cast<VertexId>(sources[i]),
+                                 scratch[worker].get());
+                    });
+  std::vector<double> bc(n, 0.0);
+  for (const auto& ws : scratch) {
+    for (uint32_t v = 0; v < n; ++v) bc[v] += ws->bc[v];
+  }
+  // Scale the sampled sum to the full-source sum, then halve (undirected).
+  double scale = static_cast<double>(n) / pivots / 2.0;
+  for (double& x : bc) x *= scale;
+  return bc;
+}
+
+}  // namespace egobw

@@ -1,0 +1,82 @@
+#include "baseline/brandes.h"
+
+#include <memory>
+
+#include "util/thread_pool.h"
+
+namespace egobw {
+namespace {
+
+struct BrandesScratch {
+  explicit BrandesScratch(uint32_t n)
+      : sigma(n, 0.0), dist(n, -1), delta(n, 0.0), bc(n, 0.0) {
+    bfs_order.reserve(n);
+  }
+  std::vector<double> sigma;
+  std::vector<int32_t> dist;
+  std::vector<double> delta;
+  std::vector<double> bc;  // Per-worker accumulator.
+  std::vector<VertexId> bfs_order;
+};
+
+void AccumulateFromSource(const Graph& g, VertexId s, BrandesScratch* ws) {
+  ws->bfs_order.clear();
+  ws->dist[s] = 0;
+  ws->sigma[s] = 1.0;
+  ws->bfs_order.push_back(s);
+  // BFS using bfs_order as the queue (it already stores visit order).
+  for (size_t head = 0; head < ws->bfs_order.size(); ++head) {
+    VertexId v = ws->bfs_order[head];
+    for (VertexId w : g.Neighbors(v)) {
+      if (ws->dist[w] < 0) {
+        ws->dist[w] = ws->dist[v] + 1;
+        ws->bfs_order.push_back(w);
+      }
+      if (ws->dist[w] == ws->dist[v] + 1) ws->sigma[w] += ws->sigma[v];
+    }
+  }
+  // Reverse-order dependency accumulation; predecessors of w are exactly the
+  // neighbors one BFS level closer to s.
+  for (size_t i = ws->bfs_order.size(); i-- > 1;) {
+    VertexId w = ws->bfs_order[i];
+    double coeff = (1.0 + ws->delta[w]) / ws->sigma[w];
+    for (VertexId v : g.Neighbors(w)) {
+      if (ws->dist[v] == ws->dist[w] - 1) {
+        ws->delta[v] += ws->sigma[v] * coeff;
+      }
+    }
+    ws->bc[w] += ws->delta[w];
+  }
+  // Reset only the touched entries.
+  for (VertexId v : ws->bfs_order) {
+    ws->dist[v] = -1;
+    ws->sigma[v] = 0.0;
+    ws->delta[v] = 0.0;
+  }
+}
+
+}  // namespace
+
+std::vector<double> BrandesBetweenness(const Graph& g, size_t threads) {
+  uint32_t n = g.NumVertices();
+  if (threads == 0) threads = 1;
+  std::vector<std::unique_ptr<BrandesScratch>> scratch;
+  scratch.reserve(threads);
+  for (size_t t = 0; t < threads; ++t) {
+    scratch.push_back(std::make_unique<BrandesScratch>(n));
+  }
+  ParallelForWorker(0, n, threads, /*grain=*/8,
+                    [&g, &scratch](uint64_t s, size_t worker) {
+                      AccumulateFromSource(g, static_cast<VertexId>(s),
+                                           scratch[worker].get());
+                    });
+  std::vector<double> bc(n, 0.0);
+  for (const auto& ws : scratch) {
+    for (uint32_t v = 0; v < n; ++v) bc[v] += ws->bc[v];
+  }
+  // Each unordered pair was counted from both endpoints.
+  for (double& x : bc) x /= 2.0;
+  return bc;
+}
+
+}  // namespace egobw

@@ -1,0 +1,26 @@
+// Brandes' exact betweenness centrality [Brandes 2001] for unweighted
+// undirected graphs — the paper's comparison baseline (Section VI-B).
+//
+// One BFS per source computes shortest-path counts σ and a reverse-order
+// dependency accumulation δ; O(nm) total. The parallel variant distributes
+// sources over threads with per-thread accumulators (the paper ran its
+// TopBW baseline with up to 64 threads).
+
+#ifndef EGOBW_BASELINE_BRANDES_H_
+#define EGOBW_BASELINE_BRANDES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace egobw {
+
+/// Exact betweenness of every vertex. For undirected graphs each unordered
+/// pair {s, t} is counted once (the standard convention: accumulate over all
+/// ordered sources, then halve).
+std::vector<double> BrandesBetweenness(const Graph& g, size_t threads = 1);
+
+}  // namespace egobw
+
+#endif  // EGOBW_BASELINE_BRANDES_H_

@@ -1,0 +1,31 @@
+#include "baseline/top_bw.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "baseline/brandes.h"
+
+namespace egobw {
+
+TopKResult TopBW(const Graph& g, uint32_t k, size_t threads,
+                 std::vector<double>* all_values) {
+  std::vector<double> bc = BrandesBetweenness(g, threads);
+  TopKResult result;
+  result.reserve(g.NumVertices());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) result.push_back({v, bc[v]});
+  FinalizeTopK(&result, std::min<uint32_t>(k, g.NumVertices()));
+  if (all_values != nullptr) *all_values = std::move(bc);
+  return result;
+}
+
+double TopKOverlap(const TopKResult& a, const TopKResult& b) {
+  if (a.empty()) return 0.0;
+  std::unordered_set<VertexId> in_a;
+  in_a.reserve(a.size());
+  for (const auto& e : a) in_a.insert(e.vertex);
+  size_t shared = 0;
+  for (const auto& e : b) shared += in_a.count(e.vertex);
+  return static_cast<double>(shared) / static_cast<double>(a.size());
+}
+
+}  // namespace egobw

@@ -1,0 +1,25 @@
+// TopBW: the paper's baseline that ranks vertices by *traditional*
+// betweenness (computed exactly with Brandes) and returns the top-k.
+// Used by the effectiveness experiments (Exp-6/7) to measure how closely
+// top-k ego-betweenness approximates top-k betweenness.
+
+#ifndef EGOBW_BASELINE_TOP_BW_H_
+#define EGOBW_BASELINE_TOP_BW_H_
+
+#include "core/ego_types.h"
+#include "graph/graph.h"
+
+namespace egobw {
+
+/// Top-k vertices by exact betweenness (cb field holds the betweenness).
+/// If `all_values` is non-null it receives every vertex's betweenness.
+TopKResult TopBW(const Graph& g, uint32_t k, size_t threads = 1,
+                 std::vector<double>* all_values = nullptr);
+
+/// |a ∩ b| / max(|a|, 1) over the vertex sets of two top-k results —
+/// the overlap metric of Fig. 11/12.
+double TopKOverlap(const TopKResult& a, const TopKResult& b);
+
+}  // namespace egobw
+
+#endif  // EGOBW_BASELINE_TOP_BW_H_

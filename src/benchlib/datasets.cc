@@ -1,0 +1,149 @@
+#include "benchlib/datasets.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "util/env.h"
+#include "util/logging.h"
+
+namespace egobw {
+namespace {
+
+double EffectiveScale(double scale) {
+  if (scale > 0) return scale;
+  return GetEnvDouble("EGOBW_BENCH_SCALE", 1.0);
+}
+
+uint32_t Scaled(double base, double scale) {
+  return static_cast<uint32_t>(std::llround(base * scale));
+}
+
+// Attempts to load a real SNAP edge list for `name` from EGOBW_DATA_DIR.
+bool TryLoadReal(const std::string& name, Graph* out) {
+  std::string dir = GetEnvString("EGOBW_DATA_DIR", "");
+  if (dir.empty()) return false;
+  std::string path = dir + "/" + name + ".txt";
+  Result<Graph> loaded = LoadEdgeList(path);
+  if (!loaded.ok()) return false;
+  *out = std::move(loaded).value();
+  std::fprintf(stderr, "[datasets] loaded real %s from %s\n", name.c_str(),
+               path.c_str());
+  return true;
+}
+
+}  // namespace
+
+Dataset StandardDataset(const std::string& name, double scale) {
+  double s = EffectiveScale(scale);
+  Dataset d;
+  d.name = name + "-sim";
+  Graph real;
+  if (TryLoadReal(name, &real)) {
+    d.name = name;
+    d.substitution = "real SNAP data (EGOBW_DATA_DIR)";
+    d.graph = std::move(real);
+  }
+  if (name == "Youtube") {
+    d.kind = "Social network";
+    if (d.graph.NumVertices() == 0) {
+      d.substitution =
+          "Holme-Kim BA(m=3, triad 0.45): heavy-tailed clustered social";
+      d.graph = BarabasiAlbert(Scaled(40000, s), 3, /*seed=*/1001, 0.45);
+    }
+  } else if (name == "WikiTalk") {
+    d.kind = "Communication network";
+    if (d.graph.NumVertices() == 0) {
+      d.substitution =
+          "R-MAT(a=0.62): extreme degree skew, star-like communication";
+      uint32_t sc = 14 + static_cast<uint32_t>(std::round(std::log2(
+                             std::max(1.0, s))));
+      d.graph = RMat(sc, 4, 0.62, 0.16, 0.16, /*seed=*/1002);
+    }
+  } else if (name == "DBLP") {
+    d.kind = "Collaboration network";
+    if (d.graph.NumVertices() == 0) {
+      d.substitution =
+          "Collaboration(papers->cliques): triangle-rich co-authorship";
+      d.graph = Collaboration(Scaled(30000, s), Scaled(42000, s), 5, 600,
+                              0.08, /*seed=*/1003);
+    }
+  } else if (name == "Pokec") {
+    d.kind = "Social network";
+    if (d.graph.NumVertices() == 0) {
+      d.substitution =
+          "Holme-Kim BA(m=10, triad 0.4): dense clustered social network";
+      d.graph = BarabasiAlbert(Scaled(24000, s), 10, /*seed=*/1004, 0.4);
+    }
+  } else if (name == "LiveJournal") {
+    d.kind = "Social network";
+    if (d.graph.NumVertices() == 0) {
+      d.substitution = "R-MAT(a=0.52, ef=6): largest workload";
+      uint32_t sc = 16 + static_cast<uint32_t>(std::round(std::log2(
+                             std::max(1.0, s))));
+      d.graph = RMat(sc, 6, 0.52, 0.19, 0.19, /*seed=*/1005);
+    }
+  } else {
+    EGOBW_CHECK_MSG(false, "unknown standard dataset name");
+  }
+  return d;
+}
+
+std::vector<Dataset> StandardDatasets(double scale) {
+  std::vector<Dataset> all;
+  for (const char* name :
+       {"Youtube", "WikiTalk", "DBLP", "Pokec", "LiveJournal"}) {
+    all.push_back(StandardDataset(name, scale));
+  }
+  return all;
+}
+
+Dataset CaseStudyDB(double scale) {
+  double s = EffectiveScale(scale);
+  Dataset d;
+  d.name = "DB-sim";
+  d.kind = "Collaboration (database community)";
+  d.substitution = "Collaboration generator, 40 communities, 6% cross";
+  d.graph = Collaboration(Scaled(4000, s), Scaled(7000, s), 6, 40, 0.06,
+                          /*seed=*/2001);
+  return d;
+}
+
+Dataset CaseStudyIR(double scale) {
+  double s = EffectiveScale(scale);
+  Dataset d;
+  d.name = "IR-sim";
+  d.kind = "Collaboration (information-retrieval community)";
+  d.substitution = "Collaboration generator, 25 communities, 10% cross";
+  d.graph = Collaboration(Scaled(2500, s), Scaled(4000, s), 6, 25, 0.10,
+                          /*seed=*/2002);
+  return d;
+}
+
+Dataset BrandesComparable(const std::string& name, double scale) {
+  double s = EffectiveScale(scale);
+  Dataset d;
+  d.name = name + "-sim-small";
+  if (name == "WikiTalk") {
+    d.kind = "Communication network (Brandes-feasible size)";
+    d.substitution = "R-MAT(a=0.65), scale 12";
+    d.graph = RMat(12, 4, 0.65, 0.15, 0.15, /*seed=*/3001);
+    (void)s;
+  } else if (name == "Pokec") {
+    d.kind = "Social network (Brandes-feasible size)";
+    d.substitution = "Barabasi-Albert(n=4000, m=8)";
+    d.graph = BarabasiAlbert(4000, 8, /*seed=*/3002);
+  } else {
+    EGOBW_CHECK_MSG(false, "unknown Brandes-comparable dataset");
+  }
+  return d;
+}
+
+std::string ScholarName(VertexId v) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "A%04u", v);
+  return buf;
+}
+
+}  // namespace egobw

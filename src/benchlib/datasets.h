@@ -1,0 +1,51 @@
+// The benchmark dataset registry.
+//
+// The paper evaluates on five SNAP networks (Table I). Offline, each is
+// substituted with a synthetic stand-in of the same *type* whose generator
+// reproduces the structural features the algorithms are sensitive to
+// (degree skew, triangle density, community structure) at laptop scale.
+// If real SNAP files are available, set EGOBW_DATA_DIR to a directory with
+// <name>.txt edge lists and they are loaded instead.
+//
+// EGOBW_BENCH_SCALE (double, default 1.0) multiplies dataset sizes.
+
+#ifndef EGOBW_BENCHLIB_DATASETS_H_
+#define EGOBW_BENCHLIB_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace egobw {
+
+struct Dataset {
+  std::string name;         ///< Stand-in name, e.g. "Youtube-sim".
+  std::string kind;         ///< "Social network", ... (Table I column).
+  std::string substitution; ///< Generator recipe, for provenance.
+  Graph graph;
+};
+
+/// The five Table-I stand-ins, ordered as in the paper
+/// (Youtube, WikiTalk, DBLP, Pokec, LiveJournal).
+std::vector<Dataset> StandardDatasets(double scale = -1.0);
+
+/// A single stand-in by paper name ("Youtube", "WikiTalk", "DBLP", "Pokec",
+/// "LiveJournal"); aborts on unknown names.
+Dataset StandardDataset(const std::string& name, double scale = -1.0);
+
+/// Case-study graphs (Fig. 12, Tables III/IV): DB-sim and IR-sim are
+/// collaboration networks sized so exact Brandes terminates quickly.
+Dataset CaseStudyDB(double scale = -1.0);
+Dataset CaseStudyIR(double scale = -1.0);
+
+/// Reduced variants for experiments that must run exact Brandes on the
+/// full graph (Fig. 11).
+Dataset BrandesComparable(const std::string& name, double scale = -1.0);
+
+/// Synthetic scholar label for the case study ("A0001", ...).
+std::string ScholarName(VertexId v);
+
+}  // namespace egobw
+
+#endif  // EGOBW_BENCHLIB_DATASETS_H_

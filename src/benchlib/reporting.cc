@@ -1,0 +1,23 @@
+#include "benchlib/reporting.h"
+
+#include <cstdio>
+
+namespace egobw {
+
+void PrintExperimentHeader(const std::string& experiment_id,
+                           const std::string& description) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", experiment_id.c_str(), description.c_str());
+  std::printf("================================================================\n");
+}
+
+std::string DatasetSummary(const Dataset& d) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%s: n=%u m=%llu dmax=%u (%s; %s)",
+                d.name.c_str(), d.graph.NumVertices(),
+                static_cast<unsigned long long>(d.graph.NumEdges()),
+                d.graph.MaxDegree(), d.kind.c_str(), d.substitution.c_str());
+  return buf;
+}
+
+}  // namespace egobw

@@ -1,0 +1,21 @@
+// Small presentation helpers shared by the bench binaries.
+
+#ifndef EGOBW_BENCHLIB_REPORTING_H_
+#define EGOBW_BENCHLIB_REPORTING_H_
+
+#include <string>
+
+#include "benchlib/datasets.h"
+
+namespace egobw {
+
+/// Prints the experiment banner: id, paper reference, substitutions.
+void PrintExperimentHeader(const std::string& experiment_id,
+                           const std::string& description);
+
+/// One-line dataset summary ("Youtube-sim: n=40000 m=119964 dmax=812 ...").
+std::string DatasetSummary(const Dataset& d);
+
+}  // namespace egobw
+
+#endif  // EGOBW_BENCHLIB_REPORTING_H_

@@ -1,0 +1,55 @@
+#include "benchlib/workloads.h"
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace egobw {
+
+std::vector<std::pair<VertexId, VertexId>> PickExistingEdges(const Graph& g,
+                                                             uint32_t count,
+                                                             uint64_t seed) {
+  Rng rng(seed);
+  count = static_cast<uint32_t>(
+      std::min<uint64_t>(count, g.NumEdges()));
+  std::vector<uint64_t> ids = rng.SampleWithoutReplacement(g.NumEdges(),
+                                                           count);
+  std::vector<std::pair<VertexId, VertexId>> out;
+  out.reserve(count);
+  for (uint64_t e : ids) out.push_back(g.EdgeEndpoints(static_cast<EdgeId>(e)));
+  return out;
+}
+
+std::vector<std::pair<VertexId, VertexId>> PickNonEdges(const Graph& g,
+                                                        uint32_t count,
+                                                        uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::pair<VertexId, VertexId>> out;
+  out.reserve(count);
+  uint32_t n = g.NumVertices();
+  EGOBW_CHECK(n >= 2);
+  uint64_t attempts = 0;
+  uint64_t max_attempts = 1000ull * count + 1000;
+  while (out.size() < count && ++attempts < max_attempts) {
+    VertexId u = static_cast<VertexId>(rng.NextBounded(n));
+    VertexId v = static_cast<VertexId>(rng.NextBounded(n));
+    if (u == v || g.Degree(u) == 0 || g.Degree(v) == 0) continue;
+    if (g.HasEdge(u, v)) continue;
+    bool dup = false;
+    for (const auto& [a, b] : out) {
+      if ((a == u && b == v) || (a == v && b == u)) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) out.emplace_back(u, v);
+  }
+  return out;
+}
+
+std::vector<uint32_t> PaperKGrid() { return {50, 100, 200, 500, 1000, 2000}; }
+
+std::vector<double> PaperThetaGrid() {
+  return {1.05, 1.10, 1.15, 1.20, 1.25, 1.30};
+}
+
+}  // namespace egobw

@@ -1,0 +1,33 @@
+// Workload builders shared by the benchmark harnesses: random update
+// streams (Exp-3 / Fig. 8) and the paper's parameter grids.
+
+#ifndef EGOBW_BENCHLIB_WORKLOADS_H_
+#define EGOBW_BENCHLIB_WORKLOADS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace egobw {
+
+/// Uniformly chosen existing edges (for deletion workloads).
+std::vector<std::pair<VertexId, VertexId>> PickExistingEdges(
+    const Graph& g, uint32_t count, uint64_t seed);
+
+/// Uniformly chosen vertex pairs that are NOT edges (insertion workloads).
+/// Pairs are sampled with rejection; both endpoints have degree >= 1 so
+/// insertions hit "interesting" regions of the graph.
+std::vector<std::pair<VertexId, VertexId>> PickNonEdges(const Graph& g,
+                                                        uint32_t count,
+                                                        uint64_t seed);
+
+/// The paper's k grid for Fig. 6 / Fig. 11: {50, 100, 200, 500, 1000, 2000}.
+std::vector<uint32_t> PaperKGrid();
+
+/// The paper's θ grid for Fig. 7.
+std::vector<double> PaperThetaGrid();
+
+}  // namespace egobw
+
+#endif  // EGOBW_BENCHLIB_WORKLOADS_H_

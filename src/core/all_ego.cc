@@ -1,0 +1,38 @@
+#include "core/all_ego.h"
+
+#include "core/edge_processor.h"
+#include "graph/degree_order.h"
+#include "graph/edge_set.h"
+#include "util/timer.h"
+
+namespace egobw {
+
+AllEgoState ComputeAllEgoBetweennessWithState(const Graph& g,
+                                              SearchStats* stats) {
+  SearchStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  WallTimer timer;
+  AllEgoState state;
+  state.smaps = std::make_unique<SMapStore>(g);
+  EdgeSet edges(g);
+  DegreeOrder order(g);
+  EdgeProcessor proc(g, edges, state.smaps.get(), stats);
+  // Processing forward edges in ≺ order touches each edge exactly once and
+  // scans the lower-degree endpoint of each edge: O(α m) enumeration.
+  for (VertexId u : order.Order()) proc.ProcessForwardEdgesOf(u, order);
+  state.cb.resize(g.NumVertices());
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    EGOBW_DCHECK(proc.Complete(u));
+    state.cb[u] = state.smaps->EvaluateExact(u);
+  }
+  stats->exact_computations += g.NumVertices();
+  stats->elapsed_seconds += timer.Seconds();
+  return state;
+}
+
+std::vector<double> ComputeAllEgoBetweenness(const Graph& g,
+                                             SearchStats* stats) {
+  return ComputeAllEgoBetweennessWithState(g, stats).cb;
+}
+
+}  // namespace egobw

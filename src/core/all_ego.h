@@ -1,0 +1,32 @@
+// Exact ego-betweenness for all vertices via one shared edge-processing pass
+// (the k = n path of the searches; sequential baseline for the parallel
+// algorithms; state producer for the dynamic maintenance engine).
+
+#ifndef EGOBW_CORE_ALL_EGO_H_
+#define EGOBW_CORE_ALL_EGO_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/ego_types.h"
+#include "core/smap_store.h"
+#include "graph/graph.h"
+
+namespace egobw {
+
+/// CB for every vertex. O(α m d_max) worst case, near-linear in practice.
+std::vector<double> ComputeAllEgoBetweenness(const Graph& g,
+                                             SearchStats* stats = nullptr);
+
+/// Full computation that also returns the complete S maps — the starting
+/// state of the Section-IV maintenance engine.
+struct AllEgoState {
+  std::unique_ptr<SMapStore> smaps;
+  std::vector<double> cb;
+};
+AllEgoState ComputeAllEgoBetweennessWithState(const Graph& g,
+                                              SearchStats* stats = nullptr);
+
+}  // namespace egobw
+
+#endif  // EGOBW_CORE_ALL_EGO_H_

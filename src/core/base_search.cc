@@ -1,0 +1,80 @@
+#include "core/base_search.h"
+
+#include <queue>
+
+#include "core/edge_processor.h"
+#include "core/smap_store.h"
+#include "graph/degree_order.h"
+#include "graph/edge_set.h"
+#include "util/timer.h"
+
+namespace egobw {
+namespace {
+
+/// Min-heap over (cb, vertex) keeping the k best seen so far.
+struct MinCbHeap {
+  explicit MinCbHeap(uint32_t k) : k(k) {}
+
+  void Offer(VertexId v, double cb) {
+    if (heap.size() < k) {
+      heap.emplace(cb, v);
+    } else if (cb > heap.top().first) {
+      heap.pop();
+      heap.emplace(cb, v);
+    }
+  }
+
+  bool Full() const { return heap.size() >= k; }
+  double MinCb() const { return heap.top().first; }
+
+  uint32_t k;
+  std::priority_queue<std::pair<double, VertexId>,
+                      std::vector<std::pair<double, VertexId>>,
+                      std::greater<>>
+      heap;
+};
+
+}  // namespace
+
+TopKResult BaseBSearch(const Graph& g, uint32_t k, SearchStats* stats) {
+  SearchStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  WallTimer timer;
+
+  uint32_t n = g.NumVertices();
+  if (k > n) k = n;
+  TopKResult result;
+  if (k == 0 || n == 0) return result;
+
+  SMapStore smaps(g);
+  EdgeSet edge_set(g);
+  DegreeOrder order(g);
+  EdgeProcessor proc(g, edge_set, &smaps, stats);
+  MinCbHeap top(k);
+
+  uint32_t scanned = 0;
+  for (VertexId u : order.Order()) {
+    double d = g.Degree(u);
+    double ub = d * (d - 1.0) / 2.0;
+    if (top.Full() && top.MinCb() >= ub) {
+      stats->pruned += n - scanned;
+      break;  // Every remaining vertex has an even smaller static bound.
+    }
+    ++scanned;
+    proc.ProcessForwardEdgesOf(u, order);
+    EGOBW_DCHECK(proc.Complete(u));
+    double cb = smaps.EvaluateExact(u);
+    ++stats->exact_computations;
+    top.Offer(u, cb);
+  }
+
+  while (!top.heap.empty()) {
+    result.push_back({top.heap.top().second, top.heap.top().first});
+    top.heap.pop();
+  }
+  FinalizeTopK(&result, k);
+  stats->elapsed_seconds += timer.Seconds();
+  return result;
+}
+
+}  // namespace egobw

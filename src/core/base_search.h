@@ -1,0 +1,26 @@
+// BaseBSearch (Algorithm 1): top-k ego-betweenness with the static upper
+// bound ub(u) = d(u)(d(u)-1)/2 (Lemma 2).
+//
+// Vertices are visited in non-increasing ub order (the total order ≺).
+// Each turn processes the vertex's forward edges — which, in ≺ order,
+// enumerates every triangle exactly once and completes S_u by the end of
+// u's turn — then evaluates CB(u) and updates the running top-k. The scan
+// stops as soon as the k-th best exact value dominates the next vertex's
+// static bound, pruning all remaining vertices.
+
+#ifndef EGOBW_CORE_BASE_SEARCH_H_
+#define EGOBW_CORE_BASE_SEARCH_H_
+
+#include "core/ego_types.h"
+#include "graph/graph.h"
+
+namespace egobw {
+
+/// Returns the top-k vertices by ego-betweenness (cb desc, id asc).
+/// k is clamped to n. O(α m d_max) time, O(m d_max) space worst case.
+TopKResult BaseBSearch(const Graph& g, uint32_t k,
+                       SearchStats* stats = nullptr);
+
+}  // namespace egobw
+
+#endif  // EGOBW_CORE_BASE_SEARCH_H_

@@ -1,0 +1,70 @@
+// The triangle/diamond enumeration engine shared by BaseBSearch, OptBSearch
+// and the full (k = n) computation.
+//
+// Processing an edge (u, v) with common neighborhood C = N(u) ∩ N(v):
+//   Rule A: every w ∈ C forms a triangle (u, v, w); mark (v, w) adjacent in
+//           S_u, (u, w) in S_v, (u, v) in S_w.
+//   Rule B: every non-adjacent pair {x, y} ⊆ C gains connector v in GE(u)
+//           and connector u in GE(v) — a diamond on the shared edge (u, v).
+// Each undirected edge is processed at most once (tracked by a per-edge
+// bitmask — this subsumes the paper's B array and rd(i) bookkeeping).
+// Invariant: once all edges incident to u are processed, S_u is complete and
+// SMapStore::Value(u)/EvaluateExact(u) equal CB(u).
+
+#ifndef EGOBW_CORE_EDGE_PROCESSOR_H_
+#define EGOBW_CORE_EDGE_PROCESSOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/ego_types.h"
+#include "core/smap_store.h"
+#include "graph/degree_order.h"
+#include "graph/edge_set.h"
+#include "graph/graph.h"
+#include "util/bitset.h"
+
+namespace egobw {
+
+class EdgeProcessor {
+ public:
+  /// The processor mutates *smaps and reads g / edges; all must outlive it.
+  EdgeProcessor(const Graph& g, const EdgeSet& edges, SMapStore* smaps,
+                SearchStats* stats);
+
+  /// True iff edge e has already been processed.
+  bool Processed(EdgeId e) const { return processed_[e] != 0; }
+
+  /// Number of edges incident to u not yet processed.
+  uint32_t Remaining(VertexId u) const { return remaining_[u]; }
+
+  /// S_u complete — Value(u) is the exact CB(u).
+  bool Complete(VertexId u) const { return remaining_[u] == 0; }
+
+  /// Processes every unprocessed edge incident to u (OptBSearch's EgoBWCal
+  /// preparation step). Cost: O(Σ_{v ∈ N(u)} d(v)) on first call, less later.
+  void ProcessAllEdgesOf(VertexId u);
+
+  /// Processes u's *forward* edges only — edges (u, v) with u ≺ v. Calling
+  /// this for every vertex in ≺ order processes each edge exactly once and
+  /// completes S_u by the end of u's turn (BaseBSearch's schedule).
+  void ProcessForwardEdgesOf(VertexId u, const DegreeOrder& order);
+
+ private:
+  // Requires marker_ to currently mark N(u); processes the single edge
+  // (u, v) assuming it is unprocessed.
+  void ProcessMarkedEdge(VertexId u, VertexId v, EdgeId e);
+
+  const Graph& g_;
+  const EdgeSet& edges_;
+  SMapStore* smaps_;
+  SearchStats* stats_;
+  std::vector<uint8_t> processed_;   // Per EdgeId.
+  std::vector<uint32_t> remaining_;  // Per vertex.
+  VisitMarker marker_;
+  std::vector<VertexId> scratch_;    // Common-neighbor buffer.
+};
+
+}  // namespace egobw
+
+#endif  // EGOBW_CORE_EDGE_PROCESSOR_H_

@@ -1,0 +1,61 @@
+// Shared types for the top-k ego-betweenness searches.
+
+#ifndef EGOBW_CORE_EGO_TYPES_H_
+#define EGOBW_CORE_EGO_TYPES_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace egobw {
+
+/// One vertex of a top-k answer.
+struct TopKEntry {
+  VertexId vertex;
+  double cb;  ///< Exact ego-betweenness of `vertex`.
+};
+
+/// Top-k answer ordered by (cb descending, vertex ascending).
+using TopKResult = std::vector<TopKEntry>;
+
+/// Instrumentation counters filled by the searches. Table II of the paper
+/// reports exact_computations; the ablation bench reports the rest.
+struct SearchStats {
+  uint64_t exact_computations = 0;  ///< Vertices whose CB was fully computed.
+  uint64_t edges_processed = 0;     ///< Edges run through the edge processor.
+  uint64_t triangles = 0;           ///< Triangle incidences enumerated.
+  uint64_t connector_increments = 0;  ///< Rule-B map increments.
+  uint64_t heap_pushbacks = 0;      ///< OptBSearch bound-tightening re-pushes.
+  uint64_t pruned = 0;              ///< Vertices discarded without computing.
+  double elapsed_seconds = 0.0;
+};
+
+/// Test/diagnostics hook into the searches. All methods have empty defaults.
+class SearchObserver {
+ public:
+  virtual ~SearchObserver() = default;
+  /// A vertex was popped from the candidate structure with its stale bound.
+  virtual void OnPop(VertexId /*v*/, double /*stale_bound*/) {}
+  /// The dynamic upper bound of a popped vertex was (re)computed.
+  virtual void OnBound(VertexId /*v*/, double /*dynamic_bound*/) {}
+  /// The vertex was pushed back with a tightened bound (OptBSearch line 10).
+  virtual void OnPushBack(VertexId /*v*/, double /*bound*/) {}
+  /// The vertex's exact ego-betweenness was computed.
+  virtual void OnExact(VertexId /*v*/, double /*cb*/) {}
+};
+
+/// Sorts entries into the canonical answer order and truncates to k.
+inline void FinalizeTopK(TopKResult* result, uint32_t k) {
+  std::sort(result->begin(), result->end(),
+            [](const TopKEntry& a, const TopKEntry& b) {
+              if (a.cb != b.cb) return a.cb > b.cb;
+              return a.vertex < b.vertex;
+            });
+  if (result->size() > k) result->resize(k);
+}
+
+}  // namespace egobw
+
+#endif  // EGOBW_CORE_EGO_TYPES_H_

@@ -1,0 +1,54 @@
+#include "core/naive.h"
+
+namespace egobw {
+
+Fraction ReferenceEgoBetweenness(const Graph& g, VertexId u) {
+  auto nbrs = g.Neighbors(u);
+  Fraction cb;
+  for (size_t i = 0; i < nbrs.size(); ++i) {
+    for (size_t j = i + 1; j < nbrs.size(); ++j) {
+      VertexId a = nbrs[i];
+      VertexId b = nbrs[j];
+      if (g.HasEdge(a, b)) continue;
+      int64_t connectors = 0;
+      for (VertexId w : nbrs) {
+        if (w != a && w != b && g.HasEdge(w, a) && g.HasEdge(w, b)) {
+          ++connectors;
+        }
+      }
+      cb += Fraction(1, connectors + 1);
+    }
+  }
+  return cb;
+}
+
+double ReferenceEgoBetweennessDouble(const Graph& g, VertexId u) {
+  auto nbrs = g.Neighbors(u);
+  double cb = 0.0;
+  for (size_t i = 0; i < nbrs.size(); ++i) {
+    for (size_t j = i + 1; j < nbrs.size(); ++j) {
+      VertexId a = nbrs[i];
+      VertexId b = nbrs[j];
+      if (g.HasEdge(a, b)) continue;
+      int64_t connectors = 0;
+      for (VertexId w : nbrs) {
+        if (w != a && w != b && g.HasEdge(w, a) && g.HasEdge(w, b)) {
+          ++connectors;
+        }
+      }
+      cb += 1.0 / static_cast<double>(connectors + 1);
+    }
+  }
+  return cb;
+}
+
+std::vector<double> ComputeAllEgoBetweennessNaive(const Graph& g) {
+  std::vector<double> cb(g.NumVertices());
+  EgoScratch scratch(g.NumVertices());
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    cb[u] = ComputeEgoBetweennessLocal(g, u, &scratch);
+  }
+  return cb;
+}
+
+}  // namespace egobw

@@ -1,0 +1,87 @@
+// Direct per-vertex ego-betweenness computation (no shared state).
+//
+// This is the paper's "straightforward algorithm" building block: construct
+// GE(u) implicitly and evaluate the definition. It serves three roles:
+//  * ground truth for the search algorithms (tests),
+//  * the on-demand recomputation primitive of the lazy top-k maintenance,
+//  * the all-vertices naive baseline benchmarked against the map-based pass.
+//
+// ComputeEgoBetweennessLocal is a template so it runs on both the immutable
+// CSR Graph and the mutable DynamicGraph.
+
+#ifndef EGOBW_CORE_NAIVE_H_
+#define EGOBW_CORE_NAIVE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/bitset.h"
+#include "util/fraction.h"
+#include "util/hash.h"
+#include "util/pair_count_map.h"
+
+namespace egobw {
+
+/// Reusable scratch space for repeated local computations.
+struct EgoScratch {
+  explicit EgoScratch(uint32_t n) : marker(n) {}
+  VisitMarker marker;
+  PairCountMap counts;
+  std::vector<VertexId> in_ego;
+};
+
+/// Exact CB(u) by local enumeration:
+/// for every neighbor x of u, the common neighbors N(x) ∩ N(u) are collected;
+/// every non-adjacent pair among them gains connector x; finally
+/// CB(u) = C(d,2) − (#adjacent pairs) − (#counted pairs) + Σ 1/(cnt+1).
+/// Cost: O( Σ_{x ∈ N(u)} d(x)  +  Σ_x |N(x) ∩ N(u)|² ).
+template <typename GraphT>
+double ComputeEgoBetweennessLocal(const GraphT& g, VertexId u,
+                                  EgoScratch* scratch) {
+  const auto& nbrs = g.Neighbors(u);
+  uint64_t d = nbrs.size();
+  if (d < 2) return 0.0;
+  scratch->marker.Clear();
+  for (VertexId w : nbrs) scratch->marker.Mark(w);
+  scratch->counts.Clear();
+  uint64_t adjacent_pairs_twice = 0;
+  for (VertexId x : nbrs) {
+    scratch->in_ego.clear();
+    for (VertexId w : g.Neighbors(x)) {
+      if (scratch->marker.IsMarked(w)) scratch->in_ego.push_back(w);
+    }
+    adjacent_pairs_twice += scratch->in_ego.size();
+    for (size_t i = 0; i < scratch->in_ego.size(); ++i) {
+      for (size_t j = i + 1; j < scratch->in_ego.size(); ++j) {
+        VertexId a = scratch->in_ego[i];
+        VertexId b = scratch->in_ego[j];
+        if (!g.HasEdge(a, b)) scratch->counts.AddCount(PackPair(a, b), 1);
+      }
+    }
+  }
+  double cb = static_cast<double>(d) * (static_cast<double>(d) - 1.0) / 2.0;
+  cb -= static_cast<double>(adjacent_pairs_twice / 2);
+  cb -= static_cast<double>(scratch->counts.size());
+  scratch->counts.ForEach([&cb](uint64_t /*key*/, int32_t val) {
+    cb += 1.0 / (val + 1.0);
+  });
+  return cb;
+}
+
+/// Exact CB(u) as a Fraction via the O(d³) definition — the test oracle.
+/// Aborts on int64 overflow (possible for high-degree vertices whose
+/// connector counts are diverse); use the double variant there.
+Fraction ReferenceEgoBetweenness(const Graph& g, VertexId u);
+
+/// Same O(d³) triple loop accumulating in double — the oracle for vertices
+/// whose exact rational sum would overflow.
+double ReferenceEgoBetweennessDouble(const Graph& g, VertexId u);
+
+/// All vertices via repeated local computation (the straightforward
+/// baseline the paper's Section II argues is too expensive at scale).
+std::vector<double> ComputeAllEgoBetweennessNaive(const Graph& g);
+
+}  // namespace egobw
+
+#endif  // EGOBW_CORE_NAIVE_H_

@@ -1,0 +1,109 @@
+#include "core/opt_search.h"
+
+#include <queue>
+
+#include "core/edge_processor.h"
+#include "core/smap_store.h"
+#include "graph/degree_order.h"
+#include "graph/edge_set.h"
+#include "util/indexed_max_heap.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace egobw {
+namespace {
+
+// Guards bound comparisons against the tiny floating-point drift of the
+// incrementally maintained ũb (see SMapStore).
+constexpr double kBoundSlack = 1e-9;
+
+struct MinCbHeap {
+  explicit MinCbHeap(uint32_t k) : k(k) {}
+  void Offer(VertexId v, double cb) {
+    if (heap.size() < k) {
+      heap.emplace(cb, v);
+    } else if (cb > heap.top().first) {
+      heap.pop();
+      heap.emplace(cb, v);
+    }
+  }
+  bool Full() const { return heap.size() >= k; }
+  double MinCb() const { return heap.top().first; }
+  uint32_t k;
+  std::priority_queue<std::pair<double, VertexId>,
+                      std::vector<std::pair<double, VertexId>>,
+                      std::greater<>>
+      heap;
+};
+
+}  // namespace
+
+TopKResult OptBSearch(const Graph& g, uint32_t k,
+                      const OptBSearchOptions& options, SearchStats* stats) {
+  EGOBW_CHECK_MSG(options.theta >= 1.0, "theta must be >= 1");
+  SearchStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  WallTimer timer;
+
+  uint32_t n = g.NumVertices();
+  if (k > n) k = n;
+  TopKResult result;
+  if (k == 0 || n == 0) return result;
+
+  SMapStore smaps(g);
+  EdgeSet edge_set(g);
+  EdgeProcessor proc(g, edge_set, &smaps, stats);
+  MinCbHeap top(k);
+  SearchObserver* obs = options.observer;
+
+  IndexedMaxHeap heap(n);
+  for (VertexId v = 0; v < n; ++v) {
+    double d = g.Degree(v);
+    heap.Push(v, d * (d - 1.0) / 2.0);
+  }
+
+  while (!heap.empty()) {
+    auto [v, stale_bound] = heap.PopMax();
+    if (obs != nullptr) obs->OnPop(v, stale_bound);
+
+    // Lemma 3: the current ũb(v) is maintained incrementally by the store.
+    double ub = smaps.Value(v);
+    if (obs != nullptr) obs->OnBound(v, ub);
+
+    if (options.theta * ub < stale_bound - kBoundSlack) {
+      // The bound tightened substantially since v was (re)inserted.
+      if (!top.Full() || ub > top.MinCb() + kBoundSlack) {
+        heap.Push(v, ub);
+        ++stats->heap_pushbacks;
+        if (obs != nullptr) obs->OnPushBack(v, ub);
+      } else {
+        ++stats->pruned;  // Can never beat the current k-th value.
+      }
+      continue;
+    }
+
+    if (top.Full() && stale_bound <= top.MinCb() + kBoundSlack) {
+      // Keys upper-bound true values and stale_bound is the largest key:
+      // nothing left can enter the answer.
+      stats->pruned += 1 + heap.size();
+      break;
+    }
+
+    // EgoBWCal: complete S_v by processing its remaining incident edges.
+    proc.ProcessAllEdgesOf(v);
+    double cb = smaps.EvaluateExact(v);
+    ++stats->exact_computations;
+    if (obs != nullptr) obs->OnExact(v, cb);
+    top.Offer(v, cb);
+  }
+
+  while (!top.heap.empty()) {
+    result.push_back({top.heap.top().second, top.heap.top().first});
+    top.heap.pop();
+  }
+  FinalizeTopK(&result, k);
+  stats->elapsed_seconds += timer.Seconds();
+  return result;
+}
+
+}  // namespace egobw

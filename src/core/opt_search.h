@@ -1,0 +1,44 @@
+// OptBSearch (Algorithm 2 + EgoBWCal, Algorithm 3): top-k ego-betweenness
+// with the dynamic upper bound ũb (Lemma 3).
+//
+// All vertices start in a max-heap H keyed by the static bound d(d-1)/2.
+// While other vertices' ego-betweennesses are computed, the shared S maps
+// accumulate "identified information" that tightens every vertex's ũb —
+// the SMapStore maintains ũb(u) incrementally, so reading the current bound
+// is O(1). Popping vertex v* with stale key t̂b:
+//   * if θ·ũb(v*) < t̂b, the bound dropped substantially: push v* back with
+//     the tighter key (or prune it outright if it can no longer beat the
+//     current k-th value) and pop the next candidate;
+//   * else if |R| = k and t̂b ≤ min CB(R), terminate — every remaining key
+//     is ≤ t̂b and keys upper-bound the true values;
+//   * else compute CB(v*) exactly (process its remaining incident edges)
+//     and update R.
+// θ ≥ 1 trades heap-maintenance cost against extra exact computations
+// (Exp-2 of the paper).
+
+#ifndef EGOBW_CORE_OPT_SEARCH_H_
+#define EGOBW_CORE_OPT_SEARCH_H_
+
+#include "core/ego_types.h"
+#include "graph/graph.h"
+
+namespace egobw {
+
+/// Tuning and instrumentation knobs for OptBSearch.
+struct OptBSearchOptions {
+  /// Gradient ratio θ ≥ 1 (paper default 1.05).
+  double theta = 1.05;
+  /// Optional hook receiving pops/bounds/pushbacks/exact computations.
+  SearchObserver* observer = nullptr;
+};
+
+/// Returns the top-k vertices by ego-betweenness (cb desc, id asc).
+/// Same worst-case complexity as BaseBSearch, substantially faster in
+/// practice thanks to the tighter, dynamically-updated bound.
+TopKResult OptBSearch(const Graph& g, uint32_t k,
+                      const OptBSearchOptions& options = {},
+                      SearchStats* stats = nullptr);
+
+}  // namespace egobw
+
+#endif  // EGOBW_CORE_OPT_SEARCH_H_

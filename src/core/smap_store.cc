@@ -1,0 +1,114 @@
+#include "core/smap_store.h"
+
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace egobw {
+namespace {
+
+// Contribution of a counted pair with `count` connectors: a random shortest
+// path between the pair goes through the ego with probability 1/(count+1).
+inline double Contribution(int32_t count) { return 1.0 / (count + 1.0); }
+
+constexpr int32_t kAbsentSentinel = -1;
+
+}  // namespace
+
+SMapStore::SMapStore(const Graph& g)
+    : maps_(g.NumVertices()),
+      value_(g.NumVertices()),
+      degree_(g.NumVertices()) {
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    degree_[u] = g.Degree(u);
+    double d = degree_[u];
+    value_[u] = d * (d - 1.0) / 2.0;
+  }
+}
+
+SMapStore::SMapStore(uint32_t n)
+    : maps_(n), value_(n, 0.0), degree_(n, 0) {}
+
+double SMapStore::EvaluateExact(VertexId u) const {
+  double d = degree_[u];
+  double value = d * (d - 1.0) / 2.0;
+  value -= static_cast<double>(maps_[u].size());
+  maps_[u].ForEach([&value](uint64_t /*key*/, int32_t val) {
+    if (val != PairCountMap::kAdjacent) value += Contribution(val);
+  });
+  return value;
+}
+
+void SMapStore::SetAdjacent(VertexId u, VertexId x, VertexId y) {
+  uint64_t key = PackPair(x, y);
+  int32_t prev = maps_[u].GetOr(key, kAbsentSentinel);
+  if (prev == PairCountMap::kAdjacent) return;  // Already marked.
+  if (prev == kAbsentSentinel) {
+    value_[u] -= 1.0;  // Pair contributed 1; adjacent pairs contribute 0.
+  } else {
+    value_[u] -= Contribution(prev);
+    maps_[u].Erase(key, kAbsentSentinel);
+  }
+  maps_[u].SetAdjacent(key);
+}
+
+void SMapStore::AddConnectors(VertexId u, VertexId x, VertexId y,
+                              int32_t delta) {
+  if (delta == 0) return;
+  uint64_t key = PackPair(x, y);
+  int32_t prev = maps_[u].AddCount(key, delta);
+  int32_t next = prev + delta;
+  EGOBW_DCHECK(next >= 0);
+  value_[u] += Contribution(next) - Contribution(prev);
+}
+
+void SMapStore::AdjacentToCounted(VertexId u, VertexId x, VertexId y,
+                                  int32_t count) {
+  EGOBW_DCHECK(count >= 0);
+  uint64_t key = PackPair(x, y);
+  int32_t prev = maps_[u].Erase(key, kAbsentSentinel);
+  EGOBW_DCHECK(prev == PairCountMap::kAdjacent);
+  (void)prev;
+  if (count > 0) maps_[u].AddCount(key, count);
+  value_[u] += Contribution(count);  // From 0 (adjacent) to 1/(count+1).
+}
+
+void SMapStore::OnNeighborAdded(VertexId u) {
+  value_[u] += static_cast<double>(degree_[u]);
+  ++degree_[u];
+}
+
+void SMapStore::RemovePair(VertexId u, VertexId x, VertexId y) {
+  uint64_t key = PackPair(x, y);
+  int32_t prev = maps_[u].Erase(key, kAbsentSentinel);
+  if (prev == kAbsentSentinel) {
+    value_[u] -= 1.0;
+  } else if (prev != PairCountMap::kAdjacent) {
+    value_[u] -= Contribution(prev);
+  }
+  // Adjacent pairs contributed 0: nothing to subtract.
+}
+
+void SMapStore::OnNeighborRemoved(VertexId u) {
+  EGOBW_DCHECK(degree_[u] > 0);
+  --degree_[u];
+}
+
+int32_t SMapStore::GetPair(VertexId u, VertexId x, VertexId y,
+                           int32_t absent) const {
+  return maps_[u].GetOr(PackPair(x, y), absent);
+}
+
+uint64_t SMapStore::TotalEntries() const {
+  uint64_t total = 0;
+  for (const auto& m : maps_) total += m.size();
+  return total;
+}
+
+size_t SMapStore::MemoryBytes() const {
+  size_t total = value_.capacity() * sizeof(double) +
+                 degree_.capacity() * sizeof(uint32_t);
+  for (const auto& m : maps_) total += m.MemoryBytes();
+  return total;
+}
+
+}  // namespace egobw

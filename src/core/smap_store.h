@@ -1,0 +1,93 @@
+// Per-vertex shortest-path-count maps with an incrementally maintained
+// Lemma-2 value.
+//
+// For each vertex u the store keeps the paper's S_u: neighbor pairs of u that
+// are either adjacent inside GE(u) (ADJ marker) or have >= 1 identified
+// connector (counted). It also maintains, per vertex, the running value
+//
+//   value(u) = C(deg(u), 2) - |S_u| + Σ_{counted pairs} 1/(val+1)
+//
+// which is exactly the paper's dynamic upper bound ũb(u) (Lemma 3) while
+// information is partial, and exactly CB(u) once every edge incident to u has
+// been processed (Lemma 2). Every mutation updates value(u) in O(1), so
+// OptBSearch reads bounds for free and the maintenance algorithms of
+// Section IV update CB(u) by replaying only the affected entries.
+
+#ifndef EGOBW_CORE_SMAP_STORE_H_
+#define EGOBW_CORE_SMAP_STORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/pair_count_map.h"
+
+namespace egobw {
+
+class SMapStore {
+ public:
+  /// Initializes empty maps: value(u) = C(deg(u), 2) for every u of g.
+  explicit SMapStore(const Graph& g);
+
+  /// Empty store over n isolated vertices (degrees all 0).
+  explicit SMapStore(uint32_t n);
+
+  uint32_t NumVertices() const {
+    return static_cast<uint32_t>(maps_.size());
+  }
+
+  /// Degree the store believes u has (kept in sync by the dynamic engine).
+  uint32_t DegreeOf(VertexId u) const { return degree_[u]; }
+
+  /// Current Lemma-2 value: dynamic upper bound ũb(u), equal to CB(u) once
+  /// S_u is complete. Monotonically non-increasing under static processing.
+  double Value(VertexId u) const { return value_[u]; }
+
+  /// Recomputes the Lemma-2 value by scanning the map (no accumulated
+  /// floating-point drift). Used for final exact answers.
+  double EvaluateExact(VertexId u) const;
+
+  /// Marks pair (x, y) adjacent in GE(u). Handles all prior states
+  /// (absent / counted / already adjacent) with correct value accounting.
+  void SetAdjacent(VertexId u, VertexId x, VertexId y);
+
+  /// Adds delta (+/-) connectors to non-adjacent pair (x, y) in GE(u).
+  /// The entry is erased when the count returns to 0.
+  void AddConnectors(VertexId u, VertexId x, VertexId y, int32_t delta);
+
+  /// Dynamic-delete transition: pair (x, y) goes from adjacent to
+  /// non-adjacent with `count` remaining connectors.
+  void AdjacentToCounted(VertexId u, VertexId x, VertexId y, int32_t count);
+
+  /// u gained neighbor v: deg(u) new pairs (v, x) appear, all initially
+  /// absent (contribution 1 each). Call before Set/Add ops for the new pairs.
+  void OnNeighborAdded(VertexId u);
+
+  /// Removes pair (x, y) from S_u entirely (x or y left N(u)), subtracting
+  /// its current contribution (1 if absent, 0 if adjacent, 1/(val+1) else).
+  void RemovePair(VertexId u, VertexId x, VertexId y);
+
+  /// u lost a neighbor; call after RemovePair for each vanished pair.
+  void OnNeighborRemoved(VertexId u);
+
+  /// Raw connector count of pair (x,y) in S_u; `absent` when not present.
+  /// PairCountMap::kAdjacent (0) means adjacent.
+  int32_t GetPair(VertexId u, VertexId x, VertexId y, int32_t absent) const;
+
+  /// Read-only access for tests and evaluation loops.
+  const PairCountMap& MapOf(VertexId u) const { return maps_[u]; }
+
+  /// Total entries across all maps (memory diagnostics).
+  uint64_t TotalEntries() const;
+
+  size_t MemoryBytes() const;
+
+ private:
+  std::vector<PairCountMap> maps_;
+  std::vector<double> value_;
+  std::vector<uint32_t> degree_;
+};
+
+}  // namespace egobw
+
+#endif  // EGOBW_CORE_SMAP_STORE_H_

@@ -1,0 +1,235 @@
+#include "dynamic/lazy_topk.h"
+
+#include "core/all_ego.h"
+
+namespace egobw {
+namespace {
+
+// Slack for comparisons between recomputed doubles.
+constexpr double kEps = 1e-9;
+
+}  // namespace
+
+LazyTopK::LazyTopK(const Graph& initial, uint32_t k)
+    : graph_(initial),
+      k_(std::min<uint32_t>(k, initial.NumVertices())),
+      scratch_(initial.NumVertices()),
+      probe_marker_(initial.NumVertices()),
+      val_(ComputeAllEgoBetweenness(initial)),
+      exact_(initial.NumVertices(), 1),
+      in_r_(initial.NumVertices(), 0),
+      heap_(initial.NumVertices()) {
+  // Seed R with the exact top-k; everyone else goes to the candidate heap
+  // with an exact value (exact values are upper bounds of themselves).
+  std::vector<VertexId> by_cb(initial.NumVertices());
+  for (VertexId v = 0; v < initial.NumVertices(); ++v) by_cb[v] = v;
+  std::sort(by_cb.begin(), by_cb.end(), [this](VertexId a, VertexId b) {
+    if (val_[a] != val_[b]) return val_[a] > val_[b];
+    return a < b;
+  });
+  for (uint32_t i = 0; i < initial.NumVertices(); ++i) {
+    VertexId v = by_cb[i];
+    if (i < k_) {
+      r_.emplace(val_[v], v);
+      in_r_[v] = 1;
+    } else {
+      heap_.Push(v, val_[v]);
+    }
+  }
+}
+
+TopKResult LazyTopK::CurrentTopK() {
+  // Refresh members that went stale under deletions. Their true CB is >=
+  // the stored value, so refreshing only strengthens them — membership
+  // cannot change, no invariant repair is needed.
+  std::vector<std::pair<double, VertexId>> stale;
+  for (const auto& entry : r_) {
+    if (!exact_[entry.second]) stale.push_back(entry);
+  }
+  for (const auto& [old_val, v] : stale) {
+    double cb = RecomputeExact(v);
+    EGOBW_DCHECK(cb >= old_val - kEps);
+    UpdateRMember(v, old_val, cb);
+  }
+  TopKResult result;
+  result.reserve(r_.size());
+  for (const auto& [cb, v] : r_) result.push_back({v, cb});
+  FinalizeTopK(&result, k_);
+  return result;
+}
+
+double LazyTopK::RecomputeExact(VertexId v) {
+  ++exact_recomputations_;
+  return ComputeEgoBetweennessLocal(graph_, v, &scratch_);
+}
+
+void LazyTopK::UpdateRMember(VertexId v, double old_cb, double new_cb) {
+  r_.erase({old_cb, v});
+  r_.emplace(new_cb, v);
+  val_[v] = new_cb;
+  exact_[v] = 1;
+}
+
+void LazyTopK::HandleOutsiderMayIncrease(VertexId v, double bound) {
+  bound = std::min(bound, StaticBound(v));
+  double threshold = r_.empty() ? -1.0 : r_.begin()->first;
+  if (bound > threshold + kEps) {
+    // Could enter the top-k: resolve now (paper's Algorithm 6 lines 11-15).
+    val_[v] = RecomputeExact(v);
+    exact_[v] = 1;
+  } else {
+    // Cannot enter until the threshold drops below the bound: store the
+    // bound and defer the exact computation (line 16).
+    val_[v] = bound;
+    exact_[v] = 0;
+  }
+  heap_.Update(v, val_[v]);
+}
+
+uint32_t LazyTopK::CommonCount(VertexId w, VertexId other) {
+  // probe_marker_ must currently mark N(other).
+  uint32_t count = 0;
+  for (VertexId x : graph_.Neighbors(w)) {
+    count += probe_marker_.IsMarked(x);
+  }
+  (void)other;
+  return count;
+}
+
+void LazyTopK::RestoreInvariant() {
+  while (!r_.empty() && !heap_.empty()) {
+    auto [candidate, key] = heap_.Top();
+    auto weakest = *r_.begin();
+    // The weakest member's stored value is a lower bound on its CB, so a
+    // candidate whose upper bound falls below it can never displace anyone.
+    if (key <= weakest.first + kEps) break;
+    if (!exact_[candidate]) {
+      double cb = RecomputeExact(candidate);
+      val_[candidate] = cb;
+      exact_[candidate] = 1;
+      heap_.Update(candidate, cb);
+      continue;
+    }
+    if (!exact_[weakest.second]) {
+      // The blocking member is stale (its CB may have grown): refresh it
+      // before deciding the swap.
+      double cb = RecomputeExact(weakest.second);
+      UpdateRMember(weakest.second, weakest.first, cb);
+      continue;
+    }
+    // Exact outsider beats the weakest (exact) member: swap them.
+    heap_.PopMax();
+    r_.erase(r_.begin());
+    in_r_[weakest.second] = 0;
+    heap_.Push(weakest.second, weakest.first);
+    r_.emplace(val_[candidate], candidate);
+    in_r_[candidate] = 1;
+  }
+}
+
+Status LazyTopK::InsertEdge(VertexId u, VertexId v) {
+  graph_.CommonNeighbors(u, v, &common_);  // L before (== after) insertion.
+  double old_degree_u = graph_.Degree(u);
+  double old_degree_v = graph_.Degree(v);
+  EGOBW_RETURN_IF_ERROR(graph_.InsertEdge(u, v));
+  std::vector<VertexId> commons = common_;
+
+  // Endpoints: CB direction unknown, but Lemma 4 bounds the increase by the
+  // number of new non-adjacent pairs (v, x), i.e. deg_old − |L|. (R members
+  // keep val_ exact, so val_[e] is the current key inside r_.)
+  double increments[2] = {
+      std::max(0.0, old_degree_u - static_cast<double>(commons.size())),
+      std::max(0.0, old_degree_v - static_cast<double>(commons.size()))};
+  int side = 0;
+  for (VertexId e : {u, v}) {
+    if (InR(e)) {
+      double cb = RecomputeExact(e);
+      UpdateRMember(e, val_[e], cb);
+    } else {
+      HandleOutsiderMayIncrease(e, val_[e] + increments[side]);
+    }
+    ++side;
+  }
+  // Common neighbors: CB never increases (Section IV-C), so an old value
+  // stays a valid upper bound.
+  for (VertexId w : commons) {
+    if (InR(w)) {
+      double cb = RecomputeExact(w);
+      UpdateRMember(w, val_[w], cb);
+    } else {
+      exact_[w] = 0;  // val_[w] remains a valid (possibly loose) bound.
+    }
+  }
+  RestoreInvariant();
+  return Status::OK();
+}
+
+Status LazyTopK::AttachVertex(VertexId v,
+                              const std::vector<VertexId>& neighbors) {
+  for (VertexId w : neighbors) {
+    EGOBW_RETURN_IF_ERROR(InsertEdge(v, w));
+  }
+  return Status::OK();
+}
+
+Status LazyTopK::DetachVertex(VertexId v) {
+  if (v >= graph_.NumVertices()) {
+    return Status::OutOfRange("DetachVertex: vertex out of range");
+  }
+  std::vector<VertexId> neighbors = graph_.Neighbors(v);
+  for (VertexId w : neighbors) {
+    EGOBW_RETURN_IF_ERROR(DeleteEdge(v, w));
+  }
+  return Status::OK();
+}
+
+Status LazyTopK::DeleteEdge(VertexId u, VertexId v) {
+  if (!graph_.HasEdge(u, v)) {
+    return Status::NotFound("DeleteEdge: edge not present");
+  }
+  graph_.CommonNeighbors(u, v, &common_);
+  EGOBW_RETURN_IF_ERROR(graph_.DeleteEdge(u, v));
+  std::vector<VertexId> commons = common_;
+
+  // Endpoints: direction unknown; Lemma 6 bounds the increase — only the
+  // C(|L|, 2) pairs inside L lose a connector, each gaining ≤ 1/2.
+  double l = commons.size();
+  double endpoint_increment = l * (l - 1.0) / 4.0;
+  for (VertexId e : {u, v}) {
+    if (InR(e)) {
+      double cb = RecomputeExact(e);
+      UpdateRMember(e, val_[e], cb);
+    } else {
+      HandleOutsiderMayIncrease(e, val_[e] + endpoint_increment);
+    }
+  }
+  // Common neighbors: CB never decreases — an outsider's old value may now
+  // undercut the truth. Lemma 7 bounds the increase by 1 (the freed pair
+  // (u, v)) plus 1/2 per pair that lost u or v as a connector, which is at
+  // most |N(w) ∩ N(u)| + |N(w) ∩ N(v)| halved.
+  std::vector<double> increment(commons.size(), 1.0);
+  for (VertexId endpoint : {u, v}) {
+    probe_marker_.Clear();
+    for (VertexId x : graph_.Neighbors(endpoint)) probe_marker_.Mark(x);
+    for (size_t i = 0; i < commons.size(); ++i) {
+      if (!InR(commons[i])) {
+        increment[i] += 0.5 * CommonCount(commons[i], endpoint);
+      }
+    }
+  }
+  for (size_t i = 0; i < commons.size(); ++i) {
+    VertexId w = commons[i];
+    if (InR(w)) {
+      // CB(w) is non-decreasing under deletion, so membership stays valid
+      // with the stored (now lower-bound) value; defer the recompute to
+      // query time (the paper's key LazyDelete saving).
+      exact_[w] = 0;
+    } else {
+      HandleOutsiderMayIncrease(w, val_[w] + increment[i]);
+    }
+  }
+  RestoreInvariant();
+  return Status::OK();
+}
+
+}  // namespace egobw

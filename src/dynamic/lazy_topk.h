@@ -1,0 +1,125 @@
+// Lazy maintenance of the top-k result set under edge updates (Section IV-C,
+// Algorithm 6: LazyInsert / LazyDelete).
+//
+// Unlike the local-update engine, this structure maintains *only* the answer
+// set R exactly. Every other vertex carries a value that is a valid upper
+// bound on its current ego-betweenness, plus a flag saying whether the value
+// is exact. The paper's monotonicity observations decide how cheaply a bound
+// survives an update:
+//   * insert (u, v): CB of common neighbors never increases (their stored
+//     value remains a valid bound — just mark it inexact); the endpoints'
+//     direction is unknown, but their static bound d(d-1)/2 grew and is used;
+//   * delete (u, v): CB of common neighbors never decreases (their old value
+//     may be violated — refresh to the static bound) and endpoints are again
+//     covered by the (now smaller) static bound.
+// A vertex is recomputed exactly (local ego-network evaluation) only when its
+// bound could place it inside the top-k. Deviation from the paper's
+// pseudo-code, documented in DESIGN.md: stale entries store an upper bound
+// rather than the outdated CB value, which makes the max-selection a sound
+// branch-and-bound and keeps the answer provably correct across arbitrary
+// update sequences.
+//
+// The bounds are tightened beyond the static d(d-1)/2 using the update
+// lemmas themselves — the CB increase caused by one edge update is small
+// and cheaply boundable:
+//   * insert, endpoint u:      ΔCB(u) ≤ deg_old(u) − |L|   (new pairs ≤ 1)
+//   * delete, endpoint u:      ΔCB(u) ≤ C(|L|, 2) / 2      (each freed
+//     pair's probability rises by at most 1/S − 1/(S+1) ≤ 1/2)
+//   * delete, common neighbor: ΔCB(w) ≤ 1 + (|N(w)∩N(u)| + |N(w)∩N(v)|)/2
+// so stale bounds stay within a small additive term of the true value and
+// hub vertices are almost never recomputed needlessly.
+
+#ifndef EGOBW_DYNAMIC_LAZY_TOPK_H_
+#define EGOBW_DYNAMIC_LAZY_TOPK_H_
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "core/ego_types.h"
+#include "core/naive.h"
+#include "graph/dynamic_graph.h"
+#include "graph/graph.h"
+#include "util/indexed_max_heap.h"
+#include "util/status.h"
+
+namespace egobw {
+
+class LazyTopK {
+ public:
+  /// Computes the initial exact top-k of `initial` (k clamped to n).
+  LazyTopK(const Graph& initial, uint32_t k);
+
+  const DynamicGraph& graph() const { return graph_; }
+  uint32_t k() const { return k_; }
+
+  /// Current top-k, ordered (cb desc, id asc). Values are exact: members
+  /// whose values went stale under deletions (where CB is non-decreasing,
+  /// so membership never needs an eager recompute — the paper's LazyDelete
+  /// observation) are refreshed here, at query time.
+  TopKResult CurrentTopK();
+
+  /// LazyInsert: restores the top-k after inserting (u, v).
+  Status InsertEdge(VertexId u, VertexId v);
+
+  /// LazyDelete: restores the top-k after deleting (u, v).
+  Status DeleteEdge(VertexId u, VertexId v);
+
+  /// Vertex insertion as a series of edge insertions (Section IV).
+  Status AttachVertex(VertexId v, const std::vector<VertexId>& neighbors);
+
+  /// Vertex deletion: removes every incident edge of v.
+  Status DetachVertex(VertexId v);
+
+  /// Number of exact per-vertex recomputations performed so far (the cost
+  /// the lazy scheme tries to minimize).
+  uint64_t exact_recomputations() const { return exact_recomputations_; }
+
+ private:
+  /// True iff v currently belongs to R.
+  bool InR(VertexId v) const { return in_r_[v] != 0; }
+
+  double StaticBound(VertexId v) const {
+    double d = graph_.Degree(v);
+    return d * (d - 1.0) / 2.0;
+  }
+
+  double RecomputeExact(VertexId v);
+
+  /// Re-keys an R member after its exact value changed.
+  void UpdateRMember(VertexId v, double old_cb, double new_cb);
+
+  /// Handles an affected vertex outside R whose CB may have increased but
+  /// is provably ≤ bound: recompute now if the bound beats the current
+  /// threshold, otherwise store the bound. The static d(d-1)/2 bound is
+  /// intersected in, so callers may pass a loose increment bound.
+  void HandleOutsiderMayIncrease(VertexId v, double bound);
+
+  /// |N(w) ∩ N(other)|, for the delete increment bound.
+  uint32_t CommonCount(VertexId w, VertexId other);
+
+  /// Branch-and-bound loop: pops heap candidates that beat min CB(R),
+  /// recomputing stale bounds, until R is the true top-k again.
+  void RestoreInvariant();
+
+  DynamicGraph graph_;
+  uint32_t k_;
+  EgoScratch scratch_;
+  VisitMarker probe_marker_;
+  // Value per vertex: exact CB if exact_[v], else a valid upper bound.
+  std::vector<double> val_;
+  std::vector<uint8_t> exact_;
+  std::vector<uint8_t> in_r_;
+  // R ordered by (value, id) ascending: begin() is the threshold member.
+  // Values of members with exact_[v] == 0 are *lower bounds* (they can only
+  // have grown since, via deletions), which keeps membership sound.
+  std::set<std::pair<double, VertexId>> r_;
+  // All vertices outside R, keyed by val_.
+  IndexedMaxHeap heap_;
+  std::vector<VertexId> common_;
+  uint64_t exact_recomputations_ = 0;
+};
+
+}  // namespace egobw
+
+#endif  // EGOBW_DYNAMIC_LAZY_TOPK_H_

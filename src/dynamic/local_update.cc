@@ -1,0 +1,189 @@
+#include "dynamic/local_update.h"
+
+#include "core/all_ego.h"
+
+namespace egobw {
+
+LocalUpdateEngine::LocalUpdateEngine(const Graph& initial)
+    : graph_(initial),
+      mark_u_(initial.NumVertices()),
+      mark_v_(initial.NumVertices()),
+      mark_l_(initial.NumVertices()) {
+  AllEgoState state = ComputeAllEgoBetweennessWithState(initial);
+  smaps_ = std::move(state.smaps);
+}
+
+std::vector<double> LocalUpdateEngine::AllCB() const {
+  std::vector<double> cb(graph_.NumVertices());
+  for (VertexId u = 0; u < graph_.NumVertices(); ++u) {
+    cb[u] = smaps_->Value(u);
+  }
+  return cb;
+}
+
+void LocalUpdateEngine::ComputeCommonNeighbors(VertexId u, VertexId v) {
+  graph_.CommonNeighbors(u, v, &common_);
+}
+
+void LocalUpdateEngine::MarkNeighborhoods(VertexId u, VertexId v) {
+  mark_u_.Clear();
+  for (VertexId x : graph_.Neighbors(u)) mark_u_.Mark(x);
+  mark_u_.Unmark(v);  // Treat (u, v) itself as absent on both sides.
+  mark_v_.Clear();
+  for (VertexId x : graph_.Neighbors(v)) mark_v_.Mark(x);
+  mark_v_.Unmark(u);
+  mark_l_.Clear();
+  for (VertexId x : common_) mark_l_.Mark(x);
+}
+
+Status LocalUpdateEngine::InsertEdge(VertexId u, VertexId v) {
+  if (u >= graph_.NumVertices() || v >= graph_.NumVertices()) {
+    return Status::OutOfRange("InsertEdge: endpoint out of range");
+  }
+  if (u == v) return Status::InvalidArgument("InsertEdge: self-loop");
+  if (graph_.HasEdge(u, v)) {
+    return Status::AlreadyExists("InsertEdge: edge already present");
+  }
+
+  ComputeCommonNeighbors(u, v);  // L is unaffected by the new edge itself.
+  MarkNeighborhoods(u, v);
+  const std::vector<VertexId>& L = common_;
+
+  // ---- Common neighbors w ∈ L (Lemma 5). ----
+  for (VertexId w : L) {
+    // Pair (u, v) becomes adjacent in GE(w); SetAdjacent handles both the
+    // previously-counted and previously-absent cases.
+    smaps_->SetAdjacent(w, u, v);
+    for (VertexId x : graph_.Neighbors(w)) {
+      if (x == u || x == v) continue;
+      bool adj_u = mark_u_.IsMarked(x);
+      bool adj_v = mark_v_.IsMarked(x);
+      if (adj_u && !adj_v) {
+        // u now connects (v, x) in GE(w): u ~ v (new), u ~ x, all in N(w).
+        smaps_->AddConnectors(w, v, x, +1);
+      } else if (adj_v && !adj_u) {
+        smaps_->AddConnectors(w, u, x, +1);
+      }
+    }
+  }
+
+  // ---- Endpoint u (Lemma 4). ----
+  smaps_->OnNeighborAdded(u);  // deg(u) fresh pairs (v, x), each worth 1.
+  for (VertexId x : L) smaps_->SetAdjacent(u, v, x);
+  // New counted pairs (v, x): connectors are exactly the y ∈ L with y ~ x.
+  for (VertexId y : L) {
+    for (VertexId x : graph_.Neighbors(y)) {
+      if (mark_u_.IsMarked(x) && !mark_l_.IsMarked(x) && x != u && x != v) {
+        smaps_->AddConnectors(u, v, x, +1);
+      }
+    }
+  }
+  // Existing non-adjacent pairs inside L gain connector v (for GE(u)) and
+  // connector u (for GE(v)).
+  for (size_t i = 0; i < L.size(); ++i) {
+    for (size_t j = i + 1; j < L.size(); ++j) {
+      if (!graph_.HasEdge(L[i], L[j])) {
+        smaps_->AddConnectors(u, L[i], L[j], +1);
+        smaps_->AddConnectors(v, L[i], L[j], +1);
+      }
+    }
+  }
+
+  // ---- Endpoint v (symmetric). ----
+  smaps_->OnNeighborAdded(v);
+  for (VertexId x : L) smaps_->SetAdjacent(v, u, x);
+  for (VertexId y : L) {
+    for (VertexId x : graph_.Neighbors(y)) {
+      if (mark_v_.IsMarked(x) && !mark_l_.IsMarked(x) && x != u && x != v) {
+        smaps_->AddConnectors(v, u, x, +1);
+      }
+    }
+  }
+
+  EGOBW_CHECK(graph_.InsertEdge(u, v).ok());
+  affected_.assign({u, v});
+  affected_.insert(affected_.end(), L.begin(), L.end());
+  return Status::OK();
+}
+
+Status LocalUpdateEngine::AttachVertex(VertexId v,
+                                       const std::vector<VertexId>& neighbors) {
+  for (VertexId w : neighbors) {
+    EGOBW_RETURN_IF_ERROR(InsertEdge(v, w));
+  }
+  return Status::OK();
+}
+
+Status LocalUpdateEngine::DetachVertex(VertexId v) {
+  if (v >= graph_.NumVertices()) {
+    return Status::OutOfRange("DetachVertex: vertex out of range");
+  }
+  // Copy: DeleteEdge mutates the adjacency being iterated.
+  std::vector<VertexId> neighbors = graph_.Neighbors(v);
+  for (VertexId w : neighbors) {
+    EGOBW_RETURN_IF_ERROR(DeleteEdge(v, w));
+  }
+  return Status::OK();
+}
+
+Status LocalUpdateEngine::DeleteEdge(VertexId u, VertexId v) {
+  if (u >= graph_.NumVertices() || v >= graph_.NumVertices()) {
+    return Status::OutOfRange("DeleteEdge: endpoint out of range");
+  }
+  if (u == v) return Status::InvalidArgument("DeleteEdge: self-loop");
+  if (!graph_.HasEdge(u, v)) {
+    return Status::NotFound("DeleteEdge: edge not present");
+  }
+
+  ComputeCommonNeighbors(u, v);
+  MarkNeighborhoods(u, v);  // mark_u_/mark_v_ exclude v/u respectively.
+  const std::vector<VertexId>& L = common_;
+
+  // ---- Common neighbors w ∈ L (Lemma 7). ----
+  for (VertexId w : L) {
+    // Pair (u, v) reverts from adjacent to counted with
+    // c_w = |L ∩ N(w)| connectors.
+    int32_t c_w = 0;
+    for (VertexId x : graph_.Neighbors(w)) {
+      if (mark_l_.IsMarked(x)) ++c_w;
+    }
+    smaps_->AdjacentToCounted(w, u, v, c_w);
+    for (VertexId x : graph_.Neighbors(w)) {
+      if (x == u || x == v) continue;
+      bool adj_u = mark_u_.IsMarked(x);
+      bool adj_v = mark_v_.IsMarked(x);
+      if (adj_u && !adj_v) {
+        smaps_->AddConnectors(w, v, x, -1);  // u no longer connects (v, x).
+      } else if (adj_v && !adj_u) {
+        smaps_->AddConnectors(w, u, x, -1);
+      }
+    }
+  }
+
+  // ---- Endpoint u (Lemma 6). ----
+  for (VertexId x : graph_.Neighbors(u)) {
+    if (x != v) smaps_->RemovePair(u, v, x);  // All pairs (v, x) vanish.
+  }
+  smaps_->OnNeighborRemoved(u);
+  for (size_t i = 0; i < L.size(); ++i) {
+    for (size_t j = i + 1; j < L.size(); ++j) {
+      if (!graph_.HasEdge(L[i], L[j])) {
+        smaps_->AddConnectors(u, L[i], L[j], -1);
+        smaps_->AddConnectors(v, L[i], L[j], -1);
+      }
+    }
+  }
+
+  // ---- Endpoint v (symmetric). ----
+  for (VertexId x : graph_.Neighbors(v)) {
+    if (x != u) smaps_->RemovePair(v, u, x);
+  }
+  smaps_->OnNeighborRemoved(v);
+
+  EGOBW_CHECK(graph_.DeleteEdge(u, v).ok());
+  affected_.assign({u, v});
+  affected_.insert(affected_.end(), L.begin(), L.end());
+  return Status::OK();
+}
+
+}  // namespace egobw

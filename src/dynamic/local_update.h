@@ -1,0 +1,84 @@
+// Local-update maintenance of all ego-betweennesses (Section IV-A/B).
+//
+// After inserting or deleting an edge (u, v), only u, v and their common
+// neighbors L = N(u) ∩ N(v) change ego-betweenness (Observation 1). The
+// engine owns the complete S maps (SMapStore) and replays exactly the
+// affected entries:
+//
+// Insert (u, v):
+//   endpoints (Lemma 4): deg(u) new pairs (v, x) appear — adjacent for
+//     x ∈ L, counted with c(x) = |{y ∈ L : y ~ x}| connectors otherwise;
+//     existing non-adjacent pairs {x, y} ⊆ L gain connector v.
+//   common neighbors w ∈ L (Lemma 5): pair (u, v) becomes adjacent;
+//     pairs (v, x) with x ∈ N(w) ∩ N(u), (x, v) ∉ E gain connector u
+//     (and symmetrically (u, x) pairs gain connector v).
+// Delete (u, v): the exact inverse (Lemmas 6-7).
+//
+// Every replayed entry adjusts the vertex's Lemma-2 value in O(1), so CB
+// stays exact for all vertices at a cost proportional to the neighborhood
+// volume of {u, v} ∪ L.
+
+#ifndef EGOBW_DYNAMIC_LOCAL_UPDATE_H_
+#define EGOBW_DYNAMIC_LOCAL_UPDATE_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/smap_store.h"
+#include "graph/dynamic_graph.h"
+#include "graph/graph.h"
+#include "util/bitset.h"
+#include "util/status.h"
+
+namespace egobw {
+
+class LocalUpdateEngine {
+ public:
+  /// Builds the full initial state (one static pass over `initial`).
+  explicit LocalUpdateEngine(const Graph& initial);
+
+  const DynamicGraph& graph() const { return graph_; }
+  const SMapStore& smaps() const { return *smaps_; }
+
+  /// Current exact ego-betweenness of u (maintained incrementally).
+  double CB(VertexId u) const { return smaps_->Value(u); }
+
+  /// Snapshot of all ego-betweennesses.
+  std::vector<double> AllCB() const;
+
+  /// Vertices whose CB changed in the last successful update:
+  /// u, v, then their common neighbors.
+  const std::vector<VertexId>& LastAffected() const { return affected_; }
+
+  /// LocalInsert (Algorithm 4): maintains all CB values under insertion.
+  Status InsertEdge(VertexId u, VertexId v);
+
+  /// LocalDelete: maintains all CB values under deletion.
+  Status DeleteEdge(VertexId u, VertexId v);
+
+  /// Vertex insertion, modelled as the paper prescribes: a series of edge
+  /// insertions attaching `v` to `neighbors`. Stops at the first error.
+  Status AttachVertex(VertexId v, const std::vector<VertexId>& neighbors);
+
+  /// Vertex deletion: removes every edge incident to v (v stays in the
+  /// universe as an isolated vertex with CB = 0).
+  Status DetachVertex(VertexId v);
+
+ private:
+  void ComputeCommonNeighbors(VertexId u, VertexId v);
+  // Marks N(u) -> mark_u_, N(v) -> mark_v_, L -> mark_l_ (insert variant
+  // marks current adjacency; delete variant excludes the other endpoint).
+  void MarkNeighborhoods(VertexId u, VertexId v);
+
+  DynamicGraph graph_;
+  std::unique_ptr<SMapStore> smaps_;
+  VisitMarker mark_u_;
+  VisitMarker mark_v_;
+  VisitMarker mark_l_;
+  std::vector<VertexId> common_;    // L of the in-flight update.
+  std::vector<VertexId> affected_;  // Reported affected set.
+};
+
+}  // namespace egobw
+
+#endif  // EGOBW_DYNAMIC_LOCAL_UPDATE_H_

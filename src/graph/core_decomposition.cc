@@ -1,0 +1,84 @@
+#include "graph/core_decomposition.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace egobw {
+
+CoreDecomposition ComputeCoreDecomposition(const Graph& g) {
+  uint32_t n = g.NumVertices();
+  CoreDecomposition result;
+  result.core.assign(n, 0);
+  result.order.reserve(n);
+  if (n == 0) return result;
+
+  // Matula-Beck bucket sort: vertices binned by current degree.
+  std::vector<uint32_t> degree(n);
+  uint32_t max_degree = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    degree[v] = g.Degree(v);
+    max_degree = std::max(max_degree, degree[v]);
+  }
+  std::vector<uint32_t> bin(max_degree + 2, 0);
+  for (VertexId v = 0; v < n; ++v) ++bin[degree[v]];
+  uint32_t start = 0;
+  for (uint32_t d = 0; d <= max_degree; ++d) {
+    uint32_t count = bin[d];
+    bin[d] = start;
+    start += count;
+  }
+  std::vector<VertexId> vert(n);   // Vertices sorted by current degree.
+  std::vector<uint32_t> pos(n);    // Position of each vertex in vert.
+  for (VertexId v = 0; v < n; ++v) {
+    pos[v] = bin[degree[v]];
+    vert[pos[v]] = v;
+    ++bin[degree[v]];
+  }
+  for (uint32_t d = max_degree + 1; d > 0; --d) bin[d] = bin[d - 1];
+  bin[0] = 0;
+
+  uint32_t current_core = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    VertexId v = vert[i];
+    current_core = std::max(current_core, degree[v]);
+    result.core[v] = current_core;
+    result.order.push_back(v);
+    for (VertexId w : g.Neighbors(v)) {
+      if (degree[w] > degree[v]) {
+        // Move w one bucket down: swap it with the first vertex of its
+        // current bucket, then shrink the bucket boundary.
+        uint32_t dw = degree[w];
+        uint32_t pw = pos[w];
+        uint32_t pfirst = bin[dw];
+        VertexId first = vert[pfirst];
+        if (w != first) {
+          std::swap(vert[pw], vert[pfirst]);
+          pos[w] = pfirst;
+          pos[first] = pw;
+        }
+        ++bin[dw];
+        --degree[w];
+      }
+    }
+  }
+  result.degeneracy = current_core;
+  return result;
+}
+
+ArboricityBounds EstimateArboricity(const Graph& g) {
+  ArboricityBounds bounds;
+  if (g.NumVertices() < 2) return bounds;
+  CoreDecomposition cores = ComputeCoreDecomposition(g);
+  // Nash-Williams: α = max over subgraphs of ceil(m_S / (n_S - 1)); the
+  // whole graph gives a lower bound. Degeneracy D gives α ≤ D (each vertex
+  // has ≤ D forward edges in degeneracy order, which split into D forests)
+  // and 2α ≥ D implies α ≥ ceil(D / 2).
+  uint32_t density_lb = static_cast<uint32_t>(
+      (g.NumEdges() + g.NumVertices() - 2) / (g.NumVertices() - 1));
+  bounds.lower = std::max(density_lb, (cores.degeneracy + 1) / 2);
+  bounds.upper = std::max<uint32_t>(cores.degeneracy, bounds.lower);
+  return bounds;
+}
+
+}  // namespace egobw

@@ -1,0 +1,41 @@
+// k-core decomposition and degeneracy.
+//
+// The paper's complexity bound O(α·m·d_max) is stated in terms of the
+// arboricity α [Chiba-Nishizeki]. Arboricity is sandwiched by the
+// degeneracy D: ceil(D/2) ≤ α ≤ D, and the degeneracy is computable in
+// O(n + m) by repeated minimum-degree removal [Matula-Beck]. The bench
+// harness reports D per dataset so the Table-I stand-ins can be checked
+// against the "α is typically very small in real-life graphs" premise.
+
+#ifndef EGOBW_GRAPH_CORE_DECOMPOSITION_H_
+#define EGOBW_GRAPH_CORE_DECOMPOSITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace egobw {
+
+struct CoreDecomposition {
+  std::vector<uint32_t> core;  ///< core[v] = core number of v.
+  uint32_t degeneracy = 0;     ///< max_v core[v].
+  /// Vertices in degeneracy order (non-decreasing removal order); each
+  /// vertex has ≤ degeneracy neighbors later in this order.
+  std::vector<VertexId> order;
+};
+
+/// Computes the core decomposition in O(n + m) with bucket queues.
+CoreDecomposition ComputeCoreDecomposition(const Graph& g);
+
+/// Lower and upper bounds on the arboricity derived from the degeneracy:
+/// ceil((D+1)/2)... specifically α ∈ [ceil(D/2), D] and α ≥ ceil(m/(n-1)).
+struct ArboricityBounds {
+  uint32_t lower = 0;
+  uint32_t upper = 0;
+};
+ArboricityBounds EstimateArboricity(const Graph& g);
+
+}  // namespace egobw
+
+#endif  // EGOBW_GRAPH_CORE_DECOMPOSITION_H_

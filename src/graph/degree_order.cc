@@ -1,0 +1,22 @@
+#include "graph/degree_order.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace egobw {
+
+DegreeOrder::DegreeOrder(const Graph& g) {
+  uint32_t n = g.NumVertices();
+  order_.resize(n);
+  std::iota(order_.begin(), order_.end(), 0u);
+  std::sort(order_.begin(), order_.end(), [&g](VertexId a, VertexId b) {
+    uint32_t da = g.Degree(a);
+    uint32_t db = g.Degree(b);
+    if (da != db) return da > db;
+    return a > b;  // Equal degree: larger id first, per the paper.
+  });
+  rank_.resize(n);
+  for (uint32_t i = 0; i < n; ++i) rank_[order_[i]] = i;
+}
+
+}  // namespace egobw

@@ -1,0 +1,43 @@
+// The paper's total order ≺ on vertices (Section II):
+//   u ≺ v  iff  d(u) > d(v), or d(u) == d(v) and id(u) > id(v).
+// Orienting each edge from the ≺-smaller endpoint yields the directed graph
+// G+ used by BaseBSearch and the parallel algorithms; since the static upper
+// bound ub(u) = d(u)(d(u)-1)/2 is monotone in degree, scanning vertices in ≺
+// order is exactly scanning them by non-increasing upper bound.
+
+#ifndef EGOBW_GRAPH_DEGREE_ORDER_H_
+#define EGOBW_GRAPH_DEGREE_ORDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace egobw {
+
+/// Precomputed ranks for the total order ≺.
+class DegreeOrder {
+ public:
+  /// Computes the order for a graph in O(n log n).
+  explicit DegreeOrder(const Graph& g);
+
+  /// True iff u comes before v (u ≺ v).
+  bool Precedes(VertexId u, VertexId v) const { return rank_[u] < rank_[v]; }
+
+  /// Position of v in the order (0 = first, i.e. highest degree).
+  uint32_t Rank(VertexId v) const { return rank_[v]; }
+
+  /// Vertex at position i.
+  VertexId At(uint32_t i) const { return order_[i]; }
+
+  /// Vertices sorted by ≺ (index 0 = ≺-smallest = highest degree).
+  const std::vector<VertexId>& Order() const { return order_; }
+
+ private:
+  std::vector<uint32_t> rank_;
+  std::vector<VertexId> order_;
+};
+
+}  // namespace egobw
+
+#endif  // EGOBW_GRAPH_DEGREE_ORDER_H_

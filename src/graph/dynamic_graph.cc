@@ -1,0 +1,70 @@
+#include "graph/dynamic_graph.h"
+
+#include <algorithm>
+
+#include "graph/graph_builder.h"
+
+namespace egobw {
+
+DynamicGraph::DynamicGraph(const Graph& g)
+    : adj_(g.NumVertices()), num_edges_(g.NumEdges()) {
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    auto nbrs = g.Neighbors(u);
+    adj_[u].assign(nbrs.begin(), nbrs.end());
+  }
+}
+
+bool DynamicGraph::HasEdge(VertexId u, VertexId v) const {
+  if (u >= NumVertices() || v >= NumVertices() || u == v) return false;
+  if (Degree(u) > Degree(v)) std::swap(u, v);
+  return std::binary_search(adj_[u].begin(), adj_[u].end(), v);
+}
+
+Status DynamicGraph::InsertEdge(VertexId u, VertexId v) {
+  if (u >= NumVertices() || v >= NumVertices()) {
+    return Status::OutOfRange("InsertEdge: endpoint out of range");
+  }
+  if (u == v) return Status::InvalidArgument("InsertEdge: self-loop");
+  auto it = std::lower_bound(adj_[u].begin(), adj_[u].end(), v);
+  if (it != adj_[u].end() && *it == v) {
+    return Status::AlreadyExists("InsertEdge: edge already present");
+  }
+  adj_[u].insert(it, v);
+  adj_[v].insert(std::lower_bound(adj_[v].begin(), adj_[v].end(), u), u);
+  ++num_edges_;
+  return Status::OK();
+}
+
+Status DynamicGraph::DeleteEdge(VertexId u, VertexId v) {
+  if (u >= NumVertices() || v >= NumVertices()) {
+    return Status::OutOfRange("DeleteEdge: endpoint out of range");
+  }
+  if (u == v) return Status::InvalidArgument("DeleteEdge: self-loop");
+  auto it = std::lower_bound(adj_[u].begin(), adj_[u].end(), v);
+  if (it == adj_[u].end() || *it != v) {
+    return Status::NotFound("DeleteEdge: edge not present");
+  }
+  adj_[u].erase(it);
+  adj_[v].erase(std::lower_bound(adj_[v].begin(), adj_[v].end(), u));
+  --num_edges_;
+  return Status::OK();
+}
+
+void DynamicGraph::CommonNeighbors(VertexId u, VertexId v,
+                                   std::vector<VertexId>* out) const {
+  out->clear();
+  std::set_intersection(adj_[u].begin(), adj_[u].end(), adj_[v].begin(),
+                        adj_[v].end(), std::back_inserter(*out));
+}
+
+Graph DynamicGraph::ToGraph() const {
+  GraphBuilder builder(NumVertices());
+  for (VertexId u = 0; u < NumVertices(); ++u) {
+    for (VertexId v : adj_[u]) {
+      if (u < v) builder.AddEdge(u, v);
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace egobw

@@ -1,0 +1,65 @@
+// Mutable adjacency structure for the maintenance algorithms (Section IV).
+//
+// Vertex insertion/deletion is modelled, as in the paper, as a sequence of
+// edge insertions/deletions over a fixed vertex universe. Adjacency lists are
+// kept as sorted vectors: O(d) insert/delete, O(log d) membership — the
+// update algorithms are dominated by neighborhood scans anyway.
+
+#ifndef EGOBW_GRAPH_DYNAMIC_GRAPH_H_
+#define EGOBW_GRAPH_DYNAMIC_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace egobw {
+
+/// Mutable simple undirected graph over a fixed vertex set [0, n).
+class DynamicGraph {
+ public:
+  /// Empty graph on n vertices.
+  explicit DynamicGraph(uint32_t n) : adj_(n), num_edges_(0) {}
+
+  /// Copies the adjacency of an immutable graph.
+  explicit DynamicGraph(const Graph& g);
+
+  uint32_t NumVertices() const { return static_cast<uint32_t>(adj_.size()); }
+  uint64_t NumEdges() const { return num_edges_; }
+
+  uint32_t Degree(VertexId u) const {
+    EGOBW_DCHECK(u < NumVertices());
+    return static_cast<uint32_t>(adj_[u].size());
+  }
+
+  /// Neighbors of u, sorted ascending.
+  const std::vector<VertexId>& Neighbors(VertexId u) const {
+    EGOBW_DCHECK(u < NumVertices());
+    return adj_[u];
+  }
+
+  /// O(log d) membership on the smaller-degree endpoint.
+  bool HasEdge(VertexId u, VertexId v) const;
+
+  /// Inserts (u, v). Errors: endpoints out of range, u == v, edge exists.
+  Status InsertEdge(VertexId u, VertexId v);
+
+  /// Deletes (u, v). Errors: endpoints out of range, edge absent.
+  Status DeleteEdge(VertexId u, VertexId v);
+
+  /// Sorted N(u) ∩ N(v) into *out (cleared first).
+  void CommonNeighbors(VertexId u, VertexId v,
+                       std::vector<VertexId>* out) const;
+
+  /// Snapshot as an immutable CSR graph.
+  Graph ToGraph() const;
+
+ private:
+  std::vector<std::vector<VertexId>> adj_;
+  uint64_t num_edges_;
+};
+
+}  // namespace egobw
+
+#endif  // EGOBW_GRAPH_DYNAMIC_GRAPH_H_

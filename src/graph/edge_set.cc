@@ -1,0 +1,19 @@
+#include "graph/edge_set.h"
+
+namespace egobw {
+
+EdgeSet::EdgeSet(const Graph& g) {
+  size_t cap = 16;
+  // Load factor <= 0.5 for short probe chains.
+  while (cap < g.NumEdges() * 2) cap <<= 1;
+  keys_.assign(cap, kEmpty);
+  mask_ = cap - 1;
+  for (const auto& [u, v] : g.Edges()) {
+    uint64_t key = PackPair(u, v);
+    size_t slot = Mix64(key) & mask_;
+    while (keys_[slot] != kEmpty) slot = (slot + 1) & mask_;
+    keys_[slot] = key;
+  }
+}
+
+}  // namespace egobw

@@ -1,0 +1,48 @@
+// O(1) adjacency queries for the diamond enumeration's inner loop.
+//
+// Rule B of the edge processor tests "(x, y) ∈ E?" for every pair of common
+// neighbors of an edge; a binary search there would add a log factor to the
+// hottest loop in the library. EdgeSet is a static linear-probing hash set
+// over packed pairs, built once per graph in O(m).
+
+#ifndef EGOBW_GRAPH_EDGE_SET_H_
+#define EGOBW_GRAPH_EDGE_SET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/hash.h"
+
+namespace egobw {
+
+/// Immutable hash set of a graph's edges keyed by PackPair(u, v).
+class EdgeSet {
+ public:
+  /// Builds the set from all edges of g.
+  explicit EdgeSet(const Graph& g);
+
+  /// True iff (u, v) is an edge. u == v returns false.
+  bool Contains(VertexId u, VertexId v) const {
+    if (u == v) return false;
+    uint64_t key = PackPair(u, v);
+    size_t slot = Mix64(key) & mask_;
+    while (keys_[slot] != kEmpty) {
+      if (keys_[slot] == key) return true;
+      slot = (slot + 1) & mask_;
+    }
+    return false;
+  }
+
+  size_t MemoryBytes() const { return keys_.capacity() * sizeof(uint64_t); }
+
+ private:
+  static constexpr uint64_t kEmpty = ~0ULL;
+
+  std::vector<uint64_t> keys_;
+  size_t mask_;
+};
+
+}  // namespace egobw
+
+#endif  // EGOBW_GRAPH_EDGE_SET_H_

@@ -1,0 +1,117 @@
+#include "graph/ego_network.h"
+
+#include <algorithm>
+
+#include "util/hash.h"
+#include "util/logging.h"
+#include "util/pair_count_map.h"
+
+namespace egobw {
+
+EgoNetwork BuildEgoNetwork(const Graph& g, VertexId ego) {
+  EGOBW_CHECK(ego < g.NumVertices());
+  EgoNetwork net;
+  net.ego = ego;
+  auto nbrs = g.Neighbors(ego);
+  net.members.reserve(nbrs.size() + 1);
+  net.members.push_back(ego);
+  net.members.insert(net.members.end(), nbrs.begin(), nbrs.end());
+  // Global id -> local id for members; neighbors are sorted so a binary
+  // search avoids an O(n) lookup table.
+  auto local_of = [&](VertexId global) -> uint32_t {
+    auto it = std::lower_bound(nbrs.begin(), nbrs.end(), global);
+    EGOBW_DCHECK(it != nbrs.end() && *it == global);
+    return static_cast<uint32_t>(it - nbrs.begin()) + 1;
+  };
+  // Spokes.
+  for (uint32_t i = 1; i <= nbrs.size(); ++i) net.edges.emplace_back(0u, i);
+  // Alter-alter edges: scan each neighbor's adjacency against the members.
+  for (uint32_t i = 0; i < nbrs.size(); ++i) {
+    VertexId x = nbrs[i];
+    for (VertexId y : g.Neighbors(x)) {
+      if (y <= x || y == ego) continue;  // Each alter edge once, x < y.
+      if (std::binary_search(nbrs.begin(), nbrs.end(), y)) {
+        net.edges.emplace_back(i + 1, local_of(y));
+      }
+    }
+  }
+  return net;
+}
+
+double EgoBetweennessOfNetwork(const EgoNetwork& net) {
+  uint32_t n = net.size();
+  if (n < 3) return 0.0;
+  uint32_t d = n - 1;  // Neighbor count.
+  // Local adjacency among alters (local ids 1..d -> 0..d-1).
+  std::vector<std::vector<uint32_t>> adj(d);
+  for (const auto& [a, b] : net.edges) {
+    if (a == 0 || b == 0) continue;
+    adj[a - 1].push_back(b - 1);
+    adj[b - 1].push_back(a - 1);
+  }
+  PairCountMap adjacent;
+  for (uint32_t x = 0; x < d; ++x) {
+    for (uint32_t y : adj[x]) {
+      if (x < y) adjacent.SetAdjacent(PackPair(x, y));
+    }
+  }
+  // Connector counting: every wedge x - w - y (w an alter) with (x, y)
+  // non-adjacent contributes a connector.
+  PairCountMap counts;
+  for (uint32_t w = 0; w < d; ++w) {
+    for (size_t i = 0; i < adj[w].size(); ++i) {
+      for (size_t j = i + 1; j < adj[w].size(); ++j) {
+        uint64_t key = PackPair(adj[w][i], adj[w][j]);
+        if (!adjacent.Contains(key)) counts.AddCount(key, 1);
+      }
+    }
+  }
+  double cb = static_cast<double>(d) * (d - 1.0) / 2.0;
+  cb -= static_cast<double>(adjacent.size());
+  cb -= static_cast<double>(counts.size());
+  counts.ForEach([&cb](uint64_t, int32_t val) { cb += 1.0 / (val + 1.0); });
+  return cb;
+}
+
+EgoNetworkStats ComputeEgoNetworkStats(const EgoNetwork& net) {
+  EgoNetworkStats stats;
+  stats.vertices = net.size();
+  stats.edges = net.edge_count();
+  uint32_t d = net.size() > 0 ? net.size() - 1 : 0;
+  stats.alter_edges = net.edge_count() - d;  // Minus the spokes.
+  if (d >= 2) {
+    stats.density = static_cast<double>(stats.alter_edges) /
+                    (static_cast<double>(d) * (d - 1.0) / 2.0);
+  }
+  // Components of GE minus the ego: union-find over alter edges.
+  std::vector<uint32_t> parent(d);
+  for (uint32_t i = 0; i < d; ++i) parent[i] = i;
+  std::vector<uint32_t> stack;
+  auto find = [&](uint32_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (const auto& [a, b] : net.edges) {
+    if (a == 0 || b == 0) continue;
+    uint32_t ra = find(a - 1);
+    uint32_t rb = find(b - 1);
+    if (ra != rb) parent[ra] = rb;
+  }
+  for (uint32_t i = 0; i < d; ++i) {
+    if (find(i) == i) ++stats.components_without_ego;
+  }
+  return stats;
+}
+
+std::vector<double> ComputeAllEgoBetweennessMaterialized(const Graph& g) {
+  std::vector<double> cb(g.NumVertices());
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    cb[u] = EgoBetweennessOfNetwork(BuildEgoNetwork(g, u));
+  }
+  return cb;
+}
+
+}  // namespace egobw

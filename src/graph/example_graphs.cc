@@ -1,0 +1,104 @@
+#include "graph/example_graphs.h"
+
+#include "graph/graph_builder.h"
+#include "util/logging.h"
+
+namespace egobw {
+namespace {
+
+constexpr char kFig1Labels[] = "abcdefghijkuvxyz";
+
+}  // namespace
+
+Graph PaperFigure1() {
+  GraphBuilder b(16);
+  const VertexId a = 0, bb = 1, c = 2, d = 3, e = 4, f = 5, g = 6, h = 7,
+                 i = 8, j = 9, k = 10, u = 11, v = 12, x = 13, y = 14, z = 15;
+  // Reconstructed from Examples 1-8 and the Fig. 2 / Fig. 3 traces.
+  const std::pair<VertexId, VertexId> edges[] = {
+      {a, bb}, {a, c}, {a, d}, {a, e},          // a: b c d e
+      {bb, c}, {bb, d}, {bb, f},                // b: a c d f
+      {c, d},  {c, e},  {c, f}, {c, g}, {c, h},  // c: a b d e f g h
+      {d, g},  {d, h},  {d, i},                 // d: a b c g h i
+      {e, g},  {e, i},  {e, j},                 // e: a c g i j
+      {f, h},  {f, i},  {f, k}, {f, x},         // f: b c h i k x
+      {g, i},                                   // g: c d e i
+      {h, i},                                   // h: c d f i
+      {i, j},                                   // i: d e f g h j
+      {j, k},                                   // j: e i k
+      {x, u},  {x, v},  {x, y}, {x, z},         // x: f u v y z
+  };
+  for (const auto& [s, t] : edges) b.AddEdge(s, t);
+  Graph graph = b.Build();
+  EGOBW_CHECK(graph.NumEdges() == 30);
+  return graph;
+}
+
+std::string PaperFigure1Name(VertexId v) {
+  EGOBW_CHECK(v < 16);
+  return std::string(1, kFig1Labels[v]);
+}
+
+VertexId PaperFigure1Id(char name) {
+  for (VertexId v = 0; v < 16; ++v) {
+    if (kFig1Labels[v] == name) return v;
+  }
+  EGOBW_CHECK_MSG(false, "unknown Fig. 1 label");
+  return 0;
+}
+
+Graph Path(uint32_t n) {
+  GraphBuilder b(n);
+  for (VertexId i = 0; i + 1 < n; ++i) b.AddEdge(i, i + 1);
+  return b.Build();
+}
+
+Graph Cycle(uint32_t n) {
+  EGOBW_CHECK(n >= 3);
+  GraphBuilder b(n);
+  for (VertexId i = 0; i < n; ++i) b.AddEdge(i, (i + 1) % n);
+  return b.Build();
+}
+
+Graph Star(uint32_t n) {
+  EGOBW_CHECK(n >= 2);
+  GraphBuilder b(n);
+  for (VertexId i = 1; i < n; ++i) b.AddEdge(0, i);
+  return b.Build();
+}
+
+Graph Clique(uint32_t n) {
+  GraphBuilder b(n);
+  for (VertexId i = 0; i < n; ++i) {
+    for (VertexId j = i + 1; j < n; ++j) b.AddEdge(i, j);
+  }
+  return b.Build();
+}
+
+Graph CompleteBipartite(uint32_t a, uint32_t b_count) {
+  GraphBuilder b(a + b_count);
+  for (VertexId i = 0; i < a; ++i) {
+    for (VertexId j = 0; j < b_count; ++j) b.AddEdge(i, a + j);
+  }
+  return b.Build();
+}
+
+Graph TwoCliquesBridge(uint32_t s) {
+  EGOBW_CHECK(s >= 2);
+  // Clique A: {0, 1, .., s-1}; clique B: {0, s, .., 2s-2}.
+  GraphBuilder b(2 * s - 1);
+  for (VertexId i = 0; i < s; ++i) {
+    for (VertexId j = i + 1; j < s; ++j) b.AddEdge(i, j);
+  }
+  std::vector<VertexId> clique_b;
+  clique_b.push_back(0);
+  for (VertexId i = s; i < 2 * s - 1; ++i) clique_b.push_back(i);
+  for (size_t i = 0; i < clique_b.size(); ++i) {
+    for (size_t j = i + 1; j < clique_b.size(); ++j) {
+      b.AddEdge(clique_b[i], clique_b[j]);
+    }
+  }
+  return b.Build();
+}
+
+}  // namespace egobw

@@ -1,0 +1,54 @@
+// Small closed-form graphs used by tests, examples and documentation —
+// including the paper's Fig. 1 running example, reconstructed exactly from
+// the worked examples in Sections II–IV.
+
+#ifndef EGOBW_GRAPH_EXAMPLE_GRAPHS_H_
+#define EGOBW_GRAPH_EXAMPLE_GRAPHS_H_
+
+#include <string>
+
+#include "graph/graph.h"
+
+namespace egobw {
+
+/// The 16-vertex / 30-edge graph of the paper's Fig. 1(a).
+///
+/// Vertex ids 0..15 map to the paper's labels
+///   a b c d e f g h i j k u v x y z
+/// (alphabetical, so the paper's id tie-break — larger id first — reproduces
+/// the published processing order c,i,f,d,x,e,h,g,b,a).
+///
+/// Ground-truth ego-betweennesses (verified against every worked example):
+///   a=1, b=1, c=41/6, d=14/3, e=9/2, f=11, g=2/3, h=2/3, i=8, j=2, k=1,
+///   u=v=y=z=0, x=10.
+Graph PaperFigure1();
+
+/// Label ("a".."z") of a PaperFigure1 vertex id.
+std::string PaperFigure1Name(VertexId v);
+
+/// Vertex id of a PaperFigure1 label; aborts on unknown labels.
+VertexId PaperFigure1Id(char name);
+
+/// Path 0-1-...-(n-1). Interior vertices have CB = 1, endpoints 0.
+Graph Path(uint32_t n);
+
+/// Cycle on n vertices. For n >= 5 every vertex has CB = 1.
+Graph Cycle(uint32_t n);
+
+/// Star: center 0, leaves 1..n-1. CB(center) = C(n-1, 2), leaves 0.
+Graph Star(uint32_t n);
+
+/// Complete graph. CB = 0 everywhere.
+Graph Clique(uint32_t n);
+
+/// Complete bipartite K_{a,b}: side A = 0..a-1, side B = a..a+b-1.
+Graph CompleteBipartite(uint32_t a, uint32_t b);
+
+/// Two cliques of size s sharing a single bridge vertex (id 0).
+/// CB(bridge) = (s-1)^2 — one unit per cross-clique neighbor pair, which the
+/// bridge alone connects. Every other vertex has CB = 0.
+Graph TwoCliquesBridge(uint32_t s);
+
+}  // namespace egobw
+
+#endif  // EGOBW_GRAPH_EXAMPLE_GRAPHS_H_

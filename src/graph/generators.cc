@@ -1,0 +1,207 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/graph_builder.h"
+#include "util/hash.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace egobw {
+
+Graph ErdosRenyi(uint32_t n, uint64_t m, uint64_t seed) {
+  EGOBW_CHECK(n >= 2);
+  uint64_t max_m = static_cast<uint64_t>(n) * (n - 1) / 2;
+  m = std::min(m, max_m);
+  Rng rng(seed);
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(m * 2);
+  GraphBuilder builder(n);
+  while (seen.size() < m) {
+    VertexId u = static_cast<VertexId>(rng.NextBounded(n));
+    VertexId v = static_cast<VertexId>(rng.NextBounded(n));
+    if (u == v) continue;
+    if (seen.insert(PackPair(u, v)).second) builder.AddEdge(u, v);
+  }
+  return builder.Build();
+}
+
+Graph BarabasiAlbert(uint32_t n, uint32_t m_attach, uint64_t seed,
+                     double triad_prob) {
+  EGOBW_CHECK(n >= 2 && m_attach >= 1);
+  m_attach = std::min(m_attach, n - 1);
+  Rng rng(seed);
+  GraphBuilder builder(n);
+  // Adjacency so far, for the triad-closure step.
+  std::vector<std::vector<VertexId>> adj(n);
+  // `targets` holds every edge endpoint once; sampling from it uniformly is
+  // sampling vertices proportionally to degree.
+  std::vector<VertexId> targets;
+  targets.reserve(2ull * m_attach * n);
+  auto link = [&](VertexId u, VertexId t) {
+    builder.AddEdge(u, t);
+    adj[u].push_back(t);
+    adj[t].push_back(u);
+    targets.push_back(u);
+    targets.push_back(t);
+  };
+  // Seed clique over the first m_attach + 1 vertices.
+  for (VertexId u = 0; u <= m_attach; ++u) {
+    for (VertexId v = u + 1; v <= m_attach; ++v) link(u, v);
+  }
+  std::vector<VertexId> picked;
+  for (VertexId u = m_attach + 1; u < n; ++u) {
+    picked.clear();
+    VertexId last_target = 0;
+    bool have_last = false;
+    int attempts = 0;
+    while (picked.size() < m_attach) {
+      VertexId t;
+      // The attempt cap forces preferential draws if triad candidates keep
+      // colliding with already-picked targets (possible when triad_prob is
+      // close to 1 and the last target's neighborhood is tiny).
+      if (have_last && ++attempts < 64 && rng.NextBool(triad_prob)) {
+        // Holme-Kim triangle step: befriend a friend of the last target.
+        const auto& cand = adj[last_target];
+        t = cand[rng.NextBounded(cand.size())];
+      } else {
+        t = targets[rng.NextBounded(targets.size())];
+      }
+      if (t != u &&
+          std::find(picked.begin(), picked.end(), t) == picked.end()) {
+        picked.push_back(t);
+        last_target = t;
+        have_last = true;
+      }
+    }
+    for (VertexId t : picked) link(u, t);
+  }
+  return builder.Build();
+}
+
+Graph WattsStrogatz(uint32_t n, uint32_t k, double beta, uint64_t seed) {
+  EGOBW_CHECK(n >= 4 && k >= 1 && 2 * k < n);
+  Rng rng(seed);
+  std::unordered_set<uint64_t> seen;
+  GraphBuilder builder(n);
+  auto add = [&](VertexId u, VertexId v) {
+    if (u != v && seen.insert(PackPair(u, v)).second) builder.AddEdge(u, v);
+  };
+  for (VertexId u = 0; u < n; ++u) {
+    for (uint32_t j = 1; j <= k; ++j) {
+      VertexId v = (u + j) % n;
+      if (rng.NextBool(beta)) {
+        // Rewire: keep u, pick a random non-duplicate partner.
+        for (int attempts = 0; attempts < 32; ++attempts) {
+          VertexId w = static_cast<VertexId>(rng.NextBounded(n));
+          if (w != u && !seen.count(PackPair(u, w))) {
+            add(u, w);
+            v = u;  // Mark handled.
+            break;
+          }
+        }
+        if (v != u) add(u, v);  // Fallback: keep the lattice edge.
+      } else {
+        add(u, v);
+      }
+    }
+  }
+  return builder.Build();
+}
+
+Graph RMat(uint32_t scale, uint32_t edge_factor, double a, double b, double c,
+           uint64_t seed) {
+  EGOBW_CHECK(scale >= 2 && scale < 31);
+  double d = 1.0 - a - b - c;
+  EGOBW_CHECK_MSG(a > 0 && b >= 0 && c >= 0 && d > 0,
+                  "RMat probabilities must be positive and sum to 1");
+  uint32_t n = 1u << scale;
+  uint64_t samples = static_cast<uint64_t>(edge_factor) * n;
+  Rng rng(seed);
+  GraphBuilder builder(n);
+  for (uint64_t s = 0; s < samples; ++s) {
+    uint32_t u = 0;
+    uint32_t v = 0;
+    for (uint32_t level = 0; level < scale; ++level) {
+      double r = rng.NextDouble();
+      // Mild probability perturbation per level, as in the reference
+      // implementation, to avoid perfectly self-similar artifacts.
+      double noise = 0.9 + 0.2 * rng.NextDouble();
+      double aa = a * noise;
+      double bb = b * noise;
+      double cc = c * noise;
+      double sum = aa + bb + cc + d * noise;
+      aa /= sum;
+      bb /= sum;
+      cc /= sum;
+      u <<= 1;
+      v <<= 1;
+      if (r < aa) {
+        // Top-left quadrant: no bits set.
+      } else if (r < aa + bb) {
+        v |= 1;
+      } else if (r < aa + bb + cc) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    builder.AddEdge(u, v);  // Builder drops self-loops and duplicates.
+  }
+  return builder.Build();
+}
+
+Graph Collaboration(uint32_t num_authors, uint32_t num_papers,
+                    uint32_t max_authors_per_paper, uint32_t num_communities,
+                    double cross_prob, uint64_t seed) {
+  EGOBW_CHECK(num_authors >= 4 && num_communities >= 1);
+  EGOBW_CHECK(max_authors_per_paper >= 2);
+  Rng rng(seed);
+  GraphBuilder builder(num_authors);
+  // Authors are partitioned into communities round-robin; community of
+  // author x is x % num_communities, so sampling within a community is
+  // sampling an offset.
+  auto community_size = [&](uint32_t comm) {
+    return num_authors / num_communities +
+           (comm < num_authors % num_communities ? 1 : 0);
+  };
+  // Zipf-like popularity: pick an author inside a community by taking the
+  // minimum of a few uniforms (skews toward small offsets = "senior"
+  // authors), yielding hub scholars with many co-authors.
+  auto pick_author = [&](uint32_t comm) -> VertexId {
+    uint32_t size = community_size(comm);
+    uint64_t offset = rng.NextBounded(size);
+    offset = std::min(offset, rng.NextBounded(size));
+    if (rng.NextBool(0.5)) offset = std::min(offset, rng.NextBounded(size));
+    return static_cast<VertexId>(offset * num_communities + comm);
+  };
+  std::vector<VertexId> authors;
+  for (uint32_t paper = 0; paper < num_papers; ++paper) {
+    uint32_t comm = static_cast<uint32_t>(rng.NextBounded(num_communities));
+    uint32_t count = static_cast<uint32_t>(
+        2 + rng.NextBounded(max_authors_per_paper - 1));
+    authors.clear();
+    while (authors.size() < count) {
+      uint32_t from_comm = comm;
+      if (rng.NextBool(cross_prob)) {
+        from_comm = static_cast<uint32_t>(rng.NextBounded(num_communities));
+      }
+      VertexId author = pick_author(from_comm);
+      if (std::find(authors.begin(), authors.end(), author) ==
+          authors.end()) {
+        authors.push_back(author);
+      }
+    }
+    for (size_t i = 0; i < authors.size(); ++i) {
+      for (size_t j = i + 1; j < authors.size(); ++j) {
+        builder.AddEdge(authors[i], authors[j]);
+      }
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace egobw

@@ -1,0 +1,57 @@
+// Synthetic graph generators.
+//
+// The paper evaluates on five SNAP networks (social, communication,
+// collaboration). Offline, this repo substitutes generators that reproduce
+// the structural properties those algorithms are sensitive to: heavy-tailed
+// degrees (R-MAT / Barabási–Albert), triangle-rich community structure
+// (collaboration model), and controllable density (Erdős–Rényi). All
+// generators are deterministic in their seed.
+
+#ifndef EGOBW_GRAPH_GENERATORS_H_
+#define EGOBW_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace egobw {
+
+/// G(n, m): exactly m distinct uniform random edges (m capped at C(n,2)).
+Graph ErdosRenyi(uint32_t n, uint64_t m, uint64_t seed);
+
+/// Barabási–Albert preferential attachment: each new vertex attaches to
+/// `m_attach` existing vertices chosen proportionally to degree.
+/// Produces a heavy-tailed degree distribution (social-network-like hubs).
+/// With `triad_prob` > 0 this is the Holme–Kim model: after each
+/// preferential link to a target t, the next link instead closes a triangle
+/// with a random neighbor of t with the given probability — real social
+/// networks are both heavy-tailed *and* clustered, and the triangle/diamond
+/// structure is what the ego-betweenness algorithms actually work on.
+Graph BarabasiAlbert(uint32_t n, uint32_t m_attach, uint64_t seed,
+                     double triad_prob = 0.0);
+
+/// Watts–Strogatz small world: ring lattice with k neighbors per side,
+/// each edge rewired with probability beta. High clustering, low diameter.
+Graph WattsStrogatz(uint32_t n, uint32_t k, double beta, uint64_t seed);
+
+/// R-MAT (Chakrabarti et al.): n = 2^scale vertices, ~edge_factor * n edge
+/// samples recursively placed into quadrants with probabilities (a, b, c, d).
+/// The default (0.57, 0.19, 0.19, 0.05) mimics SNAP social graphs: skewed
+/// degrees with a few very high-degree vertices. Duplicates/self-loops are
+/// dropped, so the final edge count is slightly below edge_factor * n.
+Graph RMat(uint32_t scale, uint32_t edge_factor, double a, double b, double c,
+           uint64_t seed);
+
+/// Collaboration (co-authorship) model for the DBLP-style case study:
+/// `num_papers` author sets of size 2..max_authors_per_paper are drawn from
+/// `num_communities` communities with Zipf-like author popularity, then each
+/// author set is turned into a clique. With probability `cross_prob` a paper
+/// recruits one author from a foreign community, creating the bridge hubs
+/// that ego-betweenness is designed to surface.
+Graph Collaboration(uint32_t num_authors, uint32_t num_papers,
+                    uint32_t max_authors_per_paper, uint32_t num_communities,
+                    double cross_prob, uint64_t seed);
+
+}  // namespace egobw
+
+#endif  // EGOBW_GRAPH_GENERATORS_H_

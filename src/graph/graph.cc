@@ -1,0 +1,39 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+namespace egobw {
+
+bool Graph::HasEdge(VertexId u, VertexId v) const {
+  if (u == v) return false;
+  if (Degree(u) > Degree(v)) std::swap(u, v);
+  auto nbrs = Neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+void Graph::CommonNeighbors(VertexId u, VertexId v,
+                            std::vector<VertexId>* out) const {
+  out->clear();
+  auto nu = Neighbors(u);
+  auto nv = Neighbors(v);
+  std::set_intersection(nu.begin(), nu.end(), nv.begin(), nv.end(),
+                        std::back_inserter(*out));
+}
+
+uint64_t Graph::TotalWedges() const {
+  uint64_t total = 0;
+  for (VertexId u = 0; u < NumVertices(); ++u) {
+    uint64_t d = Degree(u);
+    total += d * (d - 1) / 2;
+  }
+  return total;
+}
+
+size_t Graph::MemoryBytes() const {
+  return offsets_.capacity() * sizeof(uint64_t) +
+         adj_.capacity() * sizeof(VertexId) +
+         adj_edge_.capacity() * sizeof(EdgeId) +
+         edges_.capacity() * sizeof(std::pair<VertexId, VertexId>);
+}
+
+}  // namespace egobw

@@ -1,0 +1,91 @@
+// Immutable undirected graph in CSR form.
+//
+// This is the substrate every algorithm in the repo runs on: adjacency lists
+// are sorted by vertex id (binary-searchable), every undirected edge has a
+// stable EdgeId in [0, m), and each adjacency entry carries the EdgeId of the
+// edge it crosses (the top-k searches keep a per-edge "processed" bitmask).
+
+#ifndef EGOBW_GRAPH_GRAPH_H_
+#define EGOBW_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace egobw {
+
+using VertexId = uint32_t;
+using EdgeId = uint32_t;
+
+/// Immutable simple undirected graph (no self-loops, no parallel edges).
+/// Construct via GraphBuilder (which sanitizes input) or the generators.
+class Graph {
+ public:
+  Graph() = default;
+
+  uint32_t NumVertices() const {
+    return offsets_.empty() ? 0
+                            : static_cast<uint32_t>(offsets_.size() - 1);
+  }
+  uint64_t NumEdges() const { return edges_.size(); }
+
+  uint32_t Degree(VertexId u) const {
+    EGOBW_DCHECK(u < NumVertices());
+    return static_cast<uint32_t>(offsets_[u + 1] - offsets_[u]);
+  }
+
+  uint32_t MaxDegree() const { return max_degree_; }
+
+  /// Neighbors of u, sorted ascending by vertex id.
+  std::span<const VertexId> Neighbors(VertexId u) const {
+    EGOBW_DCHECK(u < NumVertices());
+    return {adj_.data() + offsets_[u], offsets_[u + 1] - offsets_[u]};
+  }
+
+  /// Edge ids parallel to Neighbors(u): IncidentEdges(u)[i] is the id of the
+  /// edge (u, Neighbors(u)[i]).
+  std::span<const EdgeId> IncidentEdges(VertexId u) const {
+    EGOBW_DCHECK(u < NumVertices());
+    return {adj_edge_.data() + offsets_[u], offsets_[u + 1] - offsets_[u]};
+  }
+
+  /// O(log d) adjacency test via binary search on the smaller endpoint.
+  bool HasEdge(VertexId u, VertexId v) const;
+
+  /// Endpoints of an edge id, as (min, max).
+  std::pair<VertexId, VertexId> EdgeEndpoints(EdgeId e) const {
+    EGOBW_DCHECK(e < edges_.size());
+    return edges_[e];
+  }
+
+  /// All edges as (min, max) pairs, indexed by EdgeId.
+  const std::vector<std::pair<VertexId, VertexId>>& Edges() const {
+    return edges_;
+  }
+
+  /// Sorted intersection N(u) ∩ N(v), appended to *out (cleared first).
+  void CommonNeighbors(VertexId u, VertexId v,
+                       std::vector<VertexId>* out) const;
+
+  /// Sum over vertices of C(d, 2); useful for sizing estimates.
+  uint64_t TotalWedges() const;
+
+  /// Bytes of heap memory held by the CSR arrays.
+  size_t MemoryBytes() const;
+
+ private:
+  friend class GraphBuilder;
+
+  std::vector<uint64_t> offsets_;                     // n + 1
+  std::vector<VertexId> adj_;                         // 2m, sorted per vertex
+  std::vector<EdgeId> adj_edge_;                      // 2m
+  std::vector<std::pair<VertexId, VertexId>> edges_;  // m, (min, max)
+  uint32_t max_degree_ = 0;
+};
+
+}  // namespace egobw
+
+#endif  // EGOBW_GRAPH_GRAPH_H_

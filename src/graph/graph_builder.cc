@@ -1,0 +1,64 @@
+#include "graph/graph_builder.h"
+
+#include <algorithm>
+
+namespace egobw {
+
+void GraphBuilder::AddEdge(VertexId u, VertexId v) {
+  if (u == v) return;  // Self-loops never appear in an ego network.
+  if (u > v) std::swap(u, v);
+  raw_.emplace_back(u, v);
+  if (v >= num_vertices_) num_vertices_ = v + 1;
+}
+
+Graph GraphBuilder::Build() const {
+  std::vector<std::pair<VertexId, VertexId>> edges = raw_;
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  Graph g;
+  uint32_t n = num_vertices_;
+  g.edges_ = std::move(edges);
+  g.offsets_.assign(n + 1, 0);
+  for (const auto& [u, v] : g.edges_) {
+    ++g.offsets_[u + 1];
+    ++g.offsets_[v + 1];
+  }
+  for (uint32_t i = 0; i < n; ++i) g.offsets_[i + 1] += g.offsets_[i];
+  g.adj_.resize(g.offsets_[n]);
+  g.adj_edge_.resize(g.offsets_[n]);
+  std::vector<uint64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  // Edges are sorted by (min, max), so filling in order keeps each adjacency
+  // list sorted: u's list receives v's in increasing order, and v's list
+  // receives u's in increasing order because edges are grouped by min first.
+  for (EdgeId e = 0; e < g.edges_.size(); ++e) {
+    auto [u, v] = g.edges_[e];
+    g.adj_[cursor[u]] = v;
+    g.adj_edge_[cursor[u]++] = e;
+    g.adj_[cursor[v]] = u;
+    g.adj_edge_[cursor[v]++] = e;
+  }
+  // The v-side fills above are NOT in sorted order in general (u's arrive
+  // sorted by u, which is sorted ascending — they are). Still, establish the
+  // invariant defensively: sort each adjacency range by neighbor id.
+  for (uint32_t u = 0; u < n; ++u) {
+    auto lo = g.offsets_[u];
+    auto hi = g.offsets_[u + 1];
+    // Sort (neighbor, edge) jointly.
+    std::vector<std::pair<VertexId, EdgeId>> tmp;
+    tmp.reserve(hi - lo);
+    for (auto i = lo; i < hi; ++i) tmp.emplace_back(g.adj_[i], g.adj_edge_[i]);
+    if (!std::is_sorted(tmp.begin(), tmp.end())) {
+      std::sort(tmp.begin(), tmp.end());
+    }
+    for (auto i = lo; i < hi; ++i) {
+      g.adj_[i] = tmp[i - lo].first;
+      g.adj_edge_[i] = tmp[i - lo].second;
+    }
+    g.max_degree_ =
+        std::max(g.max_degree_, static_cast<uint32_t>(hi - lo));
+  }
+  return g;
+}
+
+}  // namespace egobw

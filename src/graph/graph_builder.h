@@ -1,0 +1,42 @@
+// Sanitizing constructor for Graph: collects raw (possibly messy) edge pairs,
+// drops self-loops and duplicates, and emits a canonical CSR graph.
+
+#ifndef EGOBW_GRAPH_GRAPH_BUILDER_H_
+#define EGOBW_GRAPH_GRAPH_BUILDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace egobw {
+
+/// Accumulates edges and builds an immutable Graph.
+///
+/// Duplicate edges (in either orientation) and self-loops are silently
+/// dropped — the standard cleaning step for SNAP-style edge lists.
+class GraphBuilder {
+ public:
+  /// `num_vertices` fixes the vertex universe [0, n). AddEdge with an
+  /// endpoint >= n grows the universe automatically.
+  explicit GraphBuilder(uint32_t num_vertices = 0)
+      : num_vertices_(num_vertices) {}
+
+  /// Records an undirected edge.
+  void AddEdge(VertexId u, VertexId v);
+
+  /// Number of raw edge records added so far (including duplicates).
+  size_t raw_edge_count() const { return raw_.size(); }
+
+  /// Builds the graph. The builder may be reused afterwards.
+  Graph Build() const;
+
+ private:
+  uint32_t num_vertices_;
+  std::vector<std::pair<VertexId, VertexId>> raw_;
+};
+
+}  // namespace egobw
+
+#endif  // EGOBW_GRAPH_GRAPH_BUILDER_H_

@@ -1,0 +1,92 @@
+#include "graph/io.h"
+
+#include <cctype>
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+
+#include "graph/graph_builder.h"
+
+namespace egobw {
+namespace {
+
+// Parses up to two unsigned integers from a line. Returns the count parsed
+// (0 for blank/comment, 2 for a well-formed edge record, -1 for garbage).
+int ParseLine(const char* line, uint64_t* a, uint64_t* b) {
+  const char* p = line;
+  while (*p == ' ' || *p == '\t' || *p == '\r') ++p;
+  if (*p == '\0' || *p == '\n' || *p == '#' || *p == '%') return 0;
+  uint64_t vals[2];
+  int found = 0;
+  while (found < 2) {
+    if (!std::isdigit(static_cast<unsigned char>(*p))) return -1;
+    uint64_t v = 0;
+    while (std::isdigit(static_cast<unsigned char>(*p))) {
+      v = v * 10 + static_cast<uint64_t>(*p - '0');
+      if (v > 0xffffffffULL) return -1;  // Vertex ids must fit in 32 bits.
+      ++p;
+    }
+    vals[found++] = v;
+    while (*p == ' ' || *p == '\t' || *p == '\r') ++p;
+    if (found == 1 && (*p == '\0' || *p == '\n')) return -1;
+  }
+  if (*p != '\0' && *p != '\n') return -1;  // Trailing junk.
+  *a = vals[0];
+  *b = vals[1];
+  return 2;
+}
+
+}  // namespace
+
+Result<Graph> LoadEdgeList(const std::string& path,
+                           const LoadOptions& options) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    return Status::IOError("cannot open '" + path + "' for reading");
+  }
+  GraphBuilder builder;
+  std::unordered_map<uint64_t, VertexId> relabel;
+  auto map_id = [&](uint64_t raw) -> VertexId {
+    if (!options.relabel) return static_cast<VertexId>(raw);
+    auto [it, inserted] =
+        relabel.emplace(raw, static_cast<VertexId>(relabel.size()));
+    (void)inserted;
+    return it->second;
+  };
+  char line[4096];
+  uint64_t line_no = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    ++line_no;
+    uint64_t a = 0;
+    uint64_t b = 0;
+    int r = ParseLine(line, &a, &b);
+    if (r == -1) {
+      std::fclose(f);
+      return Status::InvalidArgument("malformed edge record at " + path +
+                                     ":" + std::to_string(line_no));
+    }
+    if (r == 2) builder.AddEdge(map_id(a), map_id(b));
+  }
+  bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) return Status::IOError("read error on '" + path + "'");
+  return builder.Build();
+}
+
+Status SaveEdgeList(const Graph& g, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  std::fprintf(f, "# egobw edge list: n=%u m=%llu\n", g.NumVertices(),
+               static_cast<unsigned long long>(g.NumEdges()));
+  for (const auto& [u, v] : g.Edges()) {
+    std::fprintf(f, "%u\t%u\n", u, v);
+  }
+  if (std::fclose(f) != 0) {
+    return Status::IOError("write error on '" + path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace egobw

@@ -1,0 +1,35 @@
+// SNAP-format edge-list I/O.
+//
+// The paper's five datasets are SNAP downloads (one "u<TAB>v" pair per line,
+// '#' comment lines). The loader accepts that format — plus '%' comments and
+// arbitrary whitespace — so real SNAP files drop in directly when available;
+// the bench harness substitutes generated graphs when they are not.
+
+#ifndef EGOBW_GRAPH_IO_H_
+#define EGOBW_GRAPH_IO_H_
+
+#include <string>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace egobw {
+
+struct LoadOptions {
+  /// Remap vertex ids to a compact [0, n) range in first-appearance order.
+  /// When false, ids are used verbatim (max id determines n).
+  bool relabel = true;
+};
+
+/// Loads an undirected simple graph from a SNAP-style edge list.
+/// Self-loops and duplicate edges are dropped.
+Result<Graph> LoadEdgeList(const std::string& path,
+                           const LoadOptions& options = {});
+
+/// Writes "u\tv" lines (one canonical record per undirected edge) with a
+/// small header comment. Round-trips through LoadEdgeList.
+Status SaveEdgeList(const Graph& g, const std::string& path);
+
+}  // namespace egobw
+
+#endif  // EGOBW_GRAPH_IO_H_

@@ -1,0 +1,50 @@
+#include "graph/sampling.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "graph/graph_builder.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace egobw {
+
+Graph SampleEdges(const Graph& g, double fraction, uint64_t seed) {
+  EGOBW_CHECK(fraction >= 0.0 && fraction <= 1.0);
+  uint64_t keep = static_cast<uint64_t>(
+      std::llround(fraction * static_cast<double>(g.NumEdges())));
+  Rng rng(seed);
+  std::vector<uint64_t> chosen = rng.SampleWithoutReplacement(
+      g.NumEdges(), keep);
+  GraphBuilder builder(g.NumVertices());
+  for (uint64_t e : chosen) {
+    auto [u, v] = g.EdgeEndpoints(static_cast<EdgeId>(e));
+    builder.AddEdge(u, v);
+  }
+  return builder.Build();
+}
+
+Graph SampleVerticesInduced(const Graph& g, double fraction, uint64_t seed) {
+  EGOBW_CHECK(fraction >= 0.0 && fraction <= 1.0);
+  uint32_t n = g.NumVertices();
+  uint64_t keep = static_cast<uint64_t>(
+      std::llround(fraction * static_cast<double>(n)));
+  Rng rng(seed);
+  std::vector<uint64_t> chosen = rng.SampleWithoutReplacement(n, keep);
+  std::sort(chosen.begin(), chosen.end());
+  constexpr VertexId kAbsent = ~0u;
+  std::vector<VertexId> new_id(n, kAbsent);
+  for (uint64_t i = 0; i < chosen.size(); ++i) {
+    new_id[chosen[i]] = static_cast<VertexId>(i);
+  }
+  GraphBuilder builder(static_cast<uint32_t>(keep));
+  for (const auto& [u, v] : g.Edges()) {
+    if (new_id[u] != kAbsent && new_id[v] != kAbsent) {
+      builder.AddEdge(new_id[u], new_id[v]);
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace egobw

@@ -1,0 +1,23 @@
+// Subgraph samplers for the scalability experiment (Exp-4 / Fig. 9):
+// random 20%–80% edge subsets and random vertex-induced subgraphs.
+
+#ifndef EGOBW_GRAPH_SAMPLING_H_
+#define EGOBW_GRAPH_SAMPLING_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace egobw {
+
+/// Keeps round(fraction * m) uniformly chosen edges. The vertex universe is
+/// unchanged (isolated vertices remain), matching the paper's "vary m" setup.
+Graph SampleEdges(const Graph& g, double fraction, uint64_t seed);
+
+/// Induced subgraph on round(fraction * n) uniformly chosen vertices,
+/// relabelled to a compact id range ("vary n" setup).
+Graph SampleVerticesInduced(const Graph& g, double fraction, uint64_t seed);
+
+}  // namespace egobw
+
+#endif  // EGOBW_GRAPH_SAMPLING_H_

@@ -1,0 +1,182 @@
+#include "parallel/parallel_ebw.h"
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+
+#include "core/smap_store.h"
+#include "graph/degree_order.h"
+#include "graph/edge_set.h"
+#include "util/bitset.h"
+#include "util/spinlock.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace egobw {
+namespace {
+
+struct WorkerScratch {
+  explicit WorkerScratch(uint32_t n) : marker(n), marked_for(~0u) {}
+  VisitMarker marker;
+  VertexId marked_for;  // Vertex whose neighborhood is currently marked.
+  std::vector<VertexId> common;
+  std::vector<std::pair<VertexId, VertexId>> nonadj_pairs;
+  uint64_t edges = 0;
+  uint64_t triangles = 0;
+  uint64_t increments = 0;
+};
+
+class ParallelEngine {
+ public:
+  ParallelEngine(const Graph& g, size_t threads)
+      : g_(g),
+        edge_set_(g),
+        order_(g),
+        smaps_(g),
+        locks_(4096),
+        threads_(threads == 0 ? 1 : threads) {
+    scratch_.reserve(threads_);
+    for (size_t t = 0; t < threads_; ++t) {
+      scratch_.push_back(std::make_unique<WorkerScratch>(g.NumVertices()));
+    }
+  }
+
+  // Processes the single forward edge (u, v); the worker's marker must
+  // currently mark N(u).
+  void ProcessEdge(VertexId u, VertexId v, WorkerScratch* ws) {
+    ws->common.clear();
+    for (VertexId w : g_.Neighbors(v)) {
+      if (ws->marker.IsMarked(w)) ws->common.push_back(w);
+    }
+    ++ws->edges;
+    ws->triangles += ws->common.size();
+
+    // Collect rule-B pairs outside any lock (EdgeSet reads are const).
+    ws->nonadj_pairs.clear();
+    for (size_t i = 0; i < ws->common.size(); ++i) {
+      for (size_t j = i + 1; j < ws->common.size(); ++j) {
+        VertexId x = ws->common[i];
+        VertexId y = ws->common[j];
+        if (!edge_set_.Contains(x, y)) ws->nonadj_pairs.emplace_back(x, y);
+      }
+    }
+    ws->increments += 2 * ws->nonadj_pairs.size();
+
+    {
+      std::lock_guard<Spinlock> lk(locks_.For(u));
+      for (VertexId w : ws->common) smaps_.SetAdjacent(u, v, w);
+      for (const auto& [x, y] : ws->nonadj_pairs) {
+        smaps_.AddConnectors(u, x, y, 1);
+      }
+    }
+    {
+      std::lock_guard<Spinlock> lk(locks_.For(v));
+      for (VertexId w : ws->common) smaps_.SetAdjacent(v, u, w);
+      for (const auto& [x, y] : ws->nonadj_pairs) {
+        smaps_.AddConnectors(v, x, y, 1);
+      }
+    }
+    for (VertexId w : ws->common) {
+      std::lock_guard<Spinlock> lk(locks_.For(w));
+      smaps_.SetAdjacent(w, u, v);
+    }
+  }
+
+  void EnsureMarked(VertexId u, WorkerScratch* ws) {
+    if (ws->marked_for == u) return;
+    ws->marker.Clear();
+    for (VertexId w : g_.Neighbors(u)) ws->marker.Mark(w);
+    ws->marked_for = u;
+  }
+
+  // Vertex-granular phase 1.
+  void RunVertexParallel() {
+    ParallelForWorker(
+        0, g_.NumVertices(), threads_, /*grain=*/16,
+        [this](uint64_t i, size_t worker) {
+          WorkerScratch* ws = scratch_[worker].get();
+          VertexId u = order_.At(static_cast<uint32_t>(i));
+          EnsureMarked(u, ws);
+          for (VertexId v : g_.Neighbors(u)) {
+            if (order_.Precedes(u, v)) ProcessEdge(u, v, ws);
+          }
+        });
+  }
+
+  // Edge-granular phase 1.
+  void RunEdgeParallel() {
+    // Directed forward edge list, grouped by source so consecutive tasks
+    // usually reuse the worker's marked neighborhood.
+    std::vector<std::pair<VertexId, VertexId>> fwd;
+    fwd.reserve(g_.NumEdges());
+    for (uint32_t i = 0; i < g_.NumVertices(); ++i) {
+      VertexId u = order_.At(i);
+      for (VertexId v : g_.Neighbors(u)) {
+        if (order_.Precedes(u, v)) fwd.emplace_back(u, v);
+      }
+    }
+    ParallelForWorker(0, fwd.size(), threads_, /*grain=*/128,
+                      [this, &fwd](uint64_t i, size_t worker) {
+                        WorkerScratch* ws = scratch_[worker].get();
+                        auto [u, v] = fwd[i];
+                        EnsureMarked(u, ws);
+                        ProcessEdge(u, v, ws);
+                      });
+  }
+
+  // Phase 2: evaluate Lemma 2 per vertex (read-only, embarrassingly
+  // parallel).
+  std::vector<double> Evaluate() {
+    std::vector<double> cb(g_.NumVertices());
+    ParallelFor(0, g_.NumVertices(), threads_, /*grain=*/256,
+                [this, &cb](uint64_t u) {
+                  cb[u] = smaps_.EvaluateExact(static_cast<VertexId>(u));
+                });
+    return cb;
+  }
+
+  void FillStats(SearchStats* stats) {
+    if (stats == nullptr) return;
+    for (const auto& ws : scratch_) {
+      stats->edges_processed += ws->edges;
+      stats->triangles += ws->triangles;
+      stats->connector_increments += ws->increments;
+    }
+    stats->exact_computations += g_.NumVertices();
+  }
+
+ private:
+  const Graph& g_;
+  EdgeSet edge_set_;
+  DegreeOrder order_;
+  SMapStore smaps_;
+  StripedLocks locks_;
+  size_t threads_;
+  std::vector<std::unique_ptr<WorkerScratch>> scratch_;
+};
+
+}  // namespace
+
+std::vector<double> VertexPEBW(const Graph& g, size_t threads,
+                               SearchStats* stats) {
+  WallTimer timer;
+  ParallelEngine engine(g, threads);
+  engine.RunVertexParallel();
+  std::vector<double> cb = engine.Evaluate();
+  engine.FillStats(stats);
+  if (stats != nullptr) stats->elapsed_seconds += timer.Seconds();
+  return cb;
+}
+
+std::vector<double> EdgePEBW(const Graph& g, size_t threads,
+                             SearchStats* stats) {
+  WallTimer timer;
+  ParallelEngine engine(g, threads);
+  engine.RunEdgeParallel();
+  std::vector<double> cb = engine.Evaluate();
+  engine.FillStats(stats);
+  if (stats != nullptr) stats->elapsed_seconds += timer.Seconds();
+  return cb;
+}
+
+}  // namespace egobw

@@ -1,0 +1,35 @@
+// Parallel computation of all ego-betweennesses (Section V).
+//
+// Both algorithms run the same oriented edge-processing rules as the
+// sequential pass; they differ in work granularity:
+//   * VertexPEBW parallelizes over vertices — each task processes one
+//     vertex's forward edges. Skewed out-degrees can unbalance threads.
+//   * EdgePEBW parallelizes over directed (forward) edges — the per-task
+//     cost distribution is much flatter, so threads stay busy (the paper's
+//     Exp-5 shows Edge ≥ Vertex speedups; same here).
+// S-map updates are serialized per target vertex with striped spinlocks;
+// connector counting is commutative, so results are independent of
+// scheduling and exactly equal the sequential values.
+
+#ifndef EGOBW_PARALLEL_PARALLEL_EBW_H_
+#define EGOBW_PARALLEL_PARALLEL_EBW_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/ego_types.h"
+#include "graph/graph.h"
+
+namespace egobw {
+
+/// Vertex-granular parallel all-vertex ego-betweenness.
+std::vector<double> VertexPEBW(const Graph& g, size_t threads,
+                               SearchStats* stats = nullptr);
+
+/// Edge-granular parallel all-vertex ego-betweenness.
+std::vector<double> EdgePEBW(const Graph& g, size_t threads,
+                             SearchStats* stats = nullptr);
+
+}  // namespace egobw
+
+#endif  // EGOBW_PARALLEL_PARALLEL_EBW_H_

@@ -1,0 +1,42 @@
+// Neighborhood-marking structures used by the triangle/diamond enumeration.
+
+#ifndef EGOBW_UTIL_BITSET_H_
+#define EGOBW_UTIL_BITSET_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace egobw {
+
+/// Epoch-based membership marker: Clear() is O(1) (bumps the epoch), so one
+/// marker can be reused across millions of neighborhoods without re-zeroing.
+class VisitMarker {
+ public:
+  explicit VisitMarker(size_t n) : stamp_(n, 0), epoch_(1) {}
+
+  void Resize(size_t n) {
+    stamp_.assign(n, 0);
+    epoch_ = 1;
+  }
+
+  void Mark(uint32_t i) { stamp_[i] = epoch_; }
+  void Unmark(uint32_t i) { stamp_[i] = 0; }
+  bool IsMarked(uint32_t i) const { return stamp_[i] == epoch_; }
+
+  /// Unmarks everything in O(1).
+  void Clear() {
+    if (++epoch_ == 0) {
+      // Epoch wrapped: physically reset (happens once per ~4G clears).
+      std::fill(stamp_.begin(), stamp_.end(), 0);
+      epoch_ = 1;
+    }
+  }
+
+ private:
+  std::vector<uint32_t> stamp_;
+  uint32_t epoch_;
+};
+
+}  // namespace egobw
+
+#endif  // EGOBW_UTIL_BITSET_H_

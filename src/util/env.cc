@@ -1,0 +1,30 @@
+#include "util/env.h"
+
+#include <cstdlib>
+
+namespace egobw {
+
+int64_t GetEnvInt(const char* name, int64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  long long parsed = std::strtoll(v, &end, 10);
+  if (end == v || *end != '\0') return fallback;
+  return parsed;
+}
+
+double GetEnvDouble(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  double parsed = std::strtod(v, &end);
+  if (end == v || *end != '\0') return fallback;
+  return parsed;
+}
+
+std::string GetEnvString(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? fallback : std::string(v);
+}
+
+}  // namespace egobw

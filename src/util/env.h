@@ -1,0 +1,24 @@
+// Environment-variable knobs for the benchmark harnesses
+// (e.g. EGOBW_BENCH_SCALE to enlarge datasets on bigger machines).
+
+#ifndef EGOBW_UTIL_ENV_H_
+#define EGOBW_UTIL_ENV_H_
+
+#include <cstdint>
+#include <string>
+
+namespace egobw {
+
+/// Returns the integer value of the environment variable, or `fallback` when
+/// unset or unparsable.
+int64_t GetEnvInt(const char* name, int64_t fallback);
+
+/// Returns the double value of the environment variable, or `fallback`.
+double GetEnvDouble(const char* name, double fallback);
+
+/// Returns the environment variable's value, or `fallback` when unset.
+std::string GetEnvString(const char* name, const std::string& fallback);
+
+}  // namespace egobw
+
+#endif  // EGOBW_UTIL_ENV_H_

@@ -1,0 +1,75 @@
+#include "util/fraction.h"
+
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace egobw {
+namespace {
+
+int64_t CheckedMul(int64_t a, int64_t b) {
+  int64_t result = 0;
+  EGOBW_CHECK_MSG(!__builtin_mul_overflow(a, b, &result),
+                  "Fraction multiplication overflow");
+  return result;
+}
+
+int64_t CheckedAdd(int64_t a, int64_t b) {
+  int64_t result = 0;
+  EGOBW_CHECK_MSG(!__builtin_add_overflow(a, b, &result),
+                  "Fraction addition overflow");
+  return result;
+}
+
+}  // namespace
+
+Fraction::Fraction(int64_t num, int64_t den) : num_(num), den_(den) {
+  EGOBW_CHECK_MSG(den_ != 0, "Fraction with zero denominator");
+  if (den_ < 0) {
+    num_ = -num_;
+    den_ = -den_;
+  }
+  int64_t g = std::gcd(num_ < 0 ? -num_ : num_, den_);
+  if (g > 1) {
+    num_ /= g;
+    den_ /= g;
+  }
+}
+
+Fraction Fraction::operator+(const Fraction& other) const {
+  // Reduce via gcd of denominators first to delay overflow.
+  int64_t g = std::gcd(den_, other.den_);
+  int64_t lhs = CheckedMul(num_, other.den_ / g);
+  int64_t rhs = CheckedMul(other.num_, den_ / g);
+  return Fraction(CheckedAdd(lhs, rhs), CheckedMul(den_, other.den_ / g));
+}
+
+Fraction Fraction::operator-(const Fraction& other) const {
+  return *this + Fraction(-other.num_, other.den_);
+}
+
+Fraction Fraction::operator*(const Fraction& other) const {
+  int64_t g1 = std::gcd(num_ < 0 ? -num_ : num_, other.den_);
+  int64_t g2 = std::gcd(other.num_ < 0 ? -other.num_ : other.num_, den_);
+  return Fraction(CheckedMul(num_ / g1, other.num_ / g2),
+                  CheckedMul(den_ / g2, other.den_ / g1));
+}
+
+Fraction Fraction::operator/(const Fraction& other) const {
+  EGOBW_CHECK_MSG(other.num_ != 0, "Fraction division by zero");
+  return *this * Fraction(other.den_, other.num_);
+}
+
+bool Fraction::operator<(const Fraction& other) const {
+  // Compare via cross multiplication in 128-bit to avoid overflow.
+  __int128 lhs = static_cast<__int128>(num_) * other.den_;
+  __int128 rhs = static_cast<__int128>(other.num_) * den_;
+  return lhs < rhs;
+}
+
+std::string Fraction::ToString() const {
+  if (den_ == 1) return std::to_string(num_);
+  return std::to_string(num_) + "/" + std::to_string(den_);
+}
+
+}  // namespace egobw

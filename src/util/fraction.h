@@ -1,0 +1,61 @@
+// Exact rational arithmetic.
+//
+// Ego-betweenness values are sums of unit fractions 1/(c+1); on the paper's
+// running examples they are small rationals (41/6, 14/3, ...). The reference
+// implementation accumulates Fractions so golden tests can compare published
+// values exactly instead of within a floating-point tolerance.
+
+#ifndef EGOBW_UTIL_FRACTION_H_
+#define EGOBW_UTIL_FRACTION_H_
+
+#include <cstdint>
+#include <string>
+
+namespace egobw {
+
+/// An exact rational number num/den with den > 0, always in lowest terms.
+/// Arithmetic aborts (EGOBW_CHECK) on signed overflow; intended for test
+/// oracles and small-graph reference computation, not production hot paths.
+class Fraction {
+ public:
+  /// Zero.
+  Fraction() : num_(0), den_(1) {}
+  /// Whole number.
+  Fraction(int64_t value) : num_(value), den_(1) {}  // NOLINT
+  /// num/den; den must be nonzero. Normalizes sign and reduces.
+  Fraction(int64_t num, int64_t den);
+
+  int64_t num() const { return num_; }
+  int64_t den() const { return den_; }
+
+  Fraction operator+(const Fraction& other) const;
+  Fraction operator-(const Fraction& other) const;
+  Fraction operator*(const Fraction& other) const;
+  Fraction operator/(const Fraction& other) const;
+  Fraction& operator+=(const Fraction& other) { return *this = *this + other; }
+  Fraction& operator-=(const Fraction& other) { return *this = *this - other; }
+
+  bool operator==(const Fraction& other) const {
+    return num_ == other.num_ && den_ == other.den_;
+  }
+  bool operator!=(const Fraction& other) const { return !(*this == other); }
+  bool operator<(const Fraction& other) const;
+  bool operator<=(const Fraction& other) const { return !(other < *this); }
+  bool operator>(const Fraction& other) const { return other < *this; }
+  bool operator>=(const Fraction& other) const { return !(*this < other); }
+
+  double ToDouble() const {
+    return static_cast<double>(num_) / static_cast<double>(den_);
+  }
+
+  /// "num/den", or just "num" when den == 1.
+  std::string ToString() const;
+
+ private:
+  int64_t num_;
+  int64_t den_;
+};
+
+}  // namespace egobw
+
+#endif  // EGOBW_UTIL_FRACTION_H_

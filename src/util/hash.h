@@ -1,0 +1,41 @@
+// Hashing helpers shared by the pair-count maps and edge sets.
+
+#ifndef EGOBW_UTIL_HASH_H_
+#define EGOBW_UTIL_HASH_H_
+
+#include <cstdint>
+
+namespace egobw {
+
+/// Packs an unordered vertex pair into a canonical 64-bit key
+/// (smaller id in the high half). Vertex ids must fit in 32 bits.
+inline uint64_t PackPair(uint32_t a, uint32_t b) {
+  if (a > b) {
+    uint32_t t = a;
+    a = b;
+    b = t;
+  }
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+
+inline uint32_t PairFirst(uint64_t key) {
+  return static_cast<uint32_t>(key >> 32);
+}
+
+inline uint32_t PairSecond(uint64_t key) {
+  return static_cast<uint32_t>(key & 0xffffffffULL);
+}
+
+/// Fibonacci-style 64-bit mixer (from SplitMix64's finalizer).
+inline uint64_t Mix64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace egobw
+
+#endif  // EGOBW_UTIL_HASH_H_

@@ -1,0 +1,110 @@
+#include "util/indexed_max_heap.h"
+
+#include "util/logging.h"
+
+namespace egobw {
+
+IndexedMaxHeap::IndexedMaxHeap(uint32_t capacity)
+    : pos_(capacity, kAbsent) {}
+
+double IndexedMaxHeap::PriorityOf(uint32_t id) const {
+  EGOBW_DCHECK(Contains(id));
+  return heap_[pos_[id]].priority;
+}
+
+void IndexedMaxHeap::Place(size_t i, Entry e) {
+  heap_[i] = e;
+  pos_[e.id] = static_cast<uint32_t>(i);
+}
+
+void IndexedMaxHeap::SiftUp(size_t i) {
+  Entry e = heap_[i];
+  while (i > 0) {
+    size_t parent = (i - 1) / 2;
+    if (!Less(heap_[parent], e)) break;
+    Place(i, heap_[parent]);
+    i = parent;
+  }
+  Place(i, e);
+}
+
+void IndexedMaxHeap::SiftDown(size_t i) {
+  Entry e = heap_[i];
+  size_t n = heap_.size();
+  for (;;) {
+    size_t child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n && Less(heap_[child], heap_[child + 1])) ++child;
+    if (!Less(e, heap_[child])) break;
+    Place(i, heap_[child]);
+    i = child;
+  }
+  Place(i, e);
+}
+
+void IndexedMaxHeap::Push(uint32_t id, double priority) {
+  EGOBW_CHECK(id < pos_.size());
+  EGOBW_CHECK_MSG(!Contains(id), "Push of an id already in the heap");
+  heap_.push_back({id, priority});
+  pos_[id] = static_cast<uint32_t>(heap_.size() - 1);
+  SiftUp(heap_.size() - 1);
+}
+
+void IndexedMaxHeap::Update(uint32_t id, double priority) {
+  EGOBW_CHECK_MSG(Contains(id), "Update of an id not in the heap");
+  size_t i = pos_[id];
+  double old = heap_[i].priority;
+  heap_[i].priority = priority;
+  if (priority > old) {
+    SiftUp(i);
+  } else if (priority < old) {
+    SiftDown(i);
+  }
+}
+
+void IndexedMaxHeap::Upsert(uint32_t id, double priority) {
+  if (Contains(id)) {
+    Update(id, priority);
+  } else {
+    Push(id, priority);
+  }
+}
+
+std::pair<uint32_t, double> IndexedMaxHeap::Top() const {
+  EGOBW_CHECK(!empty());
+  return {heap_[0].id, heap_[0].priority};
+}
+
+std::pair<uint32_t, double> IndexedMaxHeap::PopMax() {
+  EGOBW_CHECK(!empty());
+  Entry top = heap_[0];
+  pos_[top.id] = kAbsent;
+  Entry last = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    Place(0, last);
+    SiftDown(0);
+  }
+  return {top.id, top.priority};
+}
+
+bool IndexedMaxHeap::Remove(uint32_t id) {
+  if (!Contains(id)) return false;
+  size_t i = pos_[id];
+  pos_[id] = kAbsent;
+  Entry last = heap_.back();
+  heap_.pop_back();
+  if (i < heap_.size()) {
+    Place(i, last);
+    SiftUp(i);
+    SiftDown(pos_[last.id]);
+  }
+  return true;
+}
+
+void IndexedMaxHeap::Clear() {
+  for (const Entry& e : heap_) pos_[e.id] = kAbsent;
+  heap_.clear();
+}
+
+}  // namespace egobw

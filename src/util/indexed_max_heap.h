@@ -1,0 +1,76 @@
+// Indexed binary max-heap over vertex ids with double priorities.
+//
+// This is the "sorted list H" of Algorithms 2 and 6: it must support
+// pop-max, peek, and in-place priority updates (OptBSearch pushes vertices
+// back with tightened upper bounds; the lazy top-k maintenance re-keys
+// affected vertices). An indexed heap gives O(log n) updates with a single
+// live entry per vertex, so popped bounds are never stale.
+
+#ifndef EGOBW_UTIL_INDEXED_MAX_HEAP_H_
+#define EGOBW_UTIL_INDEXED_MAX_HEAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace egobw {
+
+/// Max-heap keyed by (priority, id): ties broken toward the larger id, which
+/// matches the paper's total order (equal upper bounds -> larger id first).
+class IndexedMaxHeap {
+ public:
+  /// Creates a heap able to hold ids in [0, capacity).
+  explicit IndexedMaxHeap(uint32_t capacity);
+
+  size_t size() const { return heap_.size(); }
+  bool empty() const { return heap_.empty(); }
+
+  bool Contains(uint32_t id) const { return pos_[id] != kAbsent; }
+
+  /// Priority of a contained id. Requires Contains(id).
+  double PriorityOf(uint32_t id) const;
+
+  /// Inserts id with the given priority. Requires !Contains(id).
+  void Push(uint32_t id, double priority);
+
+  /// Updates the priority of a contained id (up or down).
+  void Update(uint32_t id, double priority);
+
+  /// Inserts or updates.
+  void Upsert(uint32_t id, double priority);
+
+  /// Largest entry without removing it. Requires !empty().
+  std::pair<uint32_t, double> Top() const;
+
+  /// Removes and returns the largest entry. Requires !empty().
+  std::pair<uint32_t, double> PopMax();
+
+  /// Removes id if present; returns whether it was present.
+  bool Remove(uint32_t id);
+
+  void Clear();
+
+ private:
+  struct Entry {
+    uint32_t id;
+    double priority;
+  };
+
+  static constexpr uint32_t kAbsent = ~0u;
+
+  bool Less(const Entry& a, const Entry& b) const {
+    if (a.priority != b.priority) return a.priority < b.priority;
+    return a.id < b.id;
+  }
+  void SiftUp(size_t i);
+  void SiftDown(size_t i);
+  void Place(size_t i, Entry e);
+
+  std::vector<Entry> heap_;
+  std::vector<uint32_t> pos_;  // id -> heap index, kAbsent if not contained.
+};
+
+}  // namespace egobw
+
+#endif  // EGOBW_UTIL_INDEXED_MAX_HEAP_H_

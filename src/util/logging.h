@@ -1,0 +1,40 @@
+// Lightweight check/logging macros.
+//
+// EGOBW_CHECK is for internal invariants whose violation indicates a bug in
+// this library (not bad user input — bad input is reported via egobw::Status).
+// Checks stay enabled in release builds; EGOBW_DCHECK compiles out unless
+// NDEBUG is undefined.
+
+#ifndef EGOBW_UTIL_LOGGING_H_
+#define EGOBW_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define EGOBW_CHECK(cond)                                                     \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::fprintf(stderr, "EGOBW_CHECK failed at %s:%d: %s\n", __FILE__,     \
+                   __LINE__, #cond);                                          \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (0)
+
+#define EGOBW_CHECK_MSG(cond, msg)                                            \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::fprintf(stderr, "EGOBW_CHECK failed at %s:%d: %s (%s)\n",          \
+                   __FILE__, __LINE__, #cond, msg);                           \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (0)
+
+#ifdef NDEBUG
+#define EGOBW_DCHECK(cond) \
+  do {                     \
+  } while (0)
+#else
+#define EGOBW_DCHECK(cond) EGOBW_CHECK(cond)
+#endif
+
+#endif  // EGOBW_UTIL_LOGGING_H_

@@ -1,0 +1,119 @@
+#include "util/pair_count_map.h"
+
+namespace egobw {
+
+int32_t PairCountMap::GetOr(uint64_t key, int32_t absent) const {
+  if (keys_.empty()) return absent;
+  size_t slot = FindSlot(key);
+  return keys_[slot] == key ? vals_[slot] : absent;
+}
+
+size_t PairCountMap::FindSlot(uint64_t key) const {
+  size_t mask = keys_.size() - 1;
+  size_t slot = Slot(key);
+  while (keys_[slot] != kEmpty && keys_[slot] != key) {
+    slot = (slot + 1) & mask;
+  }
+  return slot;
+}
+
+void PairCountMap::Grow() {
+  size_t new_cap = keys_.empty() ? 8 : keys_.size() * 2;
+  std::vector<uint64_t> old_keys = std::move(keys_);
+  std::vector<int32_t> old_vals = std::move(vals_);
+  keys_.assign(new_cap, kEmpty);
+  vals_.assign(new_cap, 0);
+  size_ = 0;
+  for (size_t i = 0; i < old_keys.size(); ++i) {
+    if (old_keys[i] != kEmpty) InsertNew(old_keys[i], old_vals[i]);
+  }
+}
+
+void PairCountMap::InsertNew(uint64_t key, int32_t val) {
+  if (keys_.empty() || size_ * 4 >= keys_.size() * 3) Grow();
+  size_t slot = FindSlot(key);
+  EGOBW_DCHECK(keys_[slot] == kEmpty);
+  keys_[slot] = key;
+  vals_[slot] = val;
+  ++size_;
+}
+
+void PairCountMap::SetAdjacent(uint64_t key) {
+  if (keys_.empty()) {
+    InsertNew(key, kAdjacent);
+    return;
+  }
+  size_t slot = FindSlot(key);
+  if (keys_[slot] == key) {
+    vals_[slot] = kAdjacent;
+  } else {
+    InsertNew(key, kAdjacent);
+  }
+}
+
+int32_t PairCountMap::AddCount(uint64_t key, int32_t delta) {
+  if (delta == 0) return GetOr(key, 0);
+  if (keys_.empty()) {
+    EGOBW_DCHECK(delta > 0);
+    InsertNew(key, delta);
+    return 0;
+  }
+  size_t slot = FindSlot(key);
+  if (keys_[slot] != key) {
+    EGOBW_DCHECK(delta > 0);
+    InsertNew(key, delta);
+    return 0;
+  }
+  int32_t prev = vals_[slot];
+  EGOBW_DCHECK(prev != kAdjacent);  // Adjacent pairs are never counted.
+  int32_t next = prev + delta;
+  EGOBW_DCHECK(next >= 0);
+  if (next == 0) {
+    EraseSlot(slot);
+  } else {
+    vals_[slot] = next;
+  }
+  return prev;
+}
+
+int32_t PairCountMap::Erase(uint64_t key, int32_t absent) {
+  if (keys_.empty()) return absent;
+  size_t slot = FindSlot(key);
+  if (keys_[slot] != key) return absent;
+  int32_t prev = vals_[slot];
+  EraseSlot(slot);
+  return prev;
+}
+
+void PairCountMap::EraseSlot(size_t slot) {
+  // Backward-shift deletion keeps probe chains intact without tombstones.
+  size_t mask = keys_.size() - 1;
+  size_t hole = slot;
+  size_t i = (slot + 1) & mask;
+  while (keys_[i] != kEmpty) {
+    size_t home = Slot(keys_[i]);
+    // Can keys_[i] legally move into the hole? Yes iff the hole lies
+    // cyclically between its home slot and its current slot.
+    bool movable;
+    if (hole <= i) {
+      movable = home <= hole || home > i;
+    } else {
+      movable = home <= hole && home > i;
+    }
+    if (movable) {
+      keys_[hole] = keys_[i];
+      vals_[hole] = vals_[i];
+      hole = i;
+    }
+    i = (i + 1) & mask;
+  }
+  keys_[hole] = kEmpty;
+  --size_;
+}
+
+void PairCountMap::Clear() {
+  std::fill(keys_.begin(), keys_.end(), kEmpty);
+  size_ = 0;
+}
+
+}  // namespace egobw

@@ -1,0 +1,89 @@
+// Open-addressing hash map from an unordered vertex pair to a small counter.
+//
+// This is the S_u structure of the paper (Algorithm 1): for each pair of
+// u's neighbors it stores either the ADJACENT marker (val == 0, the pair is an
+// edge of the ego network) or the number of connectors found so far (val >= 1,
+// vertices other than u linking the pair inside GE(u)). Absent pairs have no
+// identified connector and contribute 1 to CB(u) (the paper's S̈E set).
+
+#ifndef EGOBW_UTIL_PAIR_COUNT_MAP_H_
+#define EGOBW_UTIL_PAIR_COUNT_MAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace egobw {
+
+/// Flat linear-probing map u64 -> int32 with power-of-two capacity.
+/// Key 0xffff...ff is reserved as the empty sentinel (never a valid packed
+/// pair because PackPair stores the smaller vertex id in the high half and a
+/// pair (x, x) is rejected by callers).
+class PairCountMap {
+ public:
+  /// Value marking an adjacent (distance-1) neighbor pair.
+  static constexpr int32_t kAdjacent = 0;
+
+  PairCountMap() = default;
+
+  /// Number of stored entries.
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Returns the value for the pair, or `absent` when not present.
+  int32_t GetOr(uint64_t key, int32_t absent) const;
+
+  /// True if the pair is present.
+  bool Contains(uint64_t key) const { return GetOr(key, -1) != -1; }
+
+  /// Marks the pair adjacent (val = 0). Overwrites any connector count;
+  /// callers guarantee a pair is never both adjacent and counted.
+  void SetAdjacent(uint64_t key);
+
+  /// Adds delta (may be negative) to the pair's connector count, inserting
+  /// with value delta if absent. Returns the *previous* count (0 if absent).
+  /// The entry is erased when the count returns to 0, preserving the
+  /// "absent == no identified connector" invariant. Must not be called on
+  /// pairs marked adjacent.
+  int32_t AddCount(uint64_t key, int32_t delta);
+
+  /// Erases the pair if present; returns its previous value or `absent`.
+  int32_t Erase(uint64_t key, int32_t absent);
+
+  /// Removes all entries but keeps capacity.
+  void Clear();
+
+  /// Calls fn(key, value) for every entry. Iteration order is unspecified.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t i = 0; i < keys_.size(); ++i) {
+      if (keys_[i] != kEmpty) fn(keys_[i], vals_[i]);
+    }
+  }
+
+  /// Bytes of heap memory held.
+  size_t MemoryBytes() const {
+    return keys_.capacity() * sizeof(uint64_t) +
+           vals_.capacity() * sizeof(int32_t);
+  }
+
+ private:
+  static constexpr uint64_t kEmpty = ~0ULL;
+
+  size_t Slot(uint64_t key) const { return Mix64(key) & (keys_.size() - 1); }
+  void Grow();
+  // Finds the slot of key, or the first empty slot in its probe chain.
+  size_t FindSlot(uint64_t key) const;
+  void InsertNew(uint64_t key, int32_t val);
+  void EraseSlot(size_t slot);
+
+  std::vector<uint64_t> keys_;
+  std::vector<int32_t> vals_;
+  size_t size_ = 0;
+};
+
+}  // namespace egobw
+
+#endif  // EGOBW_UTIL_PAIR_COUNT_MAP_H_

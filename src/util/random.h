@@ -1,0 +1,55 @@
+// Deterministic, seedable pseudo-random number generation.
+//
+// All stochastic components (generators, samplers, workloads) take an explicit
+// seed so every experiment in the repo is reproducible bit-for-bit.
+
+#ifndef EGOBW_UTIL_RANDOM_H_
+#define EGOBW_UTIL_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace egobw {
+
+/// xoshiro256** generator seeded via SplitMix64. Fast, high quality, and
+/// identical across platforms (unlike std::mt19937 distributions).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). Requires bound > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform integer in [lo, hi]. Requires lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli trial with probability p.
+  bool NextBool(double p);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = NextBounded(i);
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// Reservoir-samples k distinct indices from [0, n). Returned unsorted.
+  std::vector<uint64_t> SampleWithoutReplacement(uint64_t n, uint64_t k);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace egobw
+
+#endif  // EGOBW_UTIL_RANDOM_H_

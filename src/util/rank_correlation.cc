@@ -1,0 +1,97 @@
+#include "util/rank_correlation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace egobw {
+namespace {
+
+// Average ranks with ties sharing the mean of their positions.
+std::vector<double> AverageRanks(const std::vector<double>& values) {
+  size_t n = values.size();
+  std::vector<uint32_t> idx(n);
+  std::iota(idx.begin(), idx.end(), 0u);
+  std::sort(idx.begin(), idx.end(), [&values](uint32_t x, uint32_t y) {
+    return values[x] < values[y];
+  });
+  std::vector<double> ranks(n);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && values[idx[j + 1]] == values[idx[i]]) ++j;
+    double avg = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (size_t k = i; k <= j; ++k) ranks[idx[k]] = avg;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+}  // namespace
+
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  EGOBW_CHECK(a.size() == b.size());
+  size_t n = a.size();
+  if (n < 2) return 0.0;
+  double mean_a = std::accumulate(a.begin(), a.end(), 0.0) / n;
+  double mean_b = std::accumulate(b.begin(), b.end(), 0.0) / n;
+  double cov = 0.0;
+  double var_a = 0.0;
+  double var_b = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double da = a[i] - mean_a;
+    double db = b[i] - mean_b;
+    cov += da * db;
+    var_a += da * da;
+    var_b += db * db;
+  }
+  if (var_a == 0.0 || var_b == 0.0) return 0.0;
+  return cov / std::sqrt(var_a * var_b);
+}
+
+double SpearmanCorrelation(const std::vector<double>& a,
+                           const std::vector<double>& b) {
+  EGOBW_CHECK(a.size() == b.size());
+  if (a.size() < 2) return 0.0;
+  return PearsonCorrelation(AverageRanks(a), AverageRanks(b));
+}
+
+double KendallTauA(const std::vector<double>& a,
+                   const std::vector<double>& b) {
+  EGOBW_CHECK(a.size() == b.size());
+  size_t n = a.size();
+  if (n < 2) return 0.0;
+  auto sign = [](double x) { return (x > 0) - (x < 0); };
+  int64_t concordant_minus_discordant = 0;
+  uint64_t pairs = 0;
+  if (n <= 2000) {
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        concordant_minus_discordant +=
+            sign(a[i] - a[j]) * sign(b[i] - b[j]);
+        ++pairs;
+      }
+    }
+  } else {
+    Rng rng(0xEB0EB0);
+    pairs = 2'000'000;
+    for (uint64_t s = 0; s < pairs; ++s) {
+      size_t i = rng.NextBounded(n);
+      size_t j = rng.NextBounded(n);
+      if (i == j) {
+        --s;
+        continue;
+      }
+      concordant_minus_discordant += sign(a[i] - a[j]) * sign(b[i] - b[j]);
+    }
+  }
+  return static_cast<double>(concordant_minus_discordant) /
+         static_cast<double>(pairs);
+}
+
+}  // namespace egobw

@@ -1,0 +1,30 @@
+// Rank-agreement metrics between two centrality score vectors.
+//
+// Everett & Borgatti's premise — which the paper's Exp-6/7 quantify with
+// top-k overlap — is that ego-betweenness is *highly correlated* with
+// betweenness. These helpers add the standard correlation coefficients so
+// the claim can be checked on whole rankings, not just the top-k sets.
+
+#ifndef EGOBW_UTIL_RANK_CORRELATION_H_
+#define EGOBW_UTIL_RANK_CORRELATION_H_
+
+#include <vector>
+
+namespace egobw {
+
+/// Pearson linear correlation of the raw scores. Returns 0 for degenerate
+/// (constant or empty) inputs.
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b);
+
+/// Spearman rank correlation (Pearson on average-tie ranks).
+double SpearmanCorrelation(const std::vector<double>& a,
+                           const std::vector<double>& b);
+
+/// Fraction-of-concordant-pairs Kendall tau-a, estimated exactly for n ≤
+/// 2000 and from 2·10^6 sampled pairs above (seeded deterministically).
+double KendallTauA(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace egobw
+
+#endif  // EGOBW_UTIL_RANK_CORRELATION_H_

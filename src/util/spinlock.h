@@ -1,0 +1,65 @@
+// Spinlocks for fine-grained, short critical sections in the parallel
+// ego-betweenness algorithms (S-map updates are a few memory writes, so
+// spinning beats parking the thread).
+
+#ifndef EGOBW_UTIL_SPINLOCK_H_
+#define EGOBW_UTIL_SPINLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "util/hash.h"
+
+namespace egobw {
+
+/// Test-and-test-and-set spinlock.
+class Spinlock {
+ public:
+  void lock() {
+    for (;;) {
+      if (!flag_.exchange(true, std::memory_order_acquire)) return;
+      int spins = 0;
+      while (flag_.load(std::memory_order_relaxed)) {
+        // Critical sections are a handful of instructions, so spin briefly;
+        // under thread oversubscription (t > cores) the holder may be
+        // descheduled — yield so it can run.
+        if (++spins > 256) {
+          std::this_thread::yield();
+          spins = 0;
+        }
+      }
+    }
+  }
+  void unlock() { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+/// A fixed pool of spinlocks indexed by hashed vertex id. Striping bounds
+/// memory (no lock per vertex) while keeping collision probability low.
+class StripedLocks {
+ public:
+  explicit StripedLocks(size_t stripes = 1024)
+      : locks_(NextPow2(stripes)), mask_(locks_.size() - 1) {}
+
+  Spinlock& For(uint32_t id) { return locks_[Mix64(id) & mask_]; }
+
+  size_t stripe_count() const { return locks_.size(); }
+
+ private:
+  static size_t NextPow2(size_t x) {
+    size_t p = 1;
+    while (p < x) p <<= 1;
+    return p;
+  }
+
+  std::vector<Spinlock> locks_;
+  size_t mask_;
+};
+
+}  // namespace egobw
+
+#endif  // EGOBW_UTIL_SPINLOCK_H_

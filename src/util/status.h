@@ -1,0 +1,116 @@
+// Error handling for operations that can fail on user input (I/O, parsing,
+// invalid arguments). Follows the RocksDB/Arrow idiom: no exceptions in the
+// public API; fallible functions return Status or Result<T>.
+
+#ifndef EGOBW_UTIL_STATUS_H_
+#define EGOBW_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "util/logging.h"
+
+namespace egobw {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kIOError,
+  kOutOfRange,
+  kInternal,
+};
+
+/// Result of a fallible operation: a code plus a human-readable message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Holds either a value of type T or an error Status.
+template <typename T>
+class Result {
+ public:
+  /// Intentionally implicit so functions can `return value;` / `return status;`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT
+  Result(Status status) : value_(std::move(status)) {  // NOLINT
+    EGOBW_CHECK_MSG(!std::get<Status>(value_).ok(),
+                    "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(value_);
+  }
+
+  /// Requires ok().
+  const T& value() const& {
+    EGOBW_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::get<T>(value_);
+  }
+  T& value() & {
+    EGOBW_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::get<T>(value_);
+  }
+  T&& value() && {
+    EGOBW_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::get<T>(std::move(value_));
+  }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define EGOBW_RETURN_IF_ERROR(expr)          \
+  do {                                       \
+    ::egobw::Status s_ = (expr);             \
+    if (!s_.ok()) return s_;                 \
+  } while (0)
+
+}  // namespace egobw
+
+#endif  // EGOBW_UTIL_STATUS_H_

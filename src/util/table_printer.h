@@ -1,0 +1,41 @@
+// Aligned plain-text tables for the benchmark harnesses, so every bench
+// binary prints the same rows/series the paper's tables and figures report.
+
+#ifndef EGOBW_UTIL_TABLE_PRINTER_H_
+#define EGOBW_UTIL_TABLE_PRINTER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace egobw {
+
+/// Collects rows of string cells and renders them with padded columns.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Formatting helpers.
+  static std::string Fmt(double v, int precision = 3);
+  static std::string Fmt(uint64_t v);
+  static std::string Fmt(int64_t v);
+  static std::string Percent(double fraction, int precision = 1);
+
+  /// Renders the table (header, separator, rows).
+  std::string ToString() const;
+
+  /// Prints ToString() to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace egobw
+
+#endif  // EGOBW_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,97 @@
+#include "util/thread_pool.h"
+
+#include "util/logging.h"
+
+namespace egobw {
+
+ThreadPool::ThreadPool(size_t threads) {
+  EGOBW_CHECK(threads >= 1);
+  workers_.reserve(threads);
+  for (size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    EGOBW_CHECK_MSG(!stop_, "Submit on a stopped ThreadPool");
+    queue_.push(std::move(task));
+    ++in_flight_;
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and queue drained.
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (--in_flight_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+namespace {
+
+void RunParallel(uint64_t begin, uint64_t end, size_t threads, uint64_t grain,
+                 const std::function<void(uint64_t, size_t)>& fn) {
+  if (begin >= end) return;
+  if (grain == 0) grain = 1;
+  if (threads <= 1 || end - begin <= grain) {
+    for (uint64_t i = begin; i < end; ++i) fn(i, 0);
+    return;
+  }
+  std::atomic<uint64_t> cursor{begin};
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (size_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      for (;;) {
+        uint64_t lo = cursor.fetch_add(grain, std::memory_order_relaxed);
+        if (lo >= end) return;
+        uint64_t hi = std::min(end, lo + grain);
+        for (uint64_t i = lo; i < hi; ++i) fn(i, t);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+}
+
+}  // namespace
+
+void ParallelFor(uint64_t begin, uint64_t end, size_t threads, uint64_t grain,
+                 const std::function<void(uint64_t)>& fn) {
+  RunParallel(begin, end, threads, grain,
+              [&fn](uint64_t i, size_t) { fn(i); });
+}
+
+void ParallelForWorker(uint64_t begin, uint64_t end, size_t threads,
+                       uint64_t grain,
+                       const std::function<void(uint64_t, size_t)>& fn) {
+  RunParallel(begin, end, threads, grain, fn);
+}
+
+}  // namespace egobw

@@ -1,0 +1,67 @@
+// Thread pool and data-parallel loop.
+//
+// The paper parallelizes with OpenMP; this repo uses an equivalent, dependency
+// free substrate: a fixed pool of workers plus ParallelFor with dynamic
+// (work-stealing-by-atomic-counter) chunk scheduling, which is what OpenMP's
+// `schedule(dynamic)` does for skewed per-item costs.
+
+#ifndef EGOBW_UTIL_THREAD_POOL_H_
+#define EGOBW_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace egobw {
+
+/// Fixed-size worker pool. Tasks are void() callables; Wait() blocks until
+/// the queue drains and all workers are idle.
+class ThreadPool {
+ public:
+  /// Creates `threads` workers (>= 1).
+  explicit ThreadPool(size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t thread_count() const { return workers_.size(); }
+
+  /// Enqueues a task for execution on some worker.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // Signals workers: new task or stop.
+  std::condition_variable idle_cv_;   // Signals Wait(): everything drained.
+  size_t in_flight_ = 0;              // Queued + currently-running tasks.
+  bool stop_ = false;
+};
+
+/// Runs fn(i) for every i in [begin, end) across `threads` workers of an
+/// internal pool (or inline when threads <= 1). Iterations are handed out in
+/// chunks of `grain` via an atomic cursor, so skewed iteration costs balance.
+void ParallelFor(uint64_t begin, uint64_t end, size_t threads, uint64_t grain,
+                 const std::function<void(uint64_t)>& fn);
+
+/// Variant that tells the body which worker is running it (for thread-local
+/// scratch): fn(i, worker_index) with worker_index in [0, threads).
+void ParallelForWorker(
+    uint64_t begin, uint64_t end, size_t threads, uint64_t grain,
+    const std::function<void(uint64_t, size_t)>& fn);
+
+}  // namespace egobw
+
+#endif  // EGOBW_UTIL_THREAD_POOL_H_

@@ -1,0 +1,224 @@
+// Tests for the analysis extensions: ego-network materialization, k-core /
+// degeneracy decomposition, approximate Brandes, and rank correlation.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "baseline/approx_brandes.h"
+#include "baseline/brandes.h"
+#include "core/naive.h"
+#include "graph/core_decomposition.h"
+#include "graph/ego_network.h"
+#include "graph/example_graphs.h"
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+#include "util/rank_correlation.h"
+
+namespace egobw {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+// ---------------------------------------------------------------- EgoNetwork
+
+TEST(EgoNetworkTest, StructureOfFigure1D) {
+  Graph g = PaperFigure1();
+  EgoNetwork net = BuildEgoNetwork(g, PaperFigure1Id('d'));
+  EXPECT_EQ(net.size(), 7u);  // d plus its 6 neighbors.
+  // 6 spokes + 7 alter edges (ab, ac, bc, cg, ch, gi, hi).
+  EXPECT_EQ(net.edge_count(), 13u);
+  EXPECT_EQ(net.members[0], PaperFigure1Id('d'));
+}
+
+TEST(EgoNetworkTest, BetweennessMatchesReferenceOnFigure1) {
+  Graph g = PaperFigure1();
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    EgoNetwork net = BuildEgoNetwork(g, v);
+    EXPECT_NEAR(EgoBetweennessOfNetwork(net),
+                ReferenceEgoBetweenness(g, v).ToDouble(), kTol)
+        << PaperFigure1Name(v);
+  }
+}
+
+TEST(EgoNetworkTest, MaterializedAllMatchesNaive) {
+  Graph g = Collaboration(300, 500, 5, 8, 0.15, 71);
+  std::vector<double> mat = ComputeAllEgoBetweennessMaterialized(g);
+  std::vector<double> naive = ComputeAllEgoBetweennessNaive(g);
+  ASSERT_EQ(mat.size(), naive.size());
+  for (size_t v = 0; v < mat.size(); ++v) {
+    EXPECT_NEAR(mat[v], naive[v], 1e-7) << "vertex " << v;
+  }
+}
+
+TEST(EgoNetworkTest, StatsOnStarAndClique) {
+  Graph star = Star(6);
+  EgoNetworkStats center = ComputeEgoNetworkStats(BuildEgoNetwork(star, 0));
+  EXPECT_EQ(center.vertices, 6u);
+  EXPECT_EQ(center.alter_edges, 0u);
+  EXPECT_DOUBLE_EQ(center.density, 0.0);
+  EXPECT_EQ(center.components_without_ego, 5u);
+
+  Graph clique = Clique(5);
+  EgoNetworkStats c = ComputeEgoNetworkStats(BuildEgoNetwork(clique, 2));
+  EXPECT_EQ(c.vertices, 5u);
+  EXPECT_EQ(c.alter_edges, 6u);
+  EXPECT_DOUBLE_EQ(c.density, 1.0);
+  EXPECT_EQ(c.components_without_ego, 1u);
+}
+
+TEST(EgoNetworkTest, DegreeZeroAndOne) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1);
+  Graph g = b.Build();
+  EXPECT_EQ(BuildEgoNetwork(g, 2).size(), 1u);
+  EXPECT_NEAR(EgoBetweennessOfNetwork(BuildEgoNetwork(g, 2)), 0.0, kTol);
+  EXPECT_NEAR(EgoBetweennessOfNetwork(BuildEgoNetwork(g, 0)), 0.0, kTol);
+}
+
+// ---------------------------------------------------------------- CoreDecomposition
+
+TEST(CoreDecompositionTest, CliqueAndTree) {
+  CoreDecomposition clique = ComputeCoreDecomposition(Clique(6));
+  EXPECT_EQ(clique.degeneracy, 5u);
+  for (uint32_t c : clique.core) EXPECT_EQ(c, 5u);
+
+  CoreDecomposition path = ComputeCoreDecomposition(Path(10));
+  EXPECT_EQ(path.degeneracy, 1u);
+
+  CoreDecomposition cycle = ComputeCoreDecomposition(Cycle(10));
+  EXPECT_EQ(cycle.degeneracy, 2u);
+}
+
+TEST(CoreDecompositionTest, CoreNumbersMatchPeelingOracle) {
+  Graph g = BarabasiAlbert(300, 4, 72, 0.4);
+  CoreDecomposition fast = ComputeCoreDecomposition(g);
+  // Oracle: a vertex has core >= k iff it survives iterated deletion of
+  // vertices with degree < k.
+  for (uint32_t k = 1; k <= fast.degeneracy; ++k) {
+    std::vector<uint32_t> degree(g.NumVertices());
+    std::vector<bool> alive(g.NumVertices(), true);
+    for (VertexId v = 0; v < g.NumVertices(); ++v) degree[v] = g.Degree(v);
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (VertexId v = 0; v < g.NumVertices(); ++v) {
+        if (alive[v] && degree[v] < k) {
+          alive[v] = false;
+          changed = true;
+          for (VertexId w : g.Neighbors(v)) {
+            if (alive[w]) --degree[w];
+          }
+        }
+      }
+    }
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      EXPECT_EQ(alive[v], fast.core[v] >= k) << "k=" << k << " v=" << v;
+    }
+  }
+}
+
+TEST(CoreDecompositionTest, OrderHasBoundedForwardDegree) {
+  Graph g = RMat(10, 6, 0.57, 0.19, 0.19, 73);
+  CoreDecomposition cores = ComputeCoreDecomposition(g);
+  std::vector<uint32_t> position(g.NumVertices());
+  for (uint32_t i = 0; i < cores.order.size(); ++i) {
+    position[cores.order[i]] = i;
+  }
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    uint32_t forward = 0;
+    for (VertexId w : g.Neighbors(v)) forward += position[w] > position[v];
+    EXPECT_LE(forward, cores.degeneracy);
+  }
+}
+
+TEST(CoreDecompositionTest, ArboricityBoundsSane) {
+  ArboricityBounds tree = EstimateArboricity(Path(50));
+  EXPECT_EQ(tree.lower, 1u);
+  EXPECT_EQ(tree.upper, 1u);
+  ArboricityBounds clique = EstimateArboricity(Clique(9));
+  // α(K_9) = ceil(9/2) = 5; degeneracy 8 -> bounds must bracket 5.
+  EXPECT_LE(clique.lower, 5u);
+  EXPECT_GE(clique.upper, 5u);
+  Graph g = BarabasiAlbert(500, 5, 74);
+  ArboricityBounds ba = EstimateArboricity(g);
+  EXPECT_GE(ba.upper, ba.lower);
+  EXPECT_GE(ba.lower, 1u);
+}
+
+// ---------------------------------------------------------------- ApproxBrandes
+
+TEST(ApproxBrandesTest, AllPivotsEqualsExact) {
+  Graph g = Collaboration(150, 250, 4, 6, 0.15, 75);
+  std::vector<double> exact = BrandesBetweenness(g);
+  std::vector<double> approx =
+      ApproxBrandesBetweenness(g, g.NumVertices(), 1, 2);
+  ASSERT_EQ(exact.size(), approx.size());
+  for (size_t v = 0; v < exact.size(); ++v) {
+    EXPECT_NEAR(exact[v], approx[v], 1e-7);
+  }
+}
+
+TEST(ApproxBrandesTest, SampledRankingTracksExact) {
+  Graph g = BarabasiAlbert(800, 4, 76, 0.3);
+  std::vector<double> exact = BrandesBetweenness(g, 2);
+  std::vector<double> approx = ApproxBrandesBetweenness(g, 200, 2, 2);
+  // The estimates should correlate strongly with the exact values.
+  EXPECT_GT(SpearmanCorrelation(exact, approx), 0.8);
+}
+
+TEST(ApproxBrandesTest, DeterministicBySeed) {
+  Graph g = BarabasiAlbert(300, 3, 77);
+  std::vector<double> a = ApproxBrandesBetweenness(g, 50, 9, 2);
+  std::vector<double> b = ApproxBrandesBetweenness(g, 50, 9, 2);
+  for (size_t v = 0; v < a.size(); ++v) EXPECT_DOUBLE_EQ(a[v], b[v]);
+}
+
+// ---------------------------------------------------------------- Correlation
+
+TEST(RankCorrelationTest, PerfectAndInverted) {
+  std::vector<double> x{1, 2, 3, 4, 5};
+  std::vector<double> y{2, 4, 6, 8, 10};
+  std::vector<double> z{5, 4, 3, 2, 1};
+  EXPECT_NEAR(PearsonCorrelation(x, y), 1.0, kTol);
+  EXPECT_NEAR(SpearmanCorrelation(x, y), 1.0, kTol);
+  EXPECT_NEAR(KendallTauA(x, y), 1.0, kTol);
+  EXPECT_NEAR(PearsonCorrelation(x, z), -1.0, kTol);
+  EXPECT_NEAR(KendallTauA(x, z), -1.0, kTol);
+}
+
+TEST(RankCorrelationTest, MonotoneTransformKeepsSpearman) {
+  std::vector<double> x{1, 5, 2, 8, 3};
+  std::vector<double> y;
+  for (double v : x) y.push_back(std::exp(v));  // Monotone, nonlinear.
+  EXPECT_NEAR(SpearmanCorrelation(x, y), 1.0, kTol);
+  EXPECT_LT(PearsonCorrelation(x, y), 1.0);
+}
+
+TEST(RankCorrelationTest, DegenerateInputs) {
+  std::vector<double> constant{3, 3, 3};
+  std::vector<double> varying{1, 2, 3};
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(constant, varying), 0.0);
+  EXPECT_DOUBLE_EQ(SpearmanCorrelation(constant, varying), 0.0);
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({}, {}), 0.0);
+}
+
+TEST(RankCorrelationTest, TiesUseAverageRanks) {
+  std::vector<double> a{1, 1, 2, 2};
+  std::vector<double> b{1, 1, 2, 2};
+  EXPECT_NEAR(SpearmanCorrelation(a, b), 1.0, kTol);
+}
+
+TEST(RankCorrelationTest, EgoBetweennessCorrelatesWithBetweenness) {
+  // The Everett-Borgatti premise the paper builds on, checked end to end.
+  Graph g = Collaboration(400, 700, 5, 10, 0.1, 78);
+  std::vector<double> ebw = ComputeAllEgoBetweennessNaive(g);
+  std::vector<double> bw = BrandesBetweenness(g, 2);
+  EXPECT_GT(SpearmanCorrelation(ebw, bw), 0.7);
+  EXPECT_GT(PearsonCorrelation(ebw, bw), 0.5);
+}
+
+}  // namespace
+}  // namespace egobw

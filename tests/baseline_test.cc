@@ -1,0 +1,195 @@
+// Tests for the Brandes betweenness baseline, validated against closed forms
+// and a brute-force all-pairs BFS path-counting oracle.
+
+#include <gtest/gtest.h>
+
+#include <queue>
+#include <vector>
+
+#include "baseline/brandes.h"
+#include "baseline/top_bw.h"
+#include "graph/example_graphs.h"
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+
+namespace egobw {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+// O(n^2 m) oracle: for every pair (s, t), count shortest paths and, for each
+// vertex v, the fraction passing through v.
+std::vector<double> BruteForceBetweenness(const Graph& g) {
+  uint32_t n = g.NumVertices();
+  std::vector<double> bc(n, 0.0);
+  std::vector<int32_t> dist(n);
+  std::vector<double> sigma(n);
+  // sigma_via[v] after BFS from s, targeting t: recomputed per pair below.
+  for (VertexId s = 0; s < n; ++s) {
+    // BFS from s.
+    dist.assign(n, -1);
+    sigma.assign(n, 0.0);
+    std::queue<VertexId> q;
+    dist[s] = 0;
+    sigma[s] = 1;
+    q.push(s);
+    std::vector<VertexId> order;
+    while (!q.empty()) {
+      VertexId v = q.front();
+      q.pop();
+      order.push_back(v);
+      for (VertexId w : g.Neighbors(v)) {
+        if (dist[w] < 0) {
+          dist[w] = dist[v] + 1;
+          q.push(w);
+        }
+        if (dist[w] == dist[v] + 1) sigma[w] += sigma[v];
+      }
+    }
+    // For every target t > s, count per-vertex path fractions by dynamic
+    // programming backwards: paths through v = sigma[v] * sigma_rev[v].
+    for (VertexId t = s + 1; t < n; ++t) {
+      if (dist[t] < 0) continue;
+      // sigma_rev[v]: number of shortest s-t paths from v to t.
+      std::vector<double> sigma_rev(n, 0.0);
+      sigma_rev[t] = 1;
+      for (auto it = order.rbegin(); it != order.rend(); ++it) {
+        VertexId v = *it;
+        if (v == t || dist[v] >= dist[t]) continue;
+        for (VertexId w : g.Neighbors(v)) {
+          if (dist[w] == dist[v] + 1) sigma_rev[v] += sigma_rev[w];
+        }
+      }
+      for (VertexId v = 0; v < n; ++v) {
+        if (v == s || v == t || dist[v] <= 0 || dist[v] >= dist[t]) continue;
+        double through = sigma[v] * sigma_rev[v];
+        if (through > 0) bc[v] += through / sigma[t];
+      }
+    }
+  }
+  return bc;
+}
+
+TEST(BrandesTest, PathClosedForm) {
+  // Path 0-1-2-3-4: bc[v] = v * (n-1-v).
+  Graph g = Path(5);
+  std::vector<double> bc = BrandesBetweenness(g);
+  EXPECT_NEAR(bc[0], 0.0, kTol);
+  EXPECT_NEAR(bc[1], 3.0, kTol);
+  EXPECT_NEAR(bc[2], 4.0, kTol);
+  EXPECT_NEAR(bc[3], 3.0, kTol);
+  EXPECT_NEAR(bc[4], 0.0, kTol);
+}
+
+TEST(BrandesTest, StarClosedForm) {
+  Graph g = Star(11);
+  std::vector<double> bc = BrandesBetweenness(g);
+  EXPECT_NEAR(bc[0], 45.0, kTol);  // C(10, 2): the center carries all pairs.
+  for (VertexId v = 1; v < 11; ++v) EXPECT_NEAR(bc[v], 0.0, kTol);
+}
+
+TEST(BrandesTest, CliqueIsZero) {
+  std::vector<double> bc = BrandesBetweenness(Clique(8));
+  for (double v : bc) EXPECT_NEAR(v, 0.0, kTol);
+}
+
+TEST(BrandesTest, DisconnectedComponentsHandled) {
+  GraphBuilder b(6);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);  // Component {0,1,2}: bc[1] = 1.
+  b.AddEdge(3, 4);
+  b.AddEdge(4, 5);  // Component {3,4,5}: bc[4] = 1.
+  std::vector<double> bc = BrandesBetweenness(b.Build());
+  EXPECT_NEAR(bc[1], 1.0, kTol);
+  EXPECT_NEAR(bc[4], 1.0, kTol);
+  EXPECT_NEAR(bc[0], 0.0, kTol);
+}
+
+struct BrandesParam {
+  const char* name;
+  int kind;
+  uint64_t seed;
+};
+
+class BrandesSuite : public ::testing::TestWithParam<BrandesParam> {
+ protected:
+  Graph Make() const {
+    const auto& p = GetParam();
+    if (p.kind == 0) return ErdosRenyi(40, 120, p.seed);
+    if (p.kind == 1) return BarabasiAlbert(50, 3, p.seed);
+    return Collaboration(60, 90, 4, 4, 0.2, p.seed);
+  }
+};
+
+TEST_P(BrandesSuite, MatchesBruteForceOracle) {
+  Graph g = Make();
+  std::vector<double> fast = BrandesBetweenness(g);
+  std::vector<double> slow = BruteForceBetweenness(g);
+  ASSERT_EQ(fast.size(), slow.size());
+  for (size_t v = 0; v < fast.size(); ++v) {
+    EXPECT_NEAR(fast[v], slow[v], 1e-7) << "vertex " << v;
+  }
+}
+
+TEST_P(BrandesSuite, ParallelMatchesSequential) {
+  Graph g = Make();
+  std::vector<double> seq = BrandesBetweenness(g, 1);
+  for (size_t threads : {2u, 4u}) {
+    std::vector<double> par = BrandesBetweenness(g, threads);
+    for (size_t v = 0; v < seq.size(); ++v) {
+      EXPECT_NEAR(par[v], seq[v], 1e-7) << "t=" << threads << " v=" << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Graphs, BrandesSuite,
+    ::testing::Values(BrandesParam{"er1", 0, 1001},
+                      BrandesParam{"er2", 0, 1002},
+                      BrandesParam{"ba", 1, 1003},
+                      BrandesParam{"collab", 2, 1004}),
+    [](const ::testing::TestParamInfo<BrandesParam>& info) {
+      return info.param.name;
+    });
+
+TEST(TopBWTest, RanksByBetweenness) {
+  Graph g = TwoCliquesBridge(6);  // Bridge vertex 0 dominates.
+  TopKResult r = TopBW(g, 3);
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_EQ(r[0].vertex, 0u);
+  EXPECT_NEAR(r[0].cb, 25.0, kTol);  // 5x5 cross-clique pairs.
+}
+
+TEST(TopBWTest, AllValuesOutput) {
+  Graph g = Path(6);
+  std::vector<double> all;
+  TopBW(g, 2, 1, &all);
+  EXPECT_EQ(all.size(), 6u);
+  EXPECT_NEAR(all[2], 6.0, kTol);  // Path: bc[v] = v * (n - 1 - v) = 2 * 3.
+}
+
+TEST(TopBWTest, Figure1BridgesAgreeWithEgoBetweenness) {
+  // Effectiveness in miniature: on the paper's running example the top-3 by
+  // betweenness and by ego-betweenness share the bridge vertices f and x.
+  Graph g = PaperFigure1();
+  TopKResult bw = TopBW(g, 3);
+  std::vector<VertexId> bw_vertices;
+  for (const auto& e : bw) bw_vertices.push_back(e.vertex);
+  EXPECT_NE(std::find(bw_vertices.begin(), bw_vertices.end(),
+                      PaperFigure1Id('f')),
+            bw_vertices.end());
+  EXPECT_NE(std::find(bw_vertices.begin(), bw_vertices.end(),
+                      PaperFigure1Id('x')),
+            bw_vertices.end());
+}
+
+TEST(TopKOverlapTest, Metric) {
+  TopKResult a{{1, 5.0}, {2, 4.0}, {3, 3.0}, {4, 2.0}};
+  TopKResult b{{1, 9.0}, {3, 8.0}, {9, 7.0}, {10, 6.0}};
+  EXPECT_DOUBLE_EQ(TopKOverlap(a, b), 0.5);
+  EXPECT_DOUBLE_EQ(TopKOverlap(a, a), 1.0);
+  EXPECT_DOUBLE_EQ(TopKOverlap(TopKResult{}, b), 0.0);
+}
+
+}  // namespace
+}  // namespace egobw

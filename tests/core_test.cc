@@ -1,0 +1,662 @@
+// Tests for the core ego-betweenness machinery: the reference oracle, the
+// shared-map edge processing, and both top-k searches — including golden
+// traces against the paper's published running example (Fig. 1-3).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/all_ego.h"
+#include "core/base_search.h"
+#include "core/edge_processor.h"
+#include "core/naive.h"
+#include "core/opt_search.h"
+#include "core/smap_store.h"
+#include "graph/degree_order.h"
+#include "graph/edge_set.h"
+#include "graph/example_graphs.h"
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+#include "util/fraction.h"
+
+namespace egobw {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+// Ground-truth ego-betweennesses of the paper's Fig. 1 graph, as verified
+// against every worked example (Examples 1-5 and the Fig. 2/3 traces).
+std::map<char, Fraction> Figure1GroundTruth() {
+  return {
+      {'a', Fraction(1)},      {'b', Fraction(1)},     {'c', Fraction(41, 6)},
+      {'d', Fraction(14, 3)},  {'e', Fraction(9, 2)},  {'f', Fraction(11)},
+      {'g', Fraction(2, 3)},   {'h', Fraction(2, 3)},  {'i', Fraction(8)},
+      {'j', Fraction(2)},      {'k', Fraction(1)},     {'u', Fraction(0)},
+      {'v', Fraction(0)},      {'x', Fraction(10)},    {'y', Fraction(0)},
+      {'z', Fraction(0)},
+  };
+}
+
+std::vector<double> SortedDesc(std::vector<double> v) {
+  std::sort(v.begin(), v.end(), std::greater<>());
+  return v;
+}
+
+std::vector<double> TopKValues(const TopKResult& r) {
+  std::vector<double> v;
+  for (const auto& e : r) v.push_back(e.cb);
+  return v;
+}
+
+void ExpectTopKMatchesGroundTruth(const TopKResult& got,
+                                  const std::vector<double>& all_cb,
+                                  uint32_t k) {
+  std::vector<double> expected = SortedDesc(all_cb);
+  expected.resize(std::min<size_t>(k, expected.size()));
+  std::vector<double> actual = TopKValues(got);
+  ASSERT_EQ(actual.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR(actual[i], expected[i], 1e-6) << "rank " << i;
+  }
+}
+
+// ---------------------------------------------------------------- Reference
+
+TEST(ReferenceTest, PaperFigure1ExactFractions) {
+  Graph g = PaperFigure1();
+  for (const auto& [name, expected] : Figure1GroundTruth()) {
+    Fraction got = ReferenceEgoBetweenness(g, PaperFigure1Id(name));
+    EXPECT_EQ(got, expected) << "vertex " << name << ": got "
+                             << got.ToString() << " want "
+                             << expected.ToString();
+  }
+}
+
+TEST(ReferenceTest, Example1EgoNetworkOfD) {
+  // Example 1 of the paper: CB(d) = 14/3 with b_ci = b_hg = 1/3,
+  // b_ga = b_gb = b_ha = b_hb = 1/2, b_ia = b_ib = 1.
+  Graph g = PaperFigure1();
+  EXPECT_EQ(ReferenceEgoBetweenness(g, PaperFigure1Id('d')),
+            Fraction(14, 3));
+}
+
+TEST(ReferenceTest, AnalyticFamilies) {
+  // Cliques: every neighbor pair adjacent -> CB = 0.
+  Graph clique = Clique(8);
+  for (VertexId v = 0; v < 8; ++v) {
+    EXPECT_EQ(ReferenceEgoBetweenness(clique, v), Fraction(0));
+  }
+  // Star: center connects all C(n-1, 2) leaf pairs alone; leaves see one
+  // neighbor.
+  Graph star = Star(9);
+  EXPECT_EQ(ReferenceEgoBetweenness(star, 0), Fraction(28));
+  EXPECT_EQ(ReferenceEgoBetweenness(star, 3), Fraction(0));
+  // Path interior vertices bridge their two neighbors.
+  Graph path = Path(6);
+  EXPECT_EQ(ReferenceEgoBetweenness(path, 0), Fraction(0));
+  EXPECT_EQ(ReferenceEgoBetweenness(path, 2), Fraction(1));
+  // Complete bipartite K_{3,4}: a left vertex's ego network is a star — its
+  // 4 right neighbors are pairwise non-adjacent and the other left vertices
+  // are NOT in the ego network, so every pair is bridged only by the ego:
+  // CB = C(4,2) = 6 (and C(3,2) = 3 on the right side).
+  Graph kb = CompleteBipartite(3, 4);
+  EXPECT_EQ(ReferenceEgoBetweenness(kb, 0), Fraction(6));
+  EXPECT_EQ(ReferenceEgoBetweenness(kb, 4), Fraction(3));
+  // Two cliques sharing a bridge: (s-1)^2 cross pairs, bridge-only.
+  Graph two = TwoCliquesBridge(5);
+  EXPECT_EQ(ReferenceEgoBetweenness(two, 0), Fraction(16));
+  EXPECT_EQ(ReferenceEgoBetweenness(two, 1), Fraction(0));
+}
+
+TEST(ReferenceTest, CycleVerticesBridgeOnePair) {
+  Graph cycle = Cycle(7);
+  for (VertexId v = 0; v < 7; ++v) {
+    EXPECT_EQ(ReferenceEgoBetweenness(cycle, v), Fraction(1));
+  }
+  // Cycle of 4: the two neighbors of v are also joined by the antipode?
+  // No — the antipode is not in GE(v), so CB is still 1.
+  Graph c4 = Cycle(4);
+  EXPECT_EQ(ReferenceEgoBetweenness(c4, 0), Fraction(1));
+  // Triangle: all adjacent.
+  Graph c3 = Cycle(3);
+  EXPECT_EQ(ReferenceEgoBetweenness(c3, 0), Fraction(0));
+}
+
+// ---------------------------------------------------------------- Local vs reference
+
+TEST(LocalComputationTest, MatchesReferenceOnFigure1) {
+  Graph g = PaperFigure1();
+  EgoScratch scratch(g.NumVertices());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    EXPECT_NEAR(ComputeEgoBetweennessLocal(g, v, &scratch),
+                ReferenceEgoBetweenness(g, v).ToDouble(), kTol);
+  }
+}
+
+struct RandomGraphParam {
+  const char* name;
+  int kind;  // 0 = ER, 1 = BA, 2 = RMAT, 3 = Collaboration, 4 = WS
+  uint32_t n;
+  uint32_t m_or_deg;
+  uint64_t seed;
+};
+
+class RandomGraphSuite : public ::testing::TestWithParam<RandomGraphParam> {
+ protected:
+  Graph Make() const {
+    const auto& p = GetParam();
+    switch (p.kind) {
+      case 0:
+        return ErdosRenyi(p.n, p.m_or_deg, p.seed);
+      case 1:
+        return BarabasiAlbert(p.n, p.m_or_deg, p.seed);
+      case 2:
+        return RMat(10, p.m_or_deg, 0.57, 0.19, 0.19, p.seed);
+      case 3:
+        return Collaboration(p.n, p.n, 5, 16, 0.1, p.seed);
+      default:
+        return WattsStrogatz(p.n, p.m_or_deg, 0.2, p.seed);
+    }
+  }
+};
+
+TEST_P(RandomGraphSuite, LocalMatchesReference) {
+  Graph g = Make();
+  EgoScratch scratch(g.NumVertices());
+  // Reference is O(d^3): sample vertices on larger graphs. The exact
+  // Fraction oracle is used where its int64 arithmetic cannot overflow;
+  // high-degree hubs fall back to the double oracle.
+  uint32_t step = std::max(1u, g.NumVertices() / 64);
+  for (VertexId v = 0; v < g.NumVertices(); v += step) {
+    double expected = g.Degree(v) <= 40
+                          ? ReferenceEgoBetweenness(g, v).ToDouble()
+                          : ReferenceEgoBetweennessDouble(g, v);
+    EXPECT_NEAR(ComputeEgoBetweennessLocal(g, v, &scratch), expected, 1e-7)
+        << "vertex " << v;
+  }
+}
+
+TEST_P(RandomGraphSuite, SharedMapPassMatchesLocal) {
+  Graph g = Make();
+  std::vector<double> all = ComputeAllEgoBetweenness(g);
+  EgoScratch scratch(g.NumVertices());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    EXPECT_NEAR(all[v], ComputeEgoBetweennessLocal(g, v, &scratch), 1e-6)
+        << "vertex " << v;
+  }
+}
+
+TEST_P(RandomGraphSuite, NaiveAllMatchesSharedMapPass) {
+  Graph g = Make();
+  std::vector<double> a = ComputeAllEgoBetweenness(g);
+  std::vector<double> b = ComputeAllEgoBetweennessNaive(g);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t v = 0; v < a.size(); ++v) EXPECT_NEAR(a[v], b[v], 1e-6);
+}
+
+TEST_P(RandomGraphSuite, SearchesAgreeWithGroundTruthAcrossK) {
+  Graph g = Make();
+  std::vector<double> all = ComputeAllEgoBetweenness(g);
+  for (uint32_t k : {1u, 5u, 32u, g.NumVertices() / 2, g.NumVertices() + 5}) {
+    TopKResult base = BaseBSearch(g, k);
+    ExpectTopKMatchesGroundTruth(base, all, k);
+    TopKResult opt = OptBSearch(g, k);
+    ExpectTopKMatchesGroundTruth(opt, all, k);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Graphs, RandomGraphSuite,
+    ::testing::Values(
+        RandomGraphParam{"er_sparse", 0, 120, 300, 101},
+        RandomGraphParam{"er_mid", 0, 150, 900, 102},
+        RandomGraphParam{"er_dense", 0, 80, 1600, 103},
+        RandomGraphParam{"ba3", 1, 300, 3, 104},
+        RandomGraphParam{"ba6", 1, 200, 6, 105},
+        RandomGraphParam{"rmat4", 2, 0, 4, 106},
+        RandomGraphParam{"rmat8", 2, 0, 8, 107},
+        RandomGraphParam{"collab", 3, 400, 0, 108},
+        RandomGraphParam{"ws", 4, 300, 4, 109}),
+    [](const ::testing::TestParamInfo<RandomGraphParam>& info) {
+      return info.param.name;
+    });
+
+// ---------------------------------------------------------------- SMapStore
+
+TEST(SMapStoreTest, InitialValuesAreStaticBounds) {
+  Graph g = PaperFigure1();
+  SMapStore store(g);
+  EXPECT_DOUBLE_EQ(store.Value(PaperFigure1Id('c')), 21.0);
+  EXPECT_DOUBLE_EQ(store.Value(PaperFigure1Id('i')), 15.0);
+  EXPECT_DOUBLE_EQ(store.Value(PaperFigure1Id('k')), 1.0);
+  EXPECT_DOUBLE_EQ(store.Value(PaperFigure1Id('u')), 0.0);
+}
+
+TEST(SMapStoreTest, ValueTracksMutations) {
+  Graph g = Star(5);  // Degrees: center 4, leaves 1.
+  SMapStore store(g);
+  EXPECT_DOUBLE_EQ(store.Value(0), 6.0);
+  store.SetAdjacent(0, 1, 2);
+  EXPECT_DOUBLE_EQ(store.Value(0), 5.0);
+  store.AddConnectors(0, 3, 4, 1);
+  EXPECT_DOUBLE_EQ(store.Value(0), 4.5);
+  store.AddConnectors(0, 3, 4, 1);
+  EXPECT_NEAR(store.Value(0), 4.0 + 1.0 / 3.0, kTol);
+  store.AddConnectors(0, 3, 4, -2);  // Back to absent.
+  EXPECT_NEAR(store.Value(0), 5.0, kTol);
+  EXPECT_NEAR(store.EvaluateExact(0), store.Value(0), kTol);
+}
+
+TEST(SMapStoreTest, AdjacentToCountedTransition) {
+  Graph g = Star(5);
+  SMapStore store(g);
+  store.SetAdjacent(0, 1, 2);
+  EXPECT_DOUBLE_EQ(store.Value(0), 5.0);
+  store.AdjacentToCounted(0, 1, 2, 2);
+  EXPECT_NEAR(store.Value(0), 5.0 + 1.0 / 3.0, kTol);
+  EXPECT_EQ(store.GetPair(0, 1, 2, -1), 2);
+}
+
+TEST(SMapStoreTest, NeighborAddRemoveAccounting) {
+  SMapStore store(4);
+  EXPECT_DOUBLE_EQ(store.Value(0), 0.0);
+  store.OnNeighborAdded(0);  // Degree 0 -> 1: no pairs yet.
+  EXPECT_DOUBLE_EQ(store.Value(0), 0.0);
+  store.OnNeighborAdded(0);  // Degree 1 -> 2: one new pair.
+  EXPECT_DOUBLE_EQ(store.Value(0), 1.0);
+  store.OnNeighborAdded(0);  // Degree 2 -> 3: two new pairs.
+  EXPECT_DOUBLE_EQ(store.Value(0), 3.0);
+  EXPECT_EQ(store.DegreeOf(0), 3u);
+  store.RemovePair(0, 1, 2);  // Absent pair: contribution 1 vanishes.
+  EXPECT_DOUBLE_EQ(store.Value(0), 2.0);
+  store.OnNeighborRemoved(0);
+  EXPECT_EQ(store.DegreeOf(0), 2u);
+}
+
+// ---------------------------------------------------------------- EdgeProcessor
+
+TEST(EdgeProcessorTest, CompletesMapsInDegreeOrder) {
+  Graph g = PaperFigure1();
+  SMapStore store(g);
+  EdgeSet edges(g);
+  DegreeOrder order(g);
+  SearchStats stats;
+  EdgeProcessor proc(g, edges, &store, &stats);
+  for (VertexId u : order.Order()) {
+    proc.ProcessForwardEdgesOf(u, order);
+    EXPECT_TRUE(proc.Complete(u)) << PaperFigure1Name(u);
+  }
+  EXPECT_EQ(stats.edges_processed, g.NumEdges());
+  for (const auto& [name, expected] : Figure1GroundTruth()) {
+    EXPECT_NEAR(store.EvaluateExact(PaperFigure1Id(name)),
+                expected.ToDouble(), kTol)
+        << name;
+    EXPECT_NEAR(store.Value(PaperFigure1Id(name)), expected.ToDouble(), kTol)
+        << name << " (incremental value)";
+  }
+}
+
+TEST(EdgeProcessorTest, OnDemandCompletionMatches) {
+  Graph g = PaperFigure1();
+  SMapStore store(g);
+  EdgeSet edges(g);
+  SearchStats stats;
+  EdgeProcessor proc(g, edges, &store, &stats);
+  // Complete vertices in an arbitrary order via ProcessAllEdgesOf.
+  for (char name : {'x', 'a', 'f', 'c', 'k'}) {
+    VertexId v = PaperFigure1Id(name);
+    proc.ProcessAllEdgesOf(v);
+    EXPECT_TRUE(proc.Complete(v));
+    EXPECT_NEAR(store.EvaluateExact(v),
+                Figure1GroundTruth()[name].ToDouble(), kTol)
+        << name;
+  }
+  // No edge is ever processed twice.
+  EXPECT_LE(stats.edges_processed, g.NumEdges());
+}
+
+TEST(EdgeProcessorTest, TriangleCountMatchesBruteForce) {
+  Graph g = ErdosRenyi(80, 600, 201);
+  SMapStore store(g);
+  EdgeSet edges(g);
+  DegreeOrder order(g);
+  SearchStats stats;
+  EdgeProcessor proc(g, edges, &store, &stats);
+  for (VertexId u : order.Order()) proc.ProcessForwardEdgesOf(u, order);
+  uint64_t triangles = 0;  // Brute-force triangle count (each once).
+  for (const auto& [u, v] : g.Edges()) {
+    std::vector<VertexId> common;
+    g.CommonNeighbors(u, v, &common);
+    triangles += common.size();
+  }
+  // Each triangle has 3 edges, so Σ per-edge common counts = 3 * #triangles,
+  // and the processor touches each triangle once per edge.
+  EXPECT_EQ(stats.triangles, triangles);
+}
+
+// ---------------------------------------------------------------- BaseBSearch
+
+TEST(BaseBSearchTest, PaperFigure1Top5) {
+  Graph g = PaperFigure1();
+  SearchStats stats;
+  TopKResult r = BaseBSearch(g, 5, &stats);
+  ASSERT_EQ(r.size(), 5u);
+  // Example 2/3: R = {f, x, i, c, d} with CB 11, 10, 8, 41/6, 14/3.
+  EXPECT_EQ(PaperFigure1Name(r[0].vertex), "f");
+  EXPECT_NEAR(r[0].cb, 11.0, kTol);
+  EXPECT_EQ(PaperFigure1Name(r[1].vertex), "x");
+  EXPECT_NEAR(r[1].cb, 10.0, kTol);
+  EXPECT_EQ(PaperFigure1Name(r[2].vertex), "i");
+  EXPECT_NEAR(r[2].cb, 8.0, kTol);
+  EXPECT_EQ(PaperFigure1Name(r[3].vertex), "c");
+  EXPECT_NEAR(r[3].cb, 41.0 / 6.0, kTol);
+  EXPECT_EQ(PaperFigure1Name(r[4].vertex), "d");
+  EXPECT_NEAR(r[4].cb, 14.0 / 3.0, kTol);
+  // Example 3: BaseBSearch computes exactly 10 vertices
+  // (c,i,f,d,x,e,h,g,b,a) before ub(j) = 3 < CB(d) terminates the scan.
+  EXPECT_EQ(stats.exact_computations, 10u);
+  EXPECT_EQ(stats.pruned, 6u);
+}
+
+TEST(BaseBSearchTest, KLargerThanNReturnsEverything) {
+  Graph g = PaperFigure1();
+  TopKResult r = BaseBSearch(g, 100);
+  EXPECT_EQ(r.size(), 16u);
+  EXPECT_NEAR(r.back().cb, 0.0, kTol);
+}
+
+TEST(BaseBSearchTest, KZeroAndEmptyGraph) {
+  Graph g = PaperFigure1();
+  EXPECT_TRUE(BaseBSearch(g, 0).empty());
+  Graph empty = GraphBuilder(0).Build();
+  EXPECT_TRUE(BaseBSearch(empty, 5).empty());
+}
+
+TEST(BaseBSearchTest, IsolatedVerticesHandled) {
+  GraphBuilder b(6);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  Graph g = b.Build();
+  TopKResult r = BaseBSearch(g, 6);
+  ASSERT_EQ(r.size(), 6u);
+  EXPECT_NEAR(r[0].cb, 1.0, kTol);  // Vertex 1 bridges 0 and 2.
+}
+
+// ---------------------------------------------------------------- OptBSearch
+
+// Captures the OptBSearch trace for the golden Fig. 3 test.
+class TraceRecorder : public SearchObserver {
+ public:
+  void OnPop(VertexId v, double b) override { pops.push_back({v, b}); }
+  void OnBound(VertexId v, double b) override { bounds.push_back({v, b}); }
+  void OnPushBack(VertexId v, double b) override {
+    pushbacks.push_back({v, b});
+  }
+  void OnExact(VertexId v, double cb) override { exacts.push_back({v, cb}); }
+
+  double BoundAfterPopOf(VertexId v, int occurrence = 1) const {
+    int seen = 0;
+    for (const auto& [vertex, b] : bounds) {
+      if (vertex == v && ++seen == occurrence) return b;
+    }
+    return -1;
+  }
+
+  std::vector<std::pair<VertexId, double>> pops, bounds, pushbacks, exacts;
+};
+
+TEST(OptBSearchTest, PaperFigure1Top5WithTheta1) {
+  Graph g = PaperFigure1();
+  SearchStats stats;
+  TraceRecorder trace;
+  OptBSearchOptions opts;
+  opts.theta = 1.0;
+  opts.observer = &trace;
+  TopKResult r = OptBSearch(g, 5, opts, &stats);
+  ASSERT_EQ(r.size(), 5u);
+  EXPECT_EQ(PaperFigure1Name(r[0].vertex), "f");
+  EXPECT_EQ(PaperFigure1Name(r[1].vertex), "x");
+  EXPECT_EQ(PaperFigure1Name(r[2].vertex), "i");
+  EXPECT_EQ(PaperFigure1Name(r[3].vertex), "c");
+  EXPECT_EQ(PaperFigure1Name(r[4].vertex), "d");
+  // Example 4: OptBSearch invokes EgoBWCal only six times (c,i,f,x,d,e)
+  // versus BaseBSearch's ten.
+  EXPECT_EQ(stats.exact_computations, 6u);
+  std::vector<std::string> exact_names;
+  for (const auto& [v, cb] : trace.exacts) {
+    exact_names.push_back(PaperFigure1Name(v));
+  }
+  EXPECT_EQ(exact_names,
+            (std::vector<std::string>{"c", "i", "f", "x", "d", "e"}));
+}
+
+TEST(OptBSearchTest, PaperFigure3DynamicBoundTrace) {
+  // Golden values from the paper's Fig. 3: after computing c and i exactly,
+  // popping f yields the tightened bound ũb(f) = 23/2 and popping d yields
+  // ũb(d) = 19/3; later g, b, a are re-pushed with 5/6, 1, 1.
+  // (The figure's (h, 1/3) entry is an arithmetic slip in the paper: the
+  // complete identified information for h gives ũb(h) = CB(h) = 2/3, and an
+  // upper bound cannot be below the true value.)
+  Graph g = PaperFigure1();
+  TraceRecorder trace;
+  OptBSearchOptions opts;
+  opts.theta = 1.0;
+  opts.observer = &trace;
+  OptBSearch(g, 5, opts);
+  EXPECT_NEAR(trace.BoundAfterPopOf(PaperFigure1Id('f')), 23.0 / 2.0, kTol);
+  EXPECT_NEAR(trace.BoundAfterPopOf(PaperFigure1Id('d')), 19.0 / 3.0, kTol);
+  EXPECT_NEAR(trace.BoundAfterPopOf(PaperFigure1Id('g')), 5.0 / 6.0, kTol);
+  EXPECT_NEAR(trace.BoundAfterPopOf(PaperFigure1Id('b')), 1.0, kTol);
+  EXPECT_NEAR(trace.BoundAfterPopOf(PaperFigure1Id('a')), 1.0, kTol);
+  EXPECT_NEAR(trace.BoundAfterPopOf(PaperFigure1Id('h')), 2.0 / 3.0, kTol);
+  // e is first re-pushed with ũb(e) = 5 (Fig. 3(e)), then computed: 9/2.
+  EXPECT_NEAR(trace.BoundAfterPopOf(PaperFigure1Id('e')), 5.0, kTol);
+  bool found_e = false;
+  for (const auto& [v, cb] : trace.exacts) {
+    if (v == PaperFigure1Id('e')) {
+      EXPECT_NEAR(cb, 4.5, kTol);
+      found_e = true;
+    }
+  }
+  EXPECT_TRUE(found_e);
+}
+
+TEST(OptBSearchTest, ThetaDoesNotChangeAnswers) {
+  Graph g = BarabasiAlbert(400, 4, 301);
+  std::vector<double> all = ComputeAllEgoBetweenness(g);
+  for (double theta : {1.0, 1.05, 1.15, 1.3, 2.0, 100.0}) {
+    OptBSearchOptions opts;
+    opts.theta = theta;
+    TopKResult r = OptBSearch(g, 25, opts);
+    ExpectTopKMatchesGroundTruth(r, all, 25);
+  }
+}
+
+TEST(OptBSearchTest, NeverComputesMoreThanBase) {
+  for (uint64_t seed : {401ull, 402ull, 403ull}) {
+    Graph g = BarabasiAlbert(500, 4, seed);
+    for (uint32_t k : {10u, 50u}) {
+      SearchStats base_stats;
+      SearchStats opt_stats;
+      BaseBSearch(g, k, &base_stats);
+      OptBSearchOptions opts;
+      opts.theta = 1.05;
+      OptBSearch(g, k, opts, &opt_stats);
+      EXPECT_LE(opt_stats.exact_computations, base_stats.exact_computations)
+          << "seed " << seed << " k " << k;
+    }
+  }
+}
+
+TEST(OptBSearchTest, KLargerThanNAndEdgeCases) {
+  Graph g = PaperFigure1();
+  TopKResult r = OptBSearch(g, 1000);
+  EXPECT_EQ(r.size(), 16u);
+  EXPECT_TRUE(OptBSearch(g, 0).empty());
+  TopKResult top1 = OptBSearch(g, 1);
+  ASSERT_EQ(top1.size(), 1u);
+  EXPECT_EQ(PaperFigure1Name(top1[0].vertex), "f");
+}
+
+TEST(OptBSearchTest, BridgeVertexFoundInstantly) {
+  // Two 8-cliques sharing vertex 0: the bridge's CB = 49 dominates, and its
+  // static bound is also the largest, so one exact computation may suffice.
+  Graph g = TwoCliquesBridge(8);
+  SearchStats stats;
+  TopKResult r = OptBSearch(g, 1, {.theta = 1.0}, &stats);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0].vertex, 0u);
+  EXPECT_NEAR(r[0].cb, 49.0, kTol);
+  EXPECT_LE(stats.exact_computations, 2u);
+}
+
+TEST(OptBSearchTest, ResultsInCanonicalOrder) {
+  Graph g = BarabasiAlbert(200, 4, 28, 0.3);
+  TopKResult r = OptBSearch(g, 50);
+  for (size_t i = 1; i < r.size(); ++i) {
+    bool ordered = r[i - 1].cb > r[i].cb ||
+                   (r[i - 1].cb == r[i].cb && r[i - 1].vertex < r[i].vertex);
+    EXPECT_TRUE(ordered) << "rank " << i;
+  }
+}
+
+TEST(OptBSearchTest, CliqueAllZero) {
+  Graph g = Clique(20);
+  TopKResult r = OptBSearch(g, 5);
+  for (const auto& e : r) EXPECT_NEAR(e.cb, 0.0, kTol);
+}
+
+TEST(OptBSearchTest, StarCenterDominates) {
+  Graph g = Star(50);
+  TopKResult r = OptBSearch(g, 1);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0].vertex, 0u);
+  EXPECT_NEAR(r[0].cb, 49.0 * 48.0 / 2.0, kTol);
+}
+
+// Soundness property: every dynamic bound reported for a vertex must
+// dominate the exact value eventually computed for it.
+class BoundDominanceChecker : public SearchObserver {
+ public:
+  void OnBound(VertexId v, double b) override {
+    auto [it, inserted] = min_bound_.emplace(v, b);
+    if (!inserted) it->second = std::min(it->second, b);
+  }
+  void OnExact(VertexId v, double cb) override {
+    auto it = min_bound_.find(v);
+    ASSERT_NE(it, min_bound_.end());
+    EXPECT_LE(cb, it->second + 1e-6) << "vertex " << v;
+  }
+
+ private:
+  std::map<VertexId, double> min_bound_;
+};
+
+TEST(OptBSearchTest, DynamicBoundsAlwaysDominateExactValues) {
+  for (uint64_t seed : {21ull, 22ull, 23ull}) {
+    Graph g = BarabasiAlbert(300, 5, seed, 0.5);
+    BoundDominanceChecker checker;
+    OptBSearchOptions opts;
+    opts.theta = 1.0;  // Recompute bounds at every pop: maximum scrutiny.
+    opts.observer = &checker;
+    OptBSearch(g, 20, opts);
+  }
+}
+
+TEST(OptBSearchTest, StatsConsistentWithObserver) {
+  Graph g = BarabasiAlbert(400, 4, 25, 0.4);
+  TraceRecorder trace;
+  SearchStats stats;
+  OptBSearchOptions opts;
+  opts.theta = 1.05;
+  opts.observer = &trace;
+  OptBSearch(g, 30, opts, &stats);
+  EXPECT_EQ(stats.heap_pushbacks, trace.pushbacks.size());
+  EXPECT_EQ(stats.exact_computations, trace.exacts.size());
+  EXPECT_GT(stats.elapsed_seconds, 0.0);
+  EXPECT_GT(stats.edges_processed, 0u);
+}
+
+TEST(OptBSearchTest, RepeatedRunsAreIdentical) {
+  Graph g = RMat(9, 5, 0.6, 0.18, 0.18, 24);
+  TopKResult a = OptBSearch(g, 40);
+  TopKResult b = OptBSearch(g, 40);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].vertex, b[i].vertex);
+    EXPECT_DOUBLE_EQ(a[i].cb, b[i].cb);
+  }
+}
+
+TEST(OptBSearchTest, TiesOnRegularGraphs) {
+  // Every vertex of a long cycle has CB = 1: any k of them is a valid
+  // answer, and the returned values must all be 1.
+  Graph g = Cycle(40);
+  TopKResult r = OptBSearch(g, 7);
+  ASSERT_EQ(r.size(), 7u);
+  for (const auto& e : r) EXPECT_NEAR(e.cb, 1.0, kTol);
+  TopKResult rb = BaseBSearch(g, 7);
+  for (const auto& e : rb) EXPECT_NEAR(e.cb, 1.0, kTol);
+}
+
+TEST(EdgeProcessorTest, ProcessAllEdgesOfIsIdempotent) {
+  Graph g = PaperFigure1();
+  SMapStore store(g);
+  EdgeSet edges(g);
+  SearchStats stats;
+  EdgeProcessor proc(g, edges, &store, &stats);
+  VertexId c = PaperFigure1Id('c');
+  proc.ProcessAllEdgesOf(c);
+  uint64_t processed_once = stats.edges_processed;
+  double value_once = store.Value(c);
+  proc.ProcessAllEdgesOf(c);  // Must be a no-op.
+  EXPECT_EQ(stats.edges_processed, processed_once);
+  EXPECT_DOUBLE_EQ(store.Value(c), value_once);
+}
+
+TEST(SMapStoreTest, TotalEntriesAndMemoryGrow) {
+  Graph g = PaperFigure1();
+  SMapStore store(g);
+  EXPECT_EQ(store.TotalEntries(), 0u);
+  store.SetAdjacent(0, 1, 2);
+  store.AddConnectors(0, 3, 4, 1);
+  EXPECT_EQ(store.TotalEntries(), 2u);
+  EXPECT_GT(store.MemoryBytes(), 0u);
+}
+
+// ---------------------------------------------------------------- AllEgo
+
+TEST(AllEgoTest, MatchesReferenceOnFigure1) {
+  Graph g = PaperFigure1();
+  std::vector<double> all = ComputeAllEgoBetweenness(g);
+  for (const auto& [name, expected] : Figure1GroundTruth()) {
+    EXPECT_NEAR(all[PaperFigure1Id(name)], expected.ToDouble(), kTol) << name;
+  }
+}
+
+TEST(AllEgoTest, StateMapsAreComplete) {
+  Graph g = BarabasiAlbert(200, 3, 501);
+  AllEgoState state = ComputeAllEgoBetweennessWithState(g);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    EXPECT_NEAR(state.smaps->EvaluateExact(v), state.cb[v], 1e-9);
+    EXPECT_NEAR(state.smaps->Value(v), state.cb[v], 1e-6);
+  }
+}
+
+TEST(AllEgoTest, EmptyAndTinyGraphs) {
+  Graph empty = GraphBuilder(0).Build();
+  EXPECT_TRUE(ComputeAllEgoBetweenness(empty).empty());
+  Graph one = GraphBuilder(1).Build();
+  EXPECT_EQ(ComputeAllEgoBetweenness(one), std::vector<double>{0.0});
+  Graph pair = Path(2);
+  std::vector<double> cb = ComputeAllEgoBetweenness(pair);
+  EXPECT_NEAR(cb[0], 0.0, kTol);
+  EXPECT_NEAR(cb[1], 0.0, kTol);
+}
+
+}  // namespace
+}  // namespace egobw

@@ -1,0 +1,414 @@
+// Tests for the Section-IV maintenance algorithms: LocalInsert/LocalDelete
+// (exact CB maintenance for all vertices) and LazyInsert/LazyDelete (top-k
+// maintenance), validated against from-scratch recomputation and against the
+// paper's worked Example 5.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "core/all_ego.h"
+#include "core/naive.h"
+#include "core/opt_search.h"
+#include "dynamic/lazy_topk.h"
+#include "dynamic/local_update.h"
+#include "graph/degree_order.h"
+#include "graph/example_graphs.h"
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+#include "util/random.h"
+
+namespace egobw {
+namespace {
+
+constexpr double kTol = 1e-6;
+
+void ExpectAllCBMatchesRecompute(const LocalUpdateEngine& engine,
+                                 const std::string& context) {
+  Graph snapshot = engine.graph().ToGraph();
+  std::vector<double> expected = ComputeAllEgoBetweenness(snapshot);
+  for (VertexId v = 0; v < snapshot.NumVertices(); ++v) {
+    ASSERT_NEAR(engine.CB(v), expected[v], kTol)
+        << context << " vertex " << v;
+  }
+}
+
+std::vector<double> SortedTopValues(const Graph& g, uint32_t k) {
+  std::vector<double> all = ComputeAllEgoBetweenness(g);
+  std::sort(all.begin(), all.end(), std::greater<>());
+  all.resize(std::min<size_t>(k, all.size()));
+  return all;
+}
+
+void ExpectLazyMatchesStatic(LazyTopK& lazy, const std::string& ctx) {
+  Graph snapshot = lazy.graph().ToGraph();
+  std::vector<double> expected = SortedTopValues(snapshot, lazy.k());
+  TopKResult got = lazy.CurrentTopK();
+  ASSERT_EQ(got.size(), expected.size()) << ctx;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_NEAR(got[i].cb, expected[i], kTol) << ctx << " rank " << i;
+  }
+}
+
+// ---------------------------------------------------------------- LocalUpdate
+
+TEST(LocalUpdateTest, Example5InsertIK) {
+  // Paper Example 5: inserting (i, k) gives CB(i) = 10.5, CB(k) = 0.5 and
+  // the common neighbor f drops from 11 to 9.5. (j is also a common
+  // neighbor — the paper's prose overlooks it — and drops from 2 to 0.5.)
+  Graph g = PaperFigure1();
+  LocalUpdateEngine engine(g);
+  std::vector<double> before = engine.AllCB();
+  ASSERT_TRUE(
+      engine.InsertEdge(PaperFigure1Id('i'), PaperFigure1Id('k')).ok());
+  EXPECT_NEAR(engine.CB(PaperFigure1Id('i')), 10.5, kTol);
+  EXPECT_NEAR(engine.CB(PaperFigure1Id('k')), 0.5, kTol);
+  EXPECT_NEAR(engine.CB(PaperFigure1Id('f')), 9.5, kTol);
+  EXPECT_NEAR(engine.CB(PaperFigure1Id('j')), 0.5, kTol);
+  // Observation 1: everything outside {i, k} ∪ N(i)∩N(k) is untouched.
+  std::set<VertexId> affected(engine.LastAffected().begin(),
+                              engine.LastAffected().end());
+  EXPECT_EQ(affected,
+            (std::set<VertexId>{PaperFigure1Id('i'), PaperFigure1Id('k'),
+                                PaperFigure1Id('f'), PaperFigure1Id('j')}));
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    if (!affected.count(v)) {
+      EXPECT_NEAR(engine.CB(v), before[v], kTol) << PaperFigure1Name(v);
+    }
+  }
+  ExpectAllCBMatchesRecompute(engine, "after insert (i,k)");
+}
+
+TEST(LocalUpdateTest, DeleteCG) {
+  // Deleting (c, g): affected set is {c, g} ∪ {d, e}. Exact values verified
+  // with the Fraction reference: CB(c) = 14/3, CB(g) = 1/2, CB(d) = 7,
+  // CB(e) = 13/2. (The paper's Example 6 lists 55/6 / 9,2 for c / e, which
+  // contradicts its own Lemmas 6-7 — see EXPERIMENTS.md; its g value 1/2
+  // matches.)
+  Graph g = PaperFigure1();
+  LocalUpdateEngine engine(g);
+  ASSERT_TRUE(
+      engine.DeleteEdge(PaperFigure1Id('c'), PaperFigure1Id('g')).ok());
+  EXPECT_NEAR(engine.CB(PaperFigure1Id('c')), 14.0 / 3.0, kTol);
+  EXPECT_NEAR(engine.CB(PaperFigure1Id('g')), 0.5, kTol);
+  EXPECT_NEAR(engine.CB(PaperFigure1Id('d')), 7.0, kTol);
+  EXPECT_NEAR(engine.CB(PaperFigure1Id('e')), 6.5, kTol);
+  ExpectAllCBMatchesRecompute(engine, "after delete (c,g)");
+  // Cross-check against the exact reference on the mutated graph.
+  Graph snapshot = engine.graph().ToGraph();
+  EXPECT_EQ(ReferenceEgoBetweenness(snapshot, PaperFigure1Id('c')),
+            Fraction(14, 3));
+  EXPECT_EQ(ReferenceEgoBetweenness(snapshot, PaperFigure1Id('e')),
+            Fraction(13, 2));
+}
+
+TEST(LocalUpdateTest, InsertThenDeleteIsIdentity) {
+  Graph g = PaperFigure1();
+  LocalUpdateEngine engine(g);
+  std::vector<double> before = engine.AllCB();
+  for (auto [a, b] : std::vector<std::pair<char, char>>{
+           {'i', 'k'}, {'a', 'x'}, {'u', 'v'}, {'c', 'i'}}) {
+    ASSERT_TRUE(
+        engine.InsertEdge(PaperFigure1Id(a), PaperFigure1Id(b)).ok());
+    ASSERT_TRUE(
+        engine.DeleteEdge(PaperFigure1Id(a), PaperFigure1Id(b)).ok());
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      EXPECT_NEAR(engine.CB(v), before[v], kTol)
+          << "edge (" << a << "," << b << ") vertex " << PaperFigure1Name(v);
+    }
+  }
+}
+
+TEST(LocalUpdateTest, DeleteThenReinsertIsIdentity) {
+  Graph g = PaperFigure1();
+  LocalUpdateEngine engine(g);
+  std::vector<double> before = engine.AllCB();
+  for (const auto& [u, v] : g.Edges()) {
+    ASSERT_TRUE(engine.DeleteEdge(u, v).ok());
+    ASSERT_TRUE(engine.InsertEdge(u, v).ok());
+  }
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    EXPECT_NEAR(engine.CB(v), before[v], kTol);
+  }
+}
+
+TEST(LocalUpdateTest, ErrorsLeaveStateIntact) {
+  Graph g = PaperFigure1();
+  LocalUpdateEngine engine(g);
+  std::vector<double> before = engine.AllCB();
+  EXPECT_FALSE(engine.InsertEdge(0, 0).ok());
+  EXPECT_FALSE(engine.InsertEdge(0, 1).ok());  // (a, b) already exists.
+  EXPECT_FALSE(engine.DeleteEdge(0, 13).ok());  // (a, x) absent.
+  EXPECT_FALSE(engine.InsertEdge(0, 99).ok());
+  EXPECT_FALSE(engine.DeleteEdge(99, 0).ok());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    EXPECT_NEAR(engine.CB(v), before[v], kTol);
+  }
+}
+
+struct UpdateStreamParam {
+  const char* name;
+  int kind;  // 0 = ER, 1 = BA, 2 = collab
+  uint32_t n;
+  uint32_t m_or_deg;
+  uint64_t seed;
+  int steps;
+};
+
+class UpdateStreamSuite : public ::testing::TestWithParam<UpdateStreamParam> {
+ protected:
+  Graph Make() const {
+    const auto& p = GetParam();
+    if (p.kind == 0) return ErdosRenyi(p.n, p.m_or_deg, p.seed);
+    if (p.kind == 1) return BarabasiAlbert(p.n, p.m_or_deg, p.seed);
+    return Collaboration(p.n, p.n * 2, 4, 8, 0.15, p.seed);
+  }
+};
+
+TEST_P(UpdateStreamSuite, LocalUpdateMatchesRecomputeThroughout) {
+  const auto& p = GetParam();
+  Graph g = Make();
+  LocalUpdateEngine engine(g);
+  Rng rng(p.seed + 17);
+  int checked = 0;
+  for (int step = 0; step < p.steps; ++step) {
+    VertexId u = static_cast<VertexId>(rng.NextBounded(g.NumVertices()));
+    VertexId v = static_cast<VertexId>(rng.NextBounded(g.NumVertices()));
+    if (u == v) continue;
+    if (engine.graph().HasEdge(u, v)) {
+      ASSERT_TRUE(engine.DeleteEdge(u, v).ok());
+    } else {
+      ASSERT_TRUE(engine.InsertEdge(u, v).ok());
+    }
+    // Full recomputation is expensive: verify every few steps and at the end.
+    if (step % 7 == 0 || step + 1 == p.steps) {
+      ExpectAllCBMatchesRecompute(engine, "step " + std::to_string(step));
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST_P(UpdateStreamSuite, MonotonicityOfCommonNeighbors) {
+  // Section IV-C: on insertion the common neighbors' CB never increases;
+  // on deletion it never decreases. LazyTopK's correctness rests on this.
+  const auto& p = GetParam();
+  Graph g = Make();
+  LocalUpdateEngine engine(g);
+  Rng rng(p.seed + 31);
+  for (int step = 0; step < p.steps; ++step) {
+    VertexId u = static_cast<VertexId>(rng.NextBounded(g.NumVertices()));
+    VertexId v = static_cast<VertexId>(rng.NextBounded(g.NumVertices()));
+    if (u == v) continue;
+    std::vector<double> before = engine.AllCB();
+    bool was_edge = engine.graph().HasEdge(u, v);
+    if (was_edge) {
+      ASSERT_TRUE(engine.DeleteEdge(u, v).ok());
+    } else {
+      ASSERT_TRUE(engine.InsertEdge(u, v).ok());
+    }
+    const auto& affected = engine.LastAffected();
+    for (size_t i = 2; i < affected.size(); ++i) {  // Skip endpoints u, v.
+      VertexId w = affected[i];
+      if (was_edge) {
+        EXPECT_GE(engine.CB(w), before[w] - kTol) << "delete step " << step;
+      } else {
+        EXPECT_LE(engine.CB(w), before[w] + kTol) << "insert step " << step;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Streams, UpdateStreamSuite,
+    ::testing::Values(
+        UpdateStreamParam{"er_sparse", 0, 60, 150, 601, 40},
+        UpdateStreamParam{"er_dense", 0, 40, 400, 602, 40},
+        UpdateStreamParam{"ba", 1, 80, 4, 603, 40},
+        UpdateStreamParam{"collab", 2, 90, 0, 604, 40}),
+    [](const ::testing::TestParamInfo<UpdateStreamParam>& info) {
+      return info.param.name;
+    });
+
+TEST(LocalUpdateTest, BuildGraphFromNothing) {
+  // Start from an edgeless universe and insert Fig. 1 edge by edge: the
+  // maintained values must converge to the known ground truth.
+  Graph target = PaperFigure1();
+  Graph empty = GraphBuilder(16).Build();
+  LocalUpdateEngine engine(empty);
+  for (const auto& [u, v] : target.Edges()) {
+    ASSERT_TRUE(engine.InsertEdge(u, v).ok());
+  }
+  EXPECT_NEAR(engine.CB(PaperFigure1Id('c')), 41.0 / 6.0, kTol);
+  EXPECT_NEAR(engine.CB(PaperFigure1Id('f')), 11.0, kTol);
+  EXPECT_NEAR(engine.CB(PaperFigure1Id('x')), 10.0, kTol);
+  EXPECT_NEAR(engine.CB(PaperFigure1Id('d')), 14.0 / 3.0, kTol);
+  ExpectAllCBMatchesRecompute(engine, "rebuilt Fig.1");
+}
+
+TEST(LocalUpdateTest, TearDownToNothing) {
+  Graph g = PaperFigure1();
+  LocalUpdateEngine engine(g);
+  for (const auto& [u, v] : g.Edges()) {
+    ASSERT_TRUE(engine.DeleteEdge(u, v).ok());
+  }
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    EXPECT_NEAR(engine.CB(v), 0.0, kTol) << PaperFigure1Name(v);
+  }
+  EXPECT_EQ(engine.graph().NumEdges(), 0u);
+}
+
+TEST(LocalUpdateTest, AttachDetachVertex) {
+  // Vertex ops are series of edge ops (Section IV). Detach x from Fig. 1:
+  // f loses its spoke and the leaves u, v, y, z become isolated.
+  Graph g = PaperFigure1();
+  LocalUpdateEngine engine(g);
+  std::vector<double> before = engine.AllCB();
+  VertexId x = PaperFigure1Id('x');
+  std::vector<VertexId> old_neighbors = engine.graph().Neighbors(x);
+  ASSERT_TRUE(engine.DetachVertex(x).ok());
+  EXPECT_EQ(engine.graph().Degree(x), 0u);
+  EXPECT_NEAR(engine.CB(x), 0.0, kTol);
+  ExpectAllCBMatchesRecompute(engine, "after detach x");
+  ASSERT_TRUE(engine.AttachVertex(x, old_neighbors).ok());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    EXPECT_NEAR(engine.CB(v), before[v], kTol) << PaperFigure1Name(v);
+  }
+}
+
+TEST(LazyTopKTest, AttachDetachVertexKeepsTopK) {
+  Graph g = PaperFigure1();
+  LazyTopK lazy(g, 3);
+  VertexId x = PaperFigure1Id('x');
+  std::vector<VertexId> old_neighbors = lazy.graph().Neighbors(x);
+  ASSERT_TRUE(lazy.DetachVertex(x).ok());
+  ExpectLazyMatchesStatic(lazy, "after detach x");
+  ASSERT_TRUE(lazy.AttachVertex(x, old_neighbors).ok());
+  ExpectLazyMatchesStatic(lazy, "after re-attach x");
+  TopKResult r = lazy.CurrentTopK();
+  EXPECT_EQ(PaperFigure1Name(r[0].vertex), "f");
+  EXPECT_EQ(PaperFigure1Name(r[1].vertex), "x");
+}
+
+TEST(LocalUpdateTest, HubChurnStress) {
+  // Repeatedly toggle edges incident to the highest-degree hub of a
+  // clustered social graph — the worst case for the affected-set size.
+  Graph g = BarabasiAlbert(120, 5, 605, 0.6);
+  DegreeOrder order(g);
+  VertexId hub = order.At(0);
+  LocalUpdateEngine engine(g);
+  Rng rng(606);
+  for (int step = 0; step < 30; ++step) {
+    VertexId other = static_cast<VertexId>(rng.NextBounded(g.NumVertices()));
+    if (other == hub) continue;
+    if (engine.graph().HasEdge(hub, other)) {
+      ASSERT_TRUE(engine.DeleteEdge(hub, other).ok());
+    } else {
+      ASSERT_TRUE(engine.InsertEdge(hub, other).ok());
+    }
+    if (step % 5 == 0) {
+      ExpectAllCBMatchesRecompute(engine, "hub churn " + std::to_string(step));
+    }
+  }
+}
+
+// ---------------------------------------------------------------- LazyTopK
+
+TEST(LazyTopKTest, InitialTopKMatchesSearch) {
+  Graph g = PaperFigure1();
+  LazyTopK lazy(g, 5);
+  TopKResult r = lazy.CurrentTopK();
+  ASSERT_EQ(r.size(), 5u);
+  EXPECT_EQ(PaperFigure1Name(r[0].vertex), "f");
+  EXPECT_NEAR(r[0].cb, 11.0, kTol);
+  EXPECT_EQ(PaperFigure1Name(r[4].vertex), "d");
+  EXPECT_NEAR(r[4].cb, 14.0 / 3.0, kTol);
+}
+
+TEST(LazyTopKTest, Example7InsertIKWithK1) {
+  // Paper Example 7: k = 1, R = {f}; inserting (i, k) promotes i
+  // (CB(i) = 10.5 > CB(f) = 9.5).
+  Graph g = PaperFigure1();
+  LazyTopK lazy(g, 1);
+  TopKResult before = lazy.CurrentTopK();
+  ASSERT_EQ(before.size(), 1u);
+  EXPECT_EQ(PaperFigure1Name(before[0].vertex), "f");
+  ASSERT_TRUE(lazy.InsertEdge(PaperFigure1Id('i'), PaperFigure1Id('k')).ok());
+  TopKResult after = lazy.CurrentTopK();
+  ASSERT_EQ(after.size(), 1u);
+  EXPECT_EQ(PaperFigure1Name(after[0].vertex), "i");
+  EXPECT_NEAR(after[0].cb, 10.5, kTol);
+}
+
+TEST(LazyTopKTest, Example8DeleteCGWithK1) {
+  // Paper Example 8 (k = 1): R = {f} survives deleting (c, g).
+  Graph g = PaperFigure1();
+  LazyTopK lazy(g, 1);
+  ASSERT_TRUE(lazy.DeleteEdge(PaperFigure1Id('c'), PaperFigure1Id('g')).ok());
+  TopKResult after = lazy.CurrentTopK();
+  ASSERT_EQ(after.size(), 1u);
+  EXPECT_EQ(PaperFigure1Name(after[0].vertex), "f");
+  EXPECT_NEAR(after[0].cb, 11.0, kTol);
+}
+
+TEST(LazyTopKTest, DeleteErrorOnMissingEdge) {
+  Graph g = PaperFigure1();
+  LazyTopK lazy(g, 3);
+  EXPECT_FALSE(lazy.DeleteEdge(0, 13).ok());
+  ExpectLazyMatchesStatic(lazy, "after failed delete");
+}
+
+TEST_P(UpdateStreamSuite, LazyTopKMatchesStaticThroughout) {
+  const auto& p = GetParam();
+  Graph g = Make();
+  for (uint32_t k : {1u, 5u, 10u}) {
+    LazyTopK lazy(g, k);
+    Rng rng(p.seed + 47 + k);
+    for (int step = 0; step < p.steps; ++step) {
+      VertexId u = static_cast<VertexId>(rng.NextBounded(g.NumVertices()));
+      VertexId v = static_cast<VertexId>(rng.NextBounded(g.NumVertices()));
+      if (u == v) continue;
+      if (lazy.graph().HasEdge(u, v)) {
+        ASSERT_TRUE(lazy.DeleteEdge(u, v).ok());
+      } else {
+        ASSERT_TRUE(lazy.InsertEdge(u, v).ok());
+      }
+      ExpectLazyMatchesStatic(
+          lazy, "k=" + std::to_string(k) + " step " + std::to_string(step));
+    }
+  }
+}
+
+TEST(LazyTopKTest, LazySkipsRecomputationsForIrrelevantUpdates) {
+  // Inserting an edge between two low-degree leaves far from the top-k
+  // should not trigger exact recomputations beyond (at most) the endpoints.
+  Graph g = PaperFigure1();
+  LazyTopK lazy(g, 1);  // R = {f}, threshold 11.
+  uint64_t before = lazy.exact_recomputations();
+  // (u, v): both degree-1 leaves of x; new bounds 1 < 11.
+  ASSERT_TRUE(lazy.InsertEdge(PaperFigure1Id('u'), PaperFigure1Id('v')).ok());
+  EXPECT_EQ(lazy.exact_recomputations(), before);  // Pure bound bookkeeping.
+}
+
+TEST(LazyTopKTest, KEqualsNIsStable) {
+  Graph g = ErdosRenyi(30, 80, 801);
+  LazyTopK lazy(g, 30);
+  Rng rng(802);
+  for (int step = 0; step < 20; ++step) {
+    VertexId u = static_cast<VertexId>(rng.NextBounded(30));
+    VertexId v = static_cast<VertexId>(rng.NextBounded(30));
+    if (u == v) continue;
+    if (lazy.graph().HasEdge(u, v)) {
+      ASSERT_TRUE(lazy.DeleteEdge(u, v).ok());
+    } else {
+      ASSERT_TRUE(lazy.InsertEdge(u, v).ok());
+    }
+    ExpectLazyMatchesStatic(lazy, "k=n step " + std::to_string(step));
+  }
+}
+
+}  // namespace
+}  // namespace egobw

@@ -1,0 +1,494 @@
+// Unit tests for src/graph: CSR construction, degree order, edge set,
+// dynamic adjacency, SNAP I/O, generators, sampling, example graphs.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+
+#include "graph/degree_order.h"
+#include "graph/dynamic_graph.h"
+#include "graph/edge_set.h"
+#include "graph/example_graphs.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/graph_builder.h"
+#include "graph/io.h"
+#include "graph/sampling.h"
+
+namespace egobw {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+// ---------------------------------------------------------------- Builder/CSR
+
+TEST(GraphBuilderTest, EmptyGraph) {
+  GraphBuilder b;
+  Graph g = b.Build();
+  EXPECT_EQ(g.NumVertices(), 0u);
+  EXPECT_EQ(g.NumEdges(), 0u);
+}
+
+TEST(GraphBuilderTest, DropsSelfLoopsAndDuplicates) {
+  GraphBuilder b(4);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 0);  // Duplicate in reverse orientation.
+  b.AddEdge(2, 2);  // Self-loop.
+  b.AddEdge(0, 1);  // Exact duplicate.
+  b.AddEdge(1, 3);
+  Graph g = b.Build();
+  EXPECT_EQ(g.NumVertices(), 4u);
+  EXPECT_EQ(g.NumEdges(), 2u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(3, 1));
+  EXPECT_FALSE(g.HasEdge(2, 2));
+}
+
+TEST(GraphBuilderTest, GrowsVertexUniverse) {
+  GraphBuilder b;
+  b.AddEdge(0, 9);
+  Graph g = b.Build();
+  EXPECT_EQ(g.NumVertices(), 10u);
+  EXPECT_EQ(g.Degree(5), 0u);
+}
+
+TEST(GraphTest, AdjacencySortedAndSymmetric) {
+  Graph g = ErdosRenyi(200, 800, 5);
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    auto nbrs = g.Neighbors(u);
+    EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+    for (VertexId v : nbrs) {
+      EXPECT_TRUE(g.HasEdge(u, v));
+      EXPECT_TRUE(g.HasEdge(v, u));
+      auto back = g.Neighbors(v);
+      EXPECT_TRUE(std::binary_search(back.begin(), back.end(), u));
+    }
+  }
+}
+
+TEST(GraphTest, EdgeIdsConsistent) {
+  Graph g = ErdosRenyi(100, 400, 6);
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    auto nbrs = g.Neighbors(u);
+    auto eids = g.IncidentEdges(u);
+    ASSERT_EQ(nbrs.size(), eids.size());
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      auto [a, b] = g.EdgeEndpoints(eids[i]);
+      EXPECT_EQ(std::min(u, nbrs[i]), a);
+      EXPECT_EQ(std::max(u, nbrs[i]), b);
+    }
+  }
+}
+
+TEST(GraphTest, DegreeSumIsTwiceEdges) {
+  Graph g = ErdosRenyi(300, 1000, 7);
+  uint64_t total = 0;
+  uint32_t max_d = 0;
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    total += g.Degree(u);
+    max_d = std::max(max_d, g.Degree(u));
+  }
+  EXPECT_EQ(total, 2 * g.NumEdges());
+  EXPECT_EQ(max_d, g.MaxDegree());
+}
+
+TEST(GraphTest, CommonNeighborsMatchesBruteForce) {
+  Graph g = ErdosRenyi(60, 300, 8);
+  std::vector<VertexId> fast;
+  for (VertexId u = 0; u < 20; ++u) {
+    for (VertexId v = u + 1; v < 20; ++v) {
+      g.CommonNeighbors(u, v, &fast);
+      std::vector<VertexId> slow;
+      for (VertexId w = 0; w < g.NumVertices(); ++w) {
+        if (g.HasEdge(u, w) && g.HasEdge(v, w)) slow.push_back(w);
+      }
+      EXPECT_EQ(fast, slow) << "u=" << u << " v=" << v;
+    }
+  }
+}
+
+TEST(GraphTest, TotalWedges) {
+  EXPECT_EQ(Star(5).TotalWedges(), 6u);    // Center C(4,2), leaves 0.
+  EXPECT_EQ(Path(4).TotalWedges(), 2u);    // Two interior vertices.
+  EXPECT_EQ(Clique(4).TotalWedges(), 12u); // 4 * C(3,2).
+}
+
+TEST(SamplingTest, DeterministicBySeed) {
+  Graph g = ErdosRenyi(100, 400, 30);
+  Graph a = SampleEdges(g, 0.5, 31);
+  Graph b = SampleEdges(g, 0.5, 31);
+  EXPECT_EQ(a.Edges(), b.Edges());
+  Graph c = SampleVerticesInduced(g, 0.5, 32);
+  Graph d = SampleVerticesInduced(g, 0.5, 32);
+  EXPECT_EQ(c.Edges(), d.Edges());
+}
+
+// ---------------------------------------------------------------- DegreeOrder
+
+TEST(DegreeOrderTest, SortsByDegreeThenLargerId) {
+  GraphBuilder b(5);
+  // Degrees: 0 -> 3, 1 -> 2, 2 -> 2, 3 -> 2, 4 -> 1.
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 2);
+  b.AddEdge(0, 3);
+  b.AddEdge(1, 2);
+  b.AddEdge(3, 4);
+  Graph g = b.Build();
+  DegreeOrder order(g);
+  EXPECT_EQ(order.At(0), 0u);              // Highest degree first.
+  EXPECT_EQ(order.At(1), 3u);              // Ties: larger id first.
+  EXPECT_EQ(order.At(2), 2u);
+  EXPECT_EQ(order.At(3), 1u);
+  EXPECT_EQ(order.At(4), 4u);
+  EXPECT_TRUE(order.Precedes(0, 3));
+  EXPECT_TRUE(order.Precedes(3, 1));
+  EXPECT_FALSE(order.Precedes(1, 3));
+}
+
+TEST(DegreeOrderTest, PaperFigure1Order) {
+  Graph g = PaperFigure1();
+  DegreeOrder order(g);
+  // Fig. 2 of the paper: c i f d x e h g b a, then j, k, then the leaves.
+  const char expected[] = {'c', 'i', 'f', 'd', 'x', 'e', 'h', 'g', 'b', 'a',
+                           'j', 'k'};
+  for (size_t i = 0; i < sizeof(expected); ++i) {
+    EXPECT_EQ(PaperFigure1Name(order.At(static_cast<uint32_t>(i))),
+              std::string(1, expected[i]))
+        << "position " << i;
+  }
+}
+
+TEST(DegreeOrderTest, AllTiesFallBackToDescendingId) {
+  Graph g = Clique(6);  // Every degree equal.
+  DegreeOrder order(g);
+  for (uint32_t i = 0; i < 6; ++i) EXPECT_EQ(order.At(i), 5u - i);
+}
+
+TEST(DegreeOrderTest, RankIsInverseOfOrder) {
+  Graph g = BarabasiAlbert(300, 3, 17);
+  DegreeOrder order(g);
+  for (uint32_t i = 0; i < g.NumVertices(); ++i) {
+    EXPECT_EQ(order.Rank(order.At(i)), i);
+  }
+}
+
+// ---------------------------------------------------------------- EdgeSet
+
+TEST(EdgeSetTest, MatchesGraphAdjacency) {
+  Graph g = ErdosRenyi(150, 700, 9);
+  EdgeSet es(g);
+  for (VertexId u = 0; u < 80; ++u) {
+    for (VertexId v = 0; v < 80; ++v) {
+      EXPECT_EQ(es.Contains(u, v), g.HasEdge(u, v)) << u << "," << v;
+    }
+  }
+}
+
+TEST(EdgeSetTest, EmptyGraph) {
+  Graph g = GraphBuilder(3).Build();
+  EdgeSet es(g);
+  EXPECT_FALSE(es.Contains(0, 1));
+  EXPECT_FALSE(es.Contains(1, 1));
+}
+
+// ---------------------------------------------------------------- DynamicGraph
+
+TEST(DynamicGraphTest, CopiesGraph) {
+  Graph g = ErdosRenyi(50, 200, 10);
+  DynamicGraph dyn(g);
+  EXPECT_EQ(dyn.NumEdges(), g.NumEdges());
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    auto nbrs = g.Neighbors(u);
+    EXPECT_EQ(dyn.Neighbors(u),
+              std::vector<VertexId>(nbrs.begin(), nbrs.end()));
+  }
+}
+
+TEST(DynamicGraphTest, InsertDeleteRoundTrip) {
+  DynamicGraph dyn(5);
+  EXPECT_TRUE(dyn.InsertEdge(0, 1).ok());
+  EXPECT_TRUE(dyn.InsertEdge(1, 2).ok());
+  EXPECT_TRUE(dyn.HasEdge(0, 1));
+  EXPECT_EQ(dyn.NumEdges(), 2u);
+  EXPECT_TRUE(dyn.DeleteEdge(0, 1).ok());
+  EXPECT_FALSE(dyn.HasEdge(0, 1));
+  EXPECT_EQ(dyn.NumEdges(), 1u);
+}
+
+TEST(DynamicGraphTest, ErrorsOnBadOperations) {
+  DynamicGraph dyn(3);
+  EXPECT_EQ(dyn.InsertEdge(0, 0).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(dyn.InsertEdge(0, 9).code(), StatusCode::kOutOfRange);
+  EXPECT_TRUE(dyn.InsertEdge(0, 1).ok());
+  EXPECT_EQ(dyn.InsertEdge(1, 0).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(dyn.DeleteEdge(1, 2).code(), StatusCode::kNotFound);
+  EXPECT_EQ(dyn.DeleteEdge(0, 9).code(), StatusCode::kOutOfRange);
+}
+
+TEST(DynamicGraphTest, NeighborsStaySorted) {
+  DynamicGraph dyn(10);
+  EXPECT_TRUE(dyn.InsertEdge(5, 9).ok());
+  EXPECT_TRUE(dyn.InsertEdge(5, 1).ok());
+  EXPECT_TRUE(dyn.InsertEdge(5, 4).ok());
+  EXPECT_EQ(dyn.Neighbors(5), (std::vector<VertexId>{1, 4, 9}));
+}
+
+TEST(DynamicGraphTest, ToGraphRoundTrip) {
+  Graph g = ErdosRenyi(40, 150, 11);
+  DynamicGraph dyn(g);
+  Graph back = dyn.ToGraph();
+  EXPECT_EQ(back.NumEdges(), g.NumEdges());
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    auto a = g.Neighbors(u);
+    auto b = back.Neighbors(u);
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()));
+  }
+}
+
+TEST(DynamicGraphTest, CommonNeighbors) {
+  DynamicGraph dyn(6);
+  for (VertexId v : {1, 2, 3}) {
+    ASSERT_TRUE(dyn.InsertEdge(0, v).ok());
+    ASSERT_TRUE(dyn.InsertEdge(5, v).ok());
+  }
+  std::vector<VertexId> common;
+  dyn.CommonNeighbors(0, 5, &common);
+  EXPECT_EQ(common, (std::vector<VertexId>{1, 2, 3}));
+}
+
+// ---------------------------------------------------------------- IO
+
+TEST(IoTest, RoundTrip) {
+  Graph g = ErdosRenyi(80, 300, 12);
+  std::string path = TempPath("egobw_io_roundtrip.txt");
+  ASSERT_TRUE(SaveEdgeList(g, path).ok());
+  Result<Graph> loaded = LoadEdgeList(path, {.relabel = false});
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const Graph& h = loaded.value();
+  EXPECT_EQ(h.NumEdges(), g.NumEdges());
+  for (const auto& [u, v] : g.Edges()) EXPECT_TRUE(h.HasEdge(u, v));
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, ParsesCommentsAndWhitespace) {
+  std::string path = TempPath("egobw_io_comments.txt");
+  {
+    std::ofstream f(path);
+    f << "# SNAP header\n% alt comment\n\n  0\t1 \n2 3\n1   2\n";
+  }
+  Result<Graph> loaded = LoadEdgeList(path, {.relabel = false});
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().NumEdges(), 3u);
+  EXPECT_TRUE(loaded.value().HasEdge(0, 1));
+  EXPECT_TRUE(loaded.value().HasEdge(2, 3));
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, RelabelCompacts) {
+  std::string path = TempPath("egobw_io_relabel.txt");
+  {
+    std::ofstream f(path);
+    f << "1000000 2000000\n2000000 3000000\n";
+  }
+  Result<Graph> loaded = LoadEdgeList(path, {.relabel = true});
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().NumVertices(), 3u);
+  EXPECT_EQ(loaded.value().NumEdges(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, RejectsMalformedLines) {
+  std::string path = TempPath("egobw_io_bad.txt");
+  {
+    std::ofstream f(path);
+    f << "0 1\nnot numbers\n";
+  }
+  Result<Graph> loaded = LoadEdgeList(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, RejectsLoneEndpoint) {
+  std::string path = TempPath("egobw_io_lone.txt");
+  {
+    std::ofstream f(path);
+    f << "42\n";
+  }
+  EXPECT_FALSE(LoadEdgeList(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, MissingFileIsIOError) {
+  Result<Graph> loaded = LoadEdgeList("/nonexistent/egobw.txt");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+}
+
+// ---------------------------------------------------------------- Generators
+
+TEST(GeneratorsTest, ErdosRenyiExactEdgeCount) {
+  Graph g = ErdosRenyi(100, 500, 13);
+  EXPECT_EQ(g.NumVertices(), 100u);
+  EXPECT_EQ(g.NumEdges(), 500u);
+}
+
+TEST(GeneratorsTest, ErdosRenyiCapsAtCompleteGraph) {
+  Graph g = ErdosRenyi(10, 1000, 14);
+  EXPECT_EQ(g.NumEdges(), 45u);
+}
+
+TEST(GeneratorsTest, DeterministicBySeed) {
+  Graph a = ErdosRenyi(100, 300, 99);
+  Graph b = ErdosRenyi(100, 300, 99);
+  EXPECT_EQ(a.Edges(), b.Edges());
+  Graph c = BarabasiAlbert(200, 3, 55);
+  Graph d = BarabasiAlbert(200, 3, 55);
+  EXPECT_EQ(c.Edges(), d.Edges());
+}
+
+TEST(GeneratorsTest, BarabasiAlbertShape) {
+  Graph g = BarabasiAlbert(2000, 3, 15);
+  EXPECT_EQ(g.NumVertices(), 2000u);
+  // Each of the n - (m+1) later vertices adds exactly m edges.
+  EXPECT_EQ(g.NumEdges(), 3u * (2000 - 4) + 6);
+  // Preferential attachment must create hubs far above the average degree.
+  EXPECT_GT(g.MaxDegree(), 30u);
+}
+
+TEST(GeneratorsTest, WattsStrogatzShape) {
+  Graph g = WattsStrogatz(1000, 4, 0.1, 16);
+  EXPECT_EQ(g.NumVertices(), 1000u);
+  // Ring lattice has n*k edges; rewiring preserves the count up to the rare
+  // fallback collisions.
+  EXPECT_NEAR(static_cast<double>(g.NumEdges()), 4000.0, 40.0);
+}
+
+TEST(GeneratorsTest, RMatIsSkewed) {
+  Graph g = RMat(12, 8, 0.57, 0.19, 0.19, 17);
+  EXPECT_EQ(g.NumVertices(), 4096u);
+  EXPECT_GT(g.NumEdges(), 10000u);
+  // Degree skew: the max degree dwarfs the mean.
+  double mean = 2.0 * g.NumEdges() / g.NumVertices();
+  EXPECT_GT(g.MaxDegree(), 10 * mean);
+}
+
+TEST(GeneratorsTest, HolmeKimTriadClosureRaisesClustering) {
+  // With triangle steps the network must contain far more triangles than
+  // plain preferential attachment at the same density.
+  auto count_triangles = [](const Graph& g) {
+    uint64_t triangles = 0;
+    std::vector<VertexId> common;
+    for (const auto& [u, v] : g.Edges()) {
+      g.CommonNeighbors(u, v, &common);
+      triangles += common.size();
+    }
+    return triangles / 3;
+  };
+  Graph plain = BarabasiAlbert(3000, 3, 26, 0.0);
+  Graph clustered = BarabasiAlbert(3000, 3, 26, 0.6);
+  EXPECT_EQ(plain.NumEdges(), clustered.NumEdges());
+  EXPECT_GT(count_triangles(clustered), 3 * count_triangles(plain));
+}
+
+TEST(GeneratorsTest, HolmeKimDeterministicBySeed) {
+  Graph a = BarabasiAlbert(500, 4, 27, 0.5);
+  Graph b = BarabasiAlbert(500, 4, 27, 0.5);
+  EXPECT_EQ(a.Edges(), b.Edges());
+}
+
+TEST(GeneratorsTest, CollaborationIsTriangleRich) {
+  Graph g = Collaboration(2000, 3000, 5, 40, 0.08, 18);
+  EXPECT_EQ(g.NumVertices(), 2000u);
+  EXPECT_GT(g.NumEdges(), 3000u);
+  // Papers become cliques: count triangles via a small sample of vertices.
+  uint64_t triangles = 0;
+  std::vector<VertexId> common;
+  for (VertexId u = 0; u < 200; ++u) {
+    auto nbrs = g.Neighbors(u);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      for (size_t j = i + 1; j < nbrs.size(); ++j) {
+        if (g.HasEdge(nbrs[i], nbrs[j])) ++triangles;
+      }
+    }
+  }
+  EXPECT_GT(triangles, 100u);
+}
+
+// ---------------------------------------------------------------- Sampling
+
+TEST(SamplingTest, EdgeSampleKeepsFraction) {
+  Graph g = ErdosRenyi(200, 1000, 19);
+  Graph h = SampleEdges(g, 0.4, 20);
+  EXPECT_EQ(h.NumEdges(), 400u);
+  EXPECT_EQ(h.NumVertices(), g.NumVertices());
+  for (const auto& [u, v] : h.Edges()) EXPECT_TRUE(g.HasEdge(u, v));
+}
+
+TEST(SamplingTest, EdgeSampleExtremes) {
+  Graph g = ErdosRenyi(50, 200, 21);
+  EXPECT_EQ(SampleEdges(g, 0.0, 1).NumEdges(), 0u);
+  EXPECT_EQ(SampleEdges(g, 1.0, 1).NumEdges(), g.NumEdges());
+}
+
+TEST(SamplingTest, VertexSampleInduces) {
+  Graph g = ErdosRenyi(200, 2000, 22);
+  Graph h = SampleVerticesInduced(g, 0.5, 23);
+  EXPECT_EQ(h.NumVertices(), 100u);
+  EXPECT_GT(h.NumEdges(), 0u);
+  EXPECT_LT(h.NumEdges(), g.NumEdges());
+}
+
+TEST(SamplingTest, VertexSampleFullIsIsomorphicCopy) {
+  Graph g = ErdosRenyi(60, 300, 24);
+  Graph h = SampleVerticesInduced(g, 1.0, 25);
+  EXPECT_EQ(h.NumVertices(), g.NumVertices());
+  EXPECT_EQ(h.NumEdges(), g.NumEdges());
+}
+
+// ---------------------------------------------------------------- Examples
+
+TEST(ExampleGraphsTest, PaperFigure1Shape) {
+  Graph g = PaperFigure1();
+  EXPECT_EQ(g.NumVertices(), 16u);
+  EXPECT_EQ(g.NumEdges(), 30u);
+  // Degrees pinned by the upper bounds in Fig. 2 (ub = d(d-1)/2).
+  EXPECT_EQ(g.Degree(PaperFigure1Id('c')), 7u);   // ub 21
+  EXPECT_EQ(g.Degree(PaperFigure1Id('i')), 6u);   // ub 15
+  EXPECT_EQ(g.Degree(PaperFigure1Id('f')), 6u);
+  EXPECT_EQ(g.Degree(PaperFigure1Id('d')), 6u);
+  EXPECT_EQ(g.Degree(PaperFigure1Id('x')), 5u);   // ub 10
+  EXPECT_EQ(g.Degree(PaperFigure1Id('e')), 5u);
+  EXPECT_EQ(g.Degree(PaperFigure1Id('h')), 4u);   // ub 6
+  EXPECT_EQ(g.Degree(PaperFigure1Id('j')), 3u);   // ub 3
+  EXPECT_EQ(g.Degree(PaperFigure1Id('k')), 2u);   // ub 1
+  EXPECT_EQ(g.Degree(PaperFigure1Id('u')), 1u);
+}
+
+TEST(ExampleGraphsTest, PaperFigure1NamesRoundTrip) {
+  for (VertexId v = 0; v < 16; ++v) {
+    EXPECT_EQ(PaperFigure1Id(PaperFigure1Name(v)[0]), v);
+  }
+}
+
+TEST(ExampleGraphsTest, FamilyShapes) {
+  EXPECT_EQ(Path(5).NumEdges(), 4u);
+  EXPECT_EQ(Cycle(6).NumEdges(), 6u);
+  EXPECT_EQ(Star(7).NumEdges(), 6u);
+  EXPECT_EQ(Clique(6).NumEdges(), 15u);
+  EXPECT_EQ(CompleteBipartite(3, 4).NumEdges(), 12u);
+  Graph two = TwoCliquesBridge(4);
+  EXPECT_EQ(two.NumVertices(), 7u);
+  EXPECT_EQ(two.NumEdges(), 12u);
+  EXPECT_EQ(two.Degree(0), 6u);
+}
+
+}  // namespace
+}  // namespace egobw

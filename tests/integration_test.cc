@@ -1,0 +1,179 @@
+// Cross-module integration tests: full pipelines from generation/IO through
+// search, maintenance, and the betweenness baseline, plus bench-registry
+// smoke checks.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <set>
+#include <vector>
+
+#include "baseline/top_bw.h"
+#include "benchlib/datasets.h"
+#include "benchlib/workloads.h"
+#include "core/all_ego.h"
+#include "core/base_search.h"
+#include "core/opt_search.h"
+#include "dynamic/lazy_topk.h"
+#include "dynamic/local_update.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "graph/sampling.h"
+#include "parallel/parallel_ebw.h"
+#include "util/random.h"
+
+namespace egobw {
+namespace {
+
+constexpr double kTol = 1e-6;
+
+TEST(IntegrationTest, SaveLoadSearchPipeline) {
+  Graph g = Collaboration(800, 1500, 5, 16, 0.1, 1101);
+  std::string path =
+      (std::filesystem::temp_directory_path() / "egobw_pipeline.txt")
+          .string();
+  ASSERT_TRUE(SaveEdgeList(g, path).ok());
+  Result<Graph> loaded = LoadEdgeList(path, {.relabel = false});
+  ASSERT_TRUE(loaded.ok());
+  std::remove(path.c_str());
+
+  TopKResult a = BaseBSearch(g, 20);
+  TopKResult b = OptBSearch(loaded.value(), 20);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i].cb, b[i].cb, kTol) << "rank " << i;
+  }
+}
+
+TEST(IntegrationTest, FourComputationPathsAgree) {
+  Graph g = RMat(9, 6, 0.6, 0.18, 0.18, 1102);
+  std::vector<double> seq = ComputeAllEgoBetweenness(g);
+  std::vector<double> par_v = VertexPEBW(g, 4);
+  std::vector<double> par_e = EdgePEBW(g, 4);
+  TopKResult full = OptBSearch(g, g.NumVertices());
+  std::vector<double> from_search(g.NumVertices());
+  for (const auto& e : full) from_search[e.vertex] = e.cb;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    EXPECT_NEAR(seq[v], par_v[v], kTol);
+    EXPECT_NEAR(seq[v], par_e[v], kTol);
+    EXPECT_NEAR(seq[v], from_search[v], kTol);
+  }
+}
+
+TEST(IntegrationTest, DynamicEnginesAgreeUnderSharedStream) {
+  Graph g = BarabasiAlbert(150, 4, 1103);
+  LocalUpdateEngine local(g);
+  LazyTopK lazy(g, 8);
+  Rng rng(1104);
+  for (int step = 0; step < 60; ++step) {
+    VertexId u = static_cast<VertexId>(rng.NextBounded(g.NumVertices()));
+    VertexId v = static_cast<VertexId>(rng.NextBounded(g.NumVertices()));
+    if (u == v) continue;
+    if (local.graph().HasEdge(u, v)) {
+      ASSERT_TRUE(local.DeleteEdge(u, v).ok());
+      ASSERT_TRUE(lazy.DeleteEdge(u, v).ok());
+    } else {
+      ASSERT_TRUE(local.InsertEdge(u, v).ok());
+      ASSERT_TRUE(lazy.InsertEdge(u, v).ok());
+    }
+    if (step % 10 != 0) continue;
+    // The lazy top-k must equal the top-k of the local engine's exact CBs.
+    std::vector<double> all = local.AllCB();
+    std::sort(all.begin(), all.end(), std::greater<>());
+    TopKResult topk = lazy.CurrentTopK();
+    ASSERT_EQ(topk.size(), 8u);
+    for (size_t i = 0; i < topk.size(); ++i) {
+      EXPECT_NEAR(topk[i].cb, all[i], kTol) << "step " << step;
+    }
+  }
+}
+
+TEST(IntegrationTest, SamplingPreservesSearchability) {
+  Graph g = BarabasiAlbert(2000, 5, 1105);
+  for (double frac : {0.2, 0.5, 0.8}) {
+    Graph edges = SampleEdges(g, frac, 1106);
+    Graph verts = SampleVerticesInduced(g, frac, 1107);
+    TopKResult a = OptBSearch(edges, 10);
+    TopKResult b = OptBSearch(verts, 10);
+    EXPECT_EQ(a.size(), 10u);
+    EXPECT_EQ(b.size(), 10u);
+    EXPECT_GE(a.front().cb, a.back().cb);
+  }
+}
+
+TEST(IntegrationTest, EgoVsTraditionalBetweennessOverlap) {
+  // Effectiveness smoke (Exp-6): on a bridge-rich collaboration graph the
+  // two centralities should agree on a large share of the top-k.
+  Graph g = Collaboration(600, 1000, 5, 12, 0.08, 1108);
+  TopKResult ebw = OptBSearch(g, 25);
+  TopKResult bw = TopBW(g, 25, 2);
+  EXPECT_GE(TopKOverlap(bw, ebw), 0.4);
+}
+
+TEST(IntegrationTest, StandardDatasetsSmoke) {
+  // Tiny scale so the whole registry builds in seconds.
+  std::vector<Dataset> all = StandardDatasets(0.05);
+  ASSERT_EQ(all.size(), 5u);
+  std::set<std::string> names;
+  for (const auto& d : all) {
+    names.insert(d.name);
+    EXPECT_GT(d.graph.NumVertices(), 0u);
+    EXPECT_GT(d.graph.NumEdges(), 0u);
+    EXPECT_FALSE(d.kind.empty());
+    EXPECT_FALSE(d.substitution.empty());
+    // Each stand-in must be searchable end to end.
+    TopKResult r = OptBSearch(d.graph, 10);
+    EXPECT_EQ(r.size(), 10u);
+  }
+  EXPECT_EQ(names.size(), 5u);
+}
+
+TEST(IntegrationTest, CaseStudyDatasetsSmoke) {
+  Dataset db = CaseStudyDB(0.2);
+  Dataset ir = CaseStudyIR(0.2);
+  EXPECT_GT(db.graph.NumEdges(), 100u);
+  EXPECT_GT(ir.graph.NumEdges(), 100u);
+  EXPECT_EQ(ScholarName(7), "A0007");
+}
+
+TEST(IntegrationTest, WorkloadPickersAreValid) {
+  Graph g = BarabasiAlbert(500, 4, 1109);
+  auto existing = PickExistingEdges(g, 100, 1110);
+  EXPECT_EQ(existing.size(), 100u);
+  for (const auto& [u, v] : existing) EXPECT_TRUE(g.HasEdge(u, v));
+  auto missing = PickNonEdges(g, 100, 1111);
+  EXPECT_EQ(missing.size(), 100u);
+  for (const auto& [u, v] : missing) {
+    EXPECT_FALSE(g.HasEdge(u, v));
+    EXPECT_NE(u, v);
+    EXPECT_GE(g.Degree(u), 1u);
+  }
+  EXPECT_EQ(PaperKGrid().size(), 6u);
+  EXPECT_EQ(PaperThetaGrid().size(), 6u);
+}
+
+TEST(IntegrationTest, UpdateStreamKeepsSearchConsistent) {
+  // Mutate with the local engine, snapshot, and re-run both searches.
+  Graph g = ErdosRenyi(200, 800, 1112);
+  LocalUpdateEngine engine(g);
+  auto inserts = PickNonEdges(g, 30, 1113);
+  auto deletes = PickExistingEdges(g, 30, 1114);
+  for (const auto& [u, v] : inserts) ASSERT_TRUE(engine.InsertEdge(u, v).ok());
+  for (const auto& [u, v] : deletes) {
+    if (engine.graph().HasEdge(u, v)) {
+      ASSERT_TRUE(engine.DeleteEdge(u, v).ok());
+    }
+  }
+  Graph snapshot = engine.graph().ToGraph();
+  std::vector<double> expected = ComputeAllEgoBetweenness(snapshot);
+  for (VertexId v = 0; v < snapshot.NumVertices(); ++v) {
+    EXPECT_NEAR(engine.CB(v), expected[v], kTol);
+  }
+  TopKResult a = BaseBSearch(snapshot, 15);
+  TopKResult b = OptBSearch(snapshot, 15);
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_NEAR(a[i].cb, b[i].cb, kTol);
+}
+
+}  // namespace
+}  // namespace egobw

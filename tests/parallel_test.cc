@@ -1,0 +1,119 @@
+// Tests for the parallel all-vertex ego-betweenness algorithms (Section V):
+// VertexPEBW and EdgePEBW must reproduce the sequential values exactly for
+// any thread count, because connector counting is commutative.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/all_ego.h"
+#include "graph/example_graphs.h"
+#include "graph/generators.h"
+#include "parallel/parallel_ebw.h"
+#include "util/fraction.h"
+
+namespace egobw {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+void ExpectMatches(const std::vector<double>& got,
+                   const std::vector<double>& want, const char* what) {
+  ASSERT_EQ(got.size(), want.size()) << what;
+  for (size_t v = 0; v < want.size(); ++v) {
+    EXPECT_NEAR(got[v], want[v], kTol) << what << " vertex " << v;
+  }
+}
+
+TEST(ParallelTest, Figure1GoldenValues) {
+  Graph g = PaperFigure1();
+  for (size_t threads : {1u, 2u, 4u}) {
+    std::vector<double> v = VertexPEBW(g, threads);
+    std::vector<double> e = EdgePEBW(g, threads);
+    EXPECT_NEAR(v[PaperFigure1Id('c')], 41.0 / 6.0, kTol);
+    EXPECT_NEAR(v[PaperFigure1Id('f')], 11.0, kTol);
+    EXPECT_NEAR(e[PaperFigure1Id('d')], 14.0 / 3.0, kTol);
+    EXPECT_NEAR(e[PaperFigure1Id('x')], 10.0, kTol);
+  }
+}
+
+struct ParallelParam {
+  const char* name;
+  int kind;  // 0 = ER, 1 = BA, 2 = RMAT, 3 = collab
+  uint64_t seed;
+  size_t threads;
+};
+
+class ParallelSuite : public ::testing::TestWithParam<ParallelParam> {
+ protected:
+  Graph Make() const {
+    const auto& p = GetParam();
+    switch (p.kind) {
+      case 0:
+        return ErdosRenyi(500, 3000, p.seed);
+      case 1:
+        return BarabasiAlbert(600, 5, p.seed);
+      case 2:
+        return RMat(10, 6, 0.57, 0.19, 0.19, p.seed);
+      default:
+        return Collaboration(500, 900, 5, 12, 0.1, p.seed);
+    }
+  }
+};
+
+TEST_P(ParallelSuite, VertexPEBWMatchesSequential) {
+  Graph g = Make();
+  std::vector<double> want = ComputeAllEgoBetweenness(g);
+  ExpectMatches(VertexPEBW(g, GetParam().threads), want, "VertexPEBW");
+}
+
+TEST_P(ParallelSuite, EdgePEBWMatchesSequential) {
+  Graph g = Make();
+  std::vector<double> want = ComputeAllEgoBetweenness(g);
+  ExpectMatches(EdgePEBW(g, GetParam().threads), want, "EdgePEBW");
+}
+
+TEST_P(ParallelSuite, RunsAreDeterministic) {
+  Graph g = Make();
+  // Integer connector counts make the evaluated values identical across
+  // runs regardless of scheduling.
+  std::vector<double> a = EdgePEBW(g, GetParam().threads);
+  std::vector<double> b = EdgePEBW(g, GetParam().threads);
+  ExpectMatches(a, b, "repeat-run");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Graphs, ParallelSuite,
+    ::testing::Values(ParallelParam{"er_t2", 0, 901, 2},
+                      ParallelParam{"er_t4", 0, 902, 4},
+                      ParallelParam{"ba_t2", 1, 903, 2},
+                      ParallelParam{"ba_t8", 1, 904, 8},
+                      ParallelParam{"rmat_t4", 2, 905, 4},
+                      ParallelParam{"collab_t3", 3, 906, 3}),
+    [](const ::testing::TestParamInfo<ParallelParam>& info) {
+      return info.param.name;
+    });
+
+TEST(ParallelTest, SingleThreadEqualsSequentialStats) {
+  Graph g = BarabasiAlbert(300, 4, 907);
+  SearchStats seq_stats;
+  SearchStats par_stats;
+  std::vector<double> want = ComputeAllEgoBetweenness(g, &seq_stats);
+  std::vector<double> got = EdgePEBW(g, 1, &par_stats);
+  ExpectMatches(got, want, "t1");
+  EXPECT_EQ(par_stats.edges_processed, seq_stats.edges_processed);
+  EXPECT_EQ(par_stats.triangles, seq_stats.triangles);
+  EXPECT_EQ(par_stats.connector_increments, seq_stats.connector_increments);
+}
+
+TEST(ParallelTest, EmptyAndTinyGraphs) {
+  Graph empty = Graph();
+  EXPECT_TRUE(VertexPEBW(empty, 4).empty());
+  Graph star = Star(10);
+  std::vector<double> cb = EdgePEBW(star, 4);
+  EXPECT_NEAR(cb[0], 36.0, kTol);
+  for (VertexId v = 1; v < 10; ++v) EXPECT_NEAR(cb[v], 0.0, kTol);
+}
+
+}  // namespace
+}  // namespace egobw

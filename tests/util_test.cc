@@ -1,0 +1,500 @@
+// Unit tests for src/util: fractions, hash maps, heaps, RNG, thread pool,
+// status, env knobs and table rendering.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <queue>
+#include <set>
+#include <vector>
+
+#include "util/env.h"
+#include "util/fraction.h"
+#include "util/hash.h"
+#include "util/indexed_max_heap.h"
+#include "util/pair_count_map.h"
+#include "util/random.h"
+#include "util/status.h"
+#include "util/table_printer.h"
+#include "util/thread_pool.h"
+
+namespace egobw {
+namespace {
+
+// ---------------------------------------------------------------- Fraction
+
+TEST(FractionTest, DefaultIsZero) {
+  Fraction f;
+  EXPECT_EQ(f.num(), 0);
+  EXPECT_EQ(f.den(), 1);
+  EXPECT_DOUBLE_EQ(f.ToDouble(), 0.0);
+}
+
+TEST(FractionTest, Normalizes) {
+  Fraction f(6, 8);
+  EXPECT_EQ(f.num(), 3);
+  EXPECT_EQ(f.den(), 4);
+  Fraction g(-6, 8);
+  EXPECT_EQ(g.num(), -3);
+  EXPECT_EQ(g.den(), 4);
+  Fraction h(6, -8);
+  EXPECT_EQ(h.num(), -3);
+  EXPECT_EQ(h.den(), 4);
+  Fraction zero(0, -5);
+  EXPECT_EQ(zero.num(), 0);
+  EXPECT_EQ(zero.den(), 1);
+}
+
+TEST(FractionTest, Addition) {
+  EXPECT_EQ(Fraction(1, 2) + Fraction(1, 3), Fraction(5, 6));
+  EXPECT_EQ(Fraction(1, 2) + Fraction(1, 2), Fraction(1));
+  EXPECT_EQ(Fraction(-1, 2) + Fraction(1, 2), Fraction(0));
+}
+
+TEST(FractionTest, Subtraction) {
+  EXPECT_EQ(Fraction(41, 6) - Fraction(14, 3), Fraction(13, 6));
+}
+
+TEST(FractionTest, MultiplicationAndDivision) {
+  EXPECT_EQ(Fraction(2, 3) * Fraction(3, 4), Fraction(1, 2));
+  EXPECT_EQ(Fraction(1, 2) / Fraction(1, 4), Fraction(2));
+}
+
+TEST(FractionTest, Comparisons) {
+  EXPECT_LT(Fraction(1, 3), Fraction(1, 2));
+  EXPECT_GT(Fraction(14, 3), Fraction(41, 6) - Fraction(7, 3));
+  EXPECT_LE(Fraction(2, 4), Fraction(1, 2));
+  EXPECT_GE(Fraction(1, 2), Fraction(2, 4));
+}
+
+TEST(FractionTest, ToString) {
+  EXPECT_EQ(Fraction(41, 6).ToString(), "41/6");
+  EXPECT_EQ(Fraction(4, 2).ToString(), "2");
+  EXPECT_EQ(Fraction(-1, 3).ToString(), "-1/3");
+}
+
+TEST(FractionTest, HarmonicSumMatchesClosedForm) {
+  // Σ_{i=1..10} 1/i = 7381/2520.
+  Fraction sum;
+  for (int i = 1; i <= 10; ++i) sum += Fraction(1, i);
+  EXPECT_EQ(sum, Fraction(7381, 2520));
+}
+
+TEST(FractionDeathTest, ZeroDenominatorAborts) {
+  EXPECT_DEATH(Fraction(1, 0), "zero denominator");
+}
+
+TEST(FractionDeathTest, DivisionByZeroAborts) {
+  EXPECT_DEATH(Fraction(1, 2) / Fraction(0), "division by zero");
+}
+
+// ---------------------------------------------------------------- Hash
+
+TEST(HashTest, PackPairIsCanonical) {
+  EXPECT_EQ(PackPair(3, 7), PackPair(7, 3));
+  EXPECT_EQ(PairFirst(PackPair(3, 7)), 3u);
+  EXPECT_EQ(PairSecond(PackPair(3, 7)), 7u);
+}
+
+TEST(HashTest, PackPairDistinct) {
+  std::set<uint64_t> keys;
+  for (uint32_t a = 0; a < 30; ++a) {
+    for (uint32_t b = a + 1; b < 30; ++b) keys.insert(PackPair(a, b));
+  }
+  EXPECT_EQ(keys.size(), 30u * 29 / 2);
+}
+
+// ---------------------------------------------------------------- PairCountMap
+
+TEST(PairCountMapTest, StartsEmpty) {
+  PairCountMap m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.GetOr(PackPair(1, 2), -7), -7);
+}
+
+TEST(PairCountMapTest, AddCountInsertsAndAccumulates) {
+  PairCountMap m;
+  EXPECT_EQ(m.AddCount(PackPair(1, 2), 1), 0);
+  EXPECT_EQ(m.GetOr(PackPair(1, 2), -1), 1);
+  EXPECT_EQ(m.AddCount(PackPair(1, 2), 1), 1);
+  EXPECT_EQ(m.GetOr(PackPair(1, 2), -1), 2);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(PairCountMapTest, AddCountErasesAtZero) {
+  PairCountMap m;
+  m.AddCount(PackPair(1, 2), 3);
+  m.AddCount(PackPair(1, 2), -3);
+  EXPECT_FALSE(m.Contains(PackPair(1, 2)));
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(PairCountMapTest, SetAdjacentIdempotent) {
+  PairCountMap m;
+  m.SetAdjacent(PackPair(4, 9));
+  m.SetAdjacent(PackPair(4, 9));
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_EQ(m.GetOr(PackPair(4, 9), -1), PairCountMap::kAdjacent);
+}
+
+TEST(PairCountMapTest, SetAdjacentOverwritesCount) {
+  PairCountMap m;
+  m.AddCount(PackPair(4, 9), 5);
+  m.SetAdjacent(PackPair(4, 9));
+  EXPECT_EQ(m.GetOr(PackPair(4, 9), -1), PairCountMap::kAdjacent);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(PairCountMapTest, EraseReturnsPrevious) {
+  PairCountMap m;
+  m.AddCount(PackPair(1, 2), 4);
+  EXPECT_EQ(m.Erase(PackPair(1, 2), -1), 4);
+  EXPECT_EQ(m.Erase(PackPair(1, 2), -1), -1);
+}
+
+TEST(PairCountMapTest, GrowthPreservesEntries) {
+  PairCountMap m;
+  for (uint32_t i = 0; i < 1000; ++i) {
+    m.AddCount(PackPair(i, i + 1), static_cast<int32_t>(i % 7) + 1);
+  }
+  EXPECT_EQ(m.size(), 1000u);
+  for (uint32_t i = 0; i < 1000; ++i) {
+    EXPECT_EQ(m.GetOr(PackPair(i, i + 1), -1),
+              static_cast<int32_t>(i % 7) + 1);
+  }
+}
+
+TEST(PairCountMapTest, MatchesStdMapUnderRandomOps) {
+  Rng rng(42);
+  PairCountMap m;
+  std::map<uint64_t, int32_t> ref;
+  for (int step = 0; step < 20000; ++step) {
+    uint32_t a = static_cast<uint32_t>(rng.NextBounded(40));
+    uint32_t b = static_cast<uint32_t>(rng.NextBounded(40));
+    if (a == b) continue;
+    uint64_t key = PackPair(a, b);
+    int op = static_cast<int>(rng.NextBounded(4));
+    auto it = ref.find(key);
+    if (op == 0 && (it == ref.end() || it->second > 0)) {
+      m.AddCount(key, 1);
+      ++ref[key];
+    } else if (op == 1 && it != ref.end() && it->second > 1) {
+      m.AddCount(key, -1);
+      if (--ref[key] == 0) ref.erase(key);
+    } else if (op == 2) {
+      m.SetAdjacent(key);
+      ref[key] = 0;
+    } else if (op == 3 && it != ref.end()) {
+      m.Erase(key, -1);
+      ref.erase(key);
+    }
+  }
+  EXPECT_EQ(m.size(), ref.size());
+  size_t visited = 0;
+  m.ForEach([&](uint64_t key, int32_t val) {
+    ++visited;
+    auto it = ref.find(key);
+    ASSERT_NE(it, ref.end());
+    EXPECT_EQ(it->second, val);
+  });
+  EXPECT_EQ(visited, ref.size());
+}
+
+TEST(PairCountMapTest, ClearKeepsWorking) {
+  PairCountMap m;
+  for (uint32_t i = 0; i < 100; ++i) m.AddCount(PackPair(i, i + 1), 1);
+  m.Clear();
+  EXPECT_TRUE(m.empty());
+  m.AddCount(PackPair(5, 6), 2);
+  EXPECT_EQ(m.GetOr(PackPair(5, 6), -1), 2);
+}
+
+// ---------------------------------------------------------------- IndexedMaxHeap
+
+TEST(IndexedMaxHeapTest, PopsInDescendingOrder) {
+  IndexedMaxHeap h(10);
+  h.Push(0, 3.0);
+  h.Push(1, 7.0);
+  h.Push(2, 5.0);
+  EXPECT_EQ(h.PopMax().first, 1u);
+  EXPECT_EQ(h.PopMax().first, 2u);
+  EXPECT_EQ(h.PopMax().first, 0u);
+  EXPECT_TRUE(h.empty());
+}
+
+TEST(IndexedMaxHeapTest, TieBreaksTowardLargerId) {
+  IndexedMaxHeap h(10);
+  h.Push(2, 5.0);
+  h.Push(7, 5.0);
+  h.Push(4, 5.0);
+  EXPECT_EQ(h.PopMax().first, 7u);
+  EXPECT_EQ(h.PopMax().first, 4u);
+  EXPECT_EQ(h.PopMax().first, 2u);
+}
+
+TEST(IndexedMaxHeapTest, UpdateMovesEntries) {
+  IndexedMaxHeap h(10);
+  h.Push(0, 1.0);
+  h.Push(1, 2.0);
+  h.Push(2, 3.0);
+  h.Update(0, 10.0);
+  EXPECT_EQ(h.Top().first, 0u);
+  h.Update(0, 0.5);
+  EXPECT_EQ(h.Top().first, 2u);
+}
+
+TEST(IndexedMaxHeapTest, RemoveWorks) {
+  IndexedMaxHeap h(10);
+  h.Push(0, 1.0);
+  h.Push(1, 2.0);
+  EXPECT_TRUE(h.Remove(1));
+  EXPECT_FALSE(h.Remove(1));
+  EXPECT_EQ(h.Top().first, 0u);
+}
+
+TEST(IndexedMaxHeapTest, MatchesPriorityQueueUnderRandomOps) {
+  Rng rng(7);
+  IndexedMaxHeap h(200);
+  std::map<uint32_t, double> live;  // id -> priority
+  for (int step = 0; step < 20000; ++step) {
+    int op = static_cast<int>(rng.NextBounded(4));
+    uint32_t id = static_cast<uint32_t>(rng.NextBounded(200));
+    if (op == 0 && !live.count(id)) {
+      double p = rng.NextDouble() * 100;
+      h.Push(id, p);
+      live[id] = p;
+    } else if (op == 1 && live.count(id)) {
+      double p = rng.NextDouble() * 100;
+      h.Update(id, p);
+      live[id] = p;
+    } else if (op == 2 && !live.empty()) {
+      auto [top_id, top_p] = h.PopMax();
+      // Verify it is a maximum.
+      double best = -1;
+      for (const auto& [i, p] : live) best = std::max(best, p);
+      EXPECT_DOUBLE_EQ(top_p, best);
+      EXPECT_DOUBLE_EQ(live[top_id], top_p);
+      live.erase(top_id);
+    } else if (op == 3 && live.count(id)) {
+      EXPECT_TRUE(h.Remove(id));
+      live.erase(id);
+    }
+    EXPECT_EQ(h.size(), live.size());
+  }
+}
+
+TEST(IndexedMaxHeapDeathTest, DoublePushAborts) {
+  IndexedMaxHeap h(4);
+  h.Push(1, 5.0);
+  EXPECT_DEATH(h.Push(1, 6.0), "already in the heap");
+}
+
+TEST(IndexedMaxHeapTest, UpsertInsertsOrUpdates) {
+  IndexedMaxHeap h(4);
+  h.Upsert(1, 5.0);
+  EXPECT_DOUBLE_EQ(h.PriorityOf(1), 5.0);
+  h.Upsert(1, 2.0);
+  EXPECT_DOUBLE_EQ(h.PriorityOf(1), 2.0);
+  EXPECT_EQ(h.size(), 1u);
+}
+
+// ---------------------------------------------------------------- Rng
+
+TEST(RngTest, DeterministicBySeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, BoundedStaysInBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.NextBounded(17), 17u);
+}
+
+TEST(RngTest, BoundedIsRoughlyUniform) {
+  Rng rng(10);
+  std::vector<int> counts(10, 0);
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.NextBounded(10)];
+  for (int c : counts) {
+    EXPECT_GT(c, kDraws / 10 * 0.9);
+    EXPECT_LT(c, kDraws / 10 * 1.1);
+  }
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinctAndComplete) {
+  Rng rng(12);
+  auto sample = rng.SampleWithoutReplacement(100, 40);
+  std::set<uint64_t> s(sample.begin(), sample.end());
+  EXPECT_EQ(s.size(), 40u);
+  for (uint64_t v : s) EXPECT_LT(v, 100u);
+  auto all = rng.SampleWithoutReplacement(25, 25);
+  EXPECT_EQ(std::set<uint64_t>(all.begin(), all.end()).size(), 25u);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(13);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+// ---------------------------------------------------------------- Status
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad k");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad k");
+}
+
+TEST(StatusTest, ResultHoldsValue) {
+  Result<int> r(42);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(StatusTest, ResultHoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+namespace status_macro {
+
+Status FailsWhenNegative(int x) {
+  auto check = [](int v) {
+    if (v < 0) return Status::InvalidArgument("negative");
+    return Status::OK();
+  };
+  EGOBW_RETURN_IF_ERROR(check(x));
+  return Status::OK();
+}
+
+}  // namespace status_macro
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  EXPECT_TRUE(status_macro::FailsWhenNegative(3).ok());
+  EXPECT_EQ(status_macro::FailsWhenNegative(-1).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(StatusDeathTest, ResultValueOnErrorAborts) {
+  Result<int> r(Status::NotFound("nope"));
+  EXPECT_DEATH(r.value(), "NotFound");
+}
+
+// ---------------------------------------------------------------- ThreadPool
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1000);
+}
+
+TEST(ThreadPoolTest, WaitCanBeRepeated) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ParallelForTest, CoversRangeExactlyOnce) {
+  std::vector<std::atomic<int>> hits(5000);
+  ParallelFor(0, hits.size(), 4, 16,
+              [&hits](uint64_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, EmptyAndSingleThreadedRanges) {
+  int calls = 0;
+  ParallelFor(5, 5, 4, 1, [&calls](uint64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  ParallelFor(0, 10, 1, 4, [&calls](uint64_t) { ++calls; });
+  EXPECT_EQ(calls, 10);
+}
+
+TEST(ParallelForTest, WorkerIndexInRange) {
+  std::atomic<bool> bad{false};
+  ParallelForWorker(0, 10000, 3, 8, [&bad](uint64_t, size_t worker) {
+    if (worker >= 3) bad.store(true);
+  });
+  EXPECT_FALSE(bad.load());
+}
+
+// ---------------------------------------------------------------- Env
+
+TEST(EnvTest, FallsBackWhenUnset) {
+  unsetenv("EGOBW_TEST_KNOB");
+  EXPECT_EQ(GetEnvInt("EGOBW_TEST_KNOB", 7), 7);
+  EXPECT_DOUBLE_EQ(GetEnvDouble("EGOBW_TEST_KNOB", 0.5), 0.5);
+  EXPECT_EQ(GetEnvString("EGOBW_TEST_KNOB", "x"), "x");
+}
+
+TEST(EnvTest, ParsesValues) {
+  setenv("EGOBW_TEST_KNOB", "42", 1);
+  EXPECT_EQ(GetEnvInt("EGOBW_TEST_KNOB", 7), 42);
+  setenv("EGOBW_TEST_KNOB", "2.5", 1);
+  EXPECT_DOUBLE_EQ(GetEnvDouble("EGOBW_TEST_KNOB", 0.5), 2.5);
+  setenv("EGOBW_TEST_KNOB", "junk", 1);
+  EXPECT_EQ(GetEnvInt("EGOBW_TEST_KNOB", 7), 7);
+  unsetenv("EGOBW_TEST_KNOB");
+}
+
+// ---------------------------------------------------------------- TablePrinter
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"name", "value"});
+  t.AddRow({"a", "1"});
+  t.AddRow({"long-name", "2000"});
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("long-name"), std::string::npos);
+  // Header and 2 rows and separator -> 4 lines.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 4);
+}
+
+TEST(TablePrinterTest, Formatting) {
+  EXPECT_EQ(TablePrinter::Fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(TablePrinter::Fmt(uint64_t{12}), "12");
+  EXPECT_EQ(TablePrinter::Percent(0.785, 1), "78.5%");
+}
+
+}  // namespace
+}  // namespace egobw
