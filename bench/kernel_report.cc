@@ -1,0 +1,258 @@
+// Before/after benchmark for the Rule-B diamond-enumeration kernel, emitting
+// a machine-readable BENCH_kernels.json so the perf trajectory of this hot
+// path is tracked across PRs.
+//
+// Two measurements, both on a power-law graph with n >= 100k:
+//   * rule_b_kernel — the isolated kernel: per edge with |C| >= 2, enumerate
+//     every non-adjacent pair of the (precomputed) common neighborhood.
+//     Legacy = |C|² hash probes; bitmap = word-packed adjacency rows.
+//   * full_pass     — end-to-end ComputeAllEgoBetweenness under each kernel.
+//
+// Usage: kernel_report [output.json] [generator] [scale]
+//   generator: "rmat" (default; SNAP-like skew, the kernel's target regime)
+//              or "ba" (clustered Barabási–Albert, tamer hubs).
+//   scale defaults to 17 (131,072 vertices); the CI smoke run passes a
+//   smaller scale to stay fast.
+//
+// Large graphs are handled with a uniform edge-id stride sample (recorded
+// in the JSON) so a single pass stays in minutes, and the end-to-end pass
+// is skipped when the graph is big enough that the legacy baseline alone
+// would take tens of minutes ("full_pass": null in that case).
+
+#include <sys/resource.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/all_ego.h"
+#include "core/diamond_kernel.h"
+#include "graph/edge_set.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace egobw;
+
+// Flattened common neighborhoods of every edge with |C| >= 2.
+struct NeighborhoodCorpus {
+  std::vector<uint64_t> offsets;  // One span per kept edge.
+  std::vector<VertexId> data;
+  uint64_t edges_kept = 0;
+  uint64_t edges_total = 0;
+  uint64_t stride = 1;  // Uniform edge-id sampling stride.
+
+  std::span<const VertexId> At(size_t i) const {
+    return {data.data() + offsets[i], offsets[i + 1] - offsets[i]};
+  }
+};
+
+NeighborhoodCorpus BuildCorpus(const Graph& g, uint64_t stride) {
+  NeighborhoodCorpus corpus;
+  corpus.edges_total = g.NumEdges();
+  corpus.stride = stride;
+  corpus.offsets.push_back(0);
+  std::vector<VertexId> c;
+  for (EdgeId e = 0; e < g.NumEdges(); e += stride) {
+    auto [u, v] = g.EdgeEndpoints(e);
+    g.CommonNeighbors(u, v, &c);
+    if (c.size() < 2) continue;
+    corpus.data.insert(corpus.data.end(), c.begin(), c.end());
+    corpus.offsets.push_back(corpus.data.size());
+    ++corpus.edges_kept;
+  }
+  return corpus;
+}
+
+struct KernelRun {
+  double seconds = 0.0;
+  uint64_t pairs = 0;    // Non-adjacent pairs enumerated per repetition.
+  uint64_t edges = 0;    // Edge neighborhoods processed per repetition.
+  uint32_t repetitions = 0;
+
+  double EdgesPerSec() const {
+    return static_cast<double>(edges) * repetitions / seconds;
+  }
+  double PairsPerSec() const {
+    return static_cast<double>(pairs) * repetitions / seconds;
+  }
+};
+
+KernelRun RunKernel(const Graph& g, const EdgeSet& edges,
+                    const NeighborhoodCorpus& corpus, KernelMode mode,
+                    uint32_t repetitions) {
+  KernelRun run;
+  run.edges = corpus.edges_kept;
+  run.repetitions = repetitions;
+  DiamondKernel kernel(g.NumVertices());
+  uint64_t pairs = 0;
+  auto emit = [&pairs](VertexId, VertexId) { ++pairs; };
+  // Warm-up pass (faults in the corpus and scratch), then timed reps.
+  for (uint32_t rep = 0; rep <= repetitions; ++rep) {
+    if (rep == 1) {
+      run.pairs = pairs;  // Pairs per single pass, from the warm-up.
+      pairs = 0;
+    }
+    WallTimer timer;
+    for (size_t i = 0; i < corpus.edges_kept; ++i) {
+      if (mode == KernelMode::kBitmap) {
+        kernel.ForEachNonAdjacentPair(g, edges, corpus.At(i), emit);
+      } else {
+        DiamondKernel::ForEachNonAdjacentPairLegacy(edges, corpus.At(i),
+                                                    emit);
+      }
+    }
+    if (rep >= 1) run.seconds += timer.Seconds();
+  }
+  if (pairs != run.pairs * repetitions) {
+    std::cerr << "kernel emitted an inconsistent pair count\n";
+    std::abort();
+  }
+  return run;
+}
+
+double RunFullPass(const Graph& g, KernelMode mode, uint64_t* triangles) {
+  SetDefaultKernelMode(mode);
+  SearchStats stats;
+  WallTimer timer;
+  std::vector<double> cb = ComputeAllEgoBetweenness(g, &stats);
+  double seconds = timer.Seconds();
+  *triangles = stats.triangles;
+  SetDefaultKernelMode(KernelMode::kBitmap);
+  return seconds;
+}
+
+uint64_t PeakRssBytes() {
+  struct rusage usage;
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<uint64_t>(usage.ru_maxrss) * 1024;  // Linux: KiB.
+}
+
+void WriteJson(const std::string& path, const Graph& g,
+               const std::string& generator, uint32_t scale,
+               const NeighborhoodCorpus& corpus, const KernelRun& legacy,
+               const KernelRun& bitmap, double full_legacy_s,
+               double full_bitmap_s, uint64_t triangles) {
+  std::ofstream out(path);
+  char buf[256];
+  out << "{\n";
+  out << "  \"benchmark\": \"rule_b_diamond_kernel\",\n";
+  std::snprintf(buf, sizeof(buf),
+                "  \"graph\": {\"generator\": \"%s\", \"scale\": %u, "
+                "\"vertices\": %u, \"edges\": %llu, \"triangles\": %llu},\n",
+                generator.c_str(), scale, g.NumVertices(),
+                static_cast<unsigned long long>(g.NumEdges()),
+                static_cast<unsigned long long>(triangles));
+  out << buf;
+  out << "  \"rule_b_kernel\": {\n";
+  std::snprintf(buf, sizeof(buf),
+                "    \"edge_sample_stride\": %llu,\n"
+                "    \"edges_with_c_ge_2\": %llu,\n"
+                "    \"nonadjacent_pairs\": %llu,\n",
+                static_cast<unsigned long long>(corpus.stride),
+                static_cast<unsigned long long>(corpus.edges_kept),
+                static_cast<unsigned long long>(bitmap.pairs));
+  out << buf;
+  auto emit_side = [&](const char* name, const KernelRun& run,
+                       const char* trailing) {
+    std::snprintf(buf, sizeof(buf),
+                  "    \"%s\": {\"seconds_per_pass\": %.6f, "
+                  "\"edges_per_sec\": %.0f, \"pairs_per_sec\": %.0f}%s\n",
+                  name, run.seconds / run.repetitions, run.EdgesPerSec(),
+                  run.PairsPerSec(), trailing);
+    out << buf;
+  };
+  emit_side("legacy_edgeset_probe", legacy, ",");
+  emit_side("bitmap", bitmap, ",");
+  std::snprintf(buf, sizeof(buf), "    \"speedup\": %.3f\n  },\n",
+                legacy.seconds / bitmap.seconds);
+  out << buf;
+  if (full_legacy_s > 0.0) {
+    std::snprintf(
+        buf, sizeof(buf),
+        "  \"full_pass\": {\"legacy_seconds\": %.3f, "
+        "\"bitmap_seconds\": %.3f, \"legacy_edges_per_sec\": %.0f, "
+        "\"bitmap_edges_per_sec\": %.0f, \"speedup\": %.3f},\n",
+        full_legacy_s, full_bitmap_s,
+        static_cast<double>(g.NumEdges()) / full_legacy_s,
+        static_cast<double>(g.NumEdges()) / full_bitmap_s,
+        full_legacy_s / full_bitmap_s);
+    out << buf;
+  } else {
+    out << "  \"full_pass\": null,\n";
+  }
+  std::snprintf(buf, sizeof(buf), "  \"peak_rss_bytes\": %llu\n}\n",
+                static_cast<unsigned long long>(PeakRssBytes()));
+  out << buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::cout << std::unitbuf;  // Progress lines survive a piped/killed run.
+  std::string out_path = argc > 1 ? argv[1] : "BENCH_kernels.json";
+  std::string generator = argc > 2 ? argv[2] : "rmat";
+  uint32_t scale = argc > 3 ? static_cast<uint32_t>(std::atoi(argv[3])) : 17;
+
+  if (generator != "rmat" && generator != "ba") {
+    std::cerr << "unknown generator '" << generator
+              << "' (expected rmat or ba)\n";
+    return 1;
+  }
+  std::cout << "Generating " << generator << " scale " << scale << "...\n";
+  Graph g = generator == "rmat"
+                ? RMat(scale, 16, 0.57, 0.19, 0.19, 7)
+                : BarabasiAlbert(1u << scale, 10, 7, 0.4);
+  std::cout << "  n = " << g.NumVertices() << ", m = " << g.NumEdges()
+            << ", d_max = " << g.MaxDegree() << "\n";
+
+  EdgeSet edges(g);
+  // Keep a single kernel pass in the minutes range: uniformly sample edge
+  // ids so at most ~400k neighborhoods are materialized.
+  uint64_t stride = std::max<uint64_t>(1, g.NumEdges() / 400000);
+  std::cout << "Precomputing common neighborhoods (stride " << stride
+            << ")...\n";
+  NeighborhoodCorpus corpus = BuildCorpus(g, stride);
+  std::cout << "  " << corpus.edges_kept << " sampled edges have |C| >= 2\n";
+
+  const uint32_t reps = 2;
+  std::cout << "Rule-B kernel, legacy EdgeSet probes...\n";
+  KernelRun legacy =
+      RunKernel(g, edges, corpus, KernelMode::kLegacyProbe, reps);
+  std::cout << "Rule-B kernel, bitmap...\n";
+  KernelRun bitmap = RunKernel(g, edges, corpus, KernelMode::kBitmap, reps);
+
+  uint64_t triangles = 0;
+  double full_legacy_s = 0.0, full_bitmap_s = 0.0;
+  if (g.NumEdges() <= 600000) {
+    std::cout << "Full all-vertex pass, both kernels...\n";
+    full_legacy_s = RunFullPass(g, KernelMode::kLegacyProbe, &triangles);
+    full_bitmap_s = RunFullPass(g, KernelMode::kBitmap, &triangles);
+  } else {
+    std::cout << "Skipping full pass (graph too large for the legacy "
+                 "baseline; kernel numbers above are the PR gate)\n";
+  }
+
+  WriteJson(out_path, g, generator, scale, corpus, legacy, bitmap,
+            full_legacy_s, full_bitmap_s, triangles);
+
+  double kernel_speedup = legacy.seconds / bitmap.seconds;
+  std::printf(
+      "\nRule-B kernel: legacy %.3fs  bitmap %.3fs  ->  %.2fx "
+      "(%.1fM pairs/s -> %.1fM pairs/s)\n",
+      legacy.seconds / reps, bitmap.seconds / reps, kernel_speedup,
+      legacy.PairsPerSec() / 1e6, bitmap.PairsPerSec() / 1e6);
+  if (full_legacy_s > 0.0) {
+    std::printf("Full pass:     legacy %.3fs  bitmap %.3fs  ->  %.2fx\n",
+                full_legacy_s, full_bitmap_s, full_legacy_s / full_bitmap_s);
+  }
+  std::printf("Peak RSS:      %.1f MiB\n", PeakRssBytes() / 1048576.0);
+  std::printf("Wrote %s\n", out_path.c_str());
+  return 0;
+}

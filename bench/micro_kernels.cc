@@ -6,11 +6,14 @@
 
 #include "baseline/brandes.h"
 #include "core/all_ego.h"
+#include "core/diamond_kernel.h"
 #include "core/naive.h"
 #include "graph/degree_order.h"
 #include "graph/edge_set.h"
+#include "graph/forward_star.h"
 #include "graph/generators.h"
 #include "util/indexed_max_heap.h"
+#include "util/neighborhood_bitmap.h"
 #include "util/pair_count_map.h"
 #include "util/random.h"
 
@@ -21,6 +24,39 @@ using namespace egobw;
 const Graph& SharedGraph() {
   static Graph g = BarabasiAlbert(20000, 6, 4242);
   return g;
+}
+
+// Triangle-rich heavy-tailed graph — the regime the Rule-B kernel targets.
+const Graph& ClusteredGraph() {
+  static Graph g = BarabasiAlbert(20000, 8, 4545, 0.6);
+  return g;
+}
+
+// Flattened common neighborhoods (|C| >= 2) of every edge of g.
+struct CorpusView {
+  std::vector<uint64_t> offsets{0};
+  std::vector<VertexId> data;
+  std::span<const VertexId> At(size_t i) const {
+    return {data.data() + offsets[i], offsets[i + 1] - offsets[i]};
+  }
+  size_t size() const { return offsets.size() - 1; }
+};
+
+const CorpusView& ClusteredCorpus() {
+  static CorpusView corpus = [] {
+    CorpusView c;
+    const Graph& g = ClusteredGraph();
+    std::vector<VertexId> common;
+    for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+      auto [u, v] = g.EdgeEndpoints(e);
+      g.CommonNeighbors(u, v, &common);
+      if (common.size() < 2) continue;
+      c.data.insert(c.data.end(), common.begin(), common.end());
+      c.offsets.push_back(c.data.size());
+    }
+    return c;
+  }();
+  return corpus;
 }
 
 void BM_PairCountMapInsert(benchmark::State& state) {
@@ -99,6 +135,79 @@ void BM_EdgeSetLookup(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_EdgeSetLookup);
+
+// Rule-B diamond enumeration, before (per-pair EdgeSet probes) and after
+// (word-packed adjacency rows), over identical precomputed neighborhoods.
+void BM_RuleBLegacyProbe(benchmark::State& state) {
+  const Graph& g = ClusteredGraph();
+  EdgeSet es(g);
+  const CorpusView& corpus = ClusteredCorpus();
+  uint64_t pairs = 0;
+  for (auto _ : state) {
+    for (size_t i = 0; i < corpus.size(); ++i) {
+      DiamondKernel::ForEachNonAdjacentPairLegacy(
+          es, corpus.At(i), [&pairs](VertexId, VertexId) { ++pairs; });
+    }
+    benchmark::DoNotOptimize(pairs);
+  }
+  state.SetItemsProcessed(state.iterations() * corpus.size());
+}
+BENCHMARK(BM_RuleBLegacyProbe);
+
+void BM_RuleBBitmapKernel(benchmark::State& state) {
+  const Graph& g = ClusteredGraph();
+  EdgeSet es(g);
+  const CorpusView& corpus = ClusteredCorpus();
+  DiamondKernel kernel(g.NumVertices());
+  uint64_t pairs = 0;
+  for (auto _ : state) {
+    for (size_t i = 0; i < corpus.size(); ++i) {
+      kernel.ForEachNonAdjacentPair(
+          g, es, corpus.At(i), [&pairs](VertexId, VertexId) { ++pairs; });
+    }
+    benchmark::DoNotOptimize(pairs);
+  }
+  state.SetItemsProcessed(state.iterations() * corpus.size());
+}
+BENCHMARK(BM_RuleBBitmapKernel);
+
+void BM_EpochBitsetMarkScan(benchmark::State& state) {
+  const Graph& g = SharedGraph();
+  EpochBitset marker(g.NumVertices());
+  DegreeOrder order(g);
+  uint64_t hits = 0;
+  size_t i = 0;
+  for (auto _ : state) {
+    VertexId u = order.At(static_cast<uint32_t>(i++ % 512));
+    marker.Clear();
+    for (VertexId w : g.Neighbors(u)) marker.Set(w);
+    for (VertexId w : g.Neighbors(u)) hits += marker.Test(w);
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EpochBitsetMarkScan);
+
+void BM_ForwardStarBuild(benchmark::State& state) {
+  const Graph& g = SharedGraph();
+  DegreeOrder order(g);
+  for (auto _ : state) {
+    ForwardStar fwd(g, order);
+    benchmark::DoNotOptimize(fwd.NumEdges());
+  }
+  state.SetItemsProcessed(state.iterations() * g.NumEdges());
+}
+BENCHMARK(BM_ForwardStarBuild);
+
+void BM_RelabelByDegree(benchmark::State& state) {
+  const Graph& g = SharedGraph();
+  for (auto _ : state) {
+    Graph relabeled = g.RelabeledByDegree();
+    benchmark::DoNotOptimize(relabeled.NumEdges());
+  }
+  state.SetItemsProcessed(state.iterations() * g.NumEdges());
+}
+BENCHMARK(BM_RelabelByDegree);
 
 void BM_LocalEgoBetweenness(benchmark::State& state) {
   const Graph& g = SharedGraph();

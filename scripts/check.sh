@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Release build + full test suite + micro-kernel smoke run — the gate for
+# perf-sensitive PRs. Usage: scripts/check.sh [build_dir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-check}"
+
+echo "==> Configure (Release)"
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+
+echo "==> Build"
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+echo "==> Tests"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+echo "==> Rule-B kernel smoke benchmark (small R-MAT)"
+"$BUILD_DIR"/kernel_report "$BUILD_DIR"/BENCH_kernels_smoke.json rmat 12
+cat "$BUILD_DIR"/BENCH_kernels_smoke.json
+
+if [ -x "$BUILD_DIR/micro_kernels" ]; then
+  echo "==> Micro-kernel smoke (google-benchmark)"
+  "$BUILD_DIR"/micro_kernels \
+    --benchmark_filter='BM_RuleB|BM_EpochBitset|BM_ForwardStar' \
+    --benchmark_min_time=0.05
+else
+  echo "==> micro_kernels not built (google-benchmark unavailable); skipped"
+fi
+
+echo "==> OK"

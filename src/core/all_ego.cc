@@ -3,6 +3,7 @@
 #include "core/edge_processor.h"
 #include "graph/degree_order.h"
 #include "graph/edge_set.h"
+#include "graph/forward_star.h"
 #include "util/timer.h"
 
 namespace egobw {
@@ -16,10 +17,12 @@ AllEgoState ComputeAllEgoBetweennessWithState(const Graph& g,
   state.smaps = std::make_unique<SMapStore>(g);
   EdgeSet edges(g);
   DegreeOrder order(g);
+  ForwardStar fwd(g, order);
   EdgeProcessor proc(g, edges, state.smaps.get(), stats);
   // Processing forward edges in ≺ order touches each edge exactly once and
-  // scans the lower-degree endpoint of each edge: O(α m) enumeration.
-  for (VertexId u : order.Order()) proc.ProcessForwardEdgesOf(u, order);
+  // scans the lower-degree endpoint of each edge: O(α m) enumeration. The
+  // forward-star view makes each vertex's turn one contiguous span.
+  for (VertexId u : order.Order()) proc.ProcessForwardEdgesOf(u, fwd);
   state.cb.resize(g.NumVertices());
   for (VertexId u = 0; u < g.NumVertices(); ++u) {
     EGOBW_DCHECK(proc.Complete(u));

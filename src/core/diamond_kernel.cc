@@ -1,0 +1,20 @@
+#include "core/diamond_kernel.h"
+
+#include <atomic>
+
+namespace egobw {
+namespace {
+
+std::atomic<KernelMode> g_default_mode{KernelMode::kBitmap};
+
+}  // namespace
+
+KernelMode DefaultKernelMode() {
+  return g_default_mode.load(std::memory_order_relaxed);
+}
+
+void SetDefaultKernelMode(KernelMode mode) {
+  g_default_mode.store(mode, std::memory_order_relaxed);
+}
+
+}  // namespace egobw

@@ -1,16 +1,25 @@
 #include "core/edge_processor.h"
 
+#include <algorithm>
+
 namespace egobw {
 
 EdgeProcessor::EdgeProcessor(const Graph& g, const EdgeSet& edges,
                              SMapStore* smaps, SearchStats* stats)
+    : EdgeProcessor(g, edges, smaps, stats, DefaultKernelMode()) {}
+
+EdgeProcessor::EdgeProcessor(const Graph& g, const EdgeSet& edges,
+                             SMapStore* smaps, SearchStats* stats,
+                             KernelMode mode)
     : g_(g),
       edges_(edges),
       smaps_(smaps),
       stats_(stats),
+      mode_(mode),
       processed_(g.NumEdges(), 0),
       remaining_(g.NumVertices()),
-      marker_(g.NumVertices()) {
+      marker_(g.NumVertices()),
+      kernel_(g.NumVertices()) {
   for (VertexId u = 0; u < g.NumVertices(); ++u) remaining_[u] = g.Degree(u);
 }
 
@@ -28,7 +37,7 @@ void EdgeProcessor::ProcessMarkedEdge(VertexId u, VertexId v, EdgeId e) {
   scratch_.clear();
   if (g_.Degree(v) <= g_.Degree(u)) {
     for (VertexId w : g_.Neighbors(v)) {
-      if (w != u && marker_.IsMarked(w)) scratch_.push_back(w);
+      if (w != u && marker_.Test(w)) scratch_.push_back(w);
     }
   } else {
     for (VertexId w : g_.Neighbors(u)) {
@@ -37,34 +46,52 @@ void EdgeProcessor::ProcessMarkedEdge(VertexId u, VertexId v, EdgeId e) {
   }
   stats_->triangles += scratch_.size();
 
-  // Rule A: adjacency markers for each triangle (u, v, w).
-  for (VertexId w : scratch_) {
-    smaps_->SetAdjacent(u, v, w);
-    smaps_->SetAdjacent(v, u, w);
-    smaps_->SetAdjacent(w, u, v);
-  }
+  // Rule A: adjacency markers for each triangle (u, v, w), batched per
+  // target map so each S map's probe chains are walked consecutively.
+  smaps_->SetAdjacentBatch(u, v, scratch_);
+  smaps_->SetAdjacentBatch(v, u, scratch_);
+  for (VertexId w : scratch_) smaps_->SetAdjacent(w, u, v);
 
   // Rule B: each non-adjacent pair {x, y} ⊆ C forms a diamond on (u, v);
-  // v connects the pair in GE(u) and u connects it in GE(v).
-  for (size_t i = 0; i < scratch_.size(); ++i) {
-    VertexId x = scratch_[i];
-    for (size_t j = i + 1; j < scratch_.size(); ++j) {
-      VertexId y = scratch_[j];
-      if (!edges_.Contains(x, y)) {
-        smaps_->AddConnectors(u, x, y, 1);
-        smaps_->AddConnectors(v, x, y, 1);
-        stats_->connector_increments += 2;
-      }
-    }
+  // v connects the pair in GE(u) and u connects it in GE(v). Both kernels
+  // emit pairs in identical (i, j) position order.
+  pairs_.clear();
+  auto emit = [this](VertexId x, VertexId y) { pairs_.emplace_back(x, y); };
+  if (mode_ == KernelMode::kBitmap) {
+    kernel_.ForEachNonAdjacentPair(g_, edges_, scratch_, emit);
+  } else {
+    DiamondKernel::ForEachNonAdjacentPairLegacy(edges_, scratch_, emit);
   }
+  smaps_->AddConnectorsBatch(u, pairs_, 1);
+  smaps_->AddConnectorsBatch(v, pairs_, 1);
+  stats_->connector_increments += 2 * pairs_.size();
+}
+
+void EdgeProcessor::MarkNeighborhood(VertexId u) {
+  marker_.Clear();
+  for (VertexId w : g_.Neighbors(u)) marker_.Set(w);
 }
 
 void EdgeProcessor::ProcessAllEdgesOf(VertexId u) {
   if (remaining_[u] == 0) return;
-  marker_.Clear();
-  for (VertexId w : g_.Neighbors(u)) marker_.Mark(w);
   auto nbrs = g_.Neighbors(u);
   auto eids = g_.IncidentEdges(u);
+  // Pre-size S_u from a wedge estimate over the unprocessed edges: each edge
+  // (u, v) inserts at most min(d(u), d(v)) Rule-A entries plus its share of
+  // Rule-B pairs. The sum counts triangle *candidates*, so take a quarter
+  // of it (typical closure is far below 1) and cap the reservation — on
+  // triangle-poor graphs the estimate can exceed the real map size by
+  // orders of magnitude, and reserved capacity is never returned. Doubling
+  // growth takes over beyond the cap; ReserveFor clamps to C(d, 2).
+  uint64_t estimate = 0;
+  for (size_t i = 0; i < nbrs.size(); ++i) {
+    if (!Processed(eids[i])) {
+      estimate += std::min(g_.Degree(u), g_.Degree(nbrs[i]));
+    }
+  }
+  constexpr uint64_t kMaxReserve = 1u << 18;
+  smaps_->ReserveFor(u, std::min(estimate / 4, kMaxReserve));
+  MarkNeighborhood(u);
   for (size_t i = 0; i < nbrs.size(); ++i) {
     if (!Processed(eids[i])) ProcessMarkedEdge(u, nbrs[i], eids[i]);
   }
@@ -73,14 +100,23 @@ void EdgeProcessor::ProcessAllEdgesOf(VertexId u) {
 
 void EdgeProcessor::ProcessForwardEdgesOf(VertexId u,
                                           const DegreeOrder& order) {
-  marker_.Clear();
-  for (VertexId w : g_.Neighbors(u)) marker_.Mark(w);
+  MarkNeighborhood(u);
   auto nbrs = g_.Neighbors(u);
   auto eids = g_.IncidentEdges(u);
   for (size_t i = 0; i < nbrs.size(); ++i) {
     if (order.Precedes(u, nbrs[i]) && !Processed(eids[i])) {
       ProcessMarkedEdge(u, nbrs[i], eids[i]);
     }
+  }
+}
+
+void EdgeProcessor::ProcessForwardEdgesOf(VertexId u, const ForwardStar& fwd) {
+  auto nbrs = fwd.Neighbors(u);
+  if (nbrs.empty()) return;
+  MarkNeighborhood(u);
+  auto eids = fwd.Edges(u);
+  for (size_t i = 0; i < nbrs.size(); ++i) {
+    if (!Processed(eids[i])) ProcessMarkedEdge(u, nbrs[i], eids[i]);
   }
 }
 

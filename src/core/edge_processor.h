@@ -10,27 +10,39 @@
 // bitmask — this subsumes the paper's B array and rd(i) bookkeeping).
 // Invariant: once all edges incident to u are processed, S_u is complete and
 // SMapStore::Value(u)/EvaluateExact(u) equal CB(u).
+//
+// Rule B runs on the word-packed DiamondKernel by default (see
+// diamond_kernel.h); KernelMode::kLegacyProbe selects the original per-pair
+// hash-probe loop, kept as the reference for the differential tests. Both
+// paths feed the S maps through the same batched mutation API in the same
+// per-map order, so results and ũb trajectories are bit-for-bit identical.
 
 #ifndef EGOBW_CORE_EDGE_PROCESSOR_H_
 #define EGOBW_CORE_EDGE_PROCESSOR_H_
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
+#include "core/diamond_kernel.h"
 #include "core/ego_types.h"
 #include "core/smap_store.h"
 #include "graph/degree_order.h"
 #include "graph/edge_set.h"
+#include "graph/forward_star.h"
 #include "graph/graph.h"
-#include "util/bitset.h"
+#include "util/neighborhood_bitmap.h"
 
 namespace egobw {
 
 class EdgeProcessor {
  public:
   /// The processor mutates *smaps and reads g / edges; all must outlive it.
+  /// `mode` selects the Rule-B kernel (defaults to the process-wide mode).
   EdgeProcessor(const Graph& g, const EdgeSet& edges, SMapStore* smaps,
                 SearchStats* stats);
+  EdgeProcessor(const Graph& g, const EdgeSet& edges, SMapStore* smaps,
+                SearchStats* stats, KernelMode mode);
 
   /// True iff edge e has already been processed.
   bool Processed(EdgeId e) const { return processed_[e] != 0; }
@@ -50,19 +62,28 @@ class EdgeProcessor {
   /// completes S_u by the end of u's turn (BaseBSearch's schedule).
   void ProcessForwardEdgesOf(VertexId u, const DegreeOrder& order);
 
+  /// Same schedule via a materialized forward-star view: u's forward edges
+  /// are one contiguous span (the all-vertex pass's layout of choice).
+  void ProcessForwardEdgesOf(VertexId u, const ForwardStar& fwd);
+
  private:
   // Requires marker_ to currently mark N(u); processes the single edge
   // (u, v) assuming it is unprocessed.
   void ProcessMarkedEdge(VertexId u, VertexId v, EdgeId e);
 
+  void MarkNeighborhood(VertexId u);
+
   const Graph& g_;
   const EdgeSet& edges_;
   SMapStore* smaps_;
   SearchStats* stats_;
+  KernelMode mode_;
   std::vector<uint8_t> processed_;   // Per EdgeId.
   std::vector<uint32_t> remaining_;  // Per vertex.
-  VisitMarker marker_;
+  EpochBitset marker_;               // Marks N(u) of the current vertex.
   std::vector<VertexId> scratch_;    // Common-neighbor buffer.
+  DiamondKernel kernel_;             // Rule-B bitmap scratch.
+  std::vector<std::pair<VertexId, VertexId>> pairs_;  // Rule-B batch.
 };
 
 }  // namespace egobw

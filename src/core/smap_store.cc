@@ -29,12 +29,28 @@ SMapStore::SMapStore(uint32_t n)
     : maps_(n), value_(n, 0.0), degree_(n, 0) {}
 
 double SMapStore::EvaluateExact(VertexId u) const {
+  // Bucket counted pairs by connector count before summing: the histogram
+  // accumulation is integer (exact), so the result is independent of the
+  // map's physical iteration order — identical map contents give
+  // bit-identical values across kernels, schedules and capacities.
   double d = degree_[u];
   double value = d * (d - 1.0) / 2.0;
   value -= static_cast<double>(maps_[u].size());
-  maps_[u].ForEach([&value](uint64_t /*key*/, int32_t val) {
-    if (val != PairCountMap::kAdjacent) value += Contribution(val);
+  // Per-thread scratch: called once per vertex by the finishing loops, so
+  // the histogram must not allocate per call. Bounded by the max connector
+  // count (<= d_max).
+  thread_local std::vector<uint64_t> hist;
+  hist.clear();
+  maps_[u].ForEach([](uint64_t /*key*/, int32_t val) {
+    if (val == PairCountMap::kAdjacent) return;
+    if (static_cast<size_t>(val) >= hist.size()) hist.resize(val + 1, 0);
+    ++hist[val];
   });
+  for (size_t c = 1; c < hist.size(); ++c) {
+    if (hist[c] != 0) {
+      value += static_cast<double>(hist[c]) * Contribution(c);
+    }
+  }
   return value;
 }
 
@@ -59,6 +75,29 @@ void SMapStore::AddConnectors(VertexId u, VertexId x, VertexId y,
   int32_t next = prev + delta;
   EGOBW_DCHECK(next >= 0);
   value_[u] += Contribution(next) - Contribution(prev);
+}
+
+void SMapStore::SetAdjacentBatch(VertexId u, VertexId a,
+                                 std::span<const VertexId> ws) {
+  if (ws.empty()) return;
+  maps_[u].Reserve(maps_[u].size() + ws.size());
+  for (VertexId w : ws) SetAdjacent(u, a, w);
+}
+
+void SMapStore::AddConnectorsBatch(
+    VertexId u, std::span<const std::pair<VertexId, VertexId>> pairs,
+    int32_t delta) {
+  if (pairs.empty()) return;
+  if (delta > 0) maps_[u].Reserve(maps_[u].size() + pairs.size());
+  for (const auto& [x, y] : pairs) AddConnectors(u, x, y, delta);
+}
+
+void SMapStore::ReserveFor(VertexId u, uint64_t additional) {
+  uint64_t d = degree_[u];
+  uint64_t universe = d * (d - 1) / 2;  // |S_u| can never exceed C(d, 2).
+  uint64_t target = maps_[u].size() + additional;
+  if (target > universe) target = universe;
+  maps_[u].Reserve(target);
 }
 
 void SMapStore::AdjacentToCounted(VertexId u, VertexId x, VertexId y,

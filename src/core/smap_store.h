@@ -17,6 +17,8 @@
 #define EGOBW_CORE_SMAP_STORE_H_
 
 #include <cstdint>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "graph/graph.h"
@@ -54,6 +56,24 @@ class SMapStore {
   /// Adds delta (+/-) connectors to non-adjacent pair (x, y) in GE(u).
   /// The entry is erased when the count returns to 0.
   void AddConnectors(VertexId u, VertexId x, VertexId y, int32_t delta);
+
+  /// Batched Rule A: marks (a, w) adjacent in S_u for every w in ws.
+  /// Equivalent to SetAdjacent(u, a, w) per w, but walks only S_u's probe
+  /// chains (cache-hot) instead of interleaving with other maps.
+  void SetAdjacentBatch(VertexId u, VertexId a, std::span<const VertexId> ws);
+
+  /// Batched Rule B: AddConnectors(u, x, y, delta) for every pair, with one
+  /// up-front capacity reservation so the batch never rehashes mid-flight.
+  /// Per-pair application order matches the span order, so ũb(u) evolves
+  /// bit-for-bit identically to the unbatched calls.
+  void AddConnectorsBatch(
+      VertexId u, std::span<const std::pair<VertexId, VertexId>> pairs,
+      int32_t delta);
+
+  /// Pre-sizes S_u for `additional` more entries (clamped to the C(deg, 2)
+  /// pair universe) — EgoBWCal calls this with a wedge estimate before
+  /// processing a vertex's remaining edges to avoid rehash storms.
+  void ReserveFor(VertexId u, uint64_t additional);
 
   /// Dynamic-delete transition: pair (x, y) goes from adjacent to
   /// non-adjacent with `count` remaining connectors.

@@ -1,0 +1,31 @@
+#include "graph/forward_star.h"
+
+namespace egobw {
+
+ForwardStar::ForwardStar(const Graph& g, const DegreeOrder& order) {
+  uint32_t n = g.NumVertices();
+  offsets_.assign(n + 1, 0);
+  for (VertexId u = 0; u < n; ++u) {
+    uint64_t out = 0;
+    for (VertexId v : g.Neighbors(u)) {
+      if (order.Precedes(u, v)) ++out;
+    }
+    offsets_[u + 1] = offsets_[u] + out;
+  }
+  adj_.resize(offsets_[n]);
+  adj_edge_.resize(offsets_[n]);
+  std::vector<uint64_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (VertexId u = 0; u < n; ++u) {
+    auto nbrs = g.Neighbors(u);
+    auto eids = g.IncidentEdges(u);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      if (order.Precedes(u, nbrs[i])) {
+        adj_[cursor[u]] = nbrs[i];
+        adj_edge_[cursor[u]] = eids[i];
+        ++cursor[u];
+      }
+    }
+  }
+}
+
+}  // namespace egobw

@@ -1,0 +1,59 @@
+// Forward-star view of a graph under the total order ≺.
+//
+// Orienting every edge from its ≺-smaller endpoint yields the DAG G+ that
+// BaseBSearch, the all-vertex pass and both parallel engines process. The
+// engines used to rediscover the orientation per edge with Precedes()
+// filters over the full adjacency; this view materializes it once as its
+// own CSR, so a vertex's forward edges are one contiguous, sorted span —
+// exactly the memory layout the intersection kernel wants to scan.
+
+#ifndef EGOBW_GRAPH_FORWARD_STAR_H_
+#define EGOBW_GRAPH_FORWARD_STAR_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/degree_order.h"
+#include "graph/graph.h"
+
+namespace egobw {
+
+/// CSR over the ≺-forward edges of a graph. Construction is O(n + m);
+/// every undirected edge appears exactly once, on its ≺-smaller endpoint.
+class ForwardStar {
+ public:
+  ForwardStar(const Graph& g, const DegreeOrder& order);
+
+  /// ≺-later neighbors of u, sorted ascending by vertex id.
+  std::span<const VertexId> Neighbors(VertexId u) const {
+    return {adj_.data() + offsets_[u], offsets_[u + 1] - offsets_[u]};
+  }
+
+  /// Edge ids parallel to Neighbors(u).
+  std::span<const EdgeId> Edges(VertexId u) const {
+    return {adj_edge_.data() + offsets_[u], offsets_[u + 1] - offsets_[u]};
+  }
+
+  uint32_t OutDegree(VertexId u) const {
+    return static_cast<uint32_t>(offsets_[u + 1] - offsets_[u]);
+  }
+
+  /// Total forward edges (== the graph's undirected edge count).
+  uint64_t NumEdges() const { return adj_.size(); }
+
+  size_t MemoryBytes() const {
+    return offsets_.capacity() * sizeof(uint64_t) +
+           adj_.capacity() * sizeof(VertexId) +
+           adj_edge_.capacity() * sizeof(EdgeId);
+  }
+
+ private:
+  std::vector<uint64_t> offsets_;  // n + 1
+  std::vector<VertexId> adj_;      // m
+  std::vector<EdgeId> adj_edge_;   // m
+};
+
+}  // namespace egobw
+
+#endif  // EGOBW_GRAPH_FORWARD_STAR_H_

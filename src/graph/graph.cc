@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "graph/degree_order.h"
+#include "graph/graph_builder.h"
+
 namespace egobw {
 
 bool Graph::HasEdge(VertexId u, VertexId v) const {
@@ -18,6 +21,21 @@ void Graph::CommonNeighbors(VertexId u, VertexId v,
   auto nv = Neighbors(v);
   std::set_intersection(nu.begin(), nu.end(), nv.begin(), nv.end(),
                         std::back_inserter(*out));
+}
+
+Graph Graph::RelabeledByDegree(std::vector<VertexId>* old_to_new) const {
+  DegreeOrder order(*this);
+  GraphBuilder builder(NumVertices());
+  for (const auto& [u, v] : edges_) {
+    builder.AddEdge(order.Rank(u), order.Rank(v));
+  }
+  if (old_to_new != nullptr) {
+    old_to_new->resize(NumVertices());
+    for (VertexId v = 0; v < NumVertices(); ++v) {
+      (*old_to_new)[v] = order.Rank(v);
+    }
+  }
+  return builder.Build();
 }
 
 uint64_t Graph::TotalWedges() const {

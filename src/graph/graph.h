@@ -73,6 +73,14 @@ class Graph {
   /// Sum over vertices of C(d, 2); useful for sizing estimates.
   uint64_t TotalWedges() const;
 
+  /// Isomorphic copy with vertices relabeled by the total order ≺:
+  /// new id = ≺-rank (0 = highest degree). Adjacency lists stay sorted by
+  /// (new) id, so a vertex's ≺-forward neighbors become a contiguous
+  /// suffix and intersections scan degree-clustered, cache-friendly memory.
+  /// When `old_to_new` is non-null it receives the permutation
+  /// (*old_to_new)[old_id] == new_id. Edge ids are NOT preserved.
+  Graph RelabeledByDegree(std::vector<VertexId>* old_to_new = nullptr) const;
+
   /// Bytes of heap memory held by the CSR arrays.
   size_t MemoryBytes() const;
 

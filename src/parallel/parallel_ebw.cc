@@ -4,10 +4,12 @@
 #include <memory>
 #include <mutex>
 
+#include "core/diamond_kernel.h"
 #include "core/smap_store.h"
 #include "graph/degree_order.h"
 #include "graph/edge_set.h"
-#include "util/bitset.h"
+#include "graph/forward_star.h"
+#include "util/neighborhood_bitmap.h"
 #include "util/spinlock.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -16,9 +18,11 @@ namespace egobw {
 namespace {
 
 struct WorkerScratch {
-  explicit WorkerScratch(uint32_t n) : marker(n), marked_for(~0u) {}
-  VisitMarker marker;
+  explicit WorkerScratch(uint32_t n)
+      : marker(n), marked_for(~0u), kernel(n) {}
+  EpochBitset marker;
   VertexId marked_for;  // Vertex whose neighborhood is currently marked.
+  DiamondKernel kernel;
   std::vector<VertexId> common;
   std::vector<std::pair<VertexId, VertexId>> nonadj_pairs;
   uint64_t edges = 0;
@@ -28,13 +32,15 @@ struct WorkerScratch {
 
 class ParallelEngine {
  public:
-  ParallelEngine(const Graph& g, size_t threads)
+  ParallelEngine(const Graph& g, size_t threads, KernelMode mode)
       : g_(g),
         edge_set_(g),
         order_(g),
+        fwd_(g, order_),
         smaps_(g),
         locks_(4096),
-        threads_(threads == 0 ? 1 : threads) {
+        threads_(threads == 0 ? 1 : threads),
+        mode_(mode) {
     scratch_.reserve(threads_);
     for (size_t t = 0; t < threads_; ++t) {
       scratch_.push_back(std::make_unique<WorkerScratch>(g.NumVertices()));
@@ -46,35 +52,33 @@ class ParallelEngine {
   void ProcessEdge(VertexId u, VertexId v, WorkerScratch* ws) {
     ws->common.clear();
     for (VertexId w : g_.Neighbors(v)) {
-      if (ws->marker.IsMarked(w)) ws->common.push_back(w);
+      if (ws->marker.Test(w)) ws->common.push_back(w);
     }
     ++ws->edges;
     ws->triangles += ws->common.size();
 
     // Collect rule-B pairs outside any lock (EdgeSet reads are const).
     ws->nonadj_pairs.clear();
-    for (size_t i = 0; i < ws->common.size(); ++i) {
-      for (size_t j = i + 1; j < ws->common.size(); ++j) {
-        VertexId x = ws->common[i];
-        VertexId y = ws->common[j];
-        if (!edge_set_.Contains(x, y)) ws->nonadj_pairs.emplace_back(x, y);
-      }
+    auto emit = [ws](VertexId x, VertexId y) {
+      ws->nonadj_pairs.emplace_back(x, y);
+    };
+    if (mode_ == KernelMode::kBitmap) {
+      ws->kernel.ForEachNonAdjacentPair(g_, edge_set_, ws->common, emit);
+    } else {
+      DiamondKernel::ForEachNonAdjacentPairLegacy(edge_set_, ws->common,
+                                                  emit);
     }
     ws->increments += 2 * ws->nonadj_pairs.size();
 
     {
       std::lock_guard<Spinlock> lk(locks_.For(u));
-      for (VertexId w : ws->common) smaps_.SetAdjacent(u, v, w);
-      for (const auto& [x, y] : ws->nonadj_pairs) {
-        smaps_.AddConnectors(u, x, y, 1);
-      }
+      smaps_.SetAdjacentBatch(u, v, ws->common);
+      smaps_.AddConnectorsBatch(u, ws->nonadj_pairs, 1);
     }
     {
       std::lock_guard<Spinlock> lk(locks_.For(v));
-      for (VertexId w : ws->common) smaps_.SetAdjacent(v, u, w);
-      for (const auto& [x, y] : ws->nonadj_pairs) {
-        smaps_.AddConnectors(v, x, y, 1);
-      }
+      smaps_.SetAdjacentBatch(v, u, ws->common);
+      smaps_.AddConnectorsBatch(v, ws->nonadj_pairs, 1);
     }
     for (VertexId w : ws->common) {
       std::lock_guard<Spinlock> lk(locks_.For(w));
@@ -85,40 +89,38 @@ class ParallelEngine {
   void EnsureMarked(VertexId u, WorkerScratch* ws) {
     if (ws->marked_for == u) return;
     ws->marker.Clear();
-    for (VertexId w : g_.Neighbors(u)) ws->marker.Mark(w);
+    for (VertexId w : g_.Neighbors(u)) ws->marker.Set(w);
     ws->marked_for = u;
   }
 
   // Vertex-granular phase 1.
   void RunVertexParallel() {
-    ParallelForWorker(
-        0, g_.NumVertices(), threads_, /*grain=*/16,
-        [this](uint64_t i, size_t worker) {
-          WorkerScratch* ws = scratch_[worker].get();
-          VertexId u = order_.At(static_cast<uint32_t>(i));
-          EnsureMarked(u, ws);
-          for (VertexId v : g_.Neighbors(u)) {
-            if (order_.Precedes(u, v)) ProcessEdge(u, v, ws);
-          }
-        });
+    ParallelForWorker(0, g_.NumVertices(), threads_, /*grain=*/16,
+                      [this](uint64_t i, size_t worker) {
+                        WorkerScratch* ws = scratch_[worker].get();
+                        VertexId u = order_.At(static_cast<uint32_t>(i));
+                        if (fwd_.OutDegree(u) == 0) return;
+                        EnsureMarked(u, ws);
+                        for (VertexId v : fwd_.Neighbors(u)) {
+                          ProcessEdge(u, v, ws);
+                        }
+                      });
   }
 
   // Edge-granular phase 1.
   void RunEdgeParallel() {
     // Directed forward edge list, grouped by source so consecutive tasks
     // usually reuse the worker's marked neighborhood.
-    std::vector<std::pair<VertexId, VertexId>> fwd;
-    fwd.reserve(g_.NumEdges());
+    std::vector<std::pair<VertexId, VertexId>> flat;
+    flat.reserve(fwd_.NumEdges());
     for (uint32_t i = 0; i < g_.NumVertices(); ++i) {
       VertexId u = order_.At(i);
-      for (VertexId v : g_.Neighbors(u)) {
-        if (order_.Precedes(u, v)) fwd.emplace_back(u, v);
-      }
+      for (VertexId v : fwd_.Neighbors(u)) flat.emplace_back(u, v);
     }
-    ParallelForWorker(0, fwd.size(), threads_, /*grain=*/128,
-                      [this, &fwd](uint64_t i, size_t worker) {
+    ParallelForWorker(0, flat.size(), threads_, /*grain=*/128,
+                      [this, &flat](uint64_t i, size_t worker) {
                         WorkerScratch* ws = scratch_[worker].get();
-                        auto [u, v] = fwd[i];
+                        auto [u, v] = flat[i];
                         EnsureMarked(u, ws);
                         ProcessEdge(u, v, ws);
                       });
@@ -149,34 +151,55 @@ class ParallelEngine {
   const Graph& g_;
   EdgeSet edge_set_;
   DegreeOrder order_;
+  ForwardStar fwd_;
   SMapStore smaps_;
   StripedLocks locks_;
   size_t threads_;
+  KernelMode mode_;
   std::vector<std::unique_ptr<WorkerScratch>> scratch_;
 };
 
-}  // namespace
-
-std::vector<double> VertexPEBW(const Graph& g, size_t threads,
-                               SearchStats* stats) {
+template <typename RunPhase1>
+std::vector<double> RunPEBW(const Graph& g, size_t threads,
+                            SearchStats* stats, const PEBWOptions& options,
+                            RunPhase1&& phase1) {
   WallTimer timer;
-  ParallelEngine engine(g, threads);
-  engine.RunVertexParallel();
-  std::vector<double> cb = engine.Evaluate();
-  engine.FillStats(stats);
+  std::vector<double> cb;
+  if (options.relabel_by_degree) {
+    // Work on the degree-relabeled isomorphic copy, scatter values back.
+    std::vector<VertexId> old_to_new;
+    Graph relabeled = g.RelabeledByDegree(&old_to_new);
+    ParallelEngine engine(relabeled, threads, DefaultKernelMode());
+    phase1(&engine);
+    std::vector<double> cb_rel = engine.Evaluate();
+    engine.FillStats(stats);
+    cb.resize(g.NumVertices());
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      cb[v] = cb_rel[old_to_new[v]];
+    }
+  } else {
+    ParallelEngine engine(g, threads, DefaultKernelMode());
+    phase1(&engine);
+    cb = engine.Evaluate();
+    engine.FillStats(stats);
+  }
   if (stats != nullptr) stats->elapsed_seconds += timer.Seconds();
   return cb;
 }
 
+}  // namespace
+
+std::vector<double> VertexPEBW(const Graph& g, size_t threads,
+                               SearchStats* stats,
+                               const PEBWOptions& options) {
+  return RunPEBW(g, threads, stats, options,
+                 [](ParallelEngine* e) { e->RunVertexParallel(); });
+}
+
 std::vector<double> EdgePEBW(const Graph& g, size_t threads,
-                             SearchStats* stats) {
-  WallTimer timer;
-  ParallelEngine engine(g, threads);
-  engine.RunEdgeParallel();
-  std::vector<double> cb = engine.Evaluate();
-  engine.FillStats(stats);
-  if (stats != nullptr) stats->elapsed_seconds += timer.Seconds();
-  return cb;
+                             SearchStats* stats, const PEBWOptions& options) {
+  return RunPEBW(g, threads, stats, options,
+                 [](ParallelEngine* e) { e->RunEdgeParallel(); });
 }
 
 }  // namespace egobw

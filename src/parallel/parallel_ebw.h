@@ -10,6 +10,11 @@
 // S-map updates are serialized per target vertex with striped spinlocks;
 // connector counting is commutative, so results are independent of
 // scheduling and exactly equal the sequential values.
+//
+// Each worker owns a DiamondKernel (word-packed Rule-B scratch, see
+// core/diamond_kernel.h); with `relabel_by_degree` the engine runs on a
+// degree-relabeled isomorphic copy so intersections scan degree-clustered
+// memory, then scatters the values back to the caller's vertex ids.
 
 #ifndef EGOBW_PARALLEL_PARALLEL_EBW_H_
 #define EGOBW_PARALLEL_PARALLEL_EBW_H_
@@ -22,13 +27,22 @@
 
 namespace egobw {
 
+/// Engine knobs shared by both granularities.
+struct PEBWOptions {
+  /// Run on a Graph::RelabeledByDegree copy (one O(m) rebuild, better
+  /// locality on power-law graphs). Results are identical either way.
+  bool relabel_by_degree = true;
+};
+
 /// Vertex-granular parallel all-vertex ego-betweenness.
 std::vector<double> VertexPEBW(const Graph& g, size_t threads,
-                               SearchStats* stats = nullptr);
+                               SearchStats* stats = nullptr,
+                               const PEBWOptions& options = {});
 
 /// Edge-granular parallel all-vertex ego-betweenness.
 std::vector<double> EdgePEBW(const Graph& g, size_t threads,
-                             SearchStats* stats = nullptr);
+                             SearchStats* stats = nullptr,
+                             const PEBWOptions& options = {});
 
 }  // namespace egobw
 

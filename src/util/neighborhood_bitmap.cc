@@ -1,0 +1,26 @@
+#include "util/neighborhood_bitmap.h"
+
+namespace egobw {
+
+uint64_t EpochBitset::IntersectCount(const EpochBitset& other) const {
+  EGOBW_DCHECK(num_bits_ == other.num_bits_);
+  uint64_t count = 0;
+  for (size_t w = 0; w < words_.size(); ++w) {
+    count += static_cast<uint64_t>(std::popcount(Word(w) & other.Word(w)));
+  }
+  return count;
+}
+
+void EpochBitset::IntersectInto(const EpochBitset& other,
+                                std::vector<uint32_t>* out) const {
+  EGOBW_DCHECK(num_bits_ == other.num_bits_);
+  for (size_t w = 0; w < words_.size(); ++w) {
+    uint64_t bits = Word(w) & other.Word(w);
+    while (bits != 0) {
+      out->push_back(static_cast<uint32_t>((w << 6) + std::countr_zero(bits)));
+      bits &= bits - 1;
+    }
+  }
+}
+
+}  // namespace egobw

@@ -18,7 +18,17 @@ size_t PairCountMap::FindSlot(uint64_t key) const {
 }
 
 void PairCountMap::Grow() {
-  size_t new_cap = keys_.empty() ? 8 : keys_.size() * 2;
+  Rehash(keys_.empty() ? 8 : keys_.size() * 2);
+}
+
+void PairCountMap::Reserve(size_t n) {
+  if (n == 0) return;  // Never materialize a table for an empty request.
+  size_t cap = keys_.empty() ? 8 : keys_.size();
+  while (n * 4 >= cap * 3) cap *= 2;
+  if (cap > keys_.size()) Rehash(cap);
+}
+
+void PairCountMap::Rehash(size_t new_cap) {
   std::vector<uint64_t> old_keys = std::move(keys_);
   std::vector<int32_t> old_vals = std::move(vals_);
   keys_.assign(new_cap, kEmpty);

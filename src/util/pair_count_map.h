@@ -52,6 +52,10 @@ class PairCountMap {
   /// Erases the pair if present; returns its previous value or `absent`.
   int32_t Erase(uint64_t key, int32_t absent);
 
+  /// Ensures capacity for `n` total entries without intermediate rehashes —
+  /// batched inserters call this once per batch to kill rehash storms.
+  void Reserve(size_t n);
+
   /// Removes all entries but keeps capacity.
   void Clear();
 
@@ -74,6 +78,7 @@ class PairCountMap {
 
   size_t Slot(uint64_t key) const { return Mix64(key) & (keys_.size() - 1); }
   void Grow();
+  void Rehash(size_t new_cap);
   // Finds the slot of key, or the first empty slot in its probe chain.
   size_t FindSlot(uint64_t key) const;
   void InsertNew(uint64_t key, int32_t val);

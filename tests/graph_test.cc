@@ -14,6 +14,7 @@
 #include "graph/dynamic_graph.h"
 #include "graph/edge_set.h"
 #include "graph/example_graphs.h"
+#include "graph/forward_star.h"
 #include "graph/generators.h"
 #include "graph/graph.h"
 #include "graph/graph_builder.h"
@@ -475,6 +476,38 @@ TEST(ExampleGraphsTest, PaperFigure1Shape) {
 TEST(ExampleGraphsTest, PaperFigure1NamesRoundTrip) {
   for (VertexId v = 0; v < 16; ++v) {
     EXPECT_EQ(PaperFigure1Id(PaperFigure1Name(v)[0]), v);
+  }
+}
+
+TEST(ForwardStarTest, PartitionsEveryEdgeOntoItsSmallerEndpoint) {
+  Graph g = BarabasiAlbert(300, 5, 77);
+  DegreeOrder order(g);
+  ForwardStar fwd(g, order);
+  EXPECT_EQ(fwd.NumEdges(), g.NumEdges());
+  std::set<EdgeId> seen;
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    auto nbrs = fwd.Neighbors(u);
+    auto eids = fwd.Edges(u);
+    ASSERT_EQ(nbrs.size(), eids.size());
+    ASSERT_EQ(nbrs.size(), fwd.OutDegree(u));
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      EXPECT_TRUE(order.Precedes(u, nbrs[i]));
+      EXPECT_TRUE(g.HasEdge(u, nbrs[i]));
+      EXPECT_TRUE(seen.insert(eids[i]).second) << "edge listed twice";
+      if (i > 0) EXPECT_LT(nbrs[i - 1], nbrs[i]);  // Sorted like the CSR.
+    }
+  }
+  EXPECT_EQ(seen.size(), g.NumEdges());
+}
+
+TEST(ForwardStarTest, FamilyShapes) {
+  // In a star, the center precedes every leaf, so it owns all forward edges.
+  Graph s = Star(8);
+  DegreeOrder order(s);
+  ForwardStar fwd(s, order);
+  EXPECT_EQ(fwd.OutDegree(0), 7u);
+  for (VertexId leaf = 1; leaf < 8; ++leaf) {
+    EXPECT_EQ(fwd.OutDegree(leaf), 0u);
   }
 }
 

@@ -1,0 +1,240 @@
+// Differential property tests: the word-packed bitmap Rule-B kernel must be
+// observationally indistinguishable from the legacy per-pair EdgeSet-probe
+// path. "Indistinguishable" is checked at three depths on every graph:
+//   * identical complete S maps (exact entry sets, connector counts),
+//   * bit-for-bit identical ũb trajectories inside OptBSearch (every
+//     OnPop/OnBound value the heap ever sees),
+//   * bit-for-bit identical top-k answers (vertex sets AND CB doubles) for
+//     BaseBSearch, OptBSearch, the all-vertex pass and both PEBW variants,
+//     all cross-checked against the naive per-vertex oracle.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "core/all_ego.h"
+#include "core/base_search.h"
+#include "core/diamond_kernel.h"
+#include "core/edge_processor.h"
+#include "core/naive.h"
+#include "core/opt_search.h"
+#include "core/smap_store.h"
+#include "graph/example_graphs.h"
+#include "graph/generators.h"
+#include "parallel/parallel_ebw.h"
+
+namespace egobw {
+namespace {
+
+// The graph family the differential property runs over: the paper's running
+// example, Erdős–Rényi at several densities, heavy-tailed Barabási–Albert
+// (plain and Holme–Kim clustered), small-world, and a collaboration model.
+std::vector<std::pair<std::string, Graph>> TestGraphs() {
+  std::vector<std::pair<std::string, Graph>> graphs;
+  graphs.emplace_back("paper_fig1", PaperFigure1());
+  graphs.emplace_back("er_sparse", ErdosRenyi(400, 800, 11));
+  graphs.emplace_back("er_dense", ErdosRenyi(200, 4000, 22));
+  graphs.emplace_back("ba_plain", BarabasiAlbert(600, 6, 33));
+  graphs.emplace_back("ba_clustered", BarabasiAlbert(500, 8, 44, 0.5));
+  graphs.emplace_back("watts_strogatz", WattsStrogatz(400, 6, 0.1, 55));
+  graphs.emplace_back("collab", Collaboration(300, 400, 6, 8, 0.2, 66));
+  return graphs;
+}
+
+template <typename Fn>
+auto WithKernel(KernelMode mode, Fn&& fn) {
+  KernelMode prev = DefaultKernelMode();
+  SetDefaultKernelMode(mode);
+  auto result = fn();
+  SetDefaultKernelMode(prev);
+  return result;
+}
+
+// Full S-map contents of a completed all-vertex pass, as per-vertex sorted
+// (key, value) lists — the strongest equality we can assert.
+std::vector<std::vector<std::pair<uint64_t, int32_t>>> DumpMaps(
+    const SMapStore& smaps) {
+  std::vector<std::vector<std::pair<uint64_t, int32_t>>> dump(
+      smaps.NumVertices());
+  for (VertexId u = 0; u < smaps.NumVertices(); ++u) {
+    smaps.MapOf(u).ForEach([&dump, u](uint64_t key, int32_t val) {
+      dump[u].emplace_back(key, val);
+    });
+    std::sort(dump[u].begin(), dump[u].end());
+  }
+  return dump;
+}
+
+// Records every pop/bound/pushback/exact event OptBSearch emits.
+struct TraceObserver : SearchObserver {
+  std::vector<std::pair<VertexId, double>> pops, bounds, pushbacks, exacts;
+  void OnPop(VertexId v, double b) override { pops.emplace_back(v, b); }
+  void OnBound(VertexId v, double b) override { bounds.emplace_back(v, b); }
+  void OnPushBack(VertexId v, double b) override {
+    pushbacks.emplace_back(v, b);
+  }
+  void OnExact(VertexId v, double cb) override { exacts.emplace_back(v, cb); }
+};
+
+// Exact (bitwise) double equality — the acceptance bar for this PR.
+void ExpectBitEqual(const std::vector<double>& a, const std::vector<double>& b,
+                    const std::string& what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (size_t i = 0; i < a.size(); ++i) {
+    uint64_t ab, bb;
+    std::memcpy(&ab, &a[i], sizeof(ab));
+    std::memcpy(&bb, &b[i], sizeof(bb));
+    EXPECT_EQ(ab, bb) << what << " diverges at vertex " << i << ": " << a[i]
+                      << " vs " << b[i];
+  }
+}
+
+void ExpectTopKBitEqual(const TopKResult& a, const TopKResult& b,
+                        const std::string& what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].vertex, b[i].vertex) << what << " rank " << i;
+    uint64_t ab, bb;
+    std::memcpy(&ab, &a[i].cb, sizeof(ab));
+    std::memcpy(&bb, &b[i].cb, sizeof(bb));
+    EXPECT_EQ(ab, bb) << what << " CB at rank " << i << ": " << a[i].cb
+                      << " vs " << b[i].cb;
+  }
+}
+
+TEST(KernelEquivalence, AllVertexPassMapsAndValuesIdentical) {
+  for (const auto& [name, g] : TestGraphs()) {
+    AllEgoState legacy = WithKernel(KernelMode::kLegacyProbe, [&] {
+      return ComputeAllEgoBetweennessWithState(g);
+    });
+    AllEgoState bitmap = WithKernel(KernelMode::kBitmap, [&] {
+      return ComputeAllEgoBetweennessWithState(g);
+    });
+    ExpectBitEqual(legacy.cb, bitmap.cb, name + " all-ego CB");
+    EXPECT_EQ(DumpMaps(*legacy.smaps), DumpMaps(*bitmap.smaps))
+        << name << " S-map contents diverge";
+    // Cross-check against the naive per-vertex oracle (different summation
+    // order, hence tolerance rather than bit equality).
+    std::vector<double> naive = ComputeAllEgoBetweennessNaive(g);
+    for (VertexId u = 0; u < g.NumVertices(); ++u) {
+      EXPECT_NEAR(bitmap.cb[u], naive[u], 1e-9)
+          << name << " disagrees with the oracle at vertex " << u;
+    }
+  }
+}
+
+TEST(KernelEquivalence, OptBSearchTrajectoriesAndTopKIdentical) {
+  for (const auto& [name, g] : TestGraphs()) {
+    for (uint32_t k : {1u, 5u, 25u}) {
+      TraceObserver legacy_trace, bitmap_trace;
+      OptBSearchOptions legacy_opts, bitmap_opts;
+      legacy_opts.observer = &legacy_trace;
+      bitmap_opts.observer = &bitmap_trace;
+      TopKResult legacy = WithKernel(KernelMode::kLegacyProbe, [&] {
+        return OptBSearch(g, k, legacy_opts);
+      });
+      TopKResult bitmap = WithKernel(KernelMode::kBitmap, [&] {
+        return OptBSearch(g, k, bitmap_opts);
+      });
+      ExpectTopKBitEqual(legacy, bitmap, name + " OptBSearch k=" +
+                                             std::to_string(k));
+      // The dynamic bound ũb must evolve identically — every heap event.
+      EXPECT_EQ(legacy_trace.pops, bitmap_trace.pops) << name;
+      EXPECT_EQ(legacy_trace.bounds, bitmap_trace.bounds) << name;
+      EXPECT_EQ(legacy_trace.pushbacks, bitmap_trace.pushbacks) << name;
+      EXPECT_EQ(legacy_trace.exacts, bitmap_trace.exacts) << name;
+    }
+  }
+}
+
+TEST(KernelEquivalence, BaseBSearchTopKIdentical) {
+  for (const auto& [name, g] : TestGraphs()) {
+    for (uint32_t k : {1u, 10u}) {
+      TopKResult legacy = WithKernel(KernelMode::kLegacyProbe, [&] {
+        return BaseBSearch(g, k);
+      });
+      TopKResult bitmap = WithKernel(KernelMode::kBitmap, [&] {
+        return BaseBSearch(g, k);
+      });
+      ExpectTopKBitEqual(legacy, bitmap,
+                         name + " BaseBSearch k=" + std::to_string(k));
+    }
+  }
+}
+
+TEST(KernelEquivalence, ParallelEnginesMatchSerialBitForBit) {
+  // Complete S maps are schedule-invariant and EvaluateExact is
+  // iteration-order-independent, so even the parallel engines must
+  // reproduce the serial doubles exactly — under every kernel, with and
+  // without degree relabeling.
+  for (const auto& [name, g] : TestGraphs()) {
+    std::vector<double> serial = ComputeAllEgoBetweenness(g);
+    for (KernelMode mode : {KernelMode::kLegacyProbe, KernelMode::kBitmap}) {
+      for (bool relabel : {false, true}) {
+        PEBWOptions options;
+        options.relabel_by_degree = relabel;
+        std::vector<double> vertex = WithKernel(mode, [&] {
+          return VertexPEBW(g, 4, nullptr, options);
+        });
+        std::vector<double> edge = WithKernel(mode, [&] {
+          return EdgePEBW(g, 4, nullptr, options);
+        });
+        std::string what = name + (relabel ? " relabeled" : " direct") +
+                           (mode == KernelMode::kBitmap ? " bitmap"
+                                                        : " legacy");
+        ExpectBitEqual(serial, vertex, what + " VertexPEBW");
+        ExpectBitEqual(serial, edge, what + " EdgePEBW");
+      }
+    }
+  }
+}
+
+TEST(KernelEquivalence, RelabeledGraphIsIsomorphic) {
+  for (const auto& [name, g] : TestGraphs()) {
+    std::vector<VertexId> old_to_new;
+    Graph relabeled = g.RelabeledByDegree(&old_to_new);
+    ASSERT_EQ(relabeled.NumVertices(), g.NumVertices()) << name;
+    ASSERT_EQ(relabeled.NumEdges(), g.NumEdges()) << name;
+    // Degrees transport through the permutation, and new ids are sorted by
+    // non-increasing degree (the whole point of the relabeling).
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      EXPECT_EQ(g.Degree(v), relabeled.Degree(old_to_new[v])) << name;
+    }
+    for (VertexId v = 0; v + 1 < relabeled.NumVertices(); ++v) {
+      EXPECT_GE(relabeled.Degree(v), relabeled.Degree(v + 1)) << name;
+    }
+    for (const auto& [u, v] : g.Edges()) {
+      EXPECT_TRUE(relabeled.HasEdge(old_to_new[u], old_to_new[v])) << name;
+    }
+  }
+}
+
+// Direct kernel-level differential: both kernels must emit the exact same
+// pair sequence for arbitrary common neighborhoods.
+TEST(KernelEquivalence, EmissionOrderMatchesLegacy) {
+  for (const auto& [name, g] : TestGraphs()) {
+    EdgeSet edges(g);
+    DiamondKernel kernel(g.NumVertices());
+    std::vector<VertexId> c;
+    for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+      auto [u, v] = g.EdgeEndpoints(e);
+      g.CommonNeighbors(u, v, &c);
+      std::vector<std::pair<VertexId, VertexId>> legacy, bitmap;
+      DiamondKernel::ForEachNonAdjacentPairLegacy(
+          edges, c,
+          [&legacy](VertexId x, VertexId y) { legacy.emplace_back(x, y); });
+      kernel.ForEachNonAdjacentPair(
+          g, edges, c,
+          [&bitmap](VertexId x, VertexId y) { bitmap.emplace_back(x, y); });
+      ASSERT_EQ(legacy, bitmap)
+          << name << " kernels diverge on edge (" << u << ", " << v << ")";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace egobw

@@ -15,6 +15,7 @@
 #include "util/fraction.h"
 #include "util/hash.h"
 #include "util/indexed_max_heap.h"
+#include "util/neighborhood_bitmap.h"
 #include "util/pair_count_map.h"
 #include "util/random.h"
 #include "util/status.h"
@@ -494,6 +495,104 @@ TEST(TablePrinterTest, Formatting) {
   EXPECT_EQ(TablePrinter::Fmt(1.23456, 2), "1.23");
   EXPECT_EQ(TablePrinter::Fmt(uint64_t{12}), "12");
   EXPECT_EQ(TablePrinter::Percent(0.785, 1), "78.5%");
+}
+
+// ----------------------------------------------------------- EpochBitset etc.
+
+TEST(EpochBitsetTest, SetTestClear) {
+  EpochBitset b(200);
+  EXPECT_FALSE(b.Test(0));
+  b.Set(0);
+  b.Set(63);
+  b.Set(64);
+  b.Set(199);
+  EXPECT_TRUE(b.Test(0));
+  EXPECT_TRUE(b.Test(63));
+  EXPECT_TRUE(b.Test(64));
+  EXPECT_TRUE(b.Test(199));
+  EXPECT_FALSE(b.Test(1));
+  b.Clear();
+  EXPECT_FALSE(b.Test(0));
+  EXPECT_FALSE(b.Test(199));
+  EXPECT_EQ(b.Word(0), 0u);
+  b.Set(5);
+  EXPECT_EQ(b.Word(0), 1ULL << 5);  // Lazily re-zeroed, only the new bit.
+}
+
+TEST(EpochBitsetTest, WordParallelIntersection) {
+  EpochBitset a(300), b(300);
+  for (uint32_t i = 0; i < 300; i += 3) a.Set(i);
+  for (uint32_t i = 0; i < 300; i += 5) b.Set(i);
+  EXPECT_EQ(a.IntersectCount(b), 20u);  // Multiples of 15 in [0, 300).
+  std::vector<uint32_t> out;
+  a.IntersectInto(b, &out);
+  ASSERT_EQ(out.size(), 20u);
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<uint32_t>(15 * i));
+  }
+}
+
+TEST(NeighborhoodIndexTest, PositionsFollowTheLatestBegin) {
+  NeighborhoodIndex idx(50);
+  std::vector<uint32_t> c1 = {3, 7, 40};
+  idx.Begin(c1);
+  EXPECT_EQ(idx.PositionOf(3), 0);
+  EXPECT_EQ(idx.PositionOf(7), 1);
+  EXPECT_EQ(idx.PositionOf(40), 2);
+  EXPECT_EQ(idx.PositionOf(5), -1);
+  std::vector<uint32_t> c2 = {7, 5};
+  idx.Begin(c2);
+  EXPECT_EQ(idx.PositionOf(7), 0);
+  EXPECT_EQ(idx.PositionOf(5), 1);
+  EXPECT_EQ(idx.PositionOf(3), -1);  // Stale entry from the previous epoch.
+}
+
+TEST(PositionMatrixTest, ComplementScanRespectsRangeAndWordBoundaries) {
+  PositionMatrix m;
+  // 130 positions spans three words; fill row 1 except a few holes.
+  m.Reset(130);
+  std::vector<uint32_t> holes = {0, 63, 64, 100, 129};
+  for (uint32_t p = 0; p < 130; ++p) {
+    if (std::find(holes.begin(), holes.end(), p) == holes.end()) m.Set(1, p);
+  }
+  std::vector<uint32_t> zeros;
+  m.ForEachZeroAbove(1, [&zeros](uint32_t p) { zeros.push_back(p); });
+  EXPECT_EQ(zeros, (std::vector<uint32_t>{63, 64, 100, 129}));
+  zeros.clear();
+  m.ForEachZeroAbove(64, [&zeros](uint32_t p) { zeros.push_back(p); });
+  // Row 64 is empty, so everything above 64 is a zero.
+  EXPECT_EQ(zeros.size(), 130u - 65u);
+  zeros.clear();
+  m.ForEachZeroAbove(129, [&zeros](uint32_t p) { zeros.push_back(p); });
+  EXPECT_TRUE(zeros.empty());
+}
+
+TEST(PositionMatrixTest, SymmetricSetAndReset) {
+  PositionMatrix m;
+  m.Reset(70);
+  m.SetSymmetric(3, 68);
+  EXPECT_TRUE(m.Test(3, 68));
+  EXPECT_TRUE(m.Test(68, 3));
+  EXPECT_FALSE(m.Test(3, 67));
+  m.Reset(70);  // Reuse must clear previous contents.
+  EXPECT_FALSE(m.Test(3, 68));
+  m.Reset(2);  // Shrinking reuse keeps row addressing consistent.
+  m.SetSymmetric(0, 1);
+  EXPECT_TRUE(m.Test(0, 1));
+  EXPECT_TRUE(m.Test(1, 0));
+}
+
+TEST(PairCountMapTest, ReserveAvoidsRehashAndPreservesContents) {
+  PairCountMap m;
+  for (uint32_t i = 0; i < 10; ++i) m.AddCount(PackPair(i, i + 100), 2);
+  m.Reserve(5000);
+  size_t bytes = m.MemoryBytes();
+  for (uint32_t i = 10; i < 5000; ++i) m.AddCount(PackPair(i, i + 10000), 1);
+  EXPECT_EQ(m.MemoryBytes(), bytes);  // No growth after the reservation.
+  EXPECT_EQ(m.size(), 5000u);
+  for (uint32_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(m.GetOr(PackPair(i, i + 100), -1), 2);
+  }
 }
 
 }  // namespace
