@@ -1,26 +1,34 @@
 // Fig. 6 of the paper: BaseBSearch vs OptBSearch runtime while varying
 // k in {50, 100, 200, 500, 1000, 2000} on all five datasets.
 // Expected shape: both grow with k; OptBSearch is consistently faster
-// (the paper reports roughly 6-23x).
+// (the paper reports roughly 6-23x). The extra ParallelOptBSearch column
+// runs the bounded search on all hardware threads (same answer, verified
+// elsewhere; bench/topk_scaling.cc has the full thread sweep).
 
+#include <algorithm>
 #include <cstdio>
+#include <thread>
 
 #include "benchlib/datasets.h"
 #include "benchlib/reporting.h"
 #include "benchlib/workloads.h"
 #include "core/base_search.h"
 #include "core/opt_search.h"
+#include "parallel/parallel_opt_search.h"
 #include "util/table_printer.h"
 #include "util/timer.h"
 
 int main() {
   using namespace egobw;
+  size_t hw = std::max<size_t>(1, std::thread::hardware_concurrency());
   PrintExperimentHeader("Fig. 6",
-                        "Top-k search runtime, BaseBSearch vs OptBSearch");
+                        "Top-k search runtime, BaseBSearch vs OptBSearch "
+                        "vs ParallelOptBSearch(" +
+                            std::to_string(hw) + "T)");
   for (const Dataset& d : StandardDatasets()) {
     std::printf("\n%s\n", DatasetSummary(d).c_str());
-    TablePrinter table(
-        {"k", "BaseBSearch (s)", "OptBSearch (s)", "speedup", "exact B/O"});
+    TablePrinter table({"k", "BaseBSearch (s)", "OptBSearch (s)", "speedup",
+                        "ParOpt (s)", "par speedup", "exact B/O/P"});
     for (uint32_t k : PaperKGrid()) {
       SearchStats bs;
       WallTimer t1;
@@ -30,13 +38,21 @@ int main() {
       WallTimer t2;
       OptBSearch(d.graph, k, {.theta = 1.05}, &os);
       double opt_sec = t2.Seconds();
+      SearchStats ps;
+      WallTimer t3;
+      ParallelOptBSearch(d.graph, k, hw, {.theta = 1.05}, &ps);
+      double par_sec = t3.Seconds();
       table.AddRow({TablePrinter::Fmt(uint64_t{k}),
                     TablePrinter::Fmt(base_sec, 4),
                     TablePrinter::Fmt(opt_sec, 4),
                     TablePrinter::Fmt(opt_sec > 0 ? base_sec / opt_sec : 0.0,
                                       2),
+                    TablePrinter::Fmt(par_sec, 4),
+                    TablePrinter::Fmt(par_sec > 0 ? opt_sec / par_sec : 0.0,
+                                      2),
                     TablePrinter::Fmt(bs.exact_computations) + "/" +
-                        TablePrinter::Fmt(os.exact_computations)});
+                        TablePrinter::Fmt(os.exact_computations) + "/" +
+                        TablePrinter::Fmt(ps.exact_computations)});
     }
     table.Print();
   }

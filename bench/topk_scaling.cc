@@ -1,0 +1,139 @@
+// Thread-scaling benchmark for the bounded top-k search, emitting a
+// machine-readable BENCH_topk.json so the parallel-search trajectory is
+// tracked across PRs (companion to BENCH_kernels.json).
+//
+// One R-MAT graph (default scale 17, the kernel bench's regime), one k:
+//   * serial row    — OptBSearch, the baseline the parallel engine must
+//     reproduce bit-for-bit,
+//   * thread rows   — ParallelOptBSearch at 1, 2, 4, ... workers, each
+//     verified against the serial answer before its time is reported.
+// The JSON records hardware_threads so single-core CI runs are readable
+// for what they are: correctness + overhead data, not scaling data.
+//
+// Usage: topk_scaling [output.json] [scale] [k] [theta] [max_threads]
+//   scale        R-MAT scale (default 17; CI smoke passes a smaller one)
+//   k            top-k size (default 100)
+//   theta        gradient ratio (default 1.05)
+//   max_threads  highest worker count measured (default 8)
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/opt_search.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "parallel/parallel_opt_search.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace egobw;
+
+struct Row {
+  std::string name;
+  size_t threads = 0;  // 0 = serial engine.
+  double seconds = 0.0;
+  uint64_t exact = 0;
+  uint64_t pushbacks = 0;
+  bool matches_serial = true;
+};
+
+bool SameAnswer(const TopKResult& a, const TopKResult& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].vertex != b[i].vertex || a[i].cb != b[i].cb) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::setvbuf(stdout, nullptr, _IOLBF, 0);  // Progress survives piping.
+  std::string out_path = argc > 1 ? argv[1] : "BENCH_topk.json";
+  uint32_t scale = argc > 2 ? static_cast<uint32_t>(std::atoi(argv[2])) : 17;
+  uint32_t k = argc > 3 ? static_cast<uint32_t>(std::atoi(argv[3])) : 100;
+  double theta = argc > 4 ? std::atof(argv[4]) : 1.05;
+  size_t max_threads =
+      argc > 5 ? static_cast<size_t>(std::atoll(argv[5])) : 8;
+
+  std::printf("Generating rmat scale %u...\n", scale);
+  Graph g = RMat(scale, 16, 0.57, 0.19, 0.19, 7);
+  std::printf("  n = %u, m = %llu, d_max = %u\n", g.NumVertices(),
+              static_cast<unsigned long long>(g.NumEdges()), g.MaxDegree());
+
+  std::vector<Row> rows;
+
+  std::printf("Serial OptBSearch, k = %u, theta = %.2f...\n", k, theta);
+  SearchStats serial_stats;
+  WallTimer serial_timer;
+  TopKResult serial = OptBSearch(g, k, {.theta = theta}, &serial_stats);
+  double serial_seconds = serial_timer.Seconds();
+  rows.push_back({"OptBSearch", 0, serial_seconds,
+                  serial_stats.exact_computations,
+                  serial_stats.heap_pushbacks, true});
+  std::printf("  %.3f s, %llu exact computations\n", serial_seconds,
+              static_cast<unsigned long long>(
+                  serial_stats.exact_computations));
+
+  for (size_t threads = 1; threads <= max_threads; threads *= 2) {
+    std::printf("ParallelOptBSearch, %zu thread%s...\n", threads,
+                threads == 1 ? "" : "s");
+    SearchStats stats;
+    WallTimer timer;
+    TopKResult par =
+        ParallelOptBSearch(g, k, threads, {.theta = theta}, &stats);
+    double seconds = timer.Seconds();
+    bool ok = SameAnswer(par, serial);
+    rows.push_back({"ParallelOptBSearch", threads, seconds,
+                    stats.exact_computations, stats.heap_pushbacks, ok});
+    std::printf("  %.3f s (%.2fx vs serial), %llu exact, answer %s\n",
+                seconds, seconds > 0 ? serial_seconds / seconds : 0.0,
+                static_cast<unsigned long long>(stats.exact_computations),
+                ok ? "identical" : "MISMATCH");
+  }
+
+  unsigned hw = std::thread::hardware_concurrency();
+  std::ofstream out(out_path);
+  char buf[256];
+  out << "{\n";
+  out << "  \"benchmark\": \"bounded_topk_thread_scaling\",\n";
+  std::snprintf(buf, sizeof(buf),
+                "  \"graph\": {\"generator\": \"rmat\", \"scale\": %u, "
+                "\"vertices\": %u, \"edges\": %llu},\n",
+                scale, g.NumVertices(),
+                static_cast<unsigned long long>(g.NumEdges()));
+  out << buf;
+  std::snprintf(buf, sizeof(buf),
+                "  \"k\": %u,\n  \"theta\": %.3f,\n"
+                "  \"hardware_threads\": %u,\n  \"rows\": [\n",
+                k, theta, hw);
+  out << buf;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::snprintf(
+        buf, sizeof(buf),
+        "    {\"engine\": \"%s\", \"threads\": %zu, \"seconds\": %.3f, "
+        "\"speedup_vs_serial\": %.3f, \"exact_computations\": %llu, "
+        "\"heap_pushbacks\": %llu, \"matches_serial\": %s}%s\n",
+        r.name.c_str(), r.threads, r.seconds,
+        r.seconds > 0 ? serial_seconds / r.seconds : 0.0,
+        static_cast<unsigned long long>(r.exact),
+        static_cast<unsigned long long>(r.pushbacks),
+        r.matches_serial ? "true" : "false",
+        i + 1 < rows.size() ? "," : "");
+    out << buf;
+  }
+  out << "  ]\n}\n";
+  std::printf("Wrote %s\n", out_path.c_str());
+
+  for (const Row& r : rows) {
+    if (!r.matches_serial) return 1;  // Differential failure is an error.
+  }
+  return 0;
+}

@@ -1,7 +1,7 @@
 // Command-line front end: top-k ego-betweenness over a SNAP edge list.
 //
 //   egobw_cli GRAPH.txt [--k N] [--algo opt|base|full|naive]
-//             [--theta T] [--inspect VERTEX]
+//             [--theta T] [--threads N] [--inspect VERTEX]
 //
 //   --k N          number of results (default 10)
 //   --algo A       opt    OptBSearch, dynamic bound (default)
@@ -9,6 +9,11 @@
 //                  full   shared-map full computation, then sort
 //                  naive  per-vertex straightforward algorithm, then sort
 //   --theta T      OptBSearch gradient ratio (default 1.05)
+//   --threads N    worker threads (default 1 = serial; 0 = all hardware
+//                  threads). With --algo opt the bounded search runs as
+//                  ParallelOptBSearch (same answer, bit for bit); with
+//                  --algo full the all-vertex pass runs as EdgePEBW.
+//                  base/naive are serial-only and warn if N > 1.
 //   --inspect V    additionally print ego-network stats for vertex V
 //
 // Exit code 0 on success, 1 on usage or input errors.
@@ -17,6 +22,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 
 #include "core/all_ego.h"
 #include "core/base_search.h"
@@ -24,6 +30,8 @@
 #include "core/opt_search.h"
 #include "graph/ego_network.h"
 #include "graph/io.h"
+#include "parallel/parallel_ebw.h"
+#include "parallel/parallel_opt_search.h"
 #include "util/table_printer.h"
 #include "util/timer.h"
 
@@ -34,7 +42,7 @@ using namespace egobw;
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s GRAPH.txt [--k N] [--algo opt|base|full|naive] "
-               "[--theta T] [--inspect VERTEX]\n",
+               "[--theta T] [--threads N] [--inspect VERTEX]\n",
                argv0);
   return 1;
 }
@@ -55,6 +63,7 @@ int main(int argc, char** argv) {
   uint32_t k = 10;
   std::string algo = "opt";
   double theta = 1.05;
+  int64_t threads = 1;
   int64_t inspect = -1;
   for (int i = 2; i < argc; ++i) {
     auto next = [&](const char* flag) -> const char* {
@@ -70,6 +79,15 @@ int main(int argc, char** argv) {
       algo = next("--algo");
     } else if (std::strcmp(argv[i], "--theta") == 0) {
       theta = std::atof(next("--theta"));
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      threads = std::atoll(next("--threads"));
+      if (threads < 0) {
+        std::fprintf(stderr, "--threads must be >= 0\n");
+        return Usage(argv[0]);
+      }
+      if (threads == 0) {
+        threads = std::max(1u, std::thread::hardware_concurrency());
+      }
     } else if (std::strcmp(argv[i], "--inspect") == 0) {
       inspect = std::atoll(next("--inspect"));
     } else {
@@ -91,14 +109,27 @@ int main(int argc, char** argv) {
   WallTimer timer;
   SearchStats stats;
   TopKResult top;
-  if (algo == "opt") {
+  if (algo == "opt" && threads > 1) {
+    algo = "opt(" + std::to_string(threads) + "T)";
+    top = ParallelOptBSearch(g, k, static_cast<size_t>(threads),
+                             {.theta = theta}, &stats);
+  } else if (algo == "opt") {
     top = OptBSearch(g, k, {.theta = theta}, &stats);
-  } else if (algo == "base") {
-    top = BaseBSearch(g, k, &stats);
+  } else if (algo == "full" && threads > 1) {
+    algo = "full(" + std::to_string(threads) + "T)";
+    top = TopKFromAll(
+        EdgePEBW(g, static_cast<size_t>(threads), &stats), k);
+  } else if (algo == "base" || algo == "naive") {
+    if (threads > 1) {
+      std::fprintf(stderr,
+                   "note: --threads applies to --algo opt|full; "
+                   "running %s serially\n",
+                   algo.c_str());
+    }
+    top = algo == "base" ? BaseBSearch(g, k, &stats)
+                         : TopKFromAll(ComputeAllEgoBetweennessNaive(g), k);
   } else if (algo == "full") {
     top = TopKFromAll(ComputeAllEgoBetweenness(g, &stats), k);
-  } else if (algo == "naive") {
-    top = TopKFromAll(ComputeAllEgoBetweennessNaive(g), k);
   } else {
     std::fprintf(stderr, "unknown --algo '%s'\n", algo.c_str());
     return Usage(argv[0]);

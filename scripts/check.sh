@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
-# Release build + full test suite + micro-kernel smoke run — the gate for
-# perf-sensitive PRs. Usage: scripts/check.sh [build_dir]
+# Release build + full test suite + smoke benches + docs build — the gate
+# for perf-sensitive PRs. Usage: scripts/check.sh [build_dir]
+#
+# The default build dir is the same ignored ./build that the tier-1 verify
+# uses, so a checkout accumulates exactly one build tree (CI passes its own
+# dir to keep caching separate).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-BUILD_DIR="${1:-build-check}"
+BUILD_DIR="${1:-build}"
 
 echo "==> Configure (Release)"
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
@@ -19,6 +23,10 @@ echo "==> Rule-B kernel smoke benchmark (small R-MAT)"
 "$BUILD_DIR"/kernel_report "$BUILD_DIR"/BENCH_kernels_smoke.json rmat 12
 cat "$BUILD_DIR"/BENCH_kernels_smoke.json
 
+echo "==> Bounded top-k thread-scaling smoke (small R-MAT, differential)"
+"$BUILD_DIR"/topk_scaling "$BUILD_DIR"/BENCH_topk_smoke.json 12 50 1.05 4
+cat "$BUILD_DIR"/BENCH_topk_smoke.json
+
 if [ -x "$BUILD_DIR/micro_kernels" ]; then
   echo "==> Micro-kernel smoke (google-benchmark)"
   "$BUILD_DIR"/micro_kernels \
@@ -26,6 +34,13 @@ if [ -x "$BUILD_DIR/micro_kernels" ]; then
     --benchmark_min_time=0.05
 else
   echo "==> micro_kernels not built (google-benchmark unavailable); skipped"
+fi
+
+if command -v doxygen >/dev/null 2>&1; then
+  echo "==> Docs (Doxygen, warnings-as-errors on public core/parallel headers)"
+  doxygen docs/Doxyfile
+else
+  echo "==> doxygen not installed; docs build skipped"
 fi
 
 echo "==> OK"

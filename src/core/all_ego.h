@@ -1,6 +1,7 @@
-// Exact ego-betweenness for all vertices via one shared edge-processing pass
-// (the k = n path of the searches; sequential baseline for the parallel
-// algorithms; state producer for the dynamic maintenance engine).
+/// \file
+/// Exact ego-betweenness for all vertices via one shared edge-processing pass
+/// (the k = n path of the searches; sequential baseline for the parallel
+/// algorithms; state producer for the dynamic maintenance engine).
 
 #ifndef EGOBW_CORE_ALL_EGO_H_
 #define EGOBW_CORE_ALL_EGO_H_
@@ -21,9 +22,11 @@ std::vector<double> ComputeAllEgoBetweenness(const Graph& g,
 /// Full computation that also returns the complete S maps — the starting
 /// state of the Section-IV maintenance engine.
 struct AllEgoState {
-  std::unique_ptr<SMapStore> smaps;
-  std::vector<double> cb;
+  std::unique_ptr<SMapStore> smaps;  ///< Complete S map of every vertex.
+  std::vector<double> cb;            ///< Exact CB per vertex.
 };
+
+/// Runs the shared pass and keeps its state (see AllEgoState).
 AllEgoState ComputeAllEgoBetweennessWithState(const Graph& g,
                                               SearchStats* stats = nullptr);
 

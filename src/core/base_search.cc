@@ -1,7 +1,6 @@
 #include "core/base_search.h"
 
-#include <queue>
-
+#include "core/bounded_search.h"
 #include "core/edge_processor.h"
 #include "core/smap_store.h"
 #include "graph/degree_order.h"
@@ -9,32 +8,6 @@
 #include "util/timer.h"
 
 namespace egobw {
-namespace {
-
-/// Min-heap over (cb, vertex) keeping the k best seen so far.
-struct MinCbHeap {
-  explicit MinCbHeap(uint32_t k) : k(k) {}
-
-  void Offer(VertexId v, double cb) {
-    if (heap.size() < k) {
-      heap.emplace(cb, v);
-    } else if (cb > heap.top().first) {
-      heap.pop();
-      heap.emplace(cb, v);
-    }
-  }
-
-  bool Full() const { return heap.size() >= k; }
-  double MinCb() const { return heap.top().first; }
-
-  uint32_t k;
-  std::priority_queue<std::pair<double, VertexId>,
-                      std::vector<std::pair<double, VertexId>>,
-                      std::greater<>>
-      heap;
-};
-
-}  // namespace
 
 TopKResult BaseBSearch(const Graph& g, uint32_t k, SearchStats* stats) {
   SearchStats local_stats;
@@ -50,15 +23,19 @@ TopKResult BaseBSearch(const Graph& g, uint32_t k, SearchStats* stats) {
   EdgeSet edge_set(g);
   DegreeOrder order(g);
   EdgeProcessor proc(g, edge_set, &smaps, stats);
-  MinCbHeap top(k);
+  TopKAccumulator top(k);
 
   uint32_t scanned = 0;
   for (VertexId u : order.Order()) {
-    double d = g.Degree(u);
-    double ub = d * (d - 1.0) / 2.0;
-    if (top.Full() && top.MinCb() >= ub) {
+    double ub = StaticVertexBound(g.Degree(u));
+    // ≺ order is non-increasing in the static bound, so the first vertex
+    // strictly below the boundary proves everything after it out too.
+    // Vertices that merely TIE the boundary are still computed: one of them
+    // could win the canonical id tie-break, and its forward edges must be
+    // processed anyway to keep later S maps complete.
+    if (CandidateGate::StaticPrefixDominated(ub, CandidateGate::Snapshot(top))) {
       stats->pruned += n - scanned;
-      break;  // Every remaining vertex has an even smaller static bound.
+      break;
     }
     ++scanned;
     proc.ProcessForwardEdgesOf(u, order);
@@ -68,11 +45,7 @@ TopKResult BaseBSearch(const Graph& g, uint32_t k, SearchStats* stats) {
     top.Offer(u, cb);
   }
 
-  while (!top.heap.empty()) {
-    result.push_back({top.heap.top().second, top.heap.top().first});
-    top.heap.pop();
-  }
-  FinalizeTopK(&result, k);
+  result = top.Take();
   stats->elapsed_seconds += timer.Seconds();
   return result;
 }

@@ -1,12 +1,13 @@
-// BaseBSearch (Algorithm 1): top-k ego-betweenness with the static upper
-// bound ub(u) = d(u)(d(u)-1)/2 (Lemma 2).
-//
-// Vertices are visited in non-increasing ub order (the total order ≺).
-// Each turn processes the vertex's forward edges — which, in ≺ order,
-// enumerates every triangle exactly once and completes S_u by the end of
-// u's turn — then evaluates CB(u) and updates the running top-k. The scan
-// stops as soon as the k-th best exact value dominates the next vertex's
-// static bound, pruning all remaining vertices.
+/// \file
+/// BaseBSearch (Algorithm 1): top-k ego-betweenness with the static upper
+/// bound ub(u) = d(u)(d(u)-1)/2 (Lemma 2).
+///
+/// Vertices are visited in non-increasing ub order (the total order ≺).
+/// Each turn processes the vertex's forward edges — which, in ≺ order,
+/// enumerates every triangle exactly once and completes S_u by the end of
+/// u's turn — then evaluates CB(u) and updates the running top-k. The scan
+/// stops as soon as the k-th best exact value dominates the next vertex's
+/// static bound, pruning all remaining vertices.
 
 #ifndef EGOBW_CORE_BASE_SEARCH_H_
 #define EGOBW_CORE_BASE_SEARCH_H_

@@ -1,0 +1,66 @@
+#include "core/bounded_search.h"
+
+namespace egobw {
+
+void SeedStaticBounds(const Graph& g, IndexedMaxHeap* heap) {
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    heap->Push(v, StaticVertexBound(g.Degree(v)));
+  }
+}
+
+void TopKAccumulator::Offer(VertexId v, double cb) {
+  if (k_ == 0) return;
+  if (heap_.size() < k_) {
+    heap_.push({v, cb});
+    return;
+  }
+  const TopKEntry& worst = heap_.top();
+  bool beats = cb > worst.cb || (cb == worst.cb && v < worst.vertex);
+  if (beats) {
+    heap_.pop();
+    heap_.push({v, cb});
+  }
+}
+
+TopKResult TopKAccumulator::Take() {
+  TopKResult result;
+  result.reserve(heap_.size());
+  while (!heap_.empty()) {
+    result.push_back(heap_.top());
+    heap_.pop();
+  }
+  FinalizeTopK(&result, k_);
+  return result;
+}
+
+CandidateGate::Boundary CandidateGate::Snapshot(const TopKAccumulator& top) {
+  Boundary b;
+  b.full = top.Full() && top.size() > 0;
+  if (b.full) {
+    b.worst_cb = top.WorstCb();
+    b.worst_vertex = top.WorstVertex();
+  }
+  return b;
+}
+
+Admission CandidateGate::Decide(double stale_key, double ub, VertexId v,
+                                const Boundary& boundary) const {
+  // The θ gate runs first (matching Algorithm 2's line order, which the
+  // golden Fig. 3 trace tests pin down): a substantially tightened bound
+  // either re-enters the heap at its new rank or — if the fresh bound
+  // already proves the candidate out — dies on the spot.
+  if (theta_ * ub < stale_key - kBoundSlack) {
+    return CannotEnter(ub, v, boundary) ? Admission::kPrune
+                                        : Admission::kRepush;
+  }
+  // stale_key is the largest key the pool still holds (the pop was a
+  // pop-max), so once it falls strictly below the boundary nothing left can
+  // enter: keys upper-bound true values and only decrease over time.
+  if (boundary.full && stale_key < boundary.worst_cb - kBoundSlack) {
+    return Admission::kTerminate;
+  }
+  if (CannotEnter(ub, v, boundary)) return Admission::kPrune;
+  return Admission::kCompute;
+}
+
+}  // namespace egobw

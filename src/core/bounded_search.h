@@ -1,0 +1,168 @@
+/// \file
+/// The bound-heap + candidate-admission layer shared by every top-k engine.
+///
+/// BaseBSearch, OptBSearch and ParallelOptBSearch all run the same game:
+/// candidates carry keys that upper-bound their true ego-betweenness, a
+/// running top-k accumulator tracks the k best exact values seen so far, and
+/// a candidate is discarded only when its key proves it cannot displace the
+/// accumulator's worst entry. This header centralizes that logic so the
+/// serial and parallel engines are pruning-equivalent by construction:
+///
+///   * TopKAccumulator — the k-best heap in the canonical answer order
+///     (cb descending, vertex id ascending). Ties at the boundary are broken
+///     toward the smaller id, which makes the accepted set independent of the
+///     order in which exact values arrive — the property the parallel engine
+///     needs for serial-identical answers.
+///   * CandidateGate — the θ-gated admission decision of Algorithm 2
+///     (re-push / prune / terminate / compute), made tie-aware: a candidate
+///     whose bound can at best *tie* the boundary is pruned only if it also
+///     loses the id tie-break, and bulk termination requires the popped key
+///     to be *strictly* below the boundary. Both engines therefore compute
+///     every vertex that could appear in the canonical answer and no engine-
+///     or schedule-dependent tie resolution can leak into the result.
+
+#ifndef EGOBW_CORE_BOUNDED_SEARCH_H_
+#define EGOBW_CORE_BOUNDED_SEARCH_H_
+
+#include <cstdint>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "core/ego_types.h"
+#include "graph/graph.h"
+#include "util/indexed_max_heap.h"
+
+namespace egobw {
+
+/// Guards bound comparisons against the tiny floating-point drift of the
+/// incrementally maintained ũb (see SMapStore). Strictly larger than the
+/// worst observed drift so "cannot tie the boundary" decisions stay sound.
+inline constexpr double kBoundSlack = 1e-9;
+
+/// Lemma 2's static upper bound ub(u) = d(d-1)/2 for a vertex of degree d.
+inline double StaticVertexBound(double degree) {
+  return degree * (degree - 1.0) / 2.0;
+}
+
+/// Pushes every vertex of g into the heap keyed by its static bound —
+/// the shared initialization of Algorithms 1 and 2.
+void SeedStaticBounds(const Graph& g, IndexedMaxHeap* heap);
+
+/// Running k-best accumulator in the canonical (cb desc, id asc) order.
+///
+/// The worst retained entry — the admission boundary — is the entry with the
+/// smallest cb, ties broken toward the LARGEST id (the first entry a new
+/// exact value would displace). Because Offer resolves boundary ties by id,
+/// the final content is a pure function of the offered (vertex, cb) multiset:
+/// serial and parallel engines that compute supersets of the same candidates
+/// retain identical answers regardless of arrival order.
+class TopKAccumulator {
+ public:
+  /// Accumulates the best k entries; k == 0 accepts nothing.
+  explicit TopKAccumulator(uint32_t k) : k_(k) {}
+
+  /// Records an exact value, displacing the boundary entry when (cb, v)
+  /// beats it in canonical order.
+  void Offer(VertexId v, double cb);
+
+  /// True once k entries are retained (the boundary is meaningful).
+  bool Full() const { return heap_.size() >= k_; }
+
+  /// Exact cb of the boundary entry. Requires Full() and k > 0.
+  double WorstCb() const { return heap_.top().cb; }
+
+  /// Vertex id of the boundary entry — the largest id among entries tied at
+  /// WorstCb(). Requires Full() and k > 0.
+  VertexId WorstVertex() const { return heap_.top().vertex; }
+
+  /// Number of retained entries (<= k).
+  size_t size() const { return heap_.size(); }
+
+  /// Drains the accumulator into a finalized TopKResult (canonical order).
+  TopKResult Take();
+
+ private:
+  // Orders the priority_queue so its top is the canonical WORST entry:
+  // an entry is "better" when its cb is larger, ties toward smaller id.
+  struct WorstOnTop {
+    bool operator()(const TopKEntry& a, const TopKEntry& b) const {
+      if (a.cb != b.cb) return a.cb > b.cb;
+      return a.vertex < b.vertex;
+    }
+  };
+
+  uint32_t k_;
+  std::priority_queue<TopKEntry, std::vector<TopKEntry>, WorstOnTop> heap_;
+};
+
+/// Admission verdict for a popped candidate (OptBSearch lines 6-13).
+enum class Admission {
+  kCompute,    ///< Run EgoBWCal: the candidate may enter the answer.
+  kRepush,     ///< Bound dropped by more than θ: re-insert with the new key.
+  kPrune,      ///< Provably outside the canonical top-k: discard.
+  kTerminate,  ///< Every remaining key is dominated: stop the whole search.
+};
+
+/// The θ-gated admission rule shared by OptBSearch and ParallelOptBSearch.
+///
+/// θ ≥ 1 is the paper's gradient ratio (Exp-2): a popped candidate whose
+/// fresh bound ũb satisfies θ·ũb < stale key is re-pushed instead of
+/// computed, trading heap maintenance against wasted exact computations.
+/// θ = 1 re-pushes on any bound improvement (minimum exact computations,
+/// maximum heap traffic); θ → ∞ never re-pushes, degrading to BaseBSearch's
+/// pruning with a fresher bound. All comparisons are slack-guarded and
+/// tie-aware (see file comment), so the decision is sound under the
+/// concurrent, monotone bound decay of the parallel engine.
+class CandidateGate {
+ public:
+  /// theta must be >= 1 (checked by the engines).
+  explicit CandidateGate(double theta) : theta_(theta) {}
+
+  /// Boundary snapshot of a TopKAccumulator, decoupled from the accumulator
+  /// so the parallel engine can read it once under its result lock and then
+  /// decide without holding locks.
+  struct Boundary {
+    bool full = false;        ///< Accumulator holds k entries.
+    double worst_cb = 0.0;    ///< Exact cb of the boundary entry.
+    VertexId worst_vertex = 0;  ///< Id of the boundary entry.
+  };
+
+  /// Captures the current admission boundary.
+  static Boundary Snapshot(const TopKAccumulator& top);
+
+  /// Decides the fate of a candidate popped with key `stale_key` whose
+  /// current dynamic bound reads `ub`. Sound for any boundary snapshot taken
+  /// at or after the pop (the boundary only tightens over time).
+  Admission Decide(double stale_key, double ub, VertexId v,
+                   const Boundary& boundary) const;
+
+  /// BaseBSearch's scan cutoff: true when a static bound proves that the
+  /// current vertex and everything after it in ≺ order is strictly outside
+  /// the canonical answer.
+  static bool StaticPrefixDominated(double static_bound,
+                                    const Boundary& boundary) {
+    return boundary.full && static_bound < boundary.worst_cb - kBoundSlack;
+  }
+
+  /// The configured gradient ratio θ.
+  double theta() const { return theta_; }
+
+ private:
+  // True when a candidate with upper bound `ub` and id `v` provably cannot
+  // displace the boundary entry: either the bound is strictly below the
+  // boundary value, or it can at best tie and `v` loses the id tie-break.
+  // (The boundary only improves in canonical order over time, so a verdict
+  // reached against any past snapshot remains valid.)
+  static bool CannotEnter(double ub, VertexId v, const Boundary& b) {
+    if (!b.full) return false;
+    if (ub < b.worst_cb - kBoundSlack) return true;
+    return ub <= b.worst_cb + kBoundSlack && v > b.worst_vertex;
+  }
+
+  double theta_;
+};
+
+}  // namespace egobw
+
+#endif  // EGOBW_CORE_BOUNDED_SEARCH_H_

@@ -1,31 +1,32 @@
-// The shared Rule-B (diamond) enumeration kernel.
-//
-// Given a processed edge (u, v) with common neighborhood C = N(u) ∩ N(v),
-// Rule B needs every NON-adjacent pair {x, y} ⊆ C. The legacy path tested
-// all C(|C|, 2) pairs with one EdgeSet hash probe each; this kernel builds a
-// word-packed |C| × |C| adjacency matrix over the compact position space
-// [0, |C|) and emits the complement word-parallel:
-//
-//   1. Fill: every SMALL member x (d(x) <= |C|) scans N(x) once; each
-//      neighbor landing in C sets BOTH symmetric matrix bits, so low-degree
-//      members complete the rows of high-degree (hub) members for free.
-//   2. Big-big: only pairs whose two endpoints are BOTH high-degree are
-//      still unknown — those few pairs are EdgeSet-probed (hubs are rare in
-//      a power-law C, so this is B² for a small B, not |C|²).
-//   3. Emit: the zero bits of row i above the diagonal, word-parallel with
-//      one ctz per emitted pair.
-//
-// Total per edge: O(Σ_{small x} d(x) + B² + |C|²/64) word ops versus the
-// legacy |C|² random hash probes, and the scans are contiguous CSR reads
-// against an L2-resident position index instead of DRAM-sized hash tables —
-// a multi-x win exactly on the dense neighborhoods the top-k search
-// processes first. Pairs are emitted in the same (i, j) lexicographic order
-// as the legacy double loop, so downstream S-map insertion order (and
-// therefore every ũb trajectory) is bit-for-bit reproducible across both
-// kernels.
-//
-// KernelMode selects the implementation at runtime; the legacy path is kept
-// as the reference for the differential equivalence tests.
+/// \file
+/// The shared Rule-B (diamond) enumeration kernel.
+///
+/// Given a processed edge (u, v) with common neighborhood C = N(u) ∩ N(v),
+/// Rule B needs every NON-adjacent pair {x, y} ⊆ C. The legacy path tested
+/// all C(|C|, 2) pairs with one EdgeSet hash probe each; this kernel builds a
+/// word-packed |C| × |C| adjacency matrix over the compact position space
+/// [0, |C|) and emits the complement word-parallel:
+///
+///   1. Fill: every SMALL member x (d(x) <= |C|) scans N(x) once; each
+///      neighbor landing in C sets BOTH symmetric matrix bits, so low-degree
+///      members complete the rows of high-degree (hub) members for free.
+///   2. Big-big: only pairs whose two endpoints are BOTH high-degree are
+///      still unknown — those few pairs are EdgeSet-probed (hubs are rare in
+///      a power-law C, so this is B² for a small B, not |C|²).
+///   3. Emit: the zero bits of row i above the diagonal, word-parallel with
+///      one ctz per emitted pair.
+///
+/// Total per edge: O(Σ_{small x} d(x) + B² + |C|²/64) word ops versus the
+/// legacy |C|² random hash probes, and the scans are contiguous CSR reads
+/// against an L2-resident position index instead of DRAM-sized hash tables —
+/// a multi-x win exactly on the dense neighborhoods the top-k search
+/// processes first. Pairs are emitted in the same (i, j) lexicographic order
+/// as the legacy double loop, so downstream S-map insertion order (and
+/// therefore every ũb trajectory) is bit-for-bit reproducible across both
+/// kernels.
+///
+/// KernelMode selects the implementation at runtime; the legacy path is kept
+/// as the reference for the differential equivalence tests.
 
 #ifndef EGOBW_CORE_DIAMOND_KERNEL_H_
 #define EGOBW_CORE_DIAMOND_KERNEL_H_
@@ -52,26 +53,30 @@ enum class KernelMode {
 /// Settable by tests/benches; not thread-safe against concurrent engines
 /// being constructed mid-switch (switch before spawning work).
 KernelMode DefaultKernelMode();
+
+/// Sets the process-wide default kernel (see DefaultKernelMode).
 void SetDefaultKernelMode(KernelMode mode);
 
 /// Reusable per-worker scratch implementing the bitmap kernel. Sized for a
 /// vertex universe of n; all storage is recycled across edges.
 class DiamondKernel {
  public:
-  DiamondKernel() = default;
+  DiamondKernel() = default;  ///< Empty kernel; Resize before use.
+  /// Kernel sized for vertex ids in [0, n).
   explicit DiamondKernel(uint32_t n) { Resize(n); }
 
+  /// Re-sizes the position index for a vertex universe of n.
   void Resize(uint32_t n) { index_.Resize(n); }
 
-  /// Calls emit(x, y) for every non-adjacent pair {x, y} ⊆ c with
-  /// x = c[i], y = c[j], i < j, in lexicographic (i, j) position order.
-  /// `c` must contain distinct vertex ids < n.
   /// Below this |C| the probe loop wins: a k² of hash probes is at most
   /// ~k²·30ns while the bitmap path pays index installation + matrix reset
   /// before its asymptotics kick in. 32 keeps the crossover comfortably on
   /// the probe side for the sparse-edge majority of real graphs.
   static constexpr uint32_t kSmallNeighborhood = 32;
 
+  /// Calls emit(x, y) for every non-adjacent pair {x, y} ⊆ c with
+  /// x = c[i], y = c[j], i < j, in lexicographic (i, j) position order.
+  /// `c` must contain distinct vertex ids < n.
   template <typename Emit>
   void ForEachNonAdjacentPair(const Graph& g, const EdgeSet& edges,
                               std::span<const VertexId> c, Emit&& emit) {
@@ -139,6 +144,7 @@ class DiamondKernel {
     }
   }
 
+  /// Bytes of heap memory held by the scratch structures.
   size_t MemoryBytes() const {
     return index_.MemoryBytes() + matrix_.MemoryBytes() +
            big_.capacity() * sizeof(uint32_t);

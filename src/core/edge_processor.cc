@@ -30,20 +30,7 @@ void EdgeProcessor::ProcessMarkedEdge(VertexId u, VertexId v, EdgeId e) {
   --remaining_[v];
   ++stats_->edges_processed;
 
-  // C = N(u) ∩ N(v), always scanning the smaller-degree endpoint so the
-  // per-edge cost is O(min(d(u), d(v))): against the marker on N(u) when v
-  // is the small side, against the edge hash set otherwise (an on-demand
-  // EgoBWCal of a low-degree vertex adjacent to hubs must not pay O(d_hub)).
-  scratch_.clear();
-  if (g_.Degree(v) <= g_.Degree(u)) {
-    for (VertexId w : g_.Neighbors(v)) {
-      if (w != u && marker_.Test(w)) scratch_.push_back(w);
-    }
-  } else {
-    for (VertexId w : g_.Neighbors(u)) {
-      if (w != v && edges_.Contains(w, v)) scratch_.push_back(w);
-    }
-  }
+  IntersectNeighborhoods(g_, edges_, marker_, u, v, &scratch_);
   stats_->triangles += scratch_.size();
 
   // Rule A: adjacency markers for each triangle (u, v, w), batched per
@@ -78,19 +65,14 @@ void EdgeProcessor::ProcessAllEdgesOf(VertexId u) {
   auto eids = g_.IncidentEdges(u);
   // Pre-size S_u from a wedge estimate over the unprocessed edges: each edge
   // (u, v) inserts at most min(d(u), d(v)) Rule-A entries plus its share of
-  // Rule-B pairs. The sum counts triangle *candidates*, so take a quarter
-  // of it (typical closure is far below 1) and cap the reservation — on
-  // triangle-poor graphs the estimate can exceed the real map size by
-  // orders of magnitude, and reserved capacity is never returned. Doubling
-  // growth takes over beyond the cap; ReserveFor clamps to C(d, 2).
+  // Rule-B pairs (see WedgeReserveEstimate for the damping rationale).
   uint64_t estimate = 0;
   for (size_t i = 0; i < nbrs.size(); ++i) {
     if (!Processed(eids[i])) {
       estimate += std::min(g_.Degree(u), g_.Degree(nbrs[i]));
     }
   }
-  constexpr uint64_t kMaxReserve = 1u << 18;
-  smaps_->ReserveFor(u, std::min(estimate / 4, kMaxReserve));
+  smaps_->ReserveFor(u, WedgeReserveEstimate(estimate));
   MarkNeighborhood(u);
   for (size_t i = 0; i < nbrs.size(); ++i) {
     if (!Processed(eids[i])) ProcessMarkedEdge(u, nbrs[i], eids[i]);

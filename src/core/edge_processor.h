@@ -1,25 +1,27 @@
-// The triangle/diamond enumeration engine shared by BaseBSearch, OptBSearch
-// and the full (k = n) computation.
-//
-// Processing an edge (u, v) with common neighborhood C = N(u) ∩ N(v):
-//   Rule A: every w ∈ C forms a triangle (u, v, w); mark (v, w) adjacent in
-//           S_u, (u, w) in S_v, (u, v) in S_w.
-//   Rule B: every non-adjacent pair {x, y} ⊆ C gains connector v in GE(u)
-//           and connector u in GE(v) — a diamond on the shared edge (u, v).
-// Each undirected edge is processed at most once (tracked by a per-edge
-// bitmask — this subsumes the paper's B array and rd(i) bookkeeping).
-// Invariant: once all edges incident to u are processed, S_u is complete and
-// SMapStore::Value(u)/EvaluateExact(u) equal CB(u).
-//
-// Rule B runs on the word-packed DiamondKernel by default (see
-// diamond_kernel.h); KernelMode::kLegacyProbe selects the original per-pair
-// hash-probe loop, kept as the reference for the differential tests. Both
-// paths feed the S maps through the same batched mutation API in the same
-// per-map order, so results and ũb trajectories are bit-for-bit identical.
+/// \file
+/// The triangle/diamond enumeration engine shared by BaseBSearch, OptBSearch
+/// and the full (k = n) computation.
+///
+/// Processing an edge (u, v) with common neighborhood C = N(u) ∩ N(v):
+///   Rule A: every w ∈ C forms a triangle (u, v, w); mark (v, w) adjacent in
+///           S_u, (u, w) in S_v, (u, v) in S_w.
+///   Rule B: every non-adjacent pair {x, y} ⊆ C gains connector v in GE(u)
+///           and connector u in GE(v) — a diamond on the shared edge (u, v).
+/// Each undirected edge is processed at most once (tracked by a per-edge
+/// bitmask — this subsumes the paper's B array and rd(i) bookkeeping).
+/// Invariant: once all edges incident to u are processed, S_u is complete and
+/// SMapStore::Value(u)/EvaluateExact(u) equal CB(u).
+///
+/// Rule B runs on the word-packed DiamondKernel by default (see
+/// diamond_kernel.h); KernelMode::kLegacyProbe selects the original per-pair
+/// hash-probe loop, kept as the reference for the differential tests. Both
+/// paths feed the S maps through the same batched mutation API in the same
+/// per-map order, so results and ũb trajectories are bit-for-bit identical.
 
 #ifndef EGOBW_CORE_EDGE_PROCESSOR_H_
 #define EGOBW_CORE_EDGE_PROCESSOR_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <utility>
 #include <vector>
@@ -35,12 +37,46 @@
 
 namespace egobw {
 
+/// C = N(u) ∩ N(v) \ {u, v}, appended to *out (cleared first), always
+/// scanning the smaller-degree endpoint so the cost is O(min(d(u), d(v))):
+/// against `marker` — which must currently mark N(u) — when v is the small
+/// side, probing the edge hash set along N(u) otherwise (an on-demand
+/// EgoBWCal of a low-degree vertex adjacent to hubs must not pay O(d_hub)).
+/// Shared by the serial processor and the parallel bounded search.
+inline void IntersectNeighborhoods(const Graph& g, const EdgeSet& edges,
+                                   const EpochBitset& marker, VertexId u,
+                                   VertexId v, std::vector<VertexId>* out) {
+  out->clear();
+  if (g.Degree(v) <= g.Degree(u)) {
+    for (VertexId w : g.Neighbors(v)) {
+      if (w != u && marker.Test(w)) out->push_back(w);
+    }
+  } else {
+    for (VertexId w : g.Neighbors(u)) {
+      if (w != v && edges.Contains(w, v)) out->push_back(w);
+    }
+  }
+}
+
+/// The EgoBWCal pre-sizing heuristic: the summed wedge estimate counts
+/// triangle *candidates*, so take a quarter of it (typical closure is far
+/// below 1) and cap the reservation — on triangle-poor graphs the estimate
+/// can exceed the real map size by orders of magnitude, and reserved
+/// capacity is never returned. Doubling growth takes over beyond the cap;
+/// SMapStore::ReserveFor additionally clamps to C(d, 2).
+inline uint64_t WedgeReserveEstimate(uint64_t summed_min_degrees) {
+  constexpr uint64_t kMaxReserve = 1u << 18;
+  return std::min(summed_min_degrees / 4, kMaxReserve);
+}
+
+/// The serial triangle/diamond edge-processing engine (see file comment).
 class EdgeProcessor {
  public:
   /// The processor mutates *smaps and reads g / edges; all must outlive it.
-  /// `mode` selects the Rule-B kernel (defaults to the process-wide mode).
+  /// The Rule-B kernel defaults to the process-wide mode.
   EdgeProcessor(const Graph& g, const EdgeSet& edges, SMapStore* smaps,
                 SearchStats* stats);
+  /// Same, with an explicit Rule-B kernel choice.
   EdgeProcessor(const Graph& g, const EdgeSet& edges, SMapStore* smaps,
                 SearchStats* stats, KernelMode mode);
 

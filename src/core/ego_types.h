@@ -1,4 +1,5 @@
-// Shared types for the top-k ego-betweenness searches.
+/// \file
+/// Shared types for the top-k ego-betweenness searches.
 
 #ifndef EGOBW_CORE_EGO_TYPES_H_
 #define EGOBW_CORE_EGO_TYPES_H_
@@ -9,12 +10,14 @@
 
 #include "graph/graph.h"
 
+/// All egobw library code: graph substrate, search engines, dynamic
+/// maintenance, parallel engines and the shared kernels.
 namespace egobw {
 
 /// One vertex of a top-k answer.
 struct TopKEntry {
-  VertexId vertex;
-  double cb;  ///< Exact ego-betweenness of `vertex`.
+  VertexId vertex;  ///< The vertex id, in the caller's labeling.
+  double cb;        ///< Exact ego-betweenness of `vertex`.
 };
 
 /// Top-k answer ordered by (cb descending, vertex ascending).
@@ -29,13 +32,13 @@ struct SearchStats {
   uint64_t connector_increments = 0;  ///< Rule-B map increments.
   uint64_t heap_pushbacks = 0;      ///< OptBSearch bound-tightening re-pushes.
   uint64_t pruned = 0;              ///< Vertices discarded without computing.
-  double elapsed_seconds = 0.0;
+  double elapsed_seconds = 0.0;     ///< Wall-clock time of the search.
 };
 
 /// Test/diagnostics hook into the searches. All methods have empty defaults.
 class SearchObserver {
  public:
-  virtual ~SearchObserver() = default;
+  virtual ~SearchObserver() = default;  ///< Virtual for subclassing.
   /// A vertex was popped from the candidate structure with its stale bound.
   virtual void OnPop(VertexId /*v*/, double /*stale_bound*/) {}
   /// The dynamic upper bound of a popped vertex was (re)computed.

@@ -1,13 +1,14 @@
-// Direct per-vertex ego-betweenness computation (no shared state).
-//
-// This is the paper's "straightforward algorithm" building block: construct
-// GE(u) implicitly and evaluate the definition. It serves three roles:
-//  * ground truth for the search algorithms (tests),
-//  * the on-demand recomputation primitive of the lazy top-k maintenance,
-//  * the all-vertices naive baseline benchmarked against the map-based pass.
-//
-// ComputeEgoBetweennessLocal is a template so it runs on both the immutable
-// CSR Graph and the mutable DynamicGraph.
+/// \file
+/// Direct per-vertex ego-betweenness computation (no shared state).
+///
+/// This is the paper's "straightforward algorithm" building block: construct
+/// GE(u) implicitly and evaluate the definition. It serves three roles:
+///  * ground truth for the search algorithms (tests),
+///  * the on-demand recomputation primitive of the lazy top-k maintenance,
+///  * the all-vertices naive baseline benchmarked against the map-based pass.
+///
+/// ComputeEgoBetweennessLocal is a template so it runs on both the immutable
+/// CSR Graph and the mutable DynamicGraph.
 
 #ifndef EGOBW_CORE_NAIVE_H_
 #define EGOBW_CORE_NAIVE_H_
@@ -25,10 +26,11 @@ namespace egobw {
 
 /// Reusable scratch space for repeated local computations.
 struct EgoScratch {
+  /// Sizes the marker for a vertex universe of n.
   explicit EgoScratch(uint32_t n) : marker(n) {}
-  VisitMarker marker;
-  PairCountMap counts;
-  std::vector<VertexId> in_ego;
+  VisitMarker marker;            ///< Marks N(u) of the current vertex.
+  PairCountMap counts;           ///< Connector counts of the current S_u.
+  std::vector<VertexId> in_ego;  ///< Common-neighbor buffer.
 };
 
 /// Exact CB(u) by local enumeration:

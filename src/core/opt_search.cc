@@ -1,7 +1,6 @@
 #include "core/opt_search.h"
 
-#include <queue>
-
+#include "core/bounded_search.h"
 #include "core/edge_processor.h"
 #include "core/smap_store.h"
 #include "graph/degree_order.h"
@@ -11,32 +10,6 @@
 #include "util/timer.h"
 
 namespace egobw {
-namespace {
-
-// Guards bound comparisons against the tiny floating-point drift of the
-// incrementally maintained ũb (see SMapStore).
-constexpr double kBoundSlack = 1e-9;
-
-struct MinCbHeap {
-  explicit MinCbHeap(uint32_t k) : k(k) {}
-  void Offer(VertexId v, double cb) {
-    if (heap.size() < k) {
-      heap.emplace(cb, v);
-    } else if (cb > heap.top().first) {
-      heap.pop();
-      heap.emplace(cb, v);
-    }
-  }
-  bool Full() const { return heap.size() >= k; }
-  double MinCb() const { return heap.top().first; }
-  uint32_t k;
-  std::priority_queue<std::pair<double, VertexId>,
-                      std::vector<std::pair<double, VertexId>>,
-                      std::greater<>>
-      heap;
-};
-
-}  // namespace
 
 TopKResult OptBSearch(const Graph& g, uint32_t k,
                       const OptBSearchOptions& options, SearchStats* stats) {
@@ -53,14 +26,12 @@ TopKResult OptBSearch(const Graph& g, uint32_t k,
   SMapStore smaps(g);
   EdgeSet edge_set(g);
   EdgeProcessor proc(g, edge_set, &smaps, stats);
-  MinCbHeap top(k);
+  TopKAccumulator top(k);
+  CandidateGate gate(options.theta);
   SearchObserver* obs = options.observer;
 
   IndexedMaxHeap heap(n);
-  for (VertexId v = 0; v < n; ++v) {
-    double d = g.Degree(v);
-    heap.Push(v, d * (d - 1.0) / 2.0);
-  }
+  SeedStaticBounds(g, &heap);
 
   while (!heap.empty()) {
     auto [v, stale_bound] = heap.PopMax();
@@ -70,21 +41,21 @@ TopKResult OptBSearch(const Graph& g, uint32_t k,
     double ub = smaps.Value(v);
     if (obs != nullptr) obs->OnBound(v, ub);
 
-    if (options.theta * ub < stale_bound - kBoundSlack) {
-      // The bound tightened substantially since v was (re)inserted.
-      if (!top.Full() || ub > top.MinCb() + kBoundSlack) {
-        heap.Push(v, ub);
-        ++stats->heap_pushbacks;
-        if (obs != nullptr) obs->OnPushBack(v, ub);
-      } else {
-        ++stats->pruned;  // Can never beat the current k-th value.
-      }
+    Admission verdict =
+        gate.Decide(stale_bound, ub, v, CandidateGate::Snapshot(top));
+    if (verdict == Admission::kRepush) {
+      heap.Push(v, ub);
+      ++stats->heap_pushbacks;
+      if (obs != nullptr) obs->OnPushBack(v, ub);
       continue;
     }
-
-    if (top.Full() && stale_bound <= top.MinCb() + kBoundSlack) {
-      // Keys upper-bound true values and stale_bound is the largest key:
-      // nothing left can enter the answer.
+    if (verdict == Admission::kPrune) {
+      ++stats->pruned;
+      continue;
+    }
+    if (verdict == Admission::kTerminate) {
+      // stale_bound was the largest remaining key: everything left is
+      // strictly below the boundary.
       stats->pruned += 1 + heap.size();
       break;
     }
@@ -97,11 +68,7 @@ TopKResult OptBSearch(const Graph& g, uint32_t k,
     top.Offer(v, cb);
   }
 
-  while (!top.heap.empty()) {
-    result.push_back({top.heap.top().second, top.heap.top().first});
-    top.heap.pop();
-  }
-  FinalizeTopK(&result, k);
+  result = top.Take();
   stats->elapsed_seconds += timer.Seconds();
   return result;
 }

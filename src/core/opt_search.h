@@ -1,20 +1,21 @@
-// OptBSearch (Algorithm 2 + EgoBWCal, Algorithm 3): top-k ego-betweenness
-// with the dynamic upper bound ũb (Lemma 3).
-//
-// All vertices start in a max-heap H keyed by the static bound d(d-1)/2.
-// While other vertices' ego-betweennesses are computed, the shared S maps
-// accumulate "identified information" that tightens every vertex's ũb —
-// the SMapStore maintains ũb(u) incrementally, so reading the current bound
-// is O(1). Popping vertex v* with stale key t̂b:
-//   * if θ·ũb(v*) < t̂b, the bound dropped substantially: push v* back with
-//     the tighter key (or prune it outright if it can no longer beat the
-//     current k-th value) and pop the next candidate;
-//   * else if |R| = k and t̂b ≤ min CB(R), terminate — every remaining key
-//     is ≤ t̂b and keys upper-bound the true values;
-//   * else compute CB(v*) exactly (process its remaining incident edges)
-//     and update R.
-// θ ≥ 1 trades heap-maintenance cost against extra exact computations
-// (Exp-2 of the paper).
+/// \file
+/// OptBSearch (Algorithm 2 + EgoBWCal, Algorithm 3): top-k ego-betweenness
+/// with the dynamic upper bound ũb (Lemma 3).
+///
+/// All vertices start in a max-heap H keyed by the static bound d(d-1)/2.
+/// While other vertices' ego-betweennesses are computed, the shared S maps
+/// accumulate "identified information" that tightens every vertex's ũb —
+/// the SMapStore maintains ũb(u) incrementally, so reading the current bound
+/// is O(1). Popping vertex v* with stale key t̂b:
+///   * if θ·ũb(v*) < t̂b, the bound dropped substantially: push v* back with
+///     the tighter key (or prune it outright if it can no longer beat the
+///     current k-th value) and pop the next candidate;
+///   * else if |R| = k and t̂b ≤ min CB(R), terminate — every remaining key
+///     is ≤ t̂b and keys upper-bound the true values;
+///   * else compute CB(v*) exactly (process its remaining incident edges)
+///     and update R.
+/// θ ≥ 1 trades heap-maintenance cost against extra exact computations
+/// (Exp-2 of the paper).
 
 #ifndef EGOBW_CORE_OPT_SEARCH_H_
 #define EGOBW_CORE_OPT_SEARCH_H_
@@ -26,7 +27,20 @@ namespace egobw {
 
 /// Tuning and instrumentation knobs for OptBSearch.
 struct OptBSearchOptions {
-  /// Gradient ratio θ ≥ 1 (paper default 1.05).
+  /// Gradient ratio θ ≥ 1 (paper default 1.05) — the θ-vs-exact-computations
+  /// tradeoff of Exp-2. A popped candidate is re-inserted with its tightened
+  /// bound only when the bound improved by more than the factor θ
+  /// (θ·ũb < popped key); otherwise the stale key is trusted and the
+  /// candidate is computed exactly.
+  ///   * θ = 1: re-push on ANY improvement — the fewest exact computations
+  ///     the bound permits, at the cost of maximum heap traffic (a vertex
+  ///     can be popped and re-pushed many times as its bound decays).
+  ///   * θ large (e.g. 1e18): never re-push — every pop whose bound cannot
+  ///     be pruned is computed immediately; cheapest heap maintenance, most
+  ///     exact computations (BaseBSearch-like behavior with fresher bounds).
+  ///   * 1.05 (paper default) is within a few percent of the best runtime
+  ///     across the paper's datasets; see bench/fig7_theta.cc.
+  /// The returned top-k is identical for every θ — only cost moves.
   double theta = 1.05;
   /// Optional hook receiving pops/bounds/pushbacks/exact computations.
   SearchObserver* observer = nullptr;

@@ -1,17 +1,18 @@
-// Per-vertex shortest-path-count maps with an incrementally maintained
-// Lemma-2 value.
-//
-// For each vertex u the store keeps the paper's S_u: neighbor pairs of u that
-// are either adjacent inside GE(u) (ADJ marker) or have >= 1 identified
-// connector (counted). It also maintains, per vertex, the running value
-//
-//   value(u) = C(deg(u), 2) - |S_u| + Σ_{counted pairs} 1/(val+1)
-//
-// which is exactly the paper's dynamic upper bound ũb(u) (Lemma 3) while
-// information is partial, and exactly CB(u) once every edge incident to u has
-// been processed (Lemma 2). Every mutation updates value(u) in O(1), so
-// OptBSearch reads bounds for free and the maintenance algorithms of
-// Section IV update CB(u) by replaying only the affected entries.
+/// \file
+/// Per-vertex shortest-path-count maps with an incrementally maintained
+/// Lemma-2 value.
+///
+/// For each vertex u the store keeps the paper's S_u: neighbor pairs of u that
+/// are either adjacent inside GE(u) (ADJ marker) or have >= 1 identified
+/// connector (counted). It also maintains, per vertex, the running value
+///
+///   value(u) = C(deg(u), 2) - |S_u| + Σ_{counted pairs} 1/(val+1)
+///
+/// which is exactly the paper's dynamic upper bound ũb(u) (Lemma 3) while
+/// information is partial, and exactly CB(u) once every edge incident to u has
+/// been processed (Lemma 2). Every mutation updates value(u) in O(1), so
+/// OptBSearch reads bounds for free and the maintenance algorithms of
+/// Section IV update CB(u) by replaying only the affected entries.
 
 #ifndef EGOBW_CORE_SMAP_STORE_H_
 #define EGOBW_CORE_SMAP_STORE_H_
@@ -26,6 +27,9 @@
 
 namespace egobw {
 
+/// The per-vertex S maps plus the incrementally maintained Lemma-2 value
+/// (dynamic bound ũb while partial, exact CB once complete). See the file
+/// comment for the invariants.
 class SMapStore {
  public:
   /// Initializes empty maps: value(u) = C(deg(u), 2) for every u of g.
@@ -34,6 +38,7 @@ class SMapStore {
   /// Empty store over n isolated vertices (degrees all 0).
   explicit SMapStore(uint32_t n);
 
+  /// Number of vertices the store tracks.
   uint32_t NumVertices() const {
     return static_cast<uint32_t>(maps_.size());
   }
@@ -100,6 +105,7 @@ class SMapStore {
   /// Total entries across all maps (memory diagnostics).
   uint64_t TotalEntries() const;
 
+  /// Bytes of heap memory held by all maps and value arrays.
   size_t MemoryBytes() const;
 
  private:

@@ -1,0 +1,52 @@
+/// \file
+/// The one locked Rule-A/B publication sequence shared by every parallel
+/// engine (PEBW and ParallelOptBSearch).
+///
+/// Given a processed edge (u, v) with common neighborhood C and the
+/// kernel-emitted non-adjacent pairs, the S-map deltas are always applied
+/// in the same per-map grouping as the serial EdgeProcessor — S_u's Rule-A
+/// marks then its Rule-B increments, then S_v's, then the per-triangle
+/// case-3 marks — each group under that vertex's stripe lock. Keeping the
+/// sequence in one place guarantees the engines cannot diverge in lock
+/// granularity or mutation order (the property the bit-for-bit differential
+/// tests rely on).
+
+#ifndef EGOBW_PARALLEL_EDGE_PUBLISH_H_
+#define EGOBW_PARALLEL_EDGE_PUBLISH_H_
+
+#include <mutex>
+#include <span>
+#include <utility>
+
+#include "core/smap_store.h"
+#include "graph/graph.h"
+#include "util/spinlock.h"
+
+namespace egobw {
+
+/// Applies the Rule-A adjacency marks and Rule-B connector increments of
+/// one processed edge (u, v) to the shared store, serialized per target
+/// vertex via the striped locks.
+inline void PublishEdgeRules(
+    SMapStore* smaps, StripedLocks* locks, VertexId u, VertexId v,
+    std::span<const VertexId> common,
+    std::span<const std::pair<VertexId, VertexId>> nonadjacent_pairs) {
+  {
+    std::lock_guard<Spinlock> lk(locks->For(u));
+    smaps->SetAdjacentBatch(u, v, common);
+    smaps->AddConnectorsBatch(u, nonadjacent_pairs, 1);
+  }
+  {
+    std::lock_guard<Spinlock> lk(locks->For(v));
+    smaps->SetAdjacentBatch(v, u, common);
+    smaps->AddConnectorsBatch(v, nonadjacent_pairs, 1);
+  }
+  for (VertexId w : common) {
+    std::lock_guard<Spinlock> lk(locks->For(w));
+    smaps->SetAdjacent(w, u, v);
+  }
+}
+
+}  // namespace egobw
+
+#endif  // EGOBW_PARALLEL_EDGE_PUBLISH_H_

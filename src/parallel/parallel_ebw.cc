@@ -9,6 +9,7 @@
 #include "graph/degree_order.h"
 #include "graph/edge_set.h"
 #include "graph/forward_star.h"
+#include "parallel/edge_publish.h"
 #include "util/neighborhood_bitmap.h"
 #include "util/spinlock.h"
 #include "util/thread_pool.h"
@@ -70,20 +71,7 @@ class ParallelEngine {
     }
     ws->increments += 2 * ws->nonadj_pairs.size();
 
-    {
-      std::lock_guard<Spinlock> lk(locks_.For(u));
-      smaps_.SetAdjacentBatch(u, v, ws->common);
-      smaps_.AddConnectorsBatch(u, ws->nonadj_pairs, 1);
-    }
-    {
-      std::lock_guard<Spinlock> lk(locks_.For(v));
-      smaps_.SetAdjacentBatch(v, u, ws->common);
-      smaps_.AddConnectorsBatch(v, ws->nonadj_pairs, 1);
-    }
-    for (VertexId w : ws->common) {
-      std::lock_guard<Spinlock> lk(locks_.For(w));
-      smaps_.SetAdjacent(w, u, v);
-    }
+    PublishEdgeRules(&smaps_, &locks_, u, v, ws->common, ws->nonadj_pairs);
   }
 
   void EnsureMarked(VertexId u, WorkerScratch* ws) {

@@ -1,20 +1,21 @@
-// Parallel computation of all ego-betweennesses (Section V).
-//
-// Both algorithms run the same oriented edge-processing rules as the
-// sequential pass; they differ in work granularity:
-//   * VertexPEBW parallelizes over vertices — each task processes one
-//     vertex's forward edges. Skewed out-degrees can unbalance threads.
-//   * EdgePEBW parallelizes over directed (forward) edges — the per-task
-//     cost distribution is much flatter, so threads stay busy (the paper's
-//     Exp-5 shows Edge ≥ Vertex speedups; same here).
-// S-map updates are serialized per target vertex with striped spinlocks;
-// connector counting is commutative, so results are independent of
-// scheduling and exactly equal the sequential values.
-//
-// Each worker owns a DiamondKernel (word-packed Rule-B scratch, see
-// core/diamond_kernel.h); with `relabel_by_degree` the engine runs on a
-// degree-relabeled isomorphic copy so intersections scan degree-clustered
-// memory, then scatters the values back to the caller's vertex ids.
+/// \file
+/// Parallel computation of all ego-betweennesses (Section V).
+///
+/// Both algorithms run the same oriented edge-processing rules as the
+/// sequential pass; they differ in work granularity:
+///   * VertexPEBW parallelizes over vertices — each task processes one
+///     vertex's forward edges. Skewed out-degrees can unbalance threads.
+///   * EdgePEBW parallelizes over directed (forward) edges — the per-task
+///     cost distribution is much flatter, so threads stay busy (the paper's
+///     Exp-5 shows Edge ≥ Vertex speedups; same here).
+/// S-map updates are serialized per target vertex with striped spinlocks;
+/// connector counting is commutative, so results are independent of
+/// scheduling and exactly equal the sequential values.
+///
+/// Each worker owns a DiamondKernel (word-packed Rule-B scratch, see
+/// core/diamond_kernel.h); with `relabel_by_degree` the engine runs on a
+/// degree-relabeled isomorphic copy so intersections scan degree-clustered
+/// memory, then scatters the values back to the caller's vertex ids.
 
 #ifndef EGOBW_PARALLEL_PARALLEL_EBW_H_
 #define EGOBW_PARALLEL_PARALLEL_EBW_H_

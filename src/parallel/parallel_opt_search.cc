@@ -1,0 +1,378 @@
+#include "parallel/parallel_opt_search.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "core/bounded_search.h"
+#include "core/diamond_kernel.h"
+#include "core/edge_processor.h"
+#include "core/smap_store.h"
+#include "graph/edge_set.h"
+#include "parallel/edge_publish.h"
+#include "util/indexed_max_heap.h"
+#include "util/logging.h"
+#include "util/neighborhood_bitmap.h"
+#include "util/spinlock.h"
+#include "util/timer.h"
+
+namespace egobw {
+namespace {
+
+// Per-worker scratch: everything a worker touches without taking a lock.
+struct WorkerCtx {
+  explicit WorkerCtx(uint32_t n) : marker(n), kernel(n) {}
+  EpochBitset marker;  // Marks N(u) of the candidate being computed.
+  DiamondKernel kernel;
+  std::vector<VertexId> common;
+  std::vector<std::pair<VertexId, VertexId>> pairs;
+  uint64_t exact = 0;
+  uint64_t pushbacks = 0;
+  uint64_t pruned = 0;
+  uint64_t edges = 0;
+  uint64_t triangles = 0;
+  uint64_t increments = 0;
+};
+
+class ParallelBoundedEngine {
+ public:
+  // `new_to_old` translates engine vertex ids to the caller's ids for the
+  // canonical tie-break and the published answer (nullptr = identity), so
+  // degree relabeling cannot leak into boundary-tie resolution.
+  ParallelBoundedEngine(const Graph& g, uint32_t k, size_t threads,
+                        const ParallelOptBSearchOptions& options,
+                        const std::vector<VertexId>* new_to_old)
+      : g_(g),
+        edge_set_(g),
+        smaps_(g),
+        locks_(4096),
+        gate_(options.theta),
+        top_(k),
+        mode_(DefaultKernelMode()),
+        threads_(threads == 0 ? 1 : threads),
+        new_to_old_(new_to_old),
+        shard_mask_(ShardCount(options, threads_) - 1),
+        claimed_(std::make_unique<std::atomic<uint8_t>[]>(
+            std::max<uint64_t>(1, g.NumEdges()))),
+        remaining_(std::make_unique<std::atomic<uint32_t>[]>(
+            std::max<uint32_t>(1, g.NumVertices()))) {
+    uint32_t n = g.NumVertices();
+    for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+      claimed_[e].store(0, std::memory_order_relaxed);
+    }
+    shards_.reserve(shard_mask_ + 1);
+    for (uint32_t s = 0; s <= shard_mask_; ++s) {
+      shards_.push_back(std::make_unique<Shard>(n));
+    }
+    for (VertexId v = 0; v < n; ++v) {
+      remaining_[v].store(g.Degree(v), std::memory_order_relaxed);
+      shards_[v & shard_mask_]->heap.Push(v, StaticVertexBound(g.Degree(v)));
+    }
+    ctxs_.reserve(threads_);
+    for (size_t t = 0; t < threads_; ++t) {
+      ctxs_.push_back(std::make_unique<WorkerCtx>(n));
+    }
+  }
+
+  // Runs worker 0 on the calling thread; finished when the pool drains.
+  void Run() {
+    std::vector<std::thread> extra;
+    extra.reserve(threads_ - 1);
+    for (size_t t = 1; t < threads_; ++t) {
+      extra.emplace_back([this, t] { Worker(t); });
+    }
+    Worker(0);
+    for (auto& th : extra) th.join();
+  }
+
+  TopKResult TakeResult() { return top_.Take(); }
+
+  void FillStats(SearchStats* stats) const {
+    if (stats == nullptr) return;
+    for (const auto& ctx : ctxs_) {
+      stats->exact_computations += ctx->exact;
+      stats->heap_pushbacks += ctx->pushbacks;
+      stats->pruned += ctx->pruned;
+      stats->edges_processed += ctx->edges;
+      stats->triangles += ctx->triangles;
+      stats->connector_increments += ctx->increments;
+    }
+  }
+
+ private:
+  struct alignas(64) Shard {
+    explicit Shard(uint32_t n) : heap(n) {}
+    Spinlock lock;
+    IndexedMaxHeap heap;
+  };
+
+  static uint32_t ShardCount(const ParallelOptBSearchOptions& options,
+                             size_t threads) {
+    uint64_t want = options.shards != 0 ? options.shards : 2 * threads;
+    want = std::clamp<uint64_t>(want, 1, 32);
+    uint32_t p = 1;
+    while (p < want) p <<= 1;
+    return p;
+  }
+
+  VertexId OriginalId(VertexId v) const {
+    return new_to_old_ == nullptr ? v : (*new_to_old_)[v];
+  }
+
+  // Pops the best key across all shard tops (ties toward the larger id,
+  // matching IndexedMaxHeap), counting the calling worker as a candidate
+  // holder before the shard lock is released so the termination barrier
+  // never misses an in-flight candidate.
+  std::optional<std::pair<uint32_t, double>> TryPop() {
+    for (;;) {
+      int best = -1;
+      double best_key = 0.0;
+      uint32_t best_id = 0;
+      for (size_t s = 0; s < shards_.size(); ++s) {
+        Shard& sh = *shards_[s];
+        std::lock_guard<Spinlock> lk(sh.lock);
+        if (sh.heap.empty()) continue;
+        auto [id, key] = sh.heap.Top();
+        if (best < 0 || key > best_key ||
+            (key == best_key && id > best_id)) {
+          best = static_cast<int>(s);
+          best_key = key;
+          best_id = id;
+        }
+      }
+      if (best < 0) return std::nullopt;
+      Shard& sh = *shards_[best];
+      std::lock_guard<Spinlock> lk(sh.lock);
+      if (sh.heap.empty()) continue;  // Lost a race; rescan.
+      active_.fetch_add(1, std::memory_order_seq_cst);
+      return sh.heap.PopMax();
+    }
+  }
+
+  // Re-inserts a candidate with its tightened key. The push-generation
+  // counter is bumped under the shard lock so the termination barrier's
+  // before/after reads bracket every insertion.
+  void Repush(VertexId v, double key) {
+    Shard& sh = *shards_[v & shard_mask_];
+    std::lock_guard<Spinlock> lk(sh.lock);
+    pushes_.fetch_add(1, std::memory_order_seq_cst);
+    sh.heap.Push(v, key);
+  }
+
+  bool AllShardsEmpty() {
+    for (auto& sh : shards_) {
+      std::lock_guard<Spinlock> lk(sh->lock);
+      if (!sh->heap.empty()) return false;
+    }
+    return true;
+  }
+
+  // Bulk prune after a dominated pop-max: any shard whose top key is
+  // strictly below the boundary holds only prunable entries (keys
+  // upper-bound true values and the boundary only tightens), so it is
+  // cleared in one shot instead of pop-by-pop. Shards whose top is at or
+  // above the threshold — e.g. refilled by a concurrent re-push — are left
+  // alone and drain through the normal admission path. Returns the number
+  // of entries pruned.
+  uint64_t DrainDominated() {
+    CandidateGate::Boundary boundary = BoundarySnapshot();
+    if (!boundary.full) return 0;
+    double threshold = boundary.worst_cb - kBoundSlack;
+    uint64_t pruned = 0;
+    for (auto& sh : shards_) {
+      std::lock_guard<Spinlock> lk(sh->lock);
+      if (sh->heap.empty() || sh->heap.Top().second >= threshold) continue;
+      pruned += sh->heap.size();
+      sh->heap.Clear();
+    }
+    return pruned;
+  }
+
+  // O(1) monotone ũb read, serialized with writers on the same stripe so
+  // the doubles are never torn.
+  double ReadBound(VertexId v) {
+    std::lock_guard<Spinlock> lk(locks_.For(v));
+    return smaps_.Value(v);
+  }
+
+  CandidateGate::Boundary BoundarySnapshot() {
+    std::lock_guard<Spinlock> lk(top_lock_);
+    return CandidateGate::Snapshot(top_);
+  }
+
+  void Publish(VertexId v, double cb) {
+    std::lock_guard<Spinlock> lk(top_lock_);
+    top_.Offer(OriginalId(v), cb);
+  }
+
+  // Processes the claimed edge (u, v): Rule A/B against the shared maps,
+  // then the remaining-edge counters drop (release) so waiters observe a
+  // complete S map. Mirrors EdgeProcessor::ProcessMarkedEdge.
+  void ProcessClaimedEdge(VertexId u, VertexId v, WorkerCtx* ctx) {
+    IntersectNeighborhoods(g_, edge_set_, ctx->marker, u, v, &ctx->common);
+    ++ctx->edges;
+    ctx->triangles += ctx->common.size();
+
+    ctx->pairs.clear();
+    auto emit = [ctx](VertexId x, VertexId y) {
+      ctx->pairs.emplace_back(x, y);
+    };
+    if (mode_ == KernelMode::kBitmap) {
+      ctx->kernel.ForEachNonAdjacentPair(g_, edge_set_, ctx->common, emit);
+    } else {
+      DiamondKernel::ForEachNonAdjacentPairLegacy(edge_set_, ctx->common,
+                                                  emit);
+    }
+    ctx->increments += 2 * ctx->pairs.size();
+
+    PublishEdgeRules(&smaps_, &locks_, u, v, ctx->common, ctx->pairs);
+    remaining_[u].fetch_sub(1, std::memory_order_acq_rel);
+    remaining_[v].fetch_sub(1, std::memory_order_acq_rel);
+  }
+
+  // EgoBWCal under contention: claim-and-process this worker's share of
+  // u's unprocessed edges, wait out edges claimed by concurrent workers,
+  // then evaluate the complete S_u.
+  void ComputeExact(VertexId u, WorkerCtx* ctx) {
+    if (remaining_[u].load(std::memory_order_acquire) != 0) {
+      auto nbrs = g_.Neighbors(u);
+      auto eids = g_.IncidentEdges(u);
+      // Pre-size S_u from the serial engine's wedge estimate over the
+      // still-unclaimed edges (same damping; see WedgeReserveEstimate).
+      uint64_t estimate = 0;
+      for (size_t i = 0; i < nbrs.size(); ++i) {
+        if (claimed_[eids[i]].load(std::memory_order_relaxed) == 0) {
+          estimate += std::min(g_.Degree(u), g_.Degree(nbrs[i]));
+        }
+      }
+      {
+        std::lock_guard<Spinlock> lk(locks_.For(u));
+        smaps_.ReserveFor(u, WedgeReserveEstimate(estimate));
+      }
+      ctx->marker.Clear();
+      for (VertexId w : nbrs) ctx->marker.Set(w);
+      for (size_t i = 0; i < nbrs.size(); ++i) {
+        EdgeId e = eids[i];
+        if (claimed_[e].load(std::memory_order_acquire) != 0) continue;
+        if (claimed_[e].exchange(1, std::memory_order_acq_rel) != 0) continue;
+        ProcessClaimedEdge(u, nbrs[i], ctx);
+      }
+      while (remaining_[u].load(std::memory_order_acquire) != 0) {
+        std::this_thread::yield();
+      }
+    }
+    double cb;
+    {
+      // The stripe lock also serializes against redundant Rule-A marks
+      // arriving from edges among N(u) (no-ops on a complete map, but they
+      // must not interleave with the evaluation scan).
+      std::lock_guard<Spinlock> lk(locks_.For(u));
+      cb = smaps_.EvaluateExact(u);
+    }
+    ++ctx->exact;
+    Publish(u, cb);
+  }
+
+  void Worker(size_t idx) {
+    WorkerCtx* ctx = ctxs_[idx].get();
+    while (!done_.load(std::memory_order_acquire)) {
+      auto popped = TryPop();
+      if (!popped) {
+        // Termination barrier: generation-fenced emptiness + no holders
+        // (see the header's protocol argument).
+        uint64_t gen = pushes_.load(std::memory_order_seq_cst);
+        if (AllShardsEmpty() &&
+            active_.load(std::memory_order_seq_cst) == 0 &&
+            pushes_.load(std::memory_order_seq_cst) == gen) {
+          done_.store(true, std::memory_order_release);
+          return;
+        }
+        std::this_thread::yield();
+        continue;
+      }
+      auto [v, stale_key] = *popped;
+      double ub = ReadBound(v);
+      Admission verdict =
+          gate_.Decide(stale_key, ub, OriginalId(v), BoundarySnapshot());
+      switch (verdict) {
+        case Admission::kRepush:
+          Repush(v, ub);  // Before the holder count drops (barrier order).
+          ++ctx->pushbacks;
+          break;
+        case Admission::kCompute:
+          ComputeExact(v, ctx);
+          break;
+        case Admission::kPrune:
+          ++ctx->pruned;
+          break;
+        case Admission::kTerminate:
+          // The popped key was the best visible one and it is strictly
+          // dominated, so bulk-drain every shard that is provably done.
+          // This cannot end the pool by fiat — an in-flight candidate on
+          // another worker may still re-push a key at or above the
+          // boundary — but such a re-push lands after the drain (or in a
+          // shard the drain skipped) and flows through normal admission;
+          // the termination barrier still decides the actual finish.
+          ctx->pruned += 1 + DrainDominated();
+          break;
+      }
+      active_.fetch_sub(1, std::memory_order_seq_cst);
+    }
+  }
+
+  const Graph& g_;
+  EdgeSet edge_set_;
+  SMapStore smaps_;
+  StripedLocks locks_;
+  CandidateGate gate_;
+  TopKAccumulator top_;
+  Spinlock top_lock_;
+  KernelMode mode_;
+  size_t threads_;
+  const std::vector<VertexId>* new_to_old_;
+  uint32_t shard_mask_;
+  std::unique_ptr<std::atomic<uint8_t>[]> claimed_;      // Per EdgeId.
+  std::unique_ptr<std::atomic<uint32_t>[]> remaining_;   // Per vertex.
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::unique_ptr<WorkerCtx>> ctxs_;
+  std::atomic<uint64_t> pushes_{0};  // Re-push generation counter.
+  std::atomic<uint32_t> active_{0};  // Workers holding a popped candidate.
+  std::atomic<bool> done_{false};
+};
+
+}  // namespace
+
+TopKResult ParallelOptBSearch(const Graph& g, uint32_t k, size_t threads,
+                              const ParallelOptBSearchOptions& options,
+                              SearchStats* stats) {
+  EGOBW_CHECK_MSG(options.theta >= 1.0, "theta must be >= 1");
+  WallTimer timer;
+  uint32_t n = g.NumVertices();
+  if (k > n) k = n;
+  if (k == 0 || n == 0) return {};
+
+  TopKResult result;
+  if (options.relabel_by_degree) {
+    std::vector<VertexId> old_to_new;
+    Graph relabeled = g.RelabeledByDegree(&old_to_new);
+    std::vector<VertexId> new_to_old(n);
+    for (VertexId v = 0; v < n; ++v) new_to_old[old_to_new[v]] = v;
+    ParallelBoundedEngine engine(relabeled, k, threads, options, &new_to_old);
+    engine.Run();
+    engine.FillStats(stats);
+    result = engine.TakeResult();
+  } else {
+    ParallelBoundedEngine engine(g, k, threads, options, nullptr);
+    engine.Run();
+    engine.FillStats(stats);
+    result = engine.TakeResult();
+  }
+  if (stats != nullptr) stats->elapsed_seconds += timer.Seconds();
+  return result;
+}
+
+}  // namespace egobw

@@ -1,0 +1,92 @@
+/// \file
+/// Parallel bounded top-k ego-betweenness search: OptBSearch (Algorithm 2)
+/// over a work-stealing candidate pool.
+///
+/// Architecture (one shared instance each, workers are symmetric):
+///   * Sharded candidate pool — vertices are partitioned over P spinlocked
+///     indexed max-heaps seeded with the static bounds. A worker pops the
+///     globally best key across all shard tops (ties toward the larger id,
+///     matching the serial heap), so pop order approximates the serial
+///     descending-bound exploration while re-pushes land on per-shard
+///     locks instead of one global one. Keys are
+///     epoch-free by construction: the indexed heaps hold at most one live
+///     entry per vertex, and a popped key is validated against the fresh
+///     ũb(v) by the shared CandidateGate exactly as in the serial engine.
+///   * Shared S maps — all Rule A/B deltas are published through the
+///     striped-lock SMapStore of the PEBW engines, so every worker's ũb(v)
+///     read is O(1) and monotonically non-increasing, and each per-worker
+///     DiamondKernel enumerates Rule-B pairs against the shared (optionally
+///     degree-relabeled) CSR without locks.
+///   * Exact computations — edges are claimed with a per-edge atomic flag;
+///     a worker computing CB(v) processes the incident edges it wins and
+///     then waits for the per-vertex remaining-edge counter to hit zero
+///     (edges claimed by a concurrent worker complete under the same
+///     striped locks), so EvaluateExact(v) always sees a complete S_v.
+///
+/// Termination barrier. The serial stopping condition (|R| = k and
+/// t̂b ≤ min CB(R)) must survive concurrent bound decay; the pool decides it
+/// cooperatively:
+///   1. Admission is per-candidate: a popped key strictly below the
+///      boundary (or a candidate that loses the canonical id tie-break) is
+///      pruned; keys only decrease and the boundary only tightens, so a
+///      prune verdict can never invalidate later. A dominated pop-max
+///      additionally bulk-drains every shard whose top is strictly below
+///      the boundary (all its entries are provably prunable) — but cannot
+///      end the pool by fiat: an in-flight candidate popped earlier by
+///      another worker may still re-push a key at or above the boundary,
+///      which lands after the drain (or in a skipped shard) and flows
+///      through normal admission.
+///   2. The pool is finished exactly when every shard is empty AND no
+///      worker holds a popped candidate (candidate holders are counted by
+///      an atomic that is incremented under the shard lock at pop time and
+///      decremented only after a re-push has been inserted). A push
+///      generation counter read before and after the emptiness scan fences
+///      the race between scanning one shard and a re-push landing in
+///      another: an unchanged generation proves no key appeared anywhere
+///      during the scan, re-establishing the serial invariant that every
+///      vertex was either computed exactly or pruned against a boundary
+///      its key could not beat.
+///
+/// With 1 thread the pool pops in exactly the serial key order and the gate
+/// makes identical decisions, so stats (exact computations, pushbacks) match
+/// OptBSearch; with any thread count the returned top-k is bit-for-bit
+/// identical to the serial answer because admission is tie-aware and exact
+/// values are schedule-invariant (see core/bounded_search.h).
+
+#ifndef EGOBW_PARALLEL_PARALLEL_OPT_SEARCH_H_
+#define EGOBW_PARALLEL_PARALLEL_OPT_SEARCH_H_
+
+#include <cstdint>
+
+#include "core/ego_types.h"
+#include "graph/graph.h"
+
+namespace egobw {
+
+/// Tuning knobs for ParallelOptBSearch.
+struct ParallelOptBSearchOptions {
+  /// Gradient ratio θ ≥ 1 (paper default 1.05). Exactly OptBSearchOptions::
+  /// theta: θ = 1 re-pushes on every bound improvement (fewest exact
+  /// computations, most heap traffic), large θ never re-pushes (cheap heap,
+  /// more exact computations); 1.05 balances the two on the paper's
+  /// datasets (Exp-2). The answer is θ-independent.
+  double theta = 1.05;
+  /// Run on a Graph::RelabeledByDegree copy (one O(m) rebuild, better
+  /// locality on power-law graphs); ids in the answer are mapped back.
+  /// Results are identical either way.
+  bool relabel_by_degree = true;
+  /// Number of candidate-pool shards (rounded up to a power of two);
+  /// 0 derives 2× the thread count, clamped to [1, 32].
+  uint32_t shards = 0;
+};
+
+/// Returns the top-k vertices by ego-betweenness (cb desc, id asc), equal
+/// bit-for-bit to OptBSearch(g, k) for every thread count. `threads` == 0
+/// runs 1 worker; 1 worker runs inline (no thread is spawned).
+TopKResult ParallelOptBSearch(const Graph& g, uint32_t k, size_t threads,
+                              const ParallelOptBSearchOptions& options = {},
+                              SearchStats* stats = nullptr);
+
+}  // namespace egobw
+
+#endif  // EGOBW_PARALLEL_PARALLEL_OPT_SEARCH_H_

@@ -1,0 +1,349 @@
+// Tests for the shared bound-heap + candidate-admission layer
+// (core/bounded_search.h) and the θ edge cases the serial and parallel
+// bounded searches must agree on:
+//   * θ = 1     — re-push on every bound improvement (max heap traffic),
+//   * θ = 1e18  — never re-push (pure fresher-bound pruning),
+//   * k ≥ n     — degenerates to the all-vertex computation.
+// Every engine configuration must return the canonical top-k (cb desc,
+// id asc) bit-for-bit, independent of arrival order, thread count and
+// degree relabeling.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/all_ego.h"
+#include "core/bounded_search.h"
+#include "core/opt_search.h"
+#include "graph/example_graphs.h"
+#include "graph/generators.h"
+#include "parallel/parallel_opt_search.h"
+
+namespace egobw {
+namespace {
+
+// The canonical answer computed from ground truth: full pass, then sort.
+TopKResult CanonicalTopK(const Graph& g, uint32_t k) {
+  std::vector<double> cb = ComputeAllEgoBetweenness(g);
+  TopKResult result;
+  result.reserve(cb.size());
+  for (VertexId v = 0; v < cb.size(); ++v) result.push_back({v, cb[v]});
+  FinalizeTopK(&result, std::min<uint32_t>(k, g.NumVertices()));
+  return result;
+}
+
+void ExpectTopKBitEqual(const TopKResult& got, const TopKResult& want,
+                        const std::string& what) {
+  ASSERT_EQ(got.size(), want.size()) << what;
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].vertex, want[i].vertex) << what << " rank " << i;
+    uint64_t gb, wb;
+    std::memcpy(&gb, &got[i].cb, sizeof(gb));
+    std::memcpy(&wb, &want[i].cb, sizeof(wb));
+    EXPECT_EQ(gb, wb) << what << " CB at rank " << i << ": " << got[i].cb
+                      << " vs " << want[i].cb;
+  }
+}
+
+std::vector<std::pair<std::string, Graph>> TestGraphs() {
+  std::vector<std::pair<std::string, Graph>> graphs;
+  graphs.emplace_back("paper_fig1", PaperFigure1());
+  graphs.emplace_back("ba_clustered", BarabasiAlbert(500, 6, 71, 0.4));
+  graphs.emplace_back("er_mid", ErdosRenyi(300, 1500, 72));
+  graphs.emplace_back("collab", Collaboration(300, 400, 6, 8, 0.2, 73));
+  return graphs;
+}
+
+// ------------------------------------------------------------ accumulator
+
+TEST(TopKAccumulatorTest, KeepsBestKInCanonicalOrder) {
+  TopKAccumulator top(3);
+  top.Offer(4, 1.0);
+  top.Offer(1, 5.0);
+  EXPECT_FALSE(top.Full());
+  top.Offer(9, 3.0);
+  ASSERT_TRUE(top.Full());
+  EXPECT_DOUBLE_EQ(top.WorstCb(), 1.0);
+  EXPECT_EQ(top.WorstVertex(), 4u);
+  top.Offer(2, 2.0);  // Displaces (4, 1.0).
+  EXPECT_DOUBLE_EQ(top.WorstCb(), 2.0);
+  TopKResult r = top.Take();
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_EQ(r[0].vertex, 1u);
+  EXPECT_EQ(r[1].vertex, 9u);
+  EXPECT_EQ(r[2].vertex, 2u);
+}
+
+TEST(TopKAccumulatorTest, BoundaryTiesBreakTowardSmallerId) {
+  TopKAccumulator top(2);
+  top.Offer(7, 1.0);
+  top.Offer(3, 1.0);
+  // Worst = largest id among the tied boundary entries.
+  EXPECT_EQ(top.WorstVertex(), 7u);
+  top.Offer(5, 1.0);  // Beats (7, 1.0) by id, keeps (3, 1.0).
+  TopKResult r = top.Take();
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(r[0].vertex, 3u);
+  EXPECT_EQ(r[1].vertex, 5u);
+  // A later, larger id must NOT displace an equal-cb entry.
+  TopKAccumulator top2(1);
+  top2.Offer(5, 1.0);
+  top2.Offer(9, 1.0);
+  EXPECT_EQ(top2.Take()[0].vertex, 5u);
+}
+
+TEST(TopKAccumulatorTest, ContentIndependentOfOfferOrder) {
+  // The parallel engine's key property: any permutation of the same offers
+  // retains the identical set.
+  std::vector<TopKEntry> offers = {{0, 2.0}, {1, 2.0}, {2, 2.0}, {3, 5.0},
+                                   {4, 1.0}, {5, 2.0}, {6, 0.0}};
+  std::sort(offers.begin(), offers.end(),
+            [](const TopKEntry& a, const TopKEntry& b) {
+              return a.vertex < b.vertex;
+            });
+  TopKResult want;
+  do {
+    TopKAccumulator top(4);
+    for (const auto& e : offers) top.Offer(e.vertex, e.cb);
+    TopKResult got = top.Take();
+    if (want.empty()) {
+      want = got;
+    } else {
+      ASSERT_EQ(got.size(), want.size());
+      for (size_t i = 0; i < want.size(); ++i) {
+        ASSERT_EQ(got[i].vertex, want[i].vertex);
+        ASSERT_EQ(got[i].cb, want[i].cb);
+      }
+    }
+  } while (std::next_permutation(
+      offers.begin(), offers.end(),
+      [](const TopKEntry& a, const TopKEntry& b) {
+        return a.vertex < b.vertex;
+      }));
+  // The canonical winners: cb 5, then the three smallest ids at cb 2.
+  ASSERT_EQ(want.size(), 4u);
+  EXPECT_EQ(want[0].vertex, 3u);
+  EXPECT_EQ(want[1].vertex, 0u);
+  EXPECT_EQ(want[2].vertex, 1u);
+  EXPECT_EQ(want[3].vertex, 2u);
+}
+
+TEST(TopKAccumulatorTest, ZeroKAcceptsNothing) {
+  TopKAccumulator top(0);
+  top.Offer(1, 10.0);
+  EXPECT_EQ(top.size(), 0u);
+  EXPECT_TRUE(top.Take().empty());
+}
+
+// ------------------------------------------------------------------ gate
+
+TEST(CandidateGateTest, VerdictsMatchAlgorithm2) {
+  CandidateGate gate(1.05);
+  CandidateGate::Boundary empty;  // R not yet full: nothing is prunable.
+  EXPECT_EQ(gate.Decide(10.0, 10.0, 3, empty), Admission::kCompute);
+  EXPECT_EQ(gate.Decide(10.0, 5.0, 3, empty), Admission::kRepush);
+
+  CandidateGate::Boundary full{true, 6.0, 8};
+  // Fresh bound strictly above the boundary: compute.
+  EXPECT_EQ(gate.Decide(7.0, 7.0, 3, full), Admission::kCompute);
+  // θ-triggered with a bound that can still enter: re-push.
+  EXPECT_EQ(gate.Decide(10.0, 7.0, 3, full), Admission::kRepush);
+  // θ-triggered with a dominated bound: prune on the spot.
+  EXPECT_EQ(gate.Decide(10.0, 2.0, 3, full), Admission::kPrune);
+  // Pop-max key strictly below the boundary: the whole pool is done.
+  EXPECT_EQ(gate.Decide(5.0, 5.0, 3, full), Admission::kTerminate);
+}
+
+TEST(CandidateGateTest, BoundaryTiesAreIdAware) {
+  CandidateGate gate(1.0);
+  CandidateGate::Boundary full{true, 6.0, 8};
+  // Bound ties the boundary: ids below the boundary vertex may still win
+  // the canonical tie-break and must be computed...
+  EXPECT_EQ(gate.Decide(6.0, 6.0, 3, full), Admission::kCompute);
+  // ...ids above it cannot, and die without an exact computation.
+  EXPECT_EQ(gate.Decide(6.0, 6.0, 9, full), Admission::kPrune);
+  // Same discrimination inside the θ branch.
+  EXPECT_EQ(gate.Decide(9.0, 6.0, 3, full), Admission::kRepush);
+  EXPECT_EQ(gate.Decide(9.0, 6.0, 9, full), Admission::kPrune);
+  // Termination needs strict domination; a tied key keeps the pool alive.
+  EXPECT_EQ(gate.Decide(6.0, 6.0, 9, full), Admission::kPrune);
+  EXPECT_NE(gate.Decide(6.0, 6.0, 3, full), Admission::kTerminate);
+}
+
+TEST(CandidateGateTest, StaticPrefixDomination) {
+  CandidateGate::Boundary full{true, 6.0, 8};
+  EXPECT_TRUE(CandidateGate::StaticPrefixDominated(5.0, full));
+  // Ties must keep scanning: a smaller id could win the tie-break.
+  EXPECT_FALSE(CandidateGate::StaticPrefixDominated(6.0, full));
+  EXPECT_FALSE(CandidateGate::StaticPrefixDominated(7.0, full));
+  CandidateGate::Boundary not_full;
+  EXPECT_FALSE(CandidateGate::StaticPrefixDominated(0.0, not_full));
+}
+
+// ------------------------------------------------- θ edge cases, serial
+
+TEST(ThetaEdgeCaseTest, ThetaOneMatchesCanonicalAndRepushes) {
+  for (const auto& [name, g] : TestGraphs()) {
+    SearchStats stats;
+    TopKResult r = OptBSearch(g, 20, {.theta = 1.0}, &stats);
+    ExpectTopKBitEqual(r, CanonicalTopK(g, 20), name + " theta=1");
+    if (name != "paper_fig1") {
+      // θ = 1 re-pushes on any improvement; real graphs always tighten.
+      EXPECT_GT(stats.heap_pushbacks, 0u) << name;
+    }
+  }
+}
+
+TEST(ThetaEdgeCaseTest, HugeThetaNeverRepushes) {
+  for (const auto& [name, g] : TestGraphs()) {
+    SearchStats stats;
+    TopKResult r = OptBSearch(g, 20, {.theta = 1e18}, &stats);
+    ExpectTopKBitEqual(r, CanonicalTopK(g, 20), name + " theta=1e18");
+    EXPECT_EQ(stats.heap_pushbacks, 0u) << name;
+  }
+}
+
+TEST(ThetaEdgeCaseTest, KGreaterEqualNDegeneratesToAllVertex) {
+  for (const auto& [name, g] : TestGraphs()) {
+    uint32_t n = g.NumVertices();
+    TopKResult canonical = CanonicalTopK(g, n);
+    TopKResult r = OptBSearch(g, n + 100);
+    ASSERT_EQ(r.size(), n) << name;
+    ExpectTopKBitEqual(r, canonical, name + " k>=n serial");
+  }
+}
+
+// ----------------------------------------------- θ edge cases, parallel
+
+TEST(ThetaEdgeCaseTest, ParallelThetaOneMatchesSerial) {
+  for (const auto& [name, g] : TestGraphs()) {
+    TopKResult serial = OptBSearch(g, 20, {.theta = 1.0});
+    for (size_t threads : {1u, 2u, 4u}) {
+      ParallelOptBSearchOptions opts;
+      opts.theta = 1.0;
+      TopKResult par = ParallelOptBSearch(g, 20, threads, opts);
+      ExpectTopKBitEqual(par, serial,
+                         name + " parallel theta=1 t=" +
+                             std::to_string(threads));
+    }
+  }
+}
+
+TEST(ThetaEdgeCaseTest, ParallelHugeThetaNeverRepushes) {
+  for (const auto& [name, g] : TestGraphs()) {
+    TopKResult serial = OptBSearch(g, 20, {.theta = 1e18});
+    for (size_t threads : {1u, 4u}) {
+      ParallelOptBSearchOptions opts;
+      opts.theta = 1e18;
+      SearchStats stats;
+      TopKResult par = ParallelOptBSearch(g, 20, threads, opts, &stats);
+      ExpectTopKBitEqual(par, serial,
+                         name + " parallel theta=1e18 t=" +
+                             std::to_string(threads));
+      EXPECT_EQ(stats.heap_pushbacks, 0u) << name;
+    }
+  }
+}
+
+TEST(ThetaEdgeCaseTest, ParallelKGreaterEqualNDegeneratesToAllVertex) {
+  for (const auto& [name, g] : TestGraphs()) {
+    uint32_t n = g.NumVertices();
+    TopKResult canonical = CanonicalTopK(g, n);
+    for (size_t threads : {1u, 4u}) {
+      TopKResult r = ParallelOptBSearch(g, n + 100, threads);
+      ASSERT_EQ(r.size(), n) << name;
+      ExpectTopKBitEqual(r, canonical,
+                         name + " k>=n t=" + std::to_string(threads));
+    }
+  }
+}
+
+// --------------------------------------------------- parallel engine API
+
+TEST(ParallelOptBSearchTest, EdgeCasesAndSmallInputs) {
+  Graph g = PaperFigure1();
+  EXPECT_TRUE(ParallelOptBSearch(g, 0, 4).empty());
+  Graph empty;
+  EXPECT_TRUE(ParallelOptBSearch(empty, 5, 4).empty());
+  // threads == 0 runs one worker.
+  TopKResult r = ParallelOptBSearch(g, 1, 0);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(PaperFigure1Name(r[0].vertex), "f");
+}
+
+TEST(ParallelOptBSearchTest, SingleWorkerStatsMatchSerial) {
+  // With 1 worker and no relabeling the pool pops in the serial key order,
+  // so the instrumentation — not just the answer — must coincide.
+  for (const auto& [name, g] : TestGraphs()) {
+    SearchStats serial_stats, par_stats;
+    TopKResult serial = OptBSearch(g, 15, {.theta = 1.05}, &serial_stats);
+    ParallelOptBSearchOptions opts;
+    opts.relabel_by_degree = false;
+    TopKResult par = ParallelOptBSearch(g, 15, 1, opts, &par_stats);
+    ExpectTopKBitEqual(par, serial, name + " t=1 answer");
+    EXPECT_EQ(par_stats.exact_computations, serial_stats.exact_computations)
+        << name;
+    EXPECT_EQ(par_stats.heap_pushbacks, serial_stats.heap_pushbacks) << name;
+    EXPECT_EQ(par_stats.pruned, serial_stats.pruned) << name;
+  }
+}
+
+TEST(ParallelOptBSearchTest, ExactComputationsStayNearSerial) {
+  // Concurrency may admit a few extra exact computations (candidates in
+  // flight while the boundary tightens) but never fewer than serial needs,
+  // and never the whole graph when pruning should bite.
+  Graph g = BarabasiAlbert(800, 6, 77, 0.3);
+  SearchStats serial_stats;
+  OptBSearch(g, 25, {.theta = 1.05}, &serial_stats);
+  for (size_t threads : {2u, 4u, 8u}) {
+    SearchStats par_stats;
+    ParallelOptBSearch(g, 25, threads, {}, &par_stats);
+    EXPECT_GE(par_stats.exact_computations, 25u);
+    EXPECT_LE(par_stats.exact_computations,
+              serial_stats.exact_computations + 8 * threads)
+        << "t=" << threads;
+  }
+}
+
+TEST(ParallelOptBSearchTest, TieHeavyGraphsReturnCanonicalIds) {
+  // Every vertex of a cycle has CB = 1; the canonical answer is the k
+  // smallest ids, for every engine configuration.
+  Graph g = Cycle(60);
+  for (size_t threads : {1u, 2u, 4u}) {
+    for (bool relabel : {false, true}) {
+      ParallelOptBSearchOptions opts;
+      opts.relabel_by_degree = relabel;
+      TopKResult r = ParallelOptBSearch(g, 9, threads, opts);
+      ASSERT_EQ(r.size(), 9u);
+      for (VertexId v = 0; v < 9; ++v) {
+        EXPECT_EQ(r[v].vertex, v) << "threads=" << threads
+                                  << " relabel=" << relabel;
+        EXPECT_DOUBLE_EQ(r[v].cb, 1.0);
+      }
+    }
+  }
+}
+
+TEST(ParallelOptBSearchTest, RepeatedRunsAreIdentical) {
+  Graph g = RMat(10, 6, 0.57, 0.19, 0.19, 79);
+  TopKResult first = ParallelOptBSearch(g, 30, 4);
+  for (int run = 0; run < 3; ++run) {
+    TopKResult again = ParallelOptBSearch(g, 30, 4);
+    ExpectTopKBitEqual(again, first, "repeat run " + std::to_string(run));
+  }
+}
+
+TEST(ParallelOptBSearchTest, OversubscribedThreadsStillCorrect) {
+  Graph g = BarabasiAlbert(400, 5, 81, 0.5);
+  TopKResult serial = OptBSearch(g, 12);
+  size_t hw = std::max<size_t>(1, std::thread::hardware_concurrency());
+  TopKResult par = ParallelOptBSearch(g, 12, 4 * hw);
+  ExpectTopKBitEqual(par, serial, "oversubscribed");
+}
+
+}  // namespace
+}  // namespace egobw

@@ -13,6 +13,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -26,6 +27,7 @@
 #include "graph/example_graphs.h"
 #include "graph/generators.h"
 #include "parallel/parallel_ebw.h"
+#include "parallel/parallel_opt_search.h"
 
 namespace egobw {
 namespace {
@@ -188,6 +190,40 @@ TEST(KernelEquivalence, ParallelEnginesMatchSerialBitForBit) {
                                                         : " legacy");
         ExpectBitEqual(serial, vertex, what + " VertexPEBW");
         ExpectBitEqual(serial, edge, what + " EdgePEBW");
+      }
+    }
+  }
+}
+
+TEST(KernelEquivalence, ParallelOptBSearchMatchesSerialBitForBit) {
+  // The bounded parallel search must return the exact serial answer —
+  // vertex sets AND CB doubles — for every thread count, with and without
+  // degree relabeling, under both kernels. Admission is tie-aware and
+  // complete-map evaluation is schedule-invariant, so this is bit equality,
+  // not tolerance (the acceptance bar for the parallel top-k engine).
+  size_t hw = std::max<size_t>(1, std::thread::hardware_concurrency());
+  std::vector<size_t> thread_counts = {1, 2, 4};
+  if (hw > 4) thread_counts.push_back(hw);
+  for (const auto& [name, g] : TestGraphs()) {
+    for (uint32_t k : {1u, 5u, 25u}) {
+      TopKResult serial = OptBSearch(g, k);
+      for (size_t threads : thread_counts) {
+        for (bool relabel : {false, true}) {
+          for (KernelMode mode :
+               {KernelMode::kLegacyProbe, KernelMode::kBitmap}) {
+            ParallelOptBSearchOptions options;
+            options.relabel_by_degree = relabel;
+            TopKResult par = WithKernel(mode, [&] {
+              return ParallelOptBSearch(g, k, threads, options);
+            });
+            ExpectTopKBitEqual(
+                par, serial,
+                name + " ParallelOptBSearch k=" + std::to_string(k) +
+                    " t=" + std::to_string(threads) +
+                    (relabel ? " relabeled" : " direct") +
+                    (mode == KernelMode::kBitmap ? " bitmap" : " legacy"));
+          }
+        }
       }
     }
   }
