@@ -10,16 +10,27 @@
 // The JSON records hardware_threads so single-core CI runs are readable
 // for what they are: correctness + overhead data, not scaling data.
 //
+// Each row runs in a forked child and reports that child's ru_maxrss as
+// peak_rss_bytes: the top-k search's memory story is the retained S-map
+// state, and a per-process measurement isolates each engine's footprint
+// instead of reporting the monotone process-lifetime maximum.
+//
 // Usage: topk_scaling [output.json] [scale] [k] [theta] [max_threads]
 //   scale        R-MAT scale (default 17; CI smoke passes a smaller one)
 //   k            top-k size (default 100)
 //   theta        gradient ratio (default 1.05)
 //   max_threads  highest worker count measured (default 8)
 
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
+#include <functional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -40,6 +51,7 @@ struct Row {
   double seconds = 0.0;
   uint64_t exact = 0;
   uint64_t pushbacks = 0;
+  uint64_t peak_rss_bytes = 0;
   bool matches_serial = true;
 };
 
@@ -49,6 +61,91 @@ bool SameAnswer(const TopKResult& a, const TopKResult& b) {
     if (a[i].vertex != b[i].vertex || a[i].cb != b[i].cb) return false;
   }
   return true;
+}
+
+// Fixed-size preamble of the child -> parent result pipe, followed by
+// result_size (vertex, cb) entries.
+struct WireHeader {
+  double seconds = 0.0;
+  uint64_t exact = 0;
+  uint64_t pushbacks = 0;
+  uint64_t result_size = 0;
+};
+
+bool ReadAll(int fd, void* buf, size_t len) {
+  char* p = static_cast<char*>(buf);
+  while (len > 0) {
+    ssize_t n = read(fd, p, len);
+    if (n <= 0) return false;
+    p += n;
+    len -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+void WriteAll(int fd, const void* buf, size_t len) {
+  const char* p = static_cast<const char*>(buf);
+  while (len > 0) {
+    ssize_t n = write(fd, p, len);
+    if (n <= 0) _exit(3);
+    p += n;
+    len -= static_cast<size_t>(n);
+  }
+}
+
+// Runs one engine configuration in a forked child so its ru_maxrss is the
+// row's own peak (the parent's RSS never includes the engine state). The
+// child streams timing, stats and the top-k answer back over a pipe.
+// Returns false if the child failed; *result receives the child's answer.
+bool RunRowInChild(const std::function<TopKResult(SearchStats*)>& run,
+                   Row* row, TopKResult* result) {
+  int fds[2];
+  if (pipe(fds) != 0) return false;
+  pid_t pid = fork();
+  if (pid < 0) {
+    close(fds[0]);
+    close(fds[1]);
+    return false;
+  }
+  if (pid == 0) {
+    close(fds[0]);
+    SearchStats stats;
+    WallTimer timer;
+    TopKResult r = run(&stats);
+    WireHeader h;
+    h.seconds = timer.Seconds();
+    h.exact = stats.exact_computations;
+    h.pushbacks = stats.heap_pushbacks;
+    h.result_size = r.size();
+    WriteAll(fds[1], &h, sizeof(h));
+    for (const TopKEntry& e : r) {
+      WriteAll(fds[1], &e.vertex, sizeof(e.vertex));
+      WriteAll(fds[1], &e.cb, sizeof(e.cb));
+    }
+    close(fds[1]);
+    _exit(0);
+  }
+  close(fds[1]);
+  WireHeader h;
+  bool ok = ReadAll(fds[0], &h, sizeof(h));
+  result->clear();
+  for (uint64_t i = 0; ok && i < h.result_size; ++i) {
+    TopKEntry e;
+    ok = ReadAll(fds[0], &e.vertex, sizeof(e.vertex)) &&
+         ReadAll(fds[0], &e.cb, sizeof(e.cb));
+    if (ok) result->push_back(e);
+  }
+  close(fds[0]);
+  int status = 0;
+  struct rusage ru;
+  std::memset(&ru, 0, sizeof(ru));
+  if (wait4(pid, &status, 0, &ru) != pid) return false;
+  ok = ok && WIFEXITED(status) && WEXITSTATUS(status) == 0;
+  row->seconds = h.seconds;
+  row->exact = h.exact;
+  row->pushbacks = h.pushbacks;
+  row->peak_rss_bytes = static_cast<uint64_t>(ru.ru_maxrss) * 1024;  // KiB.
+  return ok;
 }
 
 }  // namespace
@@ -68,39 +165,55 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(g.NumEdges()), g.MaxDegree());
 
   std::vector<Row> rows;
+  bool child_failures = false;
 
   std::printf("Serial OptBSearch, k = %u, theta = %.2f...\n", k, theta);
-  SearchStats serial_stats;
-  WallTimer serial_timer;
-  TopKResult serial = OptBSearch(g, k, {.theta = theta}, &serial_stats);
-  double serial_seconds = serial_timer.Seconds();
-  rows.push_back({"OptBSearch", 0, serial_seconds,
-                  serial_stats.exact_computations,
-                  serial_stats.heap_pushbacks, true});
-  std::printf("  %.3f s, %llu exact computations\n", serial_seconds,
-              static_cast<unsigned long long>(
-                  serial_stats.exact_computations));
+  Row serial_row{"OptBSearch", 0};
+  TopKResult serial;
+  if (!RunRowInChild(
+          [&g, k, theta](SearchStats* stats) {
+            return OptBSearch(g, k, {.theta = theta}, stats);
+          },
+          &serial_row, &serial)) {
+    std::fprintf(stderr, "serial row child failed\n");
+    return 1;
+  }
+  rows.push_back(serial_row);
+  std::printf("  %.3f s, %llu exact computations, peak RSS %.1f MiB\n",
+              serial_row.seconds,
+              static_cast<unsigned long long>(serial_row.exact),
+              serial_row.peak_rss_bytes / 1048576.0);
 
   for (size_t threads = 1; threads <= max_threads; threads *= 2) {
     std::printf("ParallelOptBSearch, %zu thread%s...\n", threads,
                 threads == 1 ? "" : "s");
-    SearchStats stats;
-    WallTimer timer;
-    TopKResult par =
-        ParallelOptBSearch(g, k, threads, {.theta = theta}, &stats);
-    double seconds = timer.Seconds();
-    bool ok = SameAnswer(par, serial);
-    rows.push_back({"ParallelOptBSearch", threads, seconds,
-                    stats.exact_computations, stats.heap_pushbacks, ok});
-    std::printf("  %.3f s (%.2fx vs serial), %llu exact, answer %s\n",
-                seconds, seconds > 0 ? serial_seconds / seconds : 0.0,
-                static_cast<unsigned long long>(stats.exact_computations),
-                ok ? "identical" : "MISMATCH");
+    Row row{"ParallelOptBSearch", threads};
+    TopKResult par;
+    if (!RunRowInChild(
+            [&g, k, theta, threads](SearchStats* stats) {
+              return ParallelOptBSearch(g, k, threads, {.theta = theta},
+                                        stats);
+            },
+            &row, &par)) {
+      std::fprintf(stderr, "parallel row child failed (t=%zu)\n", threads);
+      child_failures = true;
+      continue;
+    }
+    row.matches_serial = SameAnswer(par, serial);
+    rows.push_back(row);
+    std::printf(
+        "  %.3f s (%.2fx vs serial), %llu exact, peak RSS %.1f MiB, "
+        "answer %s\n",
+        row.seconds,
+        row.seconds > 0 ? serial_row.seconds / row.seconds : 0.0,
+        static_cast<unsigned long long>(row.exact),
+        row.peak_rss_bytes / 1048576.0,
+        row.matches_serial ? "identical" : "MISMATCH");
   }
 
   unsigned hw = std::thread::hardware_concurrency();
   std::ofstream out(out_path);
-  char buf[256];
+  char buf[320];
   out << "{\n";
   out << "  \"benchmark\": \"bounded_topk_thread_scaling\",\n";
   std::snprintf(buf, sizeof(buf),
@@ -120,11 +233,13 @@ int main(int argc, char** argv) {
         buf, sizeof(buf),
         "    {\"engine\": \"%s\", \"threads\": %zu, \"seconds\": %.3f, "
         "\"speedup_vs_serial\": %.3f, \"exact_computations\": %llu, "
-        "\"heap_pushbacks\": %llu, \"matches_serial\": %s}%s\n",
+        "\"heap_pushbacks\": %llu, \"peak_rss_bytes\": %llu, "
+        "\"matches_serial\": %s}%s\n",
         r.name.c_str(), r.threads, r.seconds,
-        r.seconds > 0 ? serial_seconds / r.seconds : 0.0,
+        r.seconds > 0 ? serial_row.seconds / r.seconds : 0.0,
         static_cast<unsigned long long>(r.exact),
         static_cast<unsigned long long>(r.pushbacks),
+        static_cast<unsigned long long>(r.peak_rss_bytes),
         r.matches_serial ? "true" : "false",
         i + 1 < rows.size() ? "," : "");
     out << buf;
@@ -132,6 +247,7 @@ int main(int argc, char** argv) {
   out << "  ]\n}\n";
   std::printf("Wrote %s\n", out_path.c_str());
 
+  if (child_failures) return 1;
   for (const Row& r : rows) {
     if (!r.matches_serial) return 1;  // Differential failure is an error.
   }

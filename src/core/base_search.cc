@@ -19,10 +19,12 @@ TopKResult BaseBSearch(const Graph& g, uint32_t k, SearchStats* stats) {
   TopKResult result;
   if (k == 0 || n == 0) return result;
 
-  SMapStore smaps(g);
   EdgeSet edge_set(g);
   DegreeOrder order(g);
-  EdgeProcessor proc(g, edge_set, &smaps, stats);
+  // Pure on-demand evaluation: BaseBSearch never reads dynamic bounds, so
+  // it retains NO global S-map state at all — each scanned vertex's S map
+  // is rebuilt locally, evaluated, and discarded.
+  BoundEdgeProcessor proc(g, edge_set, /*bounds=*/nullptr, stats);
   TopKAccumulator top(k);
 
   uint32_t scanned = 0;
@@ -31,16 +33,13 @@ TopKResult BaseBSearch(const Graph& g, uint32_t k, SearchStats* stats) {
     // ≺ order is non-increasing in the static bound, so the first vertex
     // strictly below the boundary proves everything after it out too.
     // Vertices that merely TIE the boundary are still computed: one of them
-    // could win the canonical id tie-break, and its forward edges must be
-    // processed anyway to keep later S maps complete.
+    // could win the canonical id tie-break.
     if (CandidateGate::StaticPrefixDominated(ub, CandidateGate::Snapshot(top))) {
       stats->pruned += n - scanned;
       break;
     }
     ++scanned;
-    proc.ProcessForwardEdgesOf(u, order);
-    EGOBW_DCHECK(proc.Complete(u));
-    double cb = smaps.EvaluateExact(u);
+    double cb = proc.ComputeExactCb(u);
     ++stats->exact_computations;
     top.Offer(u, cb);
   }

@@ -3,11 +3,11 @@
 /// bound ub(u) = d(u)(d(u)-1)/2 (Lemma 2).
 ///
 /// Vertices are visited in non-increasing ub order (the total order ≺).
-/// Each turn processes the vertex's forward edges — which, in ≺ order,
-/// enumerates every triangle exactly once and completes S_u by the end of
-/// u's turn — then evaluates CB(u) and updates the running top-k. The scan
-/// stops as soon as the k-th best exact value dominates the next vertex's
-/// static bound, pruning all remaining vertices.
+/// Each turn rebuilds the vertex's S map locally on demand (one fused pass
+/// over its ego; see BoundEdgeProcessor), evaluates CB(u), discards the map
+/// and updates the running top-k — no global S-map state is ever retained.
+/// The scan stops as soon as the k-th best exact value dominates the next
+/// vertex's static bound, pruning all remaining vertices.
 
 #ifndef EGOBW_CORE_BASE_SEARCH_H_
 #define EGOBW_CORE_BASE_SEARCH_H_
@@ -18,7 +18,9 @@
 namespace egobw {
 
 /// Returns the top-k vertices by ego-betweenness (cb desc, id asc).
-/// k is clamped to n. O(α m d_max) time, O(m d_max) space worst case.
+/// k is clamped to n. O(α m d_max) time; space is one vertex's S map at a
+/// time (the scanned vertex's local rebuild), not the former O(m d_max)
+/// retained store.
 TopKResult BaseBSearch(const Graph& g, uint32_t k,
                        SearchStats* stats = nullptr);
 

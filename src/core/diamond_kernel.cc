@@ -1,11 +1,30 @@
 #include "core/diamond_kernel.h"
 
 #include <atomic>
+#include <chrono>
 
 namespace egobw {
 namespace {
 
 std::atomic<KernelMode> g_default_mode{KernelMode::kBitmap};
+
+// Measured probe/scan cost ratio; 0 = not yet calibrated. The default the
+// old constant encoded (4) was tuned on R-MAT — calibration replaces it
+// with this machine's actual per-op costs.
+std::atomic<double> g_scan_probe_ratio{0.0};
+
+constexpr double kMinRatio = 1.0;
+constexpr double kMaxRatio = 32.0;
+constexpr double kFallbackRatio = 4.0;
+constexpr size_t kCalibrationOps = 4096;
+
+// Keeps the calibration loops' results observable so they cannot be
+// optimized away.
+std::atomic<uint64_t> g_calibration_sink{0};
+
+double ClampRatio(double r) {
+  return std::min(kMaxRatio, std::max(kMinRatio, r));
+}
 
 }  // namespace
 
@@ -15,6 +34,74 @@ KernelMode DefaultKernelMode() {
 
 void SetDefaultKernelMode(KernelMode mode) {
   g_default_mode.store(mode, std::memory_order_relaxed);
+}
+
+double ScanProbeCostRatio() {
+  return g_scan_probe_ratio.load(std::memory_order_relaxed);
+}
+
+void SetScanProbeCostRatio(double ratio) {
+  g_scan_probe_ratio.store(ratio == 0.0 ? 0.0 : ClampRatio(ratio),
+                           std::memory_order_relaxed);
+}
+
+double DiamondKernel::CalibrateScanProbeRatio(const Graph& g,
+                                              const EdgeSet& edges,
+                                              std::span<const VertexId> c) {
+  using Clock = std::chrono::steady_clock;
+  const size_t k = c.size();
+
+  // Probe cost: EdgeSet lookups on pseudo-random vertex pairs drawn from
+  // the WHOLE graph, so the probes walk the full hash table the way phase
+  // 2's do — cycling a handful of pairs would warm the cache and
+  // systematically underestimate the DRAM-resident probe cost.
+  uint64_t state = 0x9e3779b97f4a7c15ull ^ (static_cast<uint64_t>(k) << 32);
+  auto next = [&state] {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<uint32_t>(state >> 33);
+  };
+  const uint32_t n = g.NumVertices();
+  uint64_t sink = 0;
+  size_t ops = 0;
+  auto t0 = Clock::now();
+  while (ops < kCalibrationOps) {
+    VertexId a = next() % n;
+    VertexId b = next() % n;
+    if (a == b) continue;
+    sink += edges.Contains(a, b) ? 1 : 0;
+    ++ops;
+  }
+  double probe_ns = std::chrono::duration<double, std::nano>(
+                        Clock::now() - t0)
+                        .count() /
+                    static_cast<double>(ops);
+
+  // Scan cost: sequential CSR reads with a position lookup each — exactly
+  // phase 1's per-neighbor step.
+  ops = 0;
+  t0 = Clock::now();
+  for (size_t i = 0; ops < kCalibrationOps; ++i) {
+    auto nbrs = g.Neighbors(c[i % k]);
+    for (size_t t = 0; t < nbrs.size() && ops < kCalibrationOps; ++t) {
+      sink += index_.PositionOf(nbrs[t]) >= 0 ? 1 : 0;
+      ++ops;
+    }
+  }
+  double scan_ns = std::chrono::duration<double, std::nano>(
+                       Clock::now() - t0)
+                       .count() /
+                   static_cast<double>(ops == 0 ? 1 : ops);
+  g_calibration_sink.fetch_add(sink, std::memory_order_relaxed);
+
+  double ratio = (scan_ns > 0.0 && probe_ns > 0.0) ? probe_ns / scan_ns
+                                                   : kFallbackRatio;
+  ratio = ClampRatio(ratio);
+  // First calibration wins; concurrent workers may race here, but every
+  // candidate value is a valid clamped measurement.
+  double expected = 0.0;
+  g_scan_probe_ratio.compare_exchange_strong(expected, ratio,
+                                             std::memory_order_relaxed);
+  return g_scan_probe_ratio.load(std::memory_order_relaxed);
 }
 
 }  // namespace egobw

@@ -7,9 +7,9 @@
 /// word-packed |C| × |C| adjacency matrix over the compact position space
 /// [0, |C|) and emits the complement word-parallel:
 ///
-///   1. Fill: every SMALL member x (d(x) <= |C|) scans N(x) once; each
-///      neighbor landing in C sets BOTH symmetric matrix bits, so low-degree
-///      members complete the rows of high-degree (hub) members for free.
+///   1. Fill: every SMALL member x scans N(x) once; each neighbor landing
+///      in C sets BOTH symmetric matrix bits, so low-degree members
+///      complete the rows of high-degree (hub) members for free.
 ///   2. Big-big: only pairs whose two endpoints are BOTH high-degree are
 ///      still unknown — those few pairs are EdgeSet-probed (hubs are rare in
 ///      a power-law C, so this is B² for a small B, not |C|²).
@@ -23,7 +23,9 @@
 /// processes first. Pairs are emitted in the same (i, j) lexicographic order
 /// as the legacy double loop, so downstream S-map insertion order (and
 /// therefore every ũb trajectory) is bit-for-bit reproducible across both
-/// kernels.
+/// kernels. The scan-vs-probe split is driven by a measured per-op cost
+/// ratio (see ScanProbeCostRatio), and the partition it picks never changes
+/// the emitted set or order — only which phase resolves each matrix bit.
 ///
 /// KernelMode selects the implementation at runtime; the legacy path is kept
 /// as the reference for the differential equivalence tests.
@@ -57,6 +59,18 @@ KernelMode DefaultKernelMode();
 /// Sets the process-wide default kernel (see DefaultKernelMode).
 void SetDefaultKernelMode(KernelMode mode);
 
+/// The measured probe-cost / scan-cost ratio R driving the kernel's
+/// scan-vs-probe split: a member x is scanned when d(x) <= max(|C|, R·B).
+/// Lazily calibrated once per process from the first large neighborhood a
+/// kernel processes (timing real EdgeSet probes against real CSR scan
+/// steps), clamped to [1, 32]. Returns 0 while uncalibrated.
+double ScanProbeCostRatio();
+
+/// Overrides the calibrated ratio (clamped to [1, 32]); 0 re-arms the lazy
+/// calibration. Test/bench hook — the emitted pairs are identical for any
+/// ratio, only the fill cost moves.
+void SetScanProbeCostRatio(double ratio);
+
 /// Reusable per-worker scratch implementing the bitmap kernel. Sized for a
 /// vertex universe of n; all storage is recycled across edges.
 class DiamondKernel {
@@ -74,16 +88,18 @@ class DiamondKernel {
   /// the probe side for the sparse-edge majority of real graphs.
   static constexpr uint32_t kSmallNeighborhood = 32;
 
-  /// Calls emit(x, y) for every non-adjacent pair {x, y} ⊆ c with
-  /// x = c[i], y = c[j], i < j, in lexicographic (i, j) position order.
-  /// `c` must contain distinct vertex ids < n.
-  template <typename Emit>
-  void ForEachNonAdjacentPair(const Graph& g, const EdgeSet& edges,
-                              std::span<const VertexId> c, Emit&& emit) {
+  /// Calls emit(i, j) for every position pair i < j of c whose members
+  /// {c[i], c[j]} are non-adjacent, in lexicographic (i, j) order.
+  /// Positions let callers map pairs into per-vertex rank spaces without
+  /// re-searching. `c` must contain distinct vertex ids < n.
+  template <typename EmitIdx>
+  void ForEachNonAdjacentPairIdx(const Graph& g, const EdgeSet& edges,
+                                 std::span<const VertexId> c,
+                                 EmitIdx&& emit) {
     const uint32_t k = static_cast<uint32_t>(c.size());
     if (k < 2) return;
     if (k <= kSmallNeighborhood) {
-      ForEachNonAdjacentPairLegacy(edges, c, emit);
+      ForEachNonAdjacentPairLegacyIdx(edges, c, emit);
       return;
     }
     index_.Begin(c);
@@ -91,15 +107,18 @@ class DiamondKernel {
     // Scan-vs-probe split. Scanning x costs d(x) sequential CSR reads with
     // L2-resident index lookups; leaving x to the probe phase costs ~B
     // random probes into a (potentially DRAM-sized) hash table, where B is
-    // the number of probe-phase members. A scan op is several times cheaper
-    // than a probe, so scan anything with d(x) <= max(|C|, 4B), where B is
-    // first estimated as |{x : d(x) > |C|}| (measured near-optimal on
-    // R-MAT; see bench/kernel_report.cc).
+    // the number of probe-phase members. The crossover is the MEASURED
+    // per-op cost ratio R (see ScanProbeCostRatio; calibrated on first
+    // use), so scan anything with d(x) <= max(|C|, R·B), where B is first
+    // estimated as |{x : d(x) > |C|}|.
+    double ratio = ScanProbeCostRatio();
+    if (ratio == 0.0) ratio = CalibrateScanProbeRatio(g, edges, c);
     uint64_t b_estimate = 0;
     for (uint32_t i = 0; i < k; ++i) {
       if (g.Degree(c[i]) > k) ++b_estimate;
     }
-    uint64_t threshold = std::max<uint64_t>(k, 4 * b_estimate);
+    uint64_t threshold = std::max<uint64_t>(
+        k, static_cast<uint64_t>(ratio * static_cast<double>(b_estimate)));
     // Phase 1: scanned members fill BOTH symmetric bits per hit, so they
     // complete probe-phase members' rows without touching hub lists.
     big_.clear();
@@ -126,22 +145,46 @@ class DiamondKernel {
     }
     // Phase 3: word-parallel complement emission above the diagonal.
     for (uint32_t i = 0; i + 1 < k; ++i) {
-      VertexId x = c[i];
-      matrix_.ForEachZeroAbove(i, [&](uint32_t j) { emit(x, c[j]); });
+      matrix_.ForEachZeroAbove(i, [&](uint32_t j) { emit(i, j); });
     }
   }
 
-  /// Legacy reference: the original per-pair hash-probe double loop. Same
-  /// emission order as the bitmap path.
+  /// Calls emit(x, y) for every non-adjacent pair {x, y} ⊆ c with
+  /// x = c[i], y = c[j], i < j, in lexicographic (i, j) position order.
+  /// `c` must contain distinct vertex ids < n.
+  template <typename Emit>
+  void ForEachNonAdjacentPair(const Graph& g, const EdgeSet& edges,
+                              std::span<const VertexId> c, Emit&& emit) {
+    ForEachNonAdjacentPairIdx(
+        g, edges, c, [&c, &emit](uint32_t i, uint32_t j) {
+          emit(c[i], c[j]);
+        });
+  }
+
+  /// Legacy reference, position-emitting form: the original per-pair
+  /// hash-probe double loop. Same emission order as the bitmap path.
+  template <typename EmitIdx>
+  static void ForEachNonAdjacentPairLegacyIdx(const EdgeSet& edges,
+                                              std::span<const VertexId> c,
+                                              EmitIdx&& emit) {
+    for (size_t i = 0; i < c.size(); ++i) {
+      for (size_t j = i + 1; j < c.size(); ++j) {
+        if (!edges.Contains(c[i], c[j])) {
+          emit(static_cast<uint32_t>(i), static_cast<uint32_t>(j));
+        }
+      }
+    }
+  }
+
+  /// Legacy reference emitting vertex pairs (see the Idx form).
   template <typename Emit>
   static void ForEachNonAdjacentPairLegacy(const EdgeSet& edges,
                                            std::span<const VertexId> c,
                                            Emit&& emit) {
-    for (size_t i = 0; i < c.size(); ++i) {
-      for (size_t j = i + 1; j < c.size(); ++j) {
-        if (!edges.Contains(c[i], c[j])) emit(c[i], c[j]);
-      }
-    }
+    ForEachNonAdjacentPairLegacyIdx(
+        edges, c, [&c, &emit](uint32_t i, uint32_t j) {
+          emit(c[i], c[j]);
+        });
   }
 
   /// Bytes of heap memory held by the scratch structures.
@@ -151,6 +194,12 @@ class DiamondKernel {
   }
 
  private:
+  // One-shot process-wide calibration of the probe/scan cost ratio, run
+  // against the real EdgeSet and CSR the kernel is processing (the position
+  // index must already be installed for c). Returns the ratio to use.
+  double CalibrateScanProbeRatio(const Graph& g, const EdgeSet& edges,
+                                 std::span<const VertexId> c);
+
   NeighborhoodIndex index_;
   PositionMatrix matrix_;
   std::vector<uint32_t> big_;  // Positions of members with d > |C|.

@@ -102,4 +102,69 @@ void EdgeProcessor::ProcessForwardEdgesOf(VertexId u, const ForwardStar& fwd) {
   }
 }
 
+// ---------------------------------------------------- BoundEdgeProcessor --
+
+void ComputeBoundEdgeRanks(
+    const BoundStore& bounds, VertexId u, VertexId v,
+    std::span<const VertexId> common,
+    std::span<const std::pair<uint32_t, uint32_t>> pos_pairs,
+    BoundEdgeRanks* out) {
+  out->rank_v_in_u = bounds.RankOf(u, v);
+  out->rank_u_in_v = bounds.RankOf(v, u);
+  bounds.RanksIn(u, common, &out->c_in_u);
+  bounds.RanksIn(v, common, &out->c_in_v);
+  out->pairs_u.clear();
+  out->pairs_v.clear();
+  out->pairs_u.reserve(pos_pairs.size());
+  out->pairs_v.reserve(pos_pairs.size());
+  for (const auto& [i, j] : pos_pairs) {
+    out->pairs_u.emplace_back(out->c_in_u[i], out->c_in_u[j]);
+    out->pairs_v.emplace_back(out->c_in_v[i], out->c_in_v[j]);
+  }
+  out->uv_in_w.clear();
+  out->uv_in_w.reserve(common.size());
+  for (VertexId w : common) {
+    out->uv_in_w.emplace_back(bounds.RankOf(w, u), bounds.RankOf(w, v));
+  }
+}
+
+BoundEdgeProcessor::BoundEdgeProcessor(const Graph& g, const EdgeSet& edges,
+                                       BoundStore* bounds, SearchStats* stats)
+    : BoundEdgeProcessor(g, edges, bounds, stats, DefaultKernelMode()) {}
+
+BoundEdgeProcessor::BoundEdgeProcessor(const Graph& g, const EdgeSet& edges,
+                                       BoundStore* bounds, SearchStats* stats,
+                                       KernelMode mode)
+    : g_(g),
+      edges_(edges),
+      bounds_(bounds),
+      stats_(stats),
+      mode_(mode),
+      processed_(g.NumEdges(), 0),
+      scratch_(g.NumVertices()) {}
+
+double BoundEdgeProcessor::ComputeExactCb(VertexId u) {
+  return ComputeExactCbImpl(
+      g_, edges_, mode_, &scratch_, u,
+      [this](EdgeId e) { return bounds_ != nullptr && !Processed(e); },
+      [this, u](uint64_t estimate) {
+        if (bounds_ != nullptr) bounds_->ReserveFor(u, estimate);
+      },
+      [this, u](VertexId v, EdgeId e) {
+        if (Processed(e)) return;
+        processed_[e] = 1;
+        // Each edge's enumeration is accounted once even in pure
+        // evaluation mode (bounds_ == nullptr), matching the old
+        // retained-store engines' work accounting.
+        ++stats_->edges_processed;
+        stats_->triangles += scratch_.common.size();
+        stats_->connector_increments += 2 * scratch_.pos_pairs.size();
+        if (bounds_ != nullptr) {
+          ComputeBoundEdgeRanks(*bounds_, u, v, scratch_.common,
+                                scratch_.pos_pairs, &scratch_.ranks);
+          ApplyBoundEdgeRules(bounds_, u, v, scratch_.common, scratch_.ranks);
+        }
+      });
+}
+
 }  // namespace egobw

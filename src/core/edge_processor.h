@@ -1,6 +1,5 @@
 /// \file
-/// The triangle/diamond enumeration engine shared by BaseBSearch, OptBSearch
-/// and the full (k = n) computation.
+/// The triangle/diamond enumeration engines.
 ///
 /// Processing an edge (u, v) with common neighborhood C = N(u) ∩ N(v):
 ///   Rule A: every w ∈ C forms a triangle (u, v, w); mark (v, w) adjacent in
@@ -11,6 +10,15 @@
 /// bitmask — this subsumes the paper's B array and rd(i) bookkeeping).
 /// Invariant: once all edges incident to u are processed, S_u is complete and
 /// SMapStore::Value(u)/EvaluateExact(u) equal CB(u).
+///
+/// Two engines target the two S-map stores:
+///   * EdgeProcessor — publishes exact counts into the retained SMapStore
+///     (the all-vertex pass and the dynamic engine's seed).
+///   * BoundEdgeProcessor — the top-k engines' split pipeline: unprocessed
+///     edges publish rank-packed membership marks into the BoundStore (the
+///     ũb feed), while exact CB(u) is rebuilt locally on demand from one
+///     fused pass over u's ego — no retained counts anywhere. Both phases
+///     share each edge's intersection and kernel run.
 ///
 /// Rule B runs on the word-packed DiamondKernel by default (see
 /// diamond_kernel.h); KernelMode::kLegacyProbe selects the original per-pair
@@ -120,6 +128,170 @@ class EdgeProcessor {
   std::vector<VertexId> scratch_;    // Common-neighbor buffer.
   DiamondKernel kernel_;             // Rule-B bitmap scratch.
   std::vector<std::pair<VertexId, VertexId>> pairs_;  // Rule-B batch.
+};
+
+/// Rank-space view of one processed edge's Rule-A/B mutations: everything
+/// the BoundStore needs, precomputed from read-only graph data so the
+/// parallel engine can derive it outside any lock.
+struct BoundEdgeRanks {
+  uint32_t rank_v_in_u = 0;  ///< Rank of v within N(u).
+  uint32_t rank_u_in_v = 0;  ///< Rank of u within N(v).
+  std::vector<uint32_t> c_in_u;  ///< Ranks of C within N(u) (ascending).
+  std::vector<uint32_t> c_in_v;  ///< Ranks of C within N(v) (ascending).
+  /// Rule-B pairs mapped into each endpoint's rank space, kernel order.
+  std::vector<std::pair<uint32_t, uint32_t>> pairs_u;
+  std::vector<std::pair<uint32_t, uint32_t>> pairs_v;
+  /// Per triangle w = C[i]: (rank of u, rank of v) within N(w).
+  std::vector<std::pair<uint32_t, uint32_t>> uv_in_w;
+};
+
+/// Fills *out for edge (u, v) with common neighborhood `common` (sorted)
+/// and kernel-emitted position pairs `pos_pairs`. Pure reads of the graph.
+void ComputeBoundEdgeRanks(
+    const BoundStore& bounds, VertexId u, VertexId v,
+    std::span<const VertexId> common,
+    std::span<const std::pair<uint32_t, uint32_t>> pos_pairs,
+    BoundEdgeRanks* out);
+
+/// Applies one edge's Rule-A marks and Rule-B connector increments to the
+/// bound store, in the canonical per-map grouping (S_u's marks then its
+/// increments, then S_v's, then the per-triangle case-3 marks) — the same
+/// per-map mutation order as EdgeProcessor and the locked parallel
+/// publication, so every ũb trajectory is engine-independent.
+inline void ApplyBoundEdgeRules(BoundStore* bounds, VertexId u, VertexId v,
+                                std::span<const VertexId> common,
+                                const BoundEdgeRanks& r) {
+  bounds->MarkAdjacentBatch(u, r.rank_v_in_u, r.c_in_u);
+  bounds->AddConnectorsBatch(u, r.pairs_u);
+  bounds->MarkAdjacentBatch(v, r.rank_u_in_v, r.c_in_v);
+  bounds->AddConnectorsBatch(v, r.pairs_v);
+  for (size_t i = 0; i < common.size(); ++i) {
+    bounds->MarkAdjacent(common[i], r.uv_in_w[i].first, r.uv_in_w[i].second);
+  }
+}
+
+/// Per-worker scratch for the fused on-demand exact evaluation: everything
+/// ComputeExactCbImpl touches without synchronization. One instance per
+/// serial processor, one per parallel worker; all storage is recycled
+/// across candidates.
+struct EgoRebuildScratch {
+  EgoRebuildScratch() = default;
+  /// Scratch sized for vertex ids in [0, n).
+  explicit EgoRebuildScratch(uint32_t n) : marker(n), kernel(n) {}
+
+  EpochBitset marker;   ///< Marks N(u) of the candidate being computed.
+  DiamondKernel kernel; ///< Rule-B bitmap scratch.
+  std::vector<VertexId> common;  ///< Common-neighbor buffer.
+  /// Kernel-emitted Rule-B position pairs of the current edge.
+  std::vector<std::pair<uint32_t, uint32_t>> pos_pairs;
+  BoundEdgeRanks ranks;  ///< Rank scratch for bound publications.
+  PairCountMap local;    ///< On-demand exact S_u rebuild.
+};
+
+/// The shared body of EgoBWCal's split pipeline: rebuilds S_u with exact
+/// int32 counts in s->local from one pass over u's incident edges and
+/// returns CB(u), bit-identical to evaluating a complete retained map.
+/// Publication is delegated through callbacks so the serial processor and
+/// the parallel engine run the exact same per-edge sequence and cannot
+/// drift apart:
+///   * unclaimed(e) — true when edge e still needs its bound publication
+///     (drives the bound-set wedge estimate; constant false in pure
+///     evaluation mode),
+///   * reserve(estimate) — pre-sizes u's bound set (under the stripe lock
+///     in the parallel engine; no-op in pure mode),
+///   * publish(v, e) — claim + stats + bound publication for edge (u, v),
+///     reading s->common and s->pos_pairs, called after both are filled.
+template <typename UnclaimedFn, typename ReserveFn, typename PublishFn>
+double ComputeExactCbImpl(const Graph& g, const EdgeSet& edges,
+                          KernelMode mode, EgoRebuildScratch* s, VertexId u,
+                          UnclaimedFn&& unclaimed, ReserveFn&& reserve,
+                          PublishFn&& publish) {
+  auto nbrs = g.Neighbors(u);
+  auto eids = g.IncidentEdges(u);
+  uint64_t d = g.Degree(u);
+  // Pre-size the bound set from the wedge estimate over still-unclaimed
+  // edges, and the local rebuild map over ALL incident edges (it starts
+  // from scratch every call). Same damping as EdgeProcessor; the local
+  // reservation additionally clamps to the C(d, 2) pair universe.
+  uint64_t est_all = 0;
+  uint64_t est_unclaimed = 0;
+  for (size_t i = 0; i < nbrs.size(); ++i) {
+    uint64_t w = std::min(g.Degree(u), g.Degree(nbrs[i]));
+    est_all += w;
+    if (unclaimed(eids[i])) est_unclaimed += w;
+  }
+  reserve(WedgeReserveEstimate(est_unclaimed));
+  s->local.Clear();
+  s->local.Reserve(static_cast<size_t>(
+      std::min(WedgeReserveEstimate(est_all), d * (d - 1) / 2)));
+  s->marker.Clear();
+  for (VertexId w : nbrs) s->marker.Set(w);
+  for (size_t i = 0; i < nbrs.size(); ++i) {
+    VertexId v = nbrs[i];
+    IntersectNeighborhoods(g, edges, s->marker, u, v, &s->common);
+    s->pos_pairs.clear();
+    auto emit = [s](uint32_t a, uint32_t b) {
+      s->pos_pairs.emplace_back(a, b);
+    };
+    if (mode == KernelMode::kBitmap) {
+      s->kernel.ForEachNonAdjacentPairIdx(g, edges, s->common, emit);
+    } else {
+      DiamondKernel::ForEachNonAdjacentPairLegacyIdx(edges, s->common, emit);
+    }
+    publish(v, eids[i]);
+    // Local exact rebuild: edge (u, v) contributes Rule-A marks (v, w) and
+    // connector v for every kernel pair — over all of u's edges this
+    // reconstructs exactly the complete retained S_u.
+    s->local.Reserve(s->local.size() + s->common.size() +
+                     s->pos_pairs.size());
+    for (VertexId w : s->common) s->local.SetAdjacent(PackPair(v, w));
+    for (const auto& [a, b] : s->pos_pairs) {
+      s->local.AddCount(PackPair(s->common[a], s->common[b]), 1);
+    }
+  }
+  return EvaluateCompleteSMap(s->local, static_cast<double>(d));
+}
+
+/// The top-k engines' serial edge engine (see file comment): publishes
+/// bound marks for unprocessed edges and rebuilds exact S maps locally on
+/// demand.
+class BoundEdgeProcessor {
+ public:
+  /// The processor mutates *bounds (may be null: pure on-demand evaluation
+  /// with no global bound state, BaseBSearch's mode) and reads g / edges;
+  /// all must outlive it. The Rule-B kernel defaults to the process-wide
+  /// mode.
+  BoundEdgeProcessor(const Graph& g, const EdgeSet& edges, BoundStore* bounds,
+                     SearchStats* stats);
+  /// Same, with an explicit Rule-B kernel choice.
+  BoundEdgeProcessor(const Graph& g, const EdgeSet& edges, BoundStore* bounds,
+                     SearchStats* stats, KernelMode mode);
+
+  /// True iff edge e has already been enumerated by an exact computation
+  /// (and, when a bound store is attached, published its bound marks).
+  bool Processed(EdgeId e) const { return processed_[e] != 0; }
+
+  /// EgoBWCal (Algorithm 3), split-pipeline form: one pass over u's
+  /// incident edges that (a) publishes membership marks of still-unprocessed
+  /// edges into the bound store — the stream that tightens every ũb — and
+  /// (b) rebuilds S_u with exact int32 connector counts in a local
+  /// scratch map, sharing each edge's intersection and kernel run.
+  /// Returns CB(u), bit-identical to evaluating a complete retained map.
+  double ComputeExactCb(VertexId u);
+
+  /// Bytes of heap memory held by the local scratch structures.
+  size_t ScratchMemoryBytes() const {
+    return scratch_.local.MemoryBytes() + scratch_.kernel.MemoryBytes();
+  }
+
+ private:
+  const Graph& g_;
+  const EdgeSet& edges_;
+  BoundStore* bounds_;
+  SearchStats* stats_;
+  KernelMode mode_;
+  std::vector<uint8_t> processed_;  // Per EdgeId (stats + publish gating).
+  EgoRebuildScratch scratch_;
 };
 
 }  // namespace egobw

@@ -23,9 +23,9 @@ TopKResult OptBSearch(const Graph& g, uint32_t k,
   TopKResult result;
   if (k == 0 || n == 0) return result;
 
-  SMapStore smaps(g);
+  BoundStore bounds(g);
   EdgeSet edge_set(g);
-  EdgeProcessor proc(g, edge_set, &smaps, stats);
+  BoundEdgeProcessor proc(g, edge_set, &bounds, stats);
   TopKAccumulator top(k);
   CandidateGate gate(options.theta);
   SearchObserver* obs = options.observer;
@@ -38,7 +38,7 @@ TopKResult OptBSearch(const Graph& g, uint32_t k,
     if (obs != nullptr) obs->OnPop(v, stale_bound);
 
     // Lemma 3: the current ũb(v) is maintained incrementally by the store.
-    double ub = smaps.Value(v);
+    double ub = bounds.Value(v);
     if (obs != nullptr) obs->OnBound(v, ub);
 
     Admission verdict =
@@ -60,9 +60,9 @@ TopKResult OptBSearch(const Graph& g, uint32_t k,
       break;
     }
 
-    // EgoBWCal: complete S_v by processing its remaining incident edges.
-    proc.ProcessAllEdgesOf(v);
-    double cb = smaps.EvaluateExact(v);
+    // EgoBWCal: publish v's remaining edges' bound marks and rebuild S_v
+    // with exact counts locally (split pipeline; see BoundEdgeProcessor).
+    double cb = proc.ComputeExactCb(v);
     ++stats->exact_computations;
     if (obs != nullptr) obs->OnExact(v, cb);
     top.Offer(v, cb);

@@ -1,5 +1,7 @@
 #include "core/smap_store.h"
 
+#include <algorithm>
+
 #include "util/hash.h"
 #include "util/logging.h"
 
@@ -28,20 +30,19 @@ SMapStore::SMapStore(const Graph& g)
 SMapStore::SMapStore(uint32_t n)
     : maps_(n), value_(n, 0.0), degree_(n, 0) {}
 
-double SMapStore::EvaluateExact(VertexId u) const {
+double EvaluateCompleteSMap(const PairCountMap& map, double degree) {
   // Bucket counted pairs by connector count before summing: the histogram
   // accumulation is integer (exact), so the result is independent of the
   // map's physical iteration order — identical map contents give
   // bit-identical values across kernels, schedules and capacities.
-  double d = degree_[u];
-  double value = d * (d - 1.0) / 2.0;
-  value -= static_cast<double>(maps_[u].size());
+  double value = degree * (degree - 1.0) / 2.0;
+  value -= static_cast<double>(map.size());
   // Per-thread scratch: called once per vertex by the finishing loops, so
   // the histogram must not allocate per call. Bounded by the max connector
   // count (<= d_max).
   thread_local std::vector<uint64_t> hist;
   hist.clear();
-  maps_[u].ForEach([](uint64_t /*key*/, int32_t val) {
+  map.ForEach([](uint64_t /*key*/, int32_t val) {
     if (val == PairCountMap::kAdjacent) return;
     if (static_cast<size_t>(val) >= hist.size()) hist.resize(val + 1, 0);
     ++hist[val];
@@ -52,6 +53,10 @@ double SMapStore::EvaluateExact(VertexId u) const {
     }
   }
   return value;
+}
+
+double SMapStore::EvaluateExact(VertexId u) const {
+  return EvaluateCompleteSMap(maps_[u], degree_[u]);
 }
 
 void SMapStore::SetAdjacent(VertexId u, VertexId x, VertexId y) {
@@ -147,6 +152,100 @@ size_t SMapStore::MemoryBytes() const {
   size_t total = value_.capacity() * sizeof(double) +
                  degree_.capacity() * sizeof(uint32_t);
   for (const auto& m : maps_) total += m.MemoryBytes();
+  return total;
+}
+
+// ------------------------------------------------------------ BoundStore --
+
+BoundStore::BoundStore(const Graph& g)
+    : g_(&g), sets_(g.NumVertices()), value_(g.NumVertices()) {
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    double d = g.Degree(u);
+    value_[u] = d * (d - 1.0) / 2.0;
+    sets_[u].Init(g.Degree(u));
+  }
+}
+
+uint32_t BoundStore::RankOf(VertexId u, VertexId x) const {
+  auto nbrs = g_->Neighbors(u);
+  const VertexId* pos =
+      std::lower_bound(nbrs.data(), nbrs.data() + nbrs.size(), x);
+  EGOBW_DCHECK(pos != nbrs.data() + nbrs.size() && *pos == x);
+  return static_cast<uint32_t>(pos - nbrs.data());
+}
+
+void BoundStore::RanksIn(VertexId u, std::span<const VertexId> sorted_members,
+                         std::vector<uint32_t>* out) const {
+  out->clear();
+  out->reserve(sorted_members.size());
+  auto nbrs = g_->Neighbors(u);
+  const VertexId* base = nbrs.data();
+  size_t n = nbrs.size();
+  size_t pos = 0;
+  for (VertexId m : sorted_members) {
+    // Galloping search from the previous hit: members are ascending, so the
+    // total cost is O(|members| log(gap)) regardless of d(u).
+    size_t lo = pos;
+    size_t step = 1;
+    while (lo + step < n && base[lo + step] < m) {
+      lo += step;
+      step <<= 1;
+    }
+    size_t hi = std::min(lo + step + 1, n);
+    pos = static_cast<size_t>(
+        std::lower_bound(base + lo, base + hi, m) - base);
+    EGOBW_DCHECK(pos < n && base[pos] == m);
+    out->push_back(static_cast<uint32_t>(pos));
+    ++pos;
+  }
+}
+
+void BoundStore::MarkAdjacent(VertexId u, uint32_t rx, uint32_t ry) {
+  int32_t prev = sets_[u].MarkAdjacent(rx, ry);
+  if (prev == RankPairSet::kAdjacent) return;  // Already marked.
+  if (prev == RankPairSet::kAbsent) {
+    value_[u] -= 1.0;  // Pair contributed 1; adjacent pairs contribute 0.
+  } else {
+    value_[u] -= Contribution(prev);
+  }
+}
+
+void BoundStore::MarkAdjacentBatch(VertexId u, uint32_t ra,
+                                   std::span<const uint32_t> rws) {
+  if (rws.empty()) return;
+  sets_[u].Reserve(sets_[u].size() + rws.size());
+  for (uint32_t rw : rws) MarkAdjacent(u, ra, rw);
+}
+
+void BoundStore::AddConnectorsBatch(
+    VertexId u, std::span<const std::pair<uint32_t, uint32_t>> pairs) {
+  if (pairs.empty()) return;
+  sets_[u].Reserve(sets_[u].size() + pairs.size());
+  for (const auto& [rx, ry] : pairs) {
+    int32_t prev = sets_[u].AddConnector(rx, ry);
+    if (prev >= RankPairSet::kCountCap) continue;  // Contribution floored.
+    int32_t prev_count = prev == RankPairSet::kAbsent ? 0 : prev;
+    value_[u] += Contribution(prev_count + 1) - Contribution(prev_count);
+  }
+}
+
+void BoundStore::ReserveFor(VertexId u, uint64_t additional) {
+  uint64_t d = g_->Degree(u);
+  uint64_t universe = d * (d - 1) / 2;  // |S_u| can never exceed C(d, 2).
+  uint64_t target = sets_[u].size() + additional;
+  if (target > universe) target = universe;
+  sets_[u].Reserve(target);
+}
+
+uint64_t BoundStore::TotalEntries() const {
+  uint64_t total = 0;
+  for (const auto& s : sets_) total += s.size();
+  return total;
+}
+
+size_t BoundStore::MemoryBytes() const {
+  size_t total = value_.capacity() * sizeof(double);
+  for (const auto& s : sets_) total += s.MemoryBytes();
   return total;
 }
 

@@ -1,8 +1,7 @@
 /// \file
-/// Per-vertex shortest-path-count maps with an incrementally maintained
-/// Lemma-2 value.
+/// Per-vertex S-map stores with an incrementally maintained Lemma-2 value.
 ///
-/// For each vertex u the store keeps the paper's S_u: neighbor pairs of u that
+/// For each vertex u a store keeps the paper's S_u: neighbor pairs of u that
 /// are either adjacent inside GE(u) (ADJ marker) or have >= 1 identified
 /// connector (counted). It also maintains, per vertex, the running value
 ///
@@ -11,8 +10,18 @@
 /// which is exactly the paper's dynamic upper bound ũb(u) (Lemma 3) while
 /// information is partial, and exactly CB(u) once every edge incident to u has
 /// been processed (Lemma 2). Every mutation updates value(u) in O(1), so
-/// OptBSearch reads bounds for free and the maintenance algorithms of
-/// Section IV update CB(u) by replaying only the affected entries.
+/// the bounded searches read bounds for free.
+///
+/// Two stores split the pipeline by what each phase actually needs:
+///   * SMapStore — exact int32 connector counts keyed by vertex pairs. The
+///     all-vertex pass (which must evaluate every map) and the Section IV
+///     maintenance engine (which replays counts under edge updates) use it.
+///   * BoundStore — rank-packed RankPairSet entries with 8-bit saturating
+///     counts. The top-k searches only need the value(u) trajectory from
+///     the publish stream, so their hottest write path shrinks to 5-byte
+///     (or dense 1-byte-per-pair) entries; exact CB(u) is recomputed
+///     locally on demand (see BoundEdgeProcessor) for the few candidates
+///     that survive the gate.
 
 #ifndef EGOBW_CORE_SMAP_STORE_H_
 #define EGOBW_CORE_SMAP_STORE_H_
@@ -26,6 +35,13 @@
 #include "util/pair_count_map.h"
 
 namespace egobw {
+
+/// Lemma-2 evaluation of one COMPLETE S map: CB(u) for the map's owner.
+/// Buckets counted pairs by connector count before summing, so the result
+/// is independent of the map's physical iteration order — identical map
+/// contents give bit-identical values across kernels, schedules,
+/// capacities, and retained-vs-locally-rebuilt maps.
+double EvaluateCompleteSMap(const PairCountMap& map, double degree);
 
 /// The per-vertex S maps plus the incrementally maintained Lemma-2 value
 /// (dynamic bound ũb while partial, exact CB once complete). See the file
@@ -112,6 +128,69 @@ class SMapStore {
   std::vector<PairCountMap> maps_;
   std::vector<double> value_;
   std::vector<uint32_t> degree_;
+};
+
+/// The bound-phase S maps: rank-packed membership + saturating counts per
+/// vertex (RankPairSet), plus the same incrementally maintained Lemma-2
+/// value as SMapStore. Mutations arrive in RANK space — positions within
+/// the owner's sorted adjacency list — which the rank helpers compute from
+/// the graph the store was built over. The value trajectory is bit-identical
+/// to SMapStore's under the same mutation sequence until a pair's
+/// RankPairSet::kCountCap-th connector, after which the contribution is
+/// floored (still a sound upper bound, monotone under static processing).
+class BoundStore {
+ public:
+  /// Initializes empty sets: value(u) = C(deg(u), 2) for every u of g.
+  /// The graph must outlive the store (rank lookups read its adjacency).
+  explicit BoundStore(const Graph& g);
+
+  /// Number of vertices the store tracks.
+  uint32_t NumVertices() const {
+    return static_cast<uint32_t>(sets_.size());
+  }
+
+  /// Current Lemma-2 value: dynamic upper bound ũb(u) >= CB(u).
+  double Value(VertexId u) const { return value_[u]; }
+
+  /// Rank of x within u's sorted adjacency list. x must be a neighbor of u.
+  uint32_t RankOf(VertexId u, VertexId x) const;
+
+  /// Ranks of `sorted_members` (ascending, all neighbors of u) within u's
+  /// adjacency list, via one galloping merge. Appends to *out (cleared
+  /// first); output is strictly increasing.
+  void RanksIn(VertexId u, std::span<const VertexId> sorted_members,
+               std::vector<uint32_t>* out) const;
+
+  /// Marks rank pair (rx, ry) adjacent in S_u with value accounting.
+  void MarkAdjacent(VertexId u, uint32_t rx, uint32_t ry);
+
+  /// Batched Rule A: marks (ra, rw) adjacent in S_u for every rw in rws.
+  void MarkAdjacentBatch(VertexId u, uint32_t ra,
+                         std::span<const uint32_t> rws);
+
+  /// Batched Rule B: adds one connector to every rank pair, with one
+  /// up-front capacity reservation. Per-pair application order matches the
+  /// span order, so ũb(u) evolves exactly as the unbatched calls would.
+  void AddConnectorsBatch(
+      VertexId u, std::span<const std::pair<uint32_t, uint32_t>> pairs);
+
+  /// Pre-sizes S_u for `additional` more entries (clamped to the C(deg, 2)
+  /// pair universe), mirroring SMapStore::ReserveFor.
+  void ReserveFor(VertexId u, uint64_t additional);
+
+  /// Read-only access for tests and diagnostics.
+  const RankPairSet& SetOf(VertexId u) const { return sets_[u]; }
+
+  /// Total entries across all sets (memory diagnostics).
+  uint64_t TotalEntries() const;
+
+  /// Bytes of heap memory held by all sets and the value array.
+  size_t MemoryBytes() const;
+
+ private:
+  const Graph* g_;
+  std::vector<RankPairSet> sets_;
+  std::vector<double> value_;
 };
 
 }  // namespace egobw

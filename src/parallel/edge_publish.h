@@ -1,15 +1,18 @@
 /// \file
-/// The one locked Rule-A/B publication sequence shared by every parallel
+/// The locked Rule-A/B publication sequences shared by every parallel
 /// engine (PEBW and ParallelOptBSearch).
 ///
 /// Given a processed edge (u, v) with common neighborhood C and the
 /// kernel-emitted non-adjacent pairs, the S-map deltas are always applied
-/// in the same per-map grouping as the serial EdgeProcessor — S_u's Rule-A
+/// in the same per-map grouping as the serial engines — S_u's Rule-A
 /// marks then its Rule-B increments, then S_v's, then the per-triangle
 /// case-3 marks — each group under that vertex's stripe lock. Keeping the
 /// sequence in one place guarantees the engines cannot diverge in lock
 /// granularity or mutation order (the property the bit-for-bit differential
-/// tests rely on).
+/// tests rely on). PublishEdgeRules targets the counted SMapStore (PEBW);
+/// PublishEdgeRulesBound targets the rank-packed BoundStore
+/// (ParallelOptBSearch), with all rank computation done lock-free by the
+/// caller via ComputeBoundEdgeRanks.
 
 #ifndef EGOBW_PARALLEL_EDGE_PUBLISH_H_
 #define EGOBW_PARALLEL_EDGE_PUBLISH_H_
@@ -18,6 +21,7 @@
 #include <span>
 #include <utility>
 
+#include "core/edge_processor.h"
 #include "core/smap_store.h"
 #include "graph/graph.h"
 #include "util/spinlock.h"
@@ -44,6 +48,29 @@ inline void PublishEdgeRules(
   for (VertexId w : common) {
     std::lock_guard<Spinlock> lk(locks->For(w));
     smaps->SetAdjacent(w, u, v);
+  }
+}
+
+/// BoundStore counterpart of PublishEdgeRules: applies one edge's
+/// rank-space mutations (precomputed lock-free via ComputeBoundEdgeRanks)
+/// in the identical per-map grouping, each group under its stripe lock.
+inline void PublishEdgeRulesBound(BoundStore* bounds, StripedLocks* locks,
+                                  VertexId u, VertexId v,
+                                  std::span<const VertexId> common,
+                                  const BoundEdgeRanks& r) {
+  {
+    std::lock_guard<Spinlock> lk(locks->For(u));
+    bounds->MarkAdjacentBatch(u, r.rank_v_in_u, r.c_in_u);
+    bounds->AddConnectorsBatch(u, r.pairs_u);
+  }
+  {
+    std::lock_guard<Spinlock> lk(locks->For(v));
+    bounds->MarkAdjacentBatch(v, r.rank_u_in_v, r.c_in_v);
+    bounds->AddConnectorsBatch(v, r.pairs_v);
+  }
+  for (size_t i = 0; i < common.size(); ++i) {
+    std::lock_guard<Spinlock> lk(locks->For(common[i]));
+    bounds->MarkAdjacent(common[i], r.uv_in_w[i].first, r.uv_in_w[i].second);
   }
 }
 

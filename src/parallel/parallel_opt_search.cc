@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -25,11 +26,8 @@ namespace {
 
 // Per-worker scratch: everything a worker touches without taking a lock.
 struct WorkerCtx {
-  explicit WorkerCtx(uint32_t n) : marker(n), kernel(n) {}
-  EpochBitset marker;  // Marks N(u) of the candidate being computed.
-  DiamondKernel kernel;
-  std::vector<VertexId> common;
-  std::vector<std::pair<VertexId, VertexId>> pairs;
+  explicit WorkerCtx(uint32_t n) : scratch(n) {}
+  EgoRebuildScratch scratch;  // Fused publish + local exact rebuild.
   uint64_t exact = 0;
   uint64_t pushbacks = 0;
   uint64_t pruned = 0;
@@ -48,7 +46,7 @@ class ParallelBoundedEngine {
                         const std::vector<VertexId>* new_to_old)
       : g_(g),
         edge_set_(g),
-        smaps_(g),
+        bounds_(g),
         locks_(4096),
         gate_(options.theta),
         top_(k),
@@ -57,9 +55,7 @@ class ParallelBoundedEngine {
         new_to_old_(new_to_old),
         shard_mask_(ShardCount(options, threads_) - 1),
         claimed_(std::make_unique<std::atomic<uint8_t>[]>(
-            std::max<uint64_t>(1, g.NumEdges()))),
-        remaining_(std::make_unique<std::atomic<uint32_t>[]>(
-            std::max<uint32_t>(1, g.NumVertices()))) {
+            std::max<uint64_t>(1, g.NumEdges()))) {
     uint32_t n = g.NumVertices();
     for (EdgeId e = 0; e < g.NumEdges(); ++e) {
       claimed_[e].store(0, std::memory_order_relaxed);
@@ -69,9 +65,10 @@ class ParallelBoundedEngine {
       shards_.push_back(std::make_unique<Shard>(n));
     }
     for (VertexId v = 0; v < n; ++v) {
-      remaining_[v].store(g.Degree(v), std::memory_order_relaxed);
-      shards_[v & shard_mask_]->heap.Push(v, StaticVertexBound(g.Degree(v)));
+      Shard& sh = *shards_[v & shard_mask_];
+      sh.heap.Push(v, StaticVertexBound(g.Degree(v)));
     }
+    for (auto& sh : shards_) UpdateCachedTop(*sh);
     ctxs_.reserve(threads_);
     for (size_t t = 0; t < threads_; ++t) {
       ctxs_.push_back(std::make_unique<WorkerCtx>(n));
@@ -108,6 +105,15 @@ class ParallelBoundedEngine {
     explicit Shard(uint32_t n) : heap(n) {}
     Spinlock lock;
     IndexedMaxHeap heap;
+    // Lock-free hint of the heap's top, refreshed by every mutator while
+    // it still holds the shard lock. The pop-best scan reads only these —
+    // no shard lock is taken until a winner is chosen. -inf = empty. The
+    // (key, id) pair is two relaxed atomics and may be observed torn; that
+    // only misdirects a scan (the winner is re-validated under its lock),
+    // it can never lose an entry: a worker that observes all caches empty
+    // falls through to the locked termination barrier.
+    std::atomic<double> top_key{-std::numeric_limits<double>::infinity()};
+    std::atomic<uint32_t> top_id{0};
   };
 
   static uint32_t ShardCount(const ParallelOptBSearchOptions& options,
@@ -123,10 +129,27 @@ class ParallelBoundedEngine {
     return new_to_old_ == nullptr ? v : (*new_to_old_)[v];
   }
 
+  // Must be called with sh.lock held, after any heap mutation.
+  static void UpdateCachedTop(Shard& sh) {
+    if (sh.heap.empty()) {
+      sh.top_key.store(-std::numeric_limits<double>::infinity(),
+                       std::memory_order_relaxed);
+      sh.top_id.store(0, std::memory_order_relaxed);
+    } else {
+      auto [id, key] = sh.heap.Top();
+      sh.top_key.store(key, std::memory_order_relaxed);
+      sh.top_id.store(id, std::memory_order_relaxed);
+    }
+  }
+
   // Pops the best key across all shard tops (ties toward the larger id,
-  // matching IndexedMaxHeap), counting the calling worker as a candidate
-  // holder before the shard lock is released so the termination barrier
-  // never misses an in-flight candidate.
+  // matching IndexedMaxHeap), scanning the lock-free cached tops and
+  // locking only the winning shard. With one worker the caches are always
+  // exact, so the pop sequence equals the serial heap's; with many, a stale
+  // cache merely picks a near-best candidate — admission stays sound for
+  // any pop order. The calling worker is counted as a candidate holder
+  // before the shard lock is released so the termination barrier never
+  // misses an in-flight candidate.
   std::optional<std::pair<uint32_t, double>> TryPop() {
     for (;;) {
       int best = -1;
@@ -134,9 +157,9 @@ class ParallelBoundedEngine {
       uint32_t best_id = 0;
       for (size_t s = 0; s < shards_.size(); ++s) {
         Shard& sh = *shards_[s];
-        std::lock_guard<Spinlock> lk(sh.lock);
-        if (sh.heap.empty()) continue;
-        auto [id, key] = sh.heap.Top();
+        double key = sh.top_key.load(std::memory_order_relaxed);
+        if (key == -std::numeric_limits<double>::infinity()) continue;
+        uint32_t id = sh.top_id.load(std::memory_order_relaxed);
         if (best < 0 || key > best_key ||
             (key == best_key && id > best_id)) {
           best = static_cast<int>(s);
@@ -149,7 +172,9 @@ class ParallelBoundedEngine {
       std::lock_guard<Spinlock> lk(sh.lock);
       if (sh.heap.empty()) continue;  // Lost a race; rescan.
       active_.fetch_add(1, std::memory_order_seq_cst);
-      return sh.heap.PopMax();
+      auto popped = sh.heap.PopMax();
+      UpdateCachedTop(sh);
+      return popped;
     }
   }
 
@@ -161,6 +186,7 @@ class ParallelBoundedEngine {
     std::lock_guard<Spinlock> lk(sh.lock);
     pushes_.fetch_add(1, std::memory_order_seq_cst);
     sh.heap.Push(v, key);
+    UpdateCachedTop(sh);
   }
 
   bool AllShardsEmpty() {
@@ -188,6 +214,7 @@ class ParallelBoundedEngine {
       if (sh->heap.empty() || sh->heap.Top().second >= threshold) continue;
       pruned += sh->heap.size();
       sh->heap.Clear();
+      UpdateCachedTop(*sh);
     }
     return pruned;
   }
@@ -196,7 +223,7 @@ class ParallelBoundedEngine {
   // the doubles are never torn.
   double ReadBound(VertexId v) {
     std::lock_guard<Spinlock> lk(locks_.For(v));
-    return smaps_.Value(v);
+    return bounds_.Value(v);
   }
 
   CandidateGate::Boundary BoundarySnapshot() {
@@ -209,70 +236,36 @@ class ParallelBoundedEngine {
     top_.Offer(OriginalId(v), cb);
   }
 
-  // Processes the claimed edge (u, v): Rule A/B against the shared maps,
-  // then the remaining-edge counters drop (release) so waiters observe a
-  // complete S map. Mirrors EdgeProcessor::ProcessMarkedEdge.
-  void ProcessClaimedEdge(VertexId u, VertexId v, WorkerCtx* ctx) {
-    IntersectNeighborhoods(g_, edge_set_, ctx->marker, u, v, &ctx->common);
-    ++ctx->edges;
-    ctx->triangles += ctx->common.size();
-
-    ctx->pairs.clear();
-    auto emit = [ctx](VertexId x, VertexId y) {
-      ctx->pairs.emplace_back(x, y);
-    };
-    if (mode_ == KernelMode::kBitmap) {
-      ctx->kernel.ForEachNonAdjacentPair(g_, edge_set_, ctx->common, emit);
-    } else {
-      DiamondKernel::ForEachNonAdjacentPairLegacy(edge_set_, ctx->common,
-                                                  emit);
-    }
-    ctx->increments += 2 * ctx->pairs.size();
-
-    PublishEdgeRules(&smaps_, &locks_, u, v, ctx->common, ctx->pairs);
-    remaining_[u].fetch_sub(1, std::memory_order_acq_rel);
-    remaining_[v].fetch_sub(1, std::memory_order_acq_rel);
-  }
-
-  // EgoBWCal under contention: claim-and-process this worker's share of
-  // u's unprocessed edges, wait out edges claimed by concurrent workers,
-  // then evaluate the complete S_u.
+  // EgoBWCal, split pipeline — the same shared per-edge body as the serial
+  // BoundEdgeProcessor (ComputeExactCbImpl), parameterized with atomic
+  // edge claiming and stripe-locked publication: rank computation is
+  // lock-free, only the set mutations run under locks, and the worker-
+  // local exact rebuild never waits on concurrent workers (the local map
+  // is complete by construction, so the exact value is
+  // schedule-invariant).
   void ComputeExact(VertexId u, WorkerCtx* ctx) {
-    if (remaining_[u].load(std::memory_order_acquire) != 0) {
-      auto nbrs = g_.Neighbors(u);
-      auto eids = g_.IncidentEdges(u);
-      // Pre-size S_u from the serial engine's wedge estimate over the
-      // still-unclaimed edges (same damping; see WedgeReserveEstimate).
-      uint64_t estimate = 0;
-      for (size_t i = 0; i < nbrs.size(); ++i) {
-        if (claimed_[eids[i]].load(std::memory_order_relaxed) == 0) {
-          estimate += std::min(g_.Degree(u), g_.Degree(nbrs[i]));
-        }
-      }
-      {
-        std::lock_guard<Spinlock> lk(locks_.For(u));
-        smaps_.ReserveFor(u, WedgeReserveEstimate(estimate));
-      }
-      ctx->marker.Clear();
-      for (VertexId w : nbrs) ctx->marker.Set(w);
-      for (size_t i = 0; i < nbrs.size(); ++i) {
-        EdgeId e = eids[i];
-        if (claimed_[e].load(std::memory_order_acquire) != 0) continue;
-        if (claimed_[e].exchange(1, std::memory_order_acq_rel) != 0) continue;
-        ProcessClaimedEdge(u, nbrs[i], ctx);
-      }
-      while (remaining_[u].load(std::memory_order_acquire) != 0) {
-        std::this_thread::yield();
-      }
-    }
-    double cb;
-    {
-      // The stripe lock also serializes against redundant Rule-A marks
-      // arriving from edges among N(u) (no-ops on a complete map, but they
-      // must not interleave with the evaluation scan).
-      std::lock_guard<Spinlock> lk(locks_.For(u));
-      cb = smaps_.EvaluateExact(u);
-    }
+    double cb = ComputeExactCbImpl(
+        g_, edge_set_, mode_, &ctx->scratch, u,
+        [this](EdgeId e) {
+          return claimed_[e].load(std::memory_order_relaxed) == 0;
+        },
+        [this, u](uint64_t estimate) {
+          std::lock_guard<Spinlock> lk(locks_.For(u));
+          bounds_.ReserveFor(u, estimate);
+        },
+        [this, u, ctx](VertexId v, EdgeId e) {
+          if (claimed_[e].load(std::memory_order_acquire) != 0) return;
+          if (claimed_[e].exchange(1, std::memory_order_acq_rel) != 0) {
+            return;
+          }
+          ++ctx->edges;
+          ctx->triangles += ctx->scratch.common.size();
+          ctx->increments += 2 * ctx->scratch.pos_pairs.size();
+          ComputeBoundEdgeRanks(bounds_, u, v, ctx->scratch.common,
+                                ctx->scratch.pos_pairs, &ctx->scratch.ranks);
+          PublishEdgeRulesBound(&bounds_, &locks_, u, v, ctx->scratch.common,
+                                ctx->scratch.ranks);
+        });
     ++ctx->exact;
     Publish(u, cb);
   }
@@ -326,7 +319,7 @@ class ParallelBoundedEngine {
 
   const Graph& g_;
   EdgeSet edge_set_;
-  SMapStore smaps_;
+  BoundStore bounds_;
   StripedLocks locks_;
   CandidateGate gate_;
   TopKAccumulator top_;
@@ -335,8 +328,7 @@ class ParallelBoundedEngine {
   size_t threads_;
   const std::vector<VertexId>* new_to_old_;
   uint32_t shard_mask_;
-  std::unique_ptr<std::atomic<uint8_t>[]> claimed_;      // Per EdgeId.
-  std::unique_ptr<std::atomic<uint32_t>[]> remaining_;   // Per vertex.
+  std::unique_ptr<std::atomic<uint8_t>[]> claimed_;  // Per EdgeId.
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<std::unique_ptr<WorkerCtx>> ctxs_;
   std::atomic<uint64_t> pushes_{0};  // Re-push generation counter.

@@ -5,23 +5,29 @@
 /// Architecture (one shared instance each, workers are symmetric):
 ///   * Sharded candidate pool — vertices are partitioned over P spinlocked
 ///     indexed max-heaps seeded with the static bounds. A worker pops the
-///     globally best key across all shard tops (ties toward the larger id,
-///     matching the serial heap), so pop order approximates the serial
-///     descending-bound exploration while re-pushes land on per-shard
-///     locks instead of one global one. Keys are
-///     epoch-free by construction: the indexed heaps hold at most one live
-///     entry per vertex, and a popped key is validated against the fresh
-///     ũb(v) by the shared CandidateGate exactly as in the serial engine.
-///   * Shared S maps — all Rule A/B deltas are published through the
-///     striped-lock SMapStore of the PEBW engines, so every worker's ũb(v)
-///     read is O(1) and monotonically non-increasing, and each per-worker
-///     DiamondKernel enumerates Rule-B pairs against the shared (optionally
-///     degree-relabeled) CSR without locks.
-///   * Exact computations — edges are claimed with a per-edge atomic flag;
-///     a worker computing CB(v) processes the incident edges it wins and
-///     then waits for the per-vertex remaining-edge counter to hit zero
-///     (edges claimed by a concurrent worker complete under the same
-///     striped locks), so EvaluateExact(v) always sees a complete S_v.
+///     best key across all shard tops (ties toward the larger id, matching
+///     the serial heap) by scanning lock-free cached (key, id) tops — each
+///     shard refreshes its cache under its lock on every mutation — and
+///     locking only the winning shard, so a pop costs one lock instead of
+///     P. A stale cache can misdirect a scan (the winner is re-validated
+///     under its lock) but never lose an entry: a worker observing every
+///     cache empty falls through to the fully locked termination barrier.
+///     Keys are epoch-free by construction: the indexed heaps hold at most
+///     one live entry per vertex, and a popped key is validated against
+///     the fresh ũb(v) by the shared CandidateGate exactly as in the
+///     serial engine.
+///   * Shared bound store — all Rule A/B deltas publish rank-packed
+///     membership marks into the striped-lock BoundStore (5-byte entries,
+///     saturating counts; see core/smap_store.h), so every worker's ũb(v)
+///     read is O(1) and monotonically non-increasing. Rank computation is
+///     lock-free (reads of the shared, optionally degree-relabeled CSR);
+///     only the set mutations run under the stripe locks.
+///   * Exact computations — edges are claimed with a per-edge atomic flag
+///     so each edge publishes its bound marks exactly once; CB(v) itself
+///     comes from a worker-LOCAL exact rebuild of S_v fused into the same
+///     pass (see BoundEdgeProcessor), so no worker ever waits for
+///     concurrent workers' claims to complete and the exact value is
+///     schedule-invariant by construction.
 ///
 /// Termination barrier. The serial stopping condition (|R| = k and
 /// t̂b ≤ min CB(R)) must survive concurrent bound decay; the pool decides it

@@ -1,5 +1,7 @@
 #include "util/pair_count_map.h"
 
+#include <cmath>
+
 namespace egobw {
 
 int32_t PairCountMap::GetOr(uint64_t key, int32_t absent) const {
@@ -124,6 +126,193 @@ void PairCountMap::EraseSlot(size_t slot) {
 void PairCountMap::Clear() {
   std::fill(keys_.begin(), keys_.end(), kEmpty);
   size_ = 0;
+}
+
+// ----------------------------------------------------------- RankPairSet --
+
+void RankPairSet::Init(uint32_t degree) {
+  wide_ = degree >= kWideDegree;
+  dense_ = false;
+  universe_ = static_cast<uint64_t>(degree) * (degree - 1) / 2;
+  size_ = 0;
+  keys32_.clear();
+  keys32_.shrink_to_fit();
+  keys64_.clear();
+  keys64_.shrink_to_fit();
+  vals_.clear();
+  vals_.shrink_to_fit();
+}
+
+std::pair<uint32_t, uint32_t> RankPairSet::UnpackTriangular(uint64_t t) {
+  // ry is the largest integer with ry(ry-1)/2 <= t; the sqrt estimate can be
+  // off by one in either direction, so fix up both ways.
+  uint64_t ry = static_cast<uint64_t>(
+      (1.0 + std::sqrt(1.0 + 8.0 * static_cast<double>(t))) / 2.0);
+  while (ry * (ry - 1) / 2 > t) --ry;
+  while ((ry + 1) * ry / 2 <= t) ++ry;
+  uint64_t rx = t - ry * (ry - 1) / 2;
+  return {static_cast<uint32_t>(rx), static_cast<uint32_t>(ry)};
+}
+
+int32_t RankPairSet::Find(uint64_t t, size_t* slot) const {
+  if (dense_) return vals_[t] == 0 ? kAbsent : vals_[t] - 1;
+  if (wide_) {
+    if (keys64_.empty()) return kAbsent;
+    size_t mask = keys64_.size() - 1;
+    size_t s = Mix64(t) & mask;
+    while (keys64_[s] != kEmpty64 && keys64_[s] != t) s = (s + 1) & mask;
+    *slot = s;
+    return keys64_[s] == t ? vals_[s] : kAbsent;
+  }
+  if (keys32_.empty()) return kAbsent;
+  size_t mask = keys32_.size() - 1;
+  uint32_t key = static_cast<uint32_t>(t);
+  size_t s = Mix64(t) & mask;
+  while (keys32_[s] != kEmpty32 && keys32_[s] != key) s = (s + 1) & mask;
+  *slot = s;
+  return keys32_[s] == key ? vals_[s] : kAbsent;
+}
+
+int32_t RankPairSet::Get(uint32_t rx, uint32_t ry) const {
+  size_t slot = 0;
+  return Find(PackTriangular(rx, ry), &slot);
+}
+
+int32_t RankPairSet::MarkAdjacent(uint32_t rx, uint32_t ry) {
+  uint64_t t = PackTriangular(rx, ry);
+  size_t slot = 0;
+  int32_t prev = Find(t, &slot);
+  if (prev == kAbsent) {
+    if (dense_) {
+      vals_[t] = 1 + kAdjacent;
+      ++size_;
+    } else {
+      InsertNew(t, kAdjacent);
+    }
+  } else if (prev != kAdjacent) {
+    if (dense_) {
+      vals_[t] = 1 + kAdjacent;
+    } else {
+      vals_[slot] = kAdjacent;
+    }
+  }
+  return prev;
+}
+
+int32_t RankPairSet::AddConnector(uint32_t rx, uint32_t ry) {
+  uint64_t t = PackTriangular(rx, ry);
+  size_t slot = 0;
+  int32_t prev = Find(t, &slot);
+  EGOBW_DCHECK(prev != kAdjacent);  // Adjacent pairs are never counted.
+  if (prev == kAbsent) {
+    if (dense_) {
+      vals_[t] = 2;  // State 1, stored as state + 1.
+      ++size_;
+    } else {
+      InsertNew(t, 1);
+    }
+    return prev;
+  }
+  uint8_t next = prev < kCountCap ? static_cast<uint8_t>(prev + 1)
+                                  : kCountCap;
+  if (dense_) {
+    vals_[t] = static_cast<uint8_t>(next + 1);
+  } else {
+    vals_[slot] = next;
+  }
+  return prev;
+}
+
+void RankPairSet::InsertNew(uint64_t t, uint8_t val) {
+  if (HashCapacity() == 0 || (size_ + 1) * 4 >= HashCapacity() * 3) {
+    GrowOrDensify(size_ + 1);
+    if (dense_) {
+      vals_[t] = static_cast<uint8_t>(val + 1);
+      ++size_;
+      return;
+    }
+  }
+  if (wide_) {
+    size_t mask = keys64_.size() - 1;
+    size_t s = Mix64(t) & mask;
+    while (keys64_[s] != kEmpty64) s = (s + 1) & mask;
+    keys64_[s] = t;
+    vals_[s] = val;
+  } else {
+    size_t mask = keys32_.size() - 1;
+    size_t s = Mix64(t) & mask;
+    while (keys32_[s] != kEmpty32) s = (s + 1) & mask;
+    keys32_[s] = static_cast<uint32_t>(t);
+    vals_[s] = val;
+  }
+  ++size_;
+}
+
+void RankPairSet::GrowOrDensify(size_t needed_entries) {
+  size_t cap = HashCapacity() == 0 ? 8 : HashCapacity();
+  while (needed_entries * 4 >= cap * 3) cap *= 2;
+  // Upgrade when the grown table would cost at least the dense layout —
+  // from here on the flat byte-per-pair array strictly dominates on both
+  // memory and probe cost.
+  if (cap * HashSlotBytes() >= universe_ && universe_ > 0) {
+    Densify();
+  } else if (cap > HashCapacity()) {
+    RehashTo(cap);
+  }
+}
+
+void RankPairSet::RehashTo(size_t new_cap) {
+  if (wide_) {
+    std::vector<uint64_t> old_keys = std::move(keys64_);
+    std::vector<uint8_t> old_vals = std::move(vals_);
+    keys64_.assign(new_cap, kEmpty64);
+    vals_.assign(new_cap, 0);
+    size_t mask = new_cap - 1;
+    for (size_t i = 0; i < old_keys.size(); ++i) {
+      if (old_keys[i] == kEmpty64) continue;
+      size_t s = Mix64(old_keys[i]) & mask;
+      while (keys64_[s] != kEmpty64) s = (s + 1) & mask;
+      keys64_[s] = old_keys[i];
+      vals_[s] = old_vals[i];
+    }
+  } else {
+    std::vector<uint32_t> old_keys = std::move(keys32_);
+    std::vector<uint8_t> old_vals = std::move(vals_);
+    keys32_.assign(new_cap, kEmpty32);
+    vals_.assign(new_cap, 0);
+    size_t mask = new_cap - 1;
+    for (size_t i = 0; i < old_keys.size(); ++i) {
+      if (old_keys[i] == kEmpty32) continue;
+      size_t s = Mix64(old_keys[i]) & mask;
+      while (keys32_[s] != kEmpty32) s = (s + 1) & mask;
+      keys32_[s] = old_keys[i];
+      vals_[s] = old_vals[i];
+    }
+  }
+}
+
+void RankPairSet::Densify() {
+  std::vector<uint8_t> dense(universe_, 0);
+  if (wide_) {
+    for (size_t i = 0; i < keys64_.size(); ++i) {
+      if (keys64_[i] != kEmpty64) dense[keys64_[i]] = vals_[i] + 1;
+    }
+    keys64_.clear();
+    keys64_.shrink_to_fit();
+  } else {
+    for (size_t i = 0; i < keys32_.size(); ++i) {
+      if (keys32_[i] != kEmpty32) dense[keys32_[i]] = vals_[i] + 1;
+    }
+    keys32_.clear();
+    keys32_.shrink_to_fit();
+  }
+  vals_ = std::move(dense);
+  dense_ = true;
+}
+
+void RankPairSet::Reserve(size_t n) {
+  if (n == 0 || dense_) return;
+  GrowOrDensify(n);
 }
 
 }  // namespace egobw

@@ -1,15 +1,25 @@
-// Open-addressing hash map from an unordered vertex pair to a small counter.
+// Per-vertex S_u pair structures (the paper's Algorithm 1 state).
 //
-// This is the S_u structure of the paper (Algorithm 1): for each pair of
-// u's neighbors it stores either the ADJACENT marker (val == 0, the pair is an
-// edge of the ego network) or the number of connectors found so far (val >= 1,
-// vertices other than u linking the pair inside GE(u)). Absent pairs have no
-// identified connector and contribute 1 to CB(u) (the paper's S̈E set).
+// Two representations with different retention/width tradeoffs:
+//   * PairCountMap — u64 vertex-pair key -> int32 exact connector count.
+//     The full-information store: the dynamic maintenance engine needs exact
+//     counts (and decrements), and the all-vertex pass evaluates every map.
+//   * RankPairSet — rank-packed pair key (position pair within the owner's
+//     sorted adjacency list) -> 8-bit saturating state. The bound-phase
+//     store: the incremental ũb only consumes small-count transitions, so
+//     entries shrink from 12 to 5 bytes (9 for hubs of degree >= 2^16), and
+//     hot maps upgrade to a dense byte-per-pair triangular array.
+// For each pair of u's neighbors both store either the ADJACENT marker (the
+// pair is an edge of the ego network) or the number of connectors found so
+// far (vertices other than u linking the pair inside GE(u)). Absent pairs
+// have no identified connector and contribute 1 to CB(u) (the paper's S̈E
+// set).
 
 #ifndef EGOBW_UTIL_PAIR_COUNT_MAP_H_
 #define EGOBW_UTIL_PAIR_COUNT_MAP_H_
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "util/hash.h"
@@ -87,6 +97,145 @@ class PairCountMap {
   std::vector<uint64_t> keys_;
   std::vector<int32_t> vals_;
   size_t size_ = 0;
+};
+
+/// Rank-packed pair set with an 8-bit saturating per-pair state — the
+/// bound-phase S_u of one vertex.
+///
+/// Both endpoints of every S_u pair are neighbors of u, so a pair is stored
+/// as the triangular index T = ry(ry-1)/2 + rx of its (rank_x, rank_y)
+/// positions within u's sorted adjacency list. For degree < 2^16 the index
+/// fits 31 bits (4-byte keys); hubs fall back to packed-u64 keys. The state
+/// byte is kAdjacent (0) or the connector count, saturating at kCountCap:
+/// the incremental ũb consumes Contribution(count) = 1/(count+1) deltas,
+/// which the cap floors at 1/(kCountCap+1) — still a sound upper bound, and
+/// bit-identical to exact counting until a pair's 255th connector.
+///
+/// Representation is adaptive: open addressing (5- or 9-byte slots) while
+/// sparse, upgraded in place to a dense byte-per-pair triangular array the
+/// moment growing the table would cost at least as many bytes as C(d, 2) —
+/// exactly the hub maps that dominate peak RSS, where dense costs 1 byte
+/// per PAIR instead of 12+ per ENTRY. The upgrade point depends only on the
+/// insertion sequence (not timing), and every operation's observable result
+/// is representation-independent.
+class RankPairSet {
+ public:
+  /// State marking an adjacent (distance-1) neighbor pair.
+  static constexpr uint8_t kAdjacent = 0;
+  /// Connector counts saturate here (contribution floored at 1/255).
+  static constexpr uint8_t kCountCap = 254;
+  /// Degrees >= this use the packed-u64 key fallback.
+  static constexpr uint32_t kWideDegree = 1u << 16;
+  /// Returned by mutators/Get for pairs not in the set.
+  static constexpr int32_t kAbsent = -1;
+
+  RankPairSet() = default;
+
+  /// (Re-)initializes for a vertex of the given degree: empties the set,
+  /// selects the key width, and fixes the pair universe C(degree, 2).
+  void Init(uint32_t degree);
+
+  /// Number of stored pairs (adjacent + counted).
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// True once the set upgraded to the dense triangular array.
+  bool IsDense() const { return dense_; }
+  /// True when keys are packed u64 (degree >= kWideDegree).
+  bool IsWide() const { return wide_; }
+
+  /// Current state of pair (rx, ry): kAbsent, kAdjacent, or a count.
+  int32_t Get(uint32_t rx, uint32_t ry) const;
+
+  /// Marks the pair adjacent. Returns the previous state (kAbsent,
+  /// kAdjacent, or a count — callers guarantee counted pairs are never
+  /// marked adjacent in static processing, but the transition is handled).
+  int32_t MarkAdjacent(uint32_t rx, uint32_t ry);
+
+  /// Adds one connector to the (non-adjacent) pair, saturating at
+  /// kCountCap. Returns the previous state (kAbsent or a count).
+  int32_t AddConnector(uint32_t rx, uint32_t ry);
+
+  /// Ensures capacity for `n` total pairs without intermediate rehashes
+  /// (may trigger the dense upgrade when that is the cheaper layout).
+  void Reserve(size_t n);
+
+  /// Calls fn(rx, ry, state) for every stored pair, rx < ry. Iteration
+  /// order is unspecified.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    if (dense_) {
+      for (uint64_t t = 0; t < vals_.size(); ++t) {
+        if (vals_[t] == 0) continue;
+        auto [rx, ry] = UnpackTriangular(t);
+        fn(rx, ry, static_cast<uint8_t>(vals_[t] - 1));
+      }
+      return;
+    }
+    if (wide_) {
+      for (size_t i = 0; i < keys64_.size(); ++i) {
+        if (keys64_[i] == kEmpty64) continue;
+        auto [rx, ry] = UnpackTriangular(keys64_[i]);
+        fn(rx, ry, vals_[i]);
+      }
+    } else {
+      for (size_t i = 0; i < keys32_.size(); ++i) {
+        if (keys32_[i] == kEmpty32) continue;
+        auto [rx, ry] = UnpackTriangular(keys32_[i]);
+        fn(rx, ry, vals_[i]);
+      }
+    }
+  }
+
+  /// Bytes of heap memory held.
+  size_t MemoryBytes() const {
+    return keys32_.capacity() * sizeof(uint32_t) +
+           keys64_.capacity() * sizeof(uint64_t) +
+           vals_.capacity() * sizeof(uint8_t);
+  }
+
+  /// Triangular index of the pair (canonicalizes rx > ry).
+  static uint64_t PackTriangular(uint32_t rx, uint32_t ry) {
+    EGOBW_DCHECK(rx != ry);
+    if (rx > ry) {
+      uint32_t t = rx;
+      rx = ry;
+      ry = t;
+    }
+    return static_cast<uint64_t>(ry) * (ry - 1) / 2 + rx;
+  }
+
+  /// Inverse of PackTriangular: the (rx, ry) pair of a triangular index.
+  static std::pair<uint32_t, uint32_t> UnpackTriangular(uint64_t t);
+
+ private:
+  static constexpr uint32_t kEmpty32 = ~0u;
+  static constexpr uint64_t kEmpty64 = ~0ULL;
+
+  size_t HashCapacity() const {
+    return wide_ ? keys64_.size() : keys32_.size();
+  }
+  size_t HashSlotBytes() const {
+    return (wide_ ? sizeof(uint64_t) : sizeof(uint32_t)) + sizeof(uint8_t);
+  }
+  // State of the pair at triangular index t; *slot receives the hash slot
+  // (hash modes only). Returns kAbsent when not present.
+  int32_t Find(uint64_t t, size_t* slot) const;
+  // Inserts a new pair (must be absent) with the given state byte.
+  void InsertNew(uint64_t t, uint8_t val);
+  void GrowOrDensify(size_t needed_entries);
+  void RehashTo(size_t new_cap);
+  void Densify();
+
+  bool wide_ = false;
+  bool dense_ = false;
+  uint64_t universe_ = 0;  // C(degree, 2).
+  size_t size_ = 0;
+  std::vector<uint32_t> keys32_;  // Hash keys, narrow mode.
+  std::vector<uint64_t> keys64_;  // Hash keys, wide mode.
+  // Hash modes: state byte per slot. Dense mode: per triangular index,
+  // 0 = absent, otherwise state + 1.
+  std::vector<uint8_t> vals_;
 };
 
 }  // namespace egobw

@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <map>
 #include <string>
 #include <vector>
@@ -22,6 +23,7 @@
 #include "graph/generators.h"
 #include "graph/graph_builder.h"
 #include "util/fraction.h"
+#include "util/random.h"
 
 namespace egobw {
 namespace {
@@ -275,6 +277,99 @@ TEST(SMapStoreTest, NeighborAddRemoveAccounting) {
   EXPECT_DOUBLE_EQ(store.Value(0), 2.0);
   store.OnNeighborRemoved(0);
   EXPECT_EQ(store.DegreeOf(0), 2u);
+}
+
+// ---------------------------------------------------------------- BoundStore
+
+TEST(BoundStoreTest, InitialValuesAreStaticBounds) {
+  Graph g = PaperFigure1();
+  BoundStore store(g);
+  EXPECT_DOUBLE_EQ(store.Value(PaperFigure1Id('c')), 21.0);
+  EXPECT_DOUBLE_EQ(store.Value(PaperFigure1Id('i')), 15.0);
+  EXPECT_DOUBLE_EQ(store.Value(PaperFigure1Id('k')), 1.0);
+  EXPECT_DOUBLE_EQ(store.Value(PaperFigure1Id('u')), 0.0);
+}
+
+TEST(BoundStoreTest, RankLookupsMatchAdjacencyPositions) {
+  Graph g = BarabasiAlbert(300, 5, 91);
+  BoundStore store(g);
+  std::vector<uint32_t> ranks;
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    auto nbrs = g.Neighbors(u);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      EXPECT_EQ(store.RankOf(u, nbrs[i]), i);
+    }
+    // Every third neighbor, as a sorted sub-span through the gallop path.
+    std::vector<VertexId> members;
+    for (size_t i = 0; i < nbrs.size(); i += 3) members.push_back(nbrs[i]);
+    store.RanksIn(u, members, &ranks);
+    ASSERT_EQ(ranks.size(), members.size());
+    for (size_t i = 0; i < members.size(); ++i) {
+      EXPECT_EQ(ranks[i], store.RankOf(u, members[i]));
+    }
+  }
+}
+
+// The bound store's value arithmetic must be bit-identical to SMapStore's
+// under the same logical mutation sequence (below the saturation cap) —
+// the property that keeps every serial ũb trajectory, and therefore every
+// admission decision, unchanged by the rank-packed rewrite.
+TEST(BoundStoreTest, ValueTracksSMapStoreBitForBit) {
+  Graph g = BarabasiAlbert(200, 6, 77, 0.4);
+  EdgeSet edges(g);
+  SMapStore counted(g);
+  BoundStore bounds(g);
+  Rng rng(5);
+  std::vector<std::pair<uint32_t, uint32_t>> one_pair(1);
+  for (int step = 0; step < 30000; ++step) {
+    VertexId u = static_cast<VertexId>(rng.NextBounded(g.NumVertices()));
+    auto nbrs = g.Neighbors(u);
+    if (nbrs.size() < 2) continue;
+    uint32_t ri = static_cast<uint32_t>(rng.NextBounded(nbrs.size()));
+    uint32_t rj = static_cast<uint32_t>(rng.NextBounded(nbrs.size()));
+    if (ri == rj) continue;
+    VertexId x = nbrs[ri];
+    VertexId y = nbrs[rj];
+    if (edges.Contains(x, y)) {
+      counted.SetAdjacent(u, x, y);
+      bounds.MarkAdjacent(u, ri, rj);
+    } else {
+      counted.AddConnectors(u, x, y, 1);
+      one_pair[0] = {ri, rj};
+      bounds.AddConnectorsBatch(u, one_pair);
+    }
+    if (step % 97 == 0) {
+      uint64_t cb, bb;
+      double cv = counted.Value(u);
+      double bv = bounds.Value(u);
+      std::memcpy(&cb, &cv, sizeof(cb));
+      std::memcpy(&bb, &bv, sizeof(bb));
+      ASSERT_EQ(cb, bb) << "value diverges at vertex " << u << " step "
+                        << step;
+    }
+  }
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    EXPECT_DOUBLE_EQ(counted.Value(u), bounds.Value(u)) << u;
+  }
+}
+
+TEST(BoundStoreTest, SaturatedCountsFloorTheContribution) {
+  // 300 connectors on one pair: the exact bound would approach the "pair
+  // fully explained" limit, the saturated bound floors the contribution at
+  // 1/(kCountCap + 1) — still an upper bound on the exact value.
+  Graph g = Star(5);
+  SMapStore counted(g);
+  BoundStore bounds(g);
+  std::vector<std::pair<uint32_t, uint32_t>> one_pair(1);
+  for (int i = 0; i < 300; ++i) {
+    counted.AddConnectors(0, 1, 2, 1);
+    one_pair[0] = {0, 1};
+    bounds.AddConnectorsBatch(0, one_pair);
+  }
+  EXPECT_NEAR(counted.Value(0), 5.0 + 1.0 / 301.0, kTol);
+  EXPECT_NEAR(bounds.Value(0), 5.0 + 1.0 / 255.0, kTol);
+  EXPECT_GE(bounds.Value(0), counted.Value(0));
+  EXPECT_EQ(bounds.SetOf(0).Get(0, 1), RankPairSet::kCountCap);
 }
 
 // ---------------------------------------------------------------- EdgeProcessor

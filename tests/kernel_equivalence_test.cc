@@ -26,6 +26,7 @@
 #include "core/smap_store.h"
 #include "graph/example_graphs.h"
 #include "graph/generators.h"
+#include "graph/graph_builder.h"
 #include "parallel/parallel_ebw.h"
 #include "parallel/parallel_opt_search.h"
 
@@ -247,6 +248,73 @@ TEST(KernelEquivalence, RelabeledGraphIsIsomorphic) {
       EXPECT_TRUE(relabeled.HasEdge(old_to_new[u], old_to_new[v])) << name;
     }
   }
+}
+
+// Hub fallback: a vertex of degree >= 2^16 pushes its RankPairSet into the
+// packed-u64 key branch. The hub is the center of a star whose leaves also
+// form a ring, so S_hub holds both adjacent pairs (ring edges) and counted
+// pairs (each leaf connects its two ring neighbors) at ranks spanning the
+// full 16-bit-plus range — and every engine of the split pipeline must
+// agree bit-for-bit on the answer.
+TEST(KernelEquivalence, HubGraphWideRankFallbackAllEnginesAgree) {
+  // Hub degree >= 2^16 selects the packed-u64 keys; the ring sits on the
+  // LAST leaves so its pairs' ranks within N(hub) exceed 2^16 and their
+  // triangular indices exceed 2^31 — genuinely 64-bit key material. The
+  // remaining leaves have degree 1 (static bound 0), so the searches prune
+  // them wholesale and the test stays CI-sized.
+  constexpr uint32_t kLeaves = RankPairSet::kWideDegree + 4;
+  constexpr uint32_t kRingStart = kLeaves - 4000;
+  GraphBuilder b(kLeaves + 1);
+  for (uint32_t i = 1; i <= kLeaves; ++i) b.AddEdge(0, i);
+  for (uint32_t i = kRingStart; i < kLeaves; ++i) b.AddEdge(i, i + 1);
+  b.AddEdge(kLeaves, kRingStart);  // Close the ring: degree 3 throughout.
+  Graph g = b.Build();
+  ASSERT_GE(g.MaxDegree(), RankPairSet::kWideDegree);
+  BoundStore probe(g);
+  ASSERT_TRUE(probe.SetOf(0).IsWide());
+  ASSERT_FALSE(probe.SetOf(1).IsWide());
+
+  // Closed form with r = 4001 ring vertices: the hub ego has r adjacent
+  // pairs (the ring edges) and r counted pairs (i connects (i-1, i+1)) with
+  // one connector each, so CB(hub) = C(d, 2) - r - r/2; every ring leaf's
+  // ego {hub, i-1, i+1} gives CB = 1/2 (the hub halves the non-adjacent
+  // ring pair), and degree-1 leaves score 0.
+  const double d = kLeaves;
+  const double r = kLeaves - kRingStart + 1;
+  const uint32_t k = 5;
+  TopKResult serial = OptBSearch(g, k);
+  ASSERT_EQ(serial.size(), k);
+  EXPECT_EQ(serial[0].vertex, 0u);
+  EXPECT_NEAR(serial[0].cb, d * (d - 1.0) / 2.0 - 1.5 * r, 1e-6);
+  for (size_t i = 1; i < serial.size(); ++i) {
+    // Ties at 1/2 resolve toward the smallest ring ids.
+    EXPECT_EQ(serial[i].vertex, kRingStart + static_cast<VertexId>(i) - 1);
+    EXPECT_NEAR(serial[i].cb, 0.5, 1e-12);
+  }
+
+  ExpectTopKBitEqual(BaseBSearch(g, k), serial, "hub BaseBSearch");
+  for (size_t threads : {1u, 2u, 4u}) {
+    for (bool relabel : {false, true}) {
+      ParallelOptBSearchOptions options;
+      options.relabel_by_degree = relabel;
+      ExpectTopKBitEqual(
+          ParallelOptBSearch(g, k, threads, options), serial,
+          "hub ParallelOptBSearch t=" + std::to_string(threads) +
+              (relabel ? " relabeled" : " direct"));
+    }
+  }
+
+  // All-vertex engines: the retained-store pipeline must agree with the
+  // top-k engines' locally rebuilt values bit-for-bit.
+  std::vector<double> all = ComputeAllEgoBetweenness(g);
+  for (const TopKEntry& e : serial) {
+    uint64_t ab, bb;
+    std::memcpy(&ab, &all[e.vertex], sizeof(ab));
+    std::memcpy(&bb, &e.cb, sizeof(bb));
+    EXPECT_EQ(ab, bb) << "hub all-ego vs top-k at vertex " << e.vertex;
+  }
+  ExpectBitEqual(all, VertexPEBW(g, 2), "hub VertexPEBW");
+  ExpectBitEqual(all, EdgePEBW(g, 2), "hub EdgePEBW");
 }
 
 // Direct kernel-level differential: both kernels must emit the exact same

@@ -213,6 +213,118 @@ TEST(PairCountMapTest, ClearKeepsWorking) {
   EXPECT_EQ(m.GetOr(PackPair(5, 6), -1), 2);
 }
 
+// ---------------------------------------------------------------- RankPairSet
+
+TEST(RankPairSetTest, TriangularPackRoundTrips) {
+  for (uint32_t ry = 1; ry < 200; ++ry) {
+    for (uint32_t rx = 0; rx < ry; ++rx) {
+      uint64_t t = RankPairSet::PackTriangular(rx, ry);
+      EXPECT_EQ(RankPairSet::PackTriangular(ry, rx), t) << "canonicalizes";
+      auto [ux, uy] = RankPairSet::UnpackTriangular(t);
+      EXPECT_EQ(ux, rx);
+      EXPECT_EQ(uy, ry);
+    }
+  }
+  // Largest narrow-mode index (degree kWideDegree - 1) stays below 2^31,
+  // so 32-bit keys never collide with the empty sentinel.
+  uint32_t d = RankPairSet::kWideDegree - 1;
+  uint64_t t_max = RankPairSet::PackTriangular(d - 2, d - 1);
+  EXPECT_LT(t_max, 1ull << 31);
+  auto [ux, uy] = RankPairSet::UnpackTriangular(t_max);
+  EXPECT_EQ(ux, d - 2);
+  EXPECT_EQ(uy, d - 1);
+}
+
+TEST(RankPairSetTest, MarkAndCountTransitions) {
+  RankPairSet s;
+  s.Init(100);
+  EXPECT_FALSE(s.IsWide());
+  EXPECT_EQ(s.Get(3, 7), RankPairSet::kAbsent);
+  EXPECT_EQ(s.AddConnector(3, 7), RankPairSet::kAbsent);
+  EXPECT_EQ(s.Get(3, 7), 1);
+  EXPECT_EQ(s.AddConnector(7, 3), 1);  // Canonicalized, returns previous.
+  EXPECT_EQ(s.Get(3, 7), 2);
+  EXPECT_EQ(s.MarkAdjacent(4, 9), RankPairSet::kAbsent);
+  EXPECT_EQ(s.Get(4, 9), RankPairSet::kAdjacent);
+  EXPECT_EQ(s.MarkAdjacent(4, 9), RankPairSet::kAdjacent);  // Idempotent.
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(RankPairSetTest, CountsSaturateAtCap) {
+  RankPairSet s;
+  s.Init(64);
+  for (int i = 0; i < 300; ++i) s.AddConnector(1, 2);
+  EXPECT_EQ(s.Get(1, 2), RankPairSet::kCountCap);
+  EXPECT_EQ(s.AddConnector(1, 2), RankPairSet::kCountCap);
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(RankPairSetTest, DenseUpgradePreservesContents) {
+  // Degree 80: universe C(80,2) = 3160 pairs = 3160 dense bytes; filling a
+  // large fraction forces the hash table past that cost, so the set must
+  // upgrade and keep every entry intact.
+  constexpr uint32_t kDegree = 80;
+  RankPairSet s;
+  s.Init(kDegree);
+  std::map<uint64_t, int32_t> ref;
+  Rng rng(7);
+  for (int step = 0; step < 5000; ++step) {
+    uint32_t a = static_cast<uint32_t>(rng.NextBounded(kDegree));
+    uint32_t b = static_cast<uint32_t>(rng.NextBounded(kDegree));
+    if (a == b) continue;
+    uint64_t t = RankPairSet::PackTriangular(a, b);
+    auto it = ref.find(t);
+    if (rng.NextBounded(3) == 0) {
+      if (it != ref.end() && it->second == 0) continue;  // Adjacent stays.
+      s.AddConnector(a, b);
+      int32_t prev = it == ref.end() ? 0 : it->second;
+      ref[t] = std::min<int32_t>(prev + 1, RankPairSet::kCountCap);
+    } else if (it == ref.end() || it->second == 0) {
+      s.MarkAdjacent(a, b);
+      ref[t] = 0;
+    }
+  }
+  EXPECT_TRUE(s.IsDense()) << "expected the dense upgrade to trigger";
+  EXPECT_EQ(s.size(), ref.size());
+  size_t visited = 0;
+  s.ForEach([&](uint32_t rx, uint32_t ry, uint8_t state) {
+    ++visited;
+    auto it = ref.find(RankPairSet::PackTriangular(rx, ry));
+    ASSERT_NE(it, ref.end());
+    EXPECT_EQ(it->second, static_cast<int32_t>(state));
+  });
+  EXPECT_EQ(visited, ref.size());
+}
+
+TEST(RankPairSetTest, WideModeHandlesHubRanks) {
+  // Degree >= 2^16 exercises the packed-u64 key branch end to end.
+  RankPairSet s;
+  s.Init(RankPairSet::kWideDegree + 1000);
+  EXPECT_TRUE(s.IsWide());
+  uint32_t big = RankPairSet::kWideDegree + 500;
+  EXPECT_EQ(s.MarkAdjacent(3, big), RankPairSet::kAbsent);
+  EXPECT_EQ(s.AddConnector(big - 1, big), RankPairSet::kAbsent);
+  EXPECT_EQ(s.AddConnector(big - 1, big), 1);
+  EXPECT_EQ(s.Get(3, big), RankPairSet::kAdjacent);
+  EXPECT_EQ(s.Get(big - 1, big), 2);
+  EXPECT_EQ(s.Get(2, big), RankPairSet::kAbsent);
+  EXPECT_EQ(s.size(), 2u);
+  size_t visited = 0;
+  s.ForEach([&visited](uint32_t, uint32_t, uint8_t) { ++visited; });
+  EXPECT_EQ(visited, 2u);
+}
+
+TEST(RankPairSetTest, ReserveNeverLosesEntries) {
+  RankPairSet s;
+  s.Init(5000);
+  for (uint32_t i = 0; i + 1 < 600; ++i) s.AddConnector(i, i + 1);
+  s.Reserve(5000);
+  for (uint32_t i = 0; i + 1 < 600; ++i) {
+    EXPECT_EQ(s.Get(i, i + 1), 1) << i;
+  }
+  EXPECT_EQ(s.size(), 599u);
+}
+
 // ---------------------------------------------------------------- IndexedMaxHeap
 
 TEST(IndexedMaxHeapTest, PopsInDescendingOrder) {
