@@ -51,6 +51,7 @@ struct Row {
   double seconds = 0.0;
   uint64_t exact = 0;
   uint64_t pushbacks = 0;
+  uint64_t relaxed_pops = 0;
   uint64_t peak_rss_bytes = 0;
   bool matches_serial = true;
 };
@@ -69,6 +70,7 @@ struct WireHeader {
   double seconds = 0.0;
   uint64_t exact = 0;
   uint64_t pushbacks = 0;
+  uint64_t relaxed_pops = 0;
   uint64_t result_size = 0;
 };
 
@@ -116,6 +118,7 @@ bool RunRowInChild(const std::function<TopKResult(SearchStats*)>& run,
     h.seconds = timer.Seconds();
     h.exact = stats.exact_computations;
     h.pushbacks = stats.heap_pushbacks;
+    h.relaxed_pops = stats.relaxed_pops;
     h.result_size = r.size();
     WriteAll(fds[1], &h, sizeof(h));
     for (const TopKEntry& e : r) {
@@ -144,6 +147,7 @@ bool RunRowInChild(const std::function<TopKResult(SearchStats*)>& run,
   row->seconds = h.seconds;
   row->exact = h.exact;
   row->pushbacks = h.pushbacks;
+  row->relaxed_pops = h.relaxed_pops;
   row->peak_rss_bytes = static_cast<uint64_t>(ru.ru_maxrss) * 1024;  // KiB.
   return ok;
 }
@@ -233,12 +237,13 @@ int main(int argc, char** argv) {
         buf, sizeof(buf),
         "    {\"engine\": \"%s\", \"threads\": %zu, \"seconds\": %.3f, "
         "\"speedup_vs_serial\": %.3f, \"exact_computations\": %llu, "
-        "\"heap_pushbacks\": %llu, \"peak_rss_bytes\": %llu, "
-        "\"matches_serial\": %s}%s\n",
+        "\"heap_pushbacks\": %llu, \"relaxed_pops\": %llu, "
+        "\"peak_rss_bytes\": %llu, \"matches_serial\": %s}%s\n",
         r.name.c_str(), r.threads, r.seconds,
         r.seconds > 0 ? serial_row.seconds / r.seconds : 0.0,
         static_cast<unsigned long long>(r.exact),
         static_cast<unsigned long long>(r.pushbacks),
+        static_cast<unsigned long long>(r.relaxed_pops),
         static_cast<unsigned long long>(r.peak_rss_bytes),
         r.matches_serial ? "true" : "false",
         i + 1 < rows.size() ? "," : "");

@@ -19,6 +19,14 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 echo "==> Tests"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 
+echo "==> Intersection-engine differential, vector path ENABLED"
+"$BUILD_DIR"/simd_intersect_test --gtest_brief=1
+
+echo "==> Intersection-engine differential, vector path DISABLED"
+EGOBW_DISABLE_SIMD=1 "$BUILD_DIR"/simd_intersect_test --gtest_brief=1
+EGOBW_DISABLE_SIMD=1 "$BUILD_DIR"/kernel_equivalence_test --gtest_brief=1 \
+  --gtest_filter='KernelEquivalence.SimdOffMatchesSimdOnBitForBit:KernelEquivalence.EmissionOrderMatchesLegacy'
+
 echo "==> Rule-B kernel smoke benchmark (small R-MAT)"
 "$BUILD_DIR"/kernel_report "$BUILD_DIR"/BENCH_kernels_smoke.json rmat 12
 cat "$BUILD_DIR"/BENCH_kernels_smoke.json

@@ -32,6 +32,8 @@ struct SearchStats {
   uint64_t connector_increments = 0;  ///< Rule-B map increments.
   uint64_t heap_pushbacks = 0;      ///< OptBSearch bound-tightening re-pushes.
   uint64_t pruned = 0;              ///< Vertices discarded without computing.
+  uint64_t relaxed_pops = 0;        ///< Parallel own-shard pops within θ of
+                                    ///< the global top (lock-traffic saver).
   double elapsed_seconds = 0.0;     ///< Wall-clock time of the search.
 };
 

@@ -4,6 +4,7 @@
 
 #include "util/hash.h"
 #include "util/logging.h"
+#include "util/simd_intersect.h"
 
 namespace egobw {
 namespace {
@@ -176,28 +177,14 @@ uint32_t BoundStore::RankOf(VertexId u, VertexId x) const {
 
 void BoundStore::RanksIn(VertexId u, std::span<const VertexId> sorted_members,
                          std::vector<uint32_t>* out) const {
-  out->clear();
-  out->reserve(sorted_members.size());
-  auto nbrs = g_->Neighbors(u);
-  const VertexId* base = nbrs.data();
-  size_t n = nbrs.size();
-  size_t pos = 0;
-  for (VertexId m : sorted_members) {
-    // Galloping search from the previous hit: members are ascending, so the
-    // total cost is O(|members| log(gap)) regardless of d(u).
-    size_t lo = pos;
-    size_t step = 1;
-    while (lo + step < n && base[lo + step] < m) {
-      lo += step;
-      step <<= 1;
-    }
-    size_t hi = std::min(lo + step + 1, n);
-    pos = static_cast<size_t>(
-        std::lower_bound(base + lo, base + hi, m) - base);
-    EGOBW_DCHECK(pos < n && base[pos] == m);
-    out->push_back(static_cast<uint32_t>(pos));
-    ++pos;
-  }
+  // Every member is a neighbor of u, so the positions of the intersection
+  // within N(u) are exactly the ranks. The engine picks gallop for skewed
+  // |members| ≪ d(u) and block compares otherwise; positions are identical
+  // across back ends.
+  size_t hits = IntersectPositions(sorted_members, g_->Neighbors(u), nullptr,
+                                   out);
+  EGOBW_DCHECK(hits == sorted_members.size());
+  (void)hits;
 }
 
 void BoundStore::MarkAdjacent(VertexId u, uint32_t rx, uint32_t ry) {
@@ -221,9 +208,10 @@ void BoundStore::AddConnectorsBatch(
     VertexId u, std::span<const std::pair<uint32_t, uint32_t>> pairs) {
   if (pairs.empty()) return;
   sets_[u].Reserve(sets_[u].size() + pairs.size());
+  const int32_t cap = static_cast<int32_t>(sets_[u].CountCap());
   for (const auto& [rx, ry] : pairs) {
     int32_t prev = sets_[u].AddConnector(rx, ry);
-    if (prev >= RankPairSet::kCountCap) continue;  // Contribution floored.
+    if (prev >= cap) continue;  // Contribution floored.
     int32_t prev_count = prev == RankPairSet::kAbsent ? 0 : prev;
     value_[u] += Contribution(prev_count + 1) - Contribution(prev_count);
   }

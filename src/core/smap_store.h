@@ -16,10 +16,10 @@
 ///   * SMapStore — exact int32 connector counts keyed by vertex pairs. The
 ///     all-vertex pass (which must evaluate every map) and the Section IV
 ///     maintenance engine (which replays counts under edge updates) use it.
-///   * BoundStore — rank-packed RankPairSet entries with 8-bit saturating
+///   * BoundStore — rank-packed RankPairSet entries with narrow saturating
 ///     counts. The top-k searches only need the value(u) trajectory from
-///     the publish stream, so their hottest write path shrinks to 5-byte
-///     (or dense 1-byte-per-pair) entries; exact CB(u) is recomputed
+///     the publish stream, so their hottest write path shrinks to 5-6-byte
+///     (or dense 1-2-bytes-per-pair) entries; exact CB(u) is recomputed
 ///     locally on demand (see BoundEdgeProcessor) for the few candidates
 ///     that survive the gate.
 
@@ -136,8 +136,12 @@ class SMapStore {
 /// the owner's sorted adjacency list — which the rank helpers compute from
 /// the graph the store was built over. The value trajectory is bit-identical
 /// to SMapStore's under the same mutation sequence until a pair's
-/// RankPairSet::kCountCap-th connector, after which the contribution is
-/// floored (still a sound upper bound, monotone under static processing).
+/// cap-exceeding connector, after which the contribution is floored (still
+/// a sound upper bound, monotone under static processing). The cap is
+/// per-owner (RankPairSet::CountCap()): 254 only for owners whose degree
+/// makes saturation impossible anyway, 65534 for everything bigger — so in
+/// practice ũb is the paper's exact bound for every pair with up to 65534
+/// connectors.
 class BoundStore {
  public:
   /// Initializes empty sets: value(u) = C(deg(u), 2) for every u of g.

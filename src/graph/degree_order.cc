@@ -19,4 +19,44 @@ DegreeOrder::DegreeOrder(const Graph& g) {
   for (uint32_t i = 0; i < n; ++i) rank_[order_[i]] = i;
 }
 
+std::vector<VertexId> LocalityBlockedOrder(const Graph& g) {
+  uint32_t n = g.NumVertices();
+  DegreeOrder order(g);
+  // Global BFS discovery times, rooted component-by-component at the
+  // ≺-smallest unvisited vertex so every vertex gets a unique time and the
+  // traversal is deterministic (roots in ≺ order, neighbors in id order).
+  std::vector<uint32_t> bfs_time(n, 0);
+  std::vector<uint8_t> visited(n, 0);
+  std::vector<VertexId> queue;
+  queue.reserve(n);
+  uint32_t time = 0;
+  for (VertexId root : order.Order()) {
+    if (visited[root]) continue;
+    visited[root] = 1;
+    size_t head = queue.size();
+    queue.push_back(root);
+    while (head < queue.size()) {
+      VertexId u = queue[head++];
+      bfs_time[u] = time++;
+      for (VertexId w : g.Neighbors(u)) {
+        if (!visited[w]) {
+          visited[w] = 1;
+          queue.push_back(w);
+        }
+      }
+    }
+  }
+  // Degree classes stay exactly DegreeOrder's; only the within-class
+  // permutation changes (discovery times are unique, so the order is total).
+  std::vector<VertexId> blocked = order.Order();
+  std::sort(blocked.begin(), blocked.end(),
+            [&g, &bfs_time](VertexId a, VertexId b) {
+              uint32_t da = g.Degree(a);
+              uint32_t db = g.Degree(b);
+              if (da != db) return da > db;
+              return bfs_time[a] < bfs_time[b];
+            });
+  return blocked;
+}
+
 }  // namespace egobw

@@ -38,6 +38,18 @@ class DegreeOrder {
   std::vector<VertexId> order_;
 };
 
+/// Locality-blocked vertex order for CSR relabeling: the same degree-class
+/// partition as DegreeOrder (degree descending, so new ids still scan in
+/// non-increasing static-bound order), but WITHIN each degree class
+/// vertices are ordered by global BFS discovery time instead of id. The BFS
+/// roots at the ≺-smallest unvisited vertex (hubs first) and expands
+/// neighbors in adjacency order, so vertices that co-occur in each other's
+/// neighborhoods get nearby discovery times — after relabeling, the CSR
+/// runs the diamond kernel intersects are contiguous over graph clusters in
+/// memory instead of striped across the whole degree class by original id.
+/// Returns the permutation as position → vertex (index 0 = first new id).
+std::vector<VertexId> LocalityBlockedOrder(const Graph& g);
+
 }  // namespace egobw
 
 #endif  // EGOBW_GRAPH_DEGREE_ORDER_H_

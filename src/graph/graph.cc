@@ -4,6 +4,7 @@
 
 #include "graph/degree_order.h"
 #include "graph/graph_builder.h"
+#include "util/simd_intersect.h"
 
 namespace egobw {
 
@@ -16,25 +17,23 @@ bool Graph::HasEdge(VertexId u, VertexId v) const {
 
 void Graph::CommonNeighbors(VertexId u, VertexId v,
                             std::vector<VertexId>* out) const {
-  out->clear();
-  auto nu = Neighbors(u);
-  auto nv = Neighbors(v);
-  std::set_intersection(nu.begin(), nu.end(), nv.begin(), nv.end(),
-                        std::back_inserter(*out));
+  IntersectValues(Neighbors(u), Neighbors(v), out);
 }
 
 Graph Graph::RelabeledByDegree(std::vector<VertexId>* old_to_new) const {
-  DegreeOrder order(*this);
+  // Locality-blocked assignment: degree classes in descending order (new
+  // ids still enumerate in non-increasing static bound), BFS discovery
+  // order within each class (see LocalityBlockedOrder).
+  std::vector<VertexId> blocked = LocalityBlockedOrder(*this);
+  std::vector<VertexId> rank(NumVertices());
+  for (uint32_t i = 0; i < blocked.size(); ++i) {
+    rank[blocked[i]] = static_cast<VertexId>(i);
+  }
   GraphBuilder builder(NumVertices());
   for (const auto& [u, v] : edges_) {
-    builder.AddEdge(order.Rank(u), order.Rank(v));
+    builder.AddEdge(rank[u], rank[v]);
   }
-  if (old_to_new != nullptr) {
-    old_to_new->resize(NumVertices());
-    for (VertexId v = 0; v < NumVertices(); ++v) {
-      (*old_to_new)[v] = order.Rank(v);
-    }
-  }
+  if (old_to_new != nullptr) *old_to_new = std::move(rank);
   return builder.Build();
 }
 

@@ -73,11 +73,14 @@ class Graph {
   /// Sum over vertices of C(d, 2); useful for sizing estimates.
   uint64_t TotalWedges() const;
 
-  /// Isomorphic copy with vertices relabeled by the total order ≺:
-  /// new id = ≺-rank (0 = highest degree). Adjacency lists stay sorted by
-  /// (new) id, so a vertex's ≺-forward neighbors become a contiguous
-  /// suffix and intersections scan degree-clustered, cache-friendly memory.
-  /// When `old_to_new` is non-null it receives the permutation
+  /// Isomorphic copy with vertices relabeled by the locality-blocked order
+  /// (see LocalityBlockedOrder): new ids enumerate degree classes in
+  /// descending order (0 = highest degree, so scanning new ids ascending is
+  /// still scanning by non-increasing static bound), and within a degree
+  /// class ids follow BFS discovery so graph clusters are contiguous in the
+  /// CSR — both the kernel's sorted-intersection scans and the bound
+  /// store's rank lookups then walk cache-adjacent memory. When
+  /// `old_to_new` is non-null it receives the permutation
   /// (*old_to_new)[old_id] == new_id. Edge ids are NOT preserved.
   Graph RelabeledByDegree(std::vector<VertexId>* old_to_new = nullptr) const;
 

@@ -31,6 +31,7 @@ struct WorkerCtx {
   uint64_t exact = 0;
   uint64_t pushbacks = 0;
   uint64_t pruned = 0;
+  uint64_t relaxed = 0;
   uint64_t edges = 0;
   uint64_t triangles = 0;
   uint64_t increments = 0;
@@ -94,6 +95,7 @@ class ParallelBoundedEngine {
       stats->exact_computations += ctx->exact;
       stats->heap_pushbacks += ctx->pushbacks;
       stats->pruned += ctx->pruned;
+      stats->relaxed_pops += ctx->relaxed;
       stats->edges_processed += ctx->edges;
       stats->triangles += ctx->triangles;
       stats->connector_increments += ctx->increments;
@@ -144,13 +146,22 @@ class ParallelBoundedEngine {
 
   // Pops the best key across all shard tops (ties toward the larger id,
   // matching IndexedMaxHeap), scanning the lock-free cached tops and
-  // locking only the winning shard. With one worker the caches are always
-  // exact, so the pop sequence equals the serial heap's; with many, a stale
-  // cache merely picks a near-best candidate — admission stays sound for
-  // any pop order. The calling worker is counted as a candidate holder
-  // before the shard lock is released so the termination barrier never
-  // misses an in-flight candidate.
-  std::optional<std::pair<uint32_t, double>> TryPop() {
+  // locking only the winning shard — RELAXED toward the calling worker's
+  // home shard: when the home shard's cached top is within the gradient
+  // ratio θ of the global best (θ·key_home >= key_best), the worker pops
+  // its own shard instead. The rationale mirrors the θ gate itself: a key
+  // within factor θ of the maximum would not even trigger a re-push if it
+  // were the bound improvement, so processing it "early" costs at most the
+  // few extra exact evaluations θ already tolerates — and it keeps P
+  // workers off the same winning shard's lock. Admission is sound for ANY
+  // pop order (keys upper-bound true values; the gate re-validates), so the
+  // returned top-k stays bit-identical; only stats and lock traffic move.
+  // With one worker the relaxation is disabled, so the pop sequence equals
+  // the serial heap's exactly (t=1 stats parity). The calling worker is
+  // counted as a candidate holder before the shard lock is released so the
+  // termination barrier never misses an in-flight candidate.
+  std::optional<std::pair<uint32_t, double>> TryPop(size_t worker,
+                                                    WorkerCtx* ctx) {
     for (;;) {
       int best = -1;
       double best_key = 0.0;
@@ -168,12 +179,27 @@ class ParallelBoundedEngine {
         }
       }
       if (best < 0) return std::nullopt;
-      Shard& sh = *shards_[best];
+      size_t chosen = static_cast<size_t>(best);
+      bool relaxed = false;
+      if (threads_ > 1) {
+        size_t home = worker & shard_mask_;
+        if (home != chosen) {
+          double home_key =
+              shards_[home]->top_key.load(std::memory_order_relaxed);
+          if (home_key != -std::numeric_limits<double>::infinity() &&
+              gate_.theta() * home_key >= best_key) {
+            chosen = home;
+            relaxed = true;
+          }
+        }
+      }
+      Shard& sh = *shards_[chosen];
       std::lock_guard<Spinlock> lk(sh.lock);
       if (sh.heap.empty()) continue;  // Lost a race; rescan.
       active_.fetch_add(1, std::memory_order_seq_cst);
       auto popped = sh.heap.PopMax();
       UpdateCachedTop(sh);
+      if (relaxed) ++ctx->relaxed;
       return popped;
     }
   }
@@ -273,7 +299,7 @@ class ParallelBoundedEngine {
   void Worker(size_t idx) {
     WorkerCtx* ctx = ctxs_[idx].get();
     while (!done_.load(std::memory_order_acquire)) {
-      auto popped = TryPop();
+      auto popped = TryPop(idx, ctx);
       if (!popped) {
         // Termination barrier: generation-fenced emptiness + no holders
         // (see the header's protocol argument).
@@ -303,13 +329,17 @@ class ParallelBoundedEngine {
           ++ctx->pruned;
           break;
         case Admission::kTerminate:
-          // The popped key was the best visible one and it is strictly
-          // dominated, so bulk-drain every shard that is provably done.
-          // This cannot end the pool by fiat — an in-flight candidate on
-          // another worker may still re-push a key at or above the
-          // boundary — but such a re-push lands after the drain (or in a
-          // shard the drain skipped) and flows through normal admission;
-          // the termination barrier still decides the actual finish.
+          // The popped key is strictly dominated (with a relaxed pop it may
+          // not have been the global best, but it is still prunable on its
+          // own — its key upper-bounds its value), so bulk-drain every
+          // shard that is provably done: DrainDominated re-validates each
+          // shard's top against the boundary under its lock and never
+          // trusts this pop's rank. This cannot end the pool by fiat — an
+          // in-flight candidate on another worker may still re-push a key
+          // at or above the boundary — but such a re-push lands after the
+          // drain (or in a shard the drain skipped) and flows through
+          // normal admission; the termination barrier still decides the
+          // actual finish.
           ctx->pruned += 1 + DrainDominated();
           break;
       }

@@ -9,15 +9,22 @@
 ///     the serial heap) by scanning lock-free cached (key, id) tops — each
 ///     shard refreshes its cache under its lock on every mutation — and
 ///     locking only the winning shard, so a pop costs one lock instead of
-///     P. A stale cache can misdirect a scan (the winner is re-validated
-///     under its lock) but never lose an entry: a worker observing every
-///     cache empty falls through to the fully locked termination barrier.
-///     Keys are epoch-free by construction: the indexed heaps hold at most
-///     one live entry per vertex, and a popped key is validated against
-///     the fresh ũb(v) by the shared CandidateGate exactly as in the
-///     serial engine.
+///     P. The pop is additionally RELAXED toward the worker's home shard:
+///     when the home top is within the gradient ratio θ of the global best
+///     it is popped instead (counted in SearchStats::relaxed_pops), which
+///     spreads P workers over P locks instead of piling them onto the one
+///     winning shard — at the price of a few extra exact evaluations that θ
+///     already tolerates; answers stay bit-identical because admission is
+///     sound for any pop order, and 1-worker runs disable the relaxation so
+///     their pop order stays exactly serial. A stale cache can misdirect a
+///     scan (the winner is re-validated under its lock) but never lose an
+///     entry: a worker observing every cache empty falls through to the
+///     fully locked termination barrier. Keys are epoch-free by
+///     construction: the indexed heaps hold at most one live entry per
+///     vertex, and a popped key is validated against the fresh ũb(v) by the
+///     shared CandidateGate exactly as in the serial engine.
 ///   * Shared bound store — all Rule A/B deltas publish rank-packed
-///     membership marks into the striped-lock BoundStore (5-byte entries,
+///     membership marks into the striped-lock BoundStore (5-6-byte entries,
 ///     saturating counts; see core/smap_store.h), so every worker's ũb(v)
 ///     read is O(1) and monotonically non-increasing. Rank computation is
 ///     lock-free (reads of the shared, optionally degree-relabeled CSR);

@@ -132,6 +132,9 @@ void PairCountMap::Clear() {
 
 void RankPairSet::Init(uint32_t degree) {
   wide_ = degree >= kWideDegree;
+  // A pair of this owner has at most degree - 2 connectors: only owners
+  // that could overflow a byte pay for 2-byte states.
+  wide_state_ = degree >= kWideStateDegree;
   dense_ = false;
   universe_ = static_cast<uint64_t>(degree) * (degree - 1) / 2;
   size_ = 0;
@@ -141,6 +144,8 @@ void RankPairSet::Init(uint32_t degree) {
   keys64_.shrink_to_fit();
   vals_.clear();
   vals_.shrink_to_fit();
+  vals16_.clear();
+  vals16_.shrink_to_fit();
 }
 
 std::pair<uint32_t, uint32_t> RankPairSet::UnpackTriangular(uint64_t t) {
@@ -155,14 +160,17 @@ std::pair<uint32_t, uint32_t> RankPairSet::UnpackTriangular(uint64_t t) {
 }
 
 int32_t RankPairSet::Find(uint64_t t, size_t* slot) const {
-  if (dense_) return vals_[t] == 0 ? kAbsent : vals_[t] - 1;
+  if (dense_) {
+    uint32_t v = ValAt(t);
+    return v == 0 ? kAbsent : static_cast<int32_t>(v - 1);
+  }
   if (wide_) {
     if (keys64_.empty()) return kAbsent;
     size_t mask = keys64_.size() - 1;
     size_t s = Mix64(t) & mask;
     while (keys64_[s] != kEmpty64 && keys64_[s] != t) s = (s + 1) & mask;
     *slot = s;
-    return keys64_[s] == t ? vals_[s] : kAbsent;
+    return keys64_[s] == t ? static_cast<int32_t>(ValAt(s)) : kAbsent;
   }
   if (keys32_.empty()) return kAbsent;
   size_t mask = keys32_.size() - 1;
@@ -170,7 +178,7 @@ int32_t RankPairSet::Find(uint64_t t, size_t* slot) const {
   size_t s = Mix64(t) & mask;
   while (keys32_[s] != kEmpty32 && keys32_[s] != key) s = (s + 1) & mask;
   *slot = s;
-  return keys32_[s] == key ? vals_[s] : kAbsent;
+  return keys32_[s] == key ? static_cast<int32_t>(ValAt(s)) : kAbsent;
 }
 
 int32_t RankPairSet::Get(uint32_t rx, uint32_t ry) const {
@@ -184,16 +192,16 @@ int32_t RankPairSet::MarkAdjacent(uint32_t rx, uint32_t ry) {
   int32_t prev = Find(t, &slot);
   if (prev == kAbsent) {
     if (dense_) {
-      vals_[t] = 1 + kAdjacent;
+      SetValAt(t, 1 + kAdjacent);
       ++size_;
     } else {
       InsertNew(t, kAdjacent);
     }
   } else if (prev != kAdjacent) {
     if (dense_) {
-      vals_[t] = 1 + kAdjacent;
+      SetValAt(t, 1 + kAdjacent);
     } else {
-      vals_[slot] = kAdjacent;
+      SetValAt(slot, kAdjacent);
     }
   }
   return prev;
@@ -206,28 +214,30 @@ int32_t RankPairSet::AddConnector(uint32_t rx, uint32_t ry) {
   EGOBW_DCHECK(prev != kAdjacent);  // Adjacent pairs are never counted.
   if (prev == kAbsent) {
     if (dense_) {
-      vals_[t] = 2;  // State 1, stored as state + 1.
+      SetValAt(t, 2);  // State 1, stored as state + 1.
       ++size_;
     } else {
       InsertNew(t, 1);
     }
     return prev;
   }
-  uint8_t next = prev < kCountCap ? static_cast<uint8_t>(prev + 1)
-                                  : kCountCap;
+  uint32_t cap = CountCap();
+  uint32_t next = static_cast<uint32_t>(prev) < cap
+                      ? static_cast<uint32_t>(prev) + 1
+                      : cap;
   if (dense_) {
-    vals_[t] = static_cast<uint8_t>(next + 1);
+    SetValAt(t, next + 1);
   } else {
-    vals_[slot] = next;
+    SetValAt(slot, next);
   }
   return prev;
 }
 
-void RankPairSet::InsertNew(uint64_t t, uint8_t val) {
+void RankPairSet::InsertNew(uint64_t t, uint32_t val) {
   if (HashCapacity() == 0 || (size_ + 1) * 4 >= HashCapacity() * 3) {
     GrowOrDensify(size_ + 1);
     if (dense_) {
-      vals_[t] = static_cast<uint8_t>(val + 1);
+      SetValAt(t, val + 1);
       ++size_;
       return;
     }
@@ -237,13 +247,13 @@ void RankPairSet::InsertNew(uint64_t t, uint8_t val) {
     size_t s = Mix64(t) & mask;
     while (keys64_[s] != kEmpty64) s = (s + 1) & mask;
     keys64_[s] = t;
-    vals_[s] = val;
+    SetValAt(s, val);
   } else {
     size_t mask = keys32_.size() - 1;
     size_t s = Mix64(t) & mask;
     while (keys32_[s] != kEmpty32) s = (s + 1) & mask;
     keys32_[s] = static_cast<uint32_t>(t);
-    vals_[s] = val;
+    SetValAt(s, val);
   }
   ++size_;
 }
@@ -252,61 +262,84 @@ void RankPairSet::GrowOrDensify(size_t needed_entries) {
   size_t cap = HashCapacity() == 0 ? 8 : HashCapacity();
   while (needed_entries * 4 >= cap * 3) cap *= 2;
   // Upgrade when the grown table would cost at least the dense layout —
-  // from here on the flat byte-per-pair array strictly dominates on both
-  // memory and probe cost.
-  if (cap * HashSlotBytes() >= universe_ && universe_ > 0) {
+  // from here on the flat state-per-pair array strictly dominates on both
+  // memory and probe cost (both sides scale with this owner's state width).
+  if (cap * HashSlotBytes() >= universe_ * StateBytes() && universe_ > 0) {
     Densify();
   } else if (cap > HashCapacity()) {
     RehashTo(cap);
   }
 }
 
+namespace {
+
+// Re-slots every occupied (key, state) pair into freshly assigned tables.
+template <typename Key, typename Val>
+void RehashInto(std::vector<Key>* keys, std::vector<Val>* vals, Key empty,
+                size_t new_cap) {
+  std::vector<Key> old_keys = std::move(*keys);
+  std::vector<Val> old_vals = std::move(*vals);
+  keys->assign(new_cap, empty);
+  vals->assign(new_cap, 0);
+  size_t mask = new_cap - 1;
+  for (size_t i = 0; i < old_keys.size(); ++i) {
+    if (old_keys[i] == empty) continue;
+    size_t s = Mix64(old_keys[i]) & mask;
+    while ((*keys)[s] != empty) s = (s + 1) & mask;
+    (*keys)[s] = old_keys[i];
+    (*vals)[s] = old_vals[i];
+  }
+}
+
+// Scatters hash-mode entries into a dense state+1 triangular array.
+template <typename Key, typename Val>
+void DensifyInto(const std::vector<Key>& keys, const std::vector<Val>& vals,
+                 Key empty, std::vector<Val>* dense) {
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (keys[i] != empty) (*dense)[keys[i]] = static_cast<Val>(vals[i] + 1);
+  }
+}
+
+}  // namespace
+
 void RankPairSet::RehashTo(size_t new_cap) {
   if (wide_) {
-    std::vector<uint64_t> old_keys = std::move(keys64_);
-    std::vector<uint8_t> old_vals = std::move(vals_);
-    keys64_.assign(new_cap, kEmpty64);
-    vals_.assign(new_cap, 0);
-    size_t mask = new_cap - 1;
-    for (size_t i = 0; i < old_keys.size(); ++i) {
-      if (old_keys[i] == kEmpty64) continue;
-      size_t s = Mix64(old_keys[i]) & mask;
-      while (keys64_[s] != kEmpty64) s = (s + 1) & mask;
-      keys64_[s] = old_keys[i];
-      vals_[s] = old_vals[i];
+    if (wide_state_) {
+      RehashInto(&keys64_, &vals16_, kEmpty64, new_cap);
+    } else {
+      RehashInto(&keys64_, &vals_, kEmpty64, new_cap);
     }
   } else {
-    std::vector<uint32_t> old_keys = std::move(keys32_);
-    std::vector<uint8_t> old_vals = std::move(vals_);
-    keys32_.assign(new_cap, kEmpty32);
-    vals_.assign(new_cap, 0);
-    size_t mask = new_cap - 1;
-    for (size_t i = 0; i < old_keys.size(); ++i) {
-      if (old_keys[i] == kEmpty32) continue;
-      size_t s = Mix64(old_keys[i]) & mask;
-      while (keys32_[s] != kEmpty32) s = (s + 1) & mask;
-      keys32_[s] = old_keys[i];
-      vals_[s] = old_vals[i];
+    if (wide_state_) {
+      RehashInto(&keys32_, &vals16_, kEmpty32, new_cap);
+    } else {
+      RehashInto(&keys32_, &vals_, kEmpty32, new_cap);
     }
   }
 }
 
 void RankPairSet::Densify() {
-  std::vector<uint8_t> dense(universe_, 0);
-  if (wide_) {
-    for (size_t i = 0; i < keys64_.size(); ++i) {
-      if (keys64_[i] != kEmpty64) dense[keys64_[i]] = vals_[i] + 1;
+  if (wide_state_) {
+    std::vector<uint16_t> dense(universe_, 0);
+    if (wide_) {
+      DensifyInto(keys64_, vals16_, kEmpty64, &dense);
+    } else {
+      DensifyInto(keys32_, vals16_, kEmpty32, &dense);
     }
-    keys64_.clear();
-    keys64_.shrink_to_fit();
+    vals16_ = std::move(dense);
   } else {
-    for (size_t i = 0; i < keys32_.size(); ++i) {
-      if (keys32_[i] != kEmpty32) dense[keys32_[i]] = vals_[i] + 1;
+    std::vector<uint8_t> dense(universe_, 0);
+    if (wide_) {
+      DensifyInto(keys64_, vals_, kEmpty64, &dense);
+    } else {
+      DensifyInto(keys32_, vals_, kEmpty32, &dense);
     }
-    keys32_.clear();
-    keys32_.shrink_to_fit();
+    vals_ = std::move(dense);
   }
-  vals_ = std::move(dense);
+  keys32_.clear();
+  keys32_.shrink_to_fit();
+  keys64_.clear();
+  keys64_.shrink_to_fit();
   dense_ = true;
 }
 

@@ -5,10 +5,12 @@
 //     The full-information store: the dynamic maintenance engine needs exact
 //     counts (and decrements), and the all-vertex pass evaluates every map.
 //   * RankPairSet — rank-packed pair key (position pair within the owner's
-//     sorted adjacency list) -> 8-bit saturating state. The bound-phase
-//     store: the incremental ũb only consumes small-count transitions, so
-//     entries shrink from 12 to 5 bytes (9 for hubs of degree >= 2^16), and
-//     hot maps upgrade to a dense byte-per-pair triangular array.
+//     sorted adjacency list) -> saturating state, 1 byte for owners whose
+//     pairs cannot exceed 254 connectors and 2 bytes above that degree (so
+//     ũb stays exact past 254). The bound-phase store: the incremental ũb
+//     only consumes small-count transitions, so entries shrink from 12 to
+//     5-6 bytes (9-10 for hubs of degree >= 2^16), and hot maps upgrade to
+//     a dense state-per-pair triangular array.
 // For each pair of u's neighbors both store either the ADJACENT marker (the
 // pair is an edge of the ego network) or the number of connectors found so
 // far (vertices other than u linking the pair inside GE(u)). Absent pairs
@@ -99,17 +101,23 @@ class PairCountMap {
   size_t size_ = 0;
 };
 
-/// Rank-packed pair set with an 8-bit saturating per-pair state — the
-/// bound-phase S_u of one vertex.
+/// Rank-packed pair set with a saturating per-pair state — the bound-phase
+/// S_u of one vertex.
 ///
 /// Both endpoints of every S_u pair are neighbors of u, so a pair is stored
 /// as the triangular index T = ry(ry-1)/2 + rx of its (rank_x, rank_y)
 /// positions within u's sorted adjacency list. For degree < 2^16 the index
 /// fits 31 bits (4-byte keys); hubs fall back to packed-u64 keys. The state
-/// byte is kAdjacent (0) or the connector count, saturating at kCountCap:
-/// the incremental ũb consumes Contribution(count) = 1/(count+1) deltas,
-/// which the cap floors at 1/(kCountCap+1) — still a sound upper bound, and
-/// bit-identical to exact counting until a pair's 255th connector.
+/// is kAdjacent (0) or the connector count, saturating at CountCap(): the
+/// incremental ũb consumes Contribution(count) = 1/(count+1) deltas, which
+/// the cap floors at 1/(CountCap()+1) — still a sound upper bound, and
+/// bit-identical to exact counting until a pair's cap-exceeding connector.
+/// The state WIDTH is chosen per owner at Init: a pair of S_u has at most
+/// deg(u) - 2 connectors, so owners with deg(u) <= kCountCap + 2 can never
+/// saturate a byte and store 1-byte states; higher-degree owners store
+/// 2-byte states (cap kCountCap16 = 65534), which keeps ũb exactly equal to
+/// the paper's bound for every pair with up to 65534 connectors — in
+/// particular the >254-connector pairs that the 1-byte cap used to floor.
 ///
 /// Representation is adaptive: open addressing (5- or 9-byte slots) while
 /// sparse, upgraded in place to a dense byte-per-pair triangular array the
@@ -122,8 +130,15 @@ class RankPairSet {
  public:
   /// State marking an adjacent (distance-1) neighbor pair.
   static constexpr uint8_t kAdjacent = 0;
-  /// Connector counts saturate here (contribution floored at 1/255).
+  /// Narrow (1-byte) state cap: counts saturate here for owners of degree
+  /// <= kCountCap + 2, where saturation is impossible anyway.
   static constexpr uint8_t kCountCap = 254;
+  /// Wide (2-byte) state cap for owners of degree >= kWideStateDegree.
+  static constexpr uint16_t kCountCap16 = 65534;
+  /// Owners of at least this degree (the smallest where a pair could
+  /// exceed kCountCap connectors) store 2-byte states.
+  static constexpr uint32_t kWideStateDegree =
+      static_cast<uint32_t>(kCountCap) + 3;
   /// Degrees >= this use the packed-u64 key fallback.
   static constexpr uint32_t kWideDegree = 1u << 16;
   /// Returned by mutators/Get for pairs not in the set.
@@ -143,6 +158,10 @@ class RankPairSet {
   bool IsDense() const { return dense_; }
   /// True when keys are packed u64 (degree >= kWideDegree).
   bool IsWide() const { return wide_; }
+  /// True when states are 2 bytes (degree >= kWideStateDegree).
+  bool IsWideState() const { return wide_state_; }
+  /// The saturation cap of this owner's connector counts.
+  uint32_t CountCap() const { return wide_state_ ? kCountCap16 : kCountCap; }
 
   /// Current state of pair (rx, ry): kAbsent, kAdjacent, or a count.
   int32_t Get(uint32_t rx, uint32_t ry) const;
@@ -153,22 +172,24 @@ class RankPairSet {
   int32_t MarkAdjacent(uint32_t rx, uint32_t ry);
 
   /// Adds one connector to the (non-adjacent) pair, saturating at
-  /// kCountCap. Returns the previous state (kAbsent or a count).
+  /// CountCap(). Returns the previous state (kAbsent or a count).
   int32_t AddConnector(uint32_t rx, uint32_t ry);
 
   /// Ensures capacity for `n` total pairs without intermediate rehashes
   /// (may trigger the dense upgrade when that is the cheaper layout).
   void Reserve(size_t n);
 
-  /// Calls fn(rx, ry, state) for every stored pair, rx < ry. Iteration
-  /// order is unspecified.
+  /// Calls fn(rx, ry, state) for every stored pair, rx < ry, with state a
+  /// uint32_t (kAdjacent or a count). Iteration order is unspecified.
   template <typename Fn>
   void ForEach(Fn&& fn) const {
     if (dense_) {
-      for (uint64_t t = 0; t < vals_.size(); ++t) {
-        if (vals_[t] == 0) continue;
+      size_t n = DenseSize();
+      for (uint64_t t = 0; t < n; ++t) {
+        uint32_t v = ValAt(t);
+        if (v == 0) continue;
         auto [rx, ry] = UnpackTriangular(t);
-        fn(rx, ry, static_cast<uint8_t>(vals_[t] - 1));
+        fn(rx, ry, v - 1);
       }
       return;
     }
@@ -176,13 +197,13 @@ class RankPairSet {
       for (size_t i = 0; i < keys64_.size(); ++i) {
         if (keys64_[i] == kEmpty64) continue;
         auto [rx, ry] = UnpackTriangular(keys64_[i]);
-        fn(rx, ry, vals_[i]);
+        fn(rx, ry, ValAt(i));
       }
     } else {
       for (size_t i = 0; i < keys32_.size(); ++i) {
         if (keys32_[i] == kEmpty32) continue;
         auto [rx, ry] = UnpackTriangular(keys32_[i]);
-        fn(rx, ry, vals_[i]);
+        fn(rx, ry, ValAt(i));
       }
     }
   }
@@ -191,7 +212,8 @@ class RankPairSet {
   size_t MemoryBytes() const {
     return keys32_.capacity() * sizeof(uint32_t) +
            keys64_.capacity() * sizeof(uint64_t) +
-           vals_.capacity() * sizeof(uint8_t);
+           vals_.capacity() * sizeof(uint8_t) +
+           vals16_.capacity() * sizeof(uint16_t);
   }
 
   /// Triangular index of the pair (canonicalizes rx > ry).
@@ -215,27 +237,48 @@ class RankPairSet {
   size_t HashCapacity() const {
     return wide_ ? keys64_.size() : keys32_.size();
   }
+  size_t StateBytes() const {
+    return wide_state_ ? sizeof(uint16_t) : sizeof(uint8_t);
+  }
   size_t HashSlotBytes() const {
-    return (wide_ ? sizeof(uint64_t) : sizeof(uint32_t)) + sizeof(uint8_t);
+    return (wide_ ? sizeof(uint64_t) : sizeof(uint32_t)) + StateBytes();
+  }
+  size_t DenseSize() const {
+    return wide_state_ ? vals16_.size() : vals_.size();
+  }
+  // State-width-agnostic value access (hash slot index or triangular index,
+  // depending on the representation).
+  uint32_t ValAt(size_t i) const {
+    return wide_state_ ? vals16_[i] : vals_[i];
+  }
+  void SetValAt(size_t i, uint32_t v) {
+    if (wide_state_) {
+      vals16_[i] = static_cast<uint16_t>(v);
+    } else {
+      vals_[i] = static_cast<uint8_t>(v);
+    }
   }
   // State of the pair at triangular index t; *slot receives the hash slot
   // (hash modes only). Returns kAbsent when not present.
   int32_t Find(uint64_t t, size_t* slot) const;
-  // Inserts a new pair (must be absent) with the given state byte.
-  void InsertNew(uint64_t t, uint8_t val);
+  // Inserts a new pair (must be absent) with the given state.
+  void InsertNew(uint64_t t, uint32_t val);
   void GrowOrDensify(size_t needed_entries);
   void RehashTo(size_t new_cap);
   void Densify();
 
   bool wide_ = false;
   bool dense_ = false;
+  bool wide_state_ = false;
   uint64_t universe_ = 0;  // C(degree, 2).
   size_t size_ = 0;
   std::vector<uint32_t> keys32_;  // Hash keys, narrow mode.
   std::vector<uint64_t> keys64_;  // Hash keys, wide mode.
-  // Hash modes: state byte per slot. Dense mode: per triangular index,
-  // 0 = absent, otherwise state + 1.
+  // State storage, one of vals_ (narrow-state owners) or vals16_
+  // (wide-state owners). Hash modes: state per slot. Dense mode: per
+  // triangular index, 0 = absent, otherwise state + 1.
   std::vector<uint8_t> vals_;
+  std::vector<uint16_t> vals16_;
 };
 
 }  // namespace egobw

@@ -1,0 +1,245 @@
+#include "util/simd_intersect.h"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+
+#include "util/env.h"
+
+// The AVX2 back end is compiled whenever the toolchain can target x86-64,
+// behind a function-level target attribute (no global -mavx2 needed), and
+// selected at run time via __builtin_cpu_supports. The EGOBW_DISABLE_SIMD
+// CMake option defines EGOBW_DISABLE_SIMD_BUILD to strip it entirely so the
+// CI matrix exercises the portable paths on the same hardware.
+#if !defined(EGOBW_DISABLE_SIMD_BUILD) && defined(__x86_64__) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define EGOBW_SIMD_AVX2 1
+#include <immintrin.h>
+#else
+#define EGOBW_SIMD_AVX2 0
+#endif
+
+namespace egobw {
+namespace {
+
+std::atomic<bool> g_simd_enabled{true};
+
+// Word-blocked scalar merge starting at (ia, ib) with `h` hits already
+// recorded — the shared core of the portable path and the AVX2 tail. The
+// lagging side advances in four-element blocks of branch-free compares, so
+// long runs between hits cost one branch per block instead of one per
+// element. Emits absolute positions.
+size_t ScalarMergeFrom(const uint32_t* a, size_t na, const uint32_t* b,
+                       size_t nb, size_t ia, size_t ib, uint32_t* out_a,
+                       uint32_t* out_b, size_t h) {
+  while (ia < na && ib < nb) {
+    uint32_t x = a[ia];
+    uint32_t y = b[ib];
+    if (x == y) {
+      if (out_a != nullptr) out_a[h] = static_cast<uint32_t>(ia);
+      if (out_b != nullptr) out_b[h] = static_cast<uint32_t>(ib);
+      ++h;
+      ++ia;
+      ++ib;
+    } else if (x < y) {
+      ++ia;
+      while (ia + 4 <= na) {
+        size_t step = static_cast<size_t>(a[ia] < y) + (a[ia + 1] < y) +
+                      (a[ia + 2] < y) + (a[ia + 3] < y);
+        ia += step;
+        if (step < 4) break;
+      }
+      while (ia < na && a[ia] < y) ++ia;
+    } else {
+      ++ib;
+      while (ib + 4 <= nb) {
+        size_t step = static_cast<size_t>(b[ib] < x) + (b[ib + 1] < x) +
+                      (b[ib + 2] < x) + (b[ib + 3] < x);
+        ib += step;
+        if (step < 4) break;
+      }
+      while (ib < nb && b[ib] < x) ++ib;
+    }
+  }
+  return h;
+}
+
+// Galloping path for skewed sizes: every element of a (the smaller input by
+// the dispatcher's convention) is located in b by a doubling search resumed
+// from the previous hit, so the cost is O(|a| log(gap)) independent of |b|.
+size_t GallopMerge(const uint32_t* a, size_t na, const uint32_t* b, size_t nb,
+                   uint32_t* out_a, uint32_t* out_b) {
+  size_t h = 0;
+  size_t pos = 0;
+  for (size_t ia = 0; ia < na && pos < nb; ++ia) {
+    uint32_t x = a[ia];
+    size_t lo = pos;
+    size_t step = 1;
+    while (lo + step < nb && b[lo + step] < x) {
+      lo += step;
+      step <<= 1;
+    }
+    size_t hi = std::min(lo + step + 1, nb);
+    pos = static_cast<size_t>(std::lower_bound(b + lo, b + hi, x) - b);
+    if (pos < nb && b[pos] == x) {
+      if (out_a != nullptr) out_a[h] = static_cast<uint32_t>(ia);
+      if (out_b != nullptr) out_b[h] = static_cast<uint32_t>(pos);
+      ++h;
+      ++pos;
+    }
+  }
+  return h;
+}
+
+#if EGOBW_SIMD_AVX2
+// AVX2 path: each element of a (the smaller input) is broadcast against one
+// 8-element block of b; blocks wholly below the probe are skipped with a
+// single scalar compare of their last element. Total vector work is
+// O(|a| + |b|/8) compares instead of |a| + |b| scalar merge steps, and the
+// equality mask yields the hit position in b with one ctz. Values compare
+// with plain integer equality, so ids above 2^31 need no sign fix-up.
+__attribute__((target("avx2"))) size_t Avx2Merge(const uint32_t* a, size_t na,
+                                                 const uint32_t* b, size_t nb,
+                                                 uint32_t* out_a,
+                                                 uint32_t* out_b) {
+  size_t ia = 0;
+  size_t ib = 0;
+  size_t h = 0;
+  while (ia < na && ib + 8 <= nb) {
+    uint32_t x = a[ia];
+    while (b[ib + 7] < x) {
+      ib += 8;
+      if (ib + 8 > nb) return ScalarMergeFrom(a, na, b, nb, ia, ib, out_a,
+                                              out_b, h);
+    }
+    __m256i vx = _mm256_set1_epi32(static_cast<int>(x));
+    __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + ib));
+    uint32_t eq = static_cast<uint32_t>(_mm256_movemask_ps(
+        _mm256_castsi256_ps(_mm256_cmpeq_epi32(vb, vx))));
+    if (eq != 0) {
+      size_t p = ib + static_cast<size_t>(std::countr_zero(eq));
+      if (out_a != nullptr) out_a[h] = static_cast<uint32_t>(ia);
+      if (out_b != nullptr) out_b[h] = static_cast<uint32_t>(p);
+      ++h;
+    }
+    ++ia;
+  }
+  return ScalarMergeFrom(a, na, b, nb, ia, ib, out_a, out_b, h);
+}
+#endif  // EGOBW_SIMD_AVX2
+
+// Skew ratios above which the dispatcher gallops instead of merging: the
+// AVX2 merge already skips the larger side eight elements per compare, so
+// it tolerates substantially more skew before a log-time search wins.
+constexpr size_t kGallopSkewScalar = 16;
+constexpr size_t kGallopSkewSimd = 64;
+
+}  // namespace
+
+bool SimdIntersectCompiled() { return EGOBW_SIMD_AVX2 != 0; }
+
+bool SimdIntersectSupported() {
+#if EGOBW_SIMD_AVX2
+  static const bool supported = __builtin_cpu_supports("avx2") != 0;
+  return supported;
+#else
+  return false;
+#endif
+}
+
+bool SimdIntersectEnabled() {
+  static const bool env_disabled = GetEnvInt("EGOBW_DISABLE_SIMD", 0) != 0;
+  return SimdIntersectSupported() && !env_disabled &&
+         g_simd_enabled.load(std::memory_order_relaxed);
+}
+
+void SetSimdIntersectEnabled(bool enabled) {
+  g_simd_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+size_t IntersectPositionsPath(IntersectPath path, std::span<const uint32_t> a,
+                              std::span<const uint32_t> b,
+                              std::vector<uint32_t>* pos_a,
+                              std::vector<uint32_t>* pos_b) {
+  // Every back end walks the SMALLER input against the larger one; outputs
+  // travel with their spans through the swap, so positions always refer to
+  // the caller's original a and b.
+  if (a.size() > b.size()) {
+    std::swap(a, b);
+    std::swap(pos_a, pos_b);
+  }
+  // resize-to-cap then truncate-to-hits: every slot below the final size is
+  // freshly written by the merge, so no clear() pass is needed and reused
+  // scratch vectors only zero-fill their growth region.
+  size_t cap = a.size();
+  uint32_t* out_a = nullptr;
+  uint32_t* out_b = nullptr;
+  if (pos_a != nullptr) {
+    pos_a->resize(cap);
+    out_a = pos_a->data();
+  }
+  if (pos_b != nullptr) {
+    pos_b->resize(cap);
+    out_b = pos_b->data();
+  }
+  size_t hits = 0;
+  if (cap != 0) {
+    switch (path) {
+      case IntersectPath::kGallop:
+        hits = GallopMerge(a.data(), a.size(), b.data(), b.size(), out_a,
+                           out_b);
+        break;
+      case IntersectPath::kAvx2:
+#if EGOBW_SIMD_AVX2
+        if (SimdIntersectSupported()) {
+          hits = Avx2Merge(a.data(), a.size(), b.data(), b.size(), out_a,
+                           out_b);
+          break;
+        }
+#endif
+        [[fallthrough]];  // No AVX2 in this build/CPU: portable merge.
+      case IntersectPath::kScalar:
+        hits = ScalarMergeFrom(a.data(), a.size(), b.data(), b.size(), 0, 0,
+                               out_a, out_b, 0);
+        break;
+    }
+  }
+  if (pos_a != nullptr) pos_a->resize(hits);
+  if (pos_b != nullptr) pos_b->resize(hits);
+  return hits;
+}
+
+size_t IntersectPositions(std::span<const uint32_t> a,
+                          std::span<const uint32_t> b,
+                          std::vector<uint32_t>* pos_a,
+                          std::vector<uint32_t>* pos_b) {
+  size_t small = std::min(a.size(), b.size());
+  size_t large = std::max(a.size(), b.size());
+  if (small == 0) {
+    if (pos_a != nullptr) pos_a->clear();
+    if (pos_b != nullptr) pos_b->clear();
+    return 0;
+  }
+  bool simd = SimdIntersectEnabled();
+  IntersectPath path;
+  if (large / small >= (simd ? kGallopSkewSimd : kGallopSkewScalar)) {
+    path = IntersectPath::kGallop;
+  } else {
+    path = simd ? IntersectPath::kAvx2 : IntersectPath::kScalar;
+  }
+  return IntersectPositionsPath(path, a, b, pos_a, pos_b);
+}
+
+size_t IntersectValues(std::span<const uint32_t> a,
+                       std::span<const uint32_t> b,
+                       std::vector<uint32_t>* out) {
+  thread_local std::vector<uint32_t> pos;
+  size_t hits = IntersectPositions(a, b, nullptr, &pos);
+  out->clear();
+  out->resize(hits);
+  for (size_t i = 0; i < hits; ++i) (*out)[i] = b[pos[i]];
+  return hits;
+}
+
+}  // namespace egobw

@@ -1,0 +1,93 @@
+/// \file
+/// Vectorized sorted-set intersection emitting positions in both inputs.
+///
+/// The Rule-B kernel's big-big phase (core/diamond_kernel.h), common-
+/// neighborhood enumeration (Graph::CommonNeighbors) and the rank pipeline
+/// (BoundStore::RanksIn) all reduce to one primitive: intersect two sorted,
+/// duplicate-free uint32 arrays and report WHERE the common values sit in
+/// each input — position in the big-member prefix drives the
+/// PositionMatrix fill, position in N(u) is the rank the bound store keys
+/// pairs by. This header is that primitive with a runtime-dispatched back
+/// end:
+///
+///   * kAvx2   — 256-bit block compares: each element of the smaller input
+///               is broadcast against 8-element blocks of the larger one,
+///               and blocks wholly below the probe are skipped with a single
+///               scalar compare (x86-64 with AVX2; compiled behind a
+///               function-level target attribute so the rest of the library
+///               needs no -mavx2).
+///   * kScalar — portable word-blocked merge: the lagging side advances in
+///               four-element blocks of branch-free compares instead of one
+///               branchy step per element.
+///   * kGallop — galloping (doubling) search of the smaller input into the
+///               larger one, for skewed |A| ≪ |B| ratios where even a
+///               blocked merge would touch every element of B.
+///
+/// All paths emit the exact same hit sequence (ascending in both inputs),
+/// so callers are bit-identical across dispatch decisions; the differential
+/// sweep in tests/simd_intersect_test.cc pins every path against a
+/// std::set_intersection oracle.
+///
+/// Dispatch can be disabled end to end for CI differential legs: at build
+/// time with the EGOBW_DISABLE_SIMD CMake option, at run time with the
+/// EGOBW_DISABLE_SIMD=1 environment variable or SetSimdIntersectEnabled().
+
+#ifndef EGOBW_UTIL_SIMD_INTERSECT_H_
+#define EGOBW_UTIL_SIMD_INTERSECT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace egobw {
+
+/// Back-end selector for the forced-path entry points (tests/benches).
+enum class IntersectPath {
+  kScalar,  ///< Portable word-blocked two-pointer merge.
+  kGallop,  ///< Galloping search of the smaller input into the larger.
+  kAvx2,    ///< 256-bit block compares (falls back to kScalar when the
+            ///< build or CPU lacks AVX2).
+};
+
+/// True when the AVX2 back end was compiled into this binary.
+bool SimdIntersectCompiled();
+
+/// True when the AVX2 back end is compiled in AND this CPU supports AVX2.
+bool SimdIntersectSupported();
+
+/// True when auto-dispatch may pick the AVX2 back end: supported, not
+/// disabled by the EGOBW_DISABLE_SIMD environment variable, and not turned
+/// off via SetSimdIntersectEnabled().
+bool SimdIntersectEnabled();
+
+/// Test/bench hook: enables or disables the AVX2 back end for auto-dispatch
+/// (an unsupported CPU stays disabled regardless). Not thread-safe against
+/// concurrent intersections mid-switch; switch before spawning work.
+void SetSimdIntersectEnabled(bool enabled);
+
+/// Intersects sorted duplicate-free arrays `a` and `b`, recording for every
+/// common value its position in `a` (into *pos_a) and in `b` (into *pos_b).
+/// Either output may be null; non-null outputs are cleared first and filled
+/// in ascending order. Returns the number of common values.
+size_t IntersectPositions(std::span<const uint32_t> a,
+                          std::span<const uint32_t> b,
+                          std::vector<uint32_t>* pos_a,
+                          std::vector<uint32_t>* pos_b);
+
+/// IntersectPositions through one forced back end (see IntersectPath).
+/// Every path emits the identical hit sequence; only cost moves.
+size_t IntersectPositionsPath(IntersectPath path, std::span<const uint32_t> a,
+                              std::span<const uint32_t> b,
+                              std::vector<uint32_t>* pos_a,
+                              std::vector<uint32_t>* pos_b);
+
+/// Value-emitting convenience: appends the common values of `a` and `b` to
+/// *out (cleared first, ascending). Returns the number of common values.
+size_t IntersectValues(std::span<const uint32_t> a,
+                       std::span<const uint32_t> b,
+                       std::vector<uint32_t>* out);
+
+}  // namespace egobw
+
+#endif  // EGOBW_UTIL_SIMD_INTERSECT_H_

@@ -289,6 +289,26 @@ TEST(ParallelOptBSearchTest, SingleWorkerStatsMatchSerial) {
         << name;
     EXPECT_EQ(par_stats.heap_pushbacks, serial_stats.heap_pushbacks) << name;
     EXPECT_EQ(par_stats.pruned, serial_stats.pruned) << name;
+    // Relaxed own-shard pops are a multi-worker optimization only: a single
+    // worker must keep the exact serial pop order.
+    EXPECT_EQ(par_stats.relaxed_pops, 0u) << name;
+  }
+}
+
+TEST(ParallelOptBSearchTest, RelaxedPopsKeepAnswersIdentical) {
+  // Multi-worker runs may take own-shard pops within θ of the global top
+  // (counted in relaxed_pops); the answer must not move for any θ.
+  Graph g = BarabasiAlbert(600, 6, 91, 0.3);
+  for (double theta : {1.0, 1.05, 1e18}) {
+    OptBSearchOptions serial_opts;
+    serial_opts.theta = theta;
+    TopKResult serial = OptBSearch(g, 20, serial_opts);
+    ParallelOptBSearchOptions opts;
+    opts.theta = theta;
+    SearchStats stats;
+    TopKResult par = ParallelOptBSearch(g, 20, 4, opts, &stats);
+    ExpectTopKBitEqual(par, serial,
+                       "relaxed-pop theta=" + std::to_string(theta));
   }
 }
 

@@ -13,6 +13,7 @@
 
 #include "core/all_ego.h"
 #include "core/base_search.h"
+#include "core/bounded_search.h"
 #include "core/edge_processor.h"
 #include "core/naive.h"
 #include "core/opt_search.h"
@@ -370,6 +371,34 @@ TEST(BoundStoreTest, SaturatedCountsFloorTheContribution) {
   EXPECT_NEAR(bounds.Value(0), 5.0 + 1.0 / 255.0, kTol);
   EXPECT_GE(bounds.Value(0), counted.Value(0));
   EXPECT_EQ(bounds.SetOf(0).Get(0, 1), RankPairSet::kCountCap);
+}
+
+TEST(BoundStoreTest, WideStateKeepsUbExactPast254Connectors) {
+  // Regression for the PR-3 saturation caveat: a REAL >254-connector pair.
+  // The owner has degree 302 (> kCountCap + 2), so its RankPairSet stores
+  // 2-byte states and the incremental ũb must replay the counted store's
+  // arithmetic op-for-op through all 300 connectors — bit-identical values,
+  // where the old 1-byte state floored every connector past the 254th.
+  Graph g = Star(303);  // Center 0, degree 302.
+  ASSERT_GE(g.Degree(0), RankPairSet::kWideStateDegree);
+  SMapStore counted(g);
+  BoundStore bounds(g);
+  ASSERT_TRUE(bounds.SetOf(0).IsWideState());
+  std::vector<std::pair<uint32_t, uint32_t>> one_pair(1);
+  for (int i = 0; i < 300; ++i) {
+    counted.AddConnectors(0, 1, 2, 1);  // Leaves 1, 2 sit at ranks 0, 1.
+    one_pair[0] = {0, 1};
+    bounds.AddConnectorsBatch(0, one_pair);
+    uint64_t cb, bb;
+    double cv = counted.Value(0);
+    double bv = bounds.Value(0);
+    std::memcpy(&cb, &cv, sizeof(cb));
+    std::memcpy(&bb, &bv, sizeof(bb));
+    ASSERT_EQ(cb, bb) << "ũb diverges from exact at connector " << i + 1;
+  }
+  EXPECT_EQ(bounds.SetOf(0).Get(0, 1), 300);
+  EXPECT_NEAR(counted.Value(0),
+              StaticVertexBound(302.0) - 1.0 + 1.0 / 301.0, kTol);
 }
 
 // ---------------------------------------------------------------- EdgeProcessor

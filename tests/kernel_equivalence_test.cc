@@ -29,6 +29,7 @@
 #include "graph/graph_builder.h"
 #include "parallel/parallel_ebw.h"
 #include "parallel/parallel_opt_search.h"
+#include "util/simd_intersect.h"
 
 namespace egobw {
 namespace {
@@ -315,6 +316,50 @@ TEST(KernelEquivalence, HubGraphWideRankFallbackAllEnginesAgree) {
   }
   ExpectBitEqual(all, VertexPEBW(g, 2), "hub VertexPEBW");
   ExpectBitEqual(all, EdgePEBW(g, 2), "hub EdgePEBW");
+}
+
+// Restores the SIMD dispatch switch even when an assertion unwinds the
+// test early, so a failure cannot leak disabled dispatch into later tests.
+struct ScopedSimdDisabled {
+  ScopedSimdDisabled() { SetSimdIntersectEnabled(false); }
+  ~ScopedSimdDisabled() { SetSimdIntersectEnabled(true); }
+};
+
+// The vectorized intersection engine only moves cost: with the AVX2 back
+// end forced off (scalar + gallop dispatch), every engine must reproduce
+// the SIMD-on doubles bit for bit — maps, trajectories and answers.
+TEST(KernelEquivalence, SimdOffMatchesSimdOnBitForBit) {
+  for (const auto& [name, g] : TestGraphs()) {
+    AllEgoState on_state = ComputeAllEgoBetweennessWithState(g);
+    TraceObserver on_trace;
+    OptBSearchOptions on_opts;
+    on_opts.observer = &on_trace;
+    TopKResult on_topk = OptBSearch(g, 10, on_opts);
+
+    AllEgoState off_state;
+    TraceObserver off_trace;
+    TopKResult off_topk, off_par;
+    {
+      ScopedSimdDisabled simd_off;
+      off_state = ComputeAllEgoBetweennessWithState(g);
+      OptBSearchOptions off_opts;
+      off_opts.observer = &off_trace;
+      off_topk = OptBSearch(g, 10, off_opts);
+      ParallelOptBSearchOptions par_opts;
+      off_par = ParallelOptBSearch(g, 10, 2, par_opts);
+    }
+
+    ExpectBitEqual(on_state.cb, off_state.cb, name + " SIMD-off all-ego");
+    EXPECT_EQ(DumpMaps(*on_state.smaps), DumpMaps(*off_state.smaps))
+        << name << " SIMD-off S-map contents diverge";
+    ExpectTopKBitEqual(on_topk, off_topk, name + " SIMD-off OptBSearch");
+    ExpectTopKBitEqual(on_topk, off_par,
+                       name + " SIMD-off ParallelOptBSearch");
+    EXPECT_EQ(on_trace.pops, off_trace.pops) << name;
+    EXPECT_EQ(on_trace.bounds, off_trace.bounds) << name;
+    EXPECT_EQ(on_trace.pushbacks, off_trace.pushbacks) << name;
+    EXPECT_EQ(on_trace.exacts, off_trace.exacts) << name;
+  }
 }
 
 // Direct kernel-level differential: both kernels must emit the exact same

@@ -1,0 +1,248 @@
+// Differential sweep for the vectorized intersection engine: every dispatch
+// path (scalar word-blocked, galloping, AVX2 when available, and the
+// auto-dispatcher itself) must emit the exact hit sequence of a trivial
+// std::set_intersection oracle — across sizes, skew ratios, overlap
+// densities, alignment offsets and adversarial value patterns. The engine
+// feeds the Rule-B kernel's phase-1 scan and the bound store's rank
+// pipeline, so any divergence here would silently corrupt S maps.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+#include "util/simd_intersect.h"
+
+namespace egobw {
+namespace {
+
+struct Oracle {
+  std::vector<uint32_t> pos_a;
+  std::vector<uint32_t> pos_b;
+};
+
+// Trivial reference: intersect values with std::set_intersection, then
+// locate each common value in both inputs by binary search (inputs are
+// sorted and duplicate-free, so positions are unique).
+Oracle OraclePositions(const std::vector<uint32_t>& a,
+                       const std::vector<uint32_t>& b) {
+  std::vector<uint32_t> common;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(common));
+  Oracle o;
+  for (uint32_t v : common) {
+    o.pos_a.push_back(static_cast<uint32_t>(
+        std::lower_bound(a.begin(), a.end(), v) - a.begin()));
+    o.pos_b.push_back(static_cast<uint32_t>(
+        std::lower_bound(b.begin(), b.end(), v) - b.begin()));
+  }
+  return o;
+}
+
+std::vector<IntersectPath> AllPaths() {
+  // kAvx2 is always included: on builds/CPUs without AVX2 it falls back to
+  // the scalar path, which must still match the oracle.
+  return {IntersectPath::kScalar, IntersectPath::kGallop,
+          IntersectPath::kAvx2};
+}
+
+std::string PathName(IntersectPath p) {
+  switch (p) {
+    case IntersectPath::kScalar:
+      return "scalar";
+    case IntersectPath::kGallop:
+      return "gallop";
+    case IntersectPath::kAvx2:
+      return "avx2";
+  }
+  return "?";
+}
+
+// Checks every forced path AND the auto-dispatcher against the oracle, for
+// both argument orders and for null position outputs.
+void ExpectMatchesOracle(const std::vector<uint32_t>& a,
+                         const std::vector<uint32_t>& b,
+                         const std::string& what) {
+  Oracle o = OraclePositions(a, b);
+  std::vector<uint32_t> pa, pb;
+  for (IntersectPath p : AllPaths()) {
+    size_t hits = IntersectPositionsPath(p, a, b, &pa, &pb);
+    ASSERT_EQ(hits, o.pos_a.size()) << what << " " << PathName(p);
+    EXPECT_EQ(pa, o.pos_a) << what << " " << PathName(p);
+    EXPECT_EQ(pb, o.pos_b) << what << " " << PathName(p);
+    // Swapped arguments must swap the position streams.
+    hits = IntersectPositionsPath(p, b, a, &pa, &pb);
+    ASSERT_EQ(hits, o.pos_a.size()) << what << " swapped " << PathName(p);
+    EXPECT_EQ(pa, o.pos_b) << what << " swapped " << PathName(p);
+    EXPECT_EQ(pb, o.pos_a) << what << " swapped " << PathName(p);
+    // Single-sided and fully null outputs only drop the writes.
+    hits = IntersectPositionsPath(p, a, b, nullptr, &pb);
+    ASSERT_EQ(hits, o.pos_a.size()) << what << " b-only " << PathName(p);
+    EXPECT_EQ(pb, o.pos_b) << what << " b-only " << PathName(p);
+    EXPECT_EQ(IntersectPositionsPath(p, a, b, nullptr, nullptr), hits)
+        << what << " null-out " << PathName(p);
+  }
+  size_t hits = IntersectPositions(a, b, &pa, &pb);
+  ASSERT_EQ(hits, o.pos_a.size()) << what << " auto";
+  EXPECT_EQ(pa, o.pos_a) << what << " auto";
+  EXPECT_EQ(pb, o.pos_b) << what << " auto";
+  std::vector<uint32_t> vals;
+  IntersectValues(a, b, &vals);
+  std::vector<uint32_t> expect_vals;
+  for (uint32_t p : o.pos_b) expect_vals.push_back(b[p]);
+  EXPECT_EQ(vals, expect_vals) << what << " values";
+}
+
+// Sorted duplicate-free array of `n` values: step-`stride` run from `base`
+// with ~`hole_every` elements knocked out for irregularity.
+std::vector<uint32_t> MakeSorted(Rng* rng, size_t n, uint32_t base,
+                                 uint32_t stride, uint32_t hole_every) {
+  std::vector<uint32_t> v;
+  v.reserve(n);
+  uint32_t x = base;
+  while (v.size() < n) {
+    if (hole_every == 0 || rng->NextBounded(hole_every) != 0) v.push_back(x);
+    x += 1 + rng->NextBounded(stride);
+  }
+  return v;
+}
+
+TEST(SimdIntersectTest, ReportsBackEndAvailability) {
+  // Pure smoke: the three predicates must be consistent (enabled implies
+  // supported implies compiled).
+  if (SimdIntersectEnabled()) EXPECT_TRUE(SimdIntersectSupported());
+  if (SimdIntersectSupported()) EXPECT_TRUE(SimdIntersectCompiled());
+}
+
+TEST(SimdIntersectTest, EmptyAndTrivialInputs) {
+  std::vector<uint32_t> empty;
+  std::vector<uint32_t> one = {7};
+  std::vector<uint32_t> some = {1, 7, 9, 200};
+  ExpectMatchesOracle(empty, empty, "empty/empty");
+  ExpectMatchesOracle(empty, some, "empty/some");
+  ExpectMatchesOracle(one, some, "one/some");
+  ExpectMatchesOracle(one, one, "one/one");
+  ExpectMatchesOracle(some, some, "identical");
+}
+
+TEST(SimdIntersectTest, SizeSweepAgainstOracle) {
+  // Sizes crossing every internal block boundary (4-wide scalar blocks,
+  // 8-wide AVX2 blocks) up to a few thousand, at several overlap densities.
+  const size_t sizes[] = {0,  1,  2,  3,  4,  5,   7,   8,   9,    15,  16,
+                          17, 31, 32, 33, 63, 64,  65,  100, 255,  256, 257,
+                          511, 1000, 2048, 5000};
+  Rng rng(1234);
+  for (size_t na : sizes) {
+    for (size_t nb : {na, na / 2, na / 7}) {
+      for (uint32_t stride : {1u, 3u, 50u}) {
+        std::vector<uint32_t> a = MakeSorted(&rng, na, 0, stride, 4);
+        std::vector<uint32_t> b = MakeSorted(&rng, nb, stride / 2, stride, 3);
+        ExpectMatchesOracle(a, b,
+                            "na=" + std::to_string(na) + " nb=" +
+                                std::to_string(nb) + " stride=" +
+                                std::to_string(stride));
+      }
+    }
+  }
+}
+
+TEST(SimdIntersectTest, SkewSweepAgainstOracle) {
+  // |A| ≪ |B| ratios spanning both gallop thresholds (16 and 64), with the
+  // small side scattered across the large side's full range.
+  Rng rng(99);
+  for (size_t nb : {500u, 4000u}) {
+    std::vector<uint32_t> b = MakeSorted(&rng, nb, 0, 5, 6);
+    for (size_t na : {1u, 3u, 8u, 30u, 60u, 120u}) {
+      std::vector<uint32_t> a;
+      for (size_t i = 0; i < na; ++i) {
+        if (rng.NextBounded(2) == 0) {
+          a.push_back(b[rng.NextBounded(static_cast<uint32_t>(nb))]);
+        } else {
+          a.push_back(rng.NextBounded(static_cast<uint32_t>(nb) * 6));
+        }
+      }
+      std::sort(a.begin(), a.end());
+      a.erase(std::unique(a.begin(), a.end()), a.end());
+      ExpectMatchesOracle(a, b,
+                          "skew na=" + std::to_string(a.size()) + " nb=" +
+                              std::to_string(nb));
+    }
+  }
+}
+
+TEST(SimdIntersectTest, AlignmentOffsetsAgainstOracle) {
+  // The AVX2 path uses unaligned loads; shifting the window start through
+  // every offset mod 8 (and the scalar blocks through every offset mod 4)
+  // must not change a single hit.
+  Rng rng(42);
+  std::vector<uint32_t> base_a = MakeSorted(&rng, 600, 0, 4, 5);
+  std::vector<uint32_t> base_b = MakeSorted(&rng, 620, 1, 4, 5);
+  for (size_t off_a = 0; off_a < 9; ++off_a) {
+    for (size_t off_b : {0u, 1u, 3u, 5u, 8u}) {
+      std::vector<uint32_t> a(base_a.begin() + off_a, base_a.end());
+      std::vector<uint32_t> b(base_b.begin() + off_b, base_b.end());
+      Oracle o = OraclePositions(a, b);
+      std::vector<uint32_t> pa, pb;
+      for (IntersectPath p : AllPaths()) {
+        // Intersect through spans into the ORIGINAL buffers so the data
+        // pointer itself moves by off * 4 bytes.
+        std::span<const uint32_t> sa(base_a.data() + off_a,
+                                     base_a.size() - off_a);
+        std::span<const uint32_t> sb(base_b.data() + off_b,
+                                     base_b.size() - off_b);
+        size_t hits = IntersectPositionsPath(p, sa, sb, &pa, &pb);
+        ASSERT_EQ(hits, o.pos_a.size())
+            << "off_a=" << off_a << " off_b=" << off_b << " " << PathName(p);
+        EXPECT_EQ(pa, o.pos_a) << PathName(p);
+        EXPECT_EQ(pb, o.pos_b) << PathName(p);
+      }
+    }
+  }
+}
+
+TEST(SimdIntersectTest, HighBitValuesCompareUnsigned) {
+  // Values straddling 2^31: a signed vector compare would misorder these.
+  std::vector<uint32_t> a = {5, 0x7fffffffu, 0x80000000u, 0x80000001u,
+                             0xfffffff0u, 0xffffffffu};
+  std::vector<uint32_t> b = {0x7fffffffu, 0x80000001u, 0x90000000u,
+                             0xfffffff0u, 0xfffffffeu, 0xffffffffu};
+  ExpectMatchesOracle(a, b, "high-bit");
+}
+
+TEST(SimdIntersectTest, DisjointAndInterleavedRuns) {
+  // Worst case for block skipping: perfectly interleaved, zero hits; and
+  // block-disjoint ranges where whole vectors are skipped at once.
+  std::vector<uint32_t> evens, odds, low, high;
+  for (uint32_t i = 0; i < 500; ++i) {
+    evens.push_back(2 * i);
+    odds.push_back(2 * i + 1);
+    low.push_back(i);
+    high.push_back(100000 + i);
+  }
+  ExpectMatchesOracle(evens, odds, "interleaved");
+  ExpectMatchesOracle(low, high, "disjoint");
+}
+
+TEST(SimdIntersectTest, RuntimeDisableForcesPortablePaths) {
+  // SetSimdIntersectEnabled(false) must steer the auto-dispatcher off the
+  // AVX2 path while leaving results identical.
+  Rng rng(7);
+  std::vector<uint32_t> a = MakeSorted(&rng, 300, 0, 3, 4);
+  std::vector<uint32_t> b = MakeSorted(&rng, 280, 1, 3, 4);
+  std::vector<uint32_t> pa_on, pb_on, pa_off, pb_off;
+  size_t hits_on = IntersectPositions(a, b, &pa_on, &pb_on);
+  SetSimdIntersectEnabled(false);
+  EXPECT_FALSE(SimdIntersectEnabled());
+  size_t hits_off = IntersectPositions(a, b, &pa_off, &pb_off);
+  SetSimdIntersectEnabled(true);
+  EXPECT_EQ(hits_on, hits_off);
+  EXPECT_EQ(pa_on, pa_off);
+  EXPECT_EQ(pb_on, pb_off);
+}
+
+}  // namespace
+}  // namespace egobw

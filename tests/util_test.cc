@@ -314,6 +314,51 @@ TEST(RankPairSetTest, WideModeHandlesHubRanks) {
   EXPECT_EQ(visited, 2u);
 }
 
+TEST(RankPairSetTest, WideStateKeepsExactCountsPast254) {
+  // Degree 300 > kCountCap + 2: a pair can exceed a byte, so the owner must
+  // select 2-byte states and count past the old 8-bit cap exactly.
+  RankPairSet s;
+  s.Init(300);
+  EXPECT_TRUE(s.IsWideState());
+  EXPECT_EQ(s.CountCap(), static_cast<uint32_t>(RankPairSet::kCountCap16));
+  for (int32_t i = 0; i < 298; ++i) {
+    EXPECT_EQ(s.AddConnector(1, 2), i == 0 ? RankPairSet::kAbsent : i) << i;
+  }
+  EXPECT_EQ(s.Get(1, 2), 298);  // Exact, not floored at 254.
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(RankPairSetTest, NarrowStateOwnersCannotSaturate) {
+  // Degree kCountCap + 2 is the largest owner with 1-byte states; its pairs
+  // top out at degree - 2 = kCountCap connectors, exactly the cap.
+  RankPairSet s;
+  s.Init(RankPairSet::kWideStateDegree - 1);
+  EXPECT_FALSE(s.IsWideState());
+  EXPECT_EQ(s.CountCap(), static_cast<uint32_t>(RankPairSet::kCountCap));
+  for (uint32_t i = 0; i < RankPairSet::kCountCap; ++i) s.AddConnector(0, 1);
+  EXPECT_EQ(s.Get(0, 1), RankPairSet::kCountCap);
+}
+
+TEST(RankPairSetTest, WideStateDenseUpgradePreservesCounts) {
+  // Force the dense upgrade on a wide-state owner and check counts above
+  // 254 survive the representation change (dense stores state + 1 in
+  // uint16, so the cap + 1 must still fit).
+  constexpr uint32_t kDegree = 300;
+  RankPairSet s;
+  s.Init(kDegree);
+  // 400 connectors on one pair BEFORE the upgrade...
+  for (int i = 0; i < 400; ++i) s.AddConnector(0, 1);
+  // ...then enough distinct pairs to outgrow the hash layout.
+  for (uint32_t ry = 2; ry < kDegree; ++ry) {
+    for (uint32_t rx = 0; rx < 40 && rx < ry; ++rx) s.MarkAdjacent(rx, ry);
+  }
+  ASSERT_TRUE(s.IsDense());
+  EXPECT_EQ(s.Get(0, 1), 400);
+  for (int i = 0; i < 70000; ++i) s.AddConnector(0, 1);
+  EXPECT_EQ(s.Get(0, 1),
+            static_cast<int32_t>(RankPairSet::kCountCap16));  // 2-byte cap.
+}
+
 TEST(RankPairSetTest, ReserveNeverLosesEntries) {
   RankPairSet s;
   s.Init(5000);
