@@ -1,0 +1,249 @@
+// All-vertex PEBW memory/runtime benchmark: streaming evaluate-and-free vs
+// retained S maps, emitting a machine-readable JSON whose rows land in
+// BENCH_topk.json ("all_vertex_rows") so the all-vertex pass's memory
+// trajectory is tracked across PRs.
+//
+// One R-MAT graph, four rows:
+//   * serial retained    — ComputeAllEgoBetweennessWithState, the dynamic
+//     engines' seed mode and the memory baseline (full S-map residency),
+//   * serial streaming   — ComputeAllEgoBetweenness, the default pass,
+//   * EdgePEBW retained  — parallel engine, retain_smaps = true,
+//   * EdgePEBW streaming — parallel engine default.
+// Each row runs in a forked child and reports that child's ru_maxrss as
+// peak_rss_bytes (the per-process measurement isolates each mode's
+// footprint), plus peak_live_maps — the store's live-frontier high-water
+// mark — and an FNV-1a hash over the CB doubles' bit patterns; every row's
+// hash must equal the serial retained row's (exit 1 otherwise).
+//
+// Usage: pebw_report [output.json] [scale] [threads]
+//   scale    R-MAT scale (default 16, the committed artifact's regime;
+//            CI smoke passes a smaller one)
+//   threads  worker count of the EdgePEBW rows (default 1: on the 1-core
+//            bench container thread rows only measure overhead)
+
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/all_ego.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "parallel/parallel_ebw.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace egobw;
+
+struct Row {
+  std::string name;
+  size_t threads = 0;  // 0 = serial engine.
+  bool streaming = false;
+  double seconds = 0.0;
+  uint64_t peak_rss_bytes = 0;
+  uint64_t peak_live_maps = 0;
+  uint64_t peak_live_map_bytes = 0;
+  uint64_t evicted_rebuilds = 0;
+  uint64_t cb_hash = 0;
+  bool matches_retained = true;
+};
+
+// FNV-1a over the doubles' raw bytes: bit-identical vectors, equal hashes.
+uint64_t HashCb(const std::vector<double>& cb) {
+  uint64_t h = 1469598103934665603ULL;
+  for (double v : cb) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    for (int i = 0; i < 8; ++i) {
+      h ^= (bits >> (8 * i)) & 0xff;
+      h *= 1099511628211ULL;
+    }
+  }
+  return h;
+}
+
+struct WireHeader {
+  double seconds = 0.0;
+  uint64_t peak_live_maps = 0;
+  uint64_t peak_live_map_bytes = 0;
+  uint64_t evicted_rebuilds = 0;
+  uint64_t cb_hash = 0;
+};
+
+bool ReadAll(int fd, void* buf, size_t len) {
+  char* p = static_cast<char*>(buf);
+  while (len > 0) {
+    ssize_t n = read(fd, p, len);
+    if (n <= 0) return false;
+    p += n;
+    len -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+// Runs one mode in a forked child so its ru_maxrss is the row's own peak.
+bool RunRowInChild(
+    const std::function<std::vector<double>(SearchStats*)>& run, Row* row) {
+  int fds[2];
+  if (pipe(fds) != 0) return false;
+  pid_t pid = fork();
+  if (pid < 0) {
+    close(fds[0]);
+    close(fds[1]);
+    return false;
+  }
+  if (pid == 0) {
+    close(fds[0]);
+    SearchStats stats;
+    WallTimer timer;
+    std::vector<double> cb = run(&stats);
+    WireHeader h;
+    h.seconds = timer.Seconds();
+    h.peak_live_maps = stats.peak_live_maps;
+    h.peak_live_map_bytes = stats.peak_live_map_bytes;
+    h.evicted_rebuilds = stats.evicted_rebuilds;
+    h.cb_hash = HashCb(cb);
+    const char* p = reinterpret_cast<const char*>(&h);
+    size_t len = sizeof(h);
+    while (len > 0) {
+      ssize_t n = write(fds[1], p, len);
+      if (n <= 0) _exit(3);
+      p += n;
+      len -= static_cast<size_t>(n);
+    }
+    close(fds[1]);
+    _exit(0);
+  }
+  close(fds[1]);
+  WireHeader h;
+  bool ok = ReadAll(fds[0], &h, sizeof(h));
+  close(fds[0]);
+  int status = 0;
+  struct rusage ru;
+  std::memset(&ru, 0, sizeof(ru));
+  if (wait4(pid, &status, 0, &ru) != pid) return false;
+  ok = ok && WIFEXITED(status) && WEXITSTATUS(status) == 0;
+  row->seconds = h.seconds;
+  row->peak_live_maps = h.peak_live_maps;
+  row->peak_live_map_bytes = h.peak_live_map_bytes;
+  row->evicted_rebuilds = h.evicted_rebuilds;
+  row->cb_hash = h.cb_hash;
+  row->peak_rss_bytes = static_cast<uint64_t>(ru.ru_maxrss) * 1024;  // KiB.
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::setvbuf(stdout, nullptr, _IOLBF, 0);  // Progress survives piping.
+  std::string out_path = argc > 1 ? argv[1] : "BENCH_pebw.json";
+  uint32_t scale = argc > 2 ? static_cast<uint32_t>(std::atoi(argv[2])) : 16;
+  size_t threads = argc > 3 ? static_cast<size_t>(std::atoll(argv[3])) : 1;
+
+  std::printf("Generating rmat scale %u...\n", scale);
+  Graph g = RMat(scale, 16, 0.57, 0.19, 0.19, 7);
+  std::printf("  n = %u, m = %llu, d_max = %u\n", g.NumVertices(),
+              static_cast<unsigned long long>(g.NumEdges()), g.MaxDegree());
+
+  std::vector<Row> rows;
+  bool failures = false;
+  auto run_row = [&rows, &failures](
+                     Row row,
+                     const std::function<std::vector<double>(SearchStats*)>&
+                         run) {
+    std::printf("%s%s...\n", row.name.c_str(),
+                row.streaming ? " (streaming)" : " (retained)");
+    if (!RunRowInChild(run, &row)) {
+      std::fprintf(stderr, "  child failed\n");
+      failures = true;
+      return;
+    }
+    std::printf(
+        "  %.3f s, peak RSS %.1f MiB, peak live maps %llu "
+        "(%.1f MiB), evicted rebuilds %llu\n",
+        row.seconds, row.peak_rss_bytes / 1048576.0,
+        static_cast<unsigned long long>(row.peak_live_maps),
+        row.peak_live_map_bytes / 1048576.0,
+        static_cast<unsigned long long>(row.evicted_rebuilds));
+    rows.push_back(row);
+  };
+
+  run_row({"AllEgoSerial", 0, /*streaming=*/false},
+          [&g](SearchStats* stats) {
+            return ComputeAllEgoBetweennessWithState(g, stats).cb;
+          });
+  run_row({"AllEgoSerial", 0, /*streaming=*/true}, [&g](SearchStats* stats) {
+    return ComputeAllEgoBetweenness(g, stats);
+  });
+  PEBWOptions retained_opts;
+  retained_opts.retain_smaps = true;
+  run_row({"EdgePEBW", threads, /*streaming=*/false},
+          [&g, threads, retained_opts](SearchStats* stats) {
+            return EdgePEBW(g, threads, stats, retained_opts);
+          });
+  run_row({"EdgePEBW", threads, /*streaming=*/true},
+          [&g, threads](SearchStats* stats) {
+            return EdgePEBW(g, threads, stats);
+          });
+
+  // Differential: every row must reproduce the retained serial doubles.
+  for (Row& r : rows) {
+    r.matches_retained = r.cb_hash == rows.front().cb_hash;
+    if (!r.matches_retained) {
+      std::fprintf(stderr, "%s %s CB hash mismatch!\n", r.name.c_str(),
+                   r.streaming ? "streaming" : "retained");
+    }
+  }
+
+  unsigned hw = std::thread::hardware_concurrency();
+  std::ofstream out(out_path);
+  char buf[384];
+  out << "{\n";
+  out << "  \"benchmark\": \"all_vertex_pebw_streaming_vs_retained\",\n";
+  std::snprintf(buf, sizeof(buf),
+                "  \"graph\": {\"generator\": \"rmat\", \"scale\": %u, "
+                "\"vertices\": %u, \"edges\": %llu},\n"
+                "  \"smap_budget_bytes\": %llu,\n"
+                "  \"hardware_threads\": %u,\n  \"rows\": [\n",
+                scale, g.NumVertices(),
+                static_cast<unsigned long long>(g.NumEdges()),
+                static_cast<unsigned long long>(kDefaultSMapStreamBudgetBytes),
+                hw);
+  out << buf;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::snprintf(
+        buf, sizeof(buf),
+        "    {\"engine\": \"%s\", \"threads\": %zu, \"mode\": \"%s\", "
+        "\"seconds\": %.3f, \"peak_rss_bytes\": %llu, "
+        "\"peak_live_maps\": %llu, \"peak_live_map_bytes\": %llu, "
+        "\"evicted_rebuilds\": %llu, "
+        "\"matches_retained\": %s}%s\n",
+        r.name.c_str(), r.threads, r.streaming ? "streaming" : "retained",
+        r.seconds, static_cast<unsigned long long>(r.peak_rss_bytes),
+        static_cast<unsigned long long>(r.peak_live_maps),
+        static_cast<unsigned long long>(r.peak_live_map_bytes),
+        static_cast<unsigned long long>(r.evicted_rebuilds),
+        r.matches_retained ? "true" : "false",
+        i + 1 < rows.size() ? "," : "");
+    out << buf;
+  }
+  out << "  ]\n}\n";
+  std::printf("Wrote %s\n", out_path.c_str());
+
+  if (failures) return 1;
+  for (const Row& r : rows) {
+    if (!r.matches_retained) return 1;
+  }
+  return 0;
+}

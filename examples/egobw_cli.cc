@@ -1,7 +1,8 @@
 // Command-line front end: top-k ego-betweenness over a SNAP edge list.
 //
 //   egobw_cli GRAPH.txt [--k N] [--algo opt|base|full|naive]
-//             [--theta T] [--threads N] [--inspect VERTEX]
+//             [--theta T] [--threads N] [--retain-smaps]
+//             [--smap-budget-mb M] [--inspect VERTEX]
 //
 //   --k N          number of results (default 10)
 //   --algo A       opt    OptBSearch, dynamic bound (default)
@@ -14,6 +15,15 @@
 //                  ParallelOptBSearch (same answer, bit for bit); with
 //                  --algo full the all-vertex pass runs as EdgePEBW.
 //                  base/naive are serial-only and warn if N > 1.
+//   --retain-smaps with --algo full: keep every S map resident until one
+//                  final evaluation sweep (the dynamic engines' seed
+//                  layout) instead of the default streaming
+//                  evaluate-and-free pass. Same values, higher peak RSS.
+//   --smap-budget-mb M
+//                  with --algo full (streaming): byte budget of the live
+//                  S maps in MiB — over it, the largest in-flight maps
+//                  are evicted and rebuilt locally at their retire point.
+//                  Default 2048; 0 lifts the cap. Same values either way.
 //   --inspect V    additionally print ego-network stats for vertex V
 //
 // Exit code 0 on success, 1 on usage or input errors.
@@ -42,7 +52,8 @@ using namespace egobw;
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s GRAPH.txt [--k N] [--algo opt|base|full|naive] "
-               "[--theta T] [--threads N] [--inspect VERTEX]\n",
+               "[--theta T] [--threads N] [--retain-smaps] "
+               "[--smap-budget-mb M] [--inspect VERTEX]\n",
                argv0);
   return 1;
 }
@@ -64,6 +75,8 @@ int main(int argc, char** argv) {
   std::string algo = "opt";
   double theta = 1.05;
   int64_t threads = 1;
+  bool retain_smaps = false;
+  uint64_t smap_budget_bytes = kDefaultSMapStreamBudgetBytes;
   int64_t inspect = -1;
   for (int i = 2; i < argc; ++i) {
     auto next = [&](const char* flag) -> const char* {
@@ -88,6 +101,11 @@ int main(int argc, char** argv) {
       if (threads == 0) {
         threads = std::max(1u, std::thread::hardware_concurrency());
       }
+    } else if (std::strcmp(argv[i], "--retain-smaps") == 0) {
+      retain_smaps = true;
+    } else if (std::strcmp(argv[i], "--smap-budget-mb") == 0) {
+      smap_budget_bytes =
+          static_cast<uint64_t>(std::atoll(next("--smap-budget-mb"))) << 20;
     } else if (std::strcmp(argv[i], "--inspect") == 0) {
       inspect = std::atoll(next("--inspect"));
     } else {
@@ -117,8 +135,11 @@ int main(int argc, char** argv) {
     top = OptBSearch(g, k, {.theta = theta}, &stats);
   } else if (algo == "full" && threads > 1) {
     algo = "full(" + std::to_string(threads) + "T)";
+    PEBWOptions options;
+    options.retain_smaps = retain_smaps;
+    options.smap_budget_bytes = smap_budget_bytes;
     top = TopKFromAll(
-        EdgePEBW(g, static_cast<size_t>(threads), &stats), k);
+        EdgePEBW(g, static_cast<size_t>(threads), &stats, options), k);
   } else if (algo == "base" || algo == "naive") {
     if (threads > 1) {
       std::fprintf(stderr,
@@ -129,7 +150,15 @@ int main(int argc, char** argv) {
     top = algo == "base" ? BaseBSearch(g, k, &stats)
                          : TopKFromAll(ComputeAllEgoBetweennessNaive(g), k);
   } else if (algo == "full") {
-    top = TopKFromAll(ComputeAllEgoBetweenness(g, &stats), k);
+    // Default: the streaming evaluate-and-free pass under the byte
+    // budget; --retain-smaps keeps the full S-map residency (identical
+    // values, higher peak RSS).
+    AllEgoOptions options;
+    options.smap_budget_bytes = smap_budget_bytes;
+    top = retain_smaps
+              ? TopKFromAll(ComputeAllEgoBetweennessWithState(g, &stats).cb,
+                            k)
+              : TopKFromAll(ComputeAllEgoBetweenness(g, options, &stats), k);
   } else {
     std::fprintf(stderr, "unknown --algo '%s'\n", algo.c_str());
     return Usage(argv[0]);

@@ -27,6 +27,12 @@ EGOBW_DISABLE_SIMD=1 "$BUILD_DIR"/simd_intersect_test --gtest_brief=1
 EGOBW_DISABLE_SIMD=1 "$BUILD_DIR"/kernel_equivalence_test --gtest_brief=1 \
   --gtest_filter='KernelEquivalence.SimdOffMatchesSimdOnBitForBit:KernelEquivalence.EmissionOrderMatchesLegacy'
 
+echo "==> Streaming evaluate-and-free equivalence, vector path ENABLED"
+"$BUILD_DIR"/streaming_pebw_test --gtest_brief=1
+
+echo "==> Streaming evaluate-and-free equivalence, vector path DISABLED"
+EGOBW_DISABLE_SIMD=1 "$BUILD_DIR"/streaming_pebw_test --gtest_brief=1
+
 echo "==> Rule-B kernel smoke benchmark (small R-MAT)"
 "$BUILD_DIR"/kernel_report "$BUILD_DIR"/BENCH_kernels_smoke.json rmat 12
 cat "$BUILD_DIR"/BENCH_kernels_smoke.json
@@ -34,6 +40,10 @@ cat "$BUILD_DIR"/BENCH_kernels_smoke.json
 echo "==> Bounded top-k thread-scaling smoke (small R-MAT, differential)"
 "$BUILD_DIR"/topk_scaling "$BUILD_DIR"/BENCH_topk_smoke.json 12 50 1.05 4
 cat "$BUILD_DIR"/BENCH_topk_smoke.json
+
+echo "==> All-vertex streaming-vs-retained smoke (small R-MAT, differential)"
+"$BUILD_DIR"/pebw_report "$BUILD_DIR"/BENCH_pebw_smoke.json 12 2
+cat "$BUILD_DIR"/BENCH_pebw_smoke.json
 
 if [ -x "$BUILD_DIR/micro_kernels" ]; then
   echo "==> Micro-kernel smoke (google-benchmark)"

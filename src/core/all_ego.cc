@@ -1,5 +1,7 @@
 #include "core/all_ego.h"
 
+#include <algorithm>
+
 #include "core/edge_processor.h"
 #include "graph/degree_order.h"
 #include "graph/edge_set.h"
@@ -29,13 +31,65 @@ AllEgoState ComputeAllEgoBetweennessWithState(const Graph& g,
     state.cb[u] = state.smaps->EvaluateExact(u);
   }
   stats->exact_computations += g.NumVertices();
+  stats->peak_live_maps =
+      std::max<uint64_t>(stats->peak_live_maps, state.smaps->PeakLiveMaps());
+  stats->peak_live_map_bytes = std::max<uint64_t>(
+      stats->peak_live_map_bytes, state.smaps->PeakLiveMapBytes());
   stats->elapsed_seconds += timer.Seconds();
   return state;
 }
 
 std::vector<double> ComputeAllEgoBetweenness(const Graph& g,
+                                             const AllEgoOptions& options,
                                              SearchStats* stats) {
-  return ComputeAllEgoBetweennessWithState(g, stats).cb;
+  SearchStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  WallTimer timer;
+  SMapStore smaps(g);
+  EdgeSet edges(g);
+  DegreeOrder order(g);
+  ForwardStar fwd(g, order);
+  SlabPool pool;
+  std::vector<double> cb(g.NumVertices());
+  EdgeProcessor proc(g, edges, &smaps, stats);
+  // Streaming evaluate-and-free: in ≺ order every backward edge of u lands
+  // before u's own turn, so u's remaining-contribution counter hits zero on
+  // its last forward edge and the retire hook evaluates + frees S_u right
+  // there (or rebuilds it locally if the byte budget evicted it). Later
+  // case-3 marks aimed at the freed map are provably redundant (see
+  // SMapStore::SetAdjacent), so values stay bit-identical to the retained
+  // pass.
+  proc.EnableStreaming(&pool, options.smap_budget_bytes,
+                       [&cb, &smaps, &pool, &proc](VertexId w) {
+                         if (smaps.Evicted(w)) {
+                           cb[w] = proc.RebuildExactCb(w);
+                           smaps.FinalizeEvicted(w);
+                         } else {
+                           cb[w] = smaps.Finalize(w);
+                           smaps.Release(w, &pool);
+                         }
+                       });
+  for (VertexId u : order.Order()) proc.ProcessForwardEdgesOf(u, fwd);
+  // Isolated vertices never see a processed edge: finalize them directly
+  // (same evaluation path, so even the -0.0 of degree 0 matches retained).
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    if (!smaps.Retired(u)) {
+      EGOBW_DCHECK(g.Degree(u) == 0);
+      cb[u] = smaps.Finalize(u);
+    }
+  }
+  stats->exact_computations += g.NumVertices();
+  stats->peak_live_maps =
+      std::max<uint64_t>(stats->peak_live_maps, smaps.PeakLiveMaps());
+  stats->peak_live_map_bytes = std::max<uint64_t>(
+      stats->peak_live_map_bytes, smaps.PeakLiveMapBytes());
+  stats->elapsed_seconds += timer.Seconds();
+  return cb;
+}
+
+std::vector<double> ComputeAllEgoBetweenness(const Graph& g,
+                                             SearchStats* stats) {
+  return ComputeAllEgoBetweenness(g, AllEgoOptions{}, stats);
 }
 
 }  // namespace egobw

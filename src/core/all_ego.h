@@ -15,8 +15,34 @@
 
 namespace egobw {
 
+/// Knobs of the streaming all-vertex pass.
+struct AllEgoOptions {
+  /// Byte cap on the live S maps: publications that push past it evict the
+  /// largest incomplete maps, whose vertices fall back to an exact local
+  /// rebuild at their retire point (counted in
+  /// SearchStats::evicted_rebuilds). Identical values either way; 0 lifts
+  /// the cap (peak bytes then track the unbounded live frontier).
+  uint64_t smap_budget_bytes = kDefaultSMapStreamBudgetBytes;
+};
+
 /// CB for every vertex. O(α m d_max) worst case, near-linear in practice.
+///
+/// This is the STREAMING pass: processing the oriented edges in ≺ order, a
+/// vertex's S map is finalized and evaluated the moment its last incident
+/// edge has published (its remaining-contribution counter hits zero) and
+/// its slab is released through a recycling pool, while the byte budget
+/// evicts the largest in-flight maps under pressure (their CB is rebuilt
+/// locally at retirement) — so peak RSS is capped near the budget instead
+/// of scaling with n. Values are bit-identical to the retained mode
+/// (ComputeAllEgoBetweennessWithState), which dynamic engines opt into
+/// when they need the maps afterwards. stats->peak_live_maps records the
+/// frontier's high-water mark.
 std::vector<double> ComputeAllEgoBetweenness(const Graph& g,
+                                             SearchStats* stats = nullptr);
+
+/// Streaming pass with explicit options (see AllEgoOptions).
+std::vector<double> ComputeAllEgoBetweenness(const Graph& g,
+                                             const AllEgoOptions& options,
                                              SearchStats* stats = nullptr);
 
 /// Full computation that also returns the complete S maps — the starting
@@ -26,7 +52,10 @@ struct AllEgoState {
   std::vector<double> cb;            ///< Exact CB per vertex.
 };
 
-/// Runs the shared pass and keeps its state (see AllEgoState).
+/// The explicit RETAINED mode: runs the shared pass keeping every S map
+/// resident and returns them with the values (see AllEgoState). This is
+/// the seed state of the dynamic engines (LazyTopK, LocalUpdateEngine);
+/// the default streaming pass frees each map at its retire point instead.
 AllEgoState ComputeAllEgoBetweennessWithState(const Graph& g,
                                               SearchStats* stats = nullptr);
 

@@ -23,11 +23,50 @@ EdgeProcessor::EdgeProcessor(const Graph& g, const EdgeSet& edges,
   for (VertexId u = 0; u < g.NumVertices(); ++u) remaining_[u] = g.Degree(u);
 }
 
+EdgeProcessor::~EdgeProcessor() = default;
+
+void EdgeProcessor::EnableStreaming(SlabPool* pool, uint64_t budget_bytes,
+                                    std::function<void(VertexId)> retire) {
+  pool_ = pool;
+  budget_bytes_ = budget_bytes;
+  next_evict_check_ = budget_bytes;
+  retire_ = std::move(retire);
+}
+
+double EdgeProcessor::RebuildExactCb(VertexId u) {
+  EGOBW_DCHECK(remaining_[u] == 0);
+  if (!rebuild_) {
+    rebuild_ = std::make_unique<EgoRebuildScratch>(g_.NumVertices());
+  }
+  return RebuildCompleteEgoCb(g_, edges_, mode_, rebuild_.get(), u);
+}
+
+void EdgeProcessor::EvictToBudget(VertexId protect) {
+  // Candidates: incomplete, still-live maps (retired maps were released;
+  // evicted maps hold no bytes). The turn vertex completes momentarily —
+  // evicting it would trade an almost-free Finalize for a full rebuild.
+  std::vector<std::pair<size_t, VertexId>> candidates;
+  for (VertexId v = 0; v < g_.NumVertices(); ++v) {
+    if (v == protect || remaining_[v] == 0) continue;
+    if (smaps_->Retired(v) || smaps_->Evicted(v)) continue;
+    size_t bytes = smaps_->MapBytesOf(v);
+    if (bytes != 0) candidates.emplace_back(bytes, v);
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  const uint64_t target = EvictionTargetBytes(budget_bytes_);
+  for (const auto& [bytes, v] : candidates) {
+    if (smaps_->LiveMapBytes() <= target) break;
+    smaps_->Evict(v);
+    ++stats_->evicted_rebuilds;
+  }
+  next_evict_check_ =
+      NextEvictionCheckBytes(smaps_->LiveMapBytes(), budget_bytes_);
+}
+
 void EdgeProcessor::ProcessMarkedEdge(VertexId u, VertexId v, EdgeId e) {
   EGOBW_DCHECK(!Processed(e));
   processed_[e] = 1;
-  --remaining_[u];
-  --remaining_[v];
   ++stats_->edges_processed;
 
   IntersectNeighborhoods(g_, edges_, marker_, u, v, &scratch_);
@@ -52,6 +91,19 @@ void EdgeProcessor::ProcessMarkedEdge(VertexId u, VertexId v, EdgeId e) {
   smaps_->AddConnectorsBatch(u, pairs_, 1);
   smaps_->AddConnectorsBatch(v, pairs_, 1);
   stats_->connector_increments += 2 * pairs_.size();
+
+  // The counters drop only after the edge's publications, so an endpoint
+  // that hits zero has its complete S map — the streaming retire point.
+  --remaining_[u];
+  --remaining_[v];
+  if (retire_) {
+    if (remaining_[u] == 0) retire_(u);
+    if (remaining_[v] == 0) retire_(v);
+    if (budget_bytes_ != 0 &&
+        smaps_->LiveMapBytes() > next_evict_check_) {
+      EvictToBudget(current_turn_);
+    }
+  }
 }
 
 void EdgeProcessor::MarkNeighborhood(VertexId u) {
@@ -95,11 +147,25 @@ void EdgeProcessor::ProcessForwardEdgesOf(VertexId u,
 void EdgeProcessor::ProcessForwardEdgesOf(VertexId u, const ForwardStar& fwd) {
   auto nbrs = fwd.Neighbors(u);
   if (nbrs.empty()) return;
-  MarkNeighborhood(u);
   auto eids = fwd.Edges(u);
+  current_turn_ = u;
+  if (pool_ != nullptr && !smaps_->Evicted(u)) {
+    // Streaming mode: pre-size S_u at the start of its turn from the wedge
+    // estimate so the reservation can adopt a recycled slab in one step
+    // (reservations never change map contents, only capacity growth).
+    uint64_t estimate = 0;
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      if (!Processed(eids[i])) {
+        estimate += std::min(g_.Degree(u), g_.Degree(nbrs[i]));
+      }
+    }
+    smaps_->ReserveFor(u, WedgeReserveEstimate(estimate), pool_);
+  }
+  MarkNeighborhood(u);
   for (size_t i = 0; i < nbrs.size(); ++i) {
     if (!Processed(eids[i])) ProcessMarkedEdge(u, nbrs[i], eids[i]);
   }
+  current_turn_ = ~0u;
 }
 
 // ---------------------------------------------------- BoundEdgeProcessor --

@@ -31,6 +31,8 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -77,6 +79,8 @@ inline uint64_t WedgeReserveEstimate(uint64_t summed_min_degrees) {
   return std::min(summed_min_degrees / 4, kMaxReserve);
 }
 
+struct EgoRebuildScratch;
+
 /// The serial triangle/diamond edge-processing engine (see file comment).
 class EdgeProcessor {
  public:
@@ -87,6 +91,7 @@ class EdgeProcessor {
   /// Same, with an explicit Rule-B kernel choice.
   EdgeProcessor(const Graph& g, const EdgeSet& edges, SMapStore* smaps,
                 SearchStats* stats, KernelMode mode);
+  ~EdgeProcessor();  ///< Out of line: owns scratch of a later-defined type.
 
   /// True iff edge e has already been processed.
   bool Processed(EdgeId e) const { return processed_[e] != 0; }
@@ -110,12 +115,38 @@ class EdgeProcessor {
   /// are one contiguous span (the all-vertex pass's layout of choice).
   void ProcessForwardEdgesOf(VertexId u, const ForwardStar& fwd);
 
+  /// Enables the streaming evaluate-and-free pass: after each edge's
+  /// publications, an endpoint whose remaining incident-edge count drops to
+  /// zero — the moment its S map is complete — is handed to `retire`
+  /// (which typically calls SMapStore::Finalize + Release, or rebuilds
+  /// locally when the vertex was evicted). `pool` feeds the per-turn wedge
+  /// reservation of ProcessForwardEdgesOf(u, fwd) with recycled slabs; it
+  /// may be null. `budget_bytes` caps the store's live map bytes: when a
+  /// publication pushes past it, the largest incomplete maps are evicted
+  /// (their vertices fall back to local recomputation at retirement) until
+  /// the total sits below 3/4 of the budget; 0 disables the cap. Isolated
+  /// vertices never reach a processed edge, so the caller finalizes those
+  /// itself.
+  void EnableStreaming(SlabPool* pool, uint64_t budget_bytes,
+                       std::function<void(VertexId)> retire);
+
+  /// Rebuilds the complete S_u locally from u's incident edges (one fused
+  /// intersection+kernel pass, no store access) and returns CB(u) —
+  /// bit-identical to evaluating the retained map. The streaming retire
+  /// hook calls this for evicted vertices; legal only once every edge
+  /// incident to u has been processed.
+  double RebuildExactCb(VertexId u);
+
  private:
   // Requires marker_ to currently mark N(u); processes the single edge
   // (u, v) assuming it is unprocessed.
   void ProcessMarkedEdge(VertexId u, VertexId v, EdgeId e);
 
   void MarkNeighborhood(VertexId u);
+
+  // Evicts the largest incomplete maps (skipping `protect`, the vertex
+  // whose turn is running) until live bytes sit below 3/4 of the budget.
+  void EvictToBudget(VertexId protect);
 
   const Graph& g_;
   const EdgeSet& edges_;
@@ -128,6 +159,14 @@ class EdgeProcessor {
   std::vector<VertexId> scratch_;    // Common-neighbor buffer.
   DiamondKernel kernel_;             // Rule-B bitmap scratch.
   std::vector<std::pair<VertexId, VertexId>> pairs_;  // Rule-B batch.
+  SlabPool* pool_ = nullptr;         // Streaming slab recycler (optional).
+  std::function<void(VertexId)> retire_;  // Streaming retirement hook.
+  uint64_t budget_bytes_ = 0;        // Live-map byte cap (0 = unlimited).
+  // Re-scan hysteresis: next LiveMapBytes level that triggers eviction.
+  uint64_t next_evict_check_ = 0;
+  VertexId current_turn_ = ~0u;      // Turn vertex, protected from eviction.
+  // Local-rebuild scratch for evicted vertices (lazily constructed).
+  std::unique_ptr<EgoRebuildScratch> rebuild_;
 };
 
 /// Rank-space view of one processed edge's Rule-A/B mutations: everything
@@ -250,6 +289,19 @@ double ComputeExactCbImpl(const Graph& g, const EdgeSet& edges,
     }
   }
   return EvaluateCompleteSMap(s->local, static_cast<double>(d));
+}
+
+/// Pure-evaluation form of ComputeExactCbImpl: rebuilds the complete S_u
+/// locally and returns CB(u) with no claiming, reservation or publication
+/// — the streaming engines' rebuild of evicted vertices (legal once every
+/// edge incident to u is processed; reads only graph + edge set, so the
+/// parallel engine calls it without any lock).
+inline double RebuildCompleteEgoCb(const Graph& g, const EdgeSet& edges,
+                                   KernelMode mode, EgoRebuildScratch* s,
+                                   VertexId u) {
+  return ComputeExactCbImpl(
+      g, edges, mode, s, u, [](EdgeId) { return false; }, [](uint64_t) {},
+      [](VertexId, EdgeId) {});
 }
 
 /// The top-k engines' serial edge engine (see file comment): publishes

@@ -34,6 +34,19 @@ struct SearchStats {
   uint64_t pruned = 0;              ///< Vertices discarded without computing.
   uint64_t relaxed_pops = 0;        ///< Parallel own-shard pops within θ of
                                     ///< the global top (lock-traffic saver).
+  uint64_t peak_live_maps = 0;      ///< All-vertex passes: high-water mark of
+                                    ///< simultaneously live S maps (the
+                                    ///< streaming pass's memory frontier;
+                                    ///< ~n in retained mode). Max-merged,
+                                    ///< not summed, across runs.
+  uint64_t evicted_rebuilds = 0;    ///< Streaming passes: vertices whose S
+                                    ///< map was evicted under the byte
+                                    ///< budget and whose CB was rebuilt
+                                    ///< locally at the retire point.
+  uint64_t peak_live_map_bytes = 0;  ///< All-vertex passes: high-water mark
+                                     ///< of live S-map heap bytes — what
+                                     ///< the streaming budget caps.
+                                     ///< Max-merged, not summed.
   double elapsed_seconds = 0.0;     ///< Wall-clock time of the search.
 };
 

@@ -20,7 +20,10 @@ constexpr int32_t kAbsentSentinel = -1;
 SMapStore::SMapStore(const Graph& g)
     : maps_(g.NumVertices()),
       value_(g.NumVertices()),
-      degree_(g.NumVertices()) {
+      degree_(g.NumVertices()),
+      state_(g.NumVertices(), kLive),
+      touched_(g.NumVertices(), 0),
+      map_bytes_(g.NumVertices(), 0) {
   for (VertexId u = 0; u < g.NumVertices(); ++u) {
     degree_[u] = g.Degree(u);
     double d = degree_[u];
@@ -29,7 +32,12 @@ SMapStore::SMapStore(const Graph& g)
 }
 
 SMapStore::SMapStore(uint32_t n)
-    : maps_(n), value_(n, 0.0), degree_(n, 0) {}
+    : maps_(n),
+      value_(n, 0.0),
+      degree_(n, 0),
+      state_(n, kLive),
+      touched_(n, 0),
+      map_bytes_(n, 0) {}
 
 double EvaluateCompleteSMap(const PairCountMap& map, double degree) {
   // Bucket counted pairs by connector count before summing: the histogram
@@ -60,7 +68,53 @@ double SMapStore::EvaluateExact(VertexId u) const {
   return EvaluateCompleteSMap(maps_[u], degree_[u]);
 }
 
+void SMapStore::Touch(VertexId u) {
+  if (touched_[u]) return;
+  touched_[u] = 1;
+  uint32_t live = live_.fetch_add(1, std::memory_order_relaxed) + 1;
+  uint32_t peak = peak_live_.load(std::memory_order_relaxed);
+  while (peak < live && !peak_live_.compare_exchange_weak(
+                            peak, live, std::memory_order_relaxed)) {
+  }
+}
+
+void SMapStore::SyncMapBytes(VertexId u) {
+  size_t now = maps_[u].MemoryBytes();
+  size_t before = map_bytes_[u];
+  if (now == before) return;
+  map_bytes_[u] = now;
+  if (now > before) {
+    uint64_t live =
+        live_bytes_.fetch_add(now - before, std::memory_order_relaxed) +
+        (now - before);
+    uint64_t peak = peak_live_bytes_.load(std::memory_order_relaxed);
+    while (peak < live && !peak_live_bytes_.compare_exchange_weak(
+                              peak, live, std::memory_order_relaxed)) {
+    }
+  } else {
+    live_bytes_.fetch_sub(before - now, std::memory_order_relaxed);
+  }
+}
+
+void SMapStore::DropAccounting(VertexId u) {
+  if (touched_[u]) {
+    touched_[u] = 0;
+    live_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  if (map_bytes_[u] != 0) {
+    live_bytes_.fetch_sub(map_bytes_[u], std::memory_order_relaxed);
+    map_bytes_[u] = 0;
+  }
+}
+
 void SMapStore::SetAdjacent(VertexId u, VertexId x, VertexId y) {
+  // Retired S_u is complete: the only mark that can still arrive is the
+  // case-3 re-mark of a pair u's own incident edges already marked
+  // adjacent — dropping it never changes what the map would hold. Evicted
+  // S_u drops EVERY publication: its exact map is rebuilt locally at the
+  // retire point.
+  if (state_[u] != kLive) return;
+  Touch(u);
   uint64_t key = PackPair(x, y);
   int32_t prev = maps_[u].GetOr(key, kAbsentSentinel);
   if (prev == PairCountMap::kAdjacent) return;  // Already marked.
@@ -71,31 +125,39 @@ void SMapStore::SetAdjacent(VertexId u, VertexId x, VertexId y) {
     maps_[u].Erase(key, kAbsentSentinel);
   }
   maps_[u].SetAdjacent(key);
+  SyncMapBytes(u);
 }
 
 void SMapStore::AddConnectors(VertexId u, VertexId x, VertexId y,
                               int32_t delta) {
   if (delta == 0) return;
+  if (state_[u] != kLive) return;  // Evicted: rebuilt locally at retire.
+  Touch(u);
   uint64_t key = PackPair(x, y);
   int32_t prev = maps_[u].AddCount(key, delta);
   int32_t next = prev + delta;
   EGOBW_DCHECK(next >= 0);
   value_[u] += Contribution(next) - Contribution(prev);
+  SyncMapBytes(u);
 }
 
 void SMapStore::SetAdjacentBatch(VertexId u, VertexId a,
                                  std::span<const VertexId> ws) {
   if (ws.empty()) return;
+  if (state_[u] != kLive) return;  // Evicted/retired: publications dropped.
   maps_[u].Reserve(maps_[u].size() + ws.size());
   for (VertexId w : ws) SetAdjacent(u, a, w);
+  SyncMapBytes(u);
 }
 
 void SMapStore::AddConnectorsBatch(
     VertexId u, std::span<const std::pair<VertexId, VertexId>> pairs,
     int32_t delta) {
   if (pairs.empty()) return;
+  if (state_[u] != kLive) return;  // Evicted/retired: publications dropped.
   if (delta > 0) maps_[u].Reserve(maps_[u].size() + pairs.size());
   for (const auto& [x, y] : pairs) AddConnectors(u, x, y, delta);
+  SyncMapBytes(u);
 }
 
 void SMapStore::ReserveFor(VertexId u, uint64_t additional) {
@@ -104,6 +166,48 @@ void SMapStore::ReserveFor(VertexId u, uint64_t additional) {
   uint64_t target = maps_[u].size() + additional;
   if (target > universe) target = universe;
   maps_[u].Reserve(target);
+  SyncMapBytes(u);
+}
+
+void SMapStore::ReserveFor(VertexId u, uint64_t additional, SlabPool* pool) {
+  if (state_[u] != kLive) return;  // Evicted maps never regrow.
+  if (pool != nullptr && maps_[u].capacity() == 0) {
+    uint64_t d = degree_[u];
+    uint64_t universe = d * (d - 1) / 2;
+    uint64_t want = std::min(additional, universe);
+    if (want != 0) {
+      PairCountMap recycled = pool->Acquire(want);
+      if (recycled.capacity() != 0) maps_[u] = std::move(recycled);
+    }
+  }
+  ReserveFor(u, additional);
+}
+
+double SMapStore::Finalize(VertexId u) {
+  EGOBW_DCHECK(state_[u] == kLive);
+  state_[u] = kRetired;
+  return EvaluateCompleteSMap(maps_[u], degree_[u]);
+}
+
+void SMapStore::Release(VertexId u, SlabPool* pool) {
+  EGOBW_DCHECK(Retired(u));
+  DropAccounting(u);
+  if (pool != nullptr && maps_[u].capacity() != 0) {
+    pool->Recycle(std::move(maps_[u]));
+  }
+  maps_[u] = PairCountMap();  // Frees whatever the pool did not take.
+}
+
+void SMapStore::Evict(VertexId u) {
+  EGOBW_DCHECK(state_[u] == kLive);
+  state_[u] = kEvicted;
+  DropAccounting(u);
+  maps_[u] = PairCountMap();  // Free outright: evicted maps never regrow.
+}
+
+void SMapStore::FinalizeEvicted(VertexId u) {
+  EGOBW_DCHECK(Evicted(u));
+  state_[u] = kRetired;
 }
 
 void SMapStore::AdjacentToCounted(VertexId u, VertexId x, VertexId y,
@@ -151,7 +255,54 @@ uint64_t SMapStore::TotalEntries() const {
 
 size_t SMapStore::MemoryBytes() const {
   size_t total = value_.capacity() * sizeof(double) +
-                 degree_.capacity() * sizeof(uint32_t);
+                 degree_.capacity() * sizeof(uint32_t) +
+                 state_.capacity() + touched_.capacity() +
+                 map_bytes_.capacity() * sizeof(size_t);
+  for (const auto& m : maps_) total += m.MemoryBytes();
+  return total;
+}
+
+// -------------------------------------------------------------- SlabPool --
+
+PairCountMap SlabPool::Acquire(uint64_t entries_hint) {
+  if (maps_.empty()) return PairCountMap();
+  // Smallest slab whose table holds the hint below the 3/4 load factor;
+  // the largest slab as a fallback (a head start beats a cold table).
+  size_t best = maps_.size();
+  size_t largest = 0;
+  for (size_t i = 0; i < maps_.size(); ++i) {
+    size_t cap = maps_[i].capacity();
+    if (cap > maps_[largest].capacity()) largest = i;
+    if (entries_hint * 4 < cap * 3 &&
+        (best == maps_.size() || cap < maps_[best].capacity())) {
+      best = i;
+    }
+  }
+  size_t pick = best != maps_.size() ? best : largest;
+  PairCountMap out = std::move(maps_[pick]);
+  maps_[pick] = std::move(maps_.back());
+  maps_.pop_back();
+  return out;
+}
+
+void SlabPool::Recycle(PairCountMap&& map) {
+  map.Clear();
+  if (maps_.size() < max_maps_) {
+    maps_.push_back(std::move(map));
+    return;
+  }
+  if (max_maps_ == 0) return;
+  size_t smallest = 0;
+  for (size_t i = 1; i < maps_.size(); ++i) {
+    if (maps_[i].capacity() < maps_[smallest].capacity()) smallest = i;
+  }
+  if (maps_[smallest].capacity() < map.capacity()) {
+    maps_[smallest] = std::move(map);  // Drop the smaller slab instead.
+  }
+}
+
+size_t SlabPool::MemoryBytes() const {
+  size_t total = 0;
   for (const auto& m : maps_) total += m.MemoryBytes();
   return total;
 }
@@ -208,10 +359,12 @@ void BoundStore::AddConnectorsBatch(
     VertexId u, std::span<const std::pair<uint32_t, uint32_t>> pairs) {
   if (pairs.empty()) return;
   sets_[u].Reserve(sets_[u].size() + pairs.size());
-  const int32_t cap = static_cast<int32_t>(sets_[u].CountCap());
   for (const auto& [rx, ry] : pairs) {
     int32_t prev = sets_[u].AddConnector(rx, ry);
-    if (prev >= cap) continue;  // Contribution floored.
+    // Re-read the cap AFTER the add: a widenable owner's first saturating
+    // connector upgrades the state width in place, and that very add must
+    // be accounted exactly (prev == 254 against the new cap 65534).
+    if (prev >= static_cast<int32_t>(sets_[u].CountCap())) continue;
     int32_t prev_count = prev == RankPairSet::kAbsent ? 0 : prev;
     value_[u] += Contribution(prev_count + 1) - Contribution(prev_count);
   }

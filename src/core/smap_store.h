@@ -22,10 +22,33 @@
 ///     (or dense 1-2-bytes-per-pair) entries; exact CB(u) is recomputed
 ///     locally on demand (see BoundEdgeProcessor) for the few candidates
 ///     that survive the gate.
+///
+/// SMapStore is lifecycle-aware for the streaming all-vertex pass: a map
+/// whose owner has no unprocessed incident edge left is complete, so the
+/// pass can Finalize (evaluate + mark retired) and Release (recycle the
+/// slab through a SlabPool) it immediately instead of retaining all n maps
+/// until one evaluation sweep. Retired maps drop the one mutation that can
+/// still legally arrive (a redundant case-3 adjacency mark), which never
+/// changes map contents, so streaming results are bit-identical to the
+/// retained mode.
+///
+/// Retirement alone does not bound the frontier's BYTES on expander-like
+/// graphs (every edge's content idles in its later-retiring endpoint's map
+/// until that endpoint completes — measured at R-MAT scale 16, the live
+/// bytes peak at ~the full retained footprint under every vertex order).
+/// The store therefore also supports EVICTION, the memory-for-recompute
+/// side of the discipline: Evict(u) drops a live map's storage outright
+/// and flips the vertex to a state where all further publications are
+/// skipped; the streaming engines rebuild an evicted vertex's exact map
+/// locally at its retire point (ComputeExactCbImpl — the PR-3 on-demand
+/// evaluator, bit-identical by construction) and account it via
+/// SearchStats::evicted_rebuilds. LiveMapBytes() is the O(1) pressure
+/// signal the engines' byte budgets poll.
 
 #ifndef EGOBW_CORE_SMAP_STORE_H_
 #define EGOBW_CORE_SMAP_STORE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <utility>
@@ -35,6 +58,67 @@
 #include "util/pair_count_map.h"
 
 namespace egobw {
+
+/// Default byte budget of the streaming all-vertex engines' live S maps
+/// (2 GiB). Passes whose maps never reach it run eviction-free; larger
+/// inputs cap their peak store footprint here and pay local recomputation
+/// for the evicted vertices instead. 0 disables the cap.
+inline constexpr uint64_t kDefaultSMapStreamBudgetBytes = uint64_t{2} << 30;
+
+/// Eviction policy shared by the streaming engines (serial EdgeProcessor
+/// and the parallel PEBW engine must cap memory identically): a scan
+/// evicts the largest incomplete maps until live bytes sit at or below
+/// this target.
+inline constexpr uint64_t EvictionTargetBytes(uint64_t budget_bytes) {
+  return budget_bytes - budget_bytes / 4;
+}
+
+/// Re-scan hysteresis of the shared eviction policy: the next live-byte
+/// level that triggers another scan after one that left `live_bytes`
+/// behind — strictly above both the budget and the current level, so an
+/// unevictable residue (e.g. one giant protected map) cannot thrash the
+/// O(n) scan.
+inline constexpr uint64_t NextEvictionCheckBytes(uint64_t live_bytes,
+                                                uint64_t budget_bytes) {
+  return (live_bytes > budget_bytes ? live_bytes : budget_bytes) +
+         budget_bytes / 16;
+}
+
+/// Bounded recycler of released S-map slabs for the streaming
+/// evaluate-and-free pass: SMapStore::Release parks a retired map's backing
+/// storage here instead of freeing it, and SMapStore::ReserveFor adopts the
+/// best-fitting parked slab for the next vertex — so the pass reuses a
+/// frontier-sized working set of allocations instead of churning the
+/// allocator once per vertex. One pool per worker, no synchronization; the
+/// bound keeps a pathological release burst from hoarding memory the pass
+/// no longer needs.
+class SlabPool {
+ public:
+  /// Pool with the default bound (64 parked slabs).
+  SlabPool() = default;
+  /// Pool keeping at most `max_maps` parked slabs (excess recycles drop the
+  /// smallest slab instead of growing the pool).
+  explicit SlabPool(size_t max_maps) : max_maps_(max_maps) {}
+
+  /// Takes the smallest parked slab able to hold `entries_hint` entries
+  /// within the table's load factor, the largest parked slab if none can,
+  /// or an empty map when the pool is empty. The returned map is cleared.
+  PairCountMap Acquire(uint64_t entries_hint);
+
+  /// Parks a released map's storage (cleared, capacity kept). Beyond the
+  /// bound the smallest of pool + incoming is dropped.
+  void Recycle(PairCountMap&& map);
+
+  /// Parked slab count.
+  size_t size() const { return maps_.size(); }
+
+  /// Bytes of heap memory held by the parked slabs.
+  size_t MemoryBytes() const;
+
+ private:
+  size_t max_maps_ = 64;
+  std::vector<PairCountMap> maps_;
+};
 
 /// Lemma-2 evaluation of one COMPLETE S map: CB(u) for the map's owner.
 /// Buckets counted pairs by connector count before summing, so the result
@@ -96,6 +180,67 @@ class SMapStore {
   /// processing a vertex's remaining edges to avoid rehash storms.
   void ReserveFor(VertexId u, uint64_t additional);
 
+  /// Streaming-lifecycle ReserveFor: when S_u has no backing table yet, a
+  /// parked slab is adopted from the pool before the normal reservation, so
+  /// freed hub slabs get reused instead of reallocated. Content semantics
+  /// are identical to the two-argument overload.
+  void ReserveFor(VertexId u, uint64_t additional, SlabPool* pool);
+
+  /// Streaming retirement: evaluates the exact Lemma-2 value of the (by
+  /// contract complete) S_u — bit-identical to EvaluateExact — and marks u
+  /// retired. After retirement the only mutation static processing can
+  /// still aim at S_u is a redundant case-3 SetAdjacent (the pair was
+  /// already marked via u's own incident edges), which the mutators drop.
+  double Finalize(VertexId u);
+
+  /// Releases retired S_u's storage — parked in `pool` when given (and the
+  /// map ever allocated), freed otherwise. Requires Finalize(u) first.
+  void Release(VertexId u, SlabPool* pool);
+
+  /// Budget eviction: frees live S_u's storage outright and flips u to the
+  /// evicted state — every further publication aimed at S_u is skipped
+  /// (the streaming engines rebuild its exact map locally at the retire
+  /// point instead). Must not be called on retired vertices.
+  void Evict(VertexId u);
+
+  /// Marks an evicted vertex retired once the engine has rebuilt and
+  /// recorded its CB locally (no evaluation here — the map is gone).
+  void FinalizeEvicted(VertexId u);
+
+  /// True once u was finalized (streaming passes only; the retained mode
+  /// never retires anything).
+  bool Retired(VertexId u) const { return state_[u] == kRetired; }
+
+  /// True while u is evicted and awaiting its local rebuild.
+  bool Evicted(VertexId u) const { return state_[u] == kEvicted; }
+
+  /// Heap bytes currently held by u's map, as tracked by the store's own
+  /// accounting (updated on every mutation; reads require the same
+  /// serialization as the map itself).
+  size_t MapBytesOf(VertexId u) const { return map_bytes_[u]; }
+
+  /// Heap bytes across all live maps — the O(1) pressure signal the
+  /// streaming engines' byte budgets poll after every processed edge.
+  uint64_t LiveMapBytes() const {
+    return live_bytes_.load(std::memory_order_relaxed);
+  }
+
+  /// Maps currently live: touched by at least one mutation and neither
+  /// released nor evicted. The streaming pass's frontier.
+  uint32_t LiveMaps() const {
+    return live_.load(std::memory_order_relaxed);
+  }
+
+  /// High-water mark of LiveMaps() over the store's lifetime.
+  uint32_t PeakLiveMaps() const {
+    return peak_live_.load(std::memory_order_relaxed);
+  }
+
+  /// High-water mark of LiveMapBytes() — what the streaming budget caps.
+  uint64_t PeakLiveMapBytes() const {
+    return peak_live_bytes_.load(std::memory_order_relaxed);
+  }
+
   /// Dynamic-delete transition: pair (x, y) goes from adjacent to
   /// non-adjacent with `count` remaining connectors.
   void AdjacentToCounted(VertexId u, VertexId x, VertexId y, int32_t count);
@@ -125,9 +270,33 @@ class SMapStore {
   size_t MemoryBytes() const;
 
  private:
+  // Per-vertex lifecycle. Transitions (all under the caller's S_u
+  // serialization): kLive -> kRetired (Finalize), kLive -> kEvicted
+  // (Evict), kEvicted -> kRetired (FinalizeEvicted).
+  static constexpr uint8_t kLive = 0;
+  static constexpr uint8_t kEvicted = 1;
+  static constexpr uint8_t kRetired = 2;
+
+  // First-touch live accounting: touched_[u] flips once under the caller's
+  // serialization of S_u (the stripe lock in parallel engines), the shared
+  // counters are relaxed atomics (monotone bookkeeping, no ordering needed).
+  void Touch(VertexId u);
+  // Folds maps_[u]'s current heap bytes into the accounting (call after
+  // every mutation batch; no-op unless the capacity changed).
+  void SyncMapBytes(VertexId u);
+  // Removes u's map from both live accountings (release/evict).
+  void DropAccounting(VertexId u);
+
   std::vector<PairCountMap> maps_;
   std::vector<double> value_;
   std::vector<uint32_t> degree_;
+  std::vector<uint8_t> state_;    // Per vertex; only streaming passes move it.
+  std::vector<uint8_t> touched_;  // Per vertex; guarded like maps_[u].
+  std::vector<size_t> map_bytes_;  // Last-synced maps_[u].MemoryBytes().
+  std::atomic<uint32_t> live_{0};
+  std::atomic<uint32_t> peak_live_{0};
+  std::atomic<uint64_t> live_bytes_{0};
+  std::atomic<uint64_t> peak_live_bytes_{0};
 };
 
 /// The bound-phase S maps: rank-packed membership + saturating counts per

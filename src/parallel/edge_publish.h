@@ -13,6 +13,11 @@
 /// PublishEdgeRulesBound targets the rank-packed BoundStore
 /// (ParallelOptBSearch), with all rank computation done lock-free by the
 /// caller via ComputeBoundEdgeRanks.
+///
+/// Streaming PEBW note: the case-3 loop may aim a mark at a vertex the
+/// streaming pass already retired; SMapStore::SetAdjacent drops it under
+/// the same stripe lock (such marks are provably redundant once the target
+/// map is complete), so this sequence needs no streaming-specific variant.
 
 #ifndef EGOBW_PARALLEL_EDGE_PUBLISH_H_
 #define EGOBW_PARALLEL_EDGE_PUBLISH_H_

@@ -1,5 +1,6 @@
 #include "parallel/parallel_ebw.h"
 
+#include <algorithm>
 #include <atomic>
 #include <memory>
 #include <mutex>
@@ -26,6 +27,9 @@ struct WorkerScratch {
   DiamondKernel kernel;
   std::vector<VertexId> common;
   std::vector<std::pair<VertexId, VertexId>> nonadj_pairs;
+  SlabPool pool;  // Streaming mode: this worker's recycled slabs.
+  // Local-rebuild scratch for evicted vertices (lazily constructed).
+  std::unique_ptr<EgoRebuildScratch> rebuild;
   uint64_t edges = 0;
   uint64_t triangles = 0;
   uint64_t increments = 0;
@@ -33,7 +37,8 @@ struct WorkerScratch {
 
 class ParallelEngine {
  public:
-  ParallelEngine(const Graph& g, size_t threads, KernelMode mode)
+  ParallelEngine(const Graph& g, size_t threads, KernelMode mode,
+                 bool streaming, uint64_t budget_bytes)
       : g_(g),
         edge_set_(g),
         order_(g),
@@ -41,10 +46,20 @@ class ParallelEngine {
         smaps_(g),
         locks_(4096),
         threads_(threads == 0 ? 1 : threads),
-        mode_(mode) {
+        mode_(mode),
+        streaming_(streaming),
+        budget_bytes_(budget_bytes),
+        next_evict_check_(budget_bytes) {
     scratch_.reserve(threads_);
     for (size_t t = 0; t < threads_; ++t) {
       scratch_.push_back(std::make_unique<WorkerScratch>(g.NumVertices()));
+    }
+    if (streaming_) {
+      cb_.resize(g.NumVertices());
+      remaining_ = std::make_unique<std::atomic<uint32_t>[]>(g.NumVertices());
+      for (VertexId u = 0; u < g.NumVertices(); ++u) {
+        remaining_[u].store(g.Degree(u), std::memory_order_relaxed);
+      }
     }
   }
 
@@ -72,6 +87,77 @@ class ParallelEngine {
     ws->increments += 2 * ws->nonadj_pairs.size();
 
     PublishEdgeRules(&smaps_, &locks_, u, v, ws->common, ws->nonadj_pairs);
+
+    if (streaming_) {
+      // The edge's publications are done: drop both endpoints' counters.
+      // Only edges incident to x mutate S_x's membership/counts, so the
+      // worker whose decrement lands last sees the complete map; any
+      // still-in-flight case-3 mark is redundant and dropped (under the
+      // same stripe lock) once Finalize flags the vertex retired.
+      RetireIfComplete(u, ws);
+      RetireIfComplete(v, ws);
+      if (budget_bytes_ != 0 &&
+          smaps_.LiveMapBytes() >
+              next_evict_check_.load(std::memory_order_relaxed)) {
+        EvictToBudget();
+      }
+    }
+  }
+
+  // Streaming retirement of one endpoint after an edge publication.
+  void RetireIfComplete(VertexId x, WorkerScratch* ws) {
+    if (remaining_[x].fetch_sub(1, std::memory_order_acq_rel) != 1) return;
+    bool evicted;
+    {
+      std::lock_guard<Spinlock> lk(locks_.For(x));
+      evicted = smaps_.Evicted(x);
+      if (!evicted) {
+        cb_[x] = smaps_.Finalize(x);
+        smaps_.Release(x, &ws->pool);
+      }
+    }
+    if (evicted) {
+      // Every edge incident to x is processed, so the rebuild is one pure
+      // read-only pass over graph + edge set — no locks needed.
+      if (!ws->rebuild) {
+        ws->rebuild =
+            std::make_unique<EgoRebuildScratch>(g_.NumVertices());
+      }
+      cb_[x] = RebuildCompleteEgoCb(g_, edge_set_, mode_, ws->rebuild.get(),
+                                    x);
+      std::lock_guard<Spinlock> lk(locks_.For(x));
+      smaps_.FinalizeEvicted(x);
+    }
+  }
+
+  // One worker at a time evicts the largest incomplete maps until live
+  // bytes sit below 3/4 of the budget; others keep processing (the budget
+  // is a cap on pressure, not a barrier).
+  void EvictToBudget() {
+    if (!evict_mu_.try_lock()) return;
+    std::lock_guard<std::mutex> lk(evict_mu_, std::adopt_lock);
+    std::vector<std::pair<size_t, VertexId>> candidates;
+    for (VertexId v = 0; v < g_.NumVertices(); ++v) {
+      if (remaining_[v].load(std::memory_order_relaxed) == 0) continue;
+      std::lock_guard<Spinlock> vl(locks_.For(v));
+      if (smaps_.Retired(v) || smaps_.Evicted(v)) continue;
+      size_t bytes = smaps_.MapBytesOf(v);
+      if (bytes != 0) candidates.emplace_back(bytes, v);
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    const uint64_t target = EvictionTargetBytes(budget_bytes_);
+    for (const auto& [bytes, v] : candidates) {
+      if (smaps_.LiveMapBytes() <= target) break;
+      std::lock_guard<Spinlock> vl(locks_.For(v));
+      // Re-check under the lock: the map may have completed meanwhile.
+      if (smaps_.Retired(v) || smaps_.Evicted(v)) continue;
+      smaps_.Evict(v);
+      ++evictions_;
+    }
+    next_evict_check_.store(
+        NextEvictionCheckBytes(smaps_.LiveMapBytes(), budget_bytes_),
+        std::memory_order_relaxed);
   }
 
   void EnsureMarked(VertexId u, WorkerScratch* ws) {
@@ -79,6 +165,25 @@ class ParallelEngine {
     ws->marker.Clear();
     for (VertexId w : g_.Neighbors(u)) ws->marker.Set(w);
     ws->marked_for = u;
+    if (streaming_) {
+      // New source for this worker: pre-size S_u from the forward wedge
+      // estimate so the reservation can adopt a recycled slab (capacity
+      // only — map contents are untouched, so values cannot shift; the
+      // store skips the reservation for evicted vertices under the lock).
+      // Only a never-sized map is reserved: with edge granularity several
+      // workers mark the same source, and re-adding the full estimate on
+      // each re-acquisition would ratchet the capacity far past the
+      // remaining insertions (inflating LiveMapBytes into needless
+      // evictions under a tight budget).
+      uint64_t estimate = 0;
+      for (VertexId v : fwd_.Neighbors(u)) {
+        estimate += std::min(g_.Degree(u), g_.Degree(v));
+      }
+      std::lock_guard<Spinlock> lk(locks_.For(u));
+      if (smaps_.MapBytesOf(u) == 0) {
+        smaps_.ReserveFor(u, WedgeReserveEstimate(estimate), &ws->pool);
+      }
+    }
   }
 
   // Vertex-granular phase 1.
@@ -114,9 +219,17 @@ class ParallelEngine {
                       });
   }
 
-  // Phase 2: evaluate Lemma 2 per vertex (read-only, embarrassingly
-  // parallel).
+  // Phase 2. Streaming: the workers already evaluated everything at its
+  // retire point, only isolated vertices (degree 0, never decremented)
+  // remain. Retained: evaluate Lemma 2 per vertex (read-only,
+  // embarrassingly parallel).
   std::vector<double> Evaluate() {
+    if (streaming_) {
+      for (VertexId u = 0; u < g_.NumVertices(); ++u) {
+        if (!smaps_.Retired(u)) cb_[u] = smaps_.Finalize(u);
+      }
+      return std::move(cb_);
+    }
     std::vector<double> cb(g_.NumVertices());
     ParallelFor(0, g_.NumVertices(), threads_, /*grain=*/256,
                 [this, &cb](uint64_t u) {
@@ -133,6 +246,11 @@ class ParallelEngine {
       stats->connector_increments += ws->increments;
     }
     stats->exact_computations += g_.NumVertices();
+    stats->peak_live_maps =
+        std::max<uint64_t>(stats->peak_live_maps, smaps_.PeakLiveMaps());
+    stats->peak_live_map_bytes = std::max<uint64_t>(
+        stats->peak_live_map_bytes, smaps_.PeakLiveMapBytes());
+    stats->evicted_rebuilds += evictions_;
   }
 
  private:
@@ -144,6 +262,16 @@ class ParallelEngine {
   StripedLocks locks_;
   size_t threads_;
   KernelMode mode_;
+  bool streaming_;
+  uint64_t budget_bytes_;  // Live-map byte cap (0 = unlimited).
+  // Re-scan hysteresis for the budget check (see EvictToBudget).
+  std::atomic<uint64_t> next_evict_check_;
+  std::mutex evict_mu_;     // At most one evicting worker at a time.
+  uint64_t evictions_ = 0;  // Guarded by evict_mu_.
+  // Streaming mode only: per-vertex unprocessed-incident-edge counters
+  // (retire when 0) and the values collected at each retire point.
+  std::unique_ptr<std::atomic<uint32_t>[]> remaining_;
+  std::vector<double> cb_;
   std::vector<std::unique_ptr<WorkerScratch>> scratch_;
 };
 
@@ -153,11 +281,14 @@ std::vector<double> RunPEBW(const Graph& g, size_t threads,
                             RunPhase1&& phase1) {
   WallTimer timer;
   std::vector<double> cb;
+  bool streaming = !options.retain_smaps;
+  uint64_t budget = streaming ? options.smap_budget_bytes : 0;
   if (options.relabel_by_degree) {
     // Work on the degree-relabeled isomorphic copy, scatter values back.
     std::vector<VertexId> old_to_new;
     Graph relabeled = g.RelabeledByDegree(&old_to_new);
-    ParallelEngine engine(relabeled, threads, DefaultKernelMode());
+    ParallelEngine engine(relabeled, threads, DefaultKernelMode(), streaming,
+                          budget);
     phase1(&engine);
     std::vector<double> cb_rel = engine.Evaluate();
     engine.FillStats(stats);
@@ -166,7 +297,7 @@ std::vector<double> RunPEBW(const Graph& g, size_t threads,
       cb[v] = cb_rel[old_to_new[v]];
     }
   } else {
-    ParallelEngine engine(g, threads, DefaultKernelMode());
+    ParallelEngine engine(g, threads, DefaultKernelMode(), streaming, budget);
     phase1(&engine);
     cb = engine.Evaluate();
     engine.FillStats(stats);

@@ -12,6 +12,13 @@
 /// connector counting is commutative, so results are independent of
 /// scheduling and exactly equal the sequential values.
 ///
+/// Both engines stream by default: every processed edge atomically drops
+/// its endpoints' remaining-contribution counters, and the worker that
+/// takes a counter to zero evaluates that vertex's complete S map under
+/// its stripe lock and recycles the slab through its own pool — peak RSS
+/// tracks the live frontier. `retain_smaps` restores the
+/// build-everything-then-evaluate layout (identical values either way).
+///
 /// Each worker owns a DiamondKernel (word-packed Rule-B scratch, see
 /// core/diamond_kernel.h); with `relabel_by_degree` the engine runs on a
 /// degree-relabeled isomorphic copy so intersections scan degree-clustered
@@ -24,6 +31,7 @@
 #include <vector>
 
 #include "core/ego_types.h"
+#include "core/smap_store.h"
 #include "graph/graph.h"
 
 namespace egobw {
@@ -33,6 +41,16 @@ struct PEBWOptions {
   /// Run on a Graph::RelabeledByDegree copy (one O(m) rebuild, better
   /// locality on power-law graphs). Results are identical either way.
   bool relabel_by_degree = true;
+  /// Keep every S map resident until one final evaluation sweep (the
+  /// pre-streaming layout) instead of the default evaluate-and-free
+  /// retirement. Values are bit-identical either way; retained peak RSS
+  /// scales with n, streaming with the live frontier.
+  bool retain_smaps = false;
+  /// Streaming mode's byte cap on the live S maps: past it, the largest
+  /// incomplete maps are evicted and their vertices rebuilt locally at
+  /// their retire point (SearchStats::evicted_rebuilds). Identical values
+  /// either way; 0 lifts the cap.
+  uint64_t smap_budget_bytes = kDefaultSMapStreamBudgetBytes;
 };
 
 /// Vertex-granular parallel all-vertex ego-betweenness.

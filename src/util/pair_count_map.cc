@@ -133,8 +133,10 @@ void PairCountMap::Clear() {
 void RankPairSet::Init(uint32_t degree) {
   wide_ = degree >= kWideDegree;
   // A pair of this owner has at most degree - 2 connectors: only owners
-  // that could overflow a byte pay for 2-byte states.
-  wide_state_ = degree >= kWideStateDegree;
+  // that could overflow a byte are allowed to widen, and even they start
+  // narrow — WidenState fires on the first pair that actually saturates.
+  wide_state_ = false;
+  widenable_ = degree >= kWideStateDegree;
   dense_ = false;
   universe_ = static_cast<uint64_t>(degree) * (degree - 1) / 2;
   size_ = 0;
@@ -222,15 +224,31 @@ int32_t RankPairSet::AddConnector(uint32_t rx, uint32_t ry) {
     return prev;
   }
   uint32_t cap = CountCap();
-  uint32_t next = static_cast<uint32_t>(prev) < cap
-                      ? static_cast<uint32_t>(prev) + 1
-                      : cap;
+  if (static_cast<uint32_t>(prev) >= cap) {
+    if (!widenable_ || wide_state_) return prev;  // Saturated for good.
+    // First pair of this owner to reach the narrow cap: upgrade every
+    // state to 2 bytes in place and keep counting exactly. The upgrade
+    // point depends only on the insertion sequence, like Densify.
+    WidenState();
+    cap = CountCap();
+  }
+  uint32_t next = static_cast<uint32_t>(prev) + 1;
   if (dense_) {
     SetValAt(t, next + 1);
   } else {
     SetValAt(slot, next);
   }
   return prev;
+}
+
+void RankPairSet::WidenState() {
+  EGOBW_DCHECK(!wide_state_);
+  // Hash modes copy per slot, dense mode per triangular index; in both the
+  // raw byte value transports (dense keeps its state + 1 encoding).
+  vals16_.assign(vals_.begin(), vals_.end());
+  vals_.clear();
+  vals_.shrink_to_fit();
+  wide_state_ = true;
 }
 
 void RankPairSet::InsertNew(uint64_t t, uint32_t val) {

@@ -5,10 +5,11 @@
 //     The full-information store: the dynamic maintenance engine needs exact
 //     counts (and decrements), and the all-vertex pass evaluates every map.
 //   * RankPairSet — rank-packed pair key (position pair within the owner's
-//     sorted adjacency list) -> saturating state, 1 byte for owners whose
-//     pairs cannot exceed 254 connectors and 2 bytes above that degree (so
-//     ũb stays exact past 254). The bound-phase store: the incremental ũb
-//     only consumes small-count transitions, so entries shrink from 12 to
+//     sorted adjacency list) -> saturating state, 1 byte until a pair of a
+//     high-degree owner actually reaches 254 connectors, then widened in
+//     place to 2 bytes (so ũb stays exact past 254 without hubs paying the
+//     wide state up front). The bound-phase store: the incremental ũb only
+//     consumes small-count transitions, so entries shrink from 12 to
 //     5-6 bytes (9-10 for hubs of degree >= 2^16), and hot maps upgrade to
 //     a dense state-per-pair triangular array.
 // For each pair of u's neighbors both store either the ADJACENT marker (the
@@ -71,6 +72,10 @@ class PairCountMap {
   /// Removes all entries but keeps capacity.
   void Clear();
 
+  /// Slot capacity of the backing table (0 until the first insert or
+  /// Reserve). SlabPool uses this to match recycled slabs to requests.
+  size_t capacity() const { return keys_.size(); }
+
   /// Calls fn(key, value) for every entry. Iteration order is unspecified.
   template <typename Fn>
   void ForEach(Fn&& fn) const {
@@ -112,12 +117,15 @@ class PairCountMap {
 /// incremental ũb consumes Contribution(count) = 1/(count+1) deltas, which
 /// the cap floors at 1/(CountCap()+1) — still a sound upper bound, and
 /// bit-identical to exact counting until a pair's cap-exceeding connector.
-/// The state WIDTH is chosen per owner at Init: a pair of S_u has at most
-/// deg(u) - 2 connectors, so owners with deg(u) <= kCountCap + 2 can never
-/// saturate a byte and store 1-byte states; higher-degree owners store
-/// 2-byte states (cap kCountCap16 = 65534), which keeps ũb exactly equal to
-/// the paper's bound for every pair with up to 65534 connectors — in
-/// particular the >254-connector pairs that the 1-byte cap used to floor.
+/// The state WIDTH starts at 1 byte for every owner and upgrades lazily: a
+/// pair of S_u has at most deg(u) - 2 connectors, so owners with
+/// deg(u) <= kCountCap + 2 can never saturate a byte and stay narrow
+/// forever; a higher-degree owner widens to 2-byte states (cap
+/// kCountCap16 = 65534) in place the first time one of its pairs actually
+/// reaches kCountCap connectors. The upgrade point depends only on the
+/// insertion sequence (like Densify), and ũb stays exactly equal to the
+/// paper's bound for every pair with up to 65534 connectors — while hub
+/// maps whose pairs never near 254 connectors keep paying 1 byte.
 ///
 /// Representation is adaptive: open addressing (5- or 9-byte slots) while
 /// sparse, upgraded in place to a dense byte-per-pair triangular array the
@@ -133,10 +141,11 @@ class RankPairSet {
   /// Narrow (1-byte) state cap: counts saturate here for owners of degree
   /// <= kCountCap + 2, where saturation is impossible anyway.
   static constexpr uint8_t kCountCap = 254;
-  /// Wide (2-byte) state cap for owners of degree >= kWideStateDegree.
+  /// Wide (2-byte) state cap for owners that widened (see kWideStateDegree).
   static constexpr uint16_t kCountCap16 = 65534;
   /// Owners of at least this degree (the smallest where a pair could
-  /// exceed kCountCap connectors) store 2-byte states.
+  /// exceed kCountCap connectors) widen to 2-byte states on their first
+  /// saturating connector; smaller owners stay narrow forever.
   static constexpr uint32_t kWideStateDegree =
       static_cast<uint32_t>(kCountCap) + 3;
   /// Degrees >= this use the packed-u64 key fallback.
@@ -158,9 +167,15 @@ class RankPairSet {
   bool IsDense() const { return dense_; }
   /// True when keys are packed u64 (degree >= kWideDegree).
   bool IsWide() const { return wide_; }
-  /// True when states are 2 bytes (degree >= kWideStateDegree).
+  /// True once states widened to 2 bytes (a pair of an owner of degree
+  /// >= kWideStateDegree reached kCountCap connectors).
   bool IsWideState() const { return wide_state_; }
-  /// The saturation cap of this owner's connector counts.
+  /// True when this owner's degree allows the lazy 1 -> 2-byte upgrade.
+  bool CanWidenState() const { return widenable_; }
+  /// The CURRENT saturation cap of this owner's connector counts; grows
+  /// from kCountCap to kCountCap16 when the state width upgrades, so
+  /// callers doing value accounting must re-read it after every
+  /// AddConnector.
   uint32_t CountCap() const { return wide_state_ ? kCountCap16 : kCountCap; }
 
   /// Current state of pair (rx, ry): kAbsent, kAdjacent, or a count.
@@ -266,10 +281,14 @@ class RankPairSet {
   void GrowOrDensify(size_t needed_entries);
   void RehashTo(size_t new_cap);
   void Densify();
+  // In-place 1 -> 2-byte state upgrade (hash slots or dense triangular
+  // entries carry over verbatim; the dense state+1 encoding is preserved).
+  void WidenState();
 
   bool wide_ = false;
   bool dense_ = false;
   bool wide_state_ = false;
+  bool widenable_ = false;  // degree >= kWideStateDegree.
   uint64_t universe_ = 0;  // C(degree, 2).
   size_t size_ = 0;
   std::vector<uint32_t> keys32_;  // Hash keys, narrow mode.

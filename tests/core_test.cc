@@ -375,15 +375,17 @@ TEST(BoundStoreTest, SaturatedCountsFloorTheContribution) {
 
 TEST(BoundStoreTest, WideStateKeepsUbExactPast254Connectors) {
   // Regression for the PR-3 saturation caveat: a REAL >254-connector pair.
-  // The owner has degree 302 (> kCountCap + 2), so its RankPairSet stores
-  // 2-byte states and the incremental ũb must replay the counted store's
-  // arithmetic op-for-op through all 300 connectors — bit-identical values,
-  // where the old 1-byte state floored every connector past the 254th.
+  // The owner has degree 302 (> kCountCap + 2), so its RankPairSet widens
+  // to 2-byte states the moment the pair reaches 254 connectors, and the
+  // incremental ũb must replay the counted store's arithmetic op-for-op
+  // through all 300 connectors — bit-identical values, where the old
+  // 1-byte state floored every connector past the 254th.
   Graph g = Star(303);  // Center 0, degree 302.
   ASSERT_GE(g.Degree(0), RankPairSet::kWideStateDegree);
   SMapStore counted(g);
   BoundStore bounds(g);
-  ASSERT_TRUE(bounds.SetOf(0).IsWideState());
+  ASSERT_FALSE(bounds.SetOf(0).IsWideState());  // Lazy: narrow until needed.
+  ASSERT_TRUE(bounds.SetOf(0).CanWidenState());
   std::vector<std::pair<uint32_t, uint32_t>> one_pair(1);
   for (int i = 0; i < 300; ++i) {
     counted.AddConnectors(0, 1, 2, 1);  // Leaves 1, 2 sit at ranks 0, 1.
@@ -397,6 +399,7 @@ TEST(BoundStoreTest, WideStateKeepsUbExactPast254Connectors) {
     ASSERT_EQ(cb, bb) << "ũb diverges from exact at connector " << i + 1;
   }
   EXPECT_EQ(bounds.SetOf(0).Get(0, 1), 300);
+  EXPECT_TRUE(bounds.SetOf(0).IsWideState());  // Saturation upgraded it.
   EXPECT_NEAR(counted.Value(0),
               StaticVertexBound(302.0) - 1.0 + 1.0 / 301.0, kTol);
 }

@@ -315,15 +315,23 @@ TEST(RankPairSetTest, WideModeHandlesHubRanks) {
 }
 
 TEST(RankPairSetTest, WideStateKeepsExactCountsPast254) {
-  // Degree 300 > kCountCap + 2: a pair can exceed a byte, so the owner must
-  // select 2-byte states and count past the old 8-bit cap exactly.
+  // Degree 300 > kCountCap + 2: a pair can exceed a byte, so the owner is
+  // widenable — but states stay 1 byte until a pair actually reaches the
+  // narrow cap, then widen in place and keep counting exactly.
   RankPairSet s;
   s.Init(300);
-  EXPECT_TRUE(s.IsWideState());
-  EXPECT_EQ(s.CountCap(), static_cast<uint32_t>(RankPairSet::kCountCap16));
+  EXPECT_FALSE(s.IsWideState());
+  EXPECT_TRUE(s.CanWidenState());
+  EXPECT_EQ(s.CountCap(), static_cast<uint32_t>(RankPairSet::kCountCap));
   for (int32_t i = 0; i < 298; ++i) {
     EXPECT_EQ(s.AddConnector(1, 2), i == 0 ? RankPairSet::kAbsent : i) << i;
+    // The add that finds the pair at the narrow cap triggers the upgrade.
+    EXPECT_EQ(s.IsWideState(),
+              i + 1 > static_cast<int32_t>(RankPairSet::kCountCap))
+        << i;
   }
+  EXPECT_TRUE(s.IsWideState());
+  EXPECT_EQ(s.CountCap(), static_cast<uint32_t>(RankPairSet::kCountCap16));
   EXPECT_EQ(s.Get(1, 2), 298);  // Exact, not floored at 254.
   EXPECT_EQ(s.size(), 1u);
 }
