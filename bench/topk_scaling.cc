@@ -35,10 +35,14 @@
 #include <thread>
 #include <vector>
 
+#include <algorithm>
+#include <chrono>
+
 #include "core/opt_search.h"
 #include "graph/generators.h"
 #include "graph/graph.h"
 #include "parallel/parallel_opt_search.h"
+#include "util/cancellation.h"
 #include "util/timer.h"
 
 namespace {
@@ -251,6 +255,149 @@ int main(int argc, char** argv) {
   }
   out << "  ]\n}\n";
   std::printf("Wrote %s\n", out_path.c_str());
+
+  // ------------------------------------------------------- robustness --
+  // Companion rows for docs/robustness.md, written next to the scaling
+  // JSON: the cost of carrying an armed-but-never-firing deadline token
+  // through a full search (the poll overhead the stride amortizes), and
+  // the latency between a mid-run cancel and the engine returning.
+  std::string robust_path = "BENCH_robustness.json";
+  if (size_t slash = out_path.find_last_of('/'); slash != std::string::npos) {
+    robust_path = out_path.substr(0, slash + 1) + robust_path;
+  }
+
+  struct PollRow {
+    const char* engine;
+    size_t threads;
+    double bare = 0.0;
+    double armed = 0.0;
+  };
+  struct CancelRow {
+    const char* engine;
+    size_t threads;
+    double delay = 0.0;
+    double total = 0.0;
+    bool fired = false;
+  };
+  std::vector<PollRow> poll_rows;
+  std::vector<CancelRow> cancel_rows;
+  // One hour out: the token is consulted on every poll but never fires,
+  // so both runs of a pair do identical algorithmic work.
+  CancelToken far_token(std::chrono::milliseconds(3600L * 1000));
+  const size_t cancel_threads = std::min<size_t>(4, std::max<size_t>(
+      1, max_threads));
+
+  std::printf("Deadline-poll overhead, serial OptBSearch...\n");
+  {
+    PollRow row{"OptBSearch", 0};
+    WallTimer bare;
+    (void)RunOptBSearch(g, k, {.theta = theta});
+    row.bare = bare.Seconds();
+    WallTimer armed;
+    (void)RunOptBSearch(g, k, {.theta = theta, .cancel = &far_token});
+    row.armed = armed.Seconds();
+    poll_rows.push_back(row);
+  }
+  std::printf("Deadline-poll overhead, ParallelOptBSearch (%zu threads)...\n",
+              cancel_threads);
+  {
+    PollRow row{"ParallelOptBSearch", cancel_threads};
+    WallTimer bare;
+    (void)RunParallelOptBSearch(g, k, cancel_threads, {.theta = theta});
+    row.bare = bare.Seconds();
+    WallTimer armed;
+    (void)RunParallelOptBSearch(g, k, cancel_threads,
+                                {.theta = theta, .cancel = &far_token});
+    row.armed = armed.Seconds();
+    poll_rows.push_back(row);
+  }
+  for (const PollRow& r : poll_rows) {
+    std::printf("  %s: bare %.3f s, armed %.3f s (%+.2f%%)\n", r.engine,
+                r.bare, r.armed,
+                r.bare > 0 ? (r.armed / r.bare - 1.0) * 100.0 : 0.0);
+  }
+
+  // Cancel a quarter of the way into a run the bare row just timed; the
+  // reported latency is how long the engine took to unwind past that
+  // instant (poll stride + heap teardown + slab releases + thread joins).
+  auto measure_cancel = [&cancel_rows](
+                            const char* engine, size_t threads,
+                            double bare_seconds,
+                            const std::function<Result<TopKResult>(
+                                const CancelToken*)>& run) {
+    CancelRow row{engine, threads};
+    row.delay = std::max(0.001, bare_seconds / 4.0);
+    CancelToken token;
+    std::thread canceller([&token, &row] {
+      std::this_thread::sleep_for(std::chrono::duration<double>(row.delay));
+      token.Cancel();
+    });
+    WallTimer timer;
+    Result<TopKResult> res = run(&token);
+    row.total = timer.Seconds();
+    canceller.join();
+    row.fired = !res.ok();  // ok() means the search beat the canceller.
+    cancel_rows.push_back(row);
+  };
+  std::printf("Cancel-to-return latency, serial OptBSearch...\n");
+  measure_cancel("OptBSearch", 0, poll_rows[0].bare,
+                 [&g, k, theta](const CancelToken* c) {
+                   return RunOptBSearch(g, k, {.theta = theta, .cancel = c});
+                 });
+  std::printf("Cancel-to-return latency, ParallelOptBSearch (%zu threads)...\n",
+              cancel_threads);
+  measure_cancel("ParallelOptBSearch", cancel_threads, poll_rows[1].bare,
+                 [&g, k, theta, cancel_threads](const CancelToken* c) {
+                   return RunParallelOptBSearch(
+                       g, k, cancel_threads, {.theta = theta, .cancel = c});
+                 });
+  for (const CancelRow& r : cancel_rows) {
+    if (r.fired) {
+      std::printf("  %s: cancelled at %.3f s, returned %.3f s later\n",
+                  r.engine, r.delay, std::max(0.0, r.total - r.delay));
+    } else {
+      std::printf("  %s: search finished (%.3f s) before the %.3f s cancel\n",
+                  r.engine, r.total, r.delay);
+    }
+  }
+
+  std::ofstream rout(robust_path);
+  rout << "{\n  \"benchmark\": \"deadline_robustness\",\n";
+  std::snprintf(buf, sizeof(buf),
+                "  \"graph\": {\"generator\": \"rmat\", \"scale\": %u, "
+                "\"vertices\": %u, \"edges\": %llu},\n"
+                "  \"k\": %u,\n  \"theta\": %.3f,\n"
+                "  \"hardware_threads\": %u,\n",
+                scale, g.NumVertices(),
+                static_cast<unsigned long long>(g.NumEdges()), k, theta, hw);
+  rout << buf;
+  rout << "  \"poll_overhead_rows\": [\n";
+  for (size_t i = 0; i < poll_rows.size(); ++i) {
+    const PollRow& r = poll_rows[i];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"engine\": \"%s\", \"threads\": %zu, "
+                  "\"bare_seconds\": %.4f, \"armed_seconds\": %.4f, "
+                  "\"overhead_pct\": %.2f}%s\n",
+                  r.engine, r.threads, r.bare, r.armed,
+                  r.bare > 0 ? (r.armed / r.bare - 1.0) * 100.0 : 0.0,
+                  i + 1 < poll_rows.size() ? "," : "");
+    rout << buf;
+  }
+  rout << "  ],\n  \"cancel_to_return_rows\": [\n";
+  for (size_t i = 0; i < cancel_rows.size(); ++i) {
+    const CancelRow& r = cancel_rows[i];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"engine\": \"%s\", \"threads\": %zu, "
+                  "\"cancel_after_seconds\": %.4f, "
+                  "\"return_latency_seconds\": %.4f, \"fired\": %s}%s\n",
+                  r.engine, r.threads, r.delay,
+                  r.fired ? std::max(0.0, r.total - r.delay) : 0.0,
+                  r.fired ? "true" : "false",
+                  i + 1 < cancel_rows.size() ? "," : "");
+    rout << buf;
+  }
+  rout << "  ]\n}\n";
+  std::printf("Wrote %s\n", robust_path.c_str());
 
   if (child_failures) return 1;
   for (const Row& r : rows) {

@@ -2,14 +2,14 @@
 //
 //   egobw_cli GRAPH.txt [--k N] [--algo opt|base|full|naive]
 //             [--theta T] [--threads N] [--retain-smaps]
-//             [--smap-budget-mb M] [--inspect VERTEX]
+//             [--smap-budget-mb M] [--deadline-ms D] [--inspect VERTEX]
 //
-//   --k N          number of results (default 10)
+//   --k N          number of results (default 10, must be >= 1)
 //   --algo A       opt    OptBSearch, dynamic bound (default)
 //                  base   BaseBSearch, static bound
 //                  full   shared-map full computation, then sort
 //                  naive  per-vertex straightforward algorithm, then sort
-//   --theta T      OptBSearch gradient ratio (default 1.05)
+//   --theta T      OptBSearch gradient ratio, >= 1 (default 1.05)
 //   --threads N    worker threads (default 1 = serial; 0 = all hardware
 //                  threads). With --algo opt the bounded search runs as
 //                  ParallelOptBSearch (same answer, bit for bit); with
@@ -24,10 +24,25 @@
 //                  S maps in MiB — over it, the largest in-flight maps
 //                  are evicted and rebuilt locally at their retire point.
 //                  Default 2048; 0 lifts the cap. Same values either way.
+//   --deadline-ms D
+//                  cooperative deadline on the search itself (loading and
+//                  printing are not covered): past D milliseconds the
+//                  engine stops cleanly and the run exits 3 with a
+//                  DeadlineExceeded line on stderr (docs/robustness.md).
+//                  Ctrl-C (SIGINT) fires the same token, so an interrupted
+//                  run also shuts down cleanly instead of dying mid-pass.
+//                  Not supported by --algo naive (it predates the bound
+//                  machinery; a note is printed and the run is uncovered).
 //   --inspect V    additionally print ego-network stats for vertex V
 //
-// Exit code 0 on success, 1 on usage or input errors.
+// Exit codes: 0 success, 1 input/graph errors (bad path, malformed edge
+// list), 2 usage/flag errors, 3 deadline exceeded or interrupted.
+// Invalid user input always maps to one of these — it never trips an
+// internal EGOBW_CHECK.
 
+#include <cerrno>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -42,6 +57,7 @@
 #include "graph/io.h"
 #include "parallel/parallel_ebw.h"
 #include "parallel/parallel_opt_search.h"
+#include "util/cancellation.h"
 #include "util/table_printer.h"
 #include "util/timer.h"
 
@@ -49,13 +65,39 @@ namespace {
 
 using namespace egobw;
 
+constexpr int kExitInput = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitDeadline = 3;
+
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s GRAPH.txt [--k N] [--algo opt|base|full|naive] "
                "[--theta T] [--threads N] [--retain-smaps] "
-               "[--smap-budget-mb M] [--inspect VERTEX]\n",
+               "[--smap-budget-mb M] [--deadline-ms D] [--inspect VERTEX]\n",
                argv0);
-  return 1;
+  return kExitUsage;
+}
+
+// Strict decimal parsers: the whole token must parse and fit (atoll-style
+// silent truncation accepted "10x" as 10 and wrapped out-of-range values).
+bool ParseInt64(const char* s, int64_t* out) {
+  if (s == nullptr || *s == '\0') return false;
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(s, &end, 10);
+  if (errno != 0 || end == s || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+bool ParseDouble(const char* s, double* out) {
+  if (s == nullptr || *s == '\0') return false;
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(s, &end);
+  if (errno != 0 || end == s || *end != '\0') return false;
+  *out = v;
+  return true;
 }
 
 TopKResult TopKFromAll(const std::vector<double>& cb, uint32_t k) {
@@ -66,105 +108,179 @@ TopKResult TopKFromAll(const std::vector<double>& cb, uint32_t k) {
   return result;
 }
 
+// SIGINT fires the same cooperative token as --deadline-ms; Cancel() is a
+// single relaxed atomic store, so it is async-signal-safe.
+CancelToken* g_cancel = nullptr;
+
+void HandleSigint(int /*sig*/) {
+  if (g_cancel != nullptr) g_cancel->Cancel();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return Usage(argv[0]);
   std::string path = argv[1];
-  uint32_t k = 10;
+  int64_t k = 10;
   std::string algo = "opt";
   double theta = 1.05;
   int64_t threads = 1;
   bool retain_smaps = false;
-  uint64_t smap_budget_bytes = kDefaultSMapStreamBudgetBytes;
+  int64_t smap_budget_mb = -1;
+  int64_t deadline_ms = -1;
   int64_t inspect = -1;
   for (int i = 2; i < argc; ++i) {
     auto next = [&](const char* flag) -> const char* {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "%s expects a value\n", flag);
-        std::exit(1);
+        std::exit(kExitUsage);
       }
       return argv[++i];
     };
+    auto next_int = [&](const char* flag, int64_t min_value) -> int64_t {
+      const char* raw = next(flag);
+      int64_t v = 0;
+      if (!ParseInt64(raw, &v)) {
+        std::fprintf(stderr, "%s: '%s' is not an integer\n", flag, raw);
+        std::exit(kExitUsage);
+      }
+      if (v < min_value) {
+        std::fprintf(stderr, "%s must be >= %lld (got %lld)\n", flag,
+                     static_cast<long long>(min_value),
+                     static_cast<long long>(v));
+        std::exit(kExitUsage);
+      }
+      return v;
+    };
     if (std::strcmp(argv[i], "--k") == 0) {
-      k = static_cast<uint32_t>(std::atoll(next("--k")));
+      k = next_int("--k", 1);
     } else if (std::strcmp(argv[i], "--algo") == 0) {
       algo = next("--algo");
     } else if (std::strcmp(argv[i], "--theta") == 0) {
-      theta = std::atof(next("--theta"));
-    } else if (std::strcmp(argv[i], "--threads") == 0) {
-      threads = std::atoll(next("--threads"));
-      if (threads < 0) {
-        std::fprintf(stderr, "--threads must be >= 0\n");
-        return Usage(argv[0]);
+      const char* raw = next("--theta");
+      if (!ParseDouble(raw, &theta)) {
+        std::fprintf(stderr, "--theta: '%s' is not a number\n", raw);
+        return kExitUsage;
       }
+      if (!(theta >= 1.0)) {  // Also rejects NaN.
+        std::fprintf(stderr, "--theta must be >= 1 (got %s)\n", raw);
+        return kExitUsage;
+      }
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      threads = next_int("--threads", 0);
       if (threads == 0) {
         threads = std::max(1u, std::thread::hardware_concurrency());
       }
     } else if (std::strcmp(argv[i], "--retain-smaps") == 0) {
       retain_smaps = true;
     } else if (std::strcmp(argv[i], "--smap-budget-mb") == 0) {
-      smap_budget_bytes =
-          static_cast<uint64_t>(std::atoll(next("--smap-budget-mb"))) << 20;
+      smap_budget_mb = next_int("--smap-budget-mb", 0);
+    } else if (std::strcmp(argv[i], "--deadline-ms") == 0) {
+      deadline_ms = next_int("--deadline-ms", 0);
     } else if (std::strcmp(argv[i], "--inspect") == 0) {
-      inspect = std::atoll(next("--inspect"));
+      inspect = next_int("--inspect", 0);
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       return Usage(argv[0]);
     }
   }
+  if (algo != "opt" && algo != "base" && algo != "full" && algo != "naive") {
+    std::fprintf(stderr, "unknown --algo '%s'\n", algo.c_str());
+    return Usage(argv[0]);
+  }
+  uint64_t smap_budget_bytes =
+      smap_budget_mb < 0 ? kDefaultSMapStreamBudgetBytes
+                         : static_cast<uint64_t>(smap_budget_mb) << 20;
 
   Result<Graph> loaded = LoadEdgeList(path);
   if (!loaded.ok()) {
     std::fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
-    return 1;
+    return kExitInput;
   }
   const Graph& g = loaded.value();
   std::printf("loaded %s: n=%u m=%llu dmax=%u\n", path.c_str(),
               g.NumVertices(), static_cast<unsigned long long>(g.NumEdges()),
               g.MaxDegree());
 
+  // One token covers the search whether or not a deadline was given:
+  // --deadline-ms arms its clock, SIGINT (Ctrl-C) fires it manually.
+  CancelToken cancel =
+      deadline_ms >= 0 ? CancelToken(std::chrono::milliseconds(deadline_ms))
+                       : CancelToken();
+  g_cancel = &cancel;
+  std::signal(SIGINT, HandleSigint);
+
   WallTimer timer;
   SearchStats stats;
-  TopKResult top;
+  uint32_t k32 = static_cast<uint32_t>(std::min<int64_t>(k, ~0u));
+  Result<TopKResult> top_or = TopKResult{};
   if (algo == "opt" && threads > 1) {
     algo = "opt(" + std::to_string(threads) + "T)";
-    top = ParallelOptBSearch(g, k, static_cast<size_t>(threads),
-                             {.theta = theta}, &stats);
+    top_or = RunParallelOptBSearch(g, k32, static_cast<size_t>(threads),
+                                   {.theta = theta, .cancel = &cancel},
+                                   &stats);
   } else if (algo == "opt") {
-    top = OptBSearch(g, k, {.theta = theta}, &stats);
+    top_or = RunOptBSearch(g, k32, {.theta = theta, .cancel = &cancel},
+                           &stats);
   } else if (algo == "full" && threads > 1) {
     algo = "full(" + std::to_string(threads) + "T)";
     PEBWOptions options;
     options.retain_smaps = retain_smaps;
     options.smap_budget_bytes = smap_budget_bytes;
-    top = TopKFromAll(
-        EdgePEBW(g, static_cast<size_t>(threads), &stats, options), k);
-  } else if (algo == "base" || algo == "naive") {
+    options.cancel = &cancel;
+    Result<std::vector<double>> cb =
+        RunEdgePEBW(g, static_cast<size_t>(threads), options, &stats);
+    top_or = cb.ok() ? Result<TopKResult>(TopKFromAll(cb.value(), k32))
+                     : Result<TopKResult>(cb.status());
+  } else if (algo == "base") {
     if (threads > 1) {
       std::fprintf(stderr,
                    "note: --threads applies to --algo opt|full; "
-                   "running %s serially\n",
-                   algo.c_str());
+                   "running base serially\n");
     }
-    top = algo == "base" ? BaseBSearch(g, k, &stats)
-                         : TopKFromAll(ComputeAllEgoBetweennessNaive(g), k);
-  } else if (algo == "full") {
+    top_or = RunBaseBSearch(g, k32, {.cancel = &cancel}, &stats);
+  } else if (algo == "naive") {
+    if (threads > 1) {
+      std::fprintf(stderr,
+                   "note: --threads applies to --algo opt|full; "
+                   "running naive serially\n");
+    }
+    if (deadline_ms >= 0) {
+      std::fprintf(stderr,
+                   "note: --deadline-ms is not supported by --algo naive\n");
+    }
+    top_or = TopKFromAll(ComputeAllEgoBetweennessNaive(g), k32);
+  } else {
     // Default: the streaming evaluate-and-free pass under the byte
     // budget; --retain-smaps keeps the full S-map residency (identical
     // values, higher peak RSS).
     AllEgoOptions options;
     options.smap_budget_bytes = smap_budget_bytes;
-    top = retain_smaps
-              ? TopKFromAll(ComputeAllEgoBetweennessWithState(g, &stats).cb,
-                            k)
-              : TopKFromAll(ComputeAllEgoBetweenness(g, options, &stats), k);
-  } else {
-    std::fprintf(stderr, "unknown --algo '%s'\n", algo.c_str());
-    return Usage(argv[0]);
+    options.cancel = &cancel;
+    if (retain_smaps) {
+      Result<AllEgoState> state =
+          RunAllEgoBetweennessWithState(g, options, &stats);
+      top_or = state.ok()
+                   ? Result<TopKResult>(TopKFromAll(state.value().cb, k32))
+                   : Result<TopKResult>(state.status());
+    } else {
+      Result<std::vector<double>> cb =
+          RunAllEgoBetweenness(g, options, &stats);
+      top_or = cb.ok() ? Result<TopKResult>(TopKFromAll(cb.value(), k32))
+                       : Result<TopKResult>(cb.status());
+    }
   }
+  g_cancel = nullptr;
+  std::signal(SIGINT, SIG_DFL);
+  if (!top_or.ok()) {
+    std::fprintf(stderr, "error: %s\n", top_or.status().ToString().c_str());
+    return top_or.status().code() == StatusCode::kDeadlineExceeded
+               ? kExitDeadline
+               : kExitInput;
+  }
+  const TopKResult& top = top_or.value();
   std::printf("%s top-%u in %.3f s (%llu exact computations)\n\n",
-              algo.c_str(), k, timer.Seconds(),
+              algo.c_str(), k32, timer.Seconds(),
               static_cast<unsigned long long>(stats.exact_computations));
 
   TablePrinter table({"rank", "vertex", "ego-betweenness", "degree"});
@@ -178,8 +294,9 @@ int main(int argc, char** argv) {
 
   if (inspect >= 0) {
     if (inspect >= g.NumVertices()) {
-      std::fprintf(stderr, "--inspect vertex out of range\n");
-      return 1;
+      std::fprintf(stderr, "--inspect vertex out of range (n=%u)\n",
+                   g.NumVertices());
+      return kExitUsage;
     }
     VertexId v = static_cast<VertexId>(inspect);
     EgoNetwork net = BuildEgoNetwork(g, v);

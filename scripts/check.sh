@@ -33,6 +33,16 @@ echo "==> Streaming evaluate-and-free equivalence, vector path ENABLED"
 echo "==> Streaming evaluate-and-free equivalence, vector path DISABLED"
 EGOBW_DISABLE_SIMD=1 "$BUILD_DIR"/streaming_pebw_test --gtest_brief=1
 
+echo "==> Deadline/cancellation contracts + fault-injection invariants"
+"$BUILD_DIR"/cancellation_test --gtest_brief=1
+"$BUILD_DIR"/failpoint_test --gtest_brief=1
+
+echo "==> Env-armed failpoint leg (forced eviction injected via environment)"
+# One forced eviction early in every streaming test process: values must
+# stay bit-identical (the suite's own differentials enforce it).
+EGOBW_FAILPOINTS=1 EGOBW_FP_STREAMING_FORCE_EVICT=5 \
+  "$BUILD_DIR"/streaming_pebw_test --gtest_brief=1
+
 echo "==> Rule-B kernel smoke benchmark (small R-MAT)"
 "$BUILD_DIR"/kernel_report "$BUILD_DIR"/BENCH_kernels_smoke.json rmat 12
 cat "$BUILD_DIR"/BENCH_kernels_smoke.json
@@ -44,6 +54,23 @@ cat "$BUILD_DIR"/BENCH_topk_smoke.json
 echo "==> All-vertex streaming-vs-retained smoke (small R-MAT, differential)"
 "$BUILD_DIR"/pebw_report "$BUILD_DIR"/BENCH_pebw_smoke.json 12 2
 cat "$BUILD_DIR"/BENCH_pebw_smoke.json
+
+echo "==> ASAN+UBSAN leg (robustness surface under sanitizers)"
+# A second, sanitized tree: the cancellation teardown paths (mid-run
+# aborts releasing slabs/pools) and the hardened loader are exactly where
+# leaks and UB would hide. CI runs the full suite sanitized; this local
+# leg covers the robustness surface in a few minutes.
+ASAN_DIR="${BUILD_DIR}-asan"
+cmake -B "$ASAN_DIR" -S . -DCMAKE_BUILD_TYPE=Debug \
+  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -O1 -g" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined" \
+  -DEGOBW_BUILD_BENCH=OFF -DEGOBW_BUILD_EXAMPLES=OFF
+cmake --build "$ASAN_DIR" -j "$(nproc)" \
+  --target cancellation_test failpoint_test util_test graph_test
+"$ASAN_DIR"/cancellation_test --gtest_brief=1
+"$ASAN_DIR"/failpoint_test --gtest_brief=1
+"$ASAN_DIR"/util_test --gtest_brief=1
+"$ASAN_DIR"/graph_test --gtest_brief=1
 
 if [ -x "$BUILD_DIR/micro_kernels" ]; then
   echo "==> Micro-kernel smoke (google-benchmark)"

@@ -1,6 +1,8 @@
 #include "core/all_ego.h"
 
 #include <algorithm>
+#include <string>
+#include <utility>
 
 #include "core/edge_processor.h"
 #include "graph/degree_order.h"
@@ -9,22 +11,47 @@
 #include "util/timer.h"
 
 namespace egobw {
+namespace {
 
-AllEgoState ComputeAllEgoBetweennessWithState(const Graph& g,
-                                              SearchStats* stats) {
+// Shared cancellation epilogue of the two driver loops: edges never
+// processed before the deadline (every processed edge bumped
+// stats->edges_processed during this run).
+Status AllEgoDeadline(const char* what, const Graph& g, SearchStats* stats,
+                      uint64_t edges_before) {
+  uint64_t remaining = g.NumEdges() - (stats->edges_processed - edges_before);
+  stats->frontier_remaining += remaining;
+  return Status::DeadlineExceeded(std::string(what) + ": cancelled with " +
+                                  std::to_string(remaining) +
+                                  " edges unprocessed");
+}
+
+}  // namespace
+
+Result<AllEgoState> RunAllEgoBetweennessWithState(const Graph& g,
+                                                  const AllEgoOptions& options,
+                                                  SearchStats* stats) {
   SearchStats local_stats;
   if (stats == nullptr) stats = &local_stats;
   WallTimer timer;
+  uint64_t edges_before = stats->edges_processed;
   AllEgoState state;
   state.smaps = std::make_unique<SMapStore>(g);
   EdgeSet edges(g);
   DegreeOrder order(g);
   ForwardStar fwd(g, order);
+  CancelPoller poller(options.cancel);
   EdgeProcessor proc(g, edges, state.smaps.get(), stats);
   // Processing forward edges in ≺ order touches each edge exactly once and
   // scans the lower-degree endpoint of each edge: O(α m) enumeration. The
   // forward-star view makes each vertex's turn one contiguous span.
-  for (VertexId u : order.Order()) proc.ProcessForwardEdgesOf(u, fwd);
+  for (VertexId u : order.Order()) {
+    if (poller.Expired()) {
+      stats->elapsed_seconds += timer.Seconds();
+      return AllEgoDeadline("AllEgoBetweennessWithState", g, stats,
+                            edges_before);
+    }
+    proc.ProcessForwardEdgesOf(u, fwd);
+  }
   state.cb.resize(g.NumVertices());
   for (VertexId u = 0; u < g.NumVertices(); ++u) {
     EGOBW_DCHECK(proc.Complete(u));
@@ -39,17 +66,25 @@ AllEgoState ComputeAllEgoBetweennessWithState(const Graph& g,
   return state;
 }
 
-std::vector<double> ComputeAllEgoBetweenness(const Graph& g,
-                                             const AllEgoOptions& options,
-                                             SearchStats* stats) {
+AllEgoState ComputeAllEgoBetweennessWithState(const Graph& g,
+                                              SearchStats* stats) {
+  return std::move(RunAllEgoBetweennessWithState(g, AllEgoOptions{}, stats))
+      .value();
+}
+
+Result<std::vector<double>> RunAllEgoBetweenness(const Graph& g,
+                                                 const AllEgoOptions& options,
+                                                 SearchStats* stats) {
   SearchStats local_stats;
   if (stats == nullptr) stats = &local_stats;
   WallTimer timer;
+  uint64_t edges_before = stats->edges_processed;
   SMapStore smaps(g);
   EdgeSet edges(g);
   DegreeOrder order(g);
   ForwardStar fwd(g, order);
   SlabPool pool;
+  CancelPoller poller(options.cancel);
   std::vector<double> cb(g.NumVertices());
   EdgeProcessor proc(g, edges, &smaps, stats);
   // Streaming evaluate-and-free: in ≺ order every backward edge of u lands
@@ -69,7 +104,15 @@ std::vector<double> ComputeAllEgoBetweenness(const Graph& g,
                            smaps.Release(w, &pool);
                          }
                        });
-  for (VertexId u : order.Order()) proc.ProcessForwardEdgesOf(u, fwd);
+  for (VertexId u : order.Order()) {
+    if (poller.Expired()) {
+      stats->elapsed_seconds += timer.Seconds();
+      // The store, pool and partial cb vector unwind here — abort releases
+      // every live map and slab (ASAN-checked in the robustness tests).
+      return AllEgoDeadline("AllEgoBetweenness", g, stats, edges_before);
+    }
+    proc.ProcessForwardEdgesOf(u, fwd);
+  }
   // Isolated vertices never see a processed edge: finalize them directly
   // (same evaluation path, so even the -0.0 of degree 0 matches retained).
   for (VertexId u = 0; u < g.NumVertices(); ++u) {
@@ -85,6 +128,12 @@ std::vector<double> ComputeAllEgoBetweenness(const Graph& g,
       stats->peak_live_map_bytes, smaps.PeakLiveMapBytes());
   stats->elapsed_seconds += timer.Seconds();
   return cb;
+}
+
+std::vector<double> ComputeAllEgoBetweenness(const Graph& g,
+                                             const AllEgoOptions& options,
+                                             SearchStats* stats) {
+  return std::move(RunAllEgoBetweenness(g, options, stats)).value();
 }
 
 std::vector<double> ComputeAllEgoBetweenness(const Graph& g,

@@ -12,6 +12,8 @@
 #include "core/ego_types.h"
 #include "core/smap_store.h"
 #include "graph/graph.h"
+#include "util/cancellation.h"
+#include "util/status.h"
 
 namespace egobw {
 
@@ -21,8 +23,16 @@ struct AllEgoOptions {
   /// largest incomplete maps, whose vertices fall back to an exact local
   /// rebuild at their retire point (counted in
   /// SearchStats::evicted_rebuilds). Identical values either way; 0 lifts
-  /// the cap (peak bytes then track the unbounded live frontier).
+  /// the cap (peak bytes then track the unbounded live frontier). Ignored
+  /// by the retained mode (it keeps everything resident by design).
   uint64_t smap_budget_bytes = kDefaultSMapStreamBudgetBytes;
+  /// Cooperative cancellation token, polled once per vertex turn of the
+  /// driver loop. All-vertex passes support only the ABORT contract (a
+  /// partial CB vector would hold wrong values, not bounds): a fired token
+  /// returns Status kDeadlineExceeded, with every map and slab released and
+  /// `stats->frontier_remaining` counting the unprocessed edges. Null =
+  /// never cancel.
+  const CancelToken* cancel = nullptr;
 };
 
 /// CB for every vertex. O(α m d_max) worst case, near-linear in practice.
@@ -40,7 +50,15 @@ struct AllEgoOptions {
 std::vector<double> ComputeAllEgoBetweenness(const Graph& g,
                                              SearchStats* stats = nullptr);
 
-/// Streaming pass with explicit options (see AllEgoOptions).
+/// Streaming pass with explicit options (see AllEgoOptions); the
+/// cancellable canonical entry point.
+Result<std::vector<double>> RunAllEgoBetweenness(const Graph& g,
+                                                 const AllEgoOptions& options,
+                                                 SearchStats* stats = nullptr);
+
+/// Streaming pass with explicit options (see AllEgoOptions). Legacy entry
+/// point: aborts the process on cancellation — use RunAllEgoBetweenness
+/// when passing a CancelToken.
 std::vector<double> ComputeAllEgoBetweenness(const Graph& g,
                                              const AllEgoOptions& options,
                                              SearchStats* stats = nullptr);
@@ -56,6 +74,13 @@ struct AllEgoState {
 /// resident and returns them with the values (see AllEgoState). This is
 /// the seed state of the dynamic engines (LazyTopK, LocalUpdateEngine);
 /// the default streaming pass frees each map at its retire point instead.
+/// Cancellable form: only `options.cancel` applies (the byte budget is a
+/// streaming-mode knob).
+Result<AllEgoState> RunAllEgoBetweennessWithState(
+    const Graph& g, const AllEgoOptions& options,
+    SearchStats* stats = nullptr);
+
+/// Retained mode, legacy entry point (no cancellation).
 AllEgoState ComputeAllEgoBetweennessWithState(const Graph& g,
                                               SearchStats* stats = nullptr);
 

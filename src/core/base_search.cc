@@ -1,5 +1,9 @@
 #include "core/base_search.h"
 
+#include <optional>
+#include <string>
+#include <utility>
+
 #include "core/bounded_search.h"
 #include "core/edge_processor.h"
 #include "core/smap_store.h"
@@ -9,7 +13,9 @@
 
 namespace egobw {
 
-TopKResult BaseBSearch(const Graph& g, uint32_t k, SearchStats* stats) {
+Result<TopKResult> RunBaseBSearch(const Graph& g, uint32_t k,
+                                  const BaseBSearchOptions& options,
+                                  SearchStats* stats) {
   SearchStats local_stats;
   if (stats == nullptr) stats = &local_stats;
   WallTimer timer;
@@ -26,9 +32,17 @@ TopKResult BaseBSearch(const Graph& g, uint32_t k, SearchStats* stats) {
   // is rebuilt locally, evaluated, and discarded.
   BoundEdgeProcessor proc(g, edge_set, /*bounds=*/nullptr, stats);
   TopKAccumulator top(k);
+  CancelPoller poller(options.cancel);
 
+  bool cancelled = false;
+  uint64_t frontier = 0;
   uint32_t scanned = 0;
   for (VertexId u : order.Order()) {
+    if (poller.Expired()) {
+      cancelled = true;
+      frontier = n - scanned;
+      break;
+    }
     double ub = StaticVertexBound(g.Degree(u));
     // ≺ order is non-increasing in the static bound, so the first vertex
     // strictly below the boundary proves everything after it out too.
@@ -39,14 +53,34 @@ TopKResult BaseBSearch(const Graph& g, uint32_t k, SearchStats* stats) {
       break;
     }
     ++scanned;
-    double cb = proc.ComputeExactCb(u);
+    std::optional<double> cb = proc.ComputeExactCb(u, &poller);
+    if (!cb.has_value()) {
+      cancelled = true;
+      frontier = n - scanned + 1;  // u itself was never decided.
+      break;
+    }
     ++stats->exact_computations;
-    top.Offer(u, cb);
+    top.Offer(u, *cb);
   }
 
-  result = top.Take();
   stats->elapsed_seconds += timer.Seconds();
+  if (cancelled) {
+    stats->frontier_remaining += frontier;
+    if (options.on_cancel == OnCancel::kAbort) {
+      return Status::DeadlineExceeded(
+          "BaseBSearch: cancelled with " + std::to_string(frontier) +
+          " candidates undecided");
+    }
+    result = top.Take();
+    result.certified = false;
+    return result;
+  }
+  result = top.Take();
   return result;
+}
+
+TopKResult BaseBSearch(const Graph& g, uint32_t k, SearchStats* stats) {
+  return std::move(RunBaseBSearch(g, k, {}, stats)).value();
 }
 
 }  // namespace egobw

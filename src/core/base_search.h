@@ -14,13 +14,34 @@
 
 #include "core/ego_types.h"
 #include "graph/graph.h"
+#include "util/cancellation.h"
+#include "util/status.h"
 
 namespace egobw {
+
+/// Cancellation knobs of BaseBSearch (it has no tuning parameters).
+struct BaseBSearchOptions {
+  /// Cooperative cancellation token, polled once per scanned vertex and at
+  /// every edge boundary inside an exact computation. Null = never cancel.
+  const CancelToken* cancel = nullptr;
+  /// What a fired token makes the search return (see util/cancellation.h).
+  OnCancel on_cancel = OnCancel::kAbort;
+};
 
 /// Returns the top-k vertices by ego-betweenness (cb desc, id asc).
 /// k is clamped to n. O(α m d_max) time; space is one vertex's S map at a
 /// time (the scanned vertex's local rebuild), not the former O(m d_max)
 /// retained store.
+///
+/// Cancellation (docs/robustness.md): with a fired `options.cancel`, kAbort
+/// returns Status kDeadlineExceeded; kAnytime returns the accumulator
+/// contents with TopKResult::certified = false. A null or unfired token
+/// returns the exact answer, bit-identical to the token-free run.
+Result<TopKResult> RunBaseBSearch(const Graph& g, uint32_t k,
+                                  const BaseBSearchOptions& options = {},
+                                  SearchStats* stats = nullptr);
+
+/// Legacy entry point: RunBaseBSearch without cancellation.
 TopKResult BaseBSearch(const Graph& g, uint32_t k,
                        SearchStats* stats = nullptr);
 

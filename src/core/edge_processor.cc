@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/failpoint.h"
+
 namespace egobw {
 
 EdgeProcessor::EdgeProcessor(const Graph& g, const EdgeSet& edges,
@@ -64,6 +66,23 @@ void EdgeProcessor::EvictToBudget(VertexId protect) {
       NextEvictionCheckBytes(smaps_->LiveMapBytes(), budget_bytes_);
 }
 
+void EdgeProcessor::ForceEvictOne(VertexId protect) {
+  VertexId victim = ~0u;
+  size_t victim_bytes = 0;
+  for (VertexId v = 0; v < g_.NumVertices(); ++v) {
+    if (v == protect || remaining_[v] == 0) continue;
+    if (smaps_->Retired(v) || smaps_->Evicted(v)) continue;
+    size_t bytes = smaps_->MapBytesOf(v);
+    if (bytes > victim_bytes) {
+      victim_bytes = bytes;
+      victim = v;
+    }
+  }
+  if (victim == ~0u) return;
+  smaps_->Evict(victim);
+  ++stats_->evicted_rebuilds;
+}
+
 void EdgeProcessor::ProcessMarkedEdge(VertexId u, VertexId v, EdgeId e) {
   EGOBW_DCHECK(!Processed(e));
   processed_[e] = 1;
@@ -97,6 +116,7 @@ void EdgeProcessor::ProcessMarkedEdge(VertexId u, VertexId v, EdgeId e) {
   --remaining_[u];
   --remaining_[v];
   if (retire_) {
+    if (EGOBW_FAILPOINT("streaming.force_evict")) ForceEvictOne(current_turn_);
     if (remaining_[u] == 0) retire_(u);
     if (remaining_[v] == 0) retire_(v);
     if (budget_bytes_ != 0 &&
@@ -124,7 +144,11 @@ void EdgeProcessor::ProcessAllEdgesOf(VertexId u) {
       estimate += std::min(g_.Degree(u), g_.Degree(nbrs[i]));
     }
   }
+  const bool was_evicted = smaps_->Evicted(u);
   smaps_->ReserveFor(u, WedgeReserveEstimate(estimate));
+  // A reservation that fails (fault injection via smap_store.reserve_for)
+  // evicts S_u instead of growing it, rerouting u to the rebuild path.
+  if (!was_evicted && smaps_->Evicted(u)) ++stats_->evicted_rebuilds;
   MarkNeighborhood(u);
   for (size_t i = 0; i < nbrs.size(); ++i) {
     if (!Processed(eids[i])) ProcessMarkedEdge(u, nbrs[i], eids[i]);
@@ -160,6 +184,9 @@ void EdgeProcessor::ProcessForwardEdgesOf(VertexId u, const ForwardStar& fwd) {
       }
     }
     smaps_->ReserveFor(u, WedgeReserveEstimate(estimate), pool_);
+    // A reservation that fails (fault injection via smap_store.reserve_for)
+    // evicts S_u instead of growing it, rerouting u to the rebuild path.
+    if (smaps_->Evicted(u)) ++stats_->evicted_rebuilds;
   }
   MarkNeighborhood(u);
   for (size_t i = 0; i < nbrs.size(); ++i) {
@@ -209,9 +236,10 @@ BoundEdgeProcessor::BoundEdgeProcessor(const Graph& g, const EdgeSet& edges,
       processed_(g.NumEdges(), 0),
       scratch_(g.NumVertices()) {}
 
-double BoundEdgeProcessor::ComputeExactCb(VertexId u) {
+std::optional<double> BoundEdgeProcessor::ComputeExactCb(VertexId u,
+                                                         CancelPoller* poller) {
   return ComputeExactCbImpl(
-      g_, edges_, mode_, &scratch_, u,
+      g_, edges_, mode_, &scratch_, u, poller,
       [this](EdgeId e) { return bounds_ != nullptr && !Processed(e); },
       [this, u](uint64_t estimate) {
         if (bounds_ != nullptr) bounds_->ReserveFor(u, estimate);

@@ -33,6 +33,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -43,6 +44,7 @@
 #include "graph/edge_set.h"
 #include "graph/forward_star.h"
 #include "graph/graph.h"
+#include "util/cancellation.h"
 #include "util/neighborhood_bitmap.h"
 
 namespace egobw {
@@ -148,6 +150,11 @@ class EdgeProcessor {
   // whose turn is running) until live bytes sit below 3/4 of the budget.
   void EvictToBudget(VertexId protect);
 
+  // Fault injection (streaming.force_evict): evicts the single largest
+  // incomplete live map regardless of the budget, exercising the
+  // evict-then-rebuild path at an arbitrary edge index.
+  void ForceEvictOne(VertexId protect);
+
   const Graph& g_;
   const EdgeSet& edges_;
   SMapStore* smaps_;
@@ -240,11 +247,17 @@ struct EgoRebuildScratch {
 ///     in the parallel engine; no-op in pure mode),
 ///   * publish(v, e) — claim + stats + bound publication for edge (u, v),
 ///     reading s->common and s->pos_pairs, called after both are filled.
+/// `poller` (nullable) is checked once per incident edge — the claim
+/// boundary: nullopt is returned the moment it fires, before that edge's
+/// intersection runs. Bound marks already published stay published (they
+/// remain sound upper-bound tightenings; the search is quitting anyway),
+/// and with a null or unfired poller the arithmetic and its order are
+/// exactly the poller-free ones, so results stay bit-identical.
 template <typename UnclaimedFn, typename ReserveFn, typename PublishFn>
-double ComputeExactCbImpl(const Graph& g, const EdgeSet& edges,
-                          KernelMode mode, EgoRebuildScratch* s, VertexId u,
-                          UnclaimedFn&& unclaimed, ReserveFn&& reserve,
-                          PublishFn&& publish) {
+std::optional<double> ComputeExactCbImpl(
+    const Graph& g, const EdgeSet& edges, KernelMode mode,
+    EgoRebuildScratch* s, VertexId u, CancelPoller* poller,
+    UnclaimedFn&& unclaimed, ReserveFn&& reserve, PublishFn&& publish) {
   auto nbrs = g.Neighbors(u);
   auto eids = g.IncidentEdges(u);
   uint64_t d = g.Degree(u);
@@ -266,6 +279,7 @@ double ComputeExactCbImpl(const Graph& g, const EdgeSet& edges,
   s->marker.Clear();
   for (VertexId w : nbrs) s->marker.Set(w);
   for (size_t i = 0; i < nbrs.size(); ++i) {
+    if (poller != nullptr && poller->Expired()) return std::nullopt;
     VertexId v = nbrs[i];
     IntersectNeighborhoods(g, edges, s->marker, u, v, &s->common);
     s->pos_pairs.clear();
@@ -299,9 +313,9 @@ double ComputeExactCbImpl(const Graph& g, const EdgeSet& edges,
 inline double RebuildCompleteEgoCb(const Graph& g, const EdgeSet& edges,
                                    KernelMode mode, EgoRebuildScratch* s,
                                    VertexId u) {
-  return ComputeExactCbImpl(
-      g, edges, mode, s, u, [](EdgeId) { return false; }, [](uint64_t) {},
-      [](VertexId, EdgeId) {});
+  return *ComputeExactCbImpl(
+      g, edges, mode, s, u, /*poller=*/nullptr, [](EdgeId) { return false; },
+      [](uint64_t) {}, [](VertexId, EdgeId) {});
 }
 
 /// The top-k engines' serial edge engine (see file comment): publishes
@@ -329,7 +343,12 @@ class BoundEdgeProcessor {
   /// (b) rebuilds S_u with exact int32 connector counts in a local
   /// scratch map, sharing each edge's intersection and kernel run.
   /// Returns CB(u), bit-identical to evaluating a complete retained map.
-  double ComputeExactCb(VertexId u);
+  double ComputeExactCb(VertexId u) { return *ComputeExactCb(u, nullptr); }
+
+  /// Cancellable form: `poller` (nullable) is checked at each edge-claim
+  /// boundary; nullopt means it fired mid-candidate (already-published bound
+  /// marks stay — they remain sound).
+  std::optional<double> ComputeExactCb(VertexId u, CancelPoller* poller);
 
   /// Bytes of heap memory held by the local scratch structures.
   size_t ScratchMemoryBytes() const {

@@ -20,8 +20,17 @@ struct TopKEntry {
   double cb;        ///< Exact ego-betweenness of `vertex`.
 };
 
-/// Top-k answer ordered by (cb descending, vertex ascending).
-using TopKResult = std::vector<TopKEntry>;
+/// Top-k answer ordered by (cb descending, vertex ascending). Behaves as a
+/// vector of entries; `certified` distinguishes a complete answer from the
+/// partial accumulator contents an anytime-cancelled search returns (see
+/// util/cancellation.h and docs/robustness.md): certified == false means
+/// every entry's cb is exact, but vertices never evaluated before the
+/// deadline could have displaced entries — SearchStats::frontier_remaining
+/// counts them.
+struct TopKResult : public std::vector<TopKEntry> {
+  using std::vector<TopKEntry>::vector;
+  bool certified = true;
+};
 
 /// Instrumentation counters filled by the searches. Table II of the paper
 /// reports exact_computations; the ablation bench reports the rest.
@@ -47,6 +56,12 @@ struct SearchStats {
                                      ///< of live S-map heap bytes — what
                                      ///< the streaming budget caps.
                                      ///< Max-merged, not summed.
+  uint64_t frontier_remaining = 0;  ///< Cancelled runs: work never decided
+                                    ///< before the deadline — undecided
+                                    ///< candidates for the top-k engines,
+                                    ///< unprocessed edges for the
+                                    ///< all-vertex passes. 0 on complete
+                                    ///< runs.
   double elapsed_seconds = 0.0;     ///< Wall-clock time of the search.
 };
 

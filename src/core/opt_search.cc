@@ -1,5 +1,9 @@
 #include "core/opt_search.h"
 
+#include <optional>
+#include <string>
+#include <utility>
+
 #include "core/bounded_search.h"
 #include "core/edge_processor.h"
 #include "core/smap_store.h"
@@ -11,8 +15,9 @@
 
 namespace egobw {
 
-TopKResult OptBSearch(const Graph& g, uint32_t k,
-                      const OptBSearchOptions& options, SearchStats* stats) {
+Result<TopKResult> RunOptBSearch(const Graph& g, uint32_t k,
+                                 const OptBSearchOptions& options,
+                                 SearchStats* stats) {
   EGOBW_CHECK_MSG(options.theta >= 1.0, "theta must be >= 1");
   SearchStats local_stats;
   if (stats == nullptr) stats = &local_stats;
@@ -29,11 +34,21 @@ TopKResult OptBSearch(const Graph& g, uint32_t k,
   TopKAccumulator top(k);
   CandidateGate gate(options.theta);
   SearchObserver* obs = options.observer;
+  CancelPoller poller(options.cancel);
 
   IndexedMaxHeap heap(n);
   SeedStaticBounds(g, &heap);
 
+  // Candidates never decided when a cancellation fires: the heap residue
+  // plus, mid-candidate, the popped vertex itself.
+  uint64_t frontier = 0;
+  bool cancelled = false;
   while (!heap.empty()) {
+    if (poller.Expired()) {
+      cancelled = true;
+      frontier = heap.size();
+      break;
+    }
     auto [v, stale_bound] = heap.PopMax();
     if (obs != nullptr) obs->OnPop(v, stale_bound);
 
@@ -62,15 +77,36 @@ TopKResult OptBSearch(const Graph& g, uint32_t k,
 
     // EgoBWCal: publish v's remaining edges' bound marks and rebuild S_v
     // with exact counts locally (split pipeline; see BoundEdgeProcessor).
-    double cb = proc.ComputeExactCb(v);
+    std::optional<double> cb = proc.ComputeExactCb(v, &poller);
+    if (!cb.has_value()) {
+      cancelled = true;
+      frontier = heap.size() + 1;  // v itself was never decided.
+      break;
+    }
     ++stats->exact_computations;
-    if (obs != nullptr) obs->OnExact(v, cb);
-    top.Offer(v, cb);
+    if (obs != nullptr) obs->OnExact(v, *cb);
+    top.Offer(v, *cb);
   }
 
-  result = top.Take();
   stats->elapsed_seconds += timer.Seconds();
+  if (cancelled) {
+    stats->frontier_remaining += frontier;
+    if (options.on_cancel == OnCancel::kAbort) {
+      return Status::DeadlineExceeded(
+          "OptBSearch: cancelled with " + std::to_string(frontier) +
+          " candidates undecided");
+    }
+    result = top.Take();
+    result.certified = false;
+    return result;
+  }
+  result = top.Take();
   return result;
+}
+
+TopKResult OptBSearch(const Graph& g, uint32_t k,
+                      const OptBSearchOptions& options, SearchStats* stats) {
+  return std::move(RunOptBSearch(g, k, options, stats)).value();
 }
 
 }  // namespace egobw

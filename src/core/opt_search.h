@@ -22,6 +22,8 @@
 
 #include "core/ego_types.h"
 #include "graph/graph.h"
+#include "util/cancellation.h"
+#include "util/status.h"
 
 namespace egobw {
 
@@ -44,11 +46,30 @@ struct OptBSearchOptions {
   double theta = 1.05;
   /// Optional hook receiving pops/bounds/pushbacks/exact computations.
   SearchObserver* observer = nullptr;
+  /// Cooperative cancellation token, polled at every heap pop and at every
+  /// edge-claim boundary inside an exact computation. Null = never cancel.
+  const CancelToken* cancel = nullptr;
+  /// What a fired token makes the search return (see util/cancellation.h).
+  OnCancel on_cancel = OnCancel::kAbort;
 };
 
 /// Returns the top-k vertices by ego-betweenness (cb desc, id asc).
 /// Same worst-case complexity as BaseBSearch, substantially faster in
 /// practice thanks to the tighter, dynamically-updated bound.
+///
+/// Cancellation (docs/robustness.md): with a fired `options.cancel`, kAbort
+/// returns Status kDeadlineExceeded; kAnytime returns the accumulator
+/// contents with TopKResult::certified = false. Either way
+/// `stats->frontier_remaining` counts the candidates never decided. A null
+/// or unfired token returns the exact answer, bit-identical to the
+/// token-free run.
+Result<TopKResult> RunOptBSearch(const Graph& g, uint32_t k,
+                                 const OptBSearchOptions& options = {},
+                                 SearchStats* stats = nullptr);
+
+/// Legacy entry point: as RunOptBSearch, but aborts the process on an
+/// abort-mode cancellation instead of returning a Status — use
+/// RunOptBSearch when passing a CancelToken.
 TopKResult OptBSearch(const Graph& g, uint32_t k,
                       const OptBSearchOptions& options = {},
                       SearchStats* stats = nullptr);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/failpoint.h"
 #include "util/hash.h"
 #include "util/logging.h"
 #include "util/simd_intersect.h"
@@ -171,6 +172,14 @@ void SMapStore::ReserveFor(VertexId u, uint64_t additional) {
 
 void SMapStore::ReserveFor(VertexId u, uint64_t additional, SlabPool* pool) {
   if (state_[u] != kLive) return;  // Evicted maps never regrow.
+  if (EGOBW_FAILPOINT("smap_store.reserve_for")) {
+    // Simulated allocation failure of the streaming reservation: degrade u
+    // to the evicted path — its publications are dropped from here on and
+    // its CB is rebuilt locally at the retire point, exactly as if the
+    // byte budget had evicted it.
+    Evict(u);
+    return;
+  }
   if (pool != nullptr && maps_[u].capacity() == 0) {
     uint64_t d = degree_[u];
     uint64_t universe = d * (d - 1) / 2;
@@ -265,6 +274,8 @@ size_t SMapStore::MemoryBytes() const {
 // -------------------------------------------------------------- SlabPool --
 
 PairCountMap SlabPool::Acquire(uint64_t entries_hint) {
+  // Fault injection: adoption fails, the caller grows from a cold table.
+  if (EGOBW_FAILPOINT("slab_pool.acquire")) return PairCountMap();
   if (maps_.empty()) return PairCountMap();
   // Smallest slab whose table holds the hint below the 3/4 load factor;
   // the largest slab as a fallback (a head start beats a cold table).

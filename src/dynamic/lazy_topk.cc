@@ -1,5 +1,7 @@
 #include "dynamic/lazy_topk.h"
 
+#include <string>
+
 #include "core/all_ego.h"
 
 namespace egobw {
@@ -39,22 +41,40 @@ LazyTopK::LazyTopK(const Graph& initial, uint32_t k)
 }
 
 TopKResult LazyTopK::CurrentTopK() {
-  // Refresh members that went stale under deletions. Their true CB is >=
-  // the stored value, so refreshing only strengthens them — membership
-  // cannot change, no invariant repair is needed.
-  std::vector<std::pair<double, VertexId>> stale;
-  for (const auto& entry : r_) {
-    if (!exact_[entry.second]) stale.push_back(entry);
+  bool certified = true;
+  // Complete any repair a fired deadline deferred in an earlier update.
+  if (pending_restore_) {
+    if (RestoreInvariant()) {
+      pending_restore_ = false;
+    } else {
+      certified = false;
+    }
   }
-  for (const auto& [old_val, v] : stale) {
-    double cb = RecomputeExact(v);
-    EGOBW_DCHECK(cb >= old_val - kEps);
-    UpdateRMember(v, old_val, cb);
+  if (certified) {
+    // Refresh members that went stale under deletions. Their true CB is >=
+    // the stored value, so refreshing only strengthens them — membership
+    // cannot change, no invariant repair is needed. With a fired token the
+    // loop stops early: the remaining stale members keep their (valid
+    // lower-bound) values and the answer degrades to uncertified.
+    std::vector<std::pair<double, VertexId>> stale;
+    for (const auto& entry : r_) {
+      if (!exact_[entry.second]) stale.push_back(entry);
+    }
+    for (const auto& [old_val, v] : stale) {
+      if (cancel_ != nullptr && cancel_->Expired()) {
+        certified = false;
+        break;
+      }
+      double cb = RecomputeExact(v);
+      EGOBW_DCHECK(cb >= old_val - kEps);
+      UpdateRMember(v, old_val, cb);
+    }
   }
   TopKResult result;
   result.reserve(r_.size());
   for (const auto& [cb, v] : r_) result.push_back({v, cb});
   FinalizeTopK(&result, k_);
+  result.certified = certified;
   return result;
 }
 
@@ -96,8 +116,13 @@ uint32_t LazyTopK::CommonCount(VertexId w, VertexId other) {
   return count;
 }
 
-void LazyTopK::RestoreInvariant() {
+bool LazyTopK::RestoreInvariant() {
   while (!r_.empty() && !heap_.empty()) {
+    // Every iteration performs at most one exact recomputation, so one
+    // direct clock read here is negligible against the work it gates; and
+    // every iteration boundary is a consistent state (bounds valid, heap
+    // and R disjoint and complete), so quitting is always safe.
+    if (cancel_ != nullptr && cancel_->Expired()) return false;
     auto [candidate, key] = heap_.Top();
     auto weakest = *r_.begin();
     // The weakest member's stored value is a lower bound on its CB, so a
@@ -125,6 +150,21 @@ void LazyTopK::RestoreInvariant() {
     r_.emplace(val_[candidate], candidate);
     in_r_[candidate] = 1;
   }
+  return true;
+}
+
+Status LazyTopK::FinishUpdate(const char* what) {
+  // A previously deferred repair (pending_restore_) is subsumed: the loop
+  // repairs against the CURRENT bounds regardless of which update staled
+  // them.
+  if (RestoreInvariant()) {
+    pending_restore_ = false;
+    return Status::OK();
+  }
+  pending_restore_ = true;
+  return Status::DeadlineExceeded(
+      std::string(what) +
+      ": update applied, top-k repair deferred past deadline");
 }
 
 Status LazyTopK::InsertEdge(VertexId u, VertexId v) {
@@ -160,8 +200,7 @@ Status LazyTopK::InsertEdge(VertexId u, VertexId v) {
       exact_[w] = 0;  // val_[w] remains a valid (possibly loose) bound.
     }
   }
-  RestoreInvariant();
-  return Status::OK();
+  return FinishUpdate("LazyTopK::InsertEdge");
 }
 
 Status LazyTopK::AttachVertex(VertexId v,
@@ -228,8 +267,7 @@ Status LazyTopK::DeleteEdge(VertexId u, VertexId v) {
       HandleOutsiderMayIncrease(w, val_[w] + increment[i]);
     }
   }
-  RestoreInvariant();
-  return Status::OK();
+  return FinishUpdate("LazyTopK::DeleteEdge");
 }
 
 }  // namespace egobw

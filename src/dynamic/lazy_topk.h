@@ -40,6 +40,7 @@
 #include "core/naive.h"
 #include "graph/dynamic_graph.h"
 #include "graph/graph.h"
+#include "util/cancellation.h"
 #include "util/indexed_max_heap.h"
 #include "util/status.h"
 
@@ -53,16 +54,39 @@ class LazyTopK {
   const DynamicGraph& graph() const { return graph_; }
   uint32_t k() const { return k_; }
 
+  /// Installs (or clears, with nullptr) a cooperative cancellation token.
+  /// The branch-and-bound repair loop polls it before every exact
+  /// recomputation; the structure stays consistent at each iteration
+  /// boundary, so a fired deadline never corrupts state — it only DEFERS
+  /// the invariant repair (see docs/robustness.md):
+  ///   * InsertEdge/DeleteEdge return kDeadlineExceeded when the repair was
+  ///     cut short. The edge update itself IS applied (the graph and every
+  ///     affected bound are consistent); the deferred repair is completed
+  ///     automatically by the next successful update or query.
+  ///   * CurrentTopK degrades to an anytime answer: it returns the current
+  ///     R with TopKResult::certified = false instead of an error.
+  /// The token is borrowed, not owned; it must outlive the engine or be
+  /// cleared first.
+  void SetCancelToken(const CancelToken* cancel) { cancel_ = cancel; }
+
   /// Current top-k, ordered (cb desc, id asc). Values are exact: members
   /// whose values went stale under deletions (where CB is non-decreasing,
   /// so membership never needs an eager recompute — the paper's LazyDelete
-  /// observation) are refreshed here, at query time.
+  /// observation) are refreshed here, at query time, as is any repair
+  /// deferred by a previously fired deadline. With a fired token the
+  /// refresh stops early and the result carries certified = false: every
+  /// reported value is then a valid LOWER bound of the member's true CB
+  /// and membership is the engine's best current estimate.
   TopKResult CurrentTopK();
 
-  /// LazyInsert: restores the top-k after inserting (u, v).
+  /// LazyInsert: restores the top-k after inserting (u, v). Returns
+  /// kDeadlineExceeded if a fired cancel token deferred the top-k repair
+  /// (see SetCancelToken); the insertion itself is applied either way.
   Status InsertEdge(VertexId u, VertexId v);
 
-  /// LazyDelete: restores the top-k after deleting (u, v).
+  /// LazyDelete: restores the top-k after deleting (u, v). Returns
+  /// kDeadlineExceeded if a fired cancel token deferred the top-k repair
+  /// (see SetCancelToken); the deletion itself is applied either way.
   Status DeleteEdge(VertexId u, VertexId v);
 
   /// Vertex insertion as a series of edge insertions (Section IV).
@@ -99,8 +123,14 @@ class LazyTopK {
   uint32_t CommonCount(VertexId w, VertexId other);
 
   /// Branch-and-bound loop: pops heap candidates that beat min CB(R),
-  /// recomputing stale bounds, until R is the true top-k again.
-  void RestoreInvariant();
+  /// recomputing stale bounds, until R is the true top-k again. Polls the
+  /// cancel token before each iteration; returns false when it quit early
+  /// (state stays consistent — the loop is resumable, so callers just set
+  /// pending_restore_ and retry later).
+  bool RestoreInvariant();
+
+  /// Shared update epilogue: run the repair loop, tracking deferral.
+  Status FinishUpdate(const char* what);
 
   DynamicGraph graph_;
   uint32_t k_;
@@ -118,6 +148,11 @@ class LazyTopK {
   IndexedMaxHeap heap_;
   std::vector<VertexId> common_;
   uint64_t exact_recomputations_ = 0;
+  // Borrowed cancellation token (see SetCancelToken); null = never cancel.
+  const CancelToken* cancel_ = nullptr;
+  // True while a cancelled RestoreInvariant still owes repair work; the
+  // next successful update or query completes it.
+  bool pending_restore_ = false;
 };
 
 }  // namespace egobw

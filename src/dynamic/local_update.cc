@@ -37,6 +37,12 @@ void LocalUpdateEngine::MarkNeighborhoods(VertexId u, VertexId v) {
 }
 
 Status LocalUpdateEngine::InsertEdge(VertexId u, VertexId v) {
+  // Entry-boundary check only: one edge replay is atomic (see
+  // SetCancelToken), so past this point the update runs to completion.
+  if (cancel_ != nullptr && cancel_->Expired()) {
+    return Status::DeadlineExceeded(
+        "LocalUpdateEngine::InsertEdge: deadline expired before update");
+  }
   if (u >= graph_.NumVertices() || v >= graph_.NumVertices()) {
     return Status::OutOfRange("InsertEdge: endpoint out of range");
   }
@@ -127,6 +133,12 @@ Status LocalUpdateEngine::DetachVertex(VertexId v) {
 }
 
 Status LocalUpdateEngine::DeleteEdge(VertexId u, VertexId v) {
+  // Entry-boundary check only: one edge replay is atomic (see
+  // SetCancelToken), so past this point the update runs to completion.
+  if (cancel_ != nullptr && cancel_->Expired()) {
+    return Status::DeadlineExceeded(
+        "LocalUpdateEngine::DeleteEdge: deadline expired before update");
+  }
   if (u >= graph_.NumVertices() || v >= graph_.NumVertices()) {
     return Status::OutOfRange("DeleteEdge: endpoint out of range");
   }

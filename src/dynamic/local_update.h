@@ -28,6 +28,7 @@
 #include "graph/dynamic_graph.h"
 #include "graph/graph.h"
 #include "util/bitset.h"
+#include "util/cancellation.h"
 #include "util/status.h"
 
 namespace egobw {
@@ -39,6 +40,16 @@ class LocalUpdateEngine {
 
   const DynamicGraph& graph() const { return graph_; }
   const SMapStore& smaps() const { return *smaps_; }
+
+  /// Installs (or clears, with nullptr) a cooperative cancellation token.
+  /// The replay of ONE edge update is the engine's atomic unit — aborting
+  /// it midway would leave S maps describing neither the old nor the new
+  /// graph — so the token is checked only at update entry, BEFORE any
+  /// mutation: a fired deadline makes InsertEdge/DeleteEdge return
+  /// kDeadlineExceeded with the state untouched (and AttachVertex/
+  /// DetachVertex stop cleanly between their per-edge sub-updates). The
+  /// token is borrowed; it must outlive the engine or be cleared first.
+  void SetCancelToken(const CancelToken* cancel) { cancel_ = cancel; }
 
   /// Current exact ego-betweenness of u (maintained incrementally).
   double CB(VertexId u) const { return smaps_->Value(u); }
@@ -77,6 +88,8 @@ class LocalUpdateEngine {
   VisitMarker mark_l_;
   std::vector<VertexId> common_;    // L of the in-flight update.
   std::vector<VertexId> affected_;  // Reported affected set.
+  // Borrowed cancellation token (see SetCancelToken); null = never cancel.
+  const CancelToken* cancel_ = nullptr;
 };
 
 }  // namespace egobw

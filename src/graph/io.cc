@@ -10,30 +10,62 @@
 namespace egobw {
 namespace {
 
-// Parses up to two unsigned integers from a line. Returns the count parsed
-// (0 for blank/comment, 2 for a well-formed edge record, -1 for garbage).
-int ParseLine(const char* line, uint64_t* a, uint64_t* b) {
+// Hard cap on one physical line: adversarial input (one endless line, a
+// multi-megabyte token) fails with a clear error instead of exhausting
+// memory. Real SNAP records are tens of bytes.
+constexpr size_t kMaxLineBytes = 1 << 20;
+
+// What ParseLine decided about one physical line.
+enum class LineKind {
+  kBlank,        // Empty, whitespace-only, or '#'/'%' comment.
+  kEdge,         // Well-formed "u v" record; *a and *b are set.
+  kBadToken,     // A field is not an unsigned decimal integer.
+  kOverflow,     // A vertex id exceeds the 32-bit id space.
+  kOneField,     // Exactly one field — an edge needs two.
+  kExtraFields,  // More than two fields on the line.
+};
+
+// Parses one line. Fields are unsigned decimals separated by spaces/tabs;
+// '\r' is treated as whitespace so CRLF files load unchanged; a missing
+// trailing newline on the last line is fine (fgets just omits the '\n').
+LineKind ParseLine(const char* line, uint64_t* a, uint64_t* b) {
   const char* p = line;
   while (*p == ' ' || *p == '\t' || *p == '\r') ++p;
-  if (*p == '\0' || *p == '\n' || *p == '#' || *p == '%') return 0;
+  if (*p == '\0' || *p == '\n' || *p == '#' || *p == '%') {
+    return LineKind::kBlank;
+  }
   uint64_t vals[2];
   int found = 0;
   while (found < 2) {
-    if (!std::isdigit(static_cast<unsigned char>(*p))) return -1;
+    if (!std::isdigit(static_cast<unsigned char>(*p))) {
+      return LineKind::kBadToken;
+    }
     uint64_t v = 0;
     while (std::isdigit(static_cast<unsigned char>(*p))) {
       v = v * 10 + static_cast<uint64_t>(*p - '0');
-      if (v > 0xffffffffULL) return -1;  // Vertex ids must fit in 32 bits.
+      if (v > 0xffffffffULL) return LineKind::kOverflow;
       ++p;
     }
     vals[found++] = v;
     while (*p == ' ' || *p == '\t' || *p == '\r') ++p;
-    if (found == 1 && (*p == '\0' || *p == '\n')) return -1;
+    if (found == 1 && (*p == '\0' || *p == '\n')) return LineKind::kOneField;
   }
-  if (*p != '\0' && *p != '\n') return -1;  // Trailing junk.
+  if (*p != '\0' && *p != '\n') {
+    // A third decimal field reads as "extra fields" (common when a weighted
+    // edge list is fed in by mistake); anything else is a bad token.
+    return std::isdigit(static_cast<unsigned char>(*p))
+               ? LineKind::kExtraFields
+               : LineKind::kBadToken;
+  }
   *a = vals[0];
   *b = vals[1];
-  return 2;
+  return LineKind::kEdge;
+}
+
+Status MalformedAt(const char* what, const std::string& path,
+                   uint64_t line_no) {
+  return Status::InvalidArgument(std::string(what) + " at " + path + ":" +
+                                 std::to_string(line_no));
 }
 
 }  // namespace
@@ -53,19 +85,59 @@ Result<Graph> LoadEdgeList(const std::string& path,
     (void)inserted;
     return it->second;
   };
-  char line[4096];
+  // Accumulate full PHYSICAL lines: a record longer than one fgets buffer
+  // must not be silently split into two bogus records (the pre-hardening
+  // loader did exactly that past 4095 bytes).
+  char buf[4096];
+  std::string line;
   uint64_t line_no = 0;
-  while (std::fgets(line, sizeof(line), f) != nullptr) {
+  bool eof = false;
+  while (!eof) {
+    line.clear();
+    bool have_data = false;
+    while (true) {
+      if (std::fgets(buf, sizeof(buf), f) == nullptr) {
+        eof = true;
+        break;
+      }
+      have_data = true;
+      line += buf;
+      if (!line.empty() && line.back() == '\n') break;
+      if (line.size() > kMaxLineBytes) {
+        std::fclose(f);
+        return MalformedAt("edge record line exceeds 1 MiB", path,
+                           line_no + 1);
+      }
+    }
+    if (!have_data) break;
     ++line_no;
     uint64_t a = 0;
     uint64_t b = 0;
-    int r = ParseLine(line, &a, &b);
-    if (r == -1) {
-      std::fclose(f);
-      return Status::InvalidArgument("malformed edge record at " + path +
-                                     ":" + std::to_string(line_no));
+    switch (ParseLine(line.c_str(), &a, &b)) {
+      case LineKind::kBlank:
+        break;
+      case LineKind::kEdge:
+        builder.AddEdge(map_id(a), map_id(b));
+        break;
+      case LineKind::kBadToken:
+        std::fclose(f);
+        return MalformedAt("malformed edge record (non-numeric field)", path,
+                           line_no);
+      case LineKind::kOverflow:
+        std::fclose(f);
+        return MalformedAt(
+            "vertex id overflows the 32-bit id space (max 4294967295)", path,
+            line_no);
+      case LineKind::kOneField:
+        std::fclose(f);
+        return MalformedAt("edge record has only one field (need \"u v\")",
+                           path, line_no);
+      case LineKind::kExtraFields:
+        std::fclose(f);
+        return MalformedAt(
+            "edge record has more than two fields (weighted input?)", path,
+            line_no);
     }
-    if (r == 2) builder.AddEdge(map_id(a), map_id(b));
   }
   bool read_error = std::ferror(f) != 0;
   std::fclose(f);

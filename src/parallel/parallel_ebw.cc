@@ -4,6 +4,8 @@
 #include <atomic>
 #include <memory>
 #include <mutex>
+#include <string>
+#include <utility>
 
 #include "core/diamond_kernel.h"
 #include "core/smap_store.h"
@@ -20,11 +22,12 @@ namespace egobw {
 namespace {
 
 struct WorkerScratch {
-  explicit WorkerScratch(uint32_t n)
-      : marker(n), marked_for(~0u), kernel(n) {}
+  WorkerScratch(uint32_t n, const CancelToken* cancel)
+      : marker(n), marked_for(~0u), kernel(n), poller(cancel) {}
   EpochBitset marker;
   VertexId marked_for;  // Vertex whose neighborhood is currently marked.
   DiamondKernel kernel;
+  CancelPoller poller;  // This worker's amortized deadline check.
   std::vector<VertexId> common;
   std::vector<std::pair<VertexId, VertexId>> nonadj_pairs;
   SlabPool pool;  // Streaming mode: this worker's recycled slabs.
@@ -38,7 +41,8 @@ struct WorkerScratch {
 class ParallelEngine {
  public:
   ParallelEngine(const Graph& g, size_t threads, KernelMode mode,
-                 bool streaming, uint64_t budget_bytes)
+                 bool streaming, uint64_t budget_bytes,
+                 const CancelToken* cancel)
       : g_(g),
         edge_set_(g),
         order_(g),
@@ -52,7 +56,8 @@ class ParallelEngine {
         next_evict_check_(budget_bytes) {
     scratch_.reserve(threads_);
     for (size_t t = 0; t < threads_; ++t) {
-      scratch_.push_back(std::make_unique<WorkerScratch>(g.NumVertices()));
+      scratch_.push_back(
+          std::make_unique<WorkerScratch>(g.NumVertices(), cancel));
     }
     if (streaming_) {
       cb_.resize(g.NumVertices());
@@ -186,11 +191,36 @@ class ParallelEngine {
     }
   }
 
+  // Cancellation is task-granular: each parallel-loop body starts by
+  // checking the shared flag (first observer raises it from its own
+  // poller), so no task is ever abandoned mid-edge and no stripe lock is
+  // held at a poll point. Remaining tasks drain as cheap no-op bodies and
+  // the ParallelFor join proceeds normally — the barrier cannot deadlock.
+  bool CheckCancelled(WorkerScratch* ws) {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    if (!ws->poller.Expired()) return false;
+    cancelled_.store(true, std::memory_order_relaxed);
+    return true;
+  }
+
+  bool Cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  // Oriented edges never processed before the deadline (valid after the
+  // parallel loop joined, when the per-worker counters are quiescent).
+  uint64_t EdgesRemaining() const {
+    uint64_t done = 0;
+    for (const auto& ws : scratch_) done += ws->edges;
+    return g_.NumEdges() - done;
+  }
+
   // Vertex-granular phase 1.
   void RunVertexParallel() {
     ParallelForWorker(0, g_.NumVertices(), threads_, /*grain=*/16,
                       [this](uint64_t i, size_t worker) {
                         WorkerScratch* ws = scratch_[worker].get();
+                        if (CheckCancelled(ws)) return;
                         VertexId u = order_.At(static_cast<uint32_t>(i));
                         if (fwd_.OutDegree(u) == 0) return;
                         EnsureMarked(u, ws);
@@ -213,6 +243,7 @@ class ParallelEngine {
     ParallelForWorker(0, flat.size(), threads_, /*grain=*/128,
                       [this, &flat](uint64_t i, size_t worker) {
                         WorkerScratch* ws = scratch_[worker].get();
+                        if (CheckCancelled(ws)) return;
                         auto [u, v] = flat[i];
                         EnsureMarked(u, ws);
                         ProcessEdge(u, v, ws);
@@ -245,7 +276,8 @@ class ParallelEngine {
       stats->triangles += ws->triangles;
       stats->connector_increments += ws->increments;
     }
-    stats->exact_computations += g_.NumVertices();
+    // A cancelled run never reached the evaluation phase.
+    if (!Cancelled()) stats->exact_computations += g_.NumVertices();
     stats->peak_live_maps =
         std::max<uint64_t>(stats->peak_live_maps, smaps_.PeakLiveMaps());
     stats->peak_live_map_bytes = std::max<uint64_t>(
@@ -268,6 +300,9 @@ class ParallelEngine {
   std::atomic<uint64_t> next_evict_check_;
   std::mutex evict_mu_;     // At most one evicting worker at a time.
   uint64_t evictions_ = 0;  // Guarded by evict_mu_.
+  // Raised by the first worker whose poller observes expiry; every later
+  // task body sees it and returns immediately (see CheckCancelled).
+  std::atomic<bool> cancelled_{false};
   // Streaming mode only: per-vertex unprocessed-incident-edge counters
   // (retire when 0) and the values collected at each retire point.
   std::unique_ptr<std::atomic<uint32_t>[]> remaining_;
@@ -275,10 +310,23 @@ class ParallelEngine {
   std::vector<std::unique_ptr<WorkerScratch>> scratch_;
 };
 
+// Shared cancellation epilogue: the workers have joined, so the per-worker
+// edge counters are quiescent and the frontier is exact. The engine (maps,
+// slabs, pools) unwinds on return — abort releases everything.
+Status PEBWDeadline(const char* what, ParallelEngine* engine,
+                    SearchStats* stats) {
+  uint64_t remaining = engine->EdgesRemaining();
+  if (stats != nullptr) stats->frontier_remaining += remaining;
+  return Status::DeadlineExceeded(std::string(what) + ": cancelled with " +
+                                  std::to_string(remaining) +
+                                  " edges unprocessed");
+}
+
 template <typename RunPhase1>
-std::vector<double> RunPEBW(const Graph& g, size_t threads,
-                            SearchStats* stats, const PEBWOptions& options,
-                            RunPhase1&& phase1) {
+Result<std::vector<double>> RunPEBW(const char* what, const Graph& g,
+                                    size_t threads, SearchStats* stats,
+                                    const PEBWOptions& options,
+                                    RunPhase1&& phase1) {
   WallTimer timer;
   std::vector<double> cb;
   bool streaming = !options.retain_smaps;
@@ -288,19 +336,28 @@ std::vector<double> RunPEBW(const Graph& g, size_t threads,
     std::vector<VertexId> old_to_new;
     Graph relabeled = g.RelabeledByDegree(&old_to_new);
     ParallelEngine engine(relabeled, threads, DefaultKernelMode(), streaming,
-                          budget);
+                          budget, options.cancel);
     phase1(&engine);
-    std::vector<double> cb_rel = engine.Evaluate();
     engine.FillStats(stats);
+    if (engine.Cancelled()) {
+      if (stats != nullptr) stats->elapsed_seconds += timer.Seconds();
+      return PEBWDeadline(what, &engine, stats);
+    }
+    std::vector<double> cb_rel = engine.Evaluate();
     cb.resize(g.NumVertices());
     for (VertexId v = 0; v < g.NumVertices(); ++v) {
       cb[v] = cb_rel[old_to_new[v]];
     }
   } else {
-    ParallelEngine engine(g, threads, DefaultKernelMode(), streaming, budget);
+    ParallelEngine engine(g, threads, DefaultKernelMode(), streaming, budget,
+                          options.cancel);
     phase1(&engine);
-    cb = engine.Evaluate();
     engine.FillStats(stats);
+    if (engine.Cancelled()) {
+      if (stats != nullptr) stats->elapsed_seconds += timer.Seconds();
+      return PEBWDeadline(what, &engine, stats);
+    }
+    cb = engine.Evaluate();
   }
   if (stats != nullptr) stats->elapsed_seconds += timer.Seconds();
   return cb;
@@ -308,17 +365,29 @@ std::vector<double> RunPEBW(const Graph& g, size_t threads,
 
 }  // namespace
 
+Result<std::vector<double>> RunVertexPEBW(const Graph& g, size_t threads,
+                                          const PEBWOptions& options,
+                                          SearchStats* stats) {
+  return RunPEBW("VertexPEBW", g, threads, stats, options,
+                 [](ParallelEngine* e) { e->RunVertexParallel(); });
+}
+
+Result<std::vector<double>> RunEdgePEBW(const Graph& g, size_t threads,
+                                        const PEBWOptions& options,
+                                        SearchStats* stats) {
+  return RunPEBW("EdgePEBW", g, threads, stats, options,
+                 [](ParallelEngine* e) { e->RunEdgeParallel(); });
+}
+
 std::vector<double> VertexPEBW(const Graph& g, size_t threads,
                                SearchStats* stats,
                                const PEBWOptions& options) {
-  return RunPEBW(g, threads, stats, options,
-                 [](ParallelEngine* e) { e->RunVertexParallel(); });
+  return std::move(RunVertexPEBW(g, threads, options, stats)).value();
 }
 
 std::vector<double> EdgePEBW(const Graph& g, size_t threads,
                              SearchStats* stats, const PEBWOptions& options) {
-  return RunPEBW(g, threads, stats, options,
-                 [](ParallelEngine* e) { e->RunEdgeParallel(); });
+  return std::move(RunEdgePEBW(g, threads, options, stats)).value();
 }
 
 }  // namespace egobw

@@ -33,6 +33,8 @@
 #include "core/ego_types.h"
 #include "core/smap_store.h"
 #include "graph/graph.h"
+#include "util/cancellation.h"
+#include "util/status.h"
 
 namespace egobw {
 
@@ -51,14 +53,39 @@ struct PEBWOptions {
   /// their retire point (SearchStats::evicted_rebuilds). Identical values
   /// either way; 0 lifts the cap.
   uint64_t smap_budget_bytes = kDefaultSMapStreamBudgetBytes;
+  /// Cooperative cancellation token, polled by every worker at each task
+  /// boundary of the parallel loop (never while a stripe lock is held, so
+  /// no map is ever torn). Like the serial all-vertex pass this supports
+  /// only the ABORT contract — a partial CB vector would hold wrong
+  /// values, not bounds: a fired token makes Run{Vertex,Edge}PEBW return
+  /// Status kDeadlineExceeded with every map and slab released and
+  /// `stats->frontier_remaining` counting the unprocessed oriented edges.
+  /// Null = never cancel.
+  const CancelToken* cancel = nullptr;
 };
 
-/// Vertex-granular parallel all-vertex ego-betweenness.
+/// Vertex-granular parallel all-vertex ego-betweenness; the cancellable
+/// canonical entry point (see PEBWOptions::cancel, docs/robustness.md).
+Result<std::vector<double>> RunVertexPEBW(const Graph& g, size_t threads,
+                                          const PEBWOptions& options = {},
+                                          SearchStats* stats = nullptr);
+
+/// Edge-granular parallel all-vertex ego-betweenness; the cancellable
+/// canonical entry point (see PEBWOptions::cancel, docs/robustness.md).
+Result<std::vector<double>> RunEdgePEBW(const Graph& g, size_t threads,
+                                        const PEBWOptions& options = {},
+                                        SearchStats* stats = nullptr);
+
+/// Vertex-granular parallel all-vertex ego-betweenness. Legacy entry
+/// point: aborts the process on cancellation — use RunVertexPEBW when
+/// passing a CancelToken.
 std::vector<double> VertexPEBW(const Graph& g, size_t threads,
                                SearchStats* stats = nullptr,
                                const PEBWOptions& options = {});
 
-/// Edge-granular parallel all-vertex ego-betweenness.
+/// Edge-granular parallel all-vertex ego-betweenness. Legacy entry point:
+/// aborts the process on cancellation — use RunEdgePEBW when passing a
+/// CancelToken.
 std::vector<double> EdgePEBW(const Graph& g, size_t threads,
                              SearchStats* stats = nullptr,
                              const PEBWOptions& options = {});

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <limits>
 #include <memory>
 #include <mutex>
@@ -15,6 +16,7 @@
 #include "core/smap_store.h"
 #include "graph/edge_set.h"
 #include "parallel/edge_publish.h"
+#include "util/failpoint.h"
 #include "util/indexed_max_heap.h"
 #include "util/logging.h"
 #include "util/neighborhood_bitmap.h"
@@ -26,8 +28,10 @@ namespace {
 
 // Per-worker scratch: everything a worker touches without taking a lock.
 struct WorkerCtx {
-  explicit WorkerCtx(uint32_t n) : scratch(n) {}
+  WorkerCtx(uint32_t n, const CancelToken* cancel)
+      : scratch(n), poller(cancel) {}
   EgoRebuildScratch scratch;  // Fused publish + local exact rebuild.
+  CancelPoller poller;        // This worker's amortized token check.
   uint64_t exact = 0;
   uint64_t pushbacks = 0;
   uint64_t pruned = 0;
@@ -72,7 +76,7 @@ class ParallelBoundedEngine {
     for (auto& sh : shards_) UpdateCachedTop(*sh);
     ctxs_.reserve(threads_);
     for (size_t t = 0; t < threads_; ++t) {
-      ctxs_.push_back(std::make_unique<WorkerCtx>(n));
+      ctxs_.push_back(std::make_unique<WorkerCtx>(n, options.cancel));
     }
   }
 
@@ -88,6 +92,24 @@ class ParallelBoundedEngine {
   }
 
   TopKResult TakeResult() { return top_.Take(); }
+
+  /// True when a worker observed the cancel token fire. Read after Run()
+  /// (all workers joined).
+  bool Cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// Candidates still in the pool. Call after Run(): the workers joined,
+  /// so the shard locks are uncontended and active_ is provably zero
+  /// (every pop path re-decrements before its worker exits).
+  uint64_t FrontierRemaining() {
+    uint64_t total = 0;
+    for (auto& sh : shards_) {
+      std::lock_guard<Spinlock> lk(sh->lock);
+      total += sh->heap.size();
+    }
+    return total;
+  }
 
   void FillStats(SearchStats* stats) const {
     if (stats == nullptr) return;
@@ -269,9 +291,12 @@ class ParallelBoundedEngine {
   // local exact rebuild never waits on concurrent workers (the local map
   // is complete by construction, so the exact value is
   // schedule-invariant).
-  void ComputeExact(VertexId u, WorkerCtx* ctx) {
-    double cb = ComputeExactCbImpl(
-        g_, edge_set_, mode_, &ctx->scratch, u,
+  // Returns false when the worker's poller fired mid-candidate: u's exact
+  // value was never completed (bound marks already published stay — they
+  // remain sound) and the engine must shut down.
+  bool ComputeExact(VertexId u, WorkerCtx* ctx) {
+    std::optional<double> cb = ComputeExactCbImpl(
+        g_, edge_set_, mode_, &ctx->scratch, u, &ctx->poller,
         [this](EdgeId e) {
           return claimed_[e].load(std::memory_order_relaxed) == 0;
         },
@@ -281,6 +306,11 @@ class ParallelBoundedEngine {
         },
         [this, u, ctx](VertexId v, EdgeId e) {
           if (claimed_[e].load(std::memory_order_acquire) != 0) return;
+          // Fault injection: the worker loses a claim it would have won.
+          // The edge stays unclaimed — its bound marks land when another
+          // exact computation claims it (or never: bounds just stay
+          // looser, which admission tolerates by construction).
+          if (EGOBW_FAILPOINT("parallel.edge_claim")) return;
           if (claimed_[e].exchange(1, std::memory_order_acq_rel) != 0) {
             return;
           }
@@ -292,13 +322,33 @@ class ParallelBoundedEngine {
           PublishEdgeRulesBound(&bounds_, &locks_, u, v, ctx->scratch.common,
                                 ctx->scratch.ranks);
         });
+    if (!cb.has_value()) return false;
     ++ctx->exact;
-    Publish(u, cb);
+    Publish(u, *cb);
+    return true;
   }
 
   void Worker(size_t idx) {
     WorkerCtx* ctx = ctxs_[idx].get();
+    // Fault injection: delay this worker's startup — the pool must make
+    // progress with however many workers have arrived.
+    if (EGOBW_FAILPOINT("parallel.worker_start")) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
     while (!done_.load(std::memory_order_acquire)) {
+      // Pop boundary: the cancellation poll point. The first worker to
+      // observe expiry raises done_, and every other worker exits here or
+      // after finishing its in-flight candidate — never mid-publication.
+      if (ctx->poller.Expired()) {
+        cancelled_.store(true, std::memory_order_relaxed);
+        done_.store(true, std::memory_order_release);
+        return;  // No candidate held: active_ untouched.
+      }
+      // Fault injection: stall at the pop boundary — the termination
+      // barrier must tolerate an arbitrarily slow worker.
+      if (EGOBW_FAILPOINT("parallel.worker_stall")) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      }
       auto popped = TryPop(idx, ctx);
       if (!popped) {
         // Termination barrier: generation-fenced emptiness + no holders
@@ -323,7 +373,13 @@ class ParallelBoundedEngine {
           ++ctx->pushbacks;
           break;
         case Admission::kCompute:
-          ComputeExact(v, ctx);
+          if (!ComputeExact(v, ctx)) {
+            // Poller fired mid-candidate: shut the pool down. Fall through
+            // to the holder-count decrement below so active_ drains to
+            // zero before the workers join.
+            cancelled_.store(true, std::memory_order_relaxed);
+            done_.store(true, std::memory_order_release);
+          }
           break;
         case Admission::kPrune:
           ++ctx->pruned;
@@ -364,37 +420,64 @@ class ParallelBoundedEngine {
   std::atomic<uint64_t> pushes_{0};  // Re-push generation counter.
   std::atomic<uint32_t> active_{0};  // Workers holding a popped candidate.
   std::atomic<bool> done_{false};
+  std::atomic<bool> cancelled_{false};  // A worker observed token expiry.
 };
 
 }  // namespace
 
-TopKResult ParallelOptBSearch(const Graph& g, uint32_t k, size_t threads,
-                              const ParallelOptBSearchOptions& options,
-                              SearchStats* stats) {
+namespace {
+
+// The shared run-and-harvest epilogue of both relabeling modes.
+Result<TopKResult> RunEngine(ParallelBoundedEngine* engine,
+                             const ParallelOptBSearchOptions& options,
+                             SearchStats* stats) {
+  engine->Run();
+  engine->FillStats(stats);
+  if (!engine->Cancelled()) return engine->TakeResult();
+  uint64_t frontier = engine->FrontierRemaining();
+  if (stats != nullptr) stats->frontier_remaining += frontier;
+  if (options.on_cancel == OnCancel::kAbort) {
+    return Status::DeadlineExceeded(
+        "ParallelOptBSearch: cancelled with " + std::to_string(frontier) +
+        " candidates undecided");
+  }
+  TopKResult partial = engine->TakeResult();
+  partial.certified = false;
+  return partial;
+}
+
+}  // namespace
+
+Result<TopKResult> RunParallelOptBSearch(
+    const Graph& g, uint32_t k, size_t threads,
+    const ParallelOptBSearchOptions& options, SearchStats* stats) {
   EGOBW_CHECK_MSG(options.theta >= 1.0, "theta must be >= 1");
   WallTimer timer;
   uint32_t n = g.NumVertices();
   if (k > n) k = n;
-  if (k == 0 || n == 0) return {};
+  if (k == 0 || n == 0) return TopKResult{};
 
-  TopKResult result;
+  Result<TopKResult> result = TopKResult{};
   if (options.relabel_by_degree) {
     std::vector<VertexId> old_to_new;
     Graph relabeled = g.RelabeledByDegree(&old_to_new);
     std::vector<VertexId> new_to_old(n);
     for (VertexId v = 0; v < n; ++v) new_to_old[old_to_new[v]] = v;
     ParallelBoundedEngine engine(relabeled, k, threads, options, &new_to_old);
-    engine.Run();
-    engine.FillStats(stats);
-    result = engine.TakeResult();
+    result = RunEngine(&engine, options, stats);
   } else {
     ParallelBoundedEngine engine(g, k, threads, options, nullptr);
-    engine.Run();
-    engine.FillStats(stats);
-    result = engine.TakeResult();
+    result = RunEngine(&engine, options, stats);
   }
   if (stats != nullptr) stats->elapsed_seconds += timer.Seconds();
   return result;
+}
+
+TopKResult ParallelOptBSearch(const Graph& g, uint32_t k, size_t threads,
+                              const ParallelOptBSearchOptions& options,
+                              SearchStats* stats) {
+  return std::move(RunParallelOptBSearch(g, k, threads, options, stats))
+      .value();
 }
 
 }  // namespace egobw

@@ -73,6 +73,8 @@
 
 #include "core/ego_types.h"
 #include "graph/graph.h"
+#include "util/cancellation.h"
+#include "util/status.h"
 
 namespace egobw {
 
@@ -91,11 +93,33 @@ struct ParallelOptBSearchOptions {
   /// Number of candidate-pool shards (rounded up to a power of two);
   /// 0 derives 2× the thread count, clamped to [1, 32].
   uint32_t shards = 0;
+  /// Cooperative cancellation token. Every worker polls it at its pop
+  /// boundary and at each edge-claim boundary inside an exact computation;
+  /// the first worker observing expiry raises the engine's done flag, so
+  /// all workers drain their in-flight S-map deltas and join cleanly — no
+  /// torn stripe locks, no torn claims. Null = never cancel.
+  const CancelToken* cancel = nullptr;
+  /// What a fired token makes the search return (see util/cancellation.h).
+  OnCancel on_cancel = OnCancel::kAbort;
 };
 
 /// Returns the top-k vertices by ego-betweenness (cb desc, id asc), equal
 /// bit-for-bit to OptBSearch(g, k) for every thread count. `threads` == 0
 /// runs 1 worker; 1 worker runs inline (no thread is spawned).
+///
+/// Cancellation (docs/robustness.md): with a fired `options.cancel`, kAbort
+/// returns Status kDeadlineExceeded; kAnytime returns the accumulator
+/// contents with TopKResult::certified = false. Either way the workers have
+/// already joined and `stats->frontier_remaining` counts the candidates
+/// left in the pool. A null or unfired token returns the exact answer,
+/// bit-identical to the token-free run.
+Result<TopKResult> RunParallelOptBSearch(
+    const Graph& g, uint32_t k, size_t threads,
+    const ParallelOptBSearchOptions& options = {},
+    SearchStats* stats = nullptr);
+
+/// Legacy entry point: as RunParallelOptBSearch, but aborts the process on
+/// an abort-mode cancellation instead of returning a Status.
 TopKResult ParallelOptBSearch(const Graph& g, uint32_t k, size_t threads,
                               const ParallelOptBSearchOptions& options = {},
                               SearchStats* stats = nullptr);

@@ -1,0 +1,13 @@
+#include "util/cancellation.h"
+
+namespace egobw {
+
+bool CancelToken::Expired() const {
+  if (Cancelled()) return true;
+  if (!has_deadline_) return false;
+  if (std::chrono::steady_clock::now() < deadline_) return false;
+  cancelled_.store(true, std::memory_order_relaxed);
+  return true;
+}
+
+}  // namespace egobw

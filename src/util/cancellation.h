@@ -1,0 +1,101 @@
+/// \file
+/// Cooperative cancellation: a deadline/cancel token shared by a caller and
+/// the engines it wants to be able to stop.
+///
+/// A CancelToken combines a manual cancel flag (one atomic bool) with an
+/// optional monotonic-clock deadline. Engines never poll the clock directly:
+/// each worker wraps the token in a CancelPoller, whose Expired() reads the
+/// atomic flag on every call (one relaxed load — free next to any real work)
+/// but consults the clock only every `stride` calls, so hot per-edge loops
+/// pay amortized O(1) and essentially zero overhead when no token is set.
+///
+/// Two cancellation contracts (see docs/robustness.md):
+///   * abort   — the engine returns Status kDeadlineExceeded and releases
+///     every slab/pool it held; no partial answer escapes.
+///   * anytime — top-k engines return the current accumulator contents with
+///     TopKResult::certified = false and SearchStats::frontier_remaining
+///     counting the candidates never decided.
+
+#ifndef EGOBW_UTIL_CANCELLATION_H_
+#define EGOBW_UTIL_CANCELLATION_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace egobw {
+
+/// What a cancelled search returns.
+enum class OnCancel {
+  kAbort,    ///< Status kDeadlineExceeded; no partial answer.
+  kAnytime,  ///< Best-effort partial answer, TopKResult::certified = false.
+};
+
+/// Monotonic-clock deadline + atomic cancel flag. Thread-safe: any thread
+/// may Cancel(), any number of workers may poll. A fired token stays fired.
+class CancelToken {
+ public:
+  /// Manual-cancel-only token: never expires on its own.
+  CancelToken() = default;
+
+  /// Token that expires `timeout` after construction (steady clock).
+  explicit CancelToken(std::chrono::milliseconds timeout)
+      : has_deadline_(true),
+        deadline_(std::chrono::steady_clock::now() + timeout) {}
+
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Fires the token. Safe from any thread and from signal handlers (one
+  /// atomic store, no allocation).
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// Flag-only check: true once Cancel() was called or a past Expired()
+  /// observed the deadline. One relaxed load; never reads the clock.
+  bool Cancelled() const { return cancelled_.load(std::memory_order_relaxed); }
+
+  /// Full check: the flag, or the deadline having passed. A deadline
+  /// observed expired is latched into the flag so every later Cancelled()
+  /// is a pure load. Out of line: the clock read is the slow path that
+  /// CancelPoller already amortizes.
+  bool Expired() const;
+
+  bool has_deadline() const { return has_deadline_; }
+
+ private:
+  mutable std::atomic<bool> cancelled_{false};
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_{};
+};
+
+/// Per-worker amortizing wrapper around a (possibly null) CancelToken.
+/// Expired() costs one relaxed atomic load per call and one clock read per
+/// `stride` calls; with a null token it is a single branch.
+class CancelPoller {
+ public:
+  static constexpr uint32_t kDefaultStride = 1024;
+
+  explicit CancelPoller(const CancelToken* token,
+                        uint32_t stride = kDefaultStride)
+      : token_(token), stride_(stride == 0 ? 1 : stride), left_(1) {}
+
+  /// Amortized token check — call once per unit of work.
+  bool Expired() {
+    if (token_ == nullptr) return false;
+    if (token_->Cancelled()) return true;
+    if (--left_ != 0) return false;
+    left_ = stride_;
+    return token_->Expired();
+  }
+
+  const CancelToken* token() const { return token_; }
+
+ private:
+  const CancelToken* token_;
+  uint32_t stride_;
+  uint32_t left_;  // Calls until the next clock read (first call reads).
+};
+
+}  // namespace egobw
+
+#endif  // EGOBW_UTIL_CANCELLATION_H_

@@ -1,0 +1,111 @@
+#include "util/failpoint.h"
+
+#include <atomic>
+#include <cctype>
+#include <cstdlib>
+#include <mutex>
+#include <unordered_map>
+
+namespace egobw {
+namespace failpoint {
+namespace {
+
+struct Point {
+  uint64_t hits = 0;   // Hits observed since the last Arm/Reset.
+  uint64_t nth = 0;    // First firing hit (0 = not armed).
+  uint64_t times = 1;  // Consecutive firing hits from nth (0 = forever).
+  bool env_checked = false;  // EGOBW_FP_<NAME> already consulted.
+};
+
+struct Registry {
+  std::mutex mu;
+  std::unordered_map<std::string, Point> points;
+};
+
+Registry& TheRegistry() {
+  static Registry* r = new Registry();  // Leaked: usable during shutdown.
+  return *r;
+}
+
+std::atomic<int>& EnabledFlag() {
+  static std::atomic<int> flag = [] {
+    const char* env = std::getenv("EGOBW_FAILPOINTS");
+    return env != nullptr && env[0] == '1' ? 1 : 0;
+  }();
+  return flag;
+}
+
+// "smap_store.reserve_for" -> "EGOBW_FP_SMAP_STORE_RESERVE_FOR".
+std::string EnvVarFor(const std::string& name) {
+  std::string var = "EGOBW_FP_";
+  for (char c : name) {
+    if (c == '.' || c == '/' || c == ':' || c == '-') {
+      var += '_';
+    } else {
+      var += static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    }
+  }
+  return var;
+}
+
+}  // namespace
+
+bool Enabled() {
+  return EnabledFlag().load(std::memory_order_relaxed) != 0;
+}
+
+void EnableForTesting(bool on) {
+  EnabledFlag().store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+void Arm(const std::string& name, uint64_t nth, uint64_t times) {
+  Registry& r = TheRegistry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  Point& p = r.points[name];
+  p.hits = 0;
+  p.nth = nth;
+  p.times = times;
+  p.env_checked = true;  // Programmatic arming wins over the environment.
+}
+
+void Disarm(const std::string& name) {
+  Registry& r = TheRegistry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  Point& p = r.points[name];
+  p.nth = 0;
+  p.env_checked = true;
+}
+
+void Reset() {
+  Registry& r = TheRegistry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  r.points.clear();
+}
+
+uint64_t HitCount(const std::string& name) {
+  Registry& r = TheRegistry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  auto it = r.points.find(name);
+  return it == r.points.end() ? 0 : it->second.hits;
+}
+
+bool Hit(const char* name) {
+  Registry& r = TheRegistry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  Point& p = r.points[name];
+  if (!p.env_checked) {
+    p.env_checked = true;
+    const char* env = std::getenv(EnvVarFor(name).c_str());
+    if (env != nullptr) {
+      char* end = nullptr;
+      uint64_t nth = std::strtoull(env, &end, 10);
+      if (end != env && nth != 0) p.nth = nth;
+    }
+  }
+  ++p.hits;
+  if (p.nth == 0 || p.hits < p.nth) return false;
+  return p.times == 0 || p.hits < p.nth + p.times;
+}
+
+}  // namespace failpoint
+}  // namespace egobw

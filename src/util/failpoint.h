@@ -1,0 +1,81 @@
+/// \file
+/// Deterministic fault injection: a RocksDB-style registry of named
+/// failpoints compiled into the engines but inert unless explicitly enabled.
+///
+/// A failpoint is a named site in the code:
+///
+///   if (EGOBW_FAILPOINT("smap_store.reserve_for")) { /* simulated fault */ }
+///
+/// The macro is a single (out-of-line) atomic-bool check when fault
+/// injection is off — the default — so production binaries pay one
+/// predictable branch per site. With `EGOBW_FAILPOINTS=1` in the
+/// environment (or failpoint::EnableForTesting(true)), every Hit consults
+/// the registry: a site armed with Arm(name, nth) fires on its nth
+/// subsequent hit (deterministic countdown — tests replay the exact same
+/// fault at the exact same unit of work), optionally for `times`
+/// consecutive hits (0 = forever once reached). Sites can also be armed
+/// from the environment without recompiling the test: `EGOBW_FP_<NAME>=nth`
+/// where <NAME> is the site name uppercased with [./:-] mapped to '_'
+/// (e.g. EGOBW_FP_SLAB_POOL_ACQUIRE=3).
+///
+/// Failpoint catalog — see docs/robustness.md for what each fault degrades
+/// to:
+///   smap_store.reserve_for   simulated allocation failure of a streaming
+///                            S-map reservation: the vertex is evicted and
+///                            falls back to the local-rebuild path.
+///   slab_pool.acquire        slab adoption fails: the map grows from a
+///                            cold table instead of a recycled slab.
+///   streaming.force_evict    forces an eviction of the largest incomplete
+///                            live map right now, budget or not.
+///   parallel.edge_claim      a worker loses an edge claim it would have
+///                            won: the edge's bound marks stay unpublished
+///                            until another exact computation claims it.
+///   parallel.worker_start    stalls a worker before its first pop.
+///   parallel.worker_stall    stalls a worker at a pop boundary.
+
+#ifndef EGOBW_UTIL_FAILPOINT_H_
+#define EGOBW_UTIL_FAILPOINT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace egobw {
+namespace failpoint {
+
+/// True when fault injection is active for this process: EGOBW_FAILPOINTS=1
+/// was set at first use, or EnableForTesting(true) was called. Cheap (one
+/// relaxed atomic load) — this is the only cost disabled binaries pay.
+bool Enabled();
+
+/// Test override of the environment gate. Also usable to silence armed
+/// points temporarily; arming state is kept.
+void EnableForTesting(bool on);
+
+/// Arms `name`: its `nth` subsequent Hit fires (1 = the very next hit), and
+/// the following `times - 1` hits fire too; times == 0 fires every hit from
+/// the nth onward. Re-arming replaces the previous arming and resets the
+/// site's hit counter.
+void Arm(const std::string& name, uint64_t nth, uint64_t times = 1);
+
+/// Disarms `name` (hits keep being counted).
+void Disarm(const std::string& name);
+
+/// Disarms everything and clears all hit counters — call between tests.
+void Reset();
+
+/// Hits `name` observed so far (armed or not) while Enabled().
+uint64_t HitCount(const std::string& name);
+
+/// Registry hit: counts the hit and reports whether the site fires.
+/// Called via EGOBW_FAILPOINT only when Enabled().
+bool Hit(const char* name);
+
+}  // namespace failpoint
+}  // namespace egobw
+
+/// True when the named failpoint fires at this hit. One atomic load when
+/// fault injection is disabled.
+#define EGOBW_FAILPOINT(name) \
+  (::egobw::failpoint::Enabled() && ::egobw::failpoint::Hit(name))
+
+#endif  // EGOBW_UTIL_FAILPOINT_H_

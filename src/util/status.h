@@ -21,6 +21,7 @@ enum class StatusCode {
   kIOError,
   kOutOfRange,
   kInternal,
+  kDeadlineExceeded,
 };
 
 /// Result of a fallible operation: a code plus a human-readable message.
@@ -47,6 +48,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

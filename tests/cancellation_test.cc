@@ -1,0 +1,408 @@
+// Cancellation and anytime-degradation tests (docs/robustness.md): token
+// and poller units, the abort contract (kDeadlineExceeded, frontier
+// accounting, clean unwinding) and the anytime contract (uncertified
+// partial top-k) across every engine, and the bit-identity guarantee that
+// an unfired token changes nothing.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "core/all_ego.h"
+#include "core/base_search.h"
+#include "core/opt_search.h"
+#include "dynamic/lazy_topk.h"
+#include "dynamic/local_update.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "parallel/parallel_ebw.h"
+#include "parallel/parallel_opt_search.h"
+#include "util/cancellation.h"
+#include "util/status.h"
+
+namespace egobw {
+namespace {
+
+Graph TestGraph() { return RMat(8, 8, 0.57, 0.19, 0.19, 42); }
+
+void ExpectSameTopK(const TopKResult& got, const TopKResult& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].vertex, want[i].vertex) << "rank " << i;
+    EXPECT_EQ(got[i].cb, want[i].cb) << "rank " << i;  // Bit-identical.
+  }
+}
+
+// ---------------------------------------------------------------- Token
+
+TEST(CancelTokenTest, ManualTokenStartsClear) {
+  CancelToken token;
+  EXPECT_FALSE(token.has_deadline());
+  EXPECT_FALSE(token.Cancelled());
+  EXPECT_FALSE(token.Expired());
+}
+
+TEST(CancelTokenTest, CancelLatches) {
+  CancelToken token;
+  token.Cancel();
+  EXPECT_TRUE(token.Cancelled());
+  EXPECT_TRUE(token.Expired());
+  EXPECT_TRUE(token.Cancelled());  // Stays fired.
+}
+
+TEST(CancelTokenTest, FarDeadlineDoesNotFire) {
+  CancelToken token(std::chrono::milliseconds(60 * 60 * 1000));
+  EXPECT_TRUE(token.has_deadline());
+  EXPECT_FALSE(token.Expired());
+  EXPECT_FALSE(token.Cancelled());
+}
+
+TEST(CancelTokenTest, PastDeadlineLatchesIntoFlag) {
+  CancelToken token(std::chrono::milliseconds(0));
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  // Before any Expired() call the pure-flag check cannot know yet.
+  EXPECT_TRUE(token.Expired());
+  // The observed expiry is latched: flag-only reads now see it.
+  EXPECT_TRUE(token.Cancelled());
+}
+
+TEST(CancelTokenTest, ConcurrentCancelAndPollRace) {
+  CancelToken token;
+  std::thread firer([&token] { token.Cancel(); });
+  while (!token.Expired()) {
+  }
+  firer.join();
+  EXPECT_TRUE(token.Cancelled());
+}
+
+// ---------------------------------------------------------------- Poller
+
+TEST(CancelPollerTest, NullTokenNeverExpires) {
+  CancelPoller poller(nullptr);
+  for (int i = 0; i < 5000; ++i) EXPECT_FALSE(poller.Expired());
+}
+
+TEST(CancelPollerTest, SeesManualCancelOnNextCallRegardlessOfStride) {
+  CancelToken token;
+  CancelPoller poller(&token, /*stride=*/1u << 30);
+  EXPECT_FALSE(poller.Expired());
+  token.Cancel();
+  EXPECT_TRUE(poller.Expired());  // Flag path skips the stride entirely.
+}
+
+TEST(CancelPollerTest, FirstCallConsultsTheClock) {
+  CancelToken token(std::chrono::milliseconds(0));
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  CancelPoller poller(&token, /*stride=*/1024);
+  EXPECT_TRUE(poller.Expired());
+}
+
+TEST(CancelPollerTest, UnfiredDeadlineStaysQuietAcrossManyCalls) {
+  CancelToken token(std::chrono::milliseconds(60 * 60 * 1000));
+  CancelPoller poller(&token, /*stride=*/8);
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(poller.Expired());
+}
+
+// ------------------------------------------------ Abort: top-k engines
+
+TEST(CancelAbortTest, BaseBSearchPreFiredReturnsDeadlineExceeded) {
+  Graph g = TestGraph();
+  CancelToken token;
+  token.Cancel();
+  SearchStats stats;
+  Result<TopKResult> r = RunBaseBSearch(g, 10, {.cancel = &token}, &stats);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_GT(stats.frontier_remaining, 0u);
+}
+
+TEST(CancelAbortTest, OptBSearchPreFiredReturnsDeadlineExceeded) {
+  Graph g = TestGraph();
+  CancelToken token;
+  token.Cancel();
+  SearchStats stats;
+  Result<TopKResult> r =
+      RunOptBSearch(g, 10, {.theta = 1.05, .cancel = &token}, &stats);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_GT(stats.frontier_remaining, 0u);
+}
+
+TEST(CancelAbortTest, ParallelOptBSearchPreFiredReturnsDeadlineExceeded) {
+  Graph g = TestGraph();
+  for (size_t threads : {1u, 2u, 4u}) {
+    CancelToken token;
+    token.Cancel();
+    SearchStats stats;
+    Result<TopKResult> r = RunParallelOptBSearch(
+        g, 10, threads, {.theta = 1.05, .cancel = &token}, &stats);
+    ASSERT_FALSE(r.ok()) << threads << " threads";
+    EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded)
+        << threads << " threads";
+    EXPECT_GT(stats.frontier_remaining, 0u) << threads << " threads";
+  }
+}
+
+// Workers observing a mid-run cancel must drain their in-flight work and
+// join cleanly — whichever of the two outcomes the race produces, the run
+// terminates, and a completed run is exact (exercised under TSAN/ASAN).
+TEST(CancelAbortTest, ParallelOptBSearchMidRunCancelJoinsCleanly) {
+  Graph g = RMat(10, 8, 0.57, 0.19, 0.19, 7);
+  TopKResult want = OptBSearch(g, 10);
+  for (size_t threads : {2u, 4u}) {
+    CancelToken token;
+    std::thread firer([&token] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      token.Cancel();
+    });
+    Result<TopKResult> r = RunParallelOptBSearch(
+        g, 10, threads, {.theta = 1.05, .cancel = &token});
+    firer.join();
+    if (r.ok()) {
+      ExpectSameTopK(r.value(), want);  // Finished before the cancel landed.
+    } else {
+      EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+    }
+  }
+}
+
+// ------------------------------------------------ Abort: all-vertex passes
+
+TEST(CancelAbortTest, AllVertexPassesPreFiredReturnDeadlineExceeded) {
+  Graph g = TestGraph();
+  CancelToken token;
+  token.Cancel();
+  AllEgoOptions options;
+  options.cancel = &token;
+
+  SearchStats streaming_stats;
+  Result<std::vector<double>> streaming =
+      RunAllEgoBetweenness(g, options, &streaming_stats);
+  ASSERT_FALSE(streaming.ok());
+  EXPECT_EQ(streaming.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(streaming_stats.frontier_remaining, g.NumEdges());
+
+  SearchStats retained_stats;
+  Result<AllEgoState> retained =
+      RunAllEgoBetweennessWithState(g, options, &retained_stats);
+  ASSERT_FALSE(retained.ok());
+  EXPECT_EQ(retained.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(retained_stats.frontier_remaining, g.NumEdges());
+
+  PEBWOptions pebw;
+  pebw.cancel = &token;
+  for (size_t threads : {1u, 2u, 4u}) {
+    SearchStats vstats;
+    Result<std::vector<double>> vres =
+        RunVertexPEBW(g, threads, pebw, &vstats);
+    ASSERT_FALSE(vres.ok()) << threads << " threads";
+    EXPECT_EQ(vres.status().code(), StatusCode::kDeadlineExceeded);
+    EXPECT_EQ(vstats.frontier_remaining, g.NumEdges());
+
+    SearchStats estats;
+    Result<std::vector<double>> eres = RunEdgePEBW(g, threads, pebw, &estats);
+    ASSERT_FALSE(eres.ok()) << threads << " threads";
+    EXPECT_EQ(eres.status().code(), StatusCode::kDeadlineExceeded);
+    EXPECT_EQ(estats.frontier_remaining, g.NumEdges());
+  }
+}
+
+TEST(CancelAbortTest, EdgePEBWMidRunCancelJoinsCleanly) {
+  Graph g = RMat(10, 8, 0.57, 0.19, 0.19, 7);
+  std::vector<double> want = ComputeAllEgoBetweenness(g);
+  CancelToken token;
+  std::thread firer([&token] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    token.Cancel();
+  });
+  PEBWOptions options;
+  options.cancel = &token;
+  Result<std::vector<double>> r = RunEdgePEBW(g, 4, options);
+  firer.join();
+  if (r.ok()) EXPECT_EQ(r.value(), want);
+}
+
+// ------------------------------------------------ Anytime degradation
+
+TEST(CancelAnytimeTest, PreFiredReturnsUncertifiedPartial) {
+  Graph g = TestGraph();
+  CancelToken token;
+  token.Cancel();
+
+  Result<TopKResult> base = RunBaseBSearch(
+      g, 10, {.cancel = &token, .on_cancel = OnCancel::kAnytime});
+  ASSERT_TRUE(base.ok());
+  EXPECT_FALSE(base.value().certified);
+
+  Result<TopKResult> opt = RunOptBSearch(
+      g, 10,
+      {.theta = 1.05, .cancel = &token, .on_cancel = OnCancel::kAnytime});
+  ASSERT_TRUE(opt.ok());
+  EXPECT_FALSE(opt.value().certified);
+  EXPECT_LE(opt.value().size(), 10u);
+
+  for (size_t threads : {1u, 2u, 4u}) {
+    Result<TopKResult> par = RunParallelOptBSearch(
+        g, 10, threads,
+        {.theta = 1.05, .cancel = &token, .on_cancel = OnCancel::kAnytime});
+    ASSERT_TRUE(par.ok()) << threads << " threads";
+    EXPECT_FALSE(par.value().certified) << threads << " threads";
+  }
+}
+
+TEST(CancelAnytimeTest, AnytimeEntriesAreValidVertices) {
+  Graph g = TestGraph();
+  CancelToken token;
+  std::thread firer([&token] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    token.Cancel();
+  });
+  Result<TopKResult> r = RunOptBSearch(
+      g, 10,
+      {.theta = 1.05, .cancel = &token, .on_cancel = OnCancel::kAnytime});
+  firer.join();
+  ASSERT_TRUE(r.ok());
+  for (const TopKEntry& e : r.value()) {
+    EXPECT_LT(e.vertex, g.NumVertices());
+    EXPECT_GE(e.cb, 0.0);
+  }
+}
+
+// -------------------------------------- Unfired token = bit-identical
+
+TEST(CancelBitIdentityTest, UnfiredTokenChangesNothing) {
+  Graph g = TestGraph();
+  CancelToken token(std::chrono::milliseconds(60 * 60 * 1000));
+  TopKResult want = OptBSearch(g, 10);
+
+  Result<TopKResult> base = RunBaseBSearch(g, 10, {.cancel = &token});
+  ASSERT_TRUE(base.ok());
+  EXPECT_TRUE(base.value().certified);
+  ExpectSameTopK(base.value(), want);
+
+  Result<TopKResult> opt =
+      RunOptBSearch(g, 10, {.theta = 1.05, .cancel = &token});
+  ASSERT_TRUE(opt.ok());
+  EXPECT_TRUE(opt.value().certified);
+  ExpectSameTopK(opt.value(), want);
+
+  for (size_t threads : {1u, 2u, 4u}) {
+    Result<TopKResult> par = RunParallelOptBSearch(
+        g, 10, threads, {.theta = 1.05, .cancel = &token});
+    ASSERT_TRUE(par.ok()) << threads << " threads";
+    EXPECT_TRUE(par.value().certified);
+    ExpectSameTopK(par.value(), want);
+  }
+
+  std::vector<double> all_want = ComputeAllEgoBetweenness(g);
+  AllEgoOptions options;
+  options.cancel = &token;
+  Result<std::vector<double>> streaming = RunAllEgoBetweenness(g, options);
+  ASSERT_TRUE(streaming.ok());
+  EXPECT_EQ(streaming.value(), all_want);
+
+  PEBWOptions pebw;
+  pebw.cancel = &token;
+  Result<std::vector<double>> vres = RunVertexPEBW(g, 4, pebw);
+  ASSERT_TRUE(vres.ok());
+  EXPECT_EQ(vres.value(), all_want);
+  Result<std::vector<double>> eres = RunEdgePEBW(g, 4, pebw);
+  ASSERT_TRUE(eres.ok());
+  EXPECT_EQ(eres.value(), all_want);
+}
+
+// ------------------------------------------------ Dynamic engines
+
+TEST(CancelDynamicTest, LazyTopKDefersRepairAndRecovers) {
+  Graph g = ErdosRenyi(60, 200, 11);
+  LazyTopK lazy(g, 5);
+  CancelToken token;
+  lazy.SetCancelToken(&token);
+  token.Cancel();
+
+  // Find a non-edge to insert.
+  VertexId a = 0, b = 0;
+  bool found = false;
+  for (VertexId u = 0; u < g.NumVertices() && !found; ++u) {
+    for (VertexId v = u + 1; v < g.NumVertices() && !found; ++v) {
+      if (!lazy.graph().HasEdge(u, v)) {
+        a = u;
+        b = v;
+        found = true;
+      }
+    }
+  }
+  ASSERT_TRUE(found);
+
+  // Fired token: the update applies but the repair is deferred.
+  Status st = lazy.InsertEdge(a, b);
+  EXPECT_EQ(st.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(lazy.graph().HasEdge(a, b));
+
+  // Querying while still fired degrades to an uncertified answer.
+  TopKResult partial = lazy.CurrentTopK();
+  EXPECT_FALSE(partial.certified);
+
+  // Clearing the token lets the deferred repair complete; the answer is
+  // certified and matches a from-scratch search on the updated graph.
+  lazy.SetCancelToken(nullptr);
+  TopKResult repaired = lazy.CurrentTopK();
+  EXPECT_TRUE(repaired.certified);
+  TopKResult want = BaseBSearch(lazy.graph().ToGraph(), 5);
+  ASSERT_EQ(repaired.size(), want.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(repaired[i].vertex, want[i].vertex) << "rank " << i;
+    EXPECT_NEAR(repaired[i].cb, want[i].cb, 1e-9) << "rank " << i;
+  }
+}
+
+TEST(CancelDynamicTest, LazyTopKUnfiredTokenIsCertified) {
+  Graph g = ErdosRenyi(50, 150, 12);
+  LazyTopK lazy(g, 5);
+  CancelToken token(std::chrono::milliseconds(60 * 60 * 1000));
+  lazy.SetCancelToken(&token);
+  ASSERT_TRUE(lazy.DeleteEdge(g.Edges()[0].first, g.Edges()[0].second).ok());
+  TopKResult top = lazy.CurrentTopK();
+  EXPECT_TRUE(top.certified);
+}
+
+TEST(CancelDynamicTest, LocalUpdateEngineRejectsUpdateBeforeMutating) {
+  Graph g = ErdosRenyi(40, 100, 13);
+  LocalUpdateEngine engine(g);
+  std::vector<double> before = engine.AllCB();
+  CancelToken token;
+  engine.SetCancelToken(&token);
+  token.Cancel();
+
+  VertexId a = 0, b = 0;
+  bool found = false;
+  for (VertexId u = 0; u < g.NumVertices() && !found; ++u) {
+    for (VertexId v = u + 1; v < g.NumVertices() && !found; ++v) {
+      if (!engine.graph().HasEdge(u, v)) {
+        a = u;
+        b = v;
+        found = true;
+      }
+    }
+  }
+  ASSERT_TRUE(found);
+
+  // Fired token: the update is refused at entry, state untouched.
+  EXPECT_EQ(engine.InsertEdge(a, b).code(), StatusCode::kDeadlineExceeded);
+  EXPECT_FALSE(engine.graph().HasEdge(a, b));
+  EXPECT_EQ(engine.AllCB(), before);
+  auto edge = engine.graph().ToGraph().Edges()[0];
+  EXPECT_EQ(engine.DeleteEdge(edge.first, edge.second).code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(engine.AllCB(), before);
+
+  // Clearing the token resumes exact maintenance.
+  engine.SetCancelToken(nullptr);
+  ASSERT_TRUE(engine.InsertEdge(a, b).ok());
+  EXPECT_TRUE(engine.graph().HasEdge(a, b));
+}
+
+}  // namespace
+}  // namespace egobw

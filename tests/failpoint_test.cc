@@ -1,0 +1,238 @@
+// Fault-injection tests (docs/robustness.md): failpoint registry units and
+// the PR-3/PR-5 degradation invariants — a forced eviction at every edge
+// index, a failed S-map reservation, a failed slab adoption, lost edge
+// claims and stalled workers must all degrade to slower-but-identical
+// executions, never to wrong values, crashes, or deadlocks.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <vector>
+
+#include "core/all_ego.h"
+#include "core/opt_search.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "parallel/parallel_ebw.h"
+#include "parallel/parallel_opt_search.h"
+#include "util/cancellation.h"
+#include "util/failpoint.h"
+#include "util/status.h"
+
+namespace egobw {
+namespace {
+
+// Every test runs with the gate forced open and leaves a clean registry
+// behind; the gate is forced shut again so unrelated tests in this binary
+// (and the default build) stay failpoint-free.
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    failpoint::EnableForTesting(true);
+    failpoint::Reset();
+  }
+  void TearDown() override {
+    failpoint::Reset();
+    failpoint::EnableForTesting(false);
+  }
+};
+
+// ---------------------------------------------------------------- Registry
+
+TEST_F(FailpointTest, NthHitFiresExactlyOnce) {
+  failpoint::Arm("unit.point", /*nth=*/3);
+  EXPECT_FALSE(EGOBW_FAILPOINT("unit.point"));
+  EXPECT_FALSE(EGOBW_FAILPOINT("unit.point"));
+  EXPECT_TRUE(EGOBW_FAILPOINT("unit.point"));
+  EXPECT_FALSE(EGOBW_FAILPOINT("unit.point"));  // times defaults to 1.
+  EXPECT_EQ(failpoint::HitCount("unit.point"), 4u);
+}
+
+TEST_F(FailpointTest, TimesWindowFiresConsecutively) {
+  failpoint::Arm("unit.window", /*nth=*/2, /*times=*/2);
+  EXPECT_FALSE(EGOBW_FAILPOINT("unit.window"));
+  EXPECT_TRUE(EGOBW_FAILPOINT("unit.window"));
+  EXPECT_TRUE(EGOBW_FAILPOINT("unit.window"));
+  EXPECT_FALSE(EGOBW_FAILPOINT("unit.window"));
+}
+
+TEST_F(FailpointTest, TimesZeroFiresForeverFromNth) {
+  failpoint::Arm("unit.forever", /*nth=*/2, /*times=*/0);
+  EXPECT_FALSE(EGOBW_FAILPOINT("unit.forever"));
+  for (int i = 0; i < 50; ++i) EXPECT_TRUE(EGOBW_FAILPOINT("unit.forever"));
+}
+
+TEST_F(FailpointTest, DisarmStopsFiringButKeepsCounting) {
+  failpoint::Arm("unit.disarm", 1, 0);
+  EXPECT_TRUE(EGOBW_FAILPOINT("unit.disarm"));
+  failpoint::Disarm("unit.disarm");
+  EXPECT_FALSE(EGOBW_FAILPOINT("unit.disarm"));
+  EXPECT_EQ(failpoint::HitCount("unit.disarm"), 2u);
+}
+
+TEST_F(FailpointTest, RearmingResetsTheCountdown) {
+  failpoint::Arm("unit.rearm", 2);
+  EXPECT_FALSE(EGOBW_FAILPOINT("unit.rearm"));
+  failpoint::Arm("unit.rearm", 2);  // Restart: next hit is hit 1 again.
+  EXPECT_FALSE(EGOBW_FAILPOINT("unit.rearm"));
+  EXPECT_TRUE(EGOBW_FAILPOINT("unit.rearm"));
+}
+
+TEST_F(FailpointTest, DisabledGateShortCircuitsArmedPoints) {
+  failpoint::Arm("unit.gated", 1, 0);
+  failpoint::EnableForTesting(false);
+  EXPECT_FALSE(EGOBW_FAILPOINT("unit.gated"));
+  // The macro short-circuits before Hit(): the hit was not even counted.
+  failpoint::EnableForTesting(true);
+  EXPECT_EQ(failpoint::HitCount("unit.gated"), 0u);
+}
+
+TEST_F(FailpointTest, EnvVarArmsWithoutRecompiling) {
+  ::setenv("EGOBW_FP_UNIT_ENV_POINT", "2", 1);
+  failpoint::Reset();  // Forget the name so the env is consulted afresh.
+  EXPECT_FALSE(EGOBW_FAILPOINT("unit.env-point"));
+  EXPECT_TRUE(EGOBW_FAILPOINT("unit.env-point"));
+  ::unsetenv("EGOBW_FP_UNIT_ENV_POINT");
+  failpoint::Reset();
+  EXPECT_FALSE(EGOBW_FAILPOINT("unit.env-point"));
+}
+
+// ------------------------------------------- Streaming store degradation
+
+// PR-5 invariant: evicting ANY in-flight map only reroutes that vertex to
+// the local-rebuild path — values stay bit-identical. Force the eviction
+// at every edge index of the pass to cover every interleaving.
+TEST_F(FailpointTest, ForcedEvictionAtEveryEdgeIndexIsBitIdentical) {
+  Graph g = ErdosRenyi(40, 120, 9);
+  failpoint::EnableForTesting(false);
+  std::vector<double> want = ComputeAllEgoBetweenness(g);
+  failpoint::EnableForTesting(true);
+  uint64_t fired_runs = 0;
+  for (uint64_t edge = 1; edge <= g.NumEdges(); ++edge) {
+    failpoint::Reset();
+    failpoint::Arm("streaming.force_evict", edge);
+    SearchStats stats;
+    Result<std::vector<double>> got =
+        RunAllEgoBetweenness(g, AllEgoOptions{}, &stats);
+    ASSERT_TRUE(got.ok()) << "edge " << edge;
+    EXPECT_EQ(got.value(), want) << "forced eviction at edge " << edge;
+    EXPECT_GE(failpoint::HitCount("streaming.force_evict"), edge)
+        << "site not reached — was the failpoint renamed?";
+    fired_runs += stats.evicted_rebuilds > 0 ? 1 : 0;
+  }
+  // The fault must actually bite on most indices (late indices can find
+  // every remaining map already complete — that is the degenerate case).
+  EXPECT_GT(fired_runs, g.NumEdges() / 2);
+}
+
+// PR-5 invariant: a failed reservation (simulated allocation failure)
+// degrades the vertex to the evicted/local-rebuild path.
+TEST_F(FailpointTest, ReserveForFailureDegradesToRebuildPath) {
+  Graph g = ErdosRenyi(50, 160, 10);
+  failpoint::EnableForTesting(false);
+  std::vector<double> want = ComputeAllEgoBetweenness(g);
+  failpoint::EnableForTesting(true);
+  failpoint::Arm("smap_store.reserve_for", 1, /*times=*/0);  // Every one.
+  SearchStats stats;
+  Result<std::vector<double>> got =
+      RunAllEgoBetweenness(g, AllEgoOptions{}, &stats);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value(), want);
+  EXPECT_GT(failpoint::HitCount("smap_store.reserve_for"), 0u);
+  EXPECT_GT(stats.evicted_rebuilds, 0u);
+}
+
+// Slab adoption failing just means the map grows from a cold table.
+TEST_F(FailpointTest, SlabPoolAcquireFailureIsValueNeutral) {
+  Graph g = ErdosRenyi(50, 160, 10);
+  failpoint::EnableForTesting(false);
+  std::vector<double> want = ComputeAllEgoBetweenness(g);
+  failpoint::EnableForTesting(true);
+  failpoint::Arm("slab_pool.acquire", 1, /*times=*/0);
+  Result<std::vector<double>> got = RunAllEgoBetweenness(g, AllEgoOptions{});
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value(), want);
+  EXPECT_GT(failpoint::HitCount("slab_pool.acquire"), 0u);
+}
+
+// The same two store sites sit under the parallel all-vertex engines.
+TEST_F(FailpointTest, ParallelStreamingSurvivesStoreFaults) {
+  Graph g = ErdosRenyi(60, 220, 14);
+  failpoint::EnableForTesting(false);
+  std::vector<double> want = ComputeAllEgoBetweenness(g);
+  failpoint::EnableForTesting(true);
+  failpoint::Arm("smap_store.reserve_for", 3, /*times=*/0);
+  failpoint::Arm("slab_pool.acquire", 2, /*times=*/0);
+  Result<std::vector<double>> got = RunEdgePEBW(g, 4);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value(), want);
+}
+
+// ------------------------------------------- Parallel search degradation
+
+// PR-3 invariant: losing an edge claim only leaves that edge's bound marks
+// unpublished — bounds stay valid (looser), admission stays sound, and the
+// answer is bit-identical. times=0 loses EVERY claim: the search runs on
+// static bounds alone and must still be exact.
+TEST_F(FailpointTest, LostEdgeClaimsAreValueNeutral) {
+  Graph g = RMat(8, 8, 0.57, 0.19, 0.19, 21);
+  failpoint::EnableForTesting(false);
+  TopKResult want = OptBSearch(g, 10);
+  failpoint::EnableForTesting(true);
+  for (uint64_t times : {1u, 0u}) {
+    for (size_t threads : {2u, 4u}) {
+      failpoint::Reset();
+      failpoint::Arm("parallel.edge_claim", 1, times);
+      Result<TopKResult> got = RunParallelOptBSearch(g, 10, threads);
+      ASSERT_TRUE(got.ok()) << threads << " threads, times=" << times;
+      ASSERT_EQ(got.value().size(), want.size());
+      for (size_t i = 0; i < want.size(); ++i) {
+        EXPECT_EQ(got.value()[i].vertex, want[i].vertex);
+        EXPECT_EQ(got.value()[i].cb, want[i].cb);
+      }
+      EXPECT_GT(failpoint::HitCount("parallel.edge_claim"), 0u);
+    }
+  }
+}
+
+// A worker stalled at startup or at a pop boundary must neither corrupt the
+// answer nor wedge the termination barrier (the other workers drain the
+// pool; the stalled one wakes, observes done, and joins).
+TEST_F(FailpointTest, StalledWorkersCannotDeadlockTheBarrier) {
+  Graph g = RMat(8, 8, 0.57, 0.19, 0.19, 21);
+  failpoint::EnableForTesting(false);
+  TopKResult want = OptBSearch(g, 10);
+  failpoint::EnableForTesting(true);
+
+  failpoint::Arm("parallel.worker_start", 1);  // First worker in naps.
+  failpoint::Arm("parallel.worker_stall", 5, /*times=*/3);
+  Result<TopKResult> got = RunParallelOptBSearch(g, 10, 4);
+  ASSERT_TRUE(got.ok());
+  ASSERT_EQ(got.value().size(), want.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got.value()[i].vertex, want[i].vertex);
+    EXPECT_EQ(got.value()[i].cb, want[i].cb);
+  }
+  EXPECT_GE(failpoint::HitCount("parallel.worker_start"), 1u);
+}
+
+// Fault + deadline composed: a stalled worker under a short deadline must
+// come back with kDeadlineExceeded (or a completed exact answer if the
+// race finishes first) — never a hang. The stalled worker's 100ms nap
+// exceeds the deadline, so the OTHER workers observe expiry, raise done,
+// and the barrier still unifies every exit path.
+TEST_F(FailpointTest, StalledWorkerUnderDeadlineStillTerminates) {
+  Graph g = RMat(9, 8, 0.57, 0.19, 0.19, 22);
+  failpoint::Arm("parallel.worker_start", 1);
+  CancelToken token(std::chrono::milliseconds(10));
+  SearchStats stats;
+  Result<TopKResult> got = RunParallelOptBSearch(
+      g, 10, 4, {.theta = 1.05, .cancel = &token}, &stats);
+  if (!got.ok()) {
+    EXPECT_EQ(got.status().code(), StatusCode::kDeadlineExceeded);
+  }
+}
+
+}  // namespace
+}  // namespace egobw

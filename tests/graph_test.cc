@@ -333,6 +333,102 @@ TEST(IoTest, MissingFileIsIOError) {
   EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
 }
 
+// Adversarial-input table: every malformed shape maps to kInvalidArgument
+// with the offending 1-based line number in the message — never a crash,
+// never a silently misparsed graph.
+TEST(IoTest, MalformedInputTable) {
+  struct Case {
+    const char* name;
+    std::string content;
+    const char* line_tag;  // ":<line>" expected in the error message.
+  };
+  const Case kCases[] = {
+      {"non_numeric", "0 1\nnot numbers\n", ":2"},
+      {"negative_id", "0 1\n-3 4\n", ":2"},
+      {"uint32_overflow", "0 1\n4294967296 2\n", ":2"},
+      {"huge_overflow", "99999999999999999999 2\n", ":1"},
+      {"one_field", "0 1\n42\n", ":2"},
+      {"one_field_trailing_space", "7 \n", ":1"},
+      {"three_fields", "0 1 2\n", ":1"},
+      {"weighted_input", "0 1 0.5\n", ":1"},
+      {"float_id", "0.5 1\n", ":1"},
+      {"hex_id", "0x10 1\n", ":1"},
+      {"junk_after_record", "0 1 x\n", ":1"},
+      {"error_on_later_line", "0 1\n1 2\n2 3\nbroken\n", ":4"},
+      {"overlong_line",
+       std::string(2u << 20, '7') + " 1\n", ":1"},
+  };
+  for (const Case& c : kCases) {
+    std::string path = TempPath(std::string("egobw_io_mal_") + c.name);
+    {
+      std::ofstream f(path);
+      f << c.content;
+    }
+    Result<Graph> loaded = LoadEdgeList(path);
+    ASSERT_FALSE(loaded.ok()) << c.name;
+    EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument) << c.name;
+    EXPECT_NE(loaded.status().message().find(c.line_tag), std::string::npos)
+        << c.name << ": " << loaded.status().ToString();
+    std::remove(path.c_str());
+  }
+}
+
+// Benign-but-awkward shapes every SNAP download exhibits somewhere: CRLF
+// line endings, a missing trailing newline, comments, blank lines, and a
+// record longer than the loader's internal 4 KiB read buffer (leading
+// zeros keep the value in range) must all load cleanly.
+TEST(IoTest, AcceptsAwkwardButValidInput) {
+  std::string long_record = std::string(8000, '0') + "2 3\n";  // id 2.
+  struct Case {
+    const char* name;
+    std::string content;
+    uint64_t edges;
+  };
+  const Case kCases[] = {
+      {"crlf", "0 1\r\n1 2\r\n", 2},
+      {"no_trailing_newline", "0 1\n1 2", 2},
+      {"comment_only", "# nothing here\n%\n\n", 0},
+      {"empty_file", "", 0},
+      {"long_record_leading_zeros", long_record, 1},
+  };
+  for (const Case& c : kCases) {
+    std::string path = TempPath(std::string("egobw_io_ok_") + c.name);
+    {
+      std::ofstream f(path);
+      f << c.content;
+    }
+    Result<Graph> loaded = LoadEdgeList(path, {.relabel = false});
+    ASSERT_TRUE(loaded.ok()) << c.name << ": " << loaded.status().ToString();
+    EXPECT_EQ(loaded.value().NumEdges(), c.edges) << c.name;
+    std::remove(path.c_str());
+  }
+}
+
+// Save/load round-trip property over a spread of generated graphs: the
+// reloaded graph is isomorphic under identity (same n, same edge set).
+TEST(IoTest, RoundTripProperty) {
+  Graph graphs[] = {ErdosRenyi(2, 1, 1), ErdosRenyi(60, 0, 2),
+                    ErdosRenyi(60, 170, 3), BarabasiAlbert(120, 4, 4),
+                    RMat(7, 6, 0.57, 0.19, 0.19, 5)};
+  int idx = 0;
+  for (const Graph& g : graphs) {
+    std::string path =
+        TempPath("egobw_io_prop_" + std::to_string(idx++) + ".txt");
+    ASSERT_TRUE(SaveEdgeList(g, path).ok());
+    Result<Graph> loaded = LoadEdgeList(path, {.relabel = false});
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    const Graph& h = loaded.value();
+    EXPECT_EQ(h.NumEdges(), g.NumEdges());
+    // Isolated trailing vertices are not representable in an edge list, so
+    // the universe may legitimately shrink; every edge must survive.
+    EXPECT_LE(h.NumVertices(), g.NumVertices());
+    for (const auto& [u, v] : g.Edges()) {
+      EXPECT_TRUE(h.HasEdge(u, v)) << u << "-" << v;
+    }
+    std::remove(path.c_str());
+  }
+}
+
 // ---------------------------------------------------------------- Generators
 
 TEST(GeneratorsTest, ErdosRenyiExactEdgeCount) {

@@ -7,8 +7,10 @@
 #include <atomic>
 #include <cstdlib>
 #include <map>
+#include <memory>
 #include <queue>
 #include <set>
+#include <utility>
 #include <vector>
 
 #include "util/env.h"
@@ -577,6 +579,49 @@ TEST(StatusTest, ReturnIfErrorMacro) {
 TEST(StatusDeathTest, ResultValueOnErrorAborts) {
   Result<int> r(Status::NotFound("nope"));
   EXPECT_DEATH(r.value(), "NotFound");
+}
+
+TEST(StatusTest, DeadlineExceededFormatsLikeEveryOtherCode) {
+  Status s = Status::DeadlineExceeded("search ran past 50ms");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(s.message(), "search ran past 50ms");
+  EXPECT_EQ(s.ToString(), "DeadlineExceeded: search ran past 50ms");
+}
+
+TEST(StatusTest, ResultOfMoveOnlyValueMovesOut) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> owned = std::move(r).value();
+  ASSERT_NE(owned, nullptr);
+  EXPECT_EQ(*owned, 7);
+}
+
+TEST(StatusTest, ResultValueMoveLeavesVectorEmpty) {
+  Result<std::vector<int>> r(std::vector<int>{1, 2, 3});
+  std::vector<int> taken = std::move(r).value();
+  EXPECT_EQ(taken, (std::vector<int>{1, 2, 3}));
+}
+
+namespace status_macro {
+
+Result<int> DoubleOrFail(int x) {
+  if (x < 0) return Status::DeadlineExceeded("too late");
+  return 2 * x;
+}
+
+Status PropagatesFromResult(int x) {
+  EGOBW_RETURN_IF_ERROR(DoubleOrFail(x).status());
+  return Status::OK();
+}
+
+}  // namespace status_macro
+
+TEST(StatusTest, ErrorCodePropagatesThroughResultChains) {
+  EXPECT_TRUE(status_macro::PropagatesFromResult(3).ok());
+  Status failed = status_macro::PropagatesFromResult(-1);
+  EXPECT_EQ(failed.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(failed.message(), "too late");
 }
 
 // ---------------------------------------------------------------- ThreadPool
