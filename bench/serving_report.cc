@@ -1,0 +1,327 @@
+// Serving benchmark: EgoBwServer under stepped offered load, emitting a
+// machine-readable BENCH_serving.json (companion to BENCH_topk.json).
+//
+// One R-MAT graph (default scale 14), one in-process server (2 workers,
+// bounded admission queue, 100 ms default deadline), one deterministic
+// Zipf query mix (ZipfServingMix: hub-weighted "community" subset queries
+// plus a few whole-graph ones). The same mix is replayed at three
+// closed-loop client counts:
+//   * light     — 1 client: pure service time, no queueing,
+//   * moderate  — 4 clients: workers busy, queue shallow,
+//   * overload  — 32 clients against queue depth 4: the admission queue
+//     is saturated and the server must shed.
+// Per level the report records queries/s, client-observed p50/p99 of the
+// ACCEPTED queries, and the shed count. The serving robustness claim the
+// JSON certifies: under overload the server sheds load quickly instead of
+// queueing it — accepted-query p99 stays within 2x the moderate-load p99
+// while sheds are answered in well under a service time.
+//
+// Usage: serving_report [output.json] [scale] [queries] [workers] [socket]
+//   scale    R-MAT scale (default 14; CI smoke passes a smaller one)
+//   queries  queries per load level (default 400)
+//   workers  server worker threads (default 2)
+//   socket   drive an ALREADY-RUNNING egobw_server on this socket instead
+//            of the in-process one (the soak leg: the external server must
+//            be serving the same graph, e.g. `egobw_server --rmat scale`).
+//            Server-side stats are then not part of the report.
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "benchlib/workloads.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace egobw;
+
+constexpr uint64_t kMixSeed = 20220514;  // The paper's ICDE year + month.
+
+struct LevelRow {
+  std::string level;
+  size_t clients = 0;
+  uint64_t offered = 0;
+  uint64_t accepted = 0;       // Admitted and answered (ok or deadline).
+  uint64_t shed = 0;           // ResourceExhausted / Unavailable verdicts.
+  uint64_t transport_errors = 0;
+  uint64_t certified = 0;
+  uint64_t uncertified = 0;
+  uint64_t deadline_exceeded = 0;
+  double wall_seconds = 0.0;
+  double qps = 0.0;            // Accepted answers per second.
+  double p50_ms = 0.0;         // Accepted-query client latency.
+  double p99_ms = 0.0;
+  double shed_p99_ms = 0.0;    // How fast a shed verdict comes back.
+};
+
+double Percentile(std::vector<double>* sorted_into, double p) {
+  if (sorted_into->empty()) return 0.0;
+  std::sort(sorted_into->begin(), sorted_into->end());
+  size_t idx = static_cast<size_t>(p * static_cast<double>(
+      sorted_into->size() - 1));
+  return (*sorted_into)[idx];
+}
+
+LevelRow RunLevel(const std::string& level, size_t clients,
+                  const std::string& socket_path,
+                  const std::vector<ServingQuerySpec>& mix) {
+  LevelRow row;
+  row.level = level;
+  row.clients = clients;
+  row.offered = mix.size();
+  std::vector<std::vector<double>> accepted_ms(clients);
+  std::vector<std::vector<double>> shed_ms(clients);
+  std::vector<LevelRow> partial(clients);
+  std::vector<std::thread> threads;
+  WallTimer wall;
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      LevelRow& mine = partial[c];
+      for (size_t i = c; i < mix.size(); i += clients) {
+        const ServingQuerySpec& spec = mix[i];
+        QueryRequest req;
+        req.k = spec.k;
+        req.theta = spec.theta;
+        req.deadline_ms = spec.deadline_ms;
+        req.subset = spec.subset;
+        WallTimer t;
+        Result<QueryResponse> resp = QueryServer(socket_path, req);
+        double ms = t.Millis();
+        if (!resp.ok()) {
+          ++mine.transport_errors;
+          continue;
+        }
+        switch (resp.value().code) {
+          case StatusCode::kOk:
+            ++mine.accepted;
+            accepted_ms[c].push_back(ms);
+            if (resp.value().certified) {
+              ++mine.certified;
+            } else {
+              ++mine.uncertified;
+            }
+            break;
+          case StatusCode::kDeadlineExceeded:
+            ++mine.accepted;
+            ++mine.deadline_exceeded;
+            accepted_ms[c].push_back(ms);
+            break;
+          case StatusCode::kResourceExhausted:
+          case StatusCode::kUnavailable:
+            ++mine.shed;
+            shed_ms[c].push_back(ms);
+            break;
+          default:
+            ++mine.transport_errors;
+            break;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  row.wall_seconds = wall.Seconds();
+  std::vector<double> all_accepted, all_shed;
+  for (size_t c = 0; c < clients; ++c) {
+    row.accepted += partial[c].accepted;
+    row.shed += partial[c].shed;
+    row.transport_errors += partial[c].transport_errors;
+    row.certified += partial[c].certified;
+    row.uncertified += partial[c].uncertified;
+    row.deadline_exceeded += partial[c].deadline_exceeded;
+    all_accepted.insert(all_accepted.end(), accepted_ms[c].begin(),
+                        accepted_ms[c].end());
+    all_shed.insert(all_shed.end(), shed_ms[c].begin(), shed_ms[c].end());
+  }
+  row.qps = row.wall_seconds > 0
+                ? static_cast<double>(row.accepted) / row.wall_seconds
+                : 0.0;
+  row.p50_ms = Percentile(&all_accepted, 0.50);
+  row.p99_ms = Percentile(&all_accepted, 0.99);
+  row.shed_p99_ms = Percentile(&all_shed, 0.99);
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::setvbuf(stdout, nullptr, _IOLBF, 0);  // Progress survives piping.
+  std::string out_path = argc > 1 ? argv[1] : "BENCH_serving.json";
+  uint32_t scale = argc > 2 ? static_cast<uint32_t>(std::atoi(argv[2])) : 14;
+  uint32_t queries =
+      argc > 3 ? static_cast<uint32_t>(std::atoi(argv[3])) : 400;
+  size_t workers = argc > 4 ? static_cast<size_t>(std::atoll(argv[4])) : 2;
+  std::string external_socket = argc > 5 ? argv[5] : "";
+
+  std::printf("Generating rmat scale %u...\n", scale);
+  Graph g = RMat(scale, 16, 0.57, 0.19, 0.19, 7);
+  std::printf("  n = %u, m = %llu, d_max = %u\n", g.NumVertices(),
+              static_cast<unsigned long long>(g.NumEdges()), g.MaxDegree());
+
+  EgoBwServerOptions options;
+  options.socket_path =
+      external_socket.empty()
+          ? "/tmp/egobw_bench_" + std::to_string(getpid()) + ".sock"
+          : external_socket;
+  options.workers = workers;
+  options.queue_depth = 4;
+  options.default_deadline_ms = 100;
+  std::unique_ptr<EgoBwServer> server;
+  if (external_socket.empty()) {
+    server = std::make_unique<EgoBwServer>(g, options);
+    Status st = server->Start();
+    if (!st.ok()) {
+      std::fprintf(stderr, "server: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  } else {
+    std::printf("Driving external server on %s\n", external_socket.c_str());
+  }
+
+  // The same deterministic mix at every level, so latency shifts are the
+  // load's doing, never the workload's.
+  ServingMixOptions mix_options;
+  mix_options.count = queries;
+  mix_options.k = 10;
+  mix_options.theta = 1.05;
+  mix_options.subset_cap = 128;
+  mix_options.full_graph_fraction = 0.02;
+  mix_options.deadline_ms = 0;  // Server default (100 ms) applies.
+  std::vector<ServingQuerySpec> mix = ZipfServingMix(g, mix_options, kMixSeed);
+
+  struct Level {
+    const char* name;
+    size_t clients;
+  };
+  std::vector<LevelRow> rows;
+  for (const Level& level :
+       {Level{"light", 1}, Level{"moderate", 4}, Level{"overload", 32}}) {
+    std::printf("Level %s: %zu client%s, %u queries...\n", level.name,
+                level.clients, level.clients == 1 ? "" : "s", queries);
+    LevelRow row =
+        RunLevel(level.name, level.clients, options.socket_path, mix);
+    std::printf(
+        "  %.1f qps, accepted %llu (p50 %.1f ms, p99 %.1f ms), shed %llu "
+        "(p99 %.1f ms), uncertified %llu, errors %llu\n",
+        row.qps, static_cast<unsigned long long>(row.accepted), row.p50_ms,
+        row.p99_ms, static_cast<unsigned long long>(row.shed),
+        row.shed_p99_ms, static_cast<unsigned long long>(row.uncertified),
+        static_cast<unsigned long long>(row.transport_errors));
+    rows.push_back(row);
+  }
+
+  Status drained = Status::OK();
+  EgoBwServerStats stats;
+  if (server != nullptr) {
+    drained = server->Drain(std::chrono::milliseconds(10000));
+    stats = server->Stats();
+  }
+
+  const LevelRow& moderate = rows[1];
+  const LevelRow& overload = rows[2];
+  bool shed_under_overload = overload.shed > 0;
+  bool p99_bounded = overload.p99_ms <= 2.0 * moderate.p99_ms;
+  std::printf(
+      "Overload: shed %llu requests; accepted p99 %.1f ms vs moderate "
+      "%.1f ms (%s 2x bound)\n",
+      static_cast<unsigned long long>(overload.shed), overload.p99_ms,
+      moderate.p99_ms, p99_bounded ? "within" : "OUTSIDE");
+
+  std::ofstream out(out_path);
+  char buf[512];
+  out << "{\n  \"benchmark\": \"serving_overload\",\n";
+  std::snprintf(buf, sizeof(buf),
+                "  \"graph\": {\"generator\": \"rmat\", \"scale\": %u, "
+                "\"vertices\": %u, \"edges\": %llu},\n",
+                scale, g.NumVertices(),
+                static_cast<unsigned long long>(g.NumEdges()));
+  out << buf;
+  std::snprintf(buf, sizeof(buf),
+                "  \"server\": {\"workers\": %zu, \"queue_depth\": %zu, "
+                "\"default_deadline_ms\": %u},\n",
+                options.workers, options.queue_depth,
+                options.default_deadline_ms);
+  out << buf;
+  std::snprintf(buf, sizeof(buf),
+                "  \"mix\": {\"queries\": %u, \"zipf_s\": %.2f, "
+                "\"subset_cap\": %u, \"full_graph_fraction\": %.3f, "
+                "\"k\": %u, \"theta\": %.3f, \"seed\": %llu},\n",
+                queries, mix_options.zipf_s, mix_options.subset_cap,
+                mix_options.full_graph_fraction, mix_options.k,
+                mix_options.theta,
+                static_cast<unsigned long long>(kMixSeed));
+  out << buf;
+  std::snprintf(buf, sizeof(buf), "  \"hardware_threads\": %u,\n",
+                std::thread::hardware_concurrency());
+  out << buf;
+  out << "  \"rows\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const LevelRow& r = rows[i];
+    std::snprintf(
+        buf, sizeof(buf),
+        "    {\"level\": \"%s\", \"clients\": %zu, \"offered\": %llu, "
+        "\"accepted\": %llu, \"shed\": %llu, \"transport_errors\": %llu, "
+        "\"certified\": %llu, \"uncertified\": %llu, "
+        "\"deadline_exceeded\": %llu, \"wall_seconds\": %.3f, "
+        "\"qps\": %.2f, \"p50_ms\": %.2f, \"p99_ms\": %.2f, "
+        "\"shed_p99_ms\": %.2f}%s\n",
+        r.level.c_str(), r.clients,
+        static_cast<unsigned long long>(r.offered),
+        static_cast<unsigned long long>(r.accepted),
+        static_cast<unsigned long long>(r.shed),
+        static_cast<unsigned long long>(r.transport_errors),
+        static_cast<unsigned long long>(r.certified),
+        static_cast<unsigned long long>(r.uncertified),
+        static_cast<unsigned long long>(r.deadline_exceeded),
+        r.wall_seconds, r.qps, r.p50_ms, r.p99_ms, r.shed_p99_ms,
+        i + 1 < rows.size() ? "," : "");
+    out << buf;
+  }
+  out << "  ],\n";
+  std::snprintf(
+      buf, sizeof(buf),
+      "  \"server_stats\": {\"accepted\": %llu, \"shed_queue_full\": %llu, "
+      "\"completed_ok\": %llu, \"completed_uncertified\": %llu, "
+      "\"deadline_exceeded\": %llu, \"watchdog_fired\": %llu, "
+      "\"peak_queue_depth\": %llu},\n",
+      static_cast<unsigned long long>(stats.accepted),
+      static_cast<unsigned long long>(stats.shed_queue_full),
+      static_cast<unsigned long long>(stats.completed_ok),
+      static_cast<unsigned long long>(stats.completed_uncertified),
+      static_cast<unsigned long long>(stats.deadline_exceeded),
+      static_cast<unsigned long long>(stats.watchdog_fired),
+      static_cast<unsigned long long>(stats.peak_queue_depth));
+  out << buf;
+  std::snprintf(buf, sizeof(buf),
+                "  \"overload_shed\": %s,\n"
+                "  \"overload_p99_within_2x_moderate\": %s\n}\n",
+                shed_under_overload ? "true" : "false",
+                p99_bounded ? "true" : "false");
+  out << buf;
+  std::printf("Wrote %s\n", out_path.c_str());
+
+  if (!drained.ok()) {
+    std::fprintf(stderr, "drain: %s\n", drained.ToString().c_str());
+    return 1;
+  }
+  return rows[0].transport_errors + rows[1].transport_errors +
+                     rows[2].transport_errors >
+                 0
+             ? 1
+             : 0;
+}

@@ -2,7 +2,8 @@
 //
 //   egobw_cli GRAPH.txt [--k N] [--algo opt|base|full|naive]
 //             [--theta T] [--threads N] [--retain-smaps]
-//             [--smap-budget-mb M] [--deadline-ms D] [--inspect VERTEX]
+//             [--smap-budget-mb M] [--deadline-ms D] [--anytime]
+//             [--inspect VERTEX]
 //
 //   --k N          number of results (default 10, must be >= 1)
 //   --algo A       opt    OptBSearch, dynamic bound (default)
@@ -29,10 +30,17 @@
 //                  printing are not covered): past D milliseconds the
 //                  engine stops cleanly and the run exits 3 with a
 //                  DeadlineExceeded line on stderr (docs/robustness.md).
-//                  Ctrl-C (SIGINT) fires the same token, so an interrupted
+//                  Ctrl-C (SIGINT) and SIGTERM (what init systems and
+//                  `timeout` send) fire the same token, so an interrupted
 //                  run also shuts down cleanly instead of dying mid-pass.
 //                  Not supported by --algo naive (it predates the bound
 //                  machinery; a note is printed and the run is uncovered).
+//   --anytime      with --algo opt|base: a fired deadline/signal returns
+//                  the partial top-k gathered so far (marked UNCERTIFIED,
+//                  with the count of candidates never decided) instead of
+//                  aborting with exit 3. The all-vertex algos (full,
+//                  naive) have no partial top-k to return and ignore it
+//                  with a note.
 //   --inspect V    additionally print ego-network stats for vertex V
 //
 // Exit codes: 0 success, 1 input/graph errors (bad path, malformed edge
@@ -108,11 +116,11 @@ TopKResult TopKFromAll(const std::vector<double>& cb, uint32_t k) {
   return result;
 }
 
-// SIGINT fires the same cooperative token as --deadline-ms; Cancel() is a
-// single relaxed atomic store, so it is async-signal-safe.
+// SIGINT and SIGTERM fire the same cooperative token as --deadline-ms;
+// Cancel() is a single relaxed atomic store, so it is async-signal-safe.
 CancelToken* g_cancel = nullptr;
 
-void HandleSigint(int /*sig*/) {
+void HandleStopSignal(int /*sig*/) {
   if (g_cancel != nullptr) g_cancel->Cancel();
 }
 
@@ -126,6 +134,7 @@ int main(int argc, char** argv) {
   double theta = 1.05;
   int64_t threads = 1;
   bool retain_smaps = false;
+  bool anytime = false;
   int64_t smap_budget_mb = -1;
   int64_t deadline_ms = -1;
   int64_t inspect = -1;
@@ -177,6 +186,8 @@ int main(int argc, char** argv) {
       smap_budget_mb = next_int("--smap-budget-mb", 0);
     } else if (std::strcmp(argv[i], "--deadline-ms") == 0) {
       deadline_ms = next_int("--deadline-ms", 0);
+    } else if (std::strcmp(argv[i], "--anytime") == 0) {
+      anytime = true;
     } else if (std::strcmp(argv[i], "--inspect") == 0) {
       inspect = next_int("--inspect", 0);
     } else {
@@ -208,7 +219,16 @@ int main(int argc, char** argv) {
       deadline_ms >= 0 ? CancelToken(std::chrono::milliseconds(deadline_ms))
                        : CancelToken();
   g_cancel = &cancel;
-  std::signal(SIGINT, HandleSigint);
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+
+  if (anytime && (algo == "full" || algo == "naive")) {
+    std::fprintf(stderr,
+                 "note: --anytime applies to --algo opt|base; the "
+                 "all-vertex passes have no partial top-k to return\n");
+    anytime = false;
+  }
+  OnCancel on_cancel = anytime ? OnCancel::kAnytime : OnCancel::kAbort;
 
   WallTimer timer;
   SearchStats stats;
@@ -216,12 +236,13 @@ int main(int argc, char** argv) {
   Result<TopKResult> top_or = TopKResult{};
   if (algo == "opt" && threads > 1) {
     algo = "opt(" + std::to_string(threads) + "T)";
-    top_or = RunParallelOptBSearch(g, k32, static_cast<size_t>(threads),
-                                   {.theta = theta, .cancel = &cancel},
-                                   &stats);
+    top_or = RunParallelOptBSearch(
+        g, k32, static_cast<size_t>(threads),
+        {.theta = theta, .cancel = &cancel, .on_cancel = on_cancel}, &stats);
   } else if (algo == "opt") {
-    top_or = RunOptBSearch(g, k32, {.theta = theta, .cancel = &cancel},
-                           &stats);
+    top_or = RunOptBSearch(
+        g, k32, {.theta = theta, .cancel = &cancel, .on_cancel = on_cancel},
+        &stats);
   } else if (algo == "full" && threads > 1) {
     algo = "full(" + std::to_string(threads) + "T)";
     PEBWOptions options;
@@ -238,7 +259,9 @@ int main(int argc, char** argv) {
                    "note: --threads applies to --algo opt|full; "
                    "running base serially\n");
     }
-    top_or = RunBaseBSearch(g, k32, {.cancel = &cancel}, &stats);
+    top_or = RunBaseBSearch(g, k32,
+                            {.cancel = &cancel, .on_cancel = on_cancel},
+                            &stats);
   } else if (algo == "naive") {
     if (threads > 1) {
       std::fprintf(stderr,
@@ -272,6 +295,7 @@ int main(int argc, char** argv) {
   }
   g_cancel = nullptr;
   std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
   if (!top_or.ok()) {
     std::fprintf(stderr, "error: %s\n", top_or.status().ToString().c_str());
     return top_or.status().code() == StatusCode::kDeadlineExceeded
@@ -279,9 +303,19 @@ int main(int argc, char** argv) {
                : kExitInput;
   }
   const TopKResult& top = top_or.value();
-  std::printf("%s top-%u in %.3f s (%llu exact computations)\n\n",
+  std::printf("%s top-%u in %.3f s (%llu exact computations)\n",
               algo.c_str(), k32, timer.Seconds(),
               static_cast<unsigned long long>(stats.exact_computations));
+  if (top.certified) {
+    std::printf("certified: yes\n\n");
+  } else {
+    // Anytime partial answer: every printed cb is exact, but the
+    // undecided candidates could still displace entries.
+    std::printf(
+        "certified: NO — anytime partial answer, %llu candidates "
+        "undecided at cancellation\n\n",
+        static_cast<unsigned long long>(stats.frontier_remaining));
+  }
 
   TablePrinter table({"rank", "vertex", "ego-betweenness", "degree"});
   for (size_t i = 0; i < top.size(); ++i) {

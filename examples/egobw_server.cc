@@ -1,0 +1,196 @@
+// Long-lived top-k ego-betweenness query server (docs/serving.md).
+//
+//   egobw_server (GRAPH.txt | --rmat SCALE) --socket PATH
+//                [--workers N] [--queue-depth N]
+//                [--default-deadline-ms D] [--max-deadline-ms D]
+//                [--watchdog-grace-ms D] [--drain-ms D]
+//
+//   GRAPH.txt      SNAP edge list to serve, or
+//   --rmat S       generate the standard R-MAT graph (scale S, edge factor
+//                  16, a/b/c = 0.57/0.19/0.19, seed 7) — the tests' and
+//                  serving bench's graph, no dataset file needed.
+//   --socket PATH  AF_UNIX socket to listen on (required).
+//   --workers N    query worker threads (default 2).
+//   --queue-depth N
+//                  admission queue bound; beyond it requests are shed with
+//                  ResourceExhausted + a retry-after hint (default 8).
+//   --default-deadline-ms D / --max-deadline-ms D
+//                  per-query budget when the request does not carry one /
+//                  hard ceiling on requested budgets (defaults 100/10000).
+//   --watchdog-grace-ms D
+//                  a query running this far past its budget is cancelled
+//                  by the watchdog (default 1000; 0 disables).
+//   --drain-ms D   SIGTERM/SIGINT drain deadline: in-flight queries get
+//                  this long to finish before their tokens are fired and
+//                  the queue is shed (default 5000).
+//
+// The server runs until SIGTERM or SIGINT, then drains gracefully: new
+// connections are rejected with Unavailable immediately, admitted queries
+// finish (bounded by --drain-ms), and a stats line is printed.
+//
+// Exit codes: 0 clean drain, 1 input/socket errors, 2 usage errors,
+// 3 drain deadline passed (queries were force-cancelled).
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "server/server.h"
+
+namespace {
+
+using namespace egobw;
+
+constexpr int kExitInput = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitForcedDrain = 3;
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s (GRAPH.txt | --rmat SCALE) --socket PATH "
+               "[--workers N] [--queue-depth N] [--default-deadline-ms D] "
+               "[--max-deadline-ms D] [--watchdog-grace-ms D] "
+               "[--drain-ms D]\n",
+               argv0);
+  return kExitUsage;
+}
+
+bool ParseInt64(const char* s, int64_t* out) {
+  if (s == nullptr || *s == '\0') return false;
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(s, &end, 10);
+  if (errno != 0 || end == s || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+// Signal handlers may only touch lock-free state; the main thread polls.
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleStopSignal(int /*sig*/) { g_stop = 1; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  int64_t rmat_scale = -1;
+  EgoBwServerOptions options;
+  int64_t drain_ms = 5000;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s expects a value\n", flag);
+        std::exit(kExitUsage);
+      }
+      return argv[++i];
+    };
+    auto next_int = [&](const char* flag, int64_t min_value) -> int64_t {
+      const char* raw = next(flag);
+      int64_t v = 0;
+      if (!ParseInt64(raw, &v) || v < min_value) {
+        std::fprintf(stderr, "%s: bad value '%s' (integer >= %lld)\n", flag,
+                     raw, static_cast<long long>(min_value));
+        std::exit(kExitUsage);
+      }
+      return v;
+    };
+    if (std::strcmp(argv[i], "--rmat") == 0) {
+      rmat_scale = next_int("--rmat", 1);
+    } else if (std::strcmp(argv[i], "--socket") == 0) {
+      options.socket_path = next("--socket");
+    } else if (std::strcmp(argv[i], "--workers") == 0) {
+      options.workers = static_cast<size_t>(next_int("--workers", 1));
+    } else if (std::strcmp(argv[i], "--queue-depth") == 0) {
+      options.queue_depth = static_cast<size_t>(next_int("--queue-depth", 1));
+    } else if (std::strcmp(argv[i], "--default-deadline-ms") == 0) {
+      options.default_deadline_ms =
+          static_cast<uint32_t>(next_int("--default-deadline-ms", 1));
+    } else if (std::strcmp(argv[i], "--max-deadline-ms") == 0) {
+      options.max_deadline_ms =
+          static_cast<uint32_t>(next_int("--max-deadline-ms", 1));
+    } else if (std::strcmp(argv[i], "--watchdog-grace-ms") == 0) {
+      options.watchdog_grace_ms =
+          static_cast<uint32_t>(next_int("--watchdog-grace-ms", 0));
+    } else if (std::strcmp(argv[i], "--drain-ms") == 0) {
+      drain_ms = next_int("--drain-ms", 0);
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return Usage(argv[0]);
+    } else if (path.empty()) {
+      path = argv[i];
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (options.socket_path.empty() || (path.empty() == (rmat_scale < 0))) {
+    return Usage(argv[0]);
+  }
+
+  Graph g;
+  if (rmat_scale >= 0) {
+    g = RMat(static_cast<uint32_t>(rmat_scale), 16, 0.57, 0.19, 0.19, 7);
+    std::printf("generated rmat scale %lld: n=%u m=%llu dmax=%u\n",
+                static_cast<long long>(rmat_scale), g.NumVertices(),
+                static_cast<unsigned long long>(g.NumEdges()), g.MaxDegree());
+  } else {
+    Result<Graph> loaded = LoadEdgeList(path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
+      return kExitInput;
+    }
+    g = std::move(loaded).value();
+    std::printf("loaded %s: n=%u m=%llu dmax=%u\n", path.c_str(),
+                g.NumVertices(), static_cast<unsigned long long>(g.NumEdges()),
+                g.MaxDegree());
+  }
+
+  EgoBwServer server(g, options);
+  Status st = server.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return kExitInput;
+  }
+  std::printf("serving on %s (%zu workers, queue depth %zu)\n",
+              server.socket_path().c_str(), options.workers,
+              options.queue_depth);
+  std::fflush(stdout);  // Drivers wait for this line before connecting.
+
+  std::signal(SIGTERM, HandleStopSignal);
+  std::signal(SIGINT, HandleStopSignal);
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  std::printf("draining (deadline %lld ms)...\n",
+              static_cast<long long>(drain_ms));
+  std::fflush(stdout);
+  Status drained = server.Drain(std::chrono::milliseconds(drain_ms));
+  EgoBwServerStats s = server.Stats();
+  std::printf(
+      "served: accepted=%llu ok=%llu uncertified=%llu deadline=%llu "
+      "shed_full=%llu shed_drain=%llu invalid=%llu io_fail=%llu "
+      "watchdog=%llu peak_queue=%llu\n",
+      static_cast<unsigned long long>(s.accepted),
+      static_cast<unsigned long long>(s.completed_ok),
+      static_cast<unsigned long long>(s.completed_uncertified),
+      static_cast<unsigned long long>(s.deadline_exceeded),
+      static_cast<unsigned long long>(s.shed_queue_full),
+      static_cast<unsigned long long>(s.shed_draining),
+      static_cast<unsigned long long>(s.invalid_requests),
+      static_cast<unsigned long long>(s.io_failures),
+      static_cast<unsigned long long>(s.watchdog_fired),
+      static_cast<unsigned long long>(s.peak_queue_depth));
+  if (!drained.ok()) {
+    std::fprintf(stderr, "drain: %s\n", drained.ToString().c_str());
+    return kExitForcedDrain;
+  }
+  return 0;
+}

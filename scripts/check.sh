@@ -43,6 +43,55 @@ echo "==> Env-armed failpoint leg (forced eviction injected via environment)"
 EGOBW_FAILPOINTS=1 EGOBW_FP_STREAMING_FORCE_EVICT=5 \
   "$BUILD_DIR"/streaming_pebw_test --gtest_brief=1
 
+echo "==> Serving: wire/admission/watchdog/drain contracts"
+"$BUILD_DIR"/server_test --gtest_brief=1
+
+echo "==> Serving soak: external server, overload + env-armed faults + SIGTERM drain"
+SOAK_SOCK="$BUILD_DIR/egobw_soak.sock"
+SOAK_PID=
+cleanup_soak() { if [ -n "$SOAK_PID" ]; then kill "$SOAK_PID" 2>/dev/null || true; fi; }
+trap cleanup_soak EXIT
+wait_for_soak_sock() {
+  for _ in $(seq 1 100); do
+    if [ -S "$SOAK_SOCK" ]; then return 0; fi
+    sleep 0.1
+  done
+  echo "server socket never appeared" >&2
+  return 1
+}
+
+# Phase 1 — clean server, stepped offered load driven over the socket;
+# every request must come back as a served answer or a clean shed (the
+# report exits non-zero on any transport error).
+"$BUILD_DIR"/egobw_server --rmat 10 --socket "$SOAK_SOCK" \
+  --workers 2 --queue-depth 4 --drain-ms 5000 &
+SOAK_PID=$!
+wait_for_soak_sock
+"$BUILD_DIR"/serving_report "$BUILD_DIR"/BENCH_serving_smoke.json 10 60 2 \
+  "$SOAK_SOCK"
+cat "$BUILD_DIR"/BENCH_serving_smoke.json
+kill -TERM "$SOAK_PID"
+wait "$SOAK_PID"   # Exit 0 = graceful drain finished inside its deadline.
+SOAK_PID=
+
+# Phase 2 — the same server with every server failpoint armed from the
+# environment (each fires once): a dropped accept, a forced queue-full
+# shed, a stalled worker the watchdog must reap, a lost response. The
+# load pass tolerates the induced transport errors; the server itself
+# must take every fault in stride and still drain cleanly on SIGTERM.
+EGOBW_FAILPOINTS=1 \
+  EGOBW_FP_SERVER_ACCEPT=3 EGOBW_FP_SERVER_ENQUEUE_FULL=5 \
+  EGOBW_FP_SERVER_WORKER_STALL=4 EGOBW_FP_SERVER_RESPOND=6 \
+  "$BUILD_DIR"/egobw_server --rmat 10 --socket "$SOAK_SOCK" \
+  --workers 2 --queue-depth 4 --watchdog-grace-ms 200 --drain-ms 5000 &
+SOAK_PID=$!
+wait_for_soak_sock
+"$BUILD_DIR"/serving_report /dev/null 10 40 2 "$SOAK_SOCK" || true
+kill -TERM "$SOAK_PID"
+wait "$SOAK_PID"   # Faults injected, drain still graceful.
+SOAK_PID=
+trap - EXIT
+
 echo "==> Rule-B kernel smoke benchmark (small R-MAT)"
 "$BUILD_DIR"/kernel_report "$BUILD_DIR"/BENCH_kernels_smoke.json rmat 12
 cat "$BUILD_DIR"/BENCH_kernels_smoke.json

@@ -1,5 +1,9 @@
 #include "benchlib/workloads.h"
 
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
 #include "util/logging.h"
 #include "util/random.h"
 
@@ -50,6 +54,70 @@ std::vector<uint32_t> PaperKGrid() { return {50, 100, 200, 500, 1000, 2000}; }
 
 std::vector<double> PaperThetaGrid() {
   return {1.05, 1.10, 1.15, 1.20, 1.25, 1.30};
+}
+
+ZipfSampler::ZipfSampler(uint32_t n, double s, uint64_t seed) : rng_(seed) {
+  EGOBW_CHECK(n >= 1 && s >= 0.0);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (uint32_t r = 0; r < n; ++r) {
+    total += std::pow(static_cast<double>(r) + 1.0, -s);
+    cdf_[r] = total;
+  }
+  for (uint32_t r = 0; r < n; ++r) cdf_[r] /= total;
+  cdf_.back() = 1.0;  // Guard against rounding; NextDouble() < 1 always hits.
+}
+
+uint32_t ZipfSampler::Next() {
+  double u = rng_.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<uint32_t>(it - cdf_.begin());
+}
+
+std::vector<ServingQuerySpec> ZipfServingMix(const Graph& g,
+                                             const ServingMixOptions& options,
+                                             uint64_t seed) {
+  uint32_t n = g.NumVertices();
+  EGOBW_CHECK(n >= 1);
+  // Degree rank: rank 0 = highest degree; ties by ascending id so the
+  // order — and therefore the whole stream — is graph-deterministic.
+  std::vector<VertexId> by_rank(n);
+  std::iota(by_rank.begin(), by_rank.end(), VertexId{0});
+  std::stable_sort(by_rank.begin(), by_rank.end(),
+                   [&g](VertexId a, VertexId b) {
+                     if (g.Degree(a) != g.Degree(b)) {
+                       return g.Degree(a) > g.Degree(b);
+                     }
+                     return a < b;
+                   });
+  // One Rng for the mix decisions, a separate deterministic stream inside
+  // the Zipf sampler: reordering the draws of one cannot shift the other.
+  Rng rng(seed ^ 0x5ee0f00ddeadbeefULL);
+  ZipfSampler zipf(n, options.zipf_s, seed);
+  std::vector<ServingQuerySpec> out;
+  out.reserve(options.count);
+  for (uint32_t i = 0; i < options.count; ++i) {
+    ServingQuerySpec q;
+    q.k = options.k;
+    q.theta = options.theta;
+    q.deadline_ms = options.deadline_ms;
+    if (!rng.NextBool(options.full_graph_fraction)) {
+      VertexId center = by_rank[zipf.Next()];
+      auto nbrs = g.Neighbors(center);
+      uint32_t take = options.subset_cap == 0
+                          ? 0
+                          : std::min<uint32_t>(
+                                options.subset_cap - 1,
+                                static_cast<uint32_t>(nbrs.size()));
+      q.subset.reserve(take + 1);
+      q.subset.push_back(center);
+      for (uint64_t idx : rng.SampleWithoutReplacement(nbrs.size(), take)) {
+        q.subset.push_back(nbrs[static_cast<size_t>(idx)]);
+      }
+    }
+    out.push_back(std::move(q));
+  }
+  return out;
 }
 
 }  // namespace egobw

@@ -1,5 +1,13 @@
 // Workload builders shared by the benchmark harnesses: random update
-// streams (Exp-3 / Fig. 8) and the paper's parameter grids.
+// streams (Exp-3 / Fig. 8), the paper's parameter grids, and the serving
+// layer's Zipf query mix.
+//
+// Determinism: every stochastic builder here takes an explicit uint64 seed
+// and draws exclusively from util/random.h's Rng (xoshiro256**), which is
+// bit-identical across platforms and standard libraries — no std::
+// distribution is ever used. Same inputs + same seed → the same workload,
+// byte for byte, on every machine, so serving benchmarks and stress tests
+// replay exactly.
 
 #ifndef EGOBW_BENCHLIB_WORKLOADS_H_
 #define EGOBW_BENCHLIB_WORKLOADS_H_
@@ -8,6 +16,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "util/random.h"
 
 namespace egobw {
 
@@ -27,6 +36,60 @@ std::vector<uint32_t> PaperKGrid();
 
 /// The paper's θ grid for Fig. 7.
 std::vector<double> PaperThetaGrid();
+
+/// Deterministic Zipf(s) sampler over ranks [0, n): P(rank r) ∝ 1/(r+1)^s.
+/// Takes an explicit seed; the inverse-CDF table is built once in double
+/// precision and sampled with Rng::NextDouble, so the emitted rank sequence
+/// for a given (n, s, seed) is bit-identical on every platform (the reason
+/// std::discrete_distribution — whose output is implementation-defined —
+/// is deliberately not used). s = 0 degenerates to uniform; larger s skews
+/// harder toward rank 0.
+class ZipfSampler {
+ public:
+  /// Requires n >= 1 and s >= 0.
+  ZipfSampler(uint32_t n, double s, uint64_t seed);
+
+  /// Next rank in [0, n); skewed toward 0.
+  uint32_t Next();
+
+ private:
+  Rng rng_;
+  std::vector<double> cdf_;  // cdf_[r] = P(rank <= r); back() == 1.0.
+};
+
+/// One query of the serving workload (src/server; docs/serving.md). An
+/// empty subset asks for the global top-k; a non-empty subset asks for the
+/// top-k among exactly those vertices ("top-k of this community").
+struct ServingQuerySpec {
+  uint32_t k = 10;               ///< Result size.
+  double theta = 1.05;           ///< OptBSearch gradient ratio.
+  uint32_t deadline_ms = 0;      ///< Per-query budget; 0 = server default.
+  std::vector<VertexId> subset;  ///< Empty = whole graph.
+};
+
+/// Knobs of ZipfServingMix.
+struct ServingMixOptions {
+  uint32_t count = 1000;      ///< Queries to generate.
+  double zipf_s = 1.1;        ///< Popularity skew of community centers.
+  uint32_t subset_cap = 128;  ///< Max vertices per community subset.
+  uint32_t k = 10;            ///< k of every query.
+  double theta = 1.05;        ///< θ of every query.
+  /// Fraction of queries asking for the global top-k instead of a
+  /// community subset (expensive; the serving deadline bounds them).
+  double full_graph_fraction = 0.02;
+  uint32_t deadline_ms = 0;  ///< Per-query budget stamp; 0 = server default.
+};
+
+/// The serving benchmark's query stream: `count` queries whose community
+/// centers are drawn Zipf(s) over the DEGREE RANK of the graph (rank 0 =
+/// highest degree, ties broken by ascending id) — popular hubs are queried
+/// often, the long tail rarely, mimicking skewed production traffic. A
+/// subset query covers its center plus up to subset_cap - 1 of the
+/// center's neighbors, sampled without replacement. Deterministic: same
+/// graph, options and seed → the identical stream (see file comment).
+std::vector<ServingQuerySpec> ZipfServingMix(const Graph& g,
+                                             const ServingMixOptions& options,
+                                             uint64_t seed);
 
 }  // namespace egobw
 

@@ -32,7 +32,9 @@ Result<TopKResult> RunBaseBSearch(const Graph& g, uint32_t k,
   // is rebuilt locally, evaluated, and discarded.
   BoundEdgeProcessor proc(g, edge_set, /*bounds=*/nullptr, stats);
   TopKAccumulator top(k);
-  CancelPoller poller(options.cancel);
+  // Stride 1, as in OptBSearch: each poll gates one whole exact evaluation,
+  // so the per-poll clock read is noise next to the unit of work it covers.
+  CancelPoller poller(options.cancel, 1);
 
   bool cancelled = false;
   uint64_t frontier = 0;

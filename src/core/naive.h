@@ -14,10 +14,12 @@
 #define EGOBW_CORE_NAIVE_H_
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "graph/graph.h"
 #include "util/bitset.h"
+#include "util/cancellation.h"
 #include "util/fraction.h"
 #include "util/hash.h"
 #include "util/pair_count_map.h"
@@ -38,9 +40,16 @@ struct EgoScratch {
 /// every non-adjacent pair among them gains connector x; finally
 /// CB(u) = C(d,2) − (#adjacent pairs) − (#counted pairs) + Σ 1/(cnt+1).
 /// Cost: O( Σ_{x ∈ N(u)} d(x)  +  Σ_x |N(x) ∩ N(u)|² ).
+///
+/// Cancellable variant: `poller` (nullable) is consulted once per neighbor
+/// x — the unit of work above — so a deadline overruns by at most one
+/// neighbor's intersection+pair scan, not one whole (possibly hub-sized)
+/// ego. A fired poller returns nullopt and leaves only scratch state
+/// behind; with a null or unfired poller the arithmetic is exactly that of
+/// ComputeEgoBetweennessLocal, bit for bit.
 template <typename GraphT>
-double ComputeEgoBetweennessLocal(const GraphT& g, VertexId u,
-                                  EgoScratch* scratch) {
+std::optional<double> ComputeEgoBetweennessLocalCancellable(
+    const GraphT& g, VertexId u, EgoScratch* scratch, CancelPoller* poller) {
   const auto& nbrs = g.Neighbors(u);
   uint64_t d = nbrs.size();
   if (d < 2) return 0.0;
@@ -49,6 +58,7 @@ double ComputeEgoBetweennessLocal(const GraphT& g, VertexId u,
   scratch->counts.Clear();
   uint64_t adjacent_pairs_twice = 0;
   for (VertexId x : nbrs) {
+    if (poller != nullptr && poller->Expired()) return std::nullopt;
     scratch->in_ego.clear();
     for (VertexId w : g.Neighbors(x)) {
       if (scratch->marker.IsMarked(w)) scratch->in_ego.push_back(w);
@@ -69,6 +79,14 @@ double ComputeEgoBetweennessLocal(const GraphT& g, VertexId u,
     cb += 1.0 / (val + 1.0);
   });
   return cb;
+}
+
+/// Uncancellable convenience: ComputeEgoBetweennessLocalCancellable with a
+/// null poller (always returns a value).
+template <typename GraphT>
+double ComputeEgoBetweennessLocal(const GraphT& g, VertexId u,
+                                  EgoScratch* scratch) {
+  return *ComputeEgoBetweennessLocalCancellable(g, u, scratch, nullptr);
 }
 
 /// Exact CB(u) as a Fraction via the O(d³) definition — the test oracle.

@@ -34,7 +34,11 @@ Result<TopKResult> RunOptBSearch(const Graph& g, uint32_t k,
   TopKAccumulator top(k);
   CandidateGate gate(options.theta);
   SearchObserver* obs = options.observer;
-  CancelPoller poller(options.cancel);
+  // Stride 1: this poll gates one candidate pop, and a pop is a full exact
+  // S-map evaluation (hub-sized egos run to hundreds of ms), so the clock
+  // read is fully amortized — a coarse stride here would let a short
+  // serving deadline overrun by many evaluations before being noticed.
+  CancelPoller poller(options.cancel, 1);
 
   IndexedMaxHeap heap(n);
   SeedStaticBounds(g, &heap);

@@ -1,0 +1,57 @@
+#include "server/client.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace egobw {
+
+Result<QueryResponse> QueryServer(const std::string& socket_path,
+                                  const QueryRequest& request,
+                                  uint32_t io_timeout_ms) {
+  sockaddr_un addr;
+  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("bad socket path");
+  }
+  int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IOError("socket() failed");
+  if (io_timeout_ms > 0) {
+    timeval tv;
+    tv.tv_sec = io_timeout_ms / 1000;
+    tv.tv_usec = static_cast<suseconds_t>((io_timeout_ms % 1000) * 1000);
+    setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  }
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    int err = errno;
+    close(fd);
+    return Status::IOError("connect(" + socket_path +
+                           ") failed: " + std::strerror(err));
+  }
+  // A shedding server answers (and closes) without ever reading the
+  // request, so the request write can race the close and fail with EPIPE
+  // while the verdict already sits in our receive buffer. Always attempt
+  // the read; only report the write failure if there is no response.
+  Status write_status = WriteFrame(fd, EncodeRequest(request));
+  std::vector<uint8_t> payload;
+  Status st = ReadFrame(fd, &payload);
+  close(fd);
+  if (!st.ok()) return write_status.ok() ? st : write_status;
+  Result<QueryResponse> decoded = DecodeResponse(payload.data(),
+                                                 payload.size());
+  if (!decoded.ok()) {
+    // A frame that arrived but does not parse is a transport-level
+    // failure from the client's perspective, not a server verdict.
+    return Status::IOError("undecodable response: " +
+                           decoded.status().message());
+  }
+  return decoded;
+}
+
+}  // namespace egobw

@@ -1,0 +1,32 @@
+/// \file
+/// Minimal blocking client for EgoBwServer: one connection, one request,
+/// one response (see server/wire.h and docs/serving.md). Used by the
+/// serving bench, the tests and external drivers.
+
+#ifndef EGOBW_SERVER_CLIENT_H_
+#define EGOBW_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "server/wire.h"
+#include "util/status.h"
+
+namespace egobw {
+
+/// Connects to the server socket, sends `request`, and waits for the
+/// answer. The returned QueryResponse carries the server-side verdict in
+/// its `code` (kOk, kResourceExhausted with a retry_after_ms hint,
+/// kUnavailable, kDeadlineExceeded, kInvalidArgument). Transport failures
+/// — no socket, refused connection, EOF because the server dropped the
+/// connection (e.g. the `server.accept` / `server.respond` failpoints), a
+/// malformed response — surface as the call's own non-OK Status instead.
+/// `io_timeout_ms` bounds the connect-to-response wait via socket
+/// timeouts (0 = block indefinitely).
+Result<QueryResponse> QueryServer(const std::string& socket_path,
+                                  const QueryRequest& request,
+                                  uint32_t io_timeout_ms = 30000);
+
+}  // namespace egobw
+
+#endif  // EGOBW_SERVER_CLIENT_H_

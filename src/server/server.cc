@@ -1,0 +1,503 @@
+#include "server/server.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+
+#include "core/naive.h"
+#include "core/opt_search.h"
+#include "util/failpoint.h"
+#include "util/timer.h"
+
+namespace egobw {
+
+namespace {
+
+// A hub query can grow the scratch pair table to millions of slots, and
+// PairCountMap::Clear walks the whole table — so a worker whose scratch
+// ballooned would tax every later small query with a giant clear. Past
+// this slot count the scratch is rebuilt from scratch after the query.
+constexpr size_t kScratchShrinkCapacity = size_t{1} << 16;
+
+void SetSocketTimeouts(int fd, uint32_t timeout_ms) {
+  timeval tv;
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = static_cast<suseconds_t>((timeout_ms % 1000) * 1000);
+  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+}  // namespace
+
+struct EgoBwServer::Counters {
+  std::atomic<uint64_t> accepted{0};
+  std::atomic<uint64_t> shed_queue_full{0};
+  std::atomic<uint64_t> shed_draining{0};
+  std::atomic<uint64_t> completed_ok{0};
+  std::atomic<uint64_t> completed_uncertified{0};
+  std::atomic<uint64_t> deadline_exceeded{0};
+  std::atomic<uint64_t> invalid_requests{0};
+  std::atomic<uint64_t> io_failures{0};
+  std::atomic<uint64_t> watchdog_fired{0};
+  std::atomic<uint64_t> accept_faults{0};
+  std::atomic<uint64_t> peak_queue_depth{0};
+};
+
+// Per-worker state the watchdog scans. The slot mutex orders the worker's
+// register/unregister against the watchdog's read-and-cancel: the token is
+// only ever dereferenced under the mutex while `active`, and the worker
+// unregisters (under the same mutex) before the token leaves scope.
+struct EgoBwServer::WorkerSlot {
+  std::mutex mu;
+  CancelToken* token = nullptr;                      // Guarded by mu.
+  std::chrono::steady_clock::time_point budget_end;  // Guarded by mu.
+  bool active = false;                               // Guarded by mu.
+  bool watchdog_fired = false;                       // Guarded by mu.
+  std::unique_ptr<EgoScratch> scratch;  // Worker-private, not guarded.
+};
+
+EgoBwServer::EgoBwServer(const Graph& g, EgoBwServerOptions options)
+    : graph_(g),
+      options_(std::move(options)),
+      counters_(std::make_unique<Counters>()) {}
+
+EgoBwServer::~EgoBwServer() {
+  if (started_.load() && !joined_.load()) {
+    Drain(std::chrono::milliseconds(0));
+  }
+}
+
+Status EgoBwServer::Start() {
+  if (options_.socket_path.empty()) {
+    return Status::InvalidArgument("socket_path is required");
+  }
+  if (options_.workers == 0 || options_.queue_depth == 0) {
+    return Status::InvalidArgument("workers and queue_depth must be >= 1");
+  }
+  sockaddr_un addr;
+  if (options_.socket_path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("socket_path too long for AF_UNIX");
+  }
+  if (started_.load()) return Status::Internal("already started");
+
+  listen_fd_ = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Status::IOError("socket() failed");
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, options_.socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  unlink(options_.socket_path.c_str());  // Replace a stale socket file.
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IOError("bind(" + options_.socket_path +
+                           ") failed: " + std::strerror(errno));
+  }
+  // The kernel backlog is a burst buffer ahead of the admission decision,
+  // not admission control itself: it must absorb a connect burst long
+  // enough for the acceptor to answer each connection with a proper
+  // verdict (admit or shed-with-retry-hint). A backlog sized to the
+  // admission queue makes the kernel refuse the excess with EAGAIN — the
+  // client then sees a transport error instead of kResourceExhausted.
+  if (listen(listen_fd_, 128) != 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IOError("listen() failed");
+  }
+
+  started_.store(true);
+  slots_.clear();
+  for (size_t i = 0; i < options_.workers; ++i) {
+    slots_.push_back(std::make_unique<WorkerSlot>());
+  }
+  for (size_t i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+  acceptor_ = std::thread([this] { AcceptorLoop(); });
+  watchdog_ = std::thread([this] { WatchdogLoop(); });
+  return Status::OK();
+}
+
+void EgoBwServer::BeginDrain() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (draining_) return;
+    draining_ = true;
+  }
+  // Wakes a blocked accept() with an error; the acceptor observes
+  // draining_ and exits. The fd itself is closed after the join.
+  if (listen_fd_ >= 0) shutdown(listen_fd_, SHUT_RDWR);
+}
+
+Status EgoBwServer::Drain(std::chrono::milliseconds deadline) {
+  if (!started_.load()) return Status::OK();
+  BeginDrain();
+  auto deadline_at = std::chrono::steady_clock::now() + deadline;
+  bool clean;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    clean = idle_cv_.wait_until(lk, deadline_at, [this] {
+      return queue_.empty() && active_queries_ == 0;
+    });
+    if (!clean) {
+      // Past the drain deadline: dump what is still queued and fire every
+      // in-flight token. Tokens are re-fired each round — a query that
+      // registered between two scans is caught by the next one.
+      shed_queued_ = true;
+      queue_cv_.notify_all();
+      while (!(queue_.empty() && active_queries_ == 0)) {
+        lk.unlock();
+        for (auto& slot : slots_) {
+          std::lock_guard<std::mutex> slk(slot->mu);
+          if (slot->active && slot->token != nullptr) slot->token->Cancel();
+        }
+        lk.lock();
+        idle_cv_.wait_for(lk, std::chrono::milliseconds(10), [this] {
+          return queue_.empty() && active_queries_ == 0;
+        });
+      }
+    }
+  }
+  StopWorkersAndJoin();
+  return clean ? Status::OK()
+               : Status::DeadlineExceeded(
+                     "drain deadline passed; in-flight queries were "
+                     "force-cancelled");
+}
+
+void EgoBwServer::StopWorkersAndJoin() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (joined_.load()) return;
+    stop_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+  watchdog_stop_.store(true);
+  if (watchdog_.joinable()) watchdog_.join();
+  if (acceptor_.joinable()) acceptor_.join();
+  if (listen_fd_ >= 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  unlink(options_.socket_path.c_str());
+  joined_.store(true);
+}
+
+EgoBwServerStats EgoBwServer::Stats() const {
+  EgoBwServerStats s;
+  s.accepted = counters_->accepted.load();
+  s.shed_queue_full = counters_->shed_queue_full.load();
+  s.shed_draining = counters_->shed_draining.load();
+  s.completed_ok = counters_->completed_ok.load();
+  s.completed_uncertified = counters_->completed_uncertified.load();
+  s.deadline_exceeded = counters_->deadline_exceeded.load();
+  s.invalid_requests = counters_->invalid_requests.load();
+  s.io_failures = counters_->io_failures.load();
+  s.watchdog_fired = counters_->watchdog_fired.load();
+  s.accept_faults = counters_->accept_faults.load();
+  s.peak_queue_depth = counters_->peak_queue_depth.load();
+  return s;
+}
+
+uint32_t EgoBwServer::RetryAfterMsLocked() const {
+  // Expected time until a queue slot frees: everything ahead of the
+  // retrier divided by the worker parallelism, at the measured per-query
+  // service time. Clamped to [1ms, 60s] so the hint is always actionable.
+  uint64_t inflight = queue_.size() + active_queries_;
+  uint64_t us =
+      (inflight + 1) * ewma_service_us_.load() / options_.workers;
+  return static_cast<uint32_t>(std::clamp<uint64_t>(us / 1000, 1, 60000));
+}
+
+void EgoBwServer::RejectAndClose(int fd, StatusCode code,
+                                 const char* message) {
+  QueryResponse resp;
+  resp.code = code;
+  resp.message = message;
+  if (code == StatusCode::kResourceExhausted) {
+    std::lock_guard<std::mutex> lk(mu_);
+    resp.retry_after_ms = RetryAfterMsLocked();
+  }
+  // Best effort: the peer may already be gone; the send timeout bounds a
+  // peer that stopped reading.
+  (void)WriteFrame(fd, EncodeResponse(resp));
+  close(fd);
+}
+
+void EgoBwServer::AcceptorLoop() {
+  for (;;) {
+    int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // shutdown() during drain (or a real listener failure): stop
+      // accepting. Drain keeps rejecting via the workers' shed path.
+      return;
+    }
+    if (EGOBW_FAILPOINT("server.accept")) {
+      // Simulated accept-path failure: the connection is dropped before
+      // admission; the client sees EOF and the server keeps serving.
+      counters_->accept_faults.fetch_add(1);
+      close(fd);
+      continue;
+    }
+    SetSocketTimeouts(fd, options_.io_timeout_ms);
+    bool reject_draining = false;
+    bool reject_full = false;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (draining_) {
+        reject_draining = true;
+      } else {
+        bool full = queue_.size() >= options_.queue_depth;
+        if (EGOBW_FAILPOINT("server.enqueue_full")) full = true;
+        if (full) {
+          reject_full = true;
+        } else {
+          queue_.push_back(fd);
+          counters_->accepted.fetch_add(1);
+          uint64_t depth = queue_.size();
+          uint64_t peak = counters_->peak_queue_depth.load();
+          while (depth > peak &&
+                 !counters_->peak_queue_depth.compare_exchange_weak(peak,
+                                                                    depth)) {
+          }
+        }
+      }
+    }
+    if (reject_draining) {
+      counters_->shed_draining.fetch_add(1);
+      RejectAndClose(fd, StatusCode::kUnavailable, "server is draining");
+    } else if (reject_full) {
+      counters_->shed_queue_full.fetch_add(1);
+      RejectAndClose(fd, StatusCode::kResourceExhausted,
+                     "admission queue full");
+    } else {
+      queue_cv_.notify_one();
+    }
+  }
+}
+
+void EgoBwServer::WorkerLoop(size_t index) {
+  WorkerSlot* slot = slots_[index].get();
+  for (;;) {
+    int fd = -1;
+    bool shed = false;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      queue_cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to shed.
+      fd = queue_.front();
+      queue_.pop_front();
+      shed = shed_queued_;
+      if (!shed) ++active_queries_;
+    }
+    if (shed) {
+      counters_->shed_draining.fetch_add(1);
+      RejectAndClose(fd, StatusCode::kUnavailable,
+                     "server drain deadline passed");
+      std::lock_guard<std::mutex> lk(mu_);
+      if (queue_.empty() && active_queries_ == 0) idle_cv_.notify_all();
+      continue;
+    }
+    ServeConnection(fd, slot);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      --active_queries_;
+      if (queue_.empty() && active_queries_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+void EgoBwServer::WatchdogLoop() {
+  while (!watchdog_stop_.load()) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(options_.watchdog_poll_ms));
+    if (options_.watchdog_grace_ms == 0) continue;
+    auto now = std::chrono::steady_clock::now();
+    for (auto& slot : slots_) {
+      std::lock_guard<std::mutex> lk(slot->mu);
+      if (slot->active && !slot->watchdog_fired && slot->token != nullptr &&
+          now > slot->budget_end + std::chrono::milliseconds(
+                                       options_.watchdog_grace_ms)) {
+        // A query running this far past its budget is not reaching its own
+        // deadline polls; fire the token manually so whatever poll it DOES
+        // reach (including the worker_stall failpoint's flag-only loop)
+        // sheds it.
+        slot->token->Cancel();
+        slot->watchdog_fired = true;
+        counters_->watchdog_fired.fetch_add(1);
+      }
+    }
+  }
+}
+
+void EgoBwServer::ServeConnection(int fd, WorkerSlot* slot) {
+  std::vector<uint8_t> payload;
+  Status read_status = ReadFrame(fd, &payload);
+  if (!read_status.ok()) {
+    if (read_status.code() == StatusCode::kInvalidArgument) {
+      counters_->invalid_requests.fetch_add(1);
+      RejectAndClose(fd, StatusCode::kInvalidArgument,
+                     read_status.message().c_str());
+    } else {
+      counters_->io_failures.fetch_add(1);
+      close(fd);
+    }
+    return;
+  }
+  Result<QueryRequest> decoded = DecodeRequest(payload.data(), payload.size());
+  if (!decoded.ok()) {
+    counters_->invalid_requests.fetch_add(1);
+    RejectAndClose(fd, StatusCode::kInvalidArgument,
+                   decoded.status().message().c_str());
+    return;
+  }
+  const QueryRequest& req = decoded.value();
+  if (req.k == 0 || !(req.theta >= 1.0) || !std::isfinite(req.theta)) {
+    counters_->invalid_requests.fetch_add(1);
+    RejectAndClose(fd, StatusCode::kInvalidArgument,
+                   "k must be >= 1 and theta a finite value >= 1");
+    return;
+  }
+  for (VertexId v : req.subset) {
+    if (v >= graph_.NumVertices()) {
+      counters_->invalid_requests.fetch_add(1);
+      RejectAndClose(fd, StatusCode::kInvalidArgument,
+                     "subset vertex out of range");
+      return;
+    }
+  }
+
+  uint32_t budget_ms = req.deadline_ms == 0
+                           ? options_.default_deadline_ms
+                           : std::min(req.deadline_ms, options_.max_deadline_ms);
+  CancelToken token{std::chrono::milliseconds(budget_ms)};
+  {
+    std::lock_guard<std::mutex> lk(slot->mu);
+    slot->token = &token;
+    slot->budget_end = std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(budget_ms);
+    slot->watchdog_fired = false;
+    slot->active = true;
+  }
+  WallTimer timer;
+  if (EGOBW_FAILPOINT("server.worker_stall")) {
+    // Deterministic stuck query: a stall at a point where the engine's own
+    // deadline polling is not reached (the loop reads only the manual
+    // flag). Only an external Cancel() — the watchdog or the drain path —
+    // converts it back into shed load; this is exactly what they exist
+    // for, and what the stall tests prove.
+    while (!token.Cancelled()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  QueryResponse resp = RunQuery(req, slot, &token);
+  {
+    std::lock_guard<std::mutex> lk(slot->mu);
+    slot->active = false;
+    slot->token = nullptr;
+  }
+  resp.engine_seconds = timer.Seconds();
+
+  // Fold this query into the retry-after hint's service-time estimate
+  // (EWMA, alpha = 1/8; shed decisions read it lock-free).
+  uint64_t us = static_cast<uint64_t>(resp.engine_seconds * 1e6) + 1;
+  uint64_t prev = ewma_service_us_.load();
+  ewma_service_us_.store(prev - prev / 8 + us / 8);
+
+  switch (resp.code) {
+    case StatusCode::kOk:
+      if (resp.certified) {
+        counters_->completed_ok.fetch_add(1);
+      } else {
+        counters_->completed_uncertified.fetch_add(1);
+      }
+      break;
+    case StatusCode::kDeadlineExceeded:
+      counters_->deadline_exceeded.fetch_add(1);
+      break;
+    default:
+      counters_->invalid_requests.fetch_add(1);
+      break;
+  }
+
+  if (EGOBW_FAILPOINT("server.respond")) {
+    // Simulated send failure: the response is dropped and the connection
+    // closed; the client sees EOF, the server moves on.
+    counters_->io_failures.fetch_add(1);
+    close(fd);
+    return;
+  }
+  if (!WriteFrame(fd, EncodeResponse(resp)).ok()) {
+    counters_->io_failures.fetch_add(1);
+  }
+  close(fd);
+}
+
+QueryResponse EgoBwServer::RunQuery(const QueryRequest& req, WorkerSlot* slot,
+                                    const CancelToken* token) {
+  QueryResponse resp;
+  if (req.subset.empty()) {
+    SearchStats stats;
+    OptBSearchOptions options;
+    options.theta = req.theta;
+    options.cancel = token;
+    options.on_cancel = req.on_cancel;
+    Result<TopKResult> r = RunOptBSearch(graph_, req.k, options, &stats);
+    resp.frontier_remaining = stats.frontier_remaining;
+    if (!r.ok()) {
+      resp.code = r.status().code();
+      resp.message = r.status().message();
+    } else {
+      resp.topk = std::move(r).value();
+      resp.certified = resp.topk.certified;
+    }
+    return resp;
+  }
+
+  // Subset ("community") query: exact CB of each requested vertex via the
+  // shared read-only graph, then the top-k among them. Duplicates are
+  // dropped so no vertex is paid for or reported twice.
+  std::vector<VertexId> subset = req.subset;
+  std::sort(subset.begin(), subset.end());
+  subset.erase(std::unique(subset.begin(), subset.end()), subset.end());
+  if (slot->scratch == nullptr) {
+    slot->scratch = std::make_unique<EgoScratch>(graph_.NumVertices());
+  }
+  // Stride 1: the poll unit is one neighbor's intersection + pair scan,
+  // which for hub-hub neighbors at serving scale runs to milliseconds — a
+  // coarse stride would let a 100 ms budget overrun by hundreds of ms.
+  CancelPoller poller(token, 1);
+  TopKResult entries;
+  entries.reserve(subset.size());
+  size_t done = 0;
+  for (; done < subset.size(); ++done) {
+    std::optional<double> cb = ComputeEgoBetweennessLocalCancellable(
+        graph_, subset[done], slot->scratch.get(), &poller);
+    if (!cb.has_value()) break;
+    entries.push_back({subset[done], *cb});
+  }
+  if (slot->scratch->counts.capacity() > kScratchShrinkCapacity) {
+    slot->scratch.reset();  // Rebuilt lazily by the next subset query.
+  }
+  resp.frontier_remaining = subset.size() - done;
+  if (resp.frontier_remaining > 0 && req.on_cancel == OnCancel::kAbort) {
+    resp.code = StatusCode::kDeadlineExceeded;
+    resp.message = "deadline before the subset was evaluated";
+    return resp;
+  }
+  FinalizeTopK(&entries, req.k);
+  entries.certified = resp.frontier_remaining == 0;
+  resp.certified = entries.certified;
+  resp.topk = std::move(entries);
+  return resp;
+}
+
+}  // namespace egobw

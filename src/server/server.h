@@ -1,0 +1,176 @@
+/// \file
+/// EgoBwServer: a long-lived, overload-safe top-k ego-betweenness query
+/// server over a local (AF_UNIX) stream socket (docs/serving.md).
+///
+/// The server loads one shared read-only Graph and serves many concurrent
+/// queries — per-query k, θ, deadline and optional vertex subset ("top-k
+/// among this community"). Robustness is enforced by construction:
+///
+///   * Bounded admission — accepted connections wait in a queue of at most
+///     `queue_depth`; when it is full the acceptor sheds the request
+///     immediately with kResourceExhausted plus a retry-after hint derived
+///     from the measured service rate, instead of queueing unboundedly.
+///     The acceptor never reads request bytes, so a slow client cannot
+///     stall admission.
+///   * Deadline propagation — every query runs under a CancelToken whose
+///     budget is min(request deadline, max) or the server default; the
+///     engines' cooperative polling turns an overrunning query into either
+///     kDeadlineExceeded or an uncertified anytime answer, never a hostage
+///     worker. Socket reads/writes carry their own timeouts.
+///   * Watchdog — a background thread fires the token of any query running
+///     past its budget plus `watchdog_grace_ms` (a stuck query whose own
+///     deadline polling is not being reached — simulated deterministically
+///     by the `server.worker_stall` failpoint), converting it into shed
+///     load instead of a wedged worker.
+///   * Graceful drain — BeginDrain() stops accepting (new connections are
+///     rejected with kUnavailable); Drain(deadline) lets admitted queries
+///     finish, then past the deadline fires every in-flight token and
+///     sheds what is still queued, so shutdown is bounded no matter what
+///     clients do.
+///
+/// Failpoint sites (inert unless EGOBW_FAILPOINTS=1; docs/robustness.md):
+/// `server.accept`, `server.enqueue_full`, `server.worker_stall`,
+/// `server.respond`.
+
+#ifndef EGOBW_SERVER_SERVER_H_
+#define EGOBW_SERVER_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "graph/graph.h"
+#include "server/wire.h"
+#include "util/cancellation.h"
+#include "util/status.h"
+
+namespace egobw {
+
+/// Tuning and robustness knobs of EgoBwServer.
+struct EgoBwServerOptions {
+  /// Filesystem path of the AF_UNIX listening socket; created by Start()
+  /// (an existing stale file is replaced) and unlinked on shutdown.
+  std::string socket_path;
+  /// Query worker threads (>= 1).
+  size_t workers = 2;
+  /// Admission queue bound: connections accepted but not yet picked up by
+  /// a worker. At the bound, new requests are shed with
+  /// kResourceExhausted (never queued unboundedly).
+  size_t queue_depth = 8;
+  /// Per-query budget when the request carries deadline_ms == 0.
+  uint32_t default_deadline_ms = 100;
+  /// Hard per-query ceiling; request deadlines are clamped to it.
+  uint32_t max_deadline_ms = 10000;
+  /// Watchdog: a query still running this long past its budget has its
+  /// token fired manually (0 disables the watchdog).
+  uint32_t watchdog_grace_ms = 1000;
+  /// Watchdog scan period.
+  uint32_t watchdog_poll_ms = 10;
+  /// SO_RCVTIMEO/SO_SNDTIMEO on every connection: the most a worker can
+  /// lose to a client that connects and then stalls.
+  uint32_t io_timeout_ms = 1000;
+};
+
+/// Monotonic counters, snapshotted by Stats(). Sums may trail each other
+/// by in-flight queries; each counter is individually exact.
+struct EgoBwServerStats {
+  uint64_t accepted = 0;            ///< Connections admitted to the queue.
+  uint64_t shed_queue_full = 0;     ///< Rejected: admission queue full.
+  uint64_t shed_draining = 0;       ///< Rejected: server draining.
+  uint64_t completed_ok = 0;        ///< Certified answers served.
+  uint64_t completed_uncertified = 0;  ///< Anytime partial answers served.
+  uint64_t deadline_exceeded = 0;   ///< Abort-mode deadline verdicts.
+  uint64_t invalid_requests = 0;    ///< Malformed/rejected request frames.
+  uint64_t io_failures = 0;         ///< Request reads / response writes lost.
+  uint64_t watchdog_fired = 0;      ///< Queries cancelled by the watchdog.
+  uint64_t accept_faults = 0;       ///< server.accept failpoint firings.
+  uint64_t peak_queue_depth = 0;    ///< High-water mark of the queue.
+};
+
+/// The server (see file comment). Lifecycle: construct → Start() →
+/// (serve) → BeginDrain()/Drain() → destructor. The Graph is borrowed and
+/// must outlive the server; it is never mutated.
+class EgoBwServer {
+ public:
+  EgoBwServer(const Graph& g, EgoBwServerOptions options);
+  /// Joins every thread (equivalent to Drain with a zero deadline if the
+  /// server is still running).
+  ~EgoBwServer();
+
+  EgoBwServer(const EgoBwServer&) = delete;
+  EgoBwServer& operator=(const EgoBwServer&) = delete;
+
+  /// Binds the socket and launches acceptor, workers and watchdog.
+  /// kInvalidArgument on bad options, kIOError on socket failures.
+  Status Start();
+
+  /// Stops admission: the listener is shut down and every connection that
+  /// still arrives is rejected with kUnavailable. Idempotent, returns
+  /// immediately; admitted queries keep running.
+  void BeginDrain();
+
+  /// BeginDrain(), then waits for in-flight and queued queries to finish.
+  /// Past `deadline`, every running query's token is fired (anytime
+  /// queries still return their uncertified partials) and still-queued
+  /// connections are shed with kUnavailable. Returns OK if everything
+  /// finished inside the deadline, kDeadlineExceeded if force-cancellation
+  /// was needed. All threads are joined either way.
+  Status Drain(std::chrono::milliseconds deadline);
+
+  /// Current counters (thread-safe snapshot).
+  EgoBwServerStats Stats() const;
+
+  /// The bound socket path (valid after Start()).
+  const std::string& socket_path() const { return options_.socket_path; }
+
+ private:
+  struct WorkerSlot;
+
+  void AcceptorLoop();
+  void WorkerLoop(size_t index);
+  void WatchdogLoop();
+  void ServeConnection(int fd, WorkerSlot* slot);
+  QueryResponse RunQuery(const QueryRequest& request, WorkerSlot* slot,
+                         const CancelToken* token);
+  void RejectAndClose(int fd, StatusCode code, const char* message);
+  uint32_t RetryAfterMsLocked() const;
+  void StopWorkersAndJoin();
+
+  const Graph& graph_;
+  EgoBwServerOptions options_;
+  int listen_fd_ = -1;
+
+  mutable std::mutex mu_;                  // Queue + lifecycle flags.
+  std::condition_variable queue_cv_;       // Workers: work or stop.
+  std::condition_variable idle_cv_;        // Drain: queue empty + idle.
+  std::deque<int> queue_;                  // Accepted, unserved connections.
+  size_t active_queries_ = 0;              // Workers inside ServeConnection.
+  bool draining_ = false;                  // Admission closed.
+  bool shed_queued_ = false;               // Past drain deadline: dump queue.
+  bool stop_ = false;                      // Workers exit when queue empty.
+
+  std::vector<std::unique_ptr<WorkerSlot>> slots_;
+  std::vector<std::thread> workers_;
+  std::thread acceptor_;
+  std::thread watchdog_;
+  std::atomic<bool> watchdog_stop_{false};
+  std::atomic<bool> started_{false};
+  std::atomic<bool> joined_{false};
+
+  // EWMA of recent query service time, feeding the retry-after hint.
+  std::atomic<uint64_t> ewma_service_us_{2000};
+
+  struct Counters;
+  std::unique_ptr<Counters> counters_;
+};
+
+}  // namespace egobw
+
+#endif  // EGOBW_SERVER_SERVER_H_

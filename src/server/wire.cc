@@ -1,0 +1,200 @@
+#include "server/wire.h"
+
+#include <sys/socket.h>
+
+#include <cstring>
+
+namespace egobw {
+namespace {
+
+// Append/read little-endian scalars. The repo targets little-endian
+// platforms only (the SIMD kernel already assumes it); memcpy keeps the
+// accesses alignment-safe.
+template <typename T>
+void Put(std::vector<uint8_t>* out, T value) {
+  size_t at = out->size();
+  out->resize(at + sizeof(T));
+  std::memcpy(out->data() + at, &value, sizeof(T));
+}
+
+// Bounds-checked sequential reader over a payload.
+class Cursor {
+ public:
+  Cursor(const uint8_t* data, size_t size) : data_(data), left_(size) {}
+
+  template <typename T>
+  bool Read(T* out) {
+    if (left_ < sizeof(T)) return false;
+    std::memcpy(out, data_, sizeof(T));
+    data_ += sizeof(T);
+    left_ -= sizeof(T);
+    return true;
+  }
+
+  bool ReadBytes(std::string* out, size_t len) {
+    if (left_ < len) return false;
+    out->assign(reinterpret_cast<const char*>(data_), len);
+    data_ += len;
+    left_ -= len;
+    return true;
+  }
+
+  size_t left() const { return left_; }
+
+ private:
+  const uint8_t* data_;
+  size_t left_;
+};
+
+Status Malformed(const char* what) {
+  return Status::InvalidArgument(std::string("malformed frame: ") + what);
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeRequest(const QueryRequest& request) {
+  std::vector<uint8_t> out;
+  out.reserve(21 + 4 + request.subset.size() * 4);
+  Put<uint32_t>(&out, kRequestMagic);
+  Put<uint32_t>(&out, request.k);
+  Put<double>(&out, request.theta);
+  Put<uint32_t>(&out, request.deadline_ms);
+  Put<uint8_t>(&out, request.on_cancel == OnCancel::kAbort ? 1 : 0);
+  Put<uint32_t>(&out, static_cast<uint32_t>(request.subset.size()));
+  for (VertexId v : request.subset) Put<uint32_t>(&out, v);
+  return out;
+}
+
+Result<QueryRequest> DecodeRequest(const uint8_t* data, size_t size) {
+  Cursor c(data, size);
+  uint32_t magic = 0;
+  if (!c.Read(&magic)) return Malformed("truncated request header");
+  if (magic != kRequestMagic) return Malformed("bad request magic");
+  QueryRequest req;
+  uint8_t on_cancel = 0;
+  uint32_t count = 0;
+  if (!c.Read(&req.k) || !c.Read(&req.theta) || !c.Read(&req.deadline_ms) ||
+      !c.Read(&on_cancel) || !c.Read(&count)) {
+    return Malformed("truncated request header");
+  }
+  if (on_cancel > 1) return Malformed("bad on_cancel");
+  req.on_cancel = on_cancel == 1 ? OnCancel::kAbort : OnCancel::kAnytime;
+  if (c.left() != static_cast<size_t>(count) * 4) {
+    return Malformed("subset length mismatch");
+  }
+  req.subset.resize(count);
+  for (uint32_t i = 0; i < count; ++i) c.Read(&req.subset[i]);
+  return req;
+}
+
+std::vector<uint8_t> EncodeResponse(const QueryResponse& response) {
+  std::vector<uint8_t> out;
+  out.reserve(41 + response.topk.size() * 12 + response.message.size());
+  Put<uint32_t>(&out, kResponseMagic);
+  Put<int32_t>(&out, static_cast<int32_t>(response.code));
+  Put<uint32_t>(&out, response.retry_after_ms);
+  Put<uint8_t>(&out, response.certified ? 1 : 0);
+  Put<uint64_t>(&out, response.frontier_remaining);
+  Put<double>(&out, response.engine_seconds);
+  Put<uint32_t>(&out, static_cast<uint32_t>(response.topk.size()));
+  for (const TopKEntry& e : response.topk) {
+    Put<uint32_t>(&out, e.vertex);
+    Put<double>(&out, e.cb);
+  }
+  Put<uint32_t>(&out, static_cast<uint32_t>(response.message.size()));
+  out.insert(out.end(), response.message.begin(), response.message.end());
+  return out;
+}
+
+Result<QueryResponse> DecodeResponse(const uint8_t* data, size_t size) {
+  Cursor c(data, size);
+  uint32_t magic = 0;
+  if (!c.Read(&magic)) return Malformed("truncated response header");
+  if (magic != kResponseMagic) return Malformed("bad response magic");
+  QueryResponse resp;
+  int32_t code = 0;
+  uint8_t certified = 0;
+  uint32_t entries = 0;
+  if (!c.Read(&code) || !c.Read(&resp.retry_after_ms) ||
+      !c.Read(&certified) || !c.Read(&resp.frontier_remaining) ||
+      !c.Read(&resp.engine_seconds) || !c.Read(&entries)) {
+    return Malformed("truncated response header");
+  }
+  if (code < 0 || code > static_cast<int32_t>(StatusCode::kUnavailable)) {
+    return Malformed("bad status code");
+  }
+  resp.code = static_cast<StatusCode>(code);
+  if (certified > 1) return Malformed("bad certified flag");
+  resp.certified = certified != 0;
+  if (c.left() < static_cast<size_t>(entries) * 12) {
+    return Malformed("entry list truncated");
+  }
+  resp.topk.reserve(entries);
+  for (uint32_t i = 0; i < entries; ++i) {
+    TopKEntry e{0, 0.0};
+    c.Read(&e.vertex);
+    c.Read(&e.cb);
+    resp.topk.push_back(e);
+  }
+  resp.topk.certified = resp.certified;
+  uint32_t msg_len = 0;
+  if (!c.Read(&msg_len)) return Malformed("truncated message length");
+  if (c.left() != msg_len) return Malformed("message length mismatch");
+  if (!c.ReadBytes(&resp.message, msg_len)) {
+    return Malformed("message truncated");
+  }
+  return resp;
+}
+
+Status WriteFrame(int fd, const std::vector<uint8_t>& payload) {
+  if (payload.size() > kMaxFramePayload) {
+    return Status::InvalidArgument("frame payload over the 1 MiB cap");
+  }
+  uint32_t len = static_cast<uint32_t>(payload.size());
+  uint8_t header[4];
+  std::memcpy(header, &len, 4);
+  struct Chunk {
+    const uint8_t* data;
+    size_t size;
+  } chunks[2] = {{header, 4}, {payload.data(), payload.size()}};
+  for (const Chunk& ch : chunks) {
+    size_t sent = 0;
+    while (sent < ch.size) {
+      // MSG_NOSIGNAL: a peer that closed mid-write must surface as EPIPE,
+      // not kill the server process with SIGPIPE.
+      ssize_t n =
+          send(fd, ch.data + sent, ch.size - sent, MSG_NOSIGNAL);
+      if (n <= 0) return Status::IOError("send failed or timed out");
+      sent += static_cast<size_t>(n);
+    }
+  }
+  return Status::OK();
+}
+
+Status ReadFrame(int fd, std::vector<uint8_t>* payload) {
+  auto read_all = [fd](uint8_t* buf, size_t len) -> bool {
+    size_t got = 0;
+    while (got < len) {
+      ssize_t n = recv(fd, buf + got, len - got, 0);
+      if (n <= 0) return false;  // EOF, timeout (EAGAIN), or error.
+      got += static_cast<size_t>(n);
+    }
+    return true;
+  };
+  uint8_t header[4];
+  if (!read_all(header, 4)) {
+    return Status::IOError("connection closed or timed out reading frame");
+  }
+  uint32_t len = 0;
+  std::memcpy(&len, header, 4);
+  if (len > kMaxFramePayload) {
+    return Status::InvalidArgument("frame length over the 1 MiB cap");
+  }
+  payload->resize(len);
+  if (len > 0 && !read_all(payload->data(), len)) {
+    return Status::IOError("connection closed or timed out reading frame");
+  }
+  return Status::OK();
+}
+
+}  // namespace egobw

@@ -1,0 +1,94 @@
+/// \file
+/// The egobw serving wire format (docs/serving.md): length-prefixed binary
+/// frames over a local stream socket, one request and one response per
+/// connection.
+///
+/// A frame is a 4-byte little-endian payload length followed by the
+/// payload; payloads are capped at kMaxFramePayload so a malicious or
+/// corrupted length can neither allocate unboundedly nor stall a reader.
+/// All integers are little-endian fixed width, doubles are IEEE-754 bit
+/// patterns — the format is a memcpy on every platform this repo targets
+/// and is validated field-by-field on decode (a malformed frame is a
+/// Status, never UB or an EGOBW_CHECK).
+///
+/// Request payload:
+///   u32 magic 'QWBE'   u32 k   f64 theta   u32 deadline_ms (0 = server
+///   default)   u8 on_cancel (0 anytime / 1 abort)   u32 subset_count
+///   subset_count × u32 vertex ids (empty = whole graph)
+/// Response payload:
+///   u32 magic 'RWBE'   i32 status code   u32 retry_after_ms   u8 certified
+///   u64 frontier_remaining   f64 engine_seconds   u32 entry_count
+///   entry_count × (u32 vertex, f64 cb)   u32 msg_len   msg bytes
+
+#ifndef EGOBW_SERVER_WIRE_H_
+#define EGOBW_SERVER_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/ego_types.h"
+#include "graph/graph.h"
+#include "util/cancellation.h"
+#include "util/status.h"
+
+namespace egobw {
+
+/// Frame payloads larger than this are rejected on both ends (1 MiB covers
+/// a ~260k-vertex subset or answer; see docs/serving.md).
+inline constexpr uint32_t kMaxFramePayload = 1u << 20;
+
+/// First payload word of a request ("QWBE" little-endian).
+inline constexpr uint32_t kRequestMagic = 0x45425751;
+/// First payload word of a response ("RWBE" little-endian).
+inline constexpr uint32_t kResponseMagic = 0x45425752;
+
+/// One top-k query as it crosses the wire.
+struct QueryRequest {
+  uint32_t k = 10;                  ///< Result size; must be >= 1.
+  double theta = 1.05;              ///< Gradient ratio; must be >= 1, finite.
+  uint32_t deadline_ms = 0;         ///< Per-query budget; 0 = server default.
+  OnCancel on_cancel = OnCancel::kAnytime;  ///< Degradation contract.
+  std::vector<VertexId> subset;     ///< Empty = whole graph.
+};
+
+/// One answer as it crosses the wire. `code` is the server-side verdict
+/// (kOk, kResourceExhausted, kDeadlineExceeded, kInvalidArgument,
+/// kUnavailable); transport failures surface as the client call's own
+/// Status instead.
+struct QueryResponse {
+  StatusCode code = StatusCode::kOk;
+  uint32_t retry_after_ms = 0;   ///< Shed responses: back-off hint (>= 1).
+  bool certified = true;         ///< False = anytime partial answer.
+  uint64_t frontier_remaining = 0;  ///< Work undecided at the deadline.
+  double engine_seconds = 0.0;   ///< Server-side time inside the engine.
+  TopKResult topk;               ///< Entries (certified mirrors topk).
+  std::string message;           ///< Human-readable detail for errors.
+};
+
+/// Serializes a request into a payload (no length prefix).
+std::vector<uint8_t> EncodeRequest(const QueryRequest& request);
+
+/// Parses a request payload. Any structural violation (bad magic, short
+/// buffer, trailing bytes, count overflow) is kInvalidArgument.
+Result<QueryRequest> DecodeRequest(const uint8_t* data, size_t size);
+
+/// Serializes a response into a payload (no length prefix).
+std::vector<uint8_t> EncodeResponse(const QueryResponse& response);
+
+/// Parses a response payload; structural violations are kInvalidArgument.
+Result<QueryResponse> DecodeResponse(const uint8_t* data, size_t size);
+
+/// Writes one length-prefixed frame to `fd` (retrying short writes,
+/// ignoring SIGPIPE via MSG_NOSIGNAL). The socket's send timeout bounds a
+/// stalled peer; on timeout or error returns kIOError.
+Status WriteFrame(int fd, const std::vector<uint8_t>& payload);
+
+/// Reads one length-prefixed frame from `fd` into *payload. Returns
+/// kIOError on EOF/timeout/error and kInvalidArgument on an oversized
+/// length prefix.
+Status ReadFrame(int fd, std::vector<uint8_t>* payload);
+
+}  // namespace egobw
+
+#endif  // EGOBW_SERVER_WIRE_H_

@@ -32,6 +32,13 @@
 ///                            until another exact computation claims it.
 ///   parallel.worker_start    stalls a worker before its first pop.
 ///   parallel.worker_stall    stalls a worker at a pop boundary.
+///   server.accept            drops an accepted connection before admission
+///                            (see docs/serving.md for the server sites).
+///   server.enqueue_full      forces the admission-queue-full shed path.
+///   server.worker_stall      wedges a serving worker past every cooperative
+///                            poll point; only the watchdog or drain can
+///                            release it.
+///   server.respond           drops a response write after the query ran.
 
 #ifndef EGOBW_UTIL_FAILPOINT_H_
 #define EGOBW_UTIL_FAILPOINT_H_

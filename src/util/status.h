@@ -22,6 +22,8 @@ enum class StatusCode {
   kOutOfRange,
   kInternal,
   kDeadlineExceeded,
+  kResourceExhausted,
+  kUnavailable,
 };
 
 /// Result of a fallible operation: a code plus a human-readable message.
@@ -51,6 +53,16 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  /// A bounded resource (admission queue, budget) is full right now —
+  /// retryable; the serving layer attaches a retry-after hint.
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  /// The service is not taking new work (draining / shut down) — retry
+  /// against another instance, not this one.
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

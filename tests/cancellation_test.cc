@@ -7,11 +7,14 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cmath>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "core/all_ego.h"
 #include "core/base_search.h"
+#include "core/naive.h"
 #include "core/opt_search.h"
 #include "dynamic/lazy_topk.h"
 #include "dynamic/local_update.h"
@@ -402,6 +405,73 @@ TEST(CancelDynamicTest, LocalUpdateEngineRejectsUpdateBeforeMutating) {
   engine.SetCancelToken(nullptr);
   ASSERT_TRUE(engine.InsertEdge(a, b).ok());
   EXPECT_TRUE(engine.graph().HasEdge(a, b));
+}
+
+// ------------------------------------------------ Concurrent queries
+
+// The serving layer's core assumption: many searches over one shared
+// read-only graph, each with its own token, and cancelling some of them
+// must not perturb the others. Survivors are bit-identical to the serial
+// answer; cancelled runs follow their contract; every thread joins.
+// Exercised under TSAN/ASAN.
+TEST(CancelConcurrentTest, CancelledQueriesDoNotPerturbSurvivors) {
+  Graph g = RMat(10, 8, 0.57, 0.19, 0.19, 7);
+  TopKResult want = OptBSearch(g, 10);
+
+  constexpr int kQueries = 8;
+  std::vector<std::unique_ptr<CancelToken>> tokens;
+  for (int i = 0; i < kQueries; ++i) {
+    tokens.push_back(std::make_unique<CancelToken>());
+  }
+  std::vector<Result<TopKResult>> results(kQueries, TopKResult{});
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kQueries; ++i) {
+    threads.emplace_back([&, i] {
+      // Odd queries run anytime, even ones abort — both contracts in
+      // flight at once.
+      OnCancel mode = i % 2 == 0 ? OnCancel::kAbort : OnCancel::kAnytime;
+      results[i] = RunOptBSearch(
+          g, 10,
+          {.theta = 1.05, .cancel = tokens[i].get(), .on_cancel = mode});
+    });
+  }
+  // Fire a fixed subset mid-run: queries 0..3 are cancelled, 4..7 survive.
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  for (int i = 0; i < kQueries / 2; ++i) tokens[i]->Cancel();
+  for (std::thread& t : threads) t.join();
+
+  for (int i = 0; i < kQueries; ++i) {
+    if (i >= kQueries / 2) {
+      // Survivor: untouched token, exact certified answer, bit-identical.
+      ASSERT_TRUE(results[i].ok()) << "query " << i;
+      EXPECT_TRUE(results[i].value().certified) << "query " << i;
+      ExpectSameTopK(results[i].value(), want);
+      continue;
+    }
+    if (i % 2 == 0) {
+      // Abort contract — unless the search won the race and finished.
+      if (results[i].ok()) {
+        ExpectSameTopK(results[i].value(), want);
+      } else {
+        EXPECT_EQ(results[i].status().code(), StatusCode::kDeadlineExceeded);
+      }
+    } else {
+      // Anytime contract: always ok; a cancelled run is uncertified but
+      // every entry it returns carries that vertex's exact value (NEAR:
+      // the engine's summation order differs from the local one's).
+      ASSERT_TRUE(results[i].ok()) << "query " << i;
+      if (!results[i].value().certified) {
+        EgoScratch scratch(g.NumVertices());
+        for (const TopKEntry& e : results[i].value()) {
+          ASSERT_LT(e.vertex, g.NumVertices());
+          double lc = ComputeEgoBetweennessLocal(g, e.vertex, &scratch);
+          EXPECT_NEAR(e.cb, lc, 1e-7 * (1.0 + std::abs(lc)));
+        }
+      } else {
+        ExpectSameTopK(results[i].value(), want);
+      }
+    }
+  }
 }
 
 }  // namespace
