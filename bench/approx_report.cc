@@ -1,0 +1,312 @@
+// Approximation-tier benchmark: the sampling estimator and the hybrid
+// warm-start against the exact engine, emitting a machine-readable
+// BENCH_approx.json (companion to BENCH_topk.json / BENCH_serving.json).
+//
+// One R-MAT graph (default scale 16), one k (default 100), ε = δ = 0.05.
+// The report measures, on the same graph:
+//   * exact    — OptBSearch at the paper-default θ = 1.05: the latency and
+//     exact-computation/pushback costs the sampling tier is up against.
+//   * approx   — RunApproxTopK: wall time, vertices scanned before the
+//     cutoff, pair samples, plus three accuracy views against the exact
+//     answer: recall@k, and Spearman/Kendall-τ rank agreement between the
+//     exact CB values of the true top-k and their sampled estimates.
+//   * hybrid   — BuildHybridOrder + OptBSearch(order): the answer must be
+//     bit-identical to `exact`; what moves are the cost counters. At
+//     θ = 1.05 the warm-started boundary collapses bound-tightening heap
+//     pushbacks but CANNOT reduce exact computations — the θ-gated engine
+//     already computes the minimal bound-decidable set in every order, a
+//     structural tie the report records honestly (hybrid_exact_note).
+//   * θ-ablation — the same default/hybrid pair at θ = 1e18 (never
+//     re-push, BaseBSearch-like): without re-push gating, candidate order
+//     is what decides how early the boundary tightens, and the hybrid's
+//     exact-computation savings become real and measurable.
+//   * approx_brandes — the repo's sampled GLOBAL-betweenness baseline
+//     (256 pivots, seeded): similar sampling budget, but because it
+//     estimates a different centrality its recall of the ego-betweenness
+//     top-k is far below the dedicated estimator's — the reason the tier
+//     exists.
+//
+// Usage: approx_report [output.json] [scale] [k] [threads] [seed]
+//   threads > 1 runs the exact/hybrid legs on ParallelOptBSearch instead
+//   of the serial engine (answers are engine-independent either way).
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "approx/approx_topk.h"
+#include "approx/estimator.h"
+#include "baseline/approx_brandes.h"
+#include "benchlib/reporting.h"
+#include "core/ego_types.h"
+#include "core/opt_search.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "parallel/parallel_opt_search.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace egobw;
+
+struct ExactRun {
+  TopKResult topk;
+  double seconds = 0.0;
+  uint64_t exacts = 0;
+  uint64_t pushbacks = 0;
+};
+
+ExactRun RunExact(const Graph& g, uint32_t k, double theta, size_t threads,
+                  const CandidateOrder* order) {
+  ExactRun run;
+  SearchStats stats{};
+  WallTimer timer;
+  if (threads <= 1) {
+    OptBSearchOptions options;
+    options.theta = theta;
+    options.order = order;
+    run.topk = OptBSearch(g, k, options, &stats);
+  } else {
+    ParallelOptBSearchOptions options;
+    options.theta = theta;
+    options.order = order;
+    run.topk = ParallelOptBSearch(g, k, threads, options, &stats);
+  }
+  run.seconds = timer.Seconds();
+  run.exacts = stats.exact_computations;
+  run.pushbacks = stats.heap_pushbacks;
+  return run;
+}
+
+bool SameTopK(const TopKResult& a, const TopKResult& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].vertex != b[i].vertex || a[i].cb != b[i].cb) return false;
+  }
+  return true;
+}
+
+std::vector<VertexId> TopVertices(const TopKResult& topk) {
+  std::vector<VertexId> out;
+  out.reserve(topk.size());
+  for (const TopKEntry& e : topk) out.push_back(e.vertex);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::setvbuf(stdout, nullptr, _IOLBF, 0);  // Progress survives piping.
+  std::string out_path = argc > 1 ? argv[1] : "BENCH_approx.json";
+  uint32_t scale = argc > 2 ? static_cast<uint32_t>(std::atoi(argv[2])) : 16;
+  uint32_t k = argc > 3 ? static_cast<uint32_t>(std::atoi(argv[3])) : 100;
+  size_t threads = argc > 4 ? static_cast<size_t>(std::atoll(argv[4])) : 1;
+  uint64_t seed = argc > 5 ? static_cast<uint64_t>(std::atoll(argv[5])) : 42;
+
+  std::printf("Generating rmat scale %u...\n", scale);
+  Graph g = RMat(scale, 16, 0.57, 0.19, 0.19, 7);
+  std::printf("  n = %u, m = %llu, d_max = %u\n", g.NumVertices(),
+              static_cast<unsigned long long>(g.NumEdges()), g.MaxDegree());
+
+  ApproxOptions approx_options;
+  approx_options.epsilon = 0.05;
+  approx_options.delta = 0.05;
+  approx_options.seed = seed;
+
+  std::printf("exact OptBSearch (theta 1.05, %zu thread%s)...\n", threads,
+              threads == 1 ? "" : "s");
+  ExactRun exact = RunExact(g, k, 1.05, threads, nullptr);
+  std::printf("  %.2f s, %llu exacts, %llu pushbacks\n", exact.seconds,
+              static_cast<unsigned long long>(exact.exacts),
+              static_cast<unsigned long long>(exact.pushbacks));
+
+  std::printf("approx RunApproxTopK (eps %.2f, delta %.2f, seed %llu)...\n",
+              approx_options.epsilon, approx_options.delta,
+              static_cast<unsigned long long>(seed));
+  SearchStats approx_stats{};
+  WallTimer approx_timer;
+  Result<ApproxTopKResult> approx_result =
+      RunApproxTopK(g, k, approx_options, &approx_stats);
+  double approx_seconds = approx_timer.Seconds();
+  if (!approx_result.ok()) {
+    std::fprintf(stderr, "approx: %s\n",
+                 approx_result.status().ToString().c_str());
+    return 1;
+  }
+  const ApproxTopKResult& approx = approx_result.value();
+  double recall = RecallAtK(TopVertices(exact.topk), [&] {
+    std::vector<VertexId> pred;
+    for (const VertexEstimate& e : approx.entries) pred.push_back(e.vertex);
+    return pred;
+  }());
+  // Rank agreement over the TRUE top-k: exact CB values vs the sampled
+  // estimates of the same vertices (standalone re-estimation equals the
+  // in-run values — the estimator is scan-order independent).
+  std::vector<double> exact_values, estimated_values;
+  {
+    EgoScratch scratch(g.NumVertices());
+    for (const TopKEntry& e : exact.topk) {
+      std::optional<VertexEstimate> est =
+          EstimateVertex(g, e.vertex, approx_options, &scratch, nullptr);
+      exact_values.push_back(e.cb);
+      estimated_values.push_back(est.has_value() ? est->estimate : 0.0);
+    }
+  }
+  RankAgreement agreement =
+      ComputeRankAgreement(exact_values, estimated_values);
+  double speedup = approx_seconds > 0 ? exact.seconds / approx_seconds : 0.0;
+  std::printf(
+      "  %.3f s (%.0fx), scanned %u, %llu samples, recall@%u %.3f, "
+      "spearman %.4f, kendall %.4f\n",
+      approx_seconds, speedup, approx.scanned,
+      static_cast<unsigned long long>(approx.total_samples), k, recall,
+      agreement.spearman, agreement.kendall_tau);
+
+  std::printf("hybrid (order + exact search)...\n");
+  WallTimer order_timer;
+  CandidateOrder order = BuildHybridOrder(g, k, approx_options);
+  double order_seconds = order_timer.Seconds();
+  WallTimer hybrid_timer;
+  ExactRun hybrid = RunExact(g, k, 1.05, threads, &order);
+  double hybrid_total_seconds = hybrid_timer.Seconds() + order_seconds;
+  bool hybrid_identical = SameTopK(hybrid.topk, exact.topk);
+  std::printf("  %.2f s total, %llu exacts (default %llu), %llu pushbacks "
+              "(default %llu), identical=%d\n",
+              hybrid_total_seconds,
+              static_cast<unsigned long long>(hybrid.exacts),
+              static_cast<unsigned long long>(exact.exacts),
+              static_cast<unsigned long long>(hybrid.pushbacks),
+              static_cast<unsigned long long>(exact.pushbacks),
+              static_cast<int>(hybrid_identical));
+
+  std::printf("theta ablation (theta 1e18, no re-push)...\n");
+  ExactRun big_default = RunExact(g, k, 1e18, threads, nullptr);
+  ExactRun big_hybrid = RunExact(g, k, 1e18, threads, &order);
+  bool big_identical = SameTopK(big_default.topk, exact.topk) &&
+                       SameTopK(big_hybrid.topk, exact.topk);
+  std::printf("  default %llu exacts vs hybrid %llu exacts, identical=%d\n",
+              static_cast<unsigned long long>(big_default.exacts),
+              static_cast<unsigned long long>(big_hybrid.exacts),
+              static_cast<int>(big_identical));
+
+  std::printf("baseline approx_brandes (256 pivots)...\n");
+  WallTimer brandes_timer;
+  std::vector<double> bc = ApproxBrandesBetweenness(g, 256, seed, threads);
+  double brandes_seconds = brandes_timer.Seconds();
+  std::vector<VertexId> brandes_top(g.NumVertices());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) brandes_top[v] = v;
+  std::partial_sort(brandes_top.begin(), brandes_top.begin() + k,
+                    brandes_top.end(), [&bc](VertexId a, VertexId b) {
+                      if (bc[a] != bc[b]) return bc[a] > bc[b];
+                      return a < b;
+                    });
+  brandes_top.resize(k);
+  double brandes_recall = RecallAtK(TopVertices(exact.topk), brandes_top);
+  std::printf("  %.2f s, recall@%u of the ego top-k: %.3f\n", brandes_seconds,
+              k, brandes_recall);
+
+  bool claim_speedup = speedup >= 10.0;
+  bool claim_correlation = agreement.spearman >= 0.95;
+  bool claim_ablation_savings = big_hybrid.exacts < big_default.exacts;
+  std::printf("claims: speedup>=10x %s, spearman>=0.95 %s, "
+              "ablation exact savings %s\n",
+              claim_speedup ? "yes" : "NO", claim_correlation ? "yes" : "NO",
+              claim_ablation_savings ? "yes" : "NO");
+
+  std::ofstream out(out_path);
+  char buf[768];
+  out << "{\n  \"benchmark\": \"approx_tier\",\n";
+  std::snprintf(buf, sizeof(buf),
+                "  \"graph\": {\"generator\": \"rmat\", \"scale\": %u, "
+                "\"vertices\": %u, \"edges\": %llu, \"max_degree\": %u},\n",
+                scale, g.NumVertices(),
+                static_cast<unsigned long long>(g.NumEdges()), g.MaxDegree());
+  out << buf;
+  std::snprintf(buf, sizeof(buf),
+                "  \"accuracy\": {\"epsilon\": %.3f, \"delta\": %.3f, "
+                "\"seed\": %llu},\n  \"k\": %u,\n  \"threads\": %zu,\n"
+                "  \"hardware_threads\": %u,\n",
+                approx_options.epsilon, approx_options.delta,
+                static_cast<unsigned long long>(seed), k, threads,
+                std::thread::hardware_concurrency());
+  out << buf;
+  std::snprintf(buf, sizeof(buf),
+                "  \"exact\": {\"theta\": 1.05, \"seconds\": %.3f, "
+                "\"exact_computations\": %llu, \"heap_pushbacks\": %llu},\n",
+                exact.seconds, static_cast<unsigned long long>(exact.exacts),
+                static_cast<unsigned long long>(exact.pushbacks));
+  out << buf;
+  std::snprintf(
+      buf, sizeof(buf),
+      "  \"approx\": {\"seconds\": %.4f, \"speedup_vs_exact\": %.1f, "
+      "\"scanned\": %u, \"pair_samples\": %llu, \"exact_small\": %llu, "
+      "\"certified\": %s, \"recall_at_k\": %.4f, \"spearman\": %.5f, "
+      "\"kendall_tau\": %.5f, \"pearson\": %.5f},\n",
+      approx_seconds, speedup, approx.scanned,
+      static_cast<unsigned long long>(approx.total_samples),
+      static_cast<unsigned long long>(approx.exact_small),
+      approx.certified ? "true" : "false", recall, agreement.spearman,
+      agreement.kendall_tau, agreement.pearson);
+  out << buf;
+  std::snprintf(
+      buf, sizeof(buf),
+      "  \"hybrid\": {\"theta\": 1.05, \"seconds\": %.3f, "
+      "\"order_seconds\": %.4f, \"exact_computations\": %llu, "
+      "\"heap_pushbacks\": %llu, \"bit_identical\": %s, "
+      "\"pushbacks_saved_vs_exact\": %lld, \"exacts_saved_vs_exact\": %lld, "
+      "\"hybrid_exact_note\": \"at theta=1.05 the gated engine computes the "
+      "minimal bound-decidable set in any candidate order, so exact counts "
+      "tie structurally; the ordering win is the pushback collapse here and "
+      "the exact-computation savings in the theta ablation\"},\n",
+      hybrid_total_seconds, order_seconds,
+      static_cast<unsigned long long>(hybrid.exacts),
+      static_cast<unsigned long long>(hybrid.pushbacks),
+      hybrid_identical ? "true" : "false",
+      static_cast<long long>(exact.pushbacks) -
+          static_cast<long long>(hybrid.pushbacks),
+      static_cast<long long>(exact.exacts) -
+          static_cast<long long>(hybrid.exacts));
+  out << buf;
+  std::snprintf(
+      buf, sizeof(buf),
+      "  \"theta_ablation\": [\n"
+      "    {\"theta\": 1.05, \"default_exacts\": %llu, \"hybrid_exacts\": "
+      "%llu, \"default_pushbacks\": %llu, \"hybrid_pushbacks\": %llu},\n"
+      "    {\"theta\": 1e18, \"default_exacts\": %llu, \"hybrid_exacts\": "
+      "%llu, \"default_pushbacks\": %llu, \"hybrid_pushbacks\": %llu, "
+      "\"default_seconds\": %.3f, \"hybrid_seconds\": %.3f, "
+      "\"bit_identical\": %s}\n  ],\n",
+      static_cast<unsigned long long>(exact.exacts),
+      static_cast<unsigned long long>(hybrid.exacts),
+      static_cast<unsigned long long>(exact.pushbacks),
+      static_cast<unsigned long long>(hybrid.pushbacks),
+      static_cast<unsigned long long>(big_default.exacts),
+      static_cast<unsigned long long>(big_hybrid.exacts),
+      static_cast<unsigned long long>(big_default.pushbacks),
+      static_cast<unsigned long long>(big_hybrid.pushbacks),
+      big_default.seconds, big_hybrid.seconds,
+      big_identical ? "true" : "false");
+  out << buf;
+  std::snprintf(buf, sizeof(buf),
+                "  \"baseline_approx_brandes\": {\"pivots\": 256, "
+                "\"seconds\": %.3f, \"recall_at_k_vs_exact_ego\": %.4f},\n",
+                brandes_seconds, brandes_recall);
+  out << buf;
+  std::snprintf(buf, sizeof(buf),
+                "  \"claims\": {\"approx_speedup_ge_10x\": %s, "
+                "\"spearman_ge_0_95\": %s, \"hybrid_bit_identical\": %s, "
+                "\"ablation_hybrid_saves_exacts\": %s}\n}\n",
+                claim_speedup ? "true" : "false",
+                claim_correlation ? "true" : "false",
+                hybrid_identical && big_identical ? "true" : "false",
+                claim_ablation_savings ? "true" : "false");
+  out << buf;
+  std::printf("Wrote %s\n", out_path.c_str());
+  return hybrid_identical && big_identical ? 0 : 1;
+}

@@ -17,13 +17,18 @@
 // while sheds are answered in well under a service time.
 //
 // Usage: serving_report [output.json] [scale] [queries] [workers] [socket]
+//                       [approx_fraction]
 //   scale    R-MAT scale (default 14; CI smoke passes a smaller one)
 //   queries  queries per load level (default 400)
 //   workers  server worker threads (default 2)
 //   socket   drive an ALREADY-RUNNING egobw_server on this socket instead
 //            of the in-process one (the soak leg: the external server must
 //            be serving the same graph, e.g. `egobw_server --rmat scale`).
-//            Server-side stats are then not part of the report.
+//            Server-side stats are then not part of the report. Pass ""
+//            to use the in-process server with later arguments.
+//   approx_fraction  fraction of the mix served from the sampling tier
+//            (QueryMode::kApprox, whole-graph; default 0 = exact-only,
+//            which keeps the generated stream identical to older builds).
 
 #include <unistd.h>
 
@@ -100,6 +105,9 @@ LevelRow RunLevel(const std::string& level, size_t clients,
         req.theta = spec.theta;
         req.deadline_ms = spec.deadline_ms;
         req.subset = spec.subset;
+        req.mode = spec.mode;
+        req.epsilon = spec.epsilon;
+        req.delta = spec.delta;
         WallTimer t;
         Result<QueryResponse> resp = QueryServer(socket_path, req);
         double ms = t.Millis();
@@ -167,6 +175,7 @@ int main(int argc, char** argv) {
       argc > 3 ? static_cast<uint32_t>(std::atoi(argv[3])) : 400;
   size_t workers = argc > 4 ? static_cast<size_t>(std::atoll(argv[4])) : 2;
   std::string external_socket = argc > 5 ? argv[5] : "";
+  double approx_fraction = argc > 6 ? std::atof(argv[6]) : 0.0;
 
   std::printf("Generating rmat scale %u...\n", scale);
   Graph g = RMat(scale, 16, 0.57, 0.19, 0.19, 7);
@@ -202,6 +211,7 @@ int main(int argc, char** argv) {
   mix_options.subset_cap = 128;
   mix_options.full_graph_fraction = 0.02;
   mix_options.deadline_ms = 0;  // Server default (100 ms) applies.
+  mix_options.approx_fraction = approx_fraction;
   std::vector<ServingQuerySpec> mix = ZipfServingMix(g, mix_options, kMixSeed);
 
   struct Level {
@@ -260,10 +270,11 @@ int main(int argc, char** argv) {
   std::snprintf(buf, sizeof(buf),
                 "  \"mix\": {\"queries\": %u, \"zipf_s\": %.2f, "
                 "\"subset_cap\": %u, \"full_graph_fraction\": %.3f, "
-                "\"k\": %u, \"theta\": %.3f, \"seed\": %llu},\n",
+                "\"approx_fraction\": %.3f, \"k\": %u, \"theta\": %.3f, "
+                "\"seed\": %llu},\n",
                 queries, mix_options.zipf_s, mix_options.subset_cap,
-                mix_options.full_graph_fraction, mix_options.k,
-                mix_options.theta,
+                mix_options.full_graph_fraction, mix_options.approx_fraction,
+                mix_options.k, mix_options.theta,
                 static_cast<unsigned long long>(kMixSeed));
   out << buf;
   std::snprintf(buf, sizeof(buf), "  \"hardware_threads\": %u,\n",

@@ -3,6 +3,7 @@
 //   egobw_cli GRAPH.txt [--k N] [--algo opt|base|full|naive]
 //             [--theta T] [--threads N] [--retain-smaps]
 //             [--smap-budget-mb M] [--deadline-ms D] [--anytime]
+//             [--approx | --hybrid] [--epsilon E] [--delta D] [--seed S]
 //             [--inspect VERTEX]
 //
 //   --k N          number of results (default 10, must be >= 1)
@@ -41,6 +42,20 @@
 //                  aborting with exit 3. The all-vertex algos (full,
 //                  naive) have no partial top-k to return and ignore it
 //                  with a note.
+//   --approx       sampling-based (ε,δ) top-k (docs/approximation.md):
+//                  each printed value carries a ± confidence radius
+//                  instead of being exact. Orders of magnitude faster on
+//                  large graphs. Incompatible with --anytime (estimates
+//                  are never "certified exact") and with a non-opt --algo.
+//   --hybrid       exact top-k (bit-identical to --algo opt) warm-started
+//                  by the estimate ordering — same answer, less engine
+//                  work. Incompatible with --approx and non-opt --algo.
+//   --epsilon E    approx/hybrid error scale in (0,1), default 0.1:
+//                  |estimate − CB(v)| ≤ E·C(d(v),2) w.p. ≥ 1 − delta.
+//   --delta D      approx/hybrid failure probability in (0,1), default
+//                  0.05. Both flags require --approx or --hybrid.
+//   --seed S       approx/hybrid sampling seed (default 42): runs with
+//                  the same seed print bit-identical estimates.
 //   --inspect V    additionally print ego-network stats for vertex V
 //
 // Exit codes: 0 success, 1 input/graph errors (bad path, malformed edge
@@ -57,6 +72,7 @@
 #include <string>
 #include <thread>
 
+#include "approx/approx_topk.h"
 #include "core/all_ego.h"
 #include "core/base_search.h"
 #include "core/naive.h"
@@ -81,7 +97,9 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s GRAPH.txt [--k N] [--algo opt|base|full|naive] "
                "[--theta T] [--threads N] [--retain-smaps] "
-               "[--smap-budget-mb M] [--deadline-ms D] [--inspect VERTEX]\n",
+               "[--smap-budget-mb M] [--deadline-ms D] [--anytime] "
+               "[--approx | --hybrid] [--epsilon E] [--delta D] [--seed S] "
+               "[--inspect VERTEX]\n",
                argv0);
   return kExitUsage;
 }
@@ -116,6 +134,28 @@ TopKResult TopKFromAll(const std::vector<double>& cb, uint32_t k) {
   return result;
 }
 
+// The --inspect epilogue shared by the exact and approx output paths.
+// Returns an exit code (0 = ok / nothing to do).
+int MaybeInspect(const Graph& g, int64_t inspect) {
+  if (inspect < 0) return 0;
+  if (inspect >= g.NumVertices()) {
+    std::fprintf(stderr, "--inspect vertex out of range (n=%u)\n",
+                 g.NumVertices());
+    return kExitUsage;
+  }
+  VertexId v = static_cast<VertexId>(inspect);
+  EgoNetwork net = BuildEgoNetwork(g, v);
+  EgoNetworkStats s = ComputeEgoNetworkStats(net);
+  std::printf(
+      "\nego network of %u: %u vertices, %llu edges "
+      "(%llu between neighbors, density %.3f), "
+      "%u components without the ego, CB = %.4f\n",
+      v, s.vertices, static_cast<unsigned long long>(s.edges),
+      static_cast<unsigned long long>(s.alter_edges), s.density,
+      s.components_without_ego, EgoBetweennessOfNetwork(net));
+  return 0;
+}
+
 // SIGINT and SIGTERM fire the same cooperative token as --deadline-ms;
 // Cancel() is a single relaxed atomic store, so it is async-signal-safe.
 CancelToken* g_cancel = nullptr;
@@ -131,10 +171,17 @@ int main(int argc, char** argv) {
   std::string path = argv[1];
   int64_t k = 10;
   std::string algo = "opt";
+  bool algo_set = false;
   double theta = 1.05;
   int64_t threads = 1;
   bool retain_smaps = false;
   bool anytime = false;
+  bool approx = false;
+  bool hybrid = false;
+  double epsilon = 0.1;
+  double delta = 0.05;
+  bool accuracy_set = false;  // --epsilon or --delta was given explicitly.
+  int64_t seed = 42;
   int64_t smap_budget_mb = -1;
   int64_t deadline_ms = -1;
   int64_t inspect = -1;
@@ -165,6 +212,29 @@ int main(int argc, char** argv) {
       k = next_int("--k", 1);
     } else if (std::strcmp(argv[i], "--algo") == 0) {
       algo = next("--algo");
+      algo_set = true;
+    } else if (std::strcmp(argv[i], "--approx") == 0) {
+      approx = true;
+    } else if (std::strcmp(argv[i], "--hybrid") == 0) {
+      hybrid = true;
+    } else if (std::strcmp(argv[i], "--epsilon") == 0 ||
+               std::strcmp(argv[i], "--delta") == 0) {
+      const char* flag = argv[i];
+      bool is_epsilon = std::strcmp(flag, "--epsilon") == 0;
+      const char* raw = next(flag);
+      double v = 0.0;
+      if (!ParseDouble(raw, &v)) {
+        std::fprintf(stderr, "%s: '%s' is not a number\n", flag, raw);
+        return kExitUsage;
+      }
+      if (!(v > 0.0 && v < 1.0)) {  // Also rejects NaN.
+        std::fprintf(stderr, "%s must lie in (0, 1) (got %s)\n", flag, raw);
+        return Usage(argv[0]);
+      }
+      (is_epsilon ? epsilon : delta) = v;
+      accuracy_set = true;
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      seed = next_int("--seed", 0);
     } else if (std::strcmp(argv[i], "--theta") == 0) {
       const char* raw = next("--theta");
       if (!ParseDouble(raw, &theta)) {
@@ -197,6 +267,30 @@ int main(int argc, char** argv) {
   }
   if (algo != "opt" && algo != "base" && algo != "full" && algo != "naive") {
     std::fprintf(stderr, "unknown --algo '%s'\n", algo.c_str());
+    return Usage(argv[0]);
+  }
+  // Contradictory combinations are usage errors (exit 2), each with a
+  // one-line hint before the usage summary.
+  if (approx && hybrid) {
+    std::fprintf(stderr, "--approx and --hybrid are mutually exclusive: "
+                         "pick estimates-with-error-bars or warm-started "
+                         "exact\n");
+    return Usage(argv[0]);
+  }
+  if (approx && anytime) {
+    std::fprintf(stderr, "--anytime applies to the exact engines; --approx "
+                         "answers are estimates and obey --deadline-ms by "
+                         "aborting (exit 3)\n");
+    return Usage(argv[0]);
+  }
+  if (accuracy_set && !approx && !hybrid) {
+    std::fprintf(stderr, "--epsilon/--delta require --approx or --hybrid\n");
+    return Usage(argv[0]);
+  }
+  if ((approx || hybrid) && algo_set && algo != "opt") {
+    std::fprintf(stderr, "--approx/--hybrid replace or warm-start the opt "
+                         "engine; they cannot combine with --algo %s\n",
+                 algo.c_str());
     return Usage(argv[0]);
   }
   uint64_t smap_budget_bytes =
@@ -233,16 +327,80 @@ int main(int argc, char** argv) {
   WallTimer timer;
   SearchStats stats;
   uint32_t k32 = static_cast<uint32_t>(std::min<int64_t>(k, ~0u));
+
+  ApproxOptions approx_options;
+  approx_options.epsilon = epsilon;
+  approx_options.delta = delta;
+  approx_options.seed = static_cast<uint64_t>(seed);
+  approx_options.cancel = &cancel;
+
+  if (approx) {
+    // Sampling tier: its own output path (estimate ± radius columns).
+    approx_options.on_cancel = OnCancel::kAbort;
+    Result<ApproxTopKResult> topk_or = RunApproxTopK(g, k32, approx_options,
+                                                     &stats);
+    g_cancel = nullptr;
+    std::signal(SIGINT, SIG_DFL);
+    std::signal(SIGTERM, SIG_DFL);
+    if (!topk_or.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   topk_or.status().ToString().c_str());
+      return topk_or.status().code() == StatusCode::kDeadlineExceeded
+                 ? kExitDeadline
+                 : kExitInput;
+    }
+    const ApproxTopKResult& topk = topk_or.value();
+    std::printf(
+        "approx top-%u in %.3f s (eps=%g delta=%g seed=%llu: %u vertices "
+        "scanned, %llu pair samples, %llu small egos exact)\n",
+        k32, timer.Seconds(), epsilon, delta,
+        static_cast<unsigned long long>(seed), topk.scanned,
+        static_cast<unsigned long long>(topk.total_samples),
+        static_cast<unsigned long long>(topk.exact_small));
+    std::printf(
+        "each value is within its ± radius of the true CB with probability "
+        ">= %g; '*' marks a rank confidently separated from the next\n\n",
+        1.0 - delta);
+    TablePrinter table({"rank", "vertex", "estimate", "+/-", "degree"});
+    for (size_t i = 0; i < topk.entries.size(); ++i) {
+      const VertexEstimate& e = topk.entries[i];
+      std::string rank = TablePrinter::Fmt(uint64_t{i + 1});
+      if (topk.separated[i] != 0) rank += "*";
+      table.AddRow({rank, TablePrinter::Fmt(uint64_t{e.vertex}),
+                    TablePrinter::Fmt(e.estimate, 4),
+                    TablePrinter::Fmt(e.half_width, 4),
+                    TablePrinter::Fmt(uint64_t{g.Degree(e.vertex)})});
+    }
+    table.Print();
+    return MaybeInspect(g, inspect);
+  }
+
+  CandidateOrder order;
+  if (hybrid) {
+    // Estimate first (a fired deadline just shortens the warm-start list),
+    // then the exact search below consumes the order; the answer is
+    // bit-identical to a plain --algo opt run.
+    order = BuildHybridOrder(g, k32, approx_options);
+  }
+
   Result<TopKResult> top_or = TopKResult{};
   if (algo == "opt" && threads > 1) {
-    algo = "opt(" + std::to_string(threads) + "T)";
+    algo = (hybrid ? "hybrid(" : "opt(") + std::to_string(threads) + "T)";
     top_or = RunParallelOptBSearch(
         g, k32, static_cast<size_t>(threads),
-        {.theta = theta, .cancel = &cancel, .on_cancel = on_cancel}, &stats);
-  } else if (algo == "opt") {
-    top_or = RunOptBSearch(
-        g, k32, {.theta = theta, .cancel = &cancel, .on_cancel = on_cancel},
+        {.theta = theta,
+         .cancel = &cancel,
+         .on_cancel = on_cancel,
+         .order = hybrid ? &order : nullptr},
         &stats);
+  } else if (algo == "opt") {
+    if (hybrid) algo = "hybrid";
+    top_or = RunOptBSearch(g, k32,
+                           {.theta = theta,
+                            .cancel = &cancel,
+                            .on_cancel = on_cancel,
+                            .order = hybrid ? &order : nullptr},
+                           &stats);
   } else if (algo == "full" && threads > 1) {
     algo = "full(" + std::to_string(threads) + "T)";
     PEBWOptions options;
@@ -326,22 +484,5 @@ int main(int argc, char** argv) {
   }
   table.Print();
 
-  if (inspect >= 0) {
-    if (inspect >= g.NumVertices()) {
-      std::fprintf(stderr, "--inspect vertex out of range (n=%u)\n",
-                   g.NumVertices());
-      return kExitUsage;
-    }
-    VertexId v = static_cast<VertexId>(inspect);
-    EgoNetwork net = BuildEgoNetwork(g, v);
-    EgoNetworkStats s = ComputeEgoNetworkStats(net);
-    std::printf(
-        "\nego network of %u: %u vertices, %llu edges "
-        "(%llu between neighbors, density %.3f), "
-        "%u components without the ego, CB = %.4f\n",
-        v, s.vertices, static_cast<unsigned long long>(s.edges),
-        static_cast<unsigned long long>(s.alter_edges), s.density,
-        s.components_without_ego, EgoBetweennessOfNetwork(net));
-  }
-  return 0;
+  return MaybeInspect(g, inspect);
 }

@@ -46,6 +46,35 @@ EGOBW_FAILPOINTS=1 EGOBW_FP_STREAMING_FORCE_EVICT=5 \
 echo "==> Serving: wire/admission/watchdog/drain contracts"
 "$BUILD_DIR"/server_test --gtest_brief=1
 
+echo "==> Approximation tier: estimator coverage, hybrid bit-identity, wire compat"
+"$BUILD_DIR"/approx_test --gtest_brief=1
+
+echo "==> CLI flag contract (contradictory combos exit 2; approx/hybrid smoke)"
+CLI_GRAPH="$BUILD_DIR/cli_smoke.txt"
+{
+  for i in $(seq 1 40); do echo "0 $i"; done
+  for i in $(seq 1 39); do echo "$i $((i + 1))"; done
+} > "$CLI_GRAPH"
+expect_usage() {
+  set +e
+  "$BUILD_DIR"/egobw_cli "$@" >/dev/null 2>&1
+  local rc=$?
+  set -e
+  if [ "$rc" -ne 2 ]; then
+    echo "expected usage exit 2 from: egobw_cli $* (got $rc)" >&2
+    return 1
+  fi
+}
+expect_usage "$CLI_GRAPH" --approx --hybrid
+expect_usage "$CLI_GRAPH" --approx --anytime
+expect_usage "$CLI_GRAPH" --epsilon 0.1
+expect_usage "$CLI_GRAPH" --approx --epsilon 1.5
+expect_usage "$CLI_GRAPH" --hybrid --delta 0
+expect_usage "$CLI_GRAPH" --approx --algo base
+"$BUILD_DIR"/egobw_cli "$CLI_GRAPH" --k 5 --approx --epsilon 0.2 --delta 0.1 \
+  > /dev/null
+"$BUILD_DIR"/egobw_cli "$CLI_GRAPH" --k 5 --hybrid > /dev/null
+
 echo "==> Serving soak: external server, overload + env-armed faults + SIGTERM drain"
 SOAK_SOCK="$BUILD_DIR/egobw_soak.sock"
 SOAK_PID=
@@ -60,7 +89,8 @@ wait_for_soak_sock() {
   return 1
 }
 
-# Phase 1 — clean server, stepped offered load driven over the socket;
+# Phase 1 — clean server, stepped offered load driven over the socket,
+# with a quarter of the mix served from the sampling tier (approx mode);
 # every request must come back as a served answer or a clean shed (the
 # report exits non-zero on any transport error).
 "$BUILD_DIR"/egobw_server --rmat 10 --socket "$SOAK_SOCK" \
@@ -68,7 +98,7 @@ wait_for_soak_sock() {
 SOAK_PID=$!
 wait_for_soak_sock
 "$BUILD_DIR"/serving_report "$BUILD_DIR"/BENCH_serving_smoke.json 10 60 2 \
-  "$SOAK_SOCK"
+  "$SOAK_SOCK" 0.25
 cat "$BUILD_DIR"/BENCH_serving_smoke.json
 kill -TERM "$SOAK_PID"
 wait "$SOAK_PID"   # Exit 0 = graceful drain finished inside its deadline.
@@ -104,6 +134,10 @@ echo "==> All-vertex streaming-vs-retained smoke (small R-MAT, differential)"
 "$BUILD_DIR"/pebw_report "$BUILD_DIR"/BENCH_pebw_smoke.json 12 2
 cat "$BUILD_DIR"/BENCH_pebw_smoke.json
 
+echo "==> Approximation-tier smoke (small R-MAT; hybrid must stay bit-identical)"
+"$BUILD_DIR"/approx_report "$BUILD_DIR"/BENCH_approx_smoke.json 11 25 1 42
+cat "$BUILD_DIR"/BENCH_approx_smoke.json
+
 echo "==> ASAN+UBSAN leg (robustness surface under sanitizers)"
 # A second, sanitized tree: the cancellation teardown paths (mid-run
 # aborts releasing slabs/pools) and the hardened loader are exactly where
@@ -115,11 +149,12 @@ cmake -B "$ASAN_DIR" -S . -DCMAKE_BUILD_TYPE=Debug \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined" \
   -DEGOBW_BUILD_BENCH=OFF -DEGOBW_BUILD_EXAMPLES=OFF
 cmake --build "$ASAN_DIR" -j "$(nproc)" \
-  --target cancellation_test failpoint_test util_test graph_test
+  --target cancellation_test failpoint_test util_test graph_test approx_test
 "$ASAN_DIR"/cancellation_test --gtest_brief=1
 "$ASAN_DIR"/failpoint_test --gtest_brief=1
 "$ASAN_DIR"/util_test --gtest_brief=1
 "$ASAN_DIR"/graph_test --gtest_brief=1
+"$ASAN_DIR"/approx_test --gtest_brief=1
 
 if [ -x "$BUILD_DIR/micro_kernels" ]; then
   echo "==> Micro-kernel smoke (google-benchmark)"

@@ -1,0 +1,169 @@
+#include "approx/approx_topk.h"
+
+#include <algorithm>
+#include <chrono>
+#include <queue>
+#include <utility>
+
+#include "core/naive.h"
+#include "graph/degree_order.h"
+#include "util/cancellation.h"
+#include "util/failpoint.h"
+#include "util/logging.h"
+
+namespace egobw {
+namespace {
+
+// Poll stride for the per-vertex outer loop; the estimator itself polls
+// once per sample, so this only bounds the latency of skipping already-
+// dominated tail vertices.
+constexpr uint32_t kScanPollStride = 64;
+
+// Canonical result order: estimate descending, id ascending.
+bool BetterEstimate(const VertexEstimate& a, const VertexEstimate& b) {
+  if (a.estimate != b.estimate) return a.estimate > b.estimate;
+  return a.vertex < b.vertex;
+}
+
+}  // namespace
+
+Result<ApproxTopKResult> RunApproxTopK(const Graph& g, uint32_t k,
+                                       const ApproxOptions& options,
+                                       SearchStats* stats) {
+  EGOBW_CHECK_MSG(options.epsilon > 0.0 && options.epsilon < 1.0,
+                  "epsilon must be in (0,1)");
+  EGOBW_CHECK_MSG(options.delta > 0.0 && options.delta < 1.0,
+                  "delta must be in (0,1)");
+  auto start = std::chrono::steady_clock::now();
+  ApproxTopKResult out;
+  if (k == 0 || g.NumVertices() == 0) {
+    if (stats != nullptr) *stats = SearchStats{};
+    return out;
+  }
+
+  DegreeOrder order(g);
+  std::span<const VertexId> scan = order.Order();
+  EgoScratch scratch(g.NumVertices());
+  CancelPoller poller(options.cancel, 1);
+  CancelPoller scan_poller(options.cancel, kScanPollStride);
+
+  // All estimates so far, plus a min-heap over the k best LOWER confidence
+  // bounds: (estimate - half_width, id). Once full, its top is the sound
+  // cutoff value — an unscanned vertex whose static bound falls below it
+  // cannot displace the current top-k.
+  std::vector<VertexEstimate> estimates;
+  estimates.reserve(std::min<size_t>(scan.size(), 4096));
+  using LowerBound = std::pair<double, VertexId>;
+  std::priority_queue<LowerBound, std::vector<LowerBound>,
+                      std::greater<LowerBound>>
+      lower;
+
+  uint32_t scanned = 0;
+  bool cancelled = false;
+  double cutoff_bound = 0.0;  // Static bound of the first vertex NOT scanned.
+  bool hit_cutoff = false;
+  for (VertexId v : scan) {
+    if (EGOBW_FAILPOINT("approx.scan")) {
+      // Injected mid-scan fault: behave exactly like an expired deadline so
+      // tests can exercise the anytime/abort contracts deterministically.
+      cancelled = true;
+      break;
+    }
+    double static_bound = StaticVertexBound(static_cast<double>(g.Degree(v)));
+    if (lower.size() >= k && static_bound < lower.top().first - kBoundSlack) {
+      cutoff_bound = static_bound;
+      hit_cutoff = true;
+      break;
+    }
+    if (scan_poller.Expired()) {
+      cancelled = true;
+      break;
+    }
+    std::optional<VertexEstimate> est =
+        EstimateVertex(g, v, options, &scratch, &poller);
+    if (!est.has_value()) {
+      cancelled = true;
+      break;
+    }
+    ++scanned;
+    out.total_samples += est->samples;
+    if (est->exact) ++out.exact_small;
+    double lb = est->estimate - est->half_width;
+    if (lower.size() < k) {
+      lower.emplace(lb, v);
+    } else if (lb > lower.top().first) {
+      lower.pop();
+      lower.emplace(lb, v);
+    }
+    estimates.push_back(*est);
+  }
+
+  out.scanned = scanned;
+  uint32_t remaining = static_cast<uint32_t>(scan.size()) - scanned;
+  if (cancelled) {
+    if (options.on_cancel == OnCancel::kAbort) {
+      if (stats != nullptr) stats->frontier_remaining = remaining;
+      return Status::DeadlineExceeded("approx top-k cancelled with " +
+                                      std::to_string(remaining) +
+                                      " vertices unscanned");
+    }
+    out.certified = false;
+  }
+
+  std::sort(estimates.begin(), estimates.end(), BetterEstimate);
+  if (estimates.size() > k) estimates.resize(k);
+  out.entries = std::move(estimates);
+
+  // Per-rank separation: rank i is confidently above rank i+1 when their
+  // confidence intervals do not overlap. The last rank is compared against
+  // the strongest claim an unscanned vertex could make — its static bound
+  // (only meaningful when the scan ended at the cutoff, not a deadline).
+  out.separated.assign(out.entries.size(), 0);
+  for (size_t i = 0; i < out.entries.size(); ++i) {
+    double lo = out.entries[i].estimate - out.entries[i].half_width;
+    double next_hi;
+    if (i + 1 < out.entries.size()) {
+      next_hi = out.entries[i + 1].estimate + out.entries[i + 1].half_width;
+    } else if (hit_cutoff) {
+      next_hi = cutoff_bound;
+    } else {
+      // Deadline truncation or exhausted graph with < k survivors beyond:
+      // exhausted graph → nothing outside, separation holds; truncated →
+      // unknown tail, claim nothing.
+      next_hi = cancelled ? lo : lo - 1.0;
+    }
+    if (lo > next_hi + kBoundSlack) out.separated[i] = 1;
+  }
+
+  if (stats != nullptr) {
+    *stats = SearchStats{};
+    stats->exact_computations = out.exact_small;
+    stats->frontier_remaining = cancelled ? remaining : 0;
+    stats->elapsed_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+  }
+  return out;
+}
+
+CandidateOrder BuildHybridOrder(const Graph& g, uint32_t k,
+                                const ApproxOptions& options,
+                                ApproxTopKResult* estimates) {
+  // Anytime internally: a fired token yields a partial (possibly empty)
+  // order, and the deadline then surfaces in the exact search this order
+  // feeds — which is where the caller's on_cancel policy belongs.
+  ApproxOptions opts = options;
+  opts.on_cancel = OnCancel::kAnytime;
+  Result<ApproxTopKResult> result = RunApproxTopK(g, k, opts);
+  CandidateOrder order;
+  if (!result.ok()) return order;  // Unreachable under kAnytime; be safe.
+  ApproxTopKResult& topk = result.value();
+  order.eager.reserve(topk.entries.size());
+  for (const VertexEstimate& e : topk.entries) {
+    order.eager.push_back(e.vertex);
+  }
+  if (estimates != nullptr) *estimates = std::move(topk);
+  return order;
+}
+
+}  // namespace egobw

@@ -1,0 +1,78 @@
+/// \file
+/// ApproxTopK: top-k ego-betweenness from the sampling estimator, with
+/// per-rank confidence — and the hybrid warm-start order it derives for the
+/// exact bounded searches (docs/approximation.md).
+///
+/// The engine scans vertices in non-increasing static bound d(d-1)/2 and
+/// estimates each with EstimateVertex. A running set of the k best LOWER
+/// confidence bounds gives a sound cutoff: once the static bound of the
+/// next vertex falls below the k-th best lower bound, no unscanned vertex
+/// can displace the current top-k (its true CB is at most its static
+/// bound), so the scan stops — on skewed graphs only the high-degree head
+/// is ever sampled. The returned entries are the k best by estimate;
+/// `separated[i]` reports whether rank i is confidently above rank i+1
+/// (their confidence intervals do not overlap).
+///
+/// Contract: the top-k is approximate — each entry's true CB lies within
+/// ±half_width of its estimate with probability ≥ 1 − δ, but ranks whose
+/// intervals overlap may be transposed and boundary entries may be swapped
+/// with near-boundary outsiders. Callers that need the exact answer use the
+/// hybrid mode: BuildHybridOrder feeds the estimate ordering into
+/// OptBSearch / ParallelOptBSearch via CandidateOrder, which returns the
+/// bit-identical exact top-k at a reduced exact-evaluation count.
+
+#ifndef EGOBW_APPROX_APPROX_TOPK_H_
+#define EGOBW_APPROX_APPROX_TOPK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "approx/estimator.h"
+#include "core/bounded_search.h"
+#include "core/ego_types.h"
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace egobw {
+
+/// Approximate top-k answer with error bars (see file comment).
+struct ApproxTopKResult {
+  /// The k best estimates, ordered (estimate desc, id asc).
+  std::vector<VertexEstimate> entries;
+  /// separated[i] == 1 when rank i's lower confidence bound exceeds rank
+  /// i+1's upper bound (for the last rank: exceeds the best static bound
+  /// never scanned) — i.e. the rank boundary holds with confidence.
+  std::vector<uint8_t> separated;
+  /// False = anytime partial answer: a fired deadline truncated the scan
+  /// before the cutoff; unscanned vertices could displace entries.
+  bool certified = true;
+  uint32_t scanned = 0;        ///< Vertices estimated before the cutoff.
+  uint64_t total_samples = 0;  ///< Pair samples drawn across all vertices.
+  uint64_t exact_small = 0;    ///< Vertices enumerated exactly (small egos).
+};
+
+/// Runs the approximate top-k scan (see file comment).
+///
+/// Cancellation mirrors the exact engines (docs/robustness.md): with a
+/// fired `options.cancel`, kAbort returns Status kDeadlineExceeded; kAnytime
+/// returns the best-so-far entries with certified = false. Either way
+/// `stats->frontier_remaining` counts the vertices never scanned. A null or
+/// unfired token returns the full (ε,δ) answer, bit-identical for a given
+/// seed.
+Result<ApproxTopKResult> RunApproxTopK(const Graph& g, uint32_t k,
+                                       const ApproxOptions& options = {},
+                                       SearchStats* stats = nullptr);
+
+/// Derives the hybrid warm-start order: the estimate-ranked top-k vertices,
+/// best-first, ready to pass as OptBSearchOptions::order /
+/// ParallelOptBSearchOptions::order. Always returns (a fired token yields
+/// the partial — possibly empty — order; the exact search the order feeds
+/// is where the deadline then surfaces, so no accuracy is lost). When
+/// `estimates` is non-null the full ApproxTopKResult is copied out.
+CandidateOrder BuildHybridOrder(const Graph& g, uint32_t k,
+                                const ApproxOptions& options = {},
+                                ApproxTopKResult* estimates = nullptr);
+
+}  // namespace egobw
+
+#endif  // EGOBW_APPROX_APPROX_TOPK_H_

@@ -1,0 +1,132 @@
+#include "approx/estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace egobw {
+namespace {
+
+// Flow term of one sampled pair {a, b} ⊆ N(u): 0 when adjacent, else
+// 1/(cnt+1) with cnt = |N(a) ∩ N(b) ∩ N(u)|. The marker holds N(u); the
+// smaller endpoint neighborhood is scanned, membership in the other is an
+// O(log d) binary search. Since a and b are non-adjacent at the counting
+// stage, neither can appear in the other's list, and u itself is never
+// marked — the count is exactly the connector count of the exact formula.
+double PairFlow(const Graph& g, VertexId a, VertexId b,
+                const VisitMarker& marker) {
+  if (g.HasEdge(a, b)) return 0.0;
+  std::span<const VertexId> na = g.Neighbors(a);
+  std::span<const VertexId> nb = g.Neighbors(b);
+  std::span<const VertexId> scan = na.size() <= nb.size() ? na : nb;
+  VertexId other = na.size() <= nb.size() ? b : a;
+  uint64_t cnt = 0;
+  for (VertexId w : scan) {
+    if (marker.IsMarked(w) && g.HasEdge(w, other)) ++cnt;
+  }
+  return 1.0 / (static_cast<double>(cnt) + 1.0);
+}
+
+}  // namespace
+
+uint64_t HoeffdingSampleCap(double epsilon, double delta) {
+  EGOBW_CHECK_MSG(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0,1)");
+  EGOBW_CHECK_MSG(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+  return static_cast<uint64_t>(
+      std::ceil(std::log(4.0 / delta) / (2.0 * epsilon * epsilon)));
+}
+
+uint64_t PerVertexSeed(uint64_t seed, VertexId v) {
+  uint64_t x = seed + (static_cast<uint64_t>(v) + 1) * 0x9E3779B97F4A7C15ULL;
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return x;
+}
+
+std::optional<VertexEstimate> EstimateVertex(const Graph& g, VertexId v,
+                                             const ApproxOptions& options,
+                                             EgoScratch* scratch,
+                                             CancelPoller* poller) {
+  VertexEstimate out;
+  out.vertex = v;
+  std::span<const VertexId> nbrs = g.Neighbors(v);
+  uint64_t d = nbrs.size();
+  if (d < 2) {
+    out.exact = true;
+    return out;  // CB = 0, no pairs.
+  }
+  uint64_t pairs = d * (d - 1) / 2;
+  uint64_t t_max = HoeffdingSampleCap(options.epsilon, options.delta);
+  if (pairs <= t_max) {
+    // Enumerating every pair costs no more than sampling would; the
+    // cancellable local evaluator polls once per neighbor.
+    std::optional<double> cb =
+        ComputeEgoBetweennessLocalCancellable(g, v, scratch, poller);
+    if (!cb.has_value()) return std::nullopt;
+    out.estimate = *cb;
+    out.exact = true;
+    return out;
+  }
+
+  scratch->marker.Clear();
+  for (VertexId w : nbrs) scratch->marker.Mark(w);
+
+  Rng rng(PerVertexSeed(options.seed, v));
+  double scale = static_cast<double>(pairs);
+  double sum = 0.0;
+  double sumsq = 0.0;
+  uint64_t t = 0;
+  uint64_t next_check = 32;
+  uint32_t checkpoint = 0;
+  // δ budget: half on the Hoeffding cap, half spread over the
+  // empirical-Bernstein checkpoints as δ_j = (δ/2)/(j(j+1)).
+  double radius = options.epsilon;  // The Hoeffding radius at t_max.
+  while (t < t_max) {
+    if (poller != nullptr && poller->Expired()) return std::nullopt;
+    uint64_t i = rng.NextBounded(d);
+    uint64_t j = rng.NextBounded(d - 1);
+    if (j >= i) ++j;  // Uniform unordered pair of distinct indices.
+    double f = PairFlow(g, nbrs[static_cast<size_t>(i)],
+                        nbrs[static_cast<size_t>(j)], scratch->marker);
+    sum += f;
+    sumsq += f * f;
+    ++t;
+    if (t == next_check || t == t_max) {
+      ++checkpoint;
+      double dj = (options.delta / 2.0) /
+                  (static_cast<double>(checkpoint) *
+                   (static_cast<double>(checkpoint) + 1.0));
+      double mean = sum / static_cast<double>(t);
+      double var = 0.0;
+      if (t > 1) {
+        var = (sumsq - sum * mean) / (static_cast<double>(t) - 1.0);
+        var = std::max(var, 0.0);
+      }
+      double lg = std::log(3.0 / dj);
+      double r = std::sqrt(2.0 * var * lg / static_cast<double>(t)) +
+                 3.0 * lg / static_cast<double>(t);
+      if (r <= options.epsilon) {
+        radius = r;
+        break;
+      }
+      if (t == t_max) {
+        // The Hoeffding cap itself guarantees ε at δ/2; keep the tighter
+        // of the two valid radii.
+        radius = std::min(r, options.epsilon);
+        break;
+      }
+      next_check = std::min(t_max, next_check + next_check / 2);
+    }
+  }
+  out.estimate = (sum / static_cast<double>(t)) * scale;
+  out.half_width = radius * scale;
+  out.samples = t;
+  return out;
+}
+
+}  // namespace egobw

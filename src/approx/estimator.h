@@ -1,0 +1,92 @@
+/// \file
+/// Per-vertex sampling estimator for ego-betweenness with an (ε,δ)
+/// guarantee (docs/approximation.md).
+///
+/// CB(u) is a sum over the C(d,2) unordered pairs {a,b} ⊆ N(u) of a flow
+/// term f(a,b) ∈ [0,1]: 0 when a,b are adjacent, else 1/(cnt+1) with cnt the
+/// number of common neighbors of a and b inside N(u). Sampling pairs
+/// uniformly with replacement and averaging f gives an unbiased estimate of
+/// CB(u)/C(d,2); the estimate is scaled back by C(d,2) and an adaptive
+/// stopping rule bounds the error:
+///
+///   * a Hoeffding worst-case cap t_max = ⌈ln(4/δ) / (2ε²)⌉ guarantees
+///     |mean − μ| ≤ ε with probability ≥ 1 − δ/2 at t_max samples;
+///   * empirical-Bernstein checkpoints (Audibert et al.; the adaptive
+///     discipline of Chehreghani et al., PAPERS.md) stop far earlier on
+///     low-variance egos: at geometrically spaced sample counts the radius
+///       r = sqrt(2·V̂·ln(3/δ_j)/t) + 3·ln(3/δ_j)/t,   δ_j = (δ/2)/(j(j+1)),
+///     is tested against ε; the δ_j sum to δ/2, so the union of every
+///     checkpoint plus the Hoeffding cap spends exactly δ.
+///
+/// Either way |estimate − CB(u)| ≤ half_width with probability ≥ 1 − δ,
+/// where half_width ≤ ε·C(d,2). Vertices whose pair universe is no larger
+/// than t_max are enumerated exactly instead (sampling could not be
+/// cheaper); they return half_width 0 and exact = true.
+///
+/// Determinism: the sample stream of vertex v is seeded by mixing the
+/// global seed with v, so an estimate is a pure function of
+/// (graph, v, ε, δ, seed) — independent of scan order, thread schedule, or
+/// whether it is produced standalone or inside RunApproxTopK.
+
+#ifndef EGOBW_APPROX_ESTIMATOR_H_
+#define EGOBW_APPROX_ESTIMATOR_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "core/naive.h"
+#include "graph/graph.h"
+#include "util/cancellation.h"
+
+namespace egobw {
+
+/// Accuracy and determinism knobs shared by the estimator and the
+/// ApproxTopK engine (core semantics in the file comment).
+struct ApproxOptions {
+  /// Per-vertex error scale: |estimate − CB(v)| ≤ ε·C(d(v),2) with
+  /// probability ≥ 1 − δ. Must lie in (0, 1).
+  double epsilon = 0.1;
+  /// Per-vertex failure probability. Must lie in (0, 1).
+  double delta = 0.05;
+  /// Global seed; per-vertex streams are derived from (seed, v), so two
+  /// runs with the same seed produce bit-identical estimates.
+  uint64_t seed = 42;
+  /// Cooperative cancellation token, polled per pair sample and per
+  /// neighbor of the exact-small path. Null = never cancel.
+  const CancelToken* cancel = nullptr;
+  /// What a fired token makes RunApproxTopK return (the per-vertex
+  /// estimator itself just returns nullopt; see util/cancellation.h).
+  OnCancel on_cancel = OnCancel::kAnytime;
+};
+
+/// One vertex's estimate with its confidence radius.
+struct VertexEstimate {
+  VertexId vertex = 0;      ///< The vertex, in the caller's labeling.
+  double estimate = 0.0;    ///< Unbiased estimate of CB(vertex).
+  double half_width = 0.0;  ///< (ε,δ) radius in CB units; 0 when exact.
+  uint64_t samples = 0;     ///< Pair samples drawn (0 when exact).
+  bool exact = false;       ///< Small ego enumerated exactly, no sampling.
+};
+
+/// The Hoeffding worst-case sample count ⌈ln(4/δ) / (2ε²)⌉ — the most
+/// samples the estimator ever draws for one vertex, and the exact-small
+/// enumeration threshold. Requires ε, δ ∈ (0, 1).
+uint64_t HoeffdingSampleCap(double epsilon, double delta);
+
+/// Deterministic per-vertex sample-stream seed (SplitMix64 finalizer over
+/// the global seed and v).
+uint64_t PerVertexSeed(uint64_t seed, VertexId v);
+
+/// Estimates CB(v) under `options` (see file comment). `scratch` is
+/// reused across calls; `poller` (nullable) is consulted once per pair
+/// sample and once per neighbor on the exact-small path — a fired poller
+/// returns nullopt and leaves only scratch state behind. With a null or
+/// unfired poller the result is deterministic in (graph, v, options).
+std::optional<VertexEstimate> EstimateVertex(const Graph& g, VertexId v,
+                                             const ApproxOptions& options,
+                                             EgoScratch* scratch,
+                                             CancelPoller* poller);
+
+}  // namespace egobw
+
+#endif  // EGOBW_APPROX_ESTIMATOR_H_

@@ -1,6 +1,10 @@
 #include "benchlib/reporting.h"
 
 #include <cstdio>
+#include <unordered_set>
+
+#include "util/logging.h"
+#include "util/rank_correlation.h"
 
 namespace egobw {
 
@@ -18,6 +22,26 @@ std::string DatasetSummary(const Dataset& d) {
                 static_cast<unsigned long long>(d.graph.NumEdges()),
                 d.graph.MaxDegree(), d.kind.c_str(), d.substitution.c_str());
   return buf;
+}
+
+double RecallAtK(const std::vector<VertexId>& truth,
+                 const std::vector<VertexId>& predicted) {
+  if (truth.empty()) return 1.0;
+  std::unordered_set<VertexId> want(truth.begin(), truth.end());
+  size_t hits = 0;
+  for (VertexId v : predicted) hits += want.erase(v);  // Each counted once.
+  return static_cast<double>(hits) / static_cast<double>(want.size() + hits);
+}
+
+RankAgreement ComputeRankAgreement(const std::vector<double>& a,
+                                   const std::vector<double>& b) {
+  EGOBW_CHECK_MSG(a.size() == b.size(),
+                  "rank agreement needs parallel vectors");
+  RankAgreement out;
+  out.pearson = PearsonCorrelation(a, b);
+  out.spearman = SpearmanCorrelation(a, b);
+  out.kendall_tau = KendallTauA(a, b);
+  return out;
 }
 
 }  // namespace egobw

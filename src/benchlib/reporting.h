@@ -4,8 +4,10 @@
 #define EGOBW_BENCHLIB_REPORTING_H_
 
 #include <string>
+#include <vector>
 
 #include "benchlib/datasets.h"
+#include "graph/graph.h"
 
 namespace egobw {
 
@@ -15,6 +17,25 @@ void PrintExperimentHeader(const std::string& experiment_id,
 
 /// One-line dataset summary ("Youtube-sim: n=40000 m=119964 dmax=812 ...").
 std::string DatasetSummary(const Dataset& d);
+
+/// |truth ∩ predicted| / |truth| — the standard recall@k of an approximate
+/// top-k against the exact answer (order-insensitive; duplicates in either
+/// list are counted once). Returns 1.0 when `truth` is empty.
+double RecallAtK(const std::vector<VertexId>& truth,
+                 const std::vector<VertexId>& predicted);
+
+/// The three standard rank-agreement coefficients between two parallel
+/// score vectors (see util/rank_correlation.h for their definitions).
+struct RankAgreement {
+  double pearson = 0.0;
+  double spearman = 0.0;
+  double kendall_tau = 0.0;
+};
+
+/// Computes all three coefficients over parallel score vectors `a` and `b`
+/// (a.size() must equal b.size()).
+RankAgreement ComputeRankAgreement(const std::vector<double>& a,
+                                   const std::vector<double>& b);
 
 }  // namespace egobw
 

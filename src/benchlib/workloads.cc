@@ -101,6 +101,16 @@ std::vector<ServingQuerySpec> ZipfServingMix(const Graph& g,
     q.k = options.k;
     q.theta = options.theta;
     q.deadline_ms = options.deadline_ms;
+    // The approx coin is drawn only when the knob is on, so a fraction of
+    // exactly 0 replays the pre-knob stream byte for byte (see header).
+    if (options.approx_fraction > 0.0 &&
+        rng.NextBool(options.approx_fraction)) {
+      q.mode = QueryMode::kApprox;
+      q.epsilon = options.epsilon;
+      q.delta = options.delta;
+      out.push_back(std::move(q));  // Approx queries are whole-graph only.
+      continue;
+    }
     if (!rng.NextBool(options.full_graph_fraction)) {
       VertexId center = by_rank[zipf.Next()];
       auto nbrs = g.Neighbors(center);

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "server/wire.h"
 #include "util/random.h"
 
 namespace egobw {
@@ -65,6 +66,11 @@ struct ServingQuerySpec {
   double theta = 1.05;           ///< OptBSearch gradient ratio.
   uint32_t deadline_ms = 0;      ///< Per-query budget; 0 = server default.
   std::vector<VertexId> subset;  ///< Empty = whole graph.
+  /// Engine tier (wire.h). Approx/hybrid queries are always whole-graph:
+  /// the mix builder leaves `subset` empty whenever mode != kExact.
+  QueryMode mode = QueryMode::kExact;
+  double epsilon = 0.1;  ///< Sampling half-width target (mode != kExact).
+  double delta = 0.05;   ///< Per-vertex failure budget (mode != kExact).
 };
 
 /// Knobs of ZipfServingMix.
@@ -78,6 +84,13 @@ struct ServingMixOptions {
   /// community subset (expensive; the serving deadline bounds them).
   double full_graph_fraction = 0.02;
   uint32_t deadline_ms = 0;  ///< Per-query budget stamp; 0 = server default.
+  /// Fraction of queries served from the sampling tier (QueryMode::kApprox,
+  /// whole-graph). 0 keeps the generated stream byte-identical to builds
+  /// that predate the knob: the mix draws its extra coin ONLY when the
+  /// fraction is positive.
+  double approx_fraction = 0.0;
+  double epsilon = 0.1;  ///< ε stamped on approx queries.
+  double delta = 0.05;   ///< δ stamped on approx queries.
 };
 
 /// The serving benchmark's query stream: `count` queries whose community

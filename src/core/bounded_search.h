@@ -49,6 +49,26 @@ inline double StaticVertexBound(double degree) {
 /// the shared initialization of Algorithms 1 and 2.
 void SeedStaticBounds(const Graph& g, IndexedMaxHeap* heap);
 
+/// Optional warm-start ordering injected into OptBSearch /
+/// ParallelOptBSearch (the hybrid mode of docs/approximation.md; the
+/// betweenness-ordering heuristic of Singh et al. is the precedent).
+///
+/// The listed vertices are evaluated EXACTLY, best-first, before the
+/// engine's normal bound-ordered pops begin; their exact values warm the
+/// TopKAccumulator boundary (and therefore every later θ-gate decision)
+/// while their edge processing tightens the shared dynamic bounds early.
+/// Soundness: an eager evaluation only ADDS exact offers — heap keys stay
+/// the engines' proven upper bounds and the gate still re-validates every
+/// later pop — so the returned top-k is bit-identical to a run without the
+/// order for ANY list contents; only exact-computation and pushback counts
+/// move. A good list (the estimates' top-k) makes them drop; a bad one
+/// costs at most |eager| extra exact evaluations.
+struct CandidateOrder {
+  /// Candidate ids in the caller's labeling, best-first. Out-of-range and
+  /// duplicate ids are ignored.
+  std::vector<VertexId> eager;
+};
+
 /// Running k-best accumulator in the canonical (cb desc, id asc) order.
 ///
 /// The worst retained entry — the admission boundary — is the entry with the

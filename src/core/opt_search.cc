@@ -47,7 +47,47 @@ Result<TopKResult> RunOptBSearch(const Graph& g, uint32_t k,
   // plus, mid-candidate, the popped vertex itself.
   uint64_t frontier = 0;
   bool cancelled = false;
-  while (!heap.empty()) {
+
+  // Hybrid warm start: evaluate the ordered candidates exactly before any
+  // bound-ordered pop. Their offers warm the accumulator boundary, so the
+  // gate prunes and terminates earlier; heap keys are untouched and every
+  // later pop is still re-validated, so the answer cannot change.
+  if (options.order != nullptr) {
+    for (VertexId v : options.order->eager) {
+      if (cancelled) break;
+      if (v >= n || !heap.Contains(v)) continue;  // Out of range / duplicate.
+      if (poller.Expired()) {
+        cancelled = true;
+        frontier = heap.size();
+        break;
+      }
+      // An eager candidate the warm boundary already dominates is pruned
+      // instead of computed (the same monotone-boundary argument as the
+      // gate; guards against estimate misses wasting an exact evaluation).
+      double ub = bounds.Value(v);
+      Admission verdict =
+          gate.Decide(ub, ub, v, CandidateGate::Snapshot(top));
+      if (verdict == Admission::kPrune || verdict == Admission::kTerminate) {
+        // kTerminate only proves THIS candidate dominated (the eager list
+        // is not bound-sorted), so it prunes v alone.
+        heap.Remove(v);
+        ++stats->pruned;
+        continue;
+      }
+      heap.Remove(v);
+      std::optional<double> cb = proc.ComputeExactCb(v, &poller);
+      if (!cb.has_value()) {
+        cancelled = true;
+        frontier = heap.size() + 1;  // v itself was never decided.
+        break;
+      }
+      ++stats->exact_computations;
+      if (obs != nullptr) obs->OnExact(v, *cb);
+      top.Offer(v, *cb);
+    }
+  }
+
+  while (!cancelled && !heap.empty()) {
     if (poller.Expired()) {
       cancelled = true;
       frontier = heap.size();

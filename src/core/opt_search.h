@@ -20,6 +20,7 @@
 #ifndef EGOBW_CORE_OPT_SEARCH_H_
 #define EGOBW_CORE_OPT_SEARCH_H_
 
+#include "core/bounded_search.h"
 #include "core/ego_types.h"
 #include "graph/graph.h"
 #include "util/cancellation.h"
@@ -51,6 +52,11 @@ struct OptBSearchOptions {
   const CancelToken* cancel = nullptr;
   /// What a fired token makes the search return (see util/cancellation.h).
   OnCancel on_cancel = OnCancel::kAbort;
+  /// Optional warm-start ordering (the hybrid mode): the listed vertices are
+  /// computed exactly, best-first, before bound-ordered popping begins. The
+  /// answer is bit-identical with or without it — only exact-computation and
+  /// pushback counts change (see CandidateOrder). Null = default order.
+  const CandidateOrder* order = nullptr;
 };
 
 /// Returns the top-k vertices by ego-betweenness (cb desc, id asc).

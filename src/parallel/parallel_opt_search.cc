@@ -46,9 +46,13 @@ class ParallelBoundedEngine {
   // `new_to_old` translates engine vertex ids to the caller's ids for the
   // canonical tie-break and the published answer (nullptr = identity), so
   // degree relabeling cannot leak into boundary-tie resolution.
+  // `eager` is the hybrid warm-start list in ENGINE labels (the caller
+  // translates through old_to_new when relabeling), drained cooperatively
+  // before bound-ordered popping begins.
   ParallelBoundedEngine(const Graph& g, uint32_t k, size_t threads,
                         const ParallelOptBSearchOptions& options,
-                        const std::vector<VertexId>* new_to_old)
+                        const std::vector<VertexId>* new_to_old,
+                        std::vector<VertexId> eager)
       : g_(g),
         edge_set_(g),
         bounds_(g),
@@ -58,6 +62,7 @@ class ParallelBoundedEngine {
         mode_(DefaultKernelMode()),
         threads_(threads == 0 ? 1 : threads),
         new_to_old_(new_to_old),
+        eager_(std::move(eager)),
         shard_mask_(ShardCount(options, threads_) - 1),
         claimed_(std::make_unique<std::atomic<uint8_t>[]>(
             std::max<uint64_t>(1, g.NumEdges()))) {
@@ -328,6 +333,57 @@ class ParallelBoundedEngine {
     return true;
   }
 
+  // Hybrid warm start: workers cooperatively claim the eager candidates
+  // (an atomic cursor preserves the caller's best-first order) and compute
+  // them exactly before any bound-ordered pop. A claim removes the vertex
+  // from its shard under the same holder protocol as TryPop, so the
+  // termination barrier and FrontierRemaining stay sound; ids already gone
+  // from the pool (duplicates, out-of-range) are skipped. Soundness is the
+  // serial argument verbatim — eager evaluation only ADDS exact offers.
+  void DrainEager(WorkerCtx* ctx) {
+    while (!done_.load(std::memory_order_acquire)) {
+      if (ctx->poller.Expired()) {
+        cancelled_.store(true, std::memory_order_relaxed);
+        done_.store(true, std::memory_order_release);
+        return;
+      }
+      size_t i = eager_next_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= eager_.size()) return;
+      VertexId v = eager_[i];
+      if (v >= g_.NumVertices()) continue;
+      // An eager candidate the warm boundary already dominates is pruned
+      // instead of computed (same monotone-boundary argument as the gate).
+      // Bound and boundary reads are taken before the shard lock; both only
+      // tighten, so a prune verdict cannot be invalidated by the delay.
+      double ub = ReadBound(v);
+      Admission verdict =
+          gate_.Decide(ub, ub, OriginalId(v), BoundarySnapshot());
+      bool prune = verdict == Admission::kPrune ||
+                   verdict == Admission::kTerminate;  // This candidate only.
+      {
+        Shard& sh = *shards_[v & shard_mask_];
+        std::lock_guard<Spinlock> lk(sh.lock);
+        if (!sh.heap.Contains(v)) continue;  // Duplicate already claimed.
+        if (prune) {
+          sh.heap.Remove(v);
+          UpdateCachedTop(sh);
+          ++ctx->pruned;
+          continue;
+        }
+        active_.fetch_add(1, std::memory_order_seq_cst);
+        sh.heap.Remove(v);
+        UpdateCachedTop(sh);
+      }
+      if (!ComputeExact(v, ctx)) {
+        // Poller fired mid-candidate: shut the pool down (the decrement
+        // below still drains active_ before the workers join).
+        cancelled_.store(true, std::memory_order_relaxed);
+        done_.store(true, std::memory_order_release);
+      }
+      active_.fetch_sub(1, std::memory_order_seq_cst);
+    }
+  }
+
   void Worker(size_t idx) {
     WorkerCtx* ctx = ctxs_[idx].get();
     // Fault injection: delay this worker's startup — the pool must make
@@ -335,6 +391,7 @@ class ParallelBoundedEngine {
     if (EGOBW_FAILPOINT("parallel.worker_start")) {
       std::this_thread::sleep_for(std::chrono::milliseconds(100));
     }
+    if (!eager_.empty()) DrainEager(ctx);
     while (!done_.load(std::memory_order_acquire)) {
       // Pop boundary: the cancellation poll point. The first worker to
       // observe expiry raises done_, and every other worker exits here or
@@ -413,6 +470,8 @@ class ParallelBoundedEngine {
   KernelMode mode_;
   size_t threads_;
   const std::vector<VertexId>* new_to_old_;
+  std::vector<VertexId> eager_;  // Hybrid warm-start list, engine labels.
+  std::atomic<size_t> eager_next_{0};  // Cooperative claim cursor.
   uint32_t shard_mask_;
   std::unique_ptr<std::atomic<uint8_t>[]> claimed_;  // Per EdgeId.
   std::vector<std::unique_ptr<Shard>> shards_;
@@ -463,10 +522,24 @@ Result<TopKResult> RunParallelOptBSearch(
     Graph relabeled = g.RelabeledByDegree(&old_to_new);
     std::vector<VertexId> new_to_old(n);
     for (VertexId v = 0; v < n; ++v) new_to_old[old_to_new[v]] = v;
-    ParallelBoundedEngine engine(relabeled, k, threads, options, &new_to_old);
+    // The warm-start list arrives in caller labels; the engine pools are
+    // keyed by relabeled ids. Out-of-range ids are dropped here (the engine
+    // re-checks anyway).
+    std::vector<VertexId> eager;
+    if (options.order != nullptr) {
+      eager.reserve(options.order->eager.size());
+      for (VertexId v : options.order->eager) {
+        if (v < n) eager.push_back(old_to_new[v]);
+      }
+    }
+    ParallelBoundedEngine engine(relabeled, k, threads, options, &new_to_old,
+                                 std::move(eager));
     result = RunEngine(&engine, options, stats);
   } else {
-    ParallelBoundedEngine engine(g, k, threads, options, nullptr);
+    std::vector<VertexId> eager;
+    if (options.order != nullptr) eager = options.order->eager;
+    ParallelBoundedEngine engine(g, k, threads, options, nullptr,
+                                 std::move(eager));
     result = RunEngine(&engine, options, stats);
   }
   if (stats != nullptr) stats->elapsed_seconds += timer.Seconds();

@@ -71,6 +71,7 @@
 
 #include <cstdint>
 
+#include "core/bounded_search.h"
 #include "core/ego_types.h"
 #include "graph/graph.h"
 #include "util/cancellation.h"
@@ -101,6 +102,13 @@ struct ParallelOptBSearchOptions {
   const CancelToken* cancel = nullptr;
   /// What a fired token makes the search return (see util/cancellation.h).
   OnCancel on_cancel = OnCancel::kAbort;
+  /// Optional warm-start ordering (the hybrid mode), in the CALLER's
+  /// labeling regardless of relabel_by_degree: the listed vertices are
+  /// claimed from the pool and computed exactly by the workers before
+  /// bound-ordered popping begins. The answer is bit-identical with or
+  /// without it — only exact-computation and pushback counts change (see
+  /// CandidateOrder). Null = default order.
+  const CandidateOrder* order = nullptr;
 };
 
 /// Returns the top-k vertices by ego-betweenness (cb desc, id asc), equal

@@ -9,6 +9,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "approx/approx_topk.h"
 #include "core/naive.h"
 #include "core/opt_search.h"
 #include "util/failpoint.h"
@@ -366,6 +367,21 @@ void EgoBwServer::ServeConnection(int fd, WorkerSlot* slot) {
                    "k must be >= 1 and theta a finite value >= 1");
     return;
   }
+  if (req.mode != QueryMode::kExact) {
+    if (!(req.epsilon > 0.0 && req.epsilon < 1.0) ||
+        !(req.delta > 0.0 && req.delta < 1.0)) {
+      counters_->invalid_requests.fetch_add(1);
+      RejectAndClose(fd, StatusCode::kInvalidArgument,
+                     "epsilon and delta must lie in (0, 1)");
+      return;
+    }
+    if (!req.subset.empty()) {
+      counters_->invalid_requests.fetch_add(1);
+      RejectAndClose(fd, StatusCode::kInvalidArgument,
+                     "approx/hybrid modes answer whole-graph queries only");
+      return;
+    }
+  }
   for (VertexId v : req.subset) {
     if (v >= graph_.NumVertices()) {
       counters_->invalid_requests.fetch_add(1);
@@ -444,12 +460,52 @@ void EgoBwServer::ServeConnection(int fd, WorkerSlot* slot) {
 QueryResponse EgoBwServer::RunQuery(const QueryRequest& req, WorkerSlot* slot,
                                     const CancelToken* token) {
   QueryResponse resp;
+  if (req.mode == QueryMode::kApprox) {
+    SearchStats stats;
+    ApproxOptions approx;
+    approx.epsilon = req.epsilon;
+    approx.delta = req.delta;
+    approx.seed = options_.approx_seed;
+    approx.cancel = token;
+    approx.on_cancel = req.on_cancel;
+    Result<ApproxTopKResult> r = RunApproxTopK(graph_, req.k, approx, &stats);
+    resp.frontier_remaining = stats.frontier_remaining;
+    if (!r.ok()) {
+      resp.code = r.status().code();
+      resp.message = r.status().message();
+    } else {
+      const ApproxTopKResult& a = r.value();
+      resp.topk.reserve(a.entries.size());
+      resp.half_widths.reserve(a.entries.size());
+      for (const VertexEstimate& e : a.entries) {
+        resp.topk.push_back({e.vertex, e.estimate});
+        resp.half_widths.push_back(e.half_width);
+      }
+      resp.topk.certified = a.certified;
+      resp.certified = a.certified;
+    }
+    return resp;
+  }
   if (req.subset.empty()) {
+    // Hybrid: spend part of the budget on the estimate scan (anytime — a
+    // fired token just yields a shorter warm-start list) and feed its
+    // order into the exact search; the answer is bit-identical to an
+    // exact-mode query either way.
+    CandidateOrder order;
+    if (req.mode == QueryMode::kHybrid) {
+      ApproxOptions approx;
+      approx.epsilon = req.epsilon;
+      approx.delta = req.delta;
+      approx.seed = options_.approx_seed;
+      approx.cancel = token;
+      order = BuildHybridOrder(graph_, req.k, approx);
+    }
     SearchStats stats;
     OptBSearchOptions options;
     options.theta = req.theta;
     options.cancel = token;
     options.on_cancel = req.on_cancel;
+    if (req.mode == QueryMode::kHybrid) options.order = &order;
     Result<TopKResult> r = RunOptBSearch(graph_, req.k, options, &stats);
     resp.frontier_remaining = stats.frontier_remaining;
     if (!r.ok()) {

@@ -76,6 +76,10 @@ struct EgoBwServerOptions {
   /// SO_RCVTIMEO/SO_SNDTIMEO on every connection: the most a worker can
   /// lose to a client that connects and then stalls.
   uint32_t io_timeout_ms = 1000;
+  /// Seed for approx/hybrid queries' sampling streams. One server-wide
+  /// seed keeps repeated approx queries reproducible (the per-vertex
+  /// streams are derived from it; see approx/estimator.h).
+  uint64_t approx_seed = 42;
 };
 
 /// Monotonic counters, snapshotted by Stats(). Sums may trail each other

@@ -62,6 +62,13 @@ std::vector<uint8_t> EncodeRequest(const QueryRequest& request) {
   Put<uint8_t>(&out, request.on_cancel == OnCancel::kAbort ? 1 : 0);
   Put<uint32_t>(&out, static_cast<uint32_t>(request.subset.size()));
   for (VertexId v : request.subset) Put<uint32_t>(&out, v);
+  // Mode extension: appended only for non-exact queries so exact traffic
+  // stays byte-identical to v1 (see the header's compatibility story).
+  if (request.mode != QueryMode::kExact) {
+    Put<uint8_t>(&out, static_cast<uint8_t>(request.mode));
+    Put<double>(&out, request.epsilon);
+    Put<double>(&out, request.delta);
+  }
   return out;
 }
 
@@ -79,11 +86,29 @@ Result<QueryRequest> DecodeRequest(const uint8_t* data, size_t size) {
   }
   if (on_cancel > 1) return Malformed("bad on_cancel");
   req.on_cancel = on_cancel == 1 ? OnCancel::kAbort : OnCancel::kAnytime;
-  if (c.left() != static_cast<size_t>(count) * 4) {
+  // The subset either fills the payload exactly (a v1 exact frame) or is
+  // followed by exactly the 17-byte mode extension; anything else is
+  // malformed. An old decoder rejects the extension as "subset length
+  // mismatch" — the clean cross-version failure the header documents.
+  constexpr size_t kModeExtensionBytes = 1 + 8 + 8;
+  size_t subset_bytes = static_cast<size_t>(count) * 4;
+  if (c.left() != subset_bytes && c.left() != subset_bytes + kModeExtensionBytes) {
     return Malformed("subset length mismatch");
   }
   req.subset.resize(count);
   for (uint32_t i = 0; i < count; ++i) c.Read(&req.subset[i]);
+  if (c.left() == kModeExtensionBytes) {
+    uint8_t mode = 0;
+    c.Read(&mode);
+    c.Read(&req.epsilon);
+    c.Read(&req.delta);
+    if (mode == 0 || mode > static_cast<uint8_t>(QueryMode::kHybrid)) {
+      // Mode 0 must be encoded as the absent extension, not an explicit
+      // tail — one canonical encoding per request.
+      return Malformed("bad query mode");
+    }
+    req.mode = static_cast<QueryMode>(mode);
+  }
   return req;
 }
 
@@ -103,6 +128,12 @@ std::vector<uint8_t> EncodeResponse(const QueryResponse& response) {
   }
   Put<uint32_t>(&out, static_cast<uint32_t>(response.message.size()));
   out.insert(out.end(), response.message.begin(), response.message.end());
+  // Error-bar extension: appended only for approx answers (non-empty
+  // half_widths) so exact traffic stays byte-identical to v1.
+  if (!response.half_widths.empty()) {
+    Put<uint32_t>(&out, static_cast<uint32_t>(response.half_widths.size()));
+    for (double hw : response.half_widths) Put<double>(&out, hw);
+  }
   return out;
 }
 
@@ -139,10 +170,21 @@ Result<QueryResponse> DecodeResponse(const uint8_t* data, size_t size) {
   resp.topk.certified = resp.certified;
   uint32_t msg_len = 0;
   if (!c.Read(&msg_len)) return Malformed("truncated message length");
-  if (c.left() != msg_len) return Malformed("message length mismatch");
+  if (c.left() < msg_len) return Malformed("message length mismatch");
   if (!c.ReadBytes(&resp.message, msg_len)) {
     return Malformed("message truncated");
   }
+  // Either the payload ends here (a v1 exact frame) or exactly the
+  // error-bar extension follows: a count equal to the entry count plus
+  // that many doubles. Anything else is malformed.
+  if (c.left() == 0) return resp;
+  uint32_t hw_count = 0;
+  if (!c.Read(&hw_count)) return Malformed("truncated half-width count");
+  if (hw_count != entries || c.left() != static_cast<size_t>(hw_count) * 8) {
+    return Malformed("half-width list mismatch");
+  }
+  resp.half_widths.resize(hw_count);
+  for (uint32_t i = 0; i < hw_count; ++i) c.Read(&resp.half_widths[i]);
   return resp;
 }
 

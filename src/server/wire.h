@@ -15,10 +15,22 @@
 ///   u32 magic 'QWBE'   u32 k   f64 theta   u32 deadline_ms (0 = server
 ///   default)   u8 on_cancel (0 anytime / 1 abort)   u32 subset_count
 ///   subset_count × u32 vertex ids (empty = whole graph)
+///   [mode extension, present only for non-exact queries:
+///    u8 mode (1 approx / 2 hybrid)   f64 epsilon   f64 delta]
 /// Response payload:
 ///   u32 magic 'RWBE'   i32 status code   u32 retry_after_ms   u8 certified
 ///   u64 frontier_remaining   f64 engine_seconds   u32 entry_count
 ///   entry_count × (u32 vertex, f64 cb)   u32 msg_len   msg bytes
+///   [error-bar extension, present only for approx answers:
+///    u32 hw_count (must equal entry_count)   hw_count × f64 half_width]
+///
+/// Version compatibility: both extensions are appended AFTER the v1 frame
+/// and omitted for exact traffic, so old clients and servers interoperate
+/// with new ones on every exact query. A new client sending an approx
+/// query to an old server gets a clean kInvalidArgument ("subset length
+/// mismatch" — the old decoder sees trailing bytes), never a wrong answer;
+/// a new server answers old clients byte-identically to v1. New decoders
+/// accept exactly 0 or the full extension — a partial tail is malformed.
 
 #ifndef EGOBW_SERVER_WIRE_H_
 #define EGOBW_SERVER_WIRE_H_
@@ -43,6 +55,13 @@ inline constexpr uint32_t kRequestMagic = 0x45425751;
 /// First payload word of a response ("RWBE" little-endian).
 inline constexpr uint32_t kResponseMagic = 0x45425752;
 
+/// How a query wants its answer computed (the wire's u8 mode).
+enum class QueryMode : uint8_t {
+  kExact = 0,   ///< Exact top-k (the only v1 mode; no extension on wire).
+  kApprox = 1,  ///< Sampled (ε,δ) estimates with error bars.
+  kHybrid = 2,  ///< Exact answer warm-started by the estimate order.
+};
+
 /// One top-k query as it crosses the wire.
 struct QueryRequest {
   uint32_t k = 10;                  ///< Result size; must be >= 1.
@@ -50,6 +69,9 @@ struct QueryRequest {
   uint32_t deadline_ms = 0;         ///< Per-query budget; 0 = server default.
   OnCancel on_cancel = OnCancel::kAnytime;  ///< Degradation contract.
   std::vector<VertexId> subset;     ///< Empty = whole graph.
+  QueryMode mode = QueryMode::kExact;  ///< Non-exact requires empty subset.
+  double epsilon = 0.1;  ///< Approx/hybrid error scale, in (0, 1).
+  double delta = 0.05;   ///< Approx/hybrid failure probability, in (0, 1).
 };
 
 /// One answer as it crosses the wire. `code` is the server-side verdict
@@ -64,6 +86,12 @@ struct QueryResponse {
   double engine_seconds = 0.0;   ///< Server-side time inside the engine.
   TopKResult topk;               ///< Entries (certified mirrors topk).
   std::string message;           ///< Human-readable detail for errors.
+  /// Approx answers only: per-entry (ε,δ) confidence radius, parallel to
+  /// `topk` (entry i's true CB is within ±half_widths[i] of its cb with
+  /// probability ≥ 1 − δ; 0 = the value is exact). Empty for exact and
+  /// hybrid answers — and then absent from the wire, which is what keeps
+  /// old clients decoding new servers' exact traffic.
+  std::vector<double> half_widths;
 };
 
 /// Serializes a request into a payload (no length prefix).

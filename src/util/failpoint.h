@@ -39,6 +39,10 @@
 ///                            poll point; only the watchdog or drain can
 ///                            release it.
 ///   server.respond           drops a response write after the query ran.
+///   approx.scan              fires the sampling scan's deadline check at a
+///                            vertex boundary: RunApproxTopK degrades per
+///                            its on_cancel contract (anytime partial with
+///                            certified = false, or kDeadlineExceeded).
 
 #ifndef EGOBW_UTIL_FAILPOINT_H_
 #define EGOBW_UTIL_FAILPOINT_H_

@@ -1,0 +1,601 @@
+// Tests for the sampling tier (docs/approximation.md): the per-vertex
+// (ε,δ) estimator (exact-small equality, determinism, empirical coverage),
+// the ApproxTopK engine (cutoff soundness, cancellation contracts, the
+// approx.scan failpoint), the hybrid warm-start order (bit-identity against
+// the default-order exact engines across relabeling and thread counts),
+// the wire-format extensions with their version-compat story, the served
+// approx/hybrid modes end to end, and the benchlib accuracy helpers.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "approx/approx_topk.h"
+#include "approx/estimator.h"
+#include "benchlib/reporting.h"
+#include "benchlib/workloads.h"
+#include "core/naive.h"
+#include "core/opt_search.h"
+#include "graph/example_graphs.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "parallel/parallel_opt_search.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "server/wire.h"
+#include "util/cancellation.h"
+#include "util/failpoint.h"
+#include "util/status.h"
+
+namespace egobw {
+namespace {
+
+std::string UniqueSocketPath() {
+  static std::atomic<int> counter{0};
+  return "/tmp/egobw_approx_" + std::to_string(getpid()) + "_" +
+         std::to_string(counter.fetch_add(1)) + ".sock";
+}
+
+void ExpectSameTopK(const TopKResult& got, const TopKResult& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].vertex, want[i].vertex) << "rank " << i;
+    EXPECT_EQ(got[i].cb, want[i].cb) << "rank " << i;  // Bit-identical.
+  }
+}
+
+// ---------------------------------------------------------------- Estimator
+
+TEST(EstimatorTest, ExactSmallPathMatchesReference) {
+  // Small egos are enumerated, not sampled: the estimate must equal the
+  // rational oracle exactly, with half_width 0 and exact = true.
+  Graph graphs[] = {PaperFigure1(), Star(9), Clique(7)};
+  ApproxOptions options;  // Defaults: t_max far above these pair counts.
+  for (const Graph& g : graphs) {
+    EgoScratch scratch(g.NumVertices());
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      std::optional<VertexEstimate> est =
+          EstimateVertex(g, v, options, &scratch, nullptr);
+      ASSERT_TRUE(est.has_value());
+      EXPECT_TRUE(est->exact);
+      EXPECT_EQ(est->half_width, 0.0);
+      EXPECT_EQ(est->samples, 0u);
+      EXPECT_DOUBLE_EQ(est->estimate, ReferenceEgoBetweenness(g, v).ToDouble());
+    }
+  }
+}
+
+TEST(EstimatorTest, HoeffdingCapMatchesFormula) {
+  EXPECT_EQ(HoeffdingSampleCap(0.1, 0.05),
+            static_cast<uint64_t>(std::ceil(std::log(4.0 / 0.05) / 0.02)));
+  // Tighter ε → more samples; tighter δ → more samples.
+  EXPECT_GT(HoeffdingSampleCap(0.05, 0.05), HoeffdingSampleCap(0.1, 0.05));
+  EXPECT_GT(HoeffdingSampleCap(0.1, 0.01), HoeffdingSampleCap(0.1, 0.05));
+}
+
+TEST(EstimatorTest, DeterministicAndScheduleIndependent) {
+  Graph g = BarabasiAlbert(500, 10, 31);
+  ApproxOptions options;
+  options.epsilon = 0.15;
+  options.delta = 0.1;
+  options.seed = 7;
+  EgoScratch scratch(g.NumVertices());
+  // Same (graph, v, options) → bit-identical estimate; the per-vertex
+  // stream means the order vertices are visited in cannot matter.
+  for (VertexId v : {VertexId{0}, VertexId{123}, VertexId{499}}) {
+    std::optional<VertexEstimate> a =
+        EstimateVertex(g, v, options, &scratch, nullptr);
+    // Interleave other vertices to perturb scratch state.
+    EstimateVertex(g, (v + 7) % g.NumVertices(), options, &scratch, nullptr);
+    std::optional<VertexEstimate> b =
+        EstimateVertex(g, v, options, &scratch, nullptr);
+    ASSERT_TRUE(a.has_value() && b.has_value());
+    EXPECT_EQ(a->estimate, b->estimate);
+    EXPECT_EQ(a->half_width, b->half_width);
+    EXPECT_EQ(a->samples, b->samples);
+  }
+  // Different global seeds give different sample streams somewhere.
+  ApproxOptions other = options;
+  other.seed = 8;
+  bool any_diff = false;
+  for (VertexId v = 0; v < 50; ++v) {
+    std::optional<VertexEstimate> a =
+        EstimateVertex(g, v, options, &scratch, nullptr);
+    std::optional<VertexEstimate> b =
+        EstimateVertex(g, v, other, &scratch, nullptr);
+    if (a->samples > 0 && a->estimate != b->estimate) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(EstimatorTest, EmpiricalCoverageRespectsEpsilonDelta) {
+  // |estimate − CB(v)| ≤ half_width must hold with probability ≥ 1 − δ.
+  // Trials: every sampled-path vertex of a BA graph under 3 seeds. The
+  // bound is conservative (union over checkpoints), so the observed
+  // violation rate should sit far below δ; we assert it stays below δ.
+  Graph g = BarabasiAlbert(400, 12, 55);
+  ApproxOptions options;
+  options.epsilon = 0.2;
+  options.delta = 0.2;
+  EgoScratch scratch(g.NumVertices());
+  uint64_t trials = 0;
+  uint64_t violations = 0;
+  for (uint64_t seed : {1ull, 2ull, 3ull}) {
+    options.seed = seed;
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      std::optional<VertexEstimate> est =
+          EstimateVertex(g, v, options, &scratch, nullptr);
+      ASSERT_TRUE(est.has_value());
+      if (est->exact) {
+        EXPECT_DOUBLE_EQ(est->estimate,
+                         ComputeEgoBetweennessLocal(g, v, &scratch));
+        continue;
+      }
+      double truth = ComputeEgoBetweennessLocal(g, v, &scratch);
+      ++trials;
+      if (std::abs(est->estimate - truth) > est->half_width) ++violations;
+      // The radius promise: never wider than ε·C(d,2).
+      double d = static_cast<double>(g.Degree(v));
+      EXPECT_LE(est->half_width, options.epsilon * d * (d - 1.0) / 2.0 + 1e-9);
+    }
+  }
+  ASSERT_GT(trials, 100u);  // The graph actually exercises the sampler.
+  EXPECT_LT(static_cast<double>(violations) / static_cast<double>(trials),
+            options.delta);
+}
+
+TEST(EstimatorTest, FiredPollerReturnsNullopt) {
+  Graph g = BarabasiAlbert(300, 15, 9);
+  ApproxOptions options;
+  options.epsilon = 0.05;
+  EgoScratch scratch(g.NumVertices());
+  CancelToken token;
+  token.Cancel();
+  CancelPoller poller(&token, 1);
+  EXPECT_FALSE(EstimateVertex(g, 0, options, &scratch, &poller).has_value());
+}
+
+// ---------------------------------------------------------------- ApproxTopK
+
+TEST(ApproxTopKTest, FixedSeedRunsAreBitIdentical) {
+  Graph g = RMat(10, 8, 0.57, 0.19, 0.19, 21);
+  ApproxOptions options;
+  options.seed = 13;
+  Result<ApproxTopKResult> a = RunApproxTopK(g, 20, options);
+  Result<ApproxTopKResult> b = RunApproxTopK(g, 20, options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a.value().entries.size(), b.value().entries.size());
+  for (size_t i = 0; i < a.value().entries.size(); ++i) {
+    EXPECT_EQ(a.value().entries[i].vertex, b.value().entries[i].vertex);
+    EXPECT_EQ(a.value().entries[i].estimate, b.value().entries[i].estimate);
+    EXPECT_EQ(a.value().entries[i].half_width,
+              b.value().entries[i].half_width);
+  }
+  EXPECT_EQ(a.value().total_samples, b.value().total_samples);
+  EXPECT_EQ(a.value().scanned, b.value().scanned);
+  EXPECT_EQ(a.value().separated, b.value().separated);
+}
+
+TEST(ApproxTopKTest, InRunEstimatesEqualStandaloneOnes) {
+  // Scan-order independence: an entry produced inside the engine equals
+  // the estimate produced standalone for the same (graph, v, options).
+  Graph g = RMat(10, 8, 0.57, 0.19, 0.19, 21);
+  ApproxOptions options;
+  options.seed = 97;
+  Result<ApproxTopKResult> result = RunApproxTopK(g, 15, options);
+  ASSERT_TRUE(result.ok());
+  EgoScratch scratch(g.NumVertices());
+  for (const VertexEstimate& e : result.value().entries) {
+    std::optional<VertexEstimate> solo =
+        EstimateVertex(g, e.vertex, options, &scratch, nullptr);
+    ASSERT_TRUE(solo.has_value());
+    EXPECT_EQ(solo->estimate, e.estimate);
+    EXPECT_EQ(solo->half_width, e.half_width);
+    EXPECT_EQ(solo->samples, e.samples);
+  }
+}
+
+TEST(ApproxTopKTest, CutoffSkipsTailButKeepsSoundTopK) {
+  // On a skewed graph the degree-ordered scan must stop early, and every
+  // returned entry's confidence interval must contain the true CB (the
+  // estimator guarantee transfers through the engine unchanged).
+  Graph g = BarabasiAlbert(2000, 6, 77, 0.2);
+  SearchStats stats{};
+  Result<ApproxTopKResult> result = RunApproxTopK(g, 10, {}, &stats);
+  ASSERT_TRUE(result.ok());
+  const ApproxTopKResult& topk = result.value();
+  EXPECT_TRUE(topk.certified);
+  EXPECT_LT(topk.scanned, g.NumVertices());  // The cutoff actually fired.
+  EXPECT_EQ(topk.entries.size(), 10u);
+  EgoScratch scratch(g.NumVertices());
+  for (const VertexEstimate& e : topk.entries) {
+    double truth = ComputeEgoBetweennessLocal(g, e.vertex, &scratch);
+    EXPECT_LE(std::abs(e.estimate - truth), e.half_width + 1e-9)
+        << "vertex " << e.vertex;
+  }
+  EXPECT_EQ(stats.frontier_remaining, 0u);
+  EXPECT_EQ(stats.exact_computations, topk.exact_small);
+}
+
+TEST(ApproxTopKTest, PreFiredTokenHonorsBothContracts) {
+  Graph g = RMat(9, 8, 0.57, 0.19, 0.19, 3);
+  CancelToken token;
+  token.Cancel();
+  ApproxOptions abort_options;
+  abort_options.cancel = &token;
+  abort_options.on_cancel = OnCancel::kAbort;
+  SearchStats stats{};
+  Result<ApproxTopKResult> aborted =
+      RunApproxTopK(g, 10, abort_options, &stats);
+  EXPECT_FALSE(aborted.ok());
+  EXPECT_EQ(aborted.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(stats.frontier_remaining, g.NumVertices());
+
+  ApproxOptions anytime_options = abort_options;
+  anytime_options.on_cancel = OnCancel::kAnytime;
+  SearchStats anytime_stats{};
+  Result<ApproxTopKResult> partial =
+      RunApproxTopK(g, 10, anytime_options, &anytime_stats);
+  ASSERT_TRUE(partial.ok());
+  EXPECT_FALSE(partial.value().certified);
+  EXPECT_TRUE(partial.value().entries.empty());
+  EXPECT_EQ(anytime_stats.frontier_remaining, g.NumVertices());
+}
+
+class ApproxFailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    failpoint::EnableForTesting(true);
+    failpoint::Reset();
+  }
+  void TearDown() override {
+    failpoint::Reset();
+    failpoint::EnableForTesting(false);
+  }
+};
+
+TEST_F(ApproxFailpointTest, ScanFaultDegradesLikeADeadline) {
+  Graph g = RMat(9, 8, 0.57, 0.19, 0.19, 3);
+  // Fire at the 5th vertex boundary: anytime keeps the 4-entry prefix.
+  failpoint::Arm("approx.scan", /*nth=*/5);
+  SearchStats stats{};
+  Result<ApproxTopKResult> partial = RunApproxTopK(g, 10, {}, &stats);
+  ASSERT_TRUE(partial.ok());
+  EXPECT_FALSE(partial.value().certified);
+  EXPECT_EQ(partial.value().scanned, 4u);
+  EXPECT_EQ(partial.value().entries.size(), 4u);
+  EXPECT_EQ(stats.frontier_remaining, g.NumVertices() - 4);
+  // Same fault under abort: a clean kDeadlineExceeded.
+  failpoint::Arm("approx.scan", /*nth=*/5);
+  ApproxOptions abort_options;
+  abort_options.on_cancel = OnCancel::kAbort;
+  Result<ApproxTopKResult> aborted = RunApproxTopK(g, 10, abort_options);
+  EXPECT_FALSE(aborted.ok());
+  EXPECT_EQ(aborted.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+// ---------------------------------------------------------------- Hybrid
+
+TEST(HybridTest, BitIdenticalAcrossEnginesAndThreads) {
+  Graph g = RMat(10, 16, 0.57, 0.19, 0.19, 7);
+  const uint32_t k = 25;
+  SearchStats base_stats{};
+  TopKResult want = OptBSearch(g, k, {}, &base_stats);
+
+  ApproxTopKResult estimates;
+  CandidateOrder order = BuildHybridOrder(g, k, {}, &estimates);
+  EXPECT_EQ(order.eager.size(), estimates.entries.size());
+
+  SearchStats hybrid_stats{};
+  OptBSearchOptions serial_options;
+  serial_options.order = &order;
+  TopKResult serial = OptBSearch(g, k, serial_options, &hybrid_stats);
+  ExpectSameTopK(serial, want);
+  // The warm boundary collapses bound-tightening heap traffic.
+  EXPECT_LE(hybrid_stats.heap_pushbacks, base_stats.heap_pushbacks);
+
+  for (bool relabel : {true, false}) {
+    for (size_t threads : {size_t{1}, size_t{4}}) {
+      ParallelOptBSearchOptions par_options;
+      par_options.relabel_by_degree = relabel;
+      par_options.order = &order;
+      SearchStats par_stats{};
+      Result<TopKResult> par =
+          RunParallelOptBSearch(g, k, threads, par_options, &par_stats);
+      ASSERT_TRUE(par.ok());
+      ExpectSameTopK(par.value(), want);
+    }
+  }
+}
+
+TEST(HybridTest, ArbitraryEagerListsNeverChangeTheAnswer) {
+  // The bit-identity argument is order-agnostic: ANY eager list — hostile
+  // ordering, duplicates, out-of-range ids — only adds offers; the gate
+  // re-validates every pop. Feed garbage and expect the exact answer.
+  Graph g = RMat(9, 12, 0.57, 0.19, 0.19, 11);
+  const uint32_t k = 10;
+  TopKResult want = OptBSearch(g, k);
+  CandidateOrder junk;
+  for (VertexId v = 0; v < 40; ++v) {
+    junk.eager.push_back((v * 7919) % g.NumVertices());  // Arbitrary.
+    junk.eager.push_back(junk.eager.back());             // Duplicate.
+  }
+  junk.eager.push_back(g.NumVertices());       // Out of range.
+  junk.eager.push_back(g.NumVertices() + 99);  // Far out of range.
+  OptBSearchOptions options;
+  options.order = &junk;
+  ExpectSameTopK(OptBSearch(g, k, options), want);
+  ParallelOptBSearchOptions par_options;
+  par_options.order = &junk;
+  Result<TopKResult> par = RunParallelOptBSearch(g, k, 4, par_options);
+  ASSERT_TRUE(par.ok());
+  ExpectSameTopK(par.value(), want);
+}
+
+TEST(HybridTest, DeadlineSurfacesInTheExactSearch) {
+  Graph g = RMat(10, 16, 0.57, 0.19, 0.19, 7);
+  CancelToken token;
+  token.Cancel();
+  // BuildHybridOrder always returns (anytime internally) ...
+  ApproxOptions approx_options;
+  approx_options.cancel = &token;
+  CandidateOrder order = BuildHybridOrder(g, 10, approx_options);
+  EXPECT_TRUE(order.eager.empty());
+  // ... and the consuming exact search is where the policy bites.
+  OptBSearchOptions options;
+  options.cancel = &token;
+  options.order = &order;
+  options.on_cancel = OnCancel::kAbort;
+  Result<TopKResult> aborted = RunOptBSearch(g, 10, options);
+  EXPECT_FALSE(aborted.ok());
+  EXPECT_EQ(aborted.status().code(), StatusCode::kDeadlineExceeded);
+  options.on_cancel = OnCancel::kAnytime;
+  Result<TopKResult> partial = RunOptBSearch(g, 10, options);
+  ASSERT_TRUE(partial.ok());
+  EXPECT_FALSE(partial.value().certified);
+}
+
+// ---------------------------------------------------------------- Wire
+
+TEST(ApproxWireTest, ModeExtensionRoundTrips) {
+  QueryRequest req;
+  req.k = 12;
+  req.mode = QueryMode::kApprox;
+  req.epsilon = 0.07;
+  req.delta = 0.02;
+  std::vector<uint8_t> bytes = EncodeRequest(req);
+  Result<QueryRequest> back = DecodeRequest(bytes.data(), bytes.size());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().mode, QueryMode::kApprox);
+  EXPECT_EQ(back.value().epsilon, 0.07);
+  EXPECT_EQ(back.value().delta, 0.02);
+  req.mode = QueryMode::kHybrid;
+  bytes = EncodeRequest(req);
+  back = DecodeRequest(bytes.data(), bytes.size());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().mode, QueryMode::kHybrid);
+}
+
+TEST(ApproxWireTest, ExactTrafficStaysByteIdenticalToV1) {
+  // An exact request/response must not grow: the extensions are what keep
+  // old peers interoperating, so their absence IS the compat guarantee.
+  QueryRequest req;
+  req.subset = {4, 2};
+  std::vector<uint8_t> v1 = EncodeRequest(req);
+  req.mode = QueryMode::kExact;  // Explicit exact: still no extension.
+  EXPECT_EQ(EncodeRequest(req), v1);
+  QueryResponse resp;
+  resp.topk.push_back({3, 1.5});
+  std::vector<uint8_t> rv1 = EncodeResponse(resp);
+  Result<QueryResponse> back = DecodeResponse(rv1.data(), rv1.size());
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back.value().half_widths.empty());
+}
+
+TEST(ApproxWireTest, PartialOrCanonicalViolatingTailsAreMalformed) {
+  QueryRequest req;
+  req.mode = QueryMode::kApprox;
+  std::vector<uint8_t> good = EncodeRequest(req);
+  // Every truncation of the 17-byte extension is malformed.
+  for (size_t cut = 1; cut < 17; ++cut) {
+    EXPECT_EQ(
+        DecodeRequest(good.data(), good.size() - cut).status().code(),
+        StatusCode::kInvalidArgument)
+        << "cut " << cut;
+  }
+  // An explicit mode-0 tail is rejected: exact has exactly one encoding.
+  std::vector<uint8_t> zero_tail = good;
+  zero_tail[zero_tail.size() - 17] = 0;
+  EXPECT_EQ(DecodeRequest(zero_tail.data(), zero_tail.size()).status().code(),
+            StatusCode::kInvalidArgument);
+  // Unknown mode values are rejected.
+  std::vector<uint8_t> bad_mode = good;
+  bad_mode[bad_mode.size() - 17] = 3;
+  EXPECT_EQ(DecodeRequest(bad_mode.data(), bad_mode.size()).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ApproxWireTest, HalfWidthExtensionRoundTripsAndValidates) {
+  QueryResponse resp;
+  resp.topk.push_back({5, 2.25});
+  resp.topk.push_back({9, 1.75});
+  resp.half_widths = {0.125, 0.0};
+  std::vector<uint8_t> bytes = EncodeResponse(resp);
+  Result<QueryResponse> back = DecodeResponse(bytes.data(), bytes.size());
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back.value().half_widths.size(), 2u);
+  EXPECT_EQ(back.value().half_widths[0], 0.125);
+  EXPECT_EQ(back.value().half_widths[1], 0.0);
+  // A truncated half-width list is malformed, never a short read.
+  for (size_t cut = 1; cut < 20; ++cut) {
+    EXPECT_EQ(DecodeResponse(bytes.data(), bytes.size() - cut)
+                  .status()
+                  .code(),
+              StatusCode::kInvalidArgument)
+        << "cut " << cut;
+  }
+  // A count disagreeing with the entry count is malformed: flip it to 1.
+  std::vector<uint8_t> bad_count = bytes;
+  bad_count[bytes.size() - 2 * 8 - 4] = 1;
+  EXPECT_EQ(DecodeResponse(bad_count.data(), bad_count.size()).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------- Server
+
+TEST(ApproxServerTest, ApproxAndHybridRoundTrip) {
+  Graph g = RMat(8, 8, 0.57, 0.19, 0.19, 42);
+  EgoBwServerOptions options;
+  options.socket_path = UniqueSocketPath();
+  options.workers = 2;
+  options.default_deadline_ms = 10000;
+  EgoBwServer server(g, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Approx: entries carry error bars; the answer matches an in-process run
+  // with the server's seed (reproducibility through the wire).
+  QueryRequest req;
+  req.k = 10;
+  req.mode = QueryMode::kApprox;
+  req.epsilon = 0.1;
+  req.delta = 0.05;
+  Result<QueryResponse> resp = QueryServer(options.socket_path, req);
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  EXPECT_EQ(resp.value().code, StatusCode::kOk);
+  ASSERT_EQ(resp.value().topk.size(), 10u);
+  ASSERT_EQ(resp.value().half_widths.size(), 10u);
+  ApproxOptions approx_options;
+  approx_options.epsilon = req.epsilon;
+  approx_options.delta = req.delta;
+  approx_options.seed = options.approx_seed;
+  Result<ApproxTopKResult> local = RunApproxTopK(g, 10, approx_options);
+  ASSERT_TRUE(local.ok());
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(resp.value().topk[i].vertex, local.value().entries[i].vertex);
+    EXPECT_EQ(resp.value().topk[i].cb, local.value().entries[i].estimate);
+    EXPECT_EQ(resp.value().half_widths[i],
+              local.value().entries[i].half_width);
+  }
+
+  // Hybrid: the exact answer, bit-identical to the serial engine, with no
+  // error-bar extension on the wire.
+  TopKResult want = OptBSearch(g, 10, {.theta = 1.05});
+  QueryRequest hybrid = req;
+  hybrid.mode = QueryMode::kHybrid;
+  resp = QueryServer(options.socket_path, hybrid);
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  EXPECT_EQ(resp.value().code, StatusCode::kOk);
+  EXPECT_TRUE(resp.value().half_widths.empty());
+  ExpectSameTopK(resp.value().topk, want);
+}
+
+TEST(ApproxServerTest, InvalidAccuracyAndSubsetCombosAreRejected) {
+  Graph g = RMat(8, 8, 0.57, 0.19, 0.19, 42);
+  EgoBwServerOptions options;
+  options.socket_path = UniqueSocketPath();
+  EgoBwServer server(g, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  QueryRequest bad_eps;
+  bad_eps.mode = QueryMode::kApprox;
+  bad_eps.epsilon = 1.5;
+  Result<QueryResponse> resp = QueryServer(options.socket_path, bad_eps);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp.value().code, StatusCode::kInvalidArgument);
+
+  QueryRequest bad_delta;
+  bad_delta.mode = QueryMode::kHybrid;
+  bad_delta.delta = 0.0;
+  resp = QueryServer(options.socket_path, bad_delta);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp.value().code, StatusCode::kInvalidArgument);
+
+  QueryRequest subset_approx;
+  subset_approx.mode = QueryMode::kApprox;
+  subset_approx.subset = {1, 2, 3};
+  resp = QueryServer(options.socket_path, subset_approx);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp.value().code, StatusCode::kInvalidArgument);
+
+  // Exact traffic is untouched by the new validation.
+  QueryRequest good;
+  good.k = 5;
+  resp = QueryServer(options.socket_path, good);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp.value().code, StatusCode::kOk);
+}
+
+// ---------------------------------------------------------------- Benchlib
+
+TEST(ReportingTest, RecallAtKCountsOverlapOnce) {
+  EXPECT_EQ(RecallAtK({}, {1, 2}), 1.0);
+  EXPECT_EQ(RecallAtK({1, 2, 3, 4}, {1, 2, 3, 4}), 1.0);
+  EXPECT_EQ(RecallAtK({1, 2, 3, 4}, {5, 6, 7, 8}), 0.0);
+  EXPECT_EQ(RecallAtK({1, 2, 3, 4}, {1, 2, 9, 9}), 0.5);
+  // Duplicates on either side count once.
+  EXPECT_EQ(RecallAtK({1, 1, 2, 2}, {1, 1, 1}), 0.5);
+}
+
+TEST(ReportingTest, RankAgreementMatchesKnownOrders) {
+  std::vector<double> x{1, 2, 3, 4, 5};
+  std::vector<double> same{10, 20, 30, 40, 50};
+  std::vector<double> reversed{5, 4, 3, 2, 1};
+  RankAgreement perfect = ComputeRankAgreement(x, same);
+  EXPECT_NEAR(perfect.spearman, 1.0, 1e-12);
+  EXPECT_NEAR(perfect.kendall_tau, 1.0, 1e-12);
+  RankAgreement inverted = ComputeRankAgreement(x, reversed);
+  EXPECT_NEAR(inverted.spearman, -1.0, 1e-12);
+  EXPECT_NEAR(inverted.kendall_tau, -1.0, 1e-12);
+}
+
+TEST(WorkloadsTest, ApproxFractionZeroKeepsTheStreamByteIdentical) {
+  Graph g = RMat(8, 8, 0.57, 0.19, 0.19, 42);
+  ServingMixOptions base;
+  base.count = 64;
+  std::vector<ServingQuerySpec> before = ZipfServingMix(g, base, 99);
+  ServingMixOptions zero = base;
+  zero.approx_fraction = 0.0;
+  std::vector<ServingQuerySpec> after = ZipfServingMix(g, zero, 99);
+  ASSERT_EQ(before.size(), after.size());
+  for (size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(before[i].subset, after[i].subset);
+    EXPECT_EQ(after[i].mode, QueryMode::kExact);
+  }
+}
+
+TEST(WorkloadsTest, ApproxFractionStampsWholeGraphApproxQueries) {
+  Graph g = RMat(8, 8, 0.57, 0.19, 0.19, 42);
+  ServingMixOptions options;
+  options.count = 400;
+  options.approx_fraction = 0.25;
+  options.epsilon = 0.08;
+  options.delta = 0.04;
+  std::vector<ServingQuerySpec> mix = ZipfServingMix(g, options, 5);
+  size_t approx = 0;
+  for (const ServingQuerySpec& q : mix) {
+    if (q.mode != QueryMode::kApprox) continue;
+    ++approx;
+    EXPECT_TRUE(q.subset.empty());  // Approx queries are whole-graph only.
+    EXPECT_EQ(q.epsilon, 0.08);
+    EXPECT_EQ(q.delta, 0.04);
+  }
+  // ~100 of 400 expected; accept a generous band, fail on degenerate 0/all.
+  EXPECT_GT(approx, 50u);
+  EXPECT_LT(approx, 200u);
+  // Same options and seed → the same stream (mode stamps included).
+  std::vector<ServingQuerySpec> again = ZipfServingMix(g, options, 5);
+  for (size_t i = 0; i < mix.size(); ++i) {
+    EXPECT_EQ(mix[i].mode, again[i].mode);
+    EXPECT_EQ(mix[i].subset, again[i].subset);
+  }
+}
+
+}  // namespace
+}  // namespace egobw
