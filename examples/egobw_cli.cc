@@ -1,11 +1,25 @@
-// Command-line front end: top-k ego-betweenness over a SNAP edge list.
+// Command-line front end: top-k ego-betweenness over a SNAP edge list or a
+// packed mmap'd CSR image.
 //
-//   egobw_cli GRAPH.txt [--k N] [--algo opt|base|full|naive]
+//   egobw_cli (GRAPH.txt | --mmap-graph IMAGE.egobw)
+//             [--k N] [--algo opt|base|full|naive]
 //             [--theta T] [--threads N] [--retain-smaps]
-//             [--smap-budget-mb M] [--deadline-ms D] [--anytime]
+//             [--smap-budget-mb M] [--spill never|auto|always]
+//             [--spill-dir DIR] [--deadline-ms D] [--anytime]
 //             [--approx | --hybrid] [--epsilon E] [--delta D] [--seed S]
 //             [--inspect VERTEX]
 //
+//   --mmap-graph IMAGE
+//                  serve the graph from an egobw_pack image via mmap
+//                  (docs/out_of_core.md) instead of parsing an edge list:
+//                  load is near-instant and the adjacency stays file-backed
+//                  (evictable) instead of heap-resident. When the image was
+//                  packed with relabeling, all vertex ids printed or
+//                  accepted (--inspect) are mapped through the stored
+//                  permutation, so the output names the input's ids (exact
+//                  values are bit-identical to an edge-list run; --approx
+//                  estimates sample the isomorphic copy, so their error
+//                  bars hold but the draws differ).
 //   --k N          number of results (default 10, must be >= 1)
 //   --algo A       opt    OptBSearch, dynamic bound (default)
 //                  base   BaseBSearch, static bound
@@ -26,6 +40,17 @@
 //                  S maps in MiB — over it, the largest in-flight maps
 //                  are evicted and rebuilt locally at their retire point.
 //                  Default 2048; 0 lifts the cap. Same values either way.
+//   --spill never|auto|always
+//                  with --algo full (streaming): what to do with maps the
+//                  budget evicts. never (default) rebuilds them locally at
+//                  retirement; always spills them to an anonymous
+//                  append-only file and re-reads them once; auto decides
+//                  per map from the calibrated I/O-vs-rebuild cost model
+//                  (docs/out_of_core.md). Values are bit-identical under
+//                  every mode.
+//   --spill-dir DIR
+//                  directory of the anonymous spill file (default: the
+//                  system temp dir).
 //   --deadline-ms D
 //                  cooperative deadline on the search itself (loading and
 //                  printing are not covered): past D milliseconds the
@@ -63,6 +88,7 @@
 // Invalid user input always maps to one of these — it never trips an
 // internal EGOBW_CHECK.
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <csignal>
@@ -72,11 +98,15 @@
 #include <string>
 #include <thread>
 
+#include <span>
+#include <vector>
+
 #include "approx/approx_topk.h"
 #include "core/all_ego.h"
 #include "core/base_search.h"
 #include "core/naive.h"
 #include "core/opt_search.h"
+#include "graph/disk_csr.h"
 #include "graph/ego_network.h"
 #include "graph/io.h"
 #include "parallel/parallel_ebw.h"
@@ -95,9 +125,11 @@ constexpr int kExitDeadline = 3;
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s GRAPH.txt [--k N] [--algo opt|base|full|naive] "
+               "usage: %s (GRAPH.txt | --mmap-graph IMAGE.egobw) "
+               "[--k N] [--algo opt|base|full|naive] "
                "[--theta T] [--threads N] [--retain-smaps] "
-               "[--smap-budget-mb M] [--deadline-ms D] [--anytime] "
+               "[--smap-budget-mb M] [--spill never|auto|always] "
+               "[--spill-dir DIR] [--deadline-ms D] [--anytime] "
                "[--approx | --hybrid] [--epsilon E] [--delta D] [--seed S] "
                "[--inspect VERTEX]\n",
                argv0);
@@ -135,22 +167,25 @@ TopKResult TopKFromAll(const std::vector<double>& cb, uint32_t k) {
 }
 
 // The --inspect epilogue shared by the exact and approx output paths.
-// Returns an exit code (0 = ok / nothing to do).
-int MaybeInspect(const Graph& g, int64_t inspect) {
+// `inspect` is the user's id, `internal` the engine's (they differ only
+// when a relabeled image translated it). Returns an exit code (0 = ok /
+// nothing to do).
+int MaybeInspect(const Graph& g, int64_t inspect, int64_t internal) {
   if (inspect < 0) return 0;
-  if (inspect >= g.NumVertices()) {
+  if (internal < 0 || internal >= g.NumVertices()) {
     std::fprintf(stderr, "--inspect vertex out of range (n=%u)\n",
                  g.NumVertices());
     return kExitUsage;
   }
-  VertexId v = static_cast<VertexId>(inspect);
+  VertexId v = static_cast<VertexId>(internal);
   EgoNetwork net = BuildEgoNetwork(g, v);
   EgoNetworkStats s = ComputeEgoNetworkStats(net);
   std::printf(
-      "\nego network of %u: %u vertices, %llu edges "
+      "\nego network of %llu: %u vertices, %llu edges "
       "(%llu between neighbors, density %.3f), "
       "%u components without the ego, CB = %.4f\n",
-      v, s.vertices, static_cast<unsigned long long>(s.edges),
+      static_cast<unsigned long long>(inspect), s.vertices,
+      static_cast<unsigned long long>(s.edges),
       static_cast<unsigned long long>(s.alter_edges), s.density,
       s.components_without_ego, EgoBetweennessOfNetwork(net));
   return 0;
@@ -168,7 +203,8 @@ void HandleStopSignal(int /*sig*/) {
 
 int main(int argc, char** argv) {
   if (argc < 2) return Usage(argv[0]);
-  std::string path = argv[1];
+  std::string path;
+  std::string mmap_path;
   int64_t k = 10;
   std::string algo = "opt";
   bool algo_set = false;
@@ -185,7 +221,10 @@ int main(int argc, char** argv) {
   int64_t smap_budget_mb = -1;
   int64_t deadline_ms = -1;
   int64_t inspect = -1;
-  for (int i = 2; i < argc; ++i) {
+  SpillMode spill_mode = SpillMode::kNever;
+  bool spill_set = false;
+  std::string spill_dir;
+  for (int i = 1; i < argc; ++i) {
     auto next = [&](const char* flag) -> const char* {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "%s expects a value\n", flag);
@@ -210,6 +249,24 @@ int main(int argc, char** argv) {
     };
     if (std::strcmp(argv[i], "--k") == 0) {
       k = next_int("--k", 1);
+    } else if (std::strcmp(argv[i], "--mmap-graph") == 0) {
+      mmap_path = next("--mmap-graph");
+    } else if (std::strcmp(argv[i], "--spill") == 0) {
+      const char* raw = next("--spill");
+      if (std::strcmp(raw, "never") == 0) {
+        spill_mode = SpillMode::kNever;
+      } else if (std::strcmp(raw, "auto") == 0) {
+        spill_mode = SpillMode::kAuto;
+      } else if (std::strcmp(raw, "always") == 0) {
+        spill_mode = SpillMode::kAlways;
+      } else {
+        std::fprintf(stderr, "--spill: '%s' is not never|auto|always\n", raw);
+        return kExitUsage;
+      }
+      spill_set = true;
+    } else if (std::strcmp(argv[i], "--spill-dir") == 0) {
+      spill_dir = next("--spill-dir");
+      spill_set = true;
     } else if (std::strcmp(argv[i], "--algo") == 0) {
       algo = next("--algo");
       algo_set = true;
@@ -260,10 +317,23 @@ int main(int argc, char** argv) {
       anytime = true;
     } else if (std::strcmp(argv[i], "--inspect") == 0) {
       inspect = next_int("--inspect", 0);
-    } else {
+    } else if (argv[i][0] == '-') {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       return Usage(argv[0]);
+    } else if (path.empty()) {
+      path = argv[i];
+    } else {
+      std::fprintf(stderr, "unexpected extra argument '%s'\n", argv[i]);
+      return Usage(argv[0]);
     }
+  }
+  if (path.empty() == mmap_path.empty()) {
+    std::fprintf(stderr, path.empty()
+                             ? "a graph is required: an edge list or "
+                               "--mmap-graph IMAGE\n"
+                             : "GRAPH.txt and --mmap-graph are mutually "
+                               "exclusive\n");
+    return Usage(argv[0]);
   }
   if (algo != "opt" && algo != "base" && algo != "full" && algo != "naive") {
     std::fprintf(stderr, "unknown --algo '%s'\n", algo.c_str());
@@ -293,19 +363,70 @@ int main(int argc, char** argv) {
                  algo.c_str());
     return Usage(argv[0]);
   }
+  if (spill_set && algo != "full") {
+    std::fprintf(stderr,
+                 "note: --spill/--spill-dir apply to the --algo full "
+                 "streaming pass; ignored here\n");
+  }
   uint64_t smap_budget_bytes =
       smap_budget_mb < 0 ? kDefaultSMapStreamBudgetBytes
                          : static_cast<uint64_t>(smap_budget_mb) << 20;
 
-  Result<Graph> loaded = LoadEdgeList(path);
-  if (!loaded.ok()) {
-    std::fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
-    return kExitInput;
+  // Exactly one of these two owns the graph storage for the rest of the
+  // run; `g` is a view into whichever loaded.
+  Result<Graph> loaded = Graph{};
+  MappedGraph mapped;
+  std::vector<VertexId> new_to_old;  // packed -> input ids, relabeled images
+  if (!mmap_path.empty()) {
+    WallTimer load_timer;
+    Result<MappedGraph> opened = MappedGraph::Open(mmap_path);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   opened.status().ToString().c_str());
+      return kExitInput;
+    }
+    mapped = std::move(opened).value();
+    // Top-k searches probe egos in bound order (random); the all-vertex
+    // pass reads the ≺-ordered sections front to back (sequential).
+    (void)mapped.Advise(algo == "full" ? AccessHint::kSequentialPass
+                                       : AccessHint::kRandomAccess);
+    if (mapped.relabeled()) {
+      std::span<const VertexId> perm = mapped.old_to_new();
+      new_to_old.resize(perm.size());
+      for (size_t v = 0; v < perm.size(); ++v) {
+        new_to_old[perm[v]] = static_cast<VertexId>(v);
+      }
+    }
+    const Graph& mg = mapped.graph();
+    std::printf("mapped %s in %.6f s: n=%u m=%llu dmax=%u (%zu bytes "
+                "file-backed%s)\n",
+                mmap_path.c_str(), load_timer.Seconds(), mg.NumVertices(),
+                static_cast<unsigned long long>(mg.NumEdges()),
+                mg.MaxDegree(), mapped.MappedBytes(),
+                mapped.relabeled() ? ", locality-relabeled" : "");
+  } else {
+    loaded = LoadEdgeList(path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
+      return kExitInput;
+    }
+    std::printf("loaded %s: n=%u m=%llu dmax=%u\n", path.c_str(),
+                loaded.value().NumVertices(),
+                static_cast<unsigned long long>(loaded.value().NumEdges()),
+                loaded.value().MaxDegree());
   }
-  const Graph& g = loaded.value();
-  std::printf("loaded %s: n=%u m=%llu dmax=%u\n", path.c_str(),
-              g.NumVertices(), static_cast<unsigned long long>(g.NumEdges()),
-              g.MaxDegree());
+  const Graph& g = mmap_path.empty() ? loaded.value() : mapped.graph();
+
+  // User-facing vertex ids: a relabeled image runs the engines on packed
+  // ids; translate on the way out (tables) and in (--inspect).
+  auto display_id = [&new_to_old](VertexId v) -> uint64_t {
+    return new_to_old.empty() ? v : new_to_old[v];
+  };
+  int64_t inspect_internal = inspect;
+  if (!new_to_old.empty() && inspect >= 0 && inspect < g.NumVertices()) {
+    inspect_internal =
+        mapped.old_to_new()[static_cast<size_t>(inspect)];
+  }
 
   // One token covers the search whether or not a deadline was given:
   // --deadline-ms arms its clock, SIGINT (Ctrl-C) fires it manually.
@@ -366,13 +487,13 @@ int main(int argc, char** argv) {
       const VertexEstimate& e = topk.entries[i];
       std::string rank = TablePrinter::Fmt(uint64_t{i + 1});
       if (topk.separated[i] != 0) rank += "*";
-      table.AddRow({rank, TablePrinter::Fmt(uint64_t{e.vertex}),
+      table.AddRow({rank, TablePrinter::Fmt(display_id(e.vertex)),
                     TablePrinter::Fmt(e.estimate, 4),
                     TablePrinter::Fmt(e.half_width, 4),
                     TablePrinter::Fmt(uint64_t{g.Degree(e.vertex)})});
     }
     table.Print();
-    return MaybeInspect(g, inspect);
+    return MaybeInspect(g, inspect, inspect_internal);
   }
 
   CandidateOrder order;
@@ -406,6 +527,8 @@ int main(int argc, char** argv) {
     PEBWOptions options;
     options.retain_smaps = retain_smaps;
     options.smap_budget_bytes = smap_budget_bytes;
+    options.spill_mode = spill_mode;
+    options.spill_dir = spill_dir;
     options.cancel = &cancel;
     Result<std::vector<double>> cb =
         RunEdgePEBW(g, static_cast<size_t>(threads), options, &stats);
@@ -437,6 +560,8 @@ int main(int argc, char** argv) {
     // values, higher peak RSS).
     AllEgoOptions options;
     options.smap_budget_bytes = smap_budget_bytes;
+    options.spill_mode = spill_mode;
+    options.spill_dir = spill_dir;
     options.cancel = &cancel;
     if (retain_smaps) {
       Result<AllEgoState> state =
@@ -475,14 +600,27 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(stats.frontier_remaining));
   }
 
+  // On a relabeled image the engine tie-breaks equal-CB entries by packed
+  // id; restore the canonical (cb desc, input id asc) display order so the
+  // table matches an edge-list run of the same graph. Ties that straddle
+  // the k-th value can still admit a different (equally valid) subset —
+  // pack with --no-relabel when exact boundary-tie semantics matter.
+  std::vector<TopKEntry> rows(top.begin(), top.end());
+  if (!new_to_old.empty()) {
+    std::stable_sort(rows.begin(), rows.end(),
+                     [&](const TopKEntry& a, const TopKEntry& b) {
+                       if (a.cb != b.cb) return a.cb > b.cb;
+                       return display_id(a.vertex) < display_id(b.vertex);
+                     });
+  }
   TablePrinter table({"rank", "vertex", "ego-betweenness", "degree"});
-  for (size_t i = 0; i < top.size(); ++i) {
+  for (size_t i = 0; i < rows.size(); ++i) {
     table.AddRow({TablePrinter::Fmt(uint64_t{i + 1}),
-                  TablePrinter::Fmt(uint64_t{top[i].vertex}),
-                  TablePrinter::Fmt(top[i].cb, 4),
-                  TablePrinter::Fmt(uint64_t{g.Degree(top[i].vertex)})});
+                  TablePrinter::Fmt(display_id(rows[i].vertex)),
+                  TablePrinter::Fmt(rows[i].cb, 4),
+                  TablePrinter::Fmt(uint64_t{g.Degree(rows[i].vertex)})});
   }
   table.Print();
 
-  return MaybeInspect(g, inspect);
+  return MaybeInspect(g, inspect, inspect_internal);
 }

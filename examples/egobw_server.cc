@@ -1,6 +1,7 @@
 // Long-lived top-k ego-betweenness query server (docs/serving.md).
 //
-//   egobw_server (GRAPH.txt | --rmat SCALE) --socket PATH
+//   egobw_server (GRAPH.txt | --rmat SCALE | --mmap-graph IMAGE.egobw)
+//                --socket PATH
 //                [--workers N] [--queue-depth N]
 //                [--default-deadline-ms D] [--max-deadline-ms D]
 //                [--watchdog-grace-ms D] [--drain-ms D]
@@ -8,7 +9,15 @@
 //   GRAPH.txt      SNAP edge list to serve, or
 //   --rmat S       generate the standard R-MAT graph (scale S, edge factor
 //                  16, a/b/c = 0.57/0.19/0.19, seed 7) — the tests' and
-//                  serving bench's graph, no dataset file needed.
+//                  serving bench's graph, no dataset file needed, or
+//   --mmap-graph IMAGE
+//                  serve an egobw_pack CSR image via mmap
+//                  (docs/out_of_core.md): cold start is near-instant —
+//                  no parse, no heap copy — so restarts stop being a
+//                  multi-second outage. NOTE: an image packed with the
+//                  default relabeling serves the image's packed vertex
+//                  ids; pack with `egobw_pack --no-relabel` when clients
+//                  expect the input's ids.
 //   --socket PATH  AF_UNIX socket to listen on (required).
 //   --workers N    query worker threads (default 2).
 //   --queue-depth N
@@ -40,9 +49,11 @@
 #include <string>
 #include <thread>
 
+#include "graph/disk_csr.h"
 #include "graph/generators.h"
 #include "graph/io.h"
 #include "server/server.h"
+#include "util/timer.h"
 
 namespace {
 
@@ -54,7 +65,8 @@ constexpr int kExitForcedDrain = 3;
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s (GRAPH.txt | --rmat SCALE) --socket PATH "
+               "usage: %s (GRAPH.txt | --rmat SCALE | --mmap-graph "
+               "IMAGE.egobw) --socket PATH "
                "[--workers N] [--queue-depth N] [--default-deadline-ms D] "
                "[--max-deadline-ms D] [--watchdog-grace-ms D] "
                "[--drain-ms D]\n",
@@ -81,6 +93,7 @@ void HandleStopSignal(int /*sig*/) { g_stop = 1; }
 
 int main(int argc, char** argv) {
   std::string path;
+  std::string mmap_path;
   int64_t rmat_scale = -1;
   EgoBwServerOptions options;
   int64_t drain_ms = 5000;
@@ -104,6 +117,8 @@ int main(int argc, char** argv) {
     };
     if (std::strcmp(argv[i], "--rmat") == 0) {
       rmat_scale = next_int("--rmat", 1);
+    } else if (std::strcmp(argv[i], "--mmap-graph") == 0) {
+      mmap_path = next("--mmap-graph");
     } else if (std::strcmp(argv[i], "--socket") == 0) {
       options.socket_path = next("--socket");
     } else if (std::strcmp(argv[i], "--workers") == 0) {
@@ -130,12 +145,42 @@ int main(int argc, char** argv) {
       return Usage(argv[0]);
     }
   }
-  if (options.socket_path.empty() || (path.empty() == (rmat_scale < 0))) {
+  int graph_sources = (path.empty() ? 0 : 1) + (rmat_scale >= 0 ? 1 : 0) +
+                      (mmap_path.empty() ? 0 : 1);
+  if (options.socket_path.empty() || graph_sources != 1) {
     return Usage(argv[0]);
   }
 
+  // `g` is a cheap view copy when mmap'd: Graph copies share the
+  // reference-counted mapping, so it stays valid for the server's lifetime
+  // even after the MappedGraph handle below goes out of scope.
   Graph g;
-  if (rmat_scale >= 0) {
+  if (!mmap_path.empty()) {
+    WallTimer load_timer;
+    Result<MappedGraph> opened = MappedGraph::Open(mmap_path);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   opened.status().ToString().c_str());
+      return kExitInput;
+    }
+    const MappedGraph& mapped = opened.value();
+    // Serving probes egos in request order — random access over the
+    // adjacency, with the hub block hot.
+    (void)mapped.Advise(AccessHint::kRandomAccess);
+    g = mapped.graph();
+    std::printf("mapped %s in %.6f s: n=%u m=%llu dmax=%u (%zu bytes "
+                "file-backed%s)\n",
+                mmap_path.c_str(), load_timer.Seconds(), g.NumVertices(),
+                static_cast<unsigned long long>(g.NumEdges()), g.MaxDegree(),
+                mapped.MappedBytes(),
+                mapped.relabeled() ? ", locality-relabeled" : "");
+    if (mapped.relabeled()) {
+      std::fprintf(stderr,
+                   "note: image is locality-relabeled — served vertex ids "
+                   "are the image's packed labeling (pack with "
+                   "--no-relabel to keep input ids)\n");
+    }
+  } else if (rmat_scale >= 0) {
     g = RMat(static_cast<uint32_t>(rmat_scale), 16, 0.57, 0.19, 0.19, 7);
     std::printf("generated rmat scale %lld: n=%u m=%llu dmax=%u\n",
                 static_cast<long long>(rmat_scale), g.NumVertices(),

@@ -75,6 +75,50 @@ expect_usage "$CLI_GRAPH" --approx --algo base
   > /dev/null
 "$BUILD_DIR"/egobw_cli "$CLI_GRAPH" --k 5 --hybrid > /dev/null
 
+echo "==> Out-of-core: pack -> deep-verify -> mmap'd run under an address-space cap"
+# Pack the smoke graph, deep-verify the image, then run the mmap'd
+# all-vertex pass — spill forced, tiny budget — inside a ulimit -v cap
+# (subshell, so the cap dies with it) and demand the answer table match
+# the in-memory run byte for byte (only the load line may differ).
+OOC_IMAGE="$BUILD_DIR/cli_smoke.egobw"
+"$BUILD_DIR"/egobw_pack "$CLI_GRAPH" "$OOC_IMAGE" --verify
+OOC_MEM=$("$BUILD_DIR"/egobw_cli "$CLI_GRAPH" --algo full --k 5 | tail -n +2)
+OOC_MAP=$(
+  ulimit -v $((192 * 1024))
+  "$BUILD_DIR"/egobw_cli --mmap-graph "$OOC_IMAGE" --algo full --k 5 \
+    --smap-budget-mb 1 --spill always | tail -n +2
+)
+if [ "$OOC_MEM" != "$OOC_MAP" ]; then
+  echo "mmap'd run diverged from the in-memory run:" >&2
+  diff <(echo "$OOC_MEM") <(echo "$OOC_MAP") >&2 || true
+  exit 1
+fi
+# Env-armed disk faults: an injected mmap/short-read failure must be a
+# clean input error (exit 1), never a crash or a SIGBUS...
+expect_input_error() {
+  set +e
+  "$@" >/dev/null 2>&1
+  local rc=$?
+  set -e
+  if [ "$rc" -ne 1 ]; then
+    echo "expected clean input-error exit 1 from: $* (got $rc)" >&2
+    return 1
+  fi
+}
+expect_input_error env EGOBW_FAILPOINTS=1 EGOBW_FP_DISKCSR_MMAP=1 \
+  "$BUILD_DIR"/egobw_cli --mmap-graph "$OOC_IMAGE" --k 5
+expect_input_error env EGOBW_FAILPOINTS=1 EGOBW_FP_DISKCSR_SHORT_READ=1 \
+  "$BUILD_DIR"/egobw_cli --mmap-graph "$OOC_IMAGE" --k 5
+# ...and injected spill faults mid-pass must degrade to rebuilds with the
+# answer table unchanged.
+OOC_FAULT=$(EGOBW_FAILPOINTS=1 EGOBW_FP_SPILL_WRITE=4 EGOBW_FP_SPILL_READ=6 \
+  "$BUILD_DIR"/egobw_cli --mmap-graph "$OOC_IMAGE" --algo full --k 5 \
+  --smap-budget-mb 1 --spill always | tail -n +2)
+if [ "$OOC_MEM" != "$OOC_FAULT" ]; then
+  echo "spill-fault run diverged from the in-memory run" >&2
+  exit 1
+fi
+
 echo "==> Serving soak: external server, overload + env-armed faults + SIGTERM drain"
 SOAK_SOCK="$BUILD_DIR/egobw_soak.sock"
 SOAK_PID=
@@ -149,12 +193,15 @@ cmake -B "$ASAN_DIR" -S . -DCMAKE_BUILD_TYPE=Debug \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined" \
   -DEGOBW_BUILD_BENCH=OFF -DEGOBW_BUILD_EXAMPLES=OFF
 cmake --build "$ASAN_DIR" -j "$(nproc)" \
-  --target cancellation_test failpoint_test util_test graph_test approx_test
+  --target cancellation_test failpoint_test util_test graph_test \
+  approx_test spill_test disk_csr_test
 "$ASAN_DIR"/cancellation_test --gtest_brief=1
 "$ASAN_DIR"/failpoint_test --gtest_brief=1
 "$ASAN_DIR"/util_test --gtest_brief=1
 "$ASAN_DIR"/graph_test --gtest_brief=1
 "$ASAN_DIR"/approx_test --gtest_brief=1
+EGOBW_FAILPOINTS=1 "$ASAN_DIR"/spill_test --gtest_brief=1
+EGOBW_FAILPOINTS=1 "$ASAN_DIR"/disk_csr_test --gtest_brief=1
 
 if [ -x "$BUILD_DIR/micro_kernels" ]; then
   echo "==> Micro-kernel smoke (google-benchmark)"

@@ -87,23 +87,49 @@ Result<std::vector<double>> RunAllEgoBetweenness(const Graph& g,
   CancelPoller poller(options.cancel);
   std::vector<double> cb(g.NumVertices());
   EdgeProcessor proc(g, edges, &smaps, stats);
+  // Spill tier (docs/out_of_core.md): maps picked for eviction go to an
+  // anonymous append-only file instead of the rebuild path when the mode
+  // (or the calibrated per-map cost model) prefers it. A file that cannot
+  // be created simply leaves the tier off — the pass degrades to plain
+  // evict/rebuild, bit-identically.
+  std::unique_ptr<SpillFile> spill;
+  if (options.spill_mode != SpillMode::kNever) {
+    Result<std::unique_ptr<SpillFile>> created =
+        SpillFile::CreateTemp(options.spill_dir);
+    if (created.ok()) {
+      spill = std::move(created).value();
+      smaps.AttachSpill(spill.get());
+      proc.EnableSpill(spill.get(), options.spill_mode);
+    }
+  }
   // Streaming evaluate-and-free: in ≺ order every backward edge of u lands
   // before u's own turn, so u's remaining-contribution counter hits zero on
   // its last forward edge and the retire hook evaluates + frees S_u right
-  // there (or rebuilds it locally if the byte budget evicted it). Later
-  // case-3 marks aimed at the freed map are provably redundant (see
-  // SMapStore::SetAdjacent), so values stay bit-identical to the retained
-  // pass.
-  proc.EnableStreaming(&pool, options.smap_budget_bytes,
-                       [&cb, &smaps, &pool, &proc](VertexId w) {
-                         if (smaps.Evicted(w)) {
-                           cb[w] = proc.RebuildExactCb(w);
-                           smaps.FinalizeEvicted(w);
-                         } else {
-                           cb[w] = smaps.Finalize(w);
-                           smaps.Release(w, &pool);
-                         }
-                       });
+  // there (or restores it from the spill file, or rebuilds it locally if
+  // the byte budget evicted it). Later case-3 marks aimed at the freed map
+  // are provably redundant (see SMapStore::SetAdjacent), so values stay
+  // bit-identical to the retained pass.
+  proc.EnableStreaming(
+      &pool, options.smap_budget_bytes,
+      [&cb, &smaps, &pool, &proc, stats](VertexId w) {
+        if (smaps.Spilled(w)) {
+          Result<double> restored = smaps.FinalizeSpilled(w);
+          if (restored.ok()) {
+            cb[w] = restored.value();
+            return;
+          }
+          // Torn/unreadable chain: w degraded to evicted — rebuild below,
+          // counted like a budget eviction would have been.
+          ++stats->evicted_rebuilds;
+        }
+        if (smaps.Evicted(w)) {
+          cb[w] = proc.RebuildExactCb(w);
+          smaps.FinalizeEvicted(w);
+        } else {
+          cb[w] = smaps.Finalize(w);
+          smaps.Release(w, &pool);
+        }
+      });
   for (VertexId u : order.Order()) {
     if (poller.Expired()) {
       stats->elapsed_seconds += timer.Seconds();
@@ -126,6 +152,8 @@ Result<std::vector<double>> RunAllEgoBetweenness(const Graph& g,
       std::max<uint64_t>(stats->peak_live_maps, smaps.PeakLiveMaps());
   stats->peak_live_map_bytes = std::max<uint64_t>(
       stats->peak_live_map_bytes, smaps.PeakLiveMapBytes());
+  stats->spilled_maps += smaps.SpilledMaps();
+  stats->spill_reads += smaps.SpillRecordsRead();
   stats->elapsed_seconds += timer.Seconds();
   return cb;
 }

@@ -7,6 +7,7 @@
 #define EGOBW_CORE_ALL_EGO_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/ego_types.h"
@@ -26,6 +27,16 @@ struct AllEgoOptions {
   /// the cap (peak bytes then track the unbounded live frontier). Ignored
   /// by the retained mode (it keeps everything resident by design).
   uint64_t smap_budget_bytes = kDefaultSMapStreamBudgetBytes;
+  /// Spill tier of the byte budget (docs/out_of_core.md): kAuto/kAlways
+  /// spill evicted maps to an anonymous append-only file (re-read once at
+  /// the retire point; SearchStats::spilled_maps/spill_reads) instead of
+  /// paying the local rebuild, per the calibrated cost model under kAuto.
+  /// Results are bit-identical under every mode; any spill fault degrades
+  /// the affected map back to the evict/rebuild path. Ignored by the
+  /// retained mode.
+  SpillMode spill_mode = SpillMode::kNever;
+  /// Directory of the anonymous spill file ("" = the system temp dir).
+  std::string spill_dir;
   /// Cooperative cancellation token, polled once per vertex turn of the
   /// driver loop. All-vertex passes support only the ABORT contract (a
   /// partial CB vector would hold wrong values, not bounds): a fired token

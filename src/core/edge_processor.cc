@@ -35,6 +35,32 @@ void EdgeProcessor::EnableStreaming(SlabPool* pool, uint64_t budget_bytes,
   retire_ = std::move(retire);
 }
 
+void EdgeProcessor::EnableSpill(SpillFile* spill, SpillMode mode) {
+  spill_ = spill;
+  spill_mode_ = spill == nullptr ? SpillMode::kNever : mode;
+}
+
+uint64_t EdgeProcessor::EstimateRebuildPairs(VertexId v) const {
+  uint64_t pairs = 0;
+  uint32_t dv = g_.Degree(v);
+  for (VertexId w : g_.Neighbors(v)) {
+    pairs += std::min(dv, g_.Degree(w));
+  }
+  return pairs;
+}
+
+bool EdgeProcessor::ShouldSpill(VertexId v, size_t bytes) const {
+  switch (spill_mode_) {
+    case SpillMode::kNever:
+      return false;
+    case SpillMode::kAlways:
+      return true;
+    case SpillMode::kAuto:
+      return PreferSpill(bytes, EstimateRebuildPairs(v));
+  }
+  return false;
+}
+
 double EdgeProcessor::RebuildExactCb(VertexId u) {
   EGOBW_DCHECK(remaining_[u] == 0);
   if (!rebuild_) {
@@ -59,6 +85,10 @@ void EdgeProcessor::EvictToBudget(VertexId protect) {
   const uint64_t target = EvictionTargetBytes(budget_bytes_);
   for (const auto& [bytes, v] : candidates) {
     if (smaps_->LiveMapBytes() <= target) break;
+    // Spill tier: move the slab to the file instead of dropping it when
+    // the mode (or the per-map cost model) prefers the round trip; a
+    // failed base write falls back to the plain evict/rebuild path.
+    if (ShouldSpill(v, bytes) && smaps_->Spill(v)) continue;
     smaps_->Evict(v);
     ++stats_->evicted_rebuilds;
   }

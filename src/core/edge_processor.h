@@ -132,6 +132,15 @@ class EdgeProcessor {
   void EnableStreaming(SlabPool* pool, uint64_t budget_bytes,
                        std::function<void(VertexId)> retire);
 
+  /// Enables the spill tier of the streaming byte budget: maps picked for
+  /// eviction are spilled to `spill` instead (kAlways), or only when the
+  /// calibrated cost model prefers the file round trip over the local
+  /// rebuild for that map (kAuto — see util/spill_file.h). The caller must
+  /// also AttachSpill the same file to the store. kNever (or a Spill
+  /// failure) keeps the plain evict/rebuild path; results are bit-identical
+  /// under every mode.
+  void EnableSpill(SpillFile* spill, SpillMode mode);
+
   /// Rebuilds the complete S_u locally from u's incident edges (one fused
   /// intersection+kernel pass, no store access) and returns CB(u) —
   /// bit-identical to evaluating the retained map. The streaming retire
@@ -148,7 +157,17 @@ class EdgeProcessor {
 
   // Evicts the largest incomplete maps (skipping `protect`, the vertex
   // whose turn is running) until live bytes sit below 3/4 of the budget.
+  // With the spill tier enabled each victim is spilled instead when the
+  // mode (or the per-map cost model) prefers it.
   void EvictToBudget(VertexId protect);
+
+  // True when the spill tier wants to spill v's map (`bytes` big) rather
+  // than evict it.
+  bool ShouldSpill(VertexId v, size_t bytes) const;
+
+  // The kAuto rebuild-cost estimate: Σ_{w ∈ N(v)} min(d(v), d(w)) — the
+  // triangle-candidate pairs RebuildExactCb would re-enumerate.
+  uint64_t EstimateRebuildPairs(VertexId v) const;
 
   // Fault injection (streaming.force_evict): evicts the single largest
   // incomplete live map regardless of the budget, exercising the
@@ -169,6 +188,8 @@ class EdgeProcessor {
   SlabPool* pool_ = nullptr;         // Streaming slab recycler (optional).
   std::function<void(VertexId)> retire_;  // Streaming retirement hook.
   uint64_t budget_bytes_ = 0;        // Live-map byte cap (0 = unlimited).
+  SpillFile* spill_ = nullptr;       // Spill tier backend (optional).
+  SpillMode spill_mode_ = SpillMode::kNever;
   // Re-scan hysteresis: next LiveMapBytes level that triggers eviction.
   uint64_t next_evict_check_ = 0;
   VertexId current_turn_ = ~0u;      // Turn vertex, protected from eviction.

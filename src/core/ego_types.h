@@ -52,6 +52,14 @@ struct SearchStats {
                                     ///< map was evicted under the byte
                                     ///< budget and whose CB was rebuilt
                                     ///< locally at the retire point.
+  uint64_t spilled_maps = 0;        ///< Streaming passes with a spill tier:
+                                    ///< maps written to the spill file
+                                    ///< instead of being evicted outright
+                                    ///< (docs/out_of_core.md).
+  uint64_t spill_reads = 0;         ///< Spill records read back while
+                                    ///< finalizing spilled vertices (base
+                                    ///< + delta records; ≥ spilled_maps
+                                    ///< unless faults degraded chains).
   uint64_t peak_live_map_bytes = 0;  ///< All-vertex passes: high-water mark
                                      ///< of live S-map heap bytes — what
                                      ///< the streaming budget caps.

@@ -1,6 +1,7 @@
 #include "core/smap_store.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "util/failpoint.h"
 #include "util/hash.h"
@@ -15,6 +16,34 @@ namespace {
 inline double Contribution(int32_t count) { return 1.0 / (count + 1.0); }
 
 constexpr int32_t kAbsentSentinel = -1;
+
+// Spill record payload: header then n tightly packed (u64 key, i32 val)
+// entries — val 0 is an ADJ mark (PairCountMap::kAdjacent), anything else a
+// connector-count delta (the base record's entries carry absolute counts,
+// which replay identically: they are deltas applied to an empty map).
+struct SpillRecordHeader {
+  uint32_t vertex;       // Owner — cross-checked on replay.
+  uint32_t reserved;     // Zero.
+  uint64_t prev_offset;  // Previous record of this vertex's chain, or
+                         // SpillFile::kNoRecord.
+  uint64_t n_entries;
+};
+static_assert(sizeof(SpillRecordHeader) == 24);
+constexpr size_t kSpillEntryBytes = 12;  // u64 key + i32 val, unpadded.
+
+void EncodeSpillRecord(VertexId u, uint64_t prev_offset,
+                       std::span<const std::pair<uint64_t, int32_t>> entries,
+                       std::vector<uint8_t>* out) {
+  SpillRecordHeader header{u, 0, prev_offset, entries.size()};
+  out->resize(sizeof(header) + entries.size() * kSpillEntryBytes);
+  std::memcpy(out->data(), &header, sizeof(header));
+  uint8_t* p = out->data() + sizeof(header);
+  for (const auto& [key, val] : entries) {
+    std::memcpy(p, &key, sizeof(key));
+    std::memcpy(p + sizeof(key), &val, sizeof(val));
+    p += kSpillEntryBytes;
+  }
+}
 
 }  // namespace
 
@@ -113,8 +142,14 @@ void SMapStore::SetAdjacent(VertexId u, VertexId x, VertexId y) {
   // case-3 re-mark of a pair u's own incident edges already marked
   // adjacent — dropping it never changes what the map would hold. Evicted
   // S_u drops EVERY publication: its exact map is rebuilt locally at the
-  // retire point.
-  if (state_[u] != kLive) return;
+  // retire point. Spilled S_u appends it to the file instead.
+  if (state_[u] != kLive) {
+    if (state_[u] == kSpilled) {
+      std::pair<uint64_t, int32_t> delta{PackPair(x, y), 0};
+      AppendSpillDeltas(u, {&delta, 1});
+    }
+    return;
+  }
   Touch(u);
   uint64_t key = PackPair(x, y);
   int32_t prev = maps_[u].GetOr(key, kAbsentSentinel);
@@ -132,7 +167,13 @@ void SMapStore::SetAdjacent(VertexId u, VertexId x, VertexId y) {
 void SMapStore::AddConnectors(VertexId u, VertexId x, VertexId y,
                               int32_t delta) {
   if (delta == 0) return;
-  if (state_[u] != kLive) return;  // Evicted: rebuilt locally at retire.
+  if (state_[u] != kLive) {  // Evicted: rebuilt locally at retire.
+    if (state_[u] == kSpilled) {
+      std::pair<uint64_t, int32_t> d{PackPair(x, y), delta};
+      AppendSpillDeltas(u, {&d, 1});
+    }
+    return;
+  }
   Touch(u);
   uint64_t key = PackPair(x, y);
   int32_t prev = maps_[u].AddCount(key, delta);
@@ -145,7 +186,16 @@ void SMapStore::AddConnectors(VertexId u, VertexId x, VertexId y,
 void SMapStore::SetAdjacentBatch(VertexId u, VertexId a,
                                  std::span<const VertexId> ws) {
   if (ws.empty()) return;
-  if (state_[u] != kLive) return;  // Evicted/retired: publications dropped.
+  if (state_[u] != kLive) {  // Evicted/retired: publications dropped.
+    if (state_[u] == kSpilled) {
+      // One delta record for the whole batch.
+      thread_local std::vector<std::pair<uint64_t, int32_t>> deltas;
+      deltas.clear();
+      for (VertexId w : ws) deltas.emplace_back(PackPair(a, w), 0);
+      AppendSpillDeltas(u, deltas);
+    }
+    return;
+  }
   maps_[u].Reserve(maps_[u].size() + ws.size());
   for (VertexId w : ws) SetAdjacent(u, a, w);
   SyncMapBytes(u);
@@ -155,7 +205,17 @@ void SMapStore::AddConnectorsBatch(
     VertexId u, std::span<const std::pair<VertexId, VertexId>> pairs,
     int32_t delta) {
   if (pairs.empty()) return;
-  if (state_[u] != kLive) return;  // Evicted/retired: publications dropped.
+  if (state_[u] != kLive) {  // Evicted/retired: publications dropped.
+    if (state_[u] == kSpilled && delta != 0) {
+      thread_local std::vector<std::pair<uint64_t, int32_t>> deltas;
+      deltas.clear();
+      for (const auto& [x, y] : pairs) {
+        deltas.emplace_back(PackPair(x, y), delta);
+      }
+      AppendSpillDeltas(u, deltas);
+    }
+    return;
+  }
   if (delta > 0) maps_[u].Reserve(maps_[u].size() + pairs.size());
   for (const auto& [x, y] : pairs) AddConnectors(u, x, y, delta);
   SyncMapBytes(u);
@@ -217,6 +277,106 @@ void SMapStore::Evict(VertexId u) {
 void SMapStore::FinalizeEvicted(VertexId u) {
   EGOBW_DCHECK(Evicted(u));
   state_[u] = kRetired;
+}
+
+void SMapStore::AttachSpill(SpillFile* spill) {
+  spill_ = spill;
+  spill_head_.assign(maps_.size(), SpillFile::kNoRecord);
+}
+
+void SMapStore::AppendSpillDeltas(
+    VertexId u, std::span<const std::pair<uint64_t, int32_t>> deltas) {
+  if (deltas.empty()) return;
+  thread_local std::vector<uint8_t> buf;
+  EncodeSpillRecord(u, spill_head_[u], deltas, &buf);
+  Result<uint64_t> offset = spill_->Append(buf);
+  if (!offset.ok()) {
+    // Delta lost — the chain can no longer reproduce S_u. Degrade to the
+    // evicted path: later publications are dropped and the engine rebuilds
+    // u's exact map locally at the retire point. Bit-identical results.
+    state_[u] = kEvicted;
+    return;
+  }
+  spill_head_[u] = offset.value();
+}
+
+bool SMapStore::Spill(VertexId u) {
+  EGOBW_DCHECK(state_[u] == kLive);
+  if (spill_ == nullptr) return false;
+  thread_local std::vector<std::pair<uint64_t, int32_t>> entries;
+  entries.clear();
+  maps_[u].ForEach([](uint64_t key, int32_t val) {
+    entries.emplace_back(key, val);  // val 0 = ADJ, else absolute count.
+  });
+  thread_local std::vector<uint8_t> buf;
+  EncodeSpillRecord(u, spill_head_[u], entries, &buf);
+  Result<uint64_t> offset = spill_->Append(buf);
+  if (!offset.ok()) return false;  // u stays live; the caller evicts.
+  spill_head_[u] = offset.value();
+  state_[u] = kSpilled;
+  DropAccounting(u);
+  maps_[u] = PairCountMap();  // Content now lives in the file.
+  spilled_maps_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+Result<double> SMapStore::FinalizeSpilled(VertexId u) {
+  EGOBW_DCHECK(Spilled(u));
+  // Walk the backward chain collecting records, then replay them in
+  // chronological order. Any failure — injected, torn record, corrupt
+  // header — degrades u to the evicted path; the engine rebuilds locally
+  // and results stay bit-identical.
+  auto degrade = [this, u](Status st) {
+    state_[u] = kEvicted;
+    return st;
+  };
+  std::vector<std::vector<uint8_t>> chain;
+  uint64_t offset = spill_head_[u];
+  while (offset != SpillFile::kNoRecord) {
+    std::vector<uint8_t> payload;
+    Status st = spill_->ReadRecord(offset, &payload);
+    if (!st.ok()) return degrade(st);
+    spill_reads_.fetch_add(1, std::memory_order_relaxed);
+    if (payload.size() < sizeof(SpillRecordHeader)) {
+      return degrade(Status::InvalidArgument("spill record too short"));
+    }
+    SpillRecordHeader header;
+    std::memcpy(&header, payload.data(), sizeof(header));
+    if (header.vertex != u ||
+        payload.size() !=
+            sizeof(header) + header.n_entries * kSpillEntryBytes) {
+      return degrade(Status::InvalidArgument("corrupt spill record header"));
+    }
+    offset = header.prev_offset;
+    chain.push_back(std::move(payload));
+  }
+  PairCountMap local;
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    SpillRecordHeader header;
+    std::memcpy(&header, it->data(), sizeof(header));
+    const uint8_t* p = it->data() + sizeof(header);
+    for (uint64_t i = 0; i < header.n_entries; ++i, p += kSpillEntryBytes) {
+      uint64_t key;
+      int32_t val;
+      std::memcpy(&key, p, sizeof(key));
+      std::memcpy(&val, p + sizeof(key), sizeof(val));
+      // Mirror the live mutators: ADJ absorbs any accumulated count and is
+      // idempotent; counts accumulate on non-adjacent pairs only (the
+      // engines never publish a connector after the ADJ mark — see
+      // SetAdjacent — so the guard is defensive, not semantic).
+      int32_t prev = local.GetOr(key, kAbsentSentinel);
+      if (val == 0) {
+        if (prev == PairCountMap::kAdjacent) continue;
+        if (prev != kAbsentSentinel) local.Erase(key, kAbsentSentinel);
+        local.SetAdjacent(key);
+      } else if (prev != PairCountMap::kAdjacent) {
+        local.AddCount(key, val);
+      }
+    }
+  }
+  double value = EvaluateCompleteSMap(local, degree_[u]);
+  state_[u] = kRetired;
+  return value;
 }
 
 void SMapStore::AdjacentToCounted(VertexId u, VertexId x, VertexId y,

@@ -44,6 +44,19 @@
 /// evaluator, bit-identical by construction) and account it via
 /// SearchStats::evicted_rebuilds. LiveMapBytes() is the O(1) pressure
 /// signal the engines' byte budgets poll.
+///
+/// The SPILL tier (docs/out_of_core.md) is the third per-evicted-map
+/// option: Spill(u) writes the live map's content to an attached
+/// append-only SpillFile as a base record and frees the slab like Evict,
+/// but instead of dropping later publications the mutators append them as
+/// delta records chained to the base (one record per batch). At the retire
+/// point FinalizeSpilled(u) re-reads the chain, replays it into a local
+/// map and evaluates — the final map content is order-independent
+/// (adjacency absorbs, counts accumulate), so the value is bit-identical
+/// to the retained, streamed and rebuilt paths. Every fault along the way
+/// degrades to the evict/rebuild path: a failed base write leaves u live
+/// (the caller evicts), a failed delta append or chain read flips u to
+/// kEvicted and the engine rebuilds locally.
 
 #ifndef EGOBW_CORE_SMAP_STORE_H_
 #define EGOBW_CORE_SMAP_STORE_H_
@@ -56,6 +69,8 @@
 
 #include "graph/graph.h"
 #include "util/pair_count_map.h"
+#include "util/spill_file.h"
+#include "util/status.h"
 
 namespace egobw {
 
@@ -207,6 +222,39 @@ class SMapStore {
   /// recorded its CB locally (no evaluation here — the map is gone).
   void FinalizeEvicted(VertexId u);
 
+  /// Attaches the spill backend (streaming engines call once, before
+  /// processing; `spill` must outlive the store). Without an attached file
+  /// Spill() refuses and the store behaves exactly as before.
+  void AttachSpill(SpillFile* spill);
+
+  /// Spill eviction: writes live S_u's full content to the spill file as a
+  /// base record, frees the slab and flips u to the spilled state — every
+  /// further publication aimed at S_u is appended to the file as a delta
+  /// record instead of being applied (or dropped). Returns false when the
+  /// base write fails (u stays live; the caller falls back to Evict). Must
+  /// not be called on retired/evicted/spilled vertices.
+  bool Spill(VertexId u);
+
+  /// Re-reads spilled S_u's record chain, replays it into a local map and
+  /// returns the exact Lemma-2 value — bit-identical to Finalize on the
+  /// never-spilled map — marking u retired. On a read failure u degrades
+  /// to the evicted state (the engine rebuilds locally) and the error is
+  /// returned. Call at u's retire point only (the chain must be complete).
+  Result<double> FinalizeSpilled(VertexId u);
+
+  /// True while u's map lives in the spill file awaiting FinalizeSpilled.
+  bool Spilled(VertexId u) const { return state_[u] == kSpilled; }
+
+  /// Maps spilled to the file so far (SearchStats::spilled_maps feed).
+  uint64_t SpilledMaps() const {
+    return spilled_maps_.load(std::memory_order_relaxed);
+  }
+
+  /// Spill records read back so far (SearchStats::spill_reads feed).
+  uint64_t SpillRecordsRead() const {
+    return spill_reads_.load(std::memory_order_relaxed);
+  }
+
   /// True once u was finalized (streaming passes only; the retained mode
   /// never retires anything).
   bool Retired(VertexId u) const { return state_[u] == kRetired; }
@@ -272,10 +320,13 @@ class SMapStore {
  private:
   // Per-vertex lifecycle. Transitions (all under the caller's S_u
   // serialization): kLive -> kRetired (Finalize), kLive -> kEvicted
-  // (Evict), kEvicted -> kRetired (FinalizeEvicted).
+  // (Evict), kLive -> kSpilled (Spill), kEvicted -> kRetired
+  // (FinalizeEvicted), kSpilled -> kRetired (FinalizeSpilled ok),
+  // kSpilled -> kEvicted (delta-append or chain-read failure).
   static constexpr uint8_t kLive = 0;
   static constexpr uint8_t kEvicted = 1;
   static constexpr uint8_t kRetired = 2;
+  static constexpr uint8_t kSpilled = 3;
 
   // First-touch live accounting: touched_[u] flips once under the caller's
   // serialization of S_u (the stripe lock in parallel engines), the shared
@@ -287,6 +338,12 @@ class SMapStore {
   // Removes u's map from both live accountings (release/evict).
   void DropAccounting(VertexId u);
 
+  // Appends one delta record ({key, val} entries; val 0 = ADJ mark, else a
+  // connector-count delta) to spilled u's chain. A write failure degrades u
+  // to kEvicted (the engine rebuilds locally at the retire point).
+  void AppendSpillDeltas(VertexId u,
+                         std::span<const std::pair<uint64_t, int32_t>> deltas);
+
   std::vector<PairCountMap> maps_;
   std::vector<double> value_;
   std::vector<uint32_t> degree_;
@@ -297,6 +354,12 @@ class SMapStore {
   std::atomic<uint32_t> peak_live_{0};
   std::atomic<uint64_t> live_bytes_{0};
   std::atomic<uint64_t> peak_live_bytes_{0};
+  SpillFile* spill_ = nullptr;       // Attached backend (optional).
+  std::vector<uint64_t> spill_head_;  // Last record offset per vertex
+                                      // (SpillFile::kNoRecord = none);
+                                      // sized by AttachSpill.
+  std::atomic<uint64_t> spilled_maps_{0};
+  std::atomic<uint64_t> spill_reads_{0};
 };
 
 /// The bound-phase S maps: rank-packed membership + saturating counts per

@@ -1,0 +1,440 @@
+#include "graph/disk_csr.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "util/failpoint.h"
+
+namespace egobw {
+namespace {
+
+// CSR entries are written to the file verbatim, so the mapped bytes must
+// reinterpret back losslessly.
+using EdgePair = std::pair<VertexId, VertexId>;
+static_assert(std::is_standard_layout_v<EdgePair> && sizeof(EdgePair) == 8,
+              "edge pairs must be mappable verbatim");
+
+constexpr char kMagic[8] = {'E', 'G', 'O', 'B', 'W', 'C', 'S', 'R'};
+constexpr uint32_t kVersion = 1;
+constexpr uint32_t kEndianTag = 0x01020304;  // Rejects cross-endian images.
+constexpr uint32_t kFlagRelabeled = 1u << 0;
+constexpr uint32_t kKnownFlags = kFlagRelabeled;
+constexpr uint64_t kSectionAlign = 64;
+
+// Section table order. perm is empty unless the image was packed with
+// relabeling.
+enum Section : int { kSecPerm = 0, kSecOffsets, kSecAdj, kSecAdjEdge,
+                     kSecEdges, kSecCount };
+
+struct ImageHeader {
+  char magic[8];
+  uint32_t version;
+  uint32_t endian_tag;
+  uint32_t flags;
+  uint32_t n;
+  uint64_t m;
+  uint32_t max_degree;
+  uint32_t block_size;
+  uint64_t file_size;
+  uint64_t sec_off[kSecCount];
+  uint64_t sec_len[kSecCount];
+  uint64_t checksum;  // FNV-1a over every preceding header byte.
+};
+static_assert(std::is_trivially_copyable_v<ImageHeader> &&
+                  sizeof(ImageHeader) == 136,
+              "on-disk header layout must stay fixed");
+
+uint64_t Fnv1a(const void* data, size_t len) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint64_t h = 1469598103934665603ULL;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+uint64_t HeaderChecksum(const ImageHeader& h) {
+  return Fnv1a(&h, offsetof(ImageHeader, checksum));
+}
+
+uint64_t AlignUp(uint64_t x, uint64_t align) {
+  return (x + align - 1) & ~(align - 1);
+}
+
+bool IsPow2(uint32_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+// Expected byte length of each section given n/m/flags.
+void ExpectedSectionLengths(uint32_t n, uint64_t m, bool relabeled,
+                            uint64_t out[kSecCount]) {
+  out[kSecPerm] = relabeled ? uint64_t{n} * sizeof(VertexId) : 0;
+  out[kSecOffsets] = (uint64_t{n} + 1) * sizeof(uint64_t);
+  out[kSecAdj] = 2 * m * sizeof(VertexId);
+  out[kSecAdjEdge] = 2 * m * sizeof(EdgeId);
+  out[kSecEdges] = m * sizeof(EdgePair);
+}
+
+bool WriteAll(std::FILE* f, const void* data, size_t len) {
+  return len == 0 || std::fwrite(data, 1, len, f) == len;
+}
+
+bool WritePadTo(std::FILE* f, uint64_t target, uint64_t* pos) {
+  static const char zeros[kSectionAlign] = {};
+  while (*pos < target) {
+    size_t chunk = static_cast<size_t>(
+        std::min<uint64_t>(target - *pos, sizeof(zeros)));
+    if (!WriteAll(f, zeros, chunk)) return false;
+    *pos += chunk;
+  }
+  return true;
+}
+
+}  // namespace
+
+struct MappedGraph::Mapping {
+  uint8_t* base = nullptr;
+  size_t len = 0;
+  Mapping(uint8_t* b, size_t l) : base(b), len(l) {}
+  Mapping(const Mapping&) = delete;
+  Mapping& operator=(const Mapping&) = delete;
+  ~Mapping() {
+    if (base != nullptr) ::munmap(base, len);
+  }
+};
+
+Status PackGraphImage(const Graph& g, const std::string& path,
+                      const PackOptions& options) {
+  if (!IsPow2(options.block_size) || options.block_size < 4096) {
+    return Status::InvalidArgument(
+        "block_size must be a power of two >= 4096");
+  }
+
+  std::vector<VertexId> old_to_new;
+  Graph relabeled;
+  const Graph* out = &g;
+  if (options.relabel) {
+    relabeled = g.RelabeledByDegree(&old_to_new);
+    out = &relabeled;
+  }
+  const uint32_t n = out->NumVertices();
+  const uint64_t m = out->NumEdges();
+
+  ImageHeader h = {};
+  std::memcpy(h.magic, kMagic, sizeof(kMagic));
+  h.version = kVersion;
+  h.endian_tag = kEndianTag;
+  h.flags = options.relabel ? kFlagRelabeled : 0;
+  h.n = n;
+  h.m = m;
+  h.max_degree = out->MaxDegree();
+  h.block_size = options.block_size;
+  ExpectedSectionLengths(n, m, options.relabel, h.sec_len);
+  uint64_t pos = AlignUp(sizeof(ImageHeader), kSectionAlign);
+  for (int s = 0; s < kSecCount; ++s) {
+    h.sec_off[s] = pos;
+    pos = AlignUp(pos + h.sec_len[s], kSectionAlign);
+  }
+  h.file_size = pos;
+  h.checksum = HeaderChecksum(h);
+
+  // Temp-file + rename so a crashed pack never leaves a half image at
+  // `path` (the loader would reject it anyway, but readers polling for the
+  // file should only ever see a complete one).
+  std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open '" + tmp + "' for writing");
+  }
+  auto fail = [&](const char* what) {
+    std::fclose(f);
+    ::unlink(tmp.c_str());
+    return Status::IOError(std::string(what) + " '" + tmp + "'");
+  };
+
+  uint64_t written = 0;
+  bool ok = WriteAll(f, &h, sizeof(h));
+  written += sizeof(h);
+  // perm
+  ok = ok && WritePadTo(f, h.sec_off[kSecPerm], &written);
+  if (ok && h.sec_len[kSecPerm] != 0) {
+    ok = WriteAll(f, old_to_new.data(), h.sec_len[kSecPerm]);
+    written += h.sec_len[kSecPerm];
+  }
+  // offsets (reconstructed from degrees: views expose no raw array).
+  ok = ok && WritePadTo(f, h.sec_off[kSecOffsets], &written);
+  if (ok) {
+    std::vector<uint64_t> offsets(uint64_t{n} + 1, 0);
+    for (uint32_t u = 0; u < n; ++u) {
+      offsets[u + 1] = offsets[u] + out->Degree(u);
+    }
+    ok = WriteAll(f, offsets.data(), h.sec_len[kSecOffsets]);
+    written += h.sec_len[kSecOffsets];
+  }
+  // adj + adj_edge, one vertex span at a time (stdio buffers).
+  ok = ok && WritePadTo(f, h.sec_off[kSecAdj], &written);
+  for (uint32_t u = 0; ok && u < n; ++u) {
+    auto nbrs = out->Neighbors(u);
+    ok = WriteAll(f, nbrs.data(), nbrs.size() * sizeof(VertexId));
+    written += nbrs.size() * sizeof(VertexId);
+  }
+  ok = ok && WritePadTo(f, h.sec_off[kSecAdjEdge], &written);
+  for (uint32_t u = 0; ok && u < n; ++u) {
+    auto ids = out->IncidentEdges(u);
+    ok = WriteAll(f, ids.data(), ids.size() * sizeof(EdgeId));
+    written += ids.size() * sizeof(EdgeId);
+  }
+  // edges
+  ok = ok && WritePadTo(f, h.sec_off[kSecEdges], &written);
+  if (ok) {
+    auto edges = out->Edges();
+    ok = WriteAll(f, edges.data(), edges.size() * sizeof(EdgePair));
+    written += edges.size() * sizeof(EdgePair);
+  }
+  ok = ok && WritePadTo(f, h.file_size, &written);
+  if (!ok) return fail("write error on");
+  if (std::fflush(f) != 0 || ::fsync(::fileno(f)) != 0) {
+    return fail("flush error on");
+  }
+  std::fclose(f);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return Status::IOError("cannot rename '" + tmp + "' to '" + path + "'");
+  }
+  return Status::OK();
+}
+
+Result<MappedGraph> MappedGraph::Open(const std::string& path) {
+  return Open(path, OpenOptions{});
+}
+
+Result<MappedGraph> MappedGraph::Open(const std::string& path,
+                                      const OpenOptions& options) {
+  auto corrupt = [&](const std::string& what) {
+    return Status::InvalidArgument("'" + path + "': " + what);
+  };
+
+  if (EGOBW_FAILPOINT("diskcsr.mmap")) {
+    return Status::Unavailable(
+        "'" + path + "': injected mmap failure (failpoint diskcsr.mmap)");
+  }
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IOError("cannot open '" + path + "' for reading");
+  }
+  struct ::stat st = {};
+  if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode)) {
+    ::close(fd);
+    return corrupt("not a regular file");
+  }
+  const uint64_t file_size = static_cast<uint64_t>(st.st_size);
+  if (file_size < sizeof(ImageHeader)) {
+    ::close(fd);
+    return corrupt("truncated image: " + std::to_string(file_size) +
+                   " bytes is smaller than the header");
+  }
+
+  ImageHeader h = {};
+  ssize_t r = ::pread(fd, &h, sizeof(h), 0);
+  if (EGOBW_FAILPOINT("diskcsr.short_read")) r = sizeof(h) / 2;
+  if (r != static_cast<ssize_t>(sizeof(h))) {
+    ::close(fd);
+    return Status::Unavailable("'" + path + "': short header read (" +
+                               std::to_string(r < 0 ? 0 : r) + " of " +
+                               std::to_string(sizeof(h)) + " bytes)");
+  }
+  if (std::memcmp(h.magic, kMagic, sizeof(kMagic)) != 0) {
+    ::close(fd);
+    return corrupt("not an egobw CSR image (bad magic)");
+  }
+  if (h.version != kVersion) {
+    ::close(fd);
+    return corrupt("unsupported image version " + std::to_string(h.version));
+  }
+  if (h.endian_tag != kEndianTag) {
+    ::close(fd);
+    return corrupt("image was packed on a different-endian host");
+  }
+  if (h.checksum != HeaderChecksum(h)) {
+    ::close(fd);
+    return corrupt("header checksum mismatch (corrupt header)");
+  }
+  // The checksum only proves the header is the one the packer wrote; the
+  // extents below prove the rest of the file can back it.
+  if ((h.flags & ~kKnownFlags) != 0) {
+    ::close(fd);
+    return corrupt("unknown flags");
+  }
+  if (!IsPow2(h.block_size) || h.block_size < 4096) {
+    ::close(fd);
+    return corrupt("invalid block size");
+  }
+  if (h.file_size != file_size) {
+    ::close(fd);
+    return corrupt("truncated image: file is " + std::to_string(file_size) +
+                   " bytes, header says " + std::to_string(h.file_size));
+  }
+  if (h.m > uint64_t{0xFFFFFFFF}) {
+    ::close(fd);
+    return corrupt("edge count overflows EdgeId");
+  }
+  const bool relabeled = (h.flags & kFlagRelabeled) != 0;
+  uint64_t expected[kSecCount];
+  ExpectedSectionLengths(h.n, h.m, relabeled, expected);
+  for (int s = 0; s < kSecCount; ++s) {
+    if (h.sec_len[s] != expected[s]) {
+      ::close(fd);
+      return corrupt("section " + std::to_string(s) + " length mismatch");
+    }
+    if (h.sec_off[s] % alignof(uint64_t) != 0 ||
+        h.sec_off[s] < sizeof(ImageHeader) || h.sec_off[s] > file_size ||
+        h.sec_len[s] > file_size - h.sec_off[s]) {
+      ::close(fd);
+      return corrupt("section " + std::to_string(s) + " out of bounds");
+    }
+  }
+
+  void* base = ::mmap(nullptr, file_size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // The mapping keeps its own reference.
+  if (base == MAP_FAILED) {
+    return Status::Unavailable("'" + path +
+                               "': mmap failed: " + std::strerror(errno));
+  }
+  auto mapping = std::make_shared<Mapping>(static_cast<uint8_t*>(base),
+                                           static_cast<size_t>(file_size));
+
+  const uint8_t* bytes = mapping->base;
+  const auto* offsets =
+      reinterpret_cast<const uint64_t*>(bytes + h.sec_off[kSecOffsets]);
+  const auto* adj =
+      reinterpret_cast<const VertexId*>(bytes + h.sec_off[kSecAdj]);
+  const auto* adj_edge =
+      reinterpret_cast<const EdgeId*>(bytes + h.sec_off[kSecAdjEdge]);
+  const auto* edges =
+      reinterpret_cast<const EdgePair*>(bytes + h.sec_off[kSecEdges]);
+  const auto* perm =
+      relabeled ? reinterpret_cast<const VertexId*>(bytes +
+                                                    h.sec_off[kSecPerm])
+                : nullptr;
+
+  // Offsets gate every accessor's indexing — validate them before handing
+  // out a view, so no Graph call can read past the mapping.
+  if (h.n > 0 || h.m > 0) {
+    if (offsets[0] != 0) return corrupt("offsets[0] != 0");
+    uint32_t max_degree = 0;
+    for (uint32_t u = 0; u < h.n; ++u) {
+      if (offsets[u + 1] < offsets[u]) {
+        return corrupt("offsets not monotone at vertex " + std::to_string(u));
+      }
+      max_degree = std::max(
+          max_degree, static_cast<uint32_t>(offsets[u + 1] - offsets[u]));
+    }
+    if (offsets[h.n] != 2 * h.m) return corrupt("offsets[n] != 2m");
+    if (max_degree != h.max_degree) return corrupt("max degree mismatch");
+  }
+  if (relabeled) {
+    std::vector<bool> seen(h.n, false);
+    for (uint32_t u = 0; u < h.n; ++u) {
+      if (perm[u] >= h.n || seen[perm[u]]) {
+        return corrupt("perm section is not a permutation");
+      }
+      seen[perm[u]] = true;
+    }
+  }
+  if (options.deep_verify) {
+    for (uint32_t u = 0; u < h.n; ++u) {
+      VertexId prev = 0;
+      for (uint64_t i = offsets[u]; i < offsets[u + 1]; ++i) {
+        VertexId v = adj[i];
+        EdgeId e = adj_edge[i];
+        if (v >= h.n || v == u || (i > offsets[u] && v <= prev)) {
+          return corrupt("adjacency of vertex " + std::to_string(u) +
+                         " is corrupt");
+        }
+        if (e >= h.m || edges[e].first != std::min(u, v) ||
+            edges[e].second != std::max(u, v)) {
+          return corrupt("edge ids of vertex " + std::to_string(u) +
+                         " are corrupt");
+        }
+        prev = v;
+      }
+    }
+  }
+
+  MappedGraph mg;
+  mg.graph_ = Graph::ExternalView(
+      offsets, adj, adj_edge, edges, h.n, h.m, h.max_degree,
+      std::shared_ptr<const void>(mapping, mapping->base));
+  mg.mapping_ = std::move(mapping);
+  mg.perm_ = perm;
+  mg.n_ = h.n;
+  mg.block_size_ = h.block_size;
+  mg.relabeled_ = relabeled;
+  for (int s = 0; s < kSecCount; ++s) {
+    mg.sec_off_[s] = h.sec_off[s];
+    mg.sec_len_[s] = h.sec_len[s];
+  }
+  return mg;
+}
+
+size_t MappedGraph::MappedBytes() const {
+  return mapping_ == nullptr ? 0 : mapping_->len;
+}
+
+Status MappedGraph::Advise(AccessHint hint) const {
+  if (mapping_ == nullptr) return Status::OK();
+  const uintptr_t page = static_cast<uintptr_t>(::sysconf(_SC_PAGESIZE));
+  auto advise = [&](uint64_t off, uint64_t len, int advice) -> bool {
+    if (len == 0) return true;
+    uintptr_t a = reinterpret_cast<uintptr_t>(mapping_->base) + off;
+    uintptr_t lo = a & ~(page - 1);
+    return ::madvise(reinterpret_cast<void*>(lo),
+                     static_cast<size_t>(len) + (a - lo), advice) == 0;
+  };
+  bool ok = true;
+  switch (hint) {
+    case AccessHint::kNone:
+      ok = advise(0, mapping_->len, MADV_NORMAL);
+      break;
+    case AccessHint::kSequentialPass:
+      // ≺-order passes walk every section front to back (the pack layout
+      // made the locality order the file order), so readahead can stream
+      // and the kernel may drop pages behind the scan.
+      ok = advise(0, mapping_->len, MADV_SEQUENTIAL);
+      ok &= advise(sec_off_[kSecOffsets], sec_len_[kSecOffsets],
+                   MADV_WILLNEED);
+      break;
+    case AccessHint::kRandomAccess:
+      ok = advise(0, mapping_->len, MADV_RANDOM);
+      // Offsets are touched by every query; the leading hub block (highest
+      // degree classes, first in the locality layout) by most of them.
+      ok &= advise(sec_off_[kSecOffsets], sec_len_[kSecOffsets],
+                   MADV_WILLNEED);
+      ok &= advise(sec_off_[kSecAdj],
+                   std::min<uint64_t>(sec_len_[kSecAdj], block_size_),
+                   MADV_WILLNEED);
+      break;
+  }
+  if (!ok) {
+    return Status::Unavailable(std::string("madvise failed: ") +
+                               std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status VerifyGraphImage(const std::string& path) {
+  MappedGraph::OpenOptions options;
+  options.deep_verify = true;
+  return MappedGraph::Open(path, options).status();
+}
+
+}  // namespace egobw

@@ -1,0 +1,136 @@
+/// \file
+/// Out-of-core graph storage: a versioned, block-laid-out CSR image on disk
+/// plus a zero-copy mmap'd view of it (docs/out_of_core.md has the full
+/// format grammar and design rationale).
+///
+/// The image is the CSR arrays of a Graph written verbatim, preceded by a
+/// fixed self-describing header. By default `PackGraphImage` relabels the
+/// graph by `LocalityBlockedOrder` first, so the PR-4 locality order — degree
+/// classes descending, BFS discovery order within each class — IS the disk
+/// layout: a sequential ≺-order pass reads the adjacency section front to
+/// back, and the hub block every query touches is the first `block_size`
+/// bytes of the section. The original→packed id permutation is stored in the
+/// image so callers can map results back.
+///
+/// `MappedGraph::Open` mmaps the image read-only and hands out a `Graph`
+/// whose accessors read straight from the mapping — every engine
+/// (DiamondKernel, the bounded searches, all-ego/PEBW, the server) runs
+/// unmodified and bit-identically over it. Nothing in the file is trusted
+/// before it is checked: the header is checksummed, every section extent is
+/// validated against the real file size before any mapped byte is
+/// dereferenced (a truncated image fails with kInvalidArgument, never
+/// SIGBUS), and the offsets array is scanned for monotonicity so no accessor
+/// can index out of the mapping. Adjacency *content* is validated by the
+/// optional deep verify (egobw_pack --verify and the tests use it).
+///
+/// Failpoints (docs/robustness.md): `diskcsr.mmap` simulates an open/mmap
+/// failure (kUnavailable); `diskcsr.short_read` simulates a short header
+/// read (kUnavailable).
+
+#ifndef EGOBW_GRAPH_DISK_CSR_H_
+#define EGOBW_GRAPH_DISK_CSR_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace egobw {
+
+/// Advisory access pattern for `MappedGraph::Advise` — maps to madvise on
+/// the image's section ranges.
+enum class AccessHint {
+  kNone,            // MADV_NORMAL everywhere.
+  kSequentialPass,  // All-vertex ≺-order pass: sections are read front to
+                    // back (MADV_SEQUENTIAL), offsets pre-faulted.
+  kRandomAccess,    // Top-k / serving: MADV_RANDOM on the big sections,
+                    // offsets plus the leading hub block pre-faulted
+                    // (MADV_WILLNEED).
+};
+
+struct PackOptions {
+  /// Relabel by LocalityBlockedOrder before writing (stores the
+  /// original→packed permutation in the image). Off = preserve ids.
+  bool relabel = true;
+  /// Layout/prefetch granularity hint recorded in the header and used by
+  /// Advise(kRandomAccess) for the hub-block WILLNEED. Must be a power of
+  /// two ≥ 4096.
+  uint32_t block_size = 1u << 20;
+};
+
+/// Writes `g` as a CSR image at `path` (atomically: temp file + rename).
+/// I/O errors surface as kIOError, invalid options as kInvalidArgument.
+Status PackGraphImage(const Graph& g, const std::string& path,
+                      const PackOptions& options = PackOptions{});
+
+/// A read-only mmap'd CSR image. Copyable and movable: copies share the
+/// mapping (reference-counted munmap), and the `graph()` view stays valid
+/// as long as any Graph copy or MappedGraph holds it.
+class MappedGraph {
+ public:
+  struct OpenOptions {
+    /// Also scan adjacency/edge content (every neighbor id < n, every edge
+    /// id < m, adjacency sorted, endpoints consistent) — O(m) sequential
+    /// reads. Open without it validates the header, every section extent
+    /// and the offsets array only.
+    bool deep_verify = false;
+  };
+
+  MappedGraph() = default;
+
+  /// Maps the image at `path`. Corrupt or truncated images fail with
+  /// kInvalidArgument; system-level open/map failures with kUnavailable.
+  static Result<MappedGraph> Open(const std::string& path,
+                                  const OpenOptions& options);
+  static Result<MappedGraph> Open(const std::string& path);
+
+  /// The zero-copy view. Valid as long as this MappedGraph (or any copy of
+  /// the returned Graph) is alive.
+  const Graph& graph() const { return graph_; }
+
+  /// True when the image was packed with relabeling.
+  bool relabeled() const { return relabeled_; }
+
+  /// original→packed id permutation (empty span unless relabeled()):
+  /// old_to_new()[original] == packed.
+  std::span<const VertexId> old_to_new() const {
+    return {perm_, perm_ == nullptr ? 0 : static_cast<size_t>(n_)};
+  }
+
+  /// Block granularity the image was packed with.
+  uint32_t block_size() const { return block_size_; }
+
+  /// Total bytes of the mapping (file-backed, evictable — not heap).
+  size_t MappedBytes() const;
+
+  /// Best-effort madvise of the section ranges for the given phase. Only
+  /// real madvise errors (bad mapping) surface; a kernel that ignores the
+  /// advice is still kOk.
+  Status Advise(AccessHint hint) const;
+
+ private:
+  struct Mapping;  // munmap guard, defined in disk_csr.cc
+
+  std::shared_ptr<Mapping> mapping_;
+  Graph graph_;
+  const VertexId* perm_ = nullptr;
+  uint32_t n_ = 0;
+  uint32_t block_size_ = 0;
+  bool relabeled_ = false;
+  // Section table copied out of the header (indexed by the Section enum in
+  // disk_csr.cc) so Advise can address section ranges.
+  uint64_t sec_off_[5] = {};
+  uint64_t sec_len_[5] = {};
+};
+
+/// Deep structural verification of an image (header + extents + offsets +
+/// full adjacency content scan). `egobw_pack --verify` and the check.sh
+/// smoke use this.
+Status VerifyGraphImage(const std::string& path);
+
+}  // namespace egobw
+
+#endif  // EGOBW_GRAPH_DISK_CSR_H_

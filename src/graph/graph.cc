@@ -30,7 +30,7 @@ Graph Graph::RelabeledByDegree(std::vector<VertexId>* old_to_new) const {
     rank[blocked[i]] = static_cast<VertexId>(i);
   }
   GraphBuilder builder(NumVertices());
-  for (const auto& [u, v] : edges_) {
+  for (const auto& [u, v] : Edges()) {
     builder.AddEdge(rank[u], rank[v]);
   }
   if (old_to_new != nullptr) *old_to_new = std::move(rank);

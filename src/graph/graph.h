@@ -4,11 +4,19 @@
 // are sorted by vertex id (binary-searchable), every undirected edge has a
 // stable EdgeId in [0, m), and each adjacency entry carries the EdgeId of the
 // edge it crosses (the top-k searches keep a per-edge "processed" bitmask).
+//
+// Graph is a *view-capable* type: every accessor reads through raw pointers
+// that bind either to vectors the Graph owns (the GraphBuilder / generator
+// path) or to an external read-only storage region kept alive by a
+// shared_ptr — the mmap'd CSR image of disk_csr.h. Engines take
+// `const Graph&` and cannot tell the difference; that is the whole point
+// (see docs/out_of_core.md).
 
 #ifndef EGOBW_GRAPH_GRAPH_H_
 #define EGOBW_GRAPH_GRAPH_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <utility>
 #include <vector>
@@ -21,20 +29,32 @@ using VertexId = uint32_t;
 using EdgeId = uint32_t;
 
 /// Immutable simple undirected graph (no self-loops, no parallel edges).
-/// Construct via GraphBuilder (which sanitizes input) or the generators.
+/// Construct via GraphBuilder (which sanitizes input), the generators, or
+/// MappedGraph::Open (a zero-copy view over an mmap'd image).
 class Graph {
  public:
   Graph() = default;
 
-  uint32_t NumVertices() const {
-    return offsets_.empty() ? 0
-                            : static_cast<uint32_t>(offsets_.size() - 1);
+  // Copies and moves rebind the view pointers: an owned graph points the
+  // view at its own (copied / moved) vectors, an external view shares the
+  // keep-alive and keeps pointing into the mapping.
+  Graph(const Graph& other) { AdoptFrom(other); }
+  Graph& operator=(const Graph& other) {
+    if (this != &other) AdoptFrom(other);
+    return *this;
   }
-  uint64_t NumEdges() const { return edges_.size(); }
+  Graph(Graph&& other) noexcept { AdoptFrom(std::move(other)); }
+  Graph& operator=(Graph&& other) noexcept {
+    if (this != &other) AdoptFrom(std::move(other));
+    return *this;
+  }
+
+  uint32_t NumVertices() const { return n_; }
+  uint64_t NumEdges() const { return m_; }
 
   uint32_t Degree(VertexId u) const {
     EGOBW_DCHECK(u < NumVertices());
-    return static_cast<uint32_t>(offsets_[u + 1] - offsets_[u]);
+    return static_cast<uint32_t>(offsets_p_[u + 1] - offsets_p_[u]);
   }
 
   uint32_t MaxDegree() const { return max_degree_; }
@@ -42,14 +62,14 @@ class Graph {
   /// Neighbors of u, sorted ascending by vertex id.
   std::span<const VertexId> Neighbors(VertexId u) const {
     EGOBW_DCHECK(u < NumVertices());
-    return {adj_.data() + offsets_[u], offsets_[u + 1] - offsets_[u]};
+    return {adj_p_ + offsets_p_[u], offsets_p_[u + 1] - offsets_p_[u]};
   }
 
   /// Edge ids parallel to Neighbors(u): IncidentEdges(u)[i] is the id of the
   /// edge (u, Neighbors(u)[i]).
   std::span<const EdgeId> IncidentEdges(VertexId u) const {
     EGOBW_DCHECK(u < NumVertices());
-    return {adj_edge_.data() + offsets_[u], offsets_[u + 1] - offsets_[u]};
+    return {adj_edge_p_ + offsets_p_[u], offsets_p_[u + 1] - offsets_p_[u]};
   }
 
   /// O(log d) adjacency test via binary search on the smaller endpoint.
@@ -57,13 +77,13 @@ class Graph {
 
   /// Endpoints of an edge id, as (min, max).
   std::pair<VertexId, VertexId> EdgeEndpoints(EdgeId e) const {
-    EGOBW_DCHECK(e < edges_.size());
-    return edges_[e];
+    EGOBW_DCHECK(e < NumEdges());
+    return edges_p_[e];
   }
 
   /// All edges as (min, max) pairs, indexed by EdgeId.
-  const std::vector<std::pair<VertexId, VertexId>>& Edges() const {
-    return edges_;
+  std::span<const std::pair<VertexId, VertexId>> Edges() const {
+    return {edges_p_, static_cast<size_t>(m_)};
   }
 
   /// Sorted intersection N(u) ∩ N(v), appended to *out (cleared first).
@@ -84,17 +104,89 @@ class Graph {
   /// (*old_to_new)[old_id] == new_id. Edge ids are NOT preserved.
   Graph RelabeledByDegree(std::vector<VertexId>* old_to_new = nullptr) const;
 
-  /// Bytes of heap memory held by the CSR arrays.
+  /// Bytes of heap memory held by the CSR arrays. An external (mmap'd) view
+  /// owns no heap arrays and reports 0 — the backing bytes are file pages,
+  /// accounted by MappedGraph::MappedBytes().
   size_t MemoryBytes() const;
+
+  /// True when the CSR arrays live in external storage (an mmap'd image)
+  /// rather than heap vectors owned by this Graph.
+  bool IsExternalView() const { return keep_alive_ != nullptr; }
 
  private:
   friend class GraphBuilder;
+  friend class MappedGraph;
 
+  /// Points the view members at the owned vectors. GraphBuilder calls this
+  /// after filling the vectors; copies/moves of owned graphs re-call it.
+  void BindOwned() {
+    offsets_p_ = offsets_.data();
+    adj_p_ = adj_.data();
+    adj_edge_p_ = adj_edge_.data();
+    edges_p_ = edges_.data();
+    n_ = offsets_.empty() ? 0 : static_cast<uint32_t>(offsets_.size() - 1);
+    m_ = edges_.size();
+    keep_alive_.reset();
+  }
+
+  /// Zero-copy view over external storage. `keep_alive` owns the storage
+  /// (e.g. the munmap guard of a mapped image); the arrays must satisfy the
+  /// CSR invariants above — MappedGraph::Open validates them.
+  static Graph ExternalView(const uint64_t* offsets, const VertexId* adj,
+                            const EdgeId* adj_edge,
+                            const std::pair<VertexId, VertexId>* edges,
+                            uint32_t n, uint64_t m, uint32_t max_degree,
+                            std::shared_ptr<const void> keep_alive) {
+    Graph g;
+    g.offsets_p_ = offsets;
+    g.adj_p_ = adj;
+    g.adj_edge_p_ = adj_edge;
+    g.edges_p_ = edges;
+    g.n_ = n;
+    g.m_ = m;
+    g.max_degree_ = max_degree;
+    g.keep_alive_ = std::move(keep_alive);
+    return g;
+  }
+
+  template <typename G>
+  void AdoptFrom(G&& other) {
+    offsets_ = std::forward<G>(other).offsets_;
+    adj_ = std::forward<G>(other).adj_;
+    adj_edge_ = std::forward<G>(other).adj_edge_;
+    edges_ = std::forward<G>(other).edges_;
+    max_degree_ = other.max_degree_;
+    if (other.keep_alive_ != nullptr) {
+      // External view: share the mapping; the pointers stay valid for as
+      // long as any view holds the keep-alive.
+      offsets_p_ = other.offsets_p_;
+      adj_p_ = other.adj_p_;
+      adj_edge_p_ = other.adj_edge_p_;
+      edges_p_ = other.edges_p_;
+      n_ = other.n_;
+      m_ = other.m_;
+      keep_alive_ = std::forward<G>(other).keep_alive_;
+    } else {
+      BindOwned();
+    }
+  }
+
+  // Owned backing (empty for external views).
   std::vector<uint64_t> offsets_;                     // n + 1
   std::vector<VertexId> adj_;                         // 2m, sorted per vertex
   std::vector<EdgeId> adj_edge_;                      // 2m
   std::vector<std::pair<VertexId, VertexId>> edges_;  // m, (min, max)
   uint32_t max_degree_ = 0;
+
+  // The view every accessor reads — into the owned vectors or into external
+  // storage kept alive by keep_alive_.
+  const uint64_t* offsets_p_ = nullptr;
+  const VertexId* adj_p_ = nullptr;
+  const EdgeId* adj_edge_p_ = nullptr;
+  const std::pair<VertexId, VertexId>* edges_p_ = nullptr;
+  uint32_t n_ = 0;
+  uint64_t m_ = 0;
+  std::shared_ptr<const void> keep_alive_;
 };
 
 }  // namespace egobw

@@ -58,6 +58,7 @@ Graph GraphBuilder::Build() const {
     g.max_degree_ =
         std::max(g.max_degree_, static_cast<uint32_t>(hi - lo));
   }
+  g.BindOwned();
   return g;
 }
 

@@ -41,8 +41,8 @@ struct WorkerScratch {
 class ParallelEngine {
  public:
   ParallelEngine(const Graph& g, size_t threads, KernelMode mode,
-                 bool streaming, uint64_t budget_bytes,
-                 const CancelToken* cancel)
+                 bool streaming, uint64_t budget_bytes, SpillMode spill_mode,
+                 const std::string& spill_dir, const CancelToken* cancel)
       : g_(g),
         edge_set_(g),
         order_(g),
@@ -64,6 +64,17 @@ class ParallelEngine {
       remaining_ = std::make_unique<std::atomic<uint32_t>[]>(g.NumVertices());
       for (VertexId u = 0; u < g.NumVertices(); ++u) {
         remaining_[u].store(g.Degree(u), std::memory_order_relaxed);
+      }
+      // Spill tier (docs/out_of_core.md): a file that cannot be created
+      // leaves the tier off — the pass degrades to plain evict/rebuild.
+      if (spill_mode != SpillMode::kNever) {
+        Result<std::unique_ptr<SpillFile>> created =
+            SpillFile::CreateTemp(spill_dir);
+        if (created.ok()) {
+          spill_ = std::move(created).value();
+          spill_mode_ = spill_mode;
+          smaps_.AttachSpill(spill_.get());
+        }
       }
     }
   }
@@ -115,6 +126,19 @@ class ParallelEngine {
     bool evicted;
     {
       std::lock_guard<Spinlock> lk(locks_.For(x));
+      if (smaps_.Spilled(x)) {
+        // Restore-from-file under the stripe lock: the chain is complete
+        // (no publication can race a zeroed counter) and the same lock
+        // already serializes whole-map evaluation on the Finalize path.
+        Result<double> restored = smaps_.FinalizeSpilled(x);
+        if (restored.ok()) {
+          cb_[x] = restored.value();
+          return;
+        }
+        // Torn/unreadable chain: x degraded to evicted — rebuild below,
+        // counted like a budget eviction would have been.
+        spill_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+      }
       evicted = smaps_.Evicted(x);
       if (!evicted) {
         cb_[x] = smaps_.Finalize(x);
@@ -146,7 +170,7 @@ class ParallelEngine {
       if (remaining_[v].load(std::memory_order_relaxed) == 0) continue;
       std::lock_guard<Spinlock> vl(locks_.For(v));
       if (smaps_.Retired(v) || smaps_.Evicted(v)) continue;
-      size_t bytes = smaps_.MapBytesOf(v);
+      size_t bytes = smaps_.MapBytesOf(v);  // 0 for spilled maps too.
       if (bytes != 0) candidates.emplace_back(bytes, v);
     }
     std::sort(candidates.begin(), candidates.end(),
@@ -154,9 +178,18 @@ class ParallelEngine {
     const uint64_t target = EvictionTargetBytes(budget_bytes_);
     for (const auto& [bytes, v] : candidates) {
       if (smaps_.LiveMapBytes() <= target) break;
+      // The kAuto cost estimate reads only the immutable graph — compute
+      // it before taking the stripe lock.
+      bool want_spill = ShouldSpill(v, bytes);
       std::lock_guard<Spinlock> vl(locks_.For(v));
       // Re-check under the lock: the map may have completed meanwhile.
-      if (smaps_.Retired(v) || smaps_.Evicted(v)) continue;
+      if (smaps_.Retired(v) || smaps_.Evicted(v) || smaps_.Spilled(v)) {
+        continue;
+      }
+      // Spill tier: move the slab to the file when the mode (or the
+      // per-map cost model) prefers the round trip; a failed base write
+      // falls back to the plain evict/rebuild path.
+      if (want_spill && smaps_.Spill(v)) continue;
       smaps_.Evict(v);
       ++evictions_;
     }
@@ -282,7 +315,30 @@ class ParallelEngine {
         std::max<uint64_t>(stats->peak_live_maps, smaps_.PeakLiveMaps());
     stats->peak_live_map_bytes = std::max<uint64_t>(
         stats->peak_live_map_bytes, smaps_.PeakLiveMapBytes());
-    stats->evicted_rebuilds += evictions_;
+    stats->evicted_rebuilds +=
+        evictions_ + spill_fallbacks_.load(std::memory_order_relaxed);
+    stats->spilled_maps += smaps_.SpilledMaps();
+    stats->spill_reads += smaps_.SpillRecordsRead();
+  }
+
+  // The spill decision for victim v (`bytes` big): per-map cost model
+  // under kAuto, unconditional under kAlways.
+  bool ShouldSpill(VertexId v, size_t bytes) const {
+    switch (spill_mode_) {
+      case SpillMode::kNever:
+        return false;
+      case SpillMode::kAlways:
+        return true;
+      case SpillMode::kAuto: {
+        uint64_t pairs = 0;
+        uint32_t dv = g_.Degree(v);
+        for (VertexId w : g_.Neighbors(v)) {
+          pairs += std::min(dv, g_.Degree(w));
+        }
+        return PreferSpill(bytes, pairs);
+      }
+    }
+    return false;
   }
 
  private:
@@ -300,6 +356,10 @@ class ParallelEngine {
   std::atomic<uint64_t> next_evict_check_;
   std::mutex evict_mu_;     // At most one evicting worker at a time.
   uint64_t evictions_ = 0;  // Guarded by evict_mu_.
+  std::unique_ptr<SpillFile> spill_;  // Spill tier backend (optional).
+  SpillMode spill_mode_ = SpillMode::kNever;
+  // Rebuilds forced by spill faults (any worker's retire path may bump it).
+  std::atomic<uint64_t> spill_fallbacks_{0};
   // Raised by the first worker whose poller observes expiry; every later
   // task body sees it and returns immediately (see CheckCancelled).
   std::atomic<bool> cancelled_{false};
@@ -336,7 +396,8 @@ Result<std::vector<double>> RunPEBW(const char* what, const Graph& g,
     std::vector<VertexId> old_to_new;
     Graph relabeled = g.RelabeledByDegree(&old_to_new);
     ParallelEngine engine(relabeled, threads, DefaultKernelMode(), streaming,
-                          budget, options.cancel);
+                          budget, options.spill_mode, options.spill_dir,
+                          options.cancel);
     phase1(&engine);
     engine.FillStats(stats);
     if (engine.Cancelled()) {
@@ -350,6 +411,7 @@ Result<std::vector<double>> RunPEBW(const char* what, const Graph& g,
     }
   } else {
     ParallelEngine engine(g, threads, DefaultKernelMode(), streaming, budget,
+                          options.spill_mode, options.spill_dir,
                           options.cancel);
     phase1(&engine);
     engine.FillStats(stats);

@@ -28,6 +28,7 @@
 #define EGOBW_PARALLEL_PARALLEL_EBW_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/ego_types.h"
@@ -53,6 +54,17 @@ struct PEBWOptions {
   /// their retire point (SearchStats::evicted_rebuilds). Identical values
   /// either way; 0 lifts the cap.
   uint64_t smap_budget_bytes = kDefaultSMapStreamBudgetBytes;
+  /// Spill tier of the byte budget (docs/out_of_core.md): kAuto/kAlways
+  /// spill evicted maps to an anonymous append-only file — the stripe-lock
+  /// serialized mutators append later publications as delta records, and
+  /// the retiring worker re-reads the chain once — instead of paying the
+  /// local rebuild. kAuto decides per map via the calibrated cost model.
+  /// Values are bit-identical under every mode; any spill fault degrades
+  /// the affected map to the evict/rebuild path. Ignored with
+  /// `retain_smaps` (nothing is ever evicted there).
+  SpillMode spill_mode = SpillMode::kNever;
+  /// Directory of the anonymous spill file ("" = the system temp dir).
+  std::string spill_dir;
   /// Cooperative cancellation token, polled by every worker at each task
   /// boundary of the parallel loop (never while a stripe lock is held, so
   /// no map is ever torn). Like the serial all-vertex pass this supports

@@ -43,6 +43,19 @@
 ///                            vertex boundary: RunApproxTopK degrades per
 ///                            its on_cancel contract (anytime partial with
 ///                            certified = false, or kDeadlineExceeded).
+///   diskcsr.mmap             open/mmap failure of a packed CSR image:
+///                            MappedGraph::Open returns kUnavailable with
+///                            nothing mapped.
+///   diskcsr.short_read       short read of the image header: kUnavailable,
+///                            no partial header is ever trusted.
+///   spill.write              failed append to the S-map spill file: a base
+///                            record leaves the map live (the caller evicts
+///                            and rebuilds); a delta degrades the map to
+///                            the evicted/rebuild path. Values stay
+///                            bit-identical either way.
+///   spill.read               failed or torn read of a spilled chain:
+///                            FinalizeSpilled surfaces the error and the
+///                            vertex rebuilds locally instead.
 
 #ifndef EGOBW_UTIL_FAILPOINT_H_
 #define EGOBW_UTIL_FAILPOINT_H_

@@ -1,0 +1,127 @@
+/// \file
+/// Append-only spill slab file + the spill-vs-rebuild cost model of the
+/// streaming S-map spill tier (docs/out_of_core.md).
+///
+/// The streaming all-vertex engines cap their live S-map bytes by evicting
+/// the largest incomplete maps; an evicted vertex pays a full local rebuild
+/// (ComputeExactCbImpl) at its retire point. The spill tier adds the
+/// memory-for-I/O alternative: write the map (and every later publication
+/// aimed at it) to an append-only slab file and re-read the chain once at
+/// retirement. Whether spilling beats rebuilding is a per-map question —
+/// bytes to move through the file vs triangle-candidate pairs to
+/// re-enumerate — answered by `PreferSpill` against a one-shot calibration
+/// of this machine's sequential file bandwidth and map-insert throughput
+/// (the ScanProbeCostRatio idiom of core/diamond_kernel.h).
+///
+/// SpillFile framing: each record is [u64 payload_len][u64 FNV-1a(payload)]
+/// [payload]. Appends are mutex-serialized (one writer at a time, offsets
+/// handed out under the lock); reads are positional preads, safe from any
+/// thread without the lock. A short or checksum-failing read surfaces as
+/// kInvalidArgument ("torn spill record"), system-level I/O failures as
+/// kUnavailable — never UB, never a partial map.
+///
+/// Failpoints (docs/robustness.md): `spill.write` fails an Append
+/// (kUnavailable — the store degrades the map to the evict/rebuild path);
+/// `spill.read` fails a ReadRecord (kUnavailable — the engine rebuilds the
+/// vertex locally instead). Results are bit-identical under both.
+
+#ifndef EGOBW_UTIL_SPILL_FILE_H_
+#define EGOBW_UTIL_SPILL_FILE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace egobw {
+
+/// Per-evicted-map policy of the streaming engines' byte budget.
+enum class SpillMode {
+  kNever,   ///< Always evict + rebuild locally (the pre-spill behavior).
+  kAuto,    ///< Per map: spill iff the calibrated cost model says the file
+            ///< round trip is cheaper than the local rebuild.
+  kAlways,  ///< Always spill (falls back to evict only on write failure).
+};
+
+/// One-shot measured throughputs the kAuto decision compares.
+struct SpillCalibration {
+  double write_bytes_per_sec;    ///< Sequential spill-file append bandwidth.
+  double read_bytes_per_sec;     ///< Positional spill-file read bandwidth.
+  double rebuild_pairs_per_sec;  ///< PairCountMap insert throughput — the
+                                 ///< unit the rebuild estimate Σ min(d, d)
+                                 ///< is denominated in.
+};
+
+/// The process-wide calibration: measured once on first use (a few hundred
+/// microseconds of file + map micro-benchmarks), clamped to sane bounds,
+/// constants as a fallback when the temp dir is unwritable.
+const SpillCalibration& GetSpillCalibration();
+
+/// Test hook: overrides the calibration (nullptr returns to the measured
+/// one). Lets tests force both sides of the kAuto decision.
+void SetSpillCalibrationForTesting(const SpillCalibration* calibration);
+
+/// The kAuto decision: true iff writing + re-reading `map_bytes` through
+/// the spill file is estimated cheaper than re-enumerating `rebuild_pairs`
+/// triangle-candidate pairs locally.
+bool PreferSpill(uint64_t map_bytes, uint64_t rebuild_pairs);
+
+/// Append-only record file with checksummed framing (see file comment).
+/// Thread-safe: appends serialize on an internal mutex, reads are lock-free
+/// positional preads.
+class SpillFile {
+ public:
+  /// "No record" chain terminator for offset chains stored in payloads.
+  static constexpr uint64_t kNoRecord = ~uint64_t{0};
+
+  /// Creates an anonymous spill file in `dir` (system temp dir when empty):
+  /// unlinked immediately, so the space is reclaimed even on a crash.
+  static Result<std::unique_ptr<SpillFile>> CreateTemp(const std::string& dir);
+
+  /// Creates (truncating) a named spill file at `path`. The caller owns the
+  /// path's lifetime; tests use this to corrupt records externally.
+  static Result<std::unique_ptr<SpillFile>> Create(const std::string& path);
+
+  ~SpillFile();
+  SpillFile(const SpillFile&) = delete;
+  SpillFile& operator=(const SpillFile&) = delete;
+
+  /// Appends one framed record; returns its offset (pass to ReadRecord).
+  /// kUnavailable on write failure or the `spill.write` failpoint — the
+  /// file's logical end does not advance, so the next Append reuses the
+  /// space and no torn frame is ever left behind a handed-out offset.
+  Result<uint64_t> Append(std::span<const uint8_t> payload);
+
+  /// Reads the record at `offset` into *payload (replaced). kUnavailable on
+  /// system read failure or the `spill.read` failpoint; kInvalidArgument on
+  /// a torn record (frame past the logical end, short read, checksum
+  /// mismatch).
+  Status ReadRecord(uint64_t offset, std::vector<uint8_t>* payload) const;
+
+  /// Logical bytes appended so far (frames included).
+  uint64_t BytesWritten() const {
+    return end_.load(std::memory_order_relaxed);
+  }
+
+  /// Records successfully appended so far.
+  uint64_t RecordsWritten() const {
+    return records_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  explicit SpillFile(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  std::mutex mu_;                     // Serializes appends.
+  std::atomic<uint64_t> end_{0};      // Logical end (next append offset).
+  std::atomic<uint64_t> records_{0};
+};
+
+}  // namespace egobw
+
+#endif  // EGOBW_UTIL_SPILL_FILE_H_

@@ -1,0 +1,393 @@
+// Tests for the out-of-core CSR image (src/graph/disk_csr.h): pack/open
+// round trips (relabeled and direct), the never-trust-the-file contract
+// (truncation at every prefix length, corrupted header and payload bytes,
+// injected mmap/short-read faults — always a clean Status, never UB), the
+// shared-mapping lifetime rules, and the differential suite proving every
+// engine — serial/parallel top-k, all-ego (streaming, retained, spill
+// tier), both PEBW granularities, the dynamic maintenance engine and the
+// approx sampler — lands on bit-identical results over an mmap'd graph and
+// its in-memory twin.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "approx/approx_topk.h"
+#include "core/all_ego.h"
+#include "core/base_search.h"
+#include "core/opt_search.h"
+#include "dynamic/local_update.h"
+#include "graph/disk_csr.h"
+#include "graph/example_graphs.h"
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+#include "parallel/parallel_ebw.h"
+#include "parallel/parallel_opt_search.h"
+#include "util/failpoint.h"
+
+namespace egobw {
+namespace {
+
+std::vector<std::pair<std::string, Graph>> TestGraphs() {
+  std::vector<std::pair<std::string, Graph>> graphs;
+  graphs.emplace_back("paper_fig1", PaperFigure1());
+  graphs.emplace_back("er_dense", ErdosRenyi(200, 4000, 22));
+  graphs.emplace_back("ba_clustered", BarabasiAlbert(500, 8, 44, 0.5));
+  graphs.emplace_back("collab", Collaboration(300, 400, 6, 8, 0.2, 66));
+  return graphs;
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+// An owned heap copy of any Graph view, preserving ids — the in-memory
+// twin the differential tests compare the mmap'd view against.
+Graph Materialize(const Graph& g) {
+  GraphBuilder b(g.NumVertices());
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    for (VertexId v : g.Neighbors(u)) {
+      if (u < v) b.AddEdge(u, v);
+    }
+  }
+  return b.Build();
+}
+
+std::vector<uint8_t> ReadFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << path;
+  std::vector<uint8_t> bytes;
+  uint8_t buf[4096];
+  size_t r;
+  while ((r = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    bytes.insert(bytes.end(), buf, buf + r);
+  }
+  std::fclose(f);
+  return bytes;
+}
+
+void WriteFile(const std::string& path, const std::vector<uint8_t>& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr) << path;
+  ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+  ASSERT_EQ(std::fclose(f), 0);
+}
+
+void ExpectBitEqual(const std::vector<double>& a, const std::vector<double>& b,
+                    const std::string& what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (size_t i = 0; i < a.size(); ++i) {
+    uint64_t ab, bb;
+    std::memcpy(&ab, &a[i], sizeof(ab));
+    std::memcpy(&bb, &b[i], sizeof(bb));
+    EXPECT_EQ(ab, bb) << what << " diverges at vertex " << i << ": " << a[i]
+                      << " vs " << b[i];
+  }
+}
+
+void ExpectSameTopK(const TopKResult& a, const TopKResult& b,
+                    const std::string& what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  EXPECT_EQ(a.certified, b.certified) << what;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].vertex, b[i].vertex) << what << " rank " << i;
+    uint64_t ab, bb;
+    std::memcpy(&ab, &a[i].cb, sizeof(ab));
+    std::memcpy(&bb, &b[i].cb, sizeof(bb));
+    EXPECT_EQ(ab, bb) << what << " rank " << i << " value";
+  }
+}
+
+// --------------------------------------------------------- pack / open --
+
+TEST(DiskCsrPack, RoundTripPreservesStructure) {
+  for (const auto& [name, g] : TestGraphs()) {
+    for (bool relabel : {false, true}) {
+      std::string path = TempPath("roundtrip_" + name +
+                                  (relabel ? "_perm" : "_direct") + ".egobw");
+      PackOptions pack;
+      pack.relabel = relabel;
+      pack.block_size = 4096;
+      ASSERT_TRUE(PackGraphImage(g, path, pack).ok()) << name;
+      ASSERT_TRUE(VerifyGraphImage(path).ok()) << name;
+      Result<MappedGraph> opened =
+          MappedGraph::Open(path, {.deep_verify = true});
+      ASSERT_TRUE(opened.ok()) << name << ": " << opened.status().ToString();
+      const MappedGraph& m = opened.value();
+      const Graph& mg = m.graph();
+      EXPECT_EQ(m.relabeled(), relabel) << name;
+      EXPECT_EQ(m.block_size(), 4096u) << name;
+      EXPECT_GT(m.MappedBytes(), 0u) << name;
+      ASSERT_EQ(mg.NumVertices(), g.NumVertices()) << name;
+      ASSERT_EQ(mg.NumEdges(), g.NumEdges()) << name;
+      EXPECT_EQ(mg.MaxDegree(), g.MaxDegree()) << name;
+      if (!relabel) {
+        EXPECT_TRUE(m.old_to_new().empty()) << name;
+        for (VertexId u = 0; u < g.NumVertices(); ++u) {
+          auto want = g.Neighbors(u);
+          auto got = mg.Neighbors(u);
+          ASSERT_TRUE(std::equal(want.begin(), want.end(), got.begin(),
+                                 got.end()))
+              << name << " direct adjacency of " << u;
+        }
+      } else {
+        // The stored original->packed map is a permutation, degrees are
+        // invariant under it, and adjacency transports edge for edge.
+        auto perm = m.old_to_new();
+        ASSERT_EQ(perm.size(), g.NumVertices()) << name;
+        std::vector<uint8_t> hit(g.NumVertices(), 0);
+        for (VertexId u = 0; u < g.NumVertices(); ++u) {
+          ASSERT_LT(perm[u], g.NumVertices()) << name;
+          EXPECT_EQ(hit[perm[u]]++, 0u) << name << " duplicate image";
+          EXPECT_EQ(mg.Degree(perm[u]), g.Degree(u)) << name << " vertex "
+                                                     << u;
+        }
+        for (VertexId u = 0; u < g.NumVertices(); ++u) {
+          std::vector<VertexId> want;
+          for (VertexId w : g.Neighbors(u)) want.push_back(perm[w]);
+          std::sort(want.begin(), want.end());
+          auto got = mg.Neighbors(perm[u]);
+          ASSERT_TRUE(std::equal(want.begin(), want.end(), got.begin(),
+                                 got.end()))
+              << name << " relabeled adjacency of " << u;
+        }
+      }
+      for (AccessHint hint : {AccessHint::kNone, AccessHint::kSequentialPass,
+                              AccessHint::kRandomAccess}) {
+        EXPECT_TRUE(m.Advise(hint).ok()) << name;
+      }
+    }
+  }
+}
+
+TEST(DiskCsrPack, GraphCopySharesTheMappingPastTheHandle) {
+  std::string path = TempPath("keepalive.egobw");
+  Graph g = ErdosRenyi(100, 600, 9);
+  PackOptions pack;
+  pack.relabel = false;  // Same ids on both sides; lifetime is the point.
+  ASSERT_TRUE(PackGraphImage(g, path, pack).ok());
+  Graph view;
+  {
+    Result<MappedGraph> opened = MappedGraph::Open(path);
+    ASSERT_TRUE(opened.ok());
+    view = opened.value().graph();
+  }  // MappedGraph handle gone; the copy must keep the mapping alive.
+  ExpectBitEqual(ComputeAllEgoBetweenness(view), ComputeAllEgoBetweenness(g),
+                 "keepalive all-ego");
+}
+
+// ------------------------------------------- hostile and truncated files --
+
+TEST(DiskCsrHostile, TruncationAtEveryOffsetFailsCleanly) {
+  // Every proper prefix of a valid image must be rejected with
+  // kInvalidArgument before any mapped byte is dereferenced — never a
+  // SIGBUS, never a partial graph. The 4 KiB block keeps the image small
+  // enough to try literally every length.
+  std::string path = TempPath("trunc_src.egobw");
+  PackOptions pack;
+  pack.block_size = 4096;
+  ASSERT_TRUE(PackGraphImage(PaperFigure1(), path, pack).ok());
+  std::vector<uint8_t> image = ReadFile(path);
+  ASSERT_GT(image.size(), 0u);
+  std::string trunc = TempPath("trunc_cut.egobw");
+  for (size_t len = 0; len < image.size(); ++len) {
+    WriteFile(trunc,
+              std::vector<uint8_t>(image.begin(), image.begin() + len));
+    Result<MappedGraph> opened = MappedGraph::Open(trunc);
+    ASSERT_FALSE(opened.ok()) << "prefix of " << len << " bytes opened";
+    EXPECT_EQ(opened.status().code(), StatusCode::kInvalidArgument)
+        << "prefix of " << len << " bytes: "
+        << opened.status().ToString();
+  }
+  // The untouched original still opens.
+  EXPECT_TRUE(MappedGraph::Open(path).ok());
+}
+
+TEST(DiskCsrHostile, CorruptedHeaderBytesAreRejected) {
+  std::string path = TempPath("corrupt_src.egobw");
+  PackOptions pack;
+  pack.block_size = 4096;
+  ASSERT_TRUE(PackGraphImage(ErdosRenyi(64, 256, 3), path, pack).ok());
+  std::vector<uint8_t> image = ReadFile(path);
+  std::string bad = TempPath("corrupt_mut.egobw");
+  // Flipping any single byte of the header must fail the checksum (or the
+  // magic/version/extent checks it guards).
+  for (size_t off : {0u, 1u, 8u, 16u, 24u, 40u, 64u, 96u, 120u}) {
+    std::vector<uint8_t> mut = image;
+    mut[off] ^= 0xff;
+    WriteFile(bad, mut);
+    Result<MappedGraph> opened = MappedGraph::Open(bad);
+    ASSERT_FALSE(opened.ok()) << "header byte " << off;
+    EXPECT_EQ(opened.status().code(), StatusCode::kInvalidArgument)
+        << "header byte " << off;
+  }
+}
+
+TEST(DiskCsrHostile, CorruptedAdjacencyIsCaughtByDeepVerify) {
+  // Past the checksummed header the cheap Open validates extents and the
+  // offsets array only; flipped adjacency *content* is the deep verify's
+  // job (and VerifyGraphImage's).
+  std::string path = TempPath("deep_src.egobw");
+  Graph g = ErdosRenyi(64, 256, 4);
+  PackOptions pack;
+  pack.block_size = 4096;
+  pack.relabel = false;
+  ASSERT_TRUE(PackGraphImage(g, path, pack).ok());
+  std::vector<uint8_t> image = ReadFile(path);
+  // Smash the last adjacency word to an out-of-range vertex id. The
+  // adjacency section ends the file after edges/endpoints; rather than
+  // hand-decode the section table, corrupt a tail id: set four bytes near
+  // the end to 0xff (vertex id >= n for any n < 2^24).
+  std::vector<uint8_t> mut = image;
+  for (size_t i = mut.size() - 4; i < mut.size(); ++i) mut[i] = 0xff;
+  std::string bad = TempPath("deep_mut.egobw");
+  WriteFile(bad, mut);
+  EXPECT_FALSE(VerifyGraphImage(bad).ok());
+  EXPECT_FALSE(MappedGraph::Open(bad, {.deep_verify = true}).ok());
+}
+
+TEST(DiskCsrFailpoints, MmapAndShortReadSurfaceAsUnavailable) {
+  std::string path = TempPath("failpoint.egobw");
+  ASSERT_TRUE(PackGraphImage(PaperFigure1(), path).ok());
+  failpoint::EnableForTesting(true);
+  failpoint::Reset();
+  failpoint::Arm("diskcsr.mmap", 1);
+  Result<MappedGraph> mm = MappedGraph::Open(path);
+  ASSERT_FALSE(mm.ok());
+  EXPECT_EQ(mm.status().code(), StatusCode::kUnavailable);
+  failpoint::Reset();
+  failpoint::Arm("diskcsr.short_read", 1);
+  Result<MappedGraph> sr = MappedGraph::Open(path);
+  ASSERT_FALSE(sr.ok());
+  EXPECT_EQ(sr.status().code(), StatusCode::kUnavailable);
+  failpoint::Reset();
+  failpoint::EnableForTesting(false);
+  EXPECT_TRUE(MappedGraph::Open(path).ok());
+}
+
+// ------------------------------------------------- engine differentials --
+
+TEST(DiskCsrDifferential, EveryEngineBitIdenticalOnMappedGraphs) {
+  // The tentpole contract: a Graph view over the mapping is
+  // indistinguishable from heap CSR to every engine. For direct images the
+  // in-memory twin is the original graph; for relabeled images it is the
+  // materialized packed copy (same ids as the mapping), so both sides run
+  // the identical vertex labeling and the comparison is exact.
+  constexpr uint32_t kK = 10;
+  for (const auto& [name, g] : TestGraphs()) {
+    for (bool relabel : {false, true}) {
+      std::string what = name + (relabel ? " relabeled" : " direct");
+      std::string path = TempPath("diff_" + name +
+                                  (relabel ? "_perm" : "_direct") + ".egobw");
+      PackOptions pack;
+      pack.relabel = relabel;
+      pack.block_size = 4096;
+      ASSERT_TRUE(PackGraphImage(g, path, pack).ok()) << what;
+      Result<MappedGraph> opened = MappedGraph::Open(path);
+      ASSERT_TRUE(opened.ok()) << what;
+      const Graph& mapped = opened.value().graph();
+      Graph twin = relabel ? Materialize(mapped) : Materialize(g);
+
+      // All-vertex: streaming, retained, spill-tier streaming, both PEBW
+      // granularities.
+      std::vector<double> want_cb = ComputeAllEgoBetweenness(twin);
+      ExpectBitEqual(want_cb, ComputeAllEgoBetweenness(mapped),
+                     what + " streaming all-ego");
+      ExpectBitEqual(want_cb,
+                     ComputeAllEgoBetweennessWithState(mapped).cb,
+                     what + " retained all-ego");
+      AllEgoOptions spill_opts;
+      spill_opts.smap_budget_bytes = 1 << 14;
+      spill_opts.spill_mode = SpillMode::kAlways;
+      ExpectBitEqual(want_cb,
+                     ComputeAllEgoBetweenness(mapped, spill_opts),
+                     what + " spill-tier all-ego");
+      ExpectBitEqual(want_cb, VertexPEBW(mapped, 4),
+                     what + " VertexPEBW");
+      ExpectBitEqual(want_cb, EdgePEBW(mapped, 4), what + " EdgePEBW");
+
+      // Bounded top-k: serial opt, base, parallel opt.
+      ExpectSameTopK(RunOptBSearch(twin, kK).value(),
+                     RunOptBSearch(mapped, kK).value(),
+                     what + " OptBSearch");
+      ExpectSameTopK(RunBaseBSearch(twin, kK).value(),
+                     RunBaseBSearch(mapped, kK).value(),
+                     what + " BaseBSearch");
+      ExpectSameTopK(RunParallelOptBSearch(twin, kK, 4).value(),
+                     RunParallelOptBSearch(mapped, kK, 4).value(),
+                     what + " ParallelOptBSearch");
+
+      // Approx sampler: same seed, same draws, bit-identical estimates.
+      ApproxOptions approx;
+      approx.seed = 12345;
+      ApproxTopKResult a = RunApproxTopK(twin, kK, approx).value();
+      ApproxTopKResult b = RunApproxTopK(mapped, kK, approx).value();
+      ASSERT_EQ(a.entries.size(), b.entries.size()) << what;
+      for (size_t i = 0; i < a.entries.size(); ++i) {
+        EXPECT_EQ(a.entries[i].vertex, b.entries[i].vertex) << what;
+        uint64_t ab, bb;
+        std::memcpy(&ab, &a.entries[i].estimate, sizeof(ab));
+        std::memcpy(&bb, &b.entries[i].estimate, sizeof(bb));
+        EXPECT_EQ(ab, bb) << what << " approx estimate rank " << i;
+      }
+
+      // Dynamic maintenance: seed both engines, replay the same insert and
+      // delete, and the trajectories must agree bitwise (the engine copies
+      // the graph into its dynamic structure — the mapping only has to
+      // survive construction).
+      VertexId du = 0, dv = 0;
+      for (VertexId v = 1; v < twin.NumVertices() && dv == 0; ++v) {
+        auto nbrs = twin.Neighbors(0);
+        if (!std::binary_search(nbrs.begin(), nbrs.end(), v)) dv = v;
+      }
+      if (dv != 0) {
+        LocalUpdateEngine from_twin(twin);
+        LocalUpdateEngine from_mapped(mapped);
+        ASSERT_TRUE(from_twin.InsertEdge(du, dv).ok()) << what;
+        ASSERT_TRUE(from_mapped.InsertEdge(du, dv).ok()) << what;
+        for (VertexId u = 0; u < twin.NumVertices(); ++u) {
+          uint64_t ab, bb;
+          double tv = from_twin.CB(u), mv = from_mapped.CB(u);
+          std::memcpy(&ab, &tv, sizeof(ab));
+          std::memcpy(&bb, &mv, sizeof(bb));
+          ASSERT_EQ(ab, bb) << what << " dynamic CB of " << u;
+        }
+        ASSERT_TRUE(from_mapped.DeleteEdge(du, dv).ok()) << what;
+      }
+    }
+  }
+}
+
+TEST(DiskCsrDifferential, RelabeledValuesScatterBackToTheDirectRun) {
+  // End-to-end what the CLI does with a relabeled image: engine output in
+  // packed ids, mapped back through the stored permutation, equals the
+  // plain in-memory run on the input labeling — bit for bit (evaluation is
+  // order-independent, so the isomorphic copy computes the same doubles).
+  for (const auto& [name, g] : TestGraphs()) {
+    std::string path = TempPath("scatter_" + name + ".egobw");
+    ASSERT_TRUE(PackGraphImage(g, path).ok()) << name;
+    Result<MappedGraph> opened = MappedGraph::Open(path);
+    ASSERT_TRUE(opened.ok()) << name;
+    ASSERT_TRUE(opened.value().relabeled()) << name;
+    auto perm = opened.value().old_to_new();
+    std::vector<double> direct = ComputeAllEgoBetweenness(g);
+    std::vector<double> packed =
+        ComputeAllEgoBetweenness(opened.value().graph());
+    ASSERT_EQ(packed.size(), direct.size()) << name;
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      uint64_t ab, bb;
+      std::memcpy(&ab, &direct[v], sizeof(ab));
+      std::memcpy(&bb, &packed[perm[v]], sizeof(bb));
+      EXPECT_EQ(ab, bb) << name << " vertex " << v;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace egobw

@@ -1,0 +1,410 @@
+// Tests for the S-map spill tier (docs/out_of_core.md): the SpillFile
+// record framing, the calibrated spill-vs-rebuild cost model, the
+// SMapStore spill lifecycle (base record + delta chain + replay), and —
+// the contract that matters — bit-identical CB values from the serial and
+// parallel streaming passes under every SpillMode, tiny budgets, and every
+// injected spill fault.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/all_ego.h"
+#include "core/smap_store.h"
+#include "graph/example_graphs.h"
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+#include "parallel/parallel_ebw.h"
+#include "util/failpoint.h"
+#include "util/spill_file.h"
+
+namespace egobw {
+namespace {
+
+void ExpectBitEqual(const std::vector<double>& a, const std::vector<double>& b,
+                    const std::string& what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (size_t i = 0; i < a.size(); ++i) {
+    uint64_t ab, bb;
+    std::memcpy(&ab, &a[i], sizeof(ab));
+    std::memcpy(&bb, &b[i], sizeof(bb));
+    EXPECT_EQ(ab, bb) << what << " diverges at vertex " << i << ": " << a[i]
+                      << " vs " << b[i];
+  }
+}
+
+std::vector<std::pair<std::string, Graph>> TestGraphs() {
+  std::vector<std::pair<std::string, Graph>> graphs;
+  graphs.emplace_back("paper_fig1", PaperFigure1());
+  graphs.emplace_back("er_dense", ErdosRenyi(200, 4000, 22));
+  graphs.emplace_back("ba_clustered", BarabasiAlbert(500, 8, 44, 0.5));
+  graphs.emplace_back("collab", Collaboration(300, 400, 6, 8, 0.2, 66));
+  return graphs;
+}
+
+// A budget small enough that every test graph above evicts repeatedly.
+constexpr uint64_t kTinyBudget = 1 << 14;
+
+// ------------------------------------------------------------- SpillFile --
+
+TEST(SpillFile, AppendReadRoundTrip) {
+  auto file = SpillFile::CreateTemp("");
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+  SpillFile& f = *file.value();
+
+  std::vector<std::vector<uint8_t>> payloads;
+  std::vector<uint64_t> offsets;
+  for (size_t i = 0; i < 16; ++i) {
+    std::vector<uint8_t> p(i * 37 + 1);
+    for (size_t j = 0; j < p.size(); ++j) {
+      p[j] = static_cast<uint8_t>(i * 13 + j);
+    }
+    Result<uint64_t> off = f.Append(p);
+    ASSERT_TRUE(off.ok()) << off.status().ToString();
+    offsets.push_back(off.value());
+    payloads.push_back(std::move(p));
+  }
+  EXPECT_EQ(f.RecordsWritten(), 16u);
+
+  // Read back in scrambled order: records are position-addressed.
+  std::vector<uint8_t> back;
+  for (size_t i = 16; i-- > 0;) {
+    ASSERT_TRUE(f.ReadRecord(offsets[i], &back).ok());
+    EXPECT_EQ(back, payloads[i]) << "record " << i;
+  }
+}
+
+TEST(SpillFile, EmptyPayloadRoundTrips) {
+  auto file = SpillFile::CreateTemp("");
+  ASSERT_TRUE(file.ok());
+  Result<uint64_t> off = file.value()->Append({});
+  ASSERT_TRUE(off.ok());
+  std::vector<uint8_t> back{1, 2, 3};
+  ASSERT_TRUE(file.value()->ReadRecord(off.value(), &back).ok());
+  EXPECT_TRUE(back.empty());
+}
+
+TEST(SpillFile, OffsetPastEndIsTornNotUB) {
+  auto file = SpillFile::CreateTemp("");
+  ASSERT_TRUE(file.ok());
+  std::vector<uint8_t> p(100, 7);
+  ASSERT_TRUE(file.value()->Append(p).ok());
+  std::vector<uint8_t> back;
+  Status st = file.value()->ReadRecord(1 << 20, &back);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  // An offset into the middle of a frame reads garbage lengths or a
+  // mismatched checksum — also kInvalidArgument, never a crash.
+  st = file.value()->ReadRecord(4, &back);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SpillFile, CorruptedPayloadFailsChecksum) {
+  std::string path = ::testing::TempDir() + "spill_corrupt.slab";
+  auto file = SpillFile::Create(path);
+  ASSERT_TRUE(file.ok());
+  std::vector<uint8_t> p(64, 0x5A);
+  Result<uint64_t> off = file.value()->Append(p);
+  ASSERT_TRUE(off.ok());
+
+  // Flip one payload byte through the named path (same inode).
+  FILE* raw = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(raw, nullptr);
+  ASSERT_EQ(std::fseek(raw, static_cast<long>(off.value()) + 16 + 10, SEEK_SET),
+            0);
+  std::fputc(0xFF, raw);
+  std::fclose(raw);
+
+  std::vector<uint8_t> back;
+  Status st = file.value()->ReadRecord(off.value(), &back);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.ToString().find("checksum"), std::string::npos)
+      << st.ToString();
+  std::remove(path.c_str());
+}
+
+TEST(SpillFile, WriteAndReadFailpointsSurfaceAsUnavailable) {
+  failpoint::EnableForTesting(true);
+  failpoint::Reset();
+  auto file = SpillFile::CreateTemp("");
+  ASSERT_TRUE(file.ok());
+  std::vector<uint8_t> p(32, 1);
+  Result<uint64_t> ok_off = file.value()->Append(p);
+  ASSERT_TRUE(ok_off.ok());
+
+  failpoint::Arm("spill.write", 1);
+  Result<uint64_t> off = file.value()->Append(p);
+  EXPECT_EQ(off.status().code(), StatusCode::kUnavailable);
+  // The failed append did not advance the end: the next one lands cleanly.
+  Result<uint64_t> off2 = file.value()->Append(p);
+  ASSERT_TRUE(off2.ok());
+
+  failpoint::Arm("spill.read", 1);
+  std::vector<uint8_t> back;
+  EXPECT_EQ(file.value()->ReadRecord(ok_off.value(), &back).code(),
+            StatusCode::kUnavailable);
+  EXPECT_TRUE(file.value()->ReadRecord(ok_off.value(), &back).ok());
+  failpoint::Reset();
+  failpoint::EnableForTesting(false);
+}
+
+// ------------------------------------------------------------ cost model --
+
+TEST(SpillCostModel, CalibrationIsSaneAndPreferSpillFollowsIt) {
+  const SpillCalibration& cal = GetSpillCalibration();
+  EXPECT_GT(cal.write_bytes_per_sec, 0.0);
+  EXPECT_GT(cal.read_bytes_per_sec, 0.0);
+  EXPECT_GT(cal.rebuild_pairs_per_sec, 0.0);
+
+  // Fast file + slow rebuild: spill everything.
+  SpillCalibration fast_file{1e12, 1e12, 1.0};
+  SetSpillCalibrationForTesting(&fast_file);
+  EXPECT_TRUE(PreferSpill(1 << 20, 100));
+  // Slow file + instant rebuild: never spill.
+  SpillCalibration slow_file{1.0, 1.0, 1e12};
+  SetSpillCalibrationForTesting(&slow_file);
+  EXPECT_FALSE(PreferSpill(1 << 20, 100));
+  SetSpillCalibrationForTesting(nullptr);
+}
+
+// -------------------------------------------------- SMapStore lifecycle --
+
+TEST(SMapStoreSpill, SpillThenDeltasReplayBitIdentical) {
+  // Two stores fed the identical publication stream; one is spilled
+  // mid-stream. FinalizeSpilled must reproduce Finalize's value bit for
+  // bit (both reduce to EvaluateCompleteSMap over identical map content).
+  Graph g = PaperFigure1();
+  auto file = SpillFile::CreateTemp("");
+  ASSERT_TRUE(file.ok());
+
+  SMapStore live(g), spilled(g);
+  spilled.AttachSpill(file.value().get());
+
+  VertexId u = 0;
+  auto feed = [&](SMapStore* s) {
+    s->AddConnectors(u, 1, 2, 1);
+    s->AddConnectors(u, 1, 3, 2);
+    s->SetAdjacent(u, 2, 3);
+  };
+  feed(&live);
+  feed(&spilled);
+  ASSERT_TRUE(spilled.Spill(u));
+  EXPECT_TRUE(spilled.Spilled(u));
+  EXPECT_EQ(spilled.MapBytesOf(u), 0u);
+  EXPECT_EQ(spilled.SpilledMaps(), 1u);
+
+  // Post-spill publications: logged as deltas, one record per batch.
+  auto feed2 = [&](SMapStore* s) {
+    s->AddConnectors(u, 1, 2, 1);           // Accumulates onto the count.
+    s->SetAdjacent(u, 1, 3);                // ADJ absorbs the count.
+    std::vector<VertexId> ws{2, 4};
+    s->SetAdjacentBatch(u, 1, ws);          // Batched rule A.
+    std::vector<std::pair<VertexId, VertexId>> pairs{{2, 4}, {3, 4}};
+    s->AddConnectorsBatch(u, pairs, 1);     // Batched rule B.
+  };
+  feed2(&live);
+  feed2(&spilled);
+
+  double expect = live.Finalize(u);
+  Result<double> got = spilled.FinalizeSpilled(u);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  uint64_t eb, gb;
+  std::memcpy(&eb, &expect, sizeof(eb));
+  double gv = got.value();
+  std::memcpy(&gb, &gv, sizeof(gb));
+  EXPECT_EQ(eb, gb);
+  EXPECT_TRUE(spilled.Retired(u));
+  EXPECT_GE(spilled.SpillRecordsRead(), 1u);
+}
+
+TEST(SMapStoreSpill, SpillWithoutAttachedFileRefuses) {
+  Graph g = PaperFigure1();
+  SMapStore s(g);
+  s.SetAdjacent(0, 1, 2);
+  EXPECT_FALSE(s.Spill(0));
+  EXPECT_FALSE(s.Spilled(0));  // Still live.
+  EXPECT_GT(s.MapBytesOf(0), 0u);
+}
+
+TEST(SMapStoreSpill, DeltaAppendFaultDegradesToEvicted) {
+  failpoint::EnableForTesting(true);
+  failpoint::Reset();
+  Graph g = PaperFigure1();
+  auto file = SpillFile::CreateTemp("");
+  ASSERT_TRUE(file.ok());
+  SMapStore s(g);
+  s.AttachSpill(file.value().get());
+  s.SetAdjacent(0, 1, 2);
+  ASSERT_TRUE(s.Spill(0));
+  failpoint::Arm("spill.write", 1);
+  s.AddConnectors(0, 1, 3, 1);  // Delta append fails.
+  EXPECT_TRUE(s.Evicted(0));    // Degraded: engine rebuilds locally.
+  failpoint::Reset();
+  failpoint::EnableForTesting(false);
+}
+
+TEST(SMapStoreSpill, ChainReadFaultDegradesToEvicted) {
+  failpoint::EnableForTesting(true);
+  failpoint::Reset();
+  Graph g = PaperFigure1();
+  auto file = SpillFile::CreateTemp("");
+  ASSERT_TRUE(file.ok());
+  SMapStore s(g);
+  s.AttachSpill(file.value().get());
+  s.SetAdjacent(0, 1, 2);
+  ASSERT_TRUE(s.Spill(0));
+  failpoint::Arm("spill.read", 1);
+  Result<double> r = s.FinalizeSpilled(0);
+  EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(s.Evicted(0));
+  failpoint::Reset();
+  failpoint::EnableForTesting(false);
+}
+
+// ------------------------------------------- streaming engine equality --
+
+TEST(SpillStreaming, SerialAllModesBitIdenticalUnderTinyBudget) {
+  for (const auto& [name, g] : TestGraphs()) {
+    std::vector<double> retained =
+        ComputeAllEgoBetweennessWithState(g, nullptr).cb;
+
+    // Whether this graph's frontier ever exceeds the tiny budget at all —
+    // paper_fig1 fits outright, so its counters legitimately stay zero.
+    SearchStats never_stats;
+    {
+      AllEgoOptions options;
+      options.smap_budget_bytes = kTinyBudget;
+      SearchStats* stats = &never_stats;
+      Result<std::vector<double>> cb = RunAllEgoBetweenness(g, options, stats);
+      ASSERT_TRUE(cb.ok());
+      ExpectBitEqual(retained, cb.value(), name + " kNever");
+      EXPECT_EQ(never_stats.spilled_maps, 0u) << name;
+      EXPECT_EQ(never_stats.spill_reads, 0u) << name;
+    }
+    const bool evicts = never_stats.evicted_rebuilds > 0;
+
+    for (SpillMode mode : {SpillMode::kAuto, SpillMode::kAlways}) {
+      AllEgoOptions options;
+      options.smap_budget_bytes = kTinyBudget;
+      options.spill_mode = mode;
+      SearchStats stats;
+      Result<std::vector<double>> cb = RunAllEgoBetweenness(g, options, &stats);
+      ASSERT_TRUE(cb.ok());
+      ExpectBitEqual(retained, cb.value(),
+                     name + " mode=" + std::to_string(static_cast<int>(mode)));
+      if (mode == SpillMode::kAlways && evicts) {
+        EXPECT_GT(stats.spilled_maps, 0u) << name;
+        EXPECT_GE(stats.spill_reads, stats.spilled_maps) << name;
+        EXPECT_EQ(stats.evicted_rebuilds, 0u) << name;
+      }
+    }
+  }
+}
+
+TEST(SpillStreaming, AutoModeFollowsTheForcedCalibration) {
+  Graph g = BarabasiAlbert(500, 8, 44, 0.5);
+  AllEgoOptions options;
+  options.smap_budget_bytes = kTinyBudget;
+  options.spill_mode = SpillMode::kAuto;
+
+  SpillCalibration fast_file{1e12, 1e12, 1.0};
+  SetSpillCalibrationForTesting(&fast_file);
+  SearchStats spill_stats;
+  ASSERT_TRUE(RunAllEgoBetweenness(g, options, &spill_stats).ok());
+  EXPECT_GT(spill_stats.spilled_maps, 0u);
+  EXPECT_EQ(spill_stats.evicted_rebuilds, 0u);
+
+  SpillCalibration slow_file{1.0, 1.0, 1e12};
+  SetSpillCalibrationForTesting(&slow_file);
+  SearchStats evict_stats;
+  ASSERT_TRUE(RunAllEgoBetweenness(g, options, &evict_stats).ok());
+  EXPECT_EQ(evict_stats.spilled_maps, 0u);
+  EXPECT_GT(evict_stats.evicted_rebuilds, 0u);
+  SetSpillCalibrationForTesting(nullptr);
+}
+
+TEST(SpillStreaming, ParallelBothGranularitiesBitIdentical) {
+  // Parallel eviction is pressure-triggered, so whether any single small
+  // graph spills is timing-dependent — assert spills happened somewhere
+  // across the whole sweep, and bit-equality everywhere.
+  uint64_t total_spilled = 0;
+  for (const auto& [name, g] : TestGraphs()) {
+    std::vector<double> retained =
+        ComputeAllEgoBetweennessWithState(g, nullptr).cb;
+    for (bool relabel : {false, true}) {
+      PEBWOptions options;
+      options.relabel_by_degree = relabel;
+      options.smap_budget_bytes = kTinyBudget;
+      options.spill_mode = SpillMode::kAlways;
+      SearchStats vstats, estats;
+      Result<std::vector<double>> v = RunVertexPEBW(g, 4, options, &vstats);
+      Result<std::vector<double>> e = RunEdgePEBW(g, 4, options, &estats);
+      ASSERT_TRUE(v.ok() && e.ok());
+      std::string tag = name + (relabel ? "/relabel" : "/direct");
+      ExpectBitEqual(retained, v.value(), tag + " vertex");
+      ExpectBitEqual(retained, e.value(), tag + " edge");
+      total_spilled += vstats.spilled_maps + estats.spilled_maps;
+    }
+  }
+  EXPECT_GT(total_spilled, 0u);
+}
+
+TEST(SpillStreaming, InjectedSpillFaultsStayBitIdentical) {
+  // Arm each spill failpoint at several depths: creation failures turn the
+  // tier off, base-write failures fall back to eviction, delta failures
+  // degrade mid-chain, read failures rebuild at retire — all bit-identical.
+  failpoint::EnableForTesting(true);
+  Graph g = BarabasiAlbert(500, 8, 44, 0.5);
+  std::vector<double> retained =
+      ComputeAllEgoBetweennessWithState(g, nullptr).cb;
+  AllEgoOptions options;
+  options.smap_budget_bytes = kTinyBudget;
+  options.spill_mode = SpillMode::kAlways;
+  for (const char* fp : {"spill.write", "spill.read"}) {
+    for (uint64_t nth : {1, 2, 5, 20}) {
+      for (uint64_t times : {uint64_t{1}, uint64_t{0}}) {
+        failpoint::Reset();
+        failpoint::Arm(fp, nth, times);
+        Result<std::vector<double>> cb =
+            RunAllEgoBetweenness(g, options, nullptr);
+        ASSERT_TRUE(cb.ok());
+        ExpectBitEqual(retained, cb.value(),
+                       std::string(fp) + " nth=" + std::to_string(nth) +
+                           " times=" + std::to_string(times));
+      }
+    }
+  }
+  failpoint::Reset();
+  failpoint::EnableForTesting(false);
+}
+
+TEST(SpillStreaming, ParallelInjectedFaultsStayBitIdentical) {
+  failpoint::EnableForTesting(true);
+  Graph g = Collaboration(300, 400, 6, 8, 0.2, 66);
+  std::vector<double> retained =
+      ComputeAllEgoBetweennessWithState(g, nullptr).cb;
+  PEBWOptions options;
+  options.smap_budget_bytes = kTinyBudget;
+  options.spill_mode = SpillMode::kAlways;
+  for (const char* fp : {"spill.write", "spill.read"}) {
+    for (uint64_t nth : {2, 10}) {
+      failpoint::Reset();
+      failpoint::Arm(fp, nth, /*times=*/0);
+      Result<std::vector<double>> cb = RunEdgePEBW(g, 4, options, nullptr);
+      ASSERT_TRUE(cb.ok());
+      ExpectBitEqual(retained, cb.value(),
+                     std::string("parallel ") + fp + " nth=" +
+                         std::to_string(nth));
+    }
+  }
+  failpoint::Reset();
+  failpoint::EnableForTesting(false);
+}
+
+}  // namespace
+}  // namespace egobw
